@@ -1,0 +1,427 @@
+// Package imcf_test hosts the repository-level benchmarks: one per table
+// and figure of the paper's evaluation (regenerate the full reports with
+// cmd/imcf-bench), plus micro-benchmarks for the substrates that bound
+// end-to-end performance.
+package imcf_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/imcf/imcf/internal/controller"
+	"github.com/imcf/imcf/internal/core"
+	"github.com/imcf/imcf/internal/ecp"
+	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/persistence"
+	"github.com/imcf/imcf/internal/rules"
+	"github.com/imcf/imcf/internal/shift"
+	"github.com/imcf/imcf/internal/sim"
+	"github.com/imcf/imcf/internal/simclock"
+	"github.com/imcf/imcf/internal/store"
+	"github.com/imcf/imcf/internal/trace"
+	"github.com/imcf/imcf/internal/weather"
+)
+
+// BenchmarkTable1ECP measures the Amortization Plan arithmetic behind
+// Table I: deriving a full year of hourly EAF budgets.
+func BenchmarkTable1ECP(b *testing.B) {
+	plan := ecp.Plan{Formula: ecp.EAF, Profile: ecp.Flat(), Budget: 3500, Years: 1}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for m := time.January; m <= time.December; m++ {
+			if _, err := plan.HourlyBudget(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2MRT measures Meta-Rule Table validation and the hourly
+// activation scan behind Table II.
+func BenchmarkTable2MRT(b *testing.B) {
+	mrt := rules.FlatMRT()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := mrt.Validate(); err != nil {
+			b.Fatal(err)
+		}
+		active := 0
+		for h := 0; h < 24; h++ {
+			for _, r := range mrt.Rules {
+				if r.ActiveAt(h) {
+					active++
+				}
+			}
+		}
+		if active != 39 {
+			b.Fatalf("active rule-hours = %d", active)
+		}
+	}
+}
+
+// BenchmarkTable3IFTTT measures trigger-action resolution of the Table
+// III rule set against a changing environment.
+func BenchmarkTable3IFTTT(b *testing.B) {
+	ruleSet := rules.FlatIFTTT()
+	envs := make([]rules.Env, 24)
+	for h := range envs {
+		envs[h] = rules.Env{
+			Season:      simclock.Winter,
+			Condition:   weather.Condition(h % 2),
+			OutdoorTemp: float64(5 + h%20),
+			Light:       float64(h * 4),
+			DoorOpen:    h%5 == 0,
+		}
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		out := rules.Outputs(ruleSet, envs[i%len(envs)])
+		if len(out) == 0 {
+			b.Fatal("no outputs")
+		}
+	}
+}
+
+// monthWorkload builds a flat residence workload shortened to one year
+// (shared across Fig. 6–9 benchmarks; each iteration replays one run).
+func flatWorkload(b *testing.B) *sim.Workload {
+	b.Helper()
+	res, err := home.Flat(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res.Years = 1
+	w, err := sim.BuildWorkload(res, sim.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return w
+}
+
+// BenchmarkFig6Performance replays a one-year flat run per iteration for
+// each compared algorithm — the workload behind Fig. 6.
+func BenchmarkFig6Performance(b *testing.B) {
+	w := flatWorkload(b)
+	for _, alg := range []sim.Algorithm{sim.NR, sim.IFTTT, sim.EP, sim.MR} {
+		b.Run(alg.String(), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := sim.Options{}
+				opts.Planner.Seed = uint64(i)
+				r, err := sim.Run(w, alg, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if alg != sim.NR && r.Energy == 0 {
+					b.Fatal("no energy consumed")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig7KOpt replays EP with each k — the sweep behind Fig. 7.
+func BenchmarkFig7KOpt(b *testing.B) {
+	w := flatWorkload(b)
+	for _, k := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := sim.Options{}
+				opts.Planner = core.DefaultConfig()
+				opts.Planner.K = k
+				opts.Planner.Seed = uint64(i)
+				if _, err := sim.Run(w, sim.EP, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig8Init replays EP with each initialization strategy — the
+// sweep behind Fig. 8.
+func BenchmarkFig8Init(b *testing.B) {
+	w := flatWorkload(b)
+	for _, init := range []core.InitStrategy{core.InitAllOn, core.InitRandom, core.InitAllOff} {
+		b.Run(init.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := sim.Options{}
+				opts.Planner = core.DefaultConfig()
+				opts.Planner.Init = init
+				opts.Planner.Seed = uint64(i)
+				if _, err := sim.Run(w, sim.EP, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9Conservation replays EP under reduced budgets — the
+// sweep behind Fig. 9.
+func BenchmarkFig9Conservation(b *testing.B) {
+	w := flatWorkload(b)
+	for _, saving := range []float64{0.05, 0.20, 0.40} {
+		b.Run(fmt.Sprintf("save=%.0f%%", saving*100), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				opts := sim.Options{Savings: saving}
+				opts.Planner.Seed = uint64(i)
+				if _, err := sim.Run(w, sim.EP, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable4Prototype runs the week-long prototype controller
+// deployment per iteration — the pipeline behind Table IV.
+func BenchmarkTable4Prototype(b *testing.B) {
+	res, err := home.Prototype(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clock := simclock.NewSimClock(time.Date(2015, time.January, 5, 0, 0, 0, 0, time.UTC))
+		cfg := controller.Config{
+			Residence:     res,
+			Clock:         clock,
+			WeeklyBudget:  home.PrototypeWeeklyBudget,
+			CarryCapHours: 5.5,
+		}
+		cfg.Planner.Seed = uint64(i)
+		c, err := controller.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for s := 0; s < 7*24; s++ {
+			if _, err := c.Step(); err != nil {
+				b.Fatal(err)
+			}
+			clock.Advance(time.Hour)
+		}
+		if c.Summary().Energy == 0 {
+			b.Fatal("no energy")
+		}
+	}
+}
+
+// BenchmarkTable5Residents measures the per-resident attribution path
+// behind Table V: a week-long run plus per-owner summary extraction.
+func BenchmarkTable5Residents(b *testing.B) {
+	res, err := home.Prototype(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	clock := simclock.NewSimClock(time.Date(2015, time.January, 5, 0, 0, 0, 0, time.UTC))
+	cfg := controller.Config{Residence: res, Clock: clock, WeeklyBudget: home.PrototypeWeeklyBudget}
+	c, err := controller.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for s := 0; s < 7*24; s++ {
+		if _, err := c.Step(); err != nil {
+			b.Fatal(err)
+		}
+		clock.Advance(time.Hour)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sum := c.Summary()
+		if len(sum.PerOwner) != 3 {
+			b.Fatalf("PerOwner = %v", sum.PerOwner)
+		}
+	}
+}
+
+// BenchmarkPlannerSlot measures one EP hill-climbing invocation at dorm
+// scale (hundreds of active rules), the inner loop of every experiment.
+func BenchmarkPlannerSlot(b *testing.B) {
+	const n = 300
+	problem := core.Problem{Budget: 40}
+	for i := 0; i < n; i++ {
+		problem.Costs = append(problem.Costs, core.RuleCost{
+			DropError: math.Mod(float64(i)*0.37, 1),
+			Energy:    0.23,
+		})
+	}
+	pl, err := core.NewPlanner(core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pl.Plan(problem); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlannerFairSlot measures the minimax-fair planning variant at
+// dorm scale.
+func BenchmarkPlannerFairSlot(b *testing.B) {
+	const n = 300
+	problem := core.Problem{Budget: 40}
+	group := make([]int, n)
+	for i := 0; i < n; i++ {
+		problem.Costs = append(problem.Costs, core.RuleCost{
+			DropError: math.Mod(float64(i)*0.37, 1),
+			Energy:    0.23,
+		})
+		group[i] = i % 50 // 50 apartments
+	}
+	pl, err := core.NewPlanner(core.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := pl.PlanFair(problem, group, 50, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPersistenceRecord measures measurement ingestion into the
+// segment store.
+func BenchmarkPersistenceRecord(b *testing.B) {
+	svc, err := persistence.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	t0 := time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rec := trace.Record{Time: t0.Add(time.Duration(i) * time.Second), Value: 20 + float64(i%7)}
+		if err := svc.Record("zone0/temperature", trace.KindTemperature, rec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkShiftSchedule measures deferrable-load packing.
+func BenchmarkShiftSchedule(b *testing.B) {
+	loads := []shift.Load{
+		{ID: "wash", Power: 2000, Hours: 2, Window: simclock.TimeWindow{StartHour: 8, EndHour: 22}, Contiguous: true},
+		{ID: "dry", Power: 2500, Hours: 1, Window: simclock.TimeWindow{StartHour: 8, EndHour: 22}, Contiguous: true},
+		{ID: "ev", Power: 3000, Hours: 4, Window: simclock.TimeWindow{StartHour: 20, EndHour: 8}},
+		{ID: "boiler", Power: 1500, Hours: 3, Window: simclock.TimeWindow{StartHour: 0, EndHour: 24}},
+	}
+	var headroom shift.Headroom
+	for h := range headroom {
+		headroom[h] = float64(h%5) * 0.8
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := shift.Schedule(loads, headroom); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMRTParse and BenchmarkMRTFormat measure the textual rule
+// table codec.
+func BenchmarkMRTParse(b *testing.B) {
+	text := rules.FormatMRT(rules.FlatMRT())
+	b.ReportAllocs()
+	b.SetBytes(int64(len(text)))
+	for i := 0; i < b.N; i++ {
+		if _, err := rules.ParseMRT(text); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMRTFormat(b *testing.B) {
+	mrt := rules.FlatMRT()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if out := rules.FormatMRT(mrt); len(out) == 0 {
+			b.Fatal("empty output")
+		}
+	}
+}
+
+// BenchmarkTraceEncode and BenchmarkTraceDecode measure the Gorilla-style
+// block codec at the CASAS reading cadence.
+func BenchmarkTraceEncode(b *testing.B) {
+	recs := make([]trace.Record, 4096)
+	t0 := time.Date(2013, 10, 1, 0, 0, 0, 0, time.UTC)
+	for i := range recs {
+		recs[i] = trace.Record{
+			Time:  t0.Add(time.Duration(i) * 29 * time.Second),
+			Value: math.Round((20+5*math.Sin(float64(i)/100))*10) / 10,
+		}
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(recs) * 16))
+	for i := 0; i < b.N; i++ {
+		if _, err := trace.EncodeBlock(trace.KindTemperature, recs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTraceDecode(b *testing.B) {
+	recs := make([]trace.Record, 4096)
+	t0 := time.Date(2013, 10, 1, 0, 0, 0, 0, time.UTC)
+	for i := range recs {
+		recs[i] = trace.Record{
+			Time:  t0.Add(time.Duration(i) * 29 * time.Second),
+			Value: math.Round((20+5*math.Sin(float64(i)/100))*10) / 10,
+		}
+	}
+	block, err := trace.EncodeBlock(trace.KindTemperature, recs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(len(recs) * 16))
+	for i := 0; i < b.N; i++ {
+		if _, _, err := trace.DecodeBlock(block); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkStorePut measures WAL-backed writes in the embedded store.
+func BenchmarkStorePut(b *testing.B) {
+	db, err := store.Open(store.Options{Dir: b.TempDir()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	value := []byte(`{"name":"Night Heat","window":"01:00-07:00","value":25}`)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put(fmt.Sprintf("mrt/%d", i%1024), value); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAmbient measures the synthetic trace model evaluation that
+// dominates workload construction.
+func BenchmarkAmbient(b *testing.B) {
+	wx, err := weather.New(42, weather.Nicosia())
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := trace.NewGenerator(wx, trace.DefaultZone(7))
+	if err != nil {
+		b.Fatal(err)
+	}
+	t0 := time.Date(2014, 3, 1, 0, 0, 0, 0, time.UTC)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		a := gen.AmbientAt(t0.Add(time.Duration(i%8760) * time.Hour))
+		if a.Temperature < -50 || a.Temperature > 60 {
+			b.Fatalf("implausible ambient %v", a)
+		}
+	}
+}

@@ -1,0 +1,274 @@
+// Command imcf-trace generates, inspects and aggregates the synthetic
+// CASAS-like sensor traces the simulator replays.
+//
+// Usage:
+//
+//	imcf-trace gen     -out FILE -kind temperature|light|door [-days 30]
+//	                   [-interval 29s] [-seed 42] [-zone 0] [-start 2013-10-01]
+//	imcf-trace dataset -dir DIR [-zones 1] [-days 30] [-seed 42] [-start 2013-10-01]
+//	imcf-trace info    -in FILE
+//	imcf-trace cat     -in FILE [-n 10]
+//	imcf-trace agg     -in FILE
+//
+// gen streams readings into the compressed block format; dataset writes
+// a full multi-zone dataset directory with a manifest; info reports
+// record counts and compression ratio; cat dumps records; agg prints
+// hourly means.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"github.com/imcf/imcf/internal/trace"
+	"github.com/imcf/imcf/internal/weather"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("imcf-trace: ")
+	if len(os.Args) < 2 {
+		log.Fatal("usage: imcf-trace gen|dataset|info|cat|agg [flags]")
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "dataset":
+		err = runDataset(os.Args[2:])
+	case "info":
+		err = runInfo(os.Args[2:])
+	case "cat":
+		err = runCat(os.Args[2:])
+	case "agg":
+		err = runAgg(os.Args[2:])
+	default:
+		log.Fatalf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func parseKind(s string) (trace.Kind, error) {
+	switch s {
+	case "temperature":
+		return trace.KindTemperature, nil
+	case "light":
+		return trace.KindLight, nil
+	case "door":
+		return trace.KindDoor, nil
+	default:
+		return 0, fmt.Errorf("unknown kind %q", s)
+	}
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "", "output trace file")
+	kindName := fs.String("kind", "temperature", "sensor kind: temperature, light or door")
+	days := fs.Int("days", 30, "days of readings")
+	interval := fs.Duration("interval", 29*time.Second, "mean reading interval")
+	seed := fs.Uint64("seed", 42, "weather/zone seed")
+	zone := fs.Int("zone", 0, "zone index (decorrelates noise)")
+	startStr := fs.String("start", "2013-10-01", "start date (YYYY-MM-DD)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	if *out == "" {
+		return fmt.Errorf("gen: -out is required")
+	}
+	kind, err := parseKind(*kindName)
+	if err != nil {
+		return err
+	}
+	start, err := time.Parse("2006-01-02", *startStr)
+	if err != nil {
+		return fmt.Errorf("gen: bad -start: %w", err)
+	}
+	wx, err := weather.New(*seed, weather.Nicosia())
+	if err != nil {
+		return err
+	}
+	zoneModel := trace.DefaultZone(*seed + uint64(*zone)*7919)
+	gen, err := trace.NewGenerator(wx, zoneModel)
+	if err != nil {
+		return err
+	}
+	w, err := trace.CreateFile(*out, kind, 0)
+	if err != nil {
+		return err
+	}
+	end := start.AddDate(0, 0, *days)
+	if err := gen.Readings(kind, start.UTC(), end.UTC(), *interval, w.Append); err != nil {
+		w.Close() //nolint:errcheck
+		return err
+	}
+	if err := w.Close(); err != nil {
+		return err
+	}
+	info, err := os.Stat(*out)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d %s readings over %d days to %s (%d bytes, %.2f bytes/reading)\n",
+		w.Count(), kind, *days, *out, info.Size(), float64(info.Size())/float64(w.Count()))
+	return nil
+}
+
+func runDataset(args []string) error {
+	fs := flag.NewFlagSet("dataset", flag.ExitOnError)
+	dir := fs.String("dir", "", "output dataset directory")
+	zones := fs.Int("zones", 1, "number of zones")
+	days := fs.Int("days", 30, "days of readings")
+	seed := fs.Uint64("seed", 42, "weather/zone seed")
+	startStr := fs.String("start", "2013-10-01", "start date (YYYY-MM-DD)")
+	fs.Parse(args) //nolint:errcheck // ExitOnError
+
+	if *dir == "" {
+		return fmt.Errorf("dataset: -dir is required")
+	}
+	if *zones < 1 {
+		return fmt.Errorf("dataset: -zones must be ≥ 1")
+	}
+	start, err := time.Parse("2006-01-02", *startStr)
+	if err != nil {
+		return fmt.Errorf("dataset: bad -start: %w", err)
+	}
+	wx, err := weather.New(*seed, weather.Nicosia())
+	if err != nil {
+		return err
+	}
+	spec := trace.DatasetSpec{
+		Name: filepath.Base(*dir),
+		Seed: *seed,
+		From: start.UTC(),
+		To:   start.UTC().AddDate(0, 0, *days),
+	}
+	for z := 0; z < *zones; z++ {
+		spec.Zones = append(spec.Zones, trace.DefaultZone(*seed+uint64(z)*7919))
+	}
+	m, err := trace.GenerateDataset(*dir, wx, spec)
+	if err != nil {
+		return err
+	}
+	d, err := trace.OpenDataset(*dir)
+	if err != nil {
+		return err
+	}
+	size, err := d.Size()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("dataset %q: %d zones, %d readings over %d days, %.1f MB (%.2f bytes/reading)\n",
+		m.Name, m.Zones, m.Records, *days, float64(size)/(1<<20), float64(size)/float64(m.Records))
+	return nil
+}
+
+func openTrace(args []string, name string, extra func(*flag.FlagSet)) (*trace.Reader, error) {
+	fs := flag.NewFlagSet(name, flag.ExitOnError)
+	in := fs.String("in", "", "input trace file")
+	if extra != nil {
+		extra(fs)
+	}
+	fs.Parse(args) //nolint:errcheck
+	if *in == "" {
+		return nil, fmt.Errorf("%s: -in is required", name)
+	}
+	return trace.OpenFile(*in)
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "input trace file")
+	fs.Parse(args) //nolint:errcheck
+	if *in == "" {
+		return fmt.Errorf("info: -in is required")
+	}
+	r, err := trace.OpenFile(*in)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	recs, err := r.ReadAll()
+	if err != nil {
+		return err
+	}
+	st, err := os.Stat(*in)
+	if err != nil {
+		return err
+	}
+	if len(recs) == 0 {
+		fmt.Printf("%s: empty %s trace\n", *in, r.Kind())
+		return nil
+	}
+	minV, maxV := recs[0].Value, recs[0].Value
+	for _, rec := range recs {
+		if rec.Value < minV {
+			minV = rec.Value
+		}
+		if rec.Value > maxV {
+			maxV = rec.Value
+		}
+	}
+	raw := 16 * len(recs)
+	fmt.Printf("%s: %s trace\n", *in, r.Kind())
+	fmt.Printf("  records:     %d\n", len(recs))
+	fmt.Printf("  range:       %s .. %s\n", recs[0].Time.Format(time.RFC3339), recs[len(recs)-1].Time.Format(time.RFC3339))
+	fmt.Printf("  values:      %.2f .. %.2f\n", minV, maxV)
+	fmt.Printf("  size:        %d bytes (%.2fx vs %d raw)\n", st.Size(), float64(raw)/float64(st.Size()), raw)
+	return nil
+}
+
+func runCat(args []string) error {
+	var n *int
+	r, err := openTrace(args, "cat", func(fs *flag.FlagSet) {
+		n = fs.Int("n", 10, "records to print (0 = all)")
+	})
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	printed := 0
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s %.3f\n", rec.Time.Format(time.RFC3339), rec.Value)
+		printed++
+		if *n > 0 && printed >= *n {
+			return nil
+		}
+	}
+}
+
+func runAgg(args []string) error {
+	r, err := openTrace(args, "agg", nil)
+	if err != nil {
+		return err
+	}
+	defer r.Close()
+	recs, err := r.ReadAll()
+	if err != nil {
+		return err
+	}
+	means := trace.HourlyMeans(recs)
+	hours := make([]time.Time, 0, len(means))
+	for h := range means {
+		hours = append(hours, h)
+	}
+	sort.Slice(hours, func(i, j int) bool { return hours[i].Before(hours[j]) })
+	for _, h := range hours {
+		fmt.Printf("%s %.3f\n", h.Format("2006-01-02T15"), means[h])
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+// Analytics: the measurement side of the IMCF GUI — "record OpenHAB
+// item measurements/values on local storage and present those on a
+// table". A controller runs three simulated winter days with
+// persistence enabled; the Go client SDK then queries the recorded
+// readings back over REST and renders per-zone daily statistics and a
+// temperature sparkline.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"time"
+
+	"github.com/imcf/imcf/internal/client"
+	"github.com/imcf/imcf/internal/controller"
+	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/persistence"
+	"github.com/imcf/imcf/internal/simclock"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "imcf-analytics")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	svc, err := persistence.Open(dir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+
+	res, err := home.Prototype(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	start := time.Date(2015, time.January, 12, 0, 0, 0, 0, time.UTC)
+	clock := simclock.NewSimClock(start)
+	ctl, err := controller.New(controller.Config{
+		Residence:    res,
+		Clock:        clock,
+		WeeklyBudget: home.PrototypeWeeklyBudget,
+		Persistence:  svc,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Three days of hourly EP cycles, each recording zone measurements.
+	const hours = 3 * 24
+	for i := 0; i < hours; i++ {
+		if _, err := ctl.Step(); err != nil {
+			log.Fatal(err)
+		}
+		clock.Advance(time.Hour)
+	}
+
+	srv := httptest.NewServer(controller.API(ctl))
+	defer srv.Close()
+	cl, err := client.New(srv.URL, srv.Client())
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	items, err := cl.PersistenceItems(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("recorded items: %v\n\n", items)
+
+	end := start.Add(hours * time.Hour)
+	fmt.Println("per-zone daily statistics (°C):")
+	for z := 0; z < len(res.Zones); z++ {
+		item := fmt.Sprintf("zone%d/temperature", z)
+		buckets, err := cl.Aggregates(ctx, item, start, end, 24*time.Hour)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, b := range buckets {
+			fmt.Printf("  %-20s %s  n=%2d  min %5.1f  mean %5.1f  max %5.1f\n",
+				item, b.Start.Format("Jan 02"), b.Count, b.Min, b.Mean, b.Max)
+		}
+	}
+
+	// A terminal sparkline of zone 0's hourly temperature.
+	points, err := cl.Readings(ctx, "zone0/temperature", start, end)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nzone0 temperature, %d hourly readings:\n%s\n", len(points), sparkline(points))
+}
+
+// sparkline renders readings as a block-character strip.
+func sparkline(points []client.Point) string {
+	if len(points) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := points[0].Value, points[0].Value
+	for _, p := range points {
+		if p.Value < lo {
+			lo = p.Value
+		}
+		if p.Value > hi {
+			hi = p.Value
+		}
+	}
+	span := hi - lo
+	if span == 0 {
+		span = 1
+	}
+	out := make([]rune, len(points))
+	for i, p := range points {
+		idx := int((p.Value - lo) / span * float64(len(blocks)-1))
+		out[i] = blocks[idx]
+	}
+	return fmt.Sprintf("%.1f°C %s %.1f°C", lo, string(out), hi)
+}

@@ -1,0 +1,58 @@
+// Dorms: the SAVES inter-dormitory energy-saving competition scenario
+// that motivates the paper (Section I). The campus sets an 8 % savings
+// target — the figure SAVES aimed for and students only reached 4.44 %
+// of by manual effort — and the Energy Planner meets it automatically,
+// reporting the convenience cost.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/sim"
+	"github.com/imcf/imcf/internal/units"
+)
+
+func main() {
+	dorms, err := home.Dorms(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("campus: %d dorm rooms, %d meta-rules, %.0f kWh budget over %d years\n",
+		len(dorms.Zones), len(dorms.MRT.Convenience()), dorms.Budget.KWh(), dorms.Years)
+
+	fmt.Println("building trace workload (three years × 100 zones)...")
+	w, err := sim.BuildWorkload(dorms, sim.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Baseline: the Energy Planner at the full budget.
+	base := sim.Options{}
+	base.Planner.Seed = 1
+	baseline, err := sim.Run(w, sim.EP, base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\n%-18s F_E=%11.0f kWh   F_CE=%5.2f%%\n",
+		"full budget", baseline.Energy.KWh(), float64(baseline.ConvenienceError))
+
+	// The SAVES sweep: what do 4.44 % (achieved manually) and 8 %
+	// (the target) cost in convenience when enforced automatically?
+	for _, saving := range []float64{0.0444, 0.08, 0.15} {
+		opts := sim.Options{Savings: saving}
+		opts.Planner.Seed = 1
+		r, err := sim.Run(w, sim.EP, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		saved := baseline.Energy - r.Energy
+		fmt.Printf("%-18s F_E=%11.0f kWh   F_CE=%5.2f%%   (%.0f kWh ≈ %v CO₂e below full-budget plan)\n",
+			fmt.Sprintf("save %.2f%%", saving*100), r.Energy.KWh(), float64(r.ConvenienceError),
+			saved.KWh(), saved.Emissions(units.EUGridIntensity))
+	}
+
+	fmt.Println("\nSAVES context: students saved 4.44% manually; the 8% target is")
+	fmt.Println("reached here by only filtering the lowest-value rule executions.")
+}

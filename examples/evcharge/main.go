@@ -1,0 +1,106 @@
+// Evcharge: deferrable-workload scheduling on top of the Energy Planner
+// — the paper's future-work scenario of rescheduling power-hungry
+// workloads (white goods, electric vehicles) in a budget-friendly way.
+// The flat's EP plans its comfort rules for a January day; the spare
+// budget (headroom) per hour is then packed with a washing-machine
+// cycle and an overnight EV charge.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/imcf/imcf/internal/core"
+	"github.com/imcf/imcf/internal/ecp"
+	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/rules"
+	"github.com/imcf/imcf/internal/shift"
+	"github.com/imcf/imcf/internal/simclock"
+	"github.com/imcf/imcf/internal/units"
+)
+
+func main() {
+	flat, err := home.Flat(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan := ecp.Plan{Formula: ecp.EAF, Profile: flat.Profile, Budget: flat.Budget, Years: flat.Years}
+	hourly, err := plan.HourlyBudget(time.January)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Run EP for the day and derive per-hour headroom: slot budget
+	// minus the energy the comfort rules claim.
+	planner, err := core.NewPlanner(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := rules.DefaultErrorModel()
+	day := time.Date(2015, time.January, 20, 0, 0, 0, 0, time.UTC)
+	var headroom shift.Headroom
+	var comfort float64
+	for h := 0; h < 24; h++ {
+		at := day.Add(time.Duration(h) * time.Hour)
+		amb := flat.Zones[0].Ambient.AmbientAt(at)
+		var problem core.Problem
+		for _, r := range flat.MRT.Convenience() {
+			if !r.ActiveAt(h) {
+				continue
+			}
+			dev, err := flat.RuleDevice(r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			actual := amb.Temperature
+			if r.Action == rules.ActionSetLight {
+				actual = amb.Light
+			}
+			problem.Costs = append(problem.Costs, core.RuleCost{
+				DropError: model.Error(r.Action, r.Value, actual),
+				Energy:    dev.EnergyPerSlot(time.Hour).KWh(),
+			})
+		}
+		problem.Budget = hourly.KWh()
+		_, eval, err := planner.Plan(problem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		headroom[h] = hourly.KWh() - eval.Energy
+		comfort += eval.Energy
+	}
+	fmt.Printf("comfort rules claim %.2f kWh of the day's %.2f kWh budget\n\n", comfort, hourly.KWh()*24)
+
+	loads := []shift.Load{
+		{ID: "wash", Name: "Washing Machine", Power: 2 * units.Kilowatt, Hours: 2,
+			Window: simclock.TimeWindow{StartHour: 8, EndHour: 22}, Contiguous: true},
+		{ID: "ev", Name: "EV Charger", Power: 3 * units.Kilowatt, Hours: 4,
+			Window: simclock.TimeWindow{StartHour: 20, EndHour: 8}},
+	}
+	a, err := shift.Schedule(loads, headroom)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range a.Placements {
+		fmt.Printf("%-16s %d h at %v", p.Load.Name, p.Load.Hours, fmtHours(p.Hours))
+		if p.Overdraw > 0 {
+			fmt.Printf("  (overdraws plan by %v)", p.Overdraw)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("\ndeferred loads: %v total, %v above the plan's headroom\n", a.Energy, a.Overdraw)
+	fmt.Printf("at the EU grid intensity that is %v CO₂e — shifted into hours the plan left free\n",
+		a.Energy.Emissions(units.EUGridIntensity))
+}
+
+func fmtHours(hours []int) string {
+	out := ""
+	for i, h := range hours {
+		if i > 0 {
+			out += ","
+		}
+		out += fmt.Sprintf("%02d:00", h)
+	}
+	return out
+}

@@ -1,0 +1,95 @@
+// Quickstart: define a Meta-Rule Table and an energy budget, run the
+// Energy Planner for one winter day, and print which convenience rules
+// survive the budget hour by hour.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"github.com/imcf/imcf/internal/core"
+	"github.com/imcf/imcf/internal/ecp"
+	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/rules"
+)
+
+func main() {
+	// The paper's flat: Table II rules, Table I consumption profile,
+	// an 11,000 kWh three-year budget, and synthetic CASAS-like traces.
+	flat, err := home.Flat(42)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Amortize the budget with the ECP-based formula (EAF).
+	plan := ecp.Plan{
+		Formula: ecp.EAF,
+		Profile: flat.Profile,
+		Budget:  flat.Budget,
+		Years:   flat.Years,
+	}
+	janBudget, err := plan.HourlyBudget(time.January)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("January hourly budget E_p = %.3f kWh\n\n", janBudget.KWh())
+
+	planner, err := core.NewPlanner(core.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	model := rules.DefaultErrorModel()
+
+	day := time.Date(2015, time.January, 15, 0, 0, 0, 0, time.UTC)
+	fmt.Println("hour  ambient   budget-kWh  decision")
+	var spent, carry float64
+	for h := 0; h < 24; h++ {
+		at := day.Add(time.Duration(h) * time.Hour)
+		amb := flat.Zones[0].Ambient.AmbientAt(at)
+
+		// Collect the rules active this hour and their costs.
+		var active []rules.MetaRule
+		var problem core.Problem
+		for _, r := range flat.MRT.Convenience() {
+			if !r.ActiveAt(h) {
+				continue
+			}
+			active = append(active, r)
+			dev, err := flat.RuleDevice(r)
+			if err != nil {
+				log.Fatal(err)
+			}
+			actual := amb.Temperature
+			if r.Action == rules.ActionSetLight {
+				actual = amb.Light
+			}
+			problem.Costs = append(problem.Costs, core.RuleCost{
+				DropError: model.Error(r.Action, r.Value, actual),
+				Energy:    dev.EnergyPerSlot(time.Hour).KWh(),
+			})
+		}
+		problem.Budget = janBudget.KWh() + carry
+
+		sol, eval, err := planner.Plan(problem)
+		if err != nil {
+			log.Fatal(err)
+		}
+		carry = problem.Budget - eval.Energy
+		spent += eval.Energy
+
+		decision := "idle"
+		if len(active) > 0 {
+			decision = ""
+			for i, r := range active {
+				verb := "EXEC"
+				if !sol[i] {
+					verb = "drop"
+				}
+				decision += fmt.Sprintf("%s %s(%g)  ", verb, r.Name, r.Value)
+			}
+		}
+		fmt.Printf("%02d:00  %5.1f°C  %10.3f  %s\n", h, amb.Temperature, problem.Budget, decision)
+	}
+	fmt.Printf("\ntotal consumed: %.2f kWh (day budget %.2f kWh)\n", spent, janBudget.KWh()*24)
+}

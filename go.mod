@@ -1,0 +1,3 @@
+module github.com/imcf/imcf
+
+go 1.22

@@ -1,0 +1,231 @@
+// Package imcf is the public face of the IoT Meta-Control Firewall — a
+// Go reproduction of "The IoT Meta-Control Firewall" (Constantinou,
+// Konstantinidis, Zeinalipour-Yazti, Chrysanthis; IEEE ICDE 2021).
+//
+// IMCF filters a smart space's Rule Automation Workflows against a
+// long-term energy objective: users keep their convenience rules (the
+// Meta-Rule Table), declare a budget ("11,000 kWh over three years"),
+// and the Energy Planner — a k-opt hill-climbing search — decides per
+// decision window which rules execute and which are dropped, enforcing
+// drops like a network firewall.
+//
+// The package re-exports the building blocks from the internal
+// subsystems so downstream code has one import:
+//
+//	res, _ := imcf.NewFlat(42)
+//	ctl, _ := imcf.NewController(imcf.ControllerConfig{
+//	    Residence:    res,
+//	    WeeklyBudget: 165 * imcf.KilowattHour,
+//	})
+//	report, _ := ctl.Step()              // one EP cycle
+//	http.ListenAndServe(":8088", imcf.API(ctl))
+//
+// For trace-driven experiments use Workload and Run:
+//
+//	w, _ := imcf.BuildWorkload(res, imcf.SimOptions{})
+//	result, _ := imcf.Run(w, imcf.EP, imcf.SimOptions{})
+//
+// The cmd/ directory ships a controller daemon (imcfd), the experiment
+// harness regenerating every table and figure of the paper
+// (imcf-bench), and a trace tool (imcf-trace); examples/ holds runnable
+// scenarios. See DESIGN.md for the architecture and EXPERIMENTS.md for
+// measured-vs-paper results.
+package imcf
+
+import (
+	"github.com/imcf/imcf/internal/client"
+	"github.com/imcf/imcf/internal/cloud"
+	"github.com/imcf/imcf/internal/controller"
+	"github.com/imcf/imcf/internal/core"
+	"github.com/imcf/imcf/internal/ecp"
+	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/rules"
+	"github.com/imcf/imcf/internal/shift"
+	"github.com/imcf/imcf/internal/sim"
+	"github.com/imcf/imcf/internal/units"
+)
+
+// Quantities.
+type (
+	// Energy is an amount of energy in kWh.
+	Energy = units.Energy
+	// Power is an electrical draw in watts.
+	Power = units.Power
+	// Percent is a percentage value (F_CE is reported as one).
+	Percent = units.Percent
+	// Tariff converts energy to money (€/kWh).
+	Tariff = units.Tariff
+)
+
+// Common unit constants.
+const (
+	KilowattHour = units.KilowattHour
+	Watt         = units.Watt
+	Kilowatt     = units.Kilowatt
+	// EUTariff is the paper's quoted ≈0.20 €/kWh.
+	EUTariff = units.EUTariff
+	// EUGridIntensity converts kWh to CO₂-equivalent kilograms.
+	EUGridIntensity = units.EUGridIntensity
+)
+
+// Rules: the Meta-Rule Table and the IFTTT baseline language.
+type (
+	// MetaRule is one MRT row: a convenience preference, a necessity
+	// rule, or an energy-budget limit.
+	MetaRule = rules.MetaRule
+	// MRT is a Meta-Rule Table.
+	MRT = rules.MRT
+	// IFTTTRule is one trigger-action rule (Table III's language).
+	IFTTTRule = rules.IFTTTRule
+	// Conflict is a detected MRT problem (clash, shadow, infeasible
+	// budget).
+	Conflict = rules.Conflict
+	// ErrorModel is the convenience-error function (deadband + scale).
+	ErrorModel = rules.ErrorModel
+)
+
+// Rule helpers.
+var (
+	// FlatMRT returns the paper's Table II.
+	FlatMRT = rules.FlatMRT
+	// FlatIFTTT returns the paper's Table III.
+	FlatIFTTT = rules.FlatIFTTT
+	// ParseMRT parses the textual Meta-Rule Table format.
+	ParseMRT = rules.ParseMRT
+	// FormatMRT renders a table in the textual format.
+	FormatMRT = rules.FormatMRT
+	// AnalyzeConflicts reports clashes, shadows and infeasible budgets.
+	AnalyzeConflicts = rules.AnalyzeConflicts
+)
+
+// ECP: consumption profiles and budget amortization.
+type (
+	// Profile is an Energy Consumption Profile (Table I).
+	Profile = ecp.Profile
+	// AmortizationPlan derives per-slot budgets via LAF/BLAF/EAF.
+	AmortizationPlan = ecp.Plan
+)
+
+// Amortization formulas.
+const (
+	LAF  = ecp.LAF
+	BLAF = ecp.BLAF
+	EAF  = ecp.EAF
+)
+
+// FlatProfile returns the paper's Table I profile.
+var FlatProfile = ecp.Flat
+
+// Core: the Energy Planner.
+type (
+	// Planner runs the EP search over per-window rule activations.
+	Planner = core.Planner
+	// PlannerConfig parameterizes k, τ_max, initialization, engine.
+	PlannerConfig = core.Config
+	// Problem is one window's planning input.
+	Problem = core.Problem
+	// Solution is the binary activation vector s = ⟨s_1 … s_N⟩.
+	Solution = core.Solution
+)
+
+// Planner constructors and defaults.
+var (
+	// NewPlanner validates a config and returns a planner.
+	NewPlanner = core.NewPlanner
+	// DefaultPlannerConfig returns the evaluation defaults.
+	DefaultPlannerConfig = core.DefaultConfig
+)
+
+// Residences: the evaluation datasets.
+type Residence = home.Residence
+
+// Residence builders.
+var (
+	// NewFlat builds the paper's single-zone flat (Table II rules,
+	// 11,000 kWh / 3 y budget).
+	NewFlat = home.Flat
+	// NewHouse builds the four-zone house dataset.
+	NewHouse = home.House
+	// NewDorms builds the 50-apartment campus dataset.
+	NewDorms = home.Dorms
+	// NewPrototype builds the three-person prototype deployment.
+	NewPrototype = home.Prototype
+)
+
+// PrototypeWeeklyBudget is the prototype evaluation's 165 kWh weekly
+// limit.
+const PrototypeWeeklyBudget = home.PrototypeWeeklyBudget
+
+// Simulation: trace-driven experiments.
+type (
+	// Workload is a residence's precomputed replay data.
+	Workload = sim.Workload
+	// SimOptions configures a simulation run.
+	SimOptions = sim.Options
+	// SimResult is one run's F_CE / F_E / F_T outcome.
+	SimResult = sim.Result
+	// Algorithm selects NR, IFTTT, EP or MR.
+	Algorithm = sim.Algorithm
+)
+
+// The compared methods.
+const (
+	NR    = sim.NR
+	IFTTT = sim.IFTTT
+	EP    = sim.EP
+	MR    = sim.MR
+)
+
+// Simulation entry points.
+var (
+	// BuildWorkload precomputes a residence's replay data.
+	BuildWorkload = sim.BuildWorkload
+	// Run replays a workload through an algorithm.
+	Run = sim.Run
+)
+
+// Controller: the runtime system.
+type (
+	// Controller is the IMCF Local Controller.
+	Controller = controller.Controller
+	// ControllerConfig assembles one.
+	ControllerConfig = controller.Config
+	// StepReport summarizes one EP cycle.
+	StepReport = controller.StepReport
+	// Summary aggregates lifetime metrics (Tables IV–V).
+	Summary = controller.Summary
+)
+
+// Controller entry points.
+var (
+	// NewController builds a Local Controller.
+	NewController = controller.New
+	// API wraps a controller with the REST interface and panel UI.
+	API = controller.API
+)
+
+// Cloud: the CC/CMC tier.
+type Relay = cloud.Relay
+
+// NewRelay returns a Cloud Controller relay.
+var NewRelay = cloud.NewRelay
+
+// Client: the Go SDK for the controller's REST API.
+type APIClient = client.Client
+
+// NewAPIClient returns a REST client for a controller (or a relay site
+// path).
+var NewAPIClient = client.New
+
+// Deferrable workloads: the shift scheduler.
+type (
+	// Load is one deferrable appliance run (wash cycle, EV charge).
+	Load = shift.Load
+	// Headroom is the spare energy per hour of day.
+	Headroom = shift.Headroom
+	// Assignment is a day's deferrable schedule.
+	Assignment = shift.Assignment
+)
+
+// Schedule packs deferrable loads into the plan's spare budget.
+var Schedule = shift.Schedule

@@ -1,0 +1,96 @@
+package imcf_test
+
+import (
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/imcf/imcf"
+	"github.com/imcf/imcf/internal/simclock"
+)
+
+// TestFacadeEndToEnd drives the whole system through the public package
+// only: build a residence, run the controller, check the REST API, run a
+// trace-driven experiment, parse a rule table.
+func TestFacadeEndToEnd(t *testing.T) {
+	res, err := imcf.NewPrototype(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := imcf.NewController(imcf.ControllerConfig{
+		Residence:    res,
+		Clock:        simclock.NewSimClock(time.Date(2015, time.January, 10, 20, 0, 0, 0, time.UTC)),
+		WeeklyBudget: imcf.PrototypeWeeklyBudget,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	report, err := ctl.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Executed)+len(report.Dropped) == 0 {
+		t.Errorf("winter evening step planned nothing: %+v", report)
+	}
+
+	srv := httptest.NewServer(imcf.API(ctl))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/rest/summary")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Errorf("summary = %d", resp.StatusCode)
+	}
+
+	// Trace-driven experiment over a shortened flat.
+	flat, err := imcf.NewFlat(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat.Years = 1
+	w, err := imcf.BuildWorkload(flat, imcf.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := imcf.Run(w, imcf.EP, imcf.SimOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.Energy <= 0 || result.Energy > result.BudgetTotal {
+		t.Errorf("EP result = %+v", result)
+	}
+
+	// Rule language round trip and money conversion.
+	mrt, err := imcf.ParseMRT(`budget "Cap" limit 100 EUR`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit, ok := mrt.BudgetLimit("Cap")
+	if !ok || limit != imcf.EUTariff.Energy(100) {
+		t.Errorf("limit = %v", limit)
+	}
+	if imcf.FormatMRT(mrt) == "" {
+		t.Error("empty formatted table")
+	}
+
+	// The paper's input tables are reachable.
+	if len(imcf.FlatMRT().Rules) != 9 || len(imcf.FlatIFTTT()) != 10 {
+		t.Error("paper tables wrong size")
+	}
+	if imcf.FlatProfile().Total().KWh() != 3666 {
+		t.Error("Table I total wrong")
+	}
+}
+
+func TestFacadePlanner(t *testing.T) {
+	pl, err := imcf.NewPlanner(imcf.DefaultPlannerConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, eval, err := pl.Plan(imcf.Problem{Budget: 1})
+	if err != nil || len(sol) != 0 || eval.Energy != 0 {
+		t.Errorf("empty plan = %v %+v %v", sol, eval, err)
+	}
+}

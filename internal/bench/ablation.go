@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"github.com/imcf/imcf/internal/controller"
+	"github.com/imcf/imcf/internal/core"
+	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/sim"
+	"github.com/imcf/imcf/internal/simclock"
+)
+
+// AblationRow is one configuration of an ablation study.
+type AblationRow struct {
+	Dataset string
+	Config  string
+	FCE     Stat
+	FE      Stat
+	FT      Stat
+}
+
+// RunHeuristicAblation compares the EP optimization engines — the
+// paper's hill climbing against simulated annealing — backing the
+// paper's claim that "any heuristic or meta-heuristic approach can be
+// utilized in the EP optimization step".
+func (s *Suite) RunHeuristicAblation() ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, ds := range s.datasets() {
+		w, err := s.workload(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, h := range []core.Heuristic{core.HillClimb, core.Anneal} {
+			opts := sim.Options{}
+			opts.Planner.Heuristic = h
+			fce, fe, ft, err := s.runRepeated(w, sim.EP, opts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{Dataset: ds, Config: h.String(), FCE: fce, FE: fe, FT: ft})
+		}
+	}
+	return rows, nil
+}
+
+// RunLedgerAblation compares the default bounded net-metering ledger
+// against no ledger at all and against a near-unbounded one, at
+// per-slot planning granularity where the rollover policy decides
+// whether a split-unit hour is affordable at all.
+func (s *Suite) RunLedgerAblation() ([]AblationRow, error) {
+	configs := []struct {
+		name string
+		mut  func(*sim.Options)
+	}{
+		{"no-ledger", func(o *sim.Options) { o.NoCarryOver = true; o.PlanWindowHours = 1 }},
+		{"ledger-72h", func(o *sim.Options) { o.PlanWindowHours = 1 }},
+		{"ledger-1y", func(o *sim.Options) { o.CarryCapHours = 24 * 365; o.PlanWindowHours = 1 }},
+	}
+	var rows []AblationRow
+	for _, ds := range s.datasets() {
+		w, err := s.workload(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range configs {
+			opts := sim.Options{}
+			c.mut(&opts)
+			fce, fe, ft, err := s.runRepeated(w, sim.EP, opts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{Dataset: ds, Config: c.name, FCE: fce, FE: fe, FT: ft})
+		}
+	}
+	return rows, nil
+}
+
+// RunZeroGainAblation toggles the zero-gain pruning operator: without
+// it, the greedy all-1s initialization keeps executing rules whose
+// ambient conditions already satisfy the user, wasting budget.
+func (s *Suite) RunZeroGainAblation() ([]AblationRow, error) {
+	var rows []AblationRow
+	for _, ds := range s.datasets() {
+		w, err := s.workload(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, keep := range []bool{false, true} {
+			opts := sim.Options{}
+			opts.Planner.KeepZeroGain = keep
+			name := "prune-zero-gain"
+			if keep {
+				name = "keep-zero-gain"
+			}
+			fce, fe, ft, err := s.runRepeated(w, sim.EP, opts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{Dataset: ds, Config: name, FCE: fce, FE: fe, FT: ft})
+		}
+	}
+	return rows, nil
+}
+
+// RunWindowAblation compares EP decision granularities: the default
+// daily window (one bit per rule per day, the paper's solution-vector
+// semantics) against per-slot decisions.
+func (s *Suite) RunWindowAblation() ([]AblationRow, error) {
+	configs := []struct {
+		name  string
+		hours int
+	}{
+		{"window-1h", 1},
+		{"window-6h", 6},
+		{"window-24h", 24},
+	}
+	var rows []AblationRow
+	for _, ds := range s.datasets() {
+		w, err := s.workload(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, c := range configs {
+			opts := sim.Options{PlanWindowHours: c.hours}
+			fce, fe, ft, err := s.runRepeated(w, sim.EP, opts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, AblationRow{Dataset: ds, Config: c.name, FCE: fce, FE: fe, FT: ft})
+		}
+	}
+	return rows, nil
+}
+
+// FairnessRow is one configuration of the fairness ablation.
+type FairnessRow struct {
+	Config string
+	FCE    Stat // total convenience error (%)
+	Spread Stat // max−min per-resident error (pp)
+	FE     Stat // kWh
+}
+
+// RunFairnessAblation reruns the prototype week with and without
+// minimax-fair planning, reporting the per-resident error spread —
+// the "multiple energy planners with conflicting interests" extension.
+func (s *Suite) RunFairnessAblation() ([]FairnessRow, error) {
+	var rows []FairnessRow
+	for _, fair := range []bool{false, true} {
+		var fces, spreads, fes []float64
+		for rep := 0; rep < s.reps(); rep++ {
+			res, err := home.Prototype(s.Seed)
+			if err != nil {
+				return nil, err
+			}
+			clock := simclock.NewSimClock(time.Date(2015, time.January, 5, 0, 0, 0, 0, time.UTC))
+			cfg := controller.Config{
+				Residence:     res,
+				Clock:         clock,
+				WeeklyBudget:  home.PrototypeWeeklyBudget,
+				CarryCapHours: 5.5,
+				FairPlanning:  fair,
+			}
+			cfg.Planner.Seed = s.Seed*104_729 + uint64(rep)
+			c, err := controller.New(cfg)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < 7*24; i++ {
+				if _, err := c.Step(); err != nil {
+					return nil, err
+				}
+				clock.Advance(time.Hour)
+			}
+			sum := c.Summary()
+			fces = append(fces, float64(sum.ConvenienceError))
+			fes = append(fes, sum.Energy.KWh())
+			lo, hi := math.Inf(1), math.Inf(-1)
+			for _, ce := range sum.PerOwner {
+				lo = math.Min(lo, float64(ce))
+				hi = math.Max(hi, float64(ce))
+			}
+			spreads = append(spreads, hi-lo)
+		}
+		name := "total-optimal"
+		if fair {
+			name = "minimax-fair"
+		}
+		rows = append(rows, FairnessRow{
+			Config: name,
+			FCE:    Aggregate(fces),
+			Spread: Aggregate(spreads),
+			FE:     Aggregate(fes),
+		})
+	}
+	return rows, nil
+}
+
+// Ablations writes all ablation studies as text tables.
+func (s *Suite) Ablations(w io.Writer) error {
+	sections := []struct {
+		title string
+		run   func() ([]AblationRow, error)
+	}{
+		{"Ablation A — EP optimization engine (hill climbing vs simulated annealing)", s.RunHeuristicAblation},
+		{"Ablation B — net-metering ledger policy (per-slot granularity)", s.RunLedgerAblation},
+		{"Ablation C — zero-gain rule pruning", s.RunZeroGainAblation},
+		{"Ablation D — EP decision window granularity", s.RunWindowAblation},
+	}
+	for _, sec := range sections {
+		rows, err := sec.run()
+		if err != nil {
+			return err
+		}
+		header(w, sec.title)
+		fmt.Fprintf(w, "%-8s %-18s %18s %24s %18s\n", "Dataset", "Config", "F_CE (%)", "F_E (kWh)", "F_T (s)")
+		for _, r := range rows {
+			fmt.Fprintf(w, "%-8s %-18s %18s %24s %18s\n",
+				r.Dataset, r.Config, r.FCE, fmtEnergy(r.FE), fmtSeconds(r.FT))
+		}
+	}
+
+	fairRows, err := s.RunFairnessAblation()
+	if err != nil {
+		return err
+	}
+	header(w, "Ablation E — minimax-fair planning (prototype week)")
+	fmt.Fprintf(w, "%-14s %18s %22s %24s\n", "Config", "F_CE (%)", "owner spread (pp)", "F_E (kWh)")
+	for _, r := range fairRows {
+		fmt.Fprintf(w, "%-14s %18s %22s %24s\n", r.Config, r.FCE, r.Spread, fmtEnergy(r.FE))
+	}
+	return nil
+}

@@ -1,0 +1,170 @@
+// Package bench regenerates every table and figure of the IMCF paper's
+// evaluation (Section III): the performance comparison of Fig. 6, the
+// k-opt study of Fig. 7, the initialization study of Fig. 8, the energy
+// conservation study of Fig. 9, the input tables I–III, and the
+// prototype evaluation of Tables IV–V — plus the ablations called out in
+// DESIGN.md. Each experiment reports mean and standard deviation over
+// repeated runs, matching the paper's ten-repetition methodology.
+package bench
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/sim"
+)
+
+// Stat is a mean ± standard deviation pair over repetitions.
+type Stat struct {
+	Mean  float64
+	Stdev float64
+	N     int
+}
+
+// Aggregate computes a Stat from samples.
+func Aggregate(xs []float64) Stat {
+	s := Stat{N: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	s.Mean = sum / float64(len(xs))
+	if len(xs) > 1 {
+		var ss float64
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.Stdev = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	return s
+}
+
+// String formats the stat as "mean ± stdev".
+func (s Stat) String() string {
+	return fmt.Sprintf("%.2f ± %.2f", s.Mean, s.Stdev)
+}
+
+// Dataset names, matching the paper.
+const (
+	DatasetFlat  = "Flat"
+	DatasetHouse = "House"
+	DatasetDorms = "Dorms"
+)
+
+// AllDatasets lists the paper's three evaluation datasets in order.
+func AllDatasets() []string { return []string{DatasetFlat, DatasetHouse, DatasetDorms} }
+
+// Suite runs experiments with shared, lazily built workloads.
+type Suite struct {
+	// Reps is the number of repetitions per configuration (the paper
+	// uses 10). Zero means 10.
+	Reps int
+	// Seed derives the dataset seeds and the per-repetition planner
+	// seeds.
+	Seed uint64
+	// Datasets restricts which datasets run; nil means all three.
+	Datasets []string
+
+	mu        sync.Mutex
+	workloads map[string]*sim.Workload
+}
+
+// NewSuite returns a suite with the paper's defaults.
+func NewSuite() *Suite {
+	return &Suite{Reps: 10, Seed: 42}
+}
+
+func (s *Suite) reps() int {
+	if s.Reps <= 0 {
+		return 10
+	}
+	return s.Reps
+}
+
+func (s *Suite) datasets() []string {
+	if len(s.Datasets) == 0 {
+		return AllDatasets()
+	}
+	return s.Datasets
+}
+
+// buildResidence constructs the named dataset.
+func (s *Suite) buildResidence(name string) (*home.Residence, error) {
+	switch name {
+	case DatasetFlat:
+		return home.Flat(s.Seed)
+	case DatasetHouse:
+		return home.House(s.Seed)
+	case DatasetDorms:
+		return home.Dorms(s.Seed)
+	default:
+		return nil, fmt.Errorf("bench: unknown dataset %q", name)
+	}
+}
+
+// workload returns the cached precomputed workload for a dataset,
+// building it on first use. Workloads are shared across experiments so
+// every algorithm and configuration replays identical traces.
+func (s *Suite) workload(name string) (*sim.Workload, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.workloads == nil {
+		s.workloads = make(map[string]*sim.Workload)
+	}
+	if w, ok := s.workloads[name]; ok {
+		return w, nil
+	}
+	res, err := s.buildResidence(name)
+	if err != nil {
+		return nil, err
+	}
+	w, err := sim.BuildWorkload(res, sim.Options{})
+	if err != nil {
+		return nil, err
+	}
+	s.workloads[name] = w
+	return w, nil
+}
+
+// runRepeated replays a configuration Reps times with distinct planner
+// seeds and aggregates F_CE (%), F_E (kWh) and F_T (seconds).
+// Repetitions run concurrently — a workload is immutable during Run —
+// bounded by the CPU count.
+func (s *Suite) runRepeated(w *sim.Workload, alg sim.Algorithm, opts sim.Options) (fce, fe, ft Stat, err error) {
+	reps := s.reps()
+	results := make([]sim.Result, reps)
+	errs := make([]error, reps)
+
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for rep := 0; rep < reps; rep++ {
+		wg.Add(1)
+		go func(rep int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			o := opts
+			o.Planner.Seed = s.Seed*1_000_003 + uint64(rep)
+			results[rep], errs[rep] = sim.Run(w, alg, o)
+		}(rep)
+	}
+	wg.Wait()
+
+	var ces, es, ts []float64
+	for rep := 0; rep < reps; rep++ {
+		if errs[rep] != nil {
+			return Stat{}, Stat{}, Stat{}, errs[rep]
+		}
+		ces = append(ces, float64(results[rep].ConvenienceError))
+		es = append(es, results[rep].Energy.KWh())
+		ts = append(ts, results[rep].PlannerTime.Seconds())
+	}
+	return Aggregate(ces), Aggregate(es), Aggregate(ts), nil
+}

@@ -1,0 +1,238 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/imcf/imcf/internal/sim"
+)
+
+// fastSuite is a cheap suite for unit tests: flat only, 2 repetitions.
+func fastSuite() *Suite {
+	return &Suite{Reps: 2, Seed: 42, Datasets: []string{DatasetFlat}}
+}
+
+func TestAggregate(t *testing.T) {
+	s := Aggregate(nil)
+	if s.N != 0 || s.Mean != 0 || s.Stdev != 0 {
+		t.Errorf("empty Aggregate = %+v", s)
+	}
+	s = Aggregate([]float64{5})
+	if s.Mean != 5 || s.Stdev != 0 || s.N != 1 {
+		t.Errorf("single Aggregate = %+v", s)
+	}
+	s = Aggregate([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if math.Abs(s.Stdev-2.138) > 0.001 { // sample stdev
+		t.Errorf("stdev = %v", s.Stdev)
+	}
+	if got := s.String(); !strings.Contains(got, "±") {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestUnknownDataset(t *testing.T) {
+	s := &Suite{Reps: 1, Datasets: []string{"Mansion"}}
+	if _, err := s.RunFig6(); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestFig6FlatShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-year replays skipped in -short mode")
+	}
+	s := fastSuite()
+	rows, err := s.RunFig6()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 algorithms", len(rows))
+	}
+	byAlg := map[sim.Algorithm]Fig6Row{}
+	for _, r := range rows {
+		byAlg[r.Algorithm] = r
+	}
+	if byAlg[sim.NR].FE.Mean != 0 || byAlg[sim.MR].FCE.Mean != 0 {
+		t.Error("baseline degeneracies violated")
+	}
+	if !(byAlg[sim.EP].FCE.Mean < byAlg[sim.IFTTT].FCE.Mean &&
+		byAlg[sim.IFTTT].FCE.Mean < byAlg[sim.NR].FCE.Mean) {
+		t.Error("F_CE ordering violated")
+	}
+	if !(byAlg[sim.EP].FE.Mean < byAlg[sim.MR].FE.Mean) {
+		t.Error("F_E ordering violated")
+	}
+	// EP is the slow one: hill climbing beats baselines on quality but
+	// costs the most planner time.
+	if byAlg[sim.EP].FT.Mean <= byAlg[sim.NR].FT.Mean {
+		t.Error("EP not slower than NR")
+	}
+}
+
+func TestFig7And8Shapes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-year replays skipped in -short mode")
+	}
+	s := fastSuite()
+	rows7, err := s.RunFig7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows7) != 3 {
+		t.Fatalf("fig7 rows = %d", len(rows7))
+	}
+	for _, r := range rows7 {
+		if r.FCE.Mean <= 0 || r.FE.Mean <= 0 {
+			t.Errorf("degenerate fig7 row %+v", r)
+		}
+	}
+
+	rows8, err := s.RunFig8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows8) != 3 {
+		t.Fatalf("fig8 rows = %d", len(rows8))
+	}
+	// all-0s initialization must not consume more than all-1s (the
+	// paper observes lower F_E / higher F_CE for all-0s).
+	if rows8[2].FE.Mean > rows8[0].FE.Mean*1.02 {
+		t.Errorf("all-0s F_E %v above all-1s %v", rows8[2].FE.Mean, rows8[0].FE.Mean)
+	}
+	if rows8[2].FCE.Mean < rows8[0].FCE.Mean*0.98 {
+		t.Errorf("all-0s F_CE %v below all-1s %v", rows8[2].FCE.Mean, rows8[0].FCE.Mean)
+	}
+}
+
+func TestFig9MonotoneTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-year replays skipped in -short mode")
+	}
+	s := fastSuite()
+	rows, err := s.RunFig9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(Fig9Savings) {
+		t.Fatalf("fig9 rows = %d", len(rows))
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].FE.Mean > rows[i-1].FE.Mean*1.01 {
+			t.Errorf("F_E not decreasing with savings: %v after %v", rows[i].FE.Mean, rows[i-1].FE.Mean)
+		}
+		if rows[i].FCE.Mean < rows[i-1].FCE.Mean*0.95 {
+			t.Errorf("F_CE decreasing with savings: %v after %v", rows[i].FCE.Mean, rows[i-1].FCE.Mean)
+		}
+	}
+}
+
+func TestInputTables(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"775.50", "423.00", "3666.00", "January", "December"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table1 missing %q", want)
+		}
+	}
+
+	buf.Reset()
+	if err := Table2(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	for _, want := range []string{"Night Heat", "01:00 - 07:00", "Set Temperature", "Energy Dorms", "480000"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Table2 missing %q", want)
+		}
+	}
+
+	buf.Reset()
+	if err := Table3(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out = buf.String()
+	if !strings.Contains(out, "IF Door Open THEN Set Light 0") {
+		t.Errorf("Table3 missing door rule:\n%s", out)
+	}
+	if got := strings.Count(out, "IF "); got != 10 {
+		t.Errorf("Table3 has %d rules, want 10", got)
+	}
+}
+
+func TestPrototypeTables(t *testing.T) {
+	s := &Suite{Reps: 2, Seed: 42}
+	r, err := s.RunPrototype()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Energy.Mean <= 0 || r.Energy.Mean > 165*1.05 {
+		t.Errorf("weekly energy = %v, want within the 165 kWh budget", r.Energy.Mean)
+	}
+	if len(r.PerOwner) != 3 {
+		t.Errorf("PerOwner = %v", r.PerOwner)
+	}
+
+	var buf bytes.Buffer
+	if err := s.Table4(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Week") {
+		t.Errorf("Table4 output:\n%s", buf.String())
+	}
+	buf.Reset()
+	if err := s.Table5(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, owner := range []string{"Father", "Mother", "Daughter"} {
+		if !strings.Contains(buf.String(), owner) {
+			t.Errorf("Table5 missing %s:\n%s", owner, buf.String())
+		}
+	}
+}
+
+func TestAblationsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-year replays skipped in -short mode")
+	}
+	s := &Suite{Reps: 1, Seed: 42, Datasets: []string{DatasetFlat}}
+	var buf bytes.Buffer
+	if err := s.Ablations(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"hill-climb", "anneal", "no-ledger", "keep-zero-gain"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("ablation output missing %q", want)
+		}
+	}
+}
+
+func TestFigureWriters(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-year replays skipped in -short mode")
+	}
+	s := &Suite{Reps: 1, Seed: 42, Datasets: []string{DatasetFlat}}
+	for name, fn := range map[string]func(*Suite, *bytes.Buffer) error{
+		"fig6": func(s *Suite, b *bytes.Buffer) error { return s.Fig6(b) },
+		"fig7": func(s *Suite, b *bytes.Buffer) error { return s.Fig7(b) },
+		"fig8": func(s *Suite, b *bytes.Buffer) error { return s.Fig8(b) },
+		"fig9": func(s *Suite, b *bytes.Buffer) error { return s.Fig9(b) },
+	} {
+		var buf bytes.Buffer
+		if err := fn(s, &buf); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !strings.Contains(buf.String(), "Flat") {
+			t.Errorf("%s output missing dataset:\n%s", name, buf.String())
+		}
+	}
+}

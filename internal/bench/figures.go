@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/imcf/imcf/internal/core"
+	"github.com/imcf/imcf/internal/sim"
+)
+
+// controlStudyIters is the tight search budget (τ_max ≈ 2 rules) used
+// by the Fig. 7–8 control studies: the k-opt and initialization effects
+// the paper plots are properties of an iteration-limited local search
+// and vanish once the search fully converges, so these studies pin
+// τ_max low while Fig. 6 and Fig. 9 run the near-convergent default.
+func controlStudyIters(rules int) int {
+	iter := 2 * rules
+	if iter < 12 {
+		return 12
+	}
+	return iter
+}
+
+// Fig6Row is one (dataset, algorithm) cell of the performance
+// evaluation.
+type Fig6Row struct {
+	Dataset   string
+	Algorithm sim.Algorithm
+	FCE       Stat // percent
+	FE        Stat // kWh
+	FT        Stat // seconds
+}
+
+// RunFig6 reproduces Fig. 6: NR, IFTTT, EP and MR over all datasets.
+func (s *Suite) RunFig6() ([]Fig6Row, error) {
+	var rows []Fig6Row
+	for _, ds := range s.datasets() {
+		w, err := s.workload(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, alg := range []sim.Algorithm{sim.NR, sim.IFTTT, sim.EP, sim.MR} {
+			fce, fe, ft, err := s.runRepeated(w, alg, sim.Options{})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig6Row{Dataset: ds, Algorithm: alg, FCE: fce, FE: fe, FT: ft})
+		}
+	}
+	return rows, nil
+}
+
+// Fig6 writes the performance evaluation as a text table.
+func (s *Suite) Fig6(w io.Writer) error {
+	rows, err := s.RunFig6()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 6 — Performance Evaluation (F_CE, F_E, F_T; mean ± stdev over", s.reps(), "repetitions)")
+	fmt.Fprintf(w, "%-8s %-6s %18s %24s %18s\n", "Dataset", "Alg", "F_CE (%)", "F_E (kWh)", "F_T (s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-6s %18s %24s %18s\n",
+			r.Dataset, r.Algorithm, r.FCE, fmtEnergy(r.FE), fmtSeconds(r.FT))
+	}
+	return nil
+}
+
+// Fig7Row is one (dataset, k) cell of the k-opt study.
+type Fig7Row struct {
+	Dataset string
+	K       int
+	FCE     Stat
+	FE      Stat
+}
+
+// RunFig7 reproduces Fig. 7: EP with k ∈ {2, 3, 4} rule modifications
+// per iteration.
+func (s *Suite) RunFig7() ([]Fig7Row, error) {
+	var rows []Fig7Row
+	for _, ds := range s.datasets() {
+		w, err := s.workload(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, k := range []int{2, 3, 4} {
+			opts := sim.Options{}
+			opts.Planner.K = k
+			opts.Planner.MaxIter = controlStudyIters(w.RuleCount())
+			fce, fe, _, err := s.runRepeated(w, sim.EP, opts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig7Row{Dataset: ds, K: k, FCE: fce, FE: fe})
+		}
+	}
+	return rows, nil
+}
+
+// Fig7 writes the k-opt study as a text table.
+func (s *Suite) Fig7(w io.Writer) error {
+	rows, err := s.RunFig7()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 7 — k-opt Evaluation (EP with k rule modifications per iteration)")
+	fmt.Fprintf(w, "%-8s %-4s %18s %24s\n", "Dataset", "k", "F_CE (%)", "F_E (kWh)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-4d %18s %24s\n", r.Dataset, r.K, r.FCE, fmtEnergy(r.FE))
+	}
+	return nil
+}
+
+// Fig8Row is one (dataset, init strategy) cell of the initialization
+// study.
+type Fig8Row struct {
+	Dataset string
+	Init    core.InitStrategy
+	FCE     Stat
+	FE      Stat
+}
+
+// RunFig8 reproduces Fig. 8: EP initialized all-1s, random, all-0s.
+func (s *Suite) RunFig8() ([]Fig8Row, error) {
+	var rows []Fig8Row
+	for _, ds := range s.datasets() {
+		w, err := s.workload(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, init := range []core.InitStrategy{core.InitAllOn, core.InitRandom, core.InitAllOff} {
+			opts := sim.Options{}
+			opts.Planner.Init = init
+			opts.Planner.MaxIter = controlStudyIters(w.RuleCount())
+			fce, fe, _, err := s.runRepeated(w, sim.EP, opts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig8Row{Dataset: ds, Init: init, FCE: fce, FE: fe})
+		}
+	}
+	return rows, nil
+}
+
+// Fig8 writes the initialization study as a text table.
+func (s *Suite) Fig8(w io.Writer) error {
+	rows, err := s.RunFig8()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 8 — Initialization Evaluation (EP with all-1s / random / all-0s)")
+	fmt.Fprintf(w, "%-8s %-8s %18s %24s\n", "Dataset", "Init", "F_CE (%)", "F_E (kWh)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-8s %18s %24s\n", r.Dataset, r.Init, r.FCE, fmtEnergy(r.FE))
+	}
+	return nil
+}
+
+// Fig9Row is one (dataset, savings) cell of the conservation study.
+type Fig9Row struct {
+	Dataset string
+	Savings float64 // fraction
+	FCE     Stat
+	FE      Stat
+}
+
+// Fig9Savings are the sweep points of the energy conservation study.
+var Fig9Savings = []float64{0.05, 0.10, 0.20, 0.30, 0.40}
+
+// RunFig9 reproduces Fig. 9: EP with the budget reduced by 5–40 %.
+func (s *Suite) RunFig9() ([]Fig9Row, error) {
+	var rows []Fig9Row
+	for _, ds := range s.datasets() {
+		w, err := s.workload(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, sv := range Fig9Savings {
+			opts := sim.Options{Savings: sv}
+			fce, fe, _, err := s.runRepeated(w, sim.EP, opts)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, Fig9Row{Dataset: ds, Savings: sv, FCE: fce, FE: fe})
+		}
+	}
+	return rows, nil
+}
+
+// Fig9 writes the conservation study as a text table.
+func (s *Suite) Fig9(w io.Writer) error {
+	rows, err := s.RunFig9()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "Figure 9 — Energy Conservation Study (EP under reduced budgets)")
+	fmt.Fprintf(w, "%-8s %-9s %18s %24s\n", "Dataset", "Savings", "F_CE (%)", "F_E (kWh)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-8s %-9s %18s %24s\n",
+			r.Dataset, fmt.Sprintf("%.0f%%", r.Savings*100), r.FCE, fmtEnergy(r.FE))
+	}
+	return nil
+}
+
+func fmtEnergy(s Stat) string {
+	return fmt.Sprintf("%.1f ± %.1f", s.Mean, s.Stdev)
+}
+
+func fmtSeconds(s Stat) string {
+	return fmt.Sprintf("%.4f ± %.4f", s.Mean, s.Stdev)
+}
+
+// header underlines experiment sections in combined reports.
+func header(w io.Writer, title string) {
+	fmt.Fprintln(w)
+	fmt.Fprintln(w, title)
+	fmt.Fprintln(w, strings.Repeat("=", len(title)))
+}

@@ -1,0 +1,191 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"github.com/imcf/imcf/internal/core"
+	"github.com/imcf/imcf/internal/ecp"
+	"github.com/imcf/imcf/internal/sim"
+)
+
+// Spec is a declarative experiment definition, the JSON counterpart of
+// the built-in figures: a dataset, a set of algorithms, and planner and
+// budget options. It lets users run custom sweeps without writing Go:
+//
+//	{
+//	  "name": "my-sweep",
+//	  "dataset": "Flat",
+//	  "algorithms": ["EP", "MR"],
+//	  "savings": 0.1,
+//	  "planner": {"k": 3, "init": "random"},
+//	  "formula": "BLAF", "saveFraction": 0.3
+//	}
+type Spec struct {
+	Name       string   `json:"name"`
+	Dataset    string   `json:"dataset"`
+	Algorithms []string `json:"algorithms"`
+	// Savings scales the budget down (Fig. 9 style).
+	Savings float64 `json:"savings,omitempty"`
+	// Formula is "LAF", "BLAF" or "EAF" (default EAF).
+	Formula      string  `json:"formula,omitempty"`
+	SaveFraction float64 `json:"saveFraction,omitempty"`
+	// WindowHours is the EP decision window (default 24).
+	WindowHours int `json:"windowHours,omitempty"`
+	// NoCarryOver disables the net-metering ledger.
+	NoCarryOver bool `json:"noCarryOver,omitempty"`
+	// Planner overrides the EP search parameters.
+	Planner *PlannerSpec `json:"planner,omitempty"`
+}
+
+// PlannerSpec is the JSON form of core.Config.
+type PlannerSpec struct {
+	K            int    `json:"k,omitempty"`
+	MaxIter      int    `json:"maxIter,omitempty"`
+	Init         string `json:"init,omitempty"`      // all-1s, random, all-0s
+	Heuristic    string `json:"heuristic,omitempty"` // hill-climb, anneal
+	KeepZeroGain bool   `json:"keepZeroGain,omitempty"`
+}
+
+// SpecResult is one (spec, algorithm) outcome.
+type SpecResult struct {
+	Spec      string `json:"spec"`
+	Dataset   string `json:"dataset"`
+	Algorithm string `json:"algorithm"`
+	FCE       Stat   `json:"fce"`
+	FE        Stat   `json:"fe"`
+	FT        Stat   `json:"ft"`
+}
+
+// options converts the spec to simulation options.
+func (sp Spec) options() (sim.Options, error) {
+	var opts sim.Options
+	opts.Savings = sp.Savings
+	opts.PlanWindowHours = sp.WindowHours
+	opts.NoCarryOver = sp.NoCarryOver
+	switch strings.ToUpper(sp.Formula) {
+	case "", "EAF":
+		opts.Formula = ecp.EAF
+	case "LAF":
+		opts.Formula = ecp.LAF
+	case "BLAF":
+		opts.Formula = ecp.BLAF
+		opts.SaveFraction = sp.SaveFraction
+		opts.SaveMonths = ecp.SummerSaveMonths()
+	default:
+		return opts, fmt.Errorf("bench: unknown formula %q", sp.Formula)
+	}
+	if p := sp.Planner; p != nil {
+		opts.Planner.K = p.K
+		opts.Planner.MaxIter = p.MaxIter
+		opts.Planner.KeepZeroGain = p.KeepZeroGain
+		switch p.Init {
+		case "", "all-1s":
+			opts.Planner.Init = core.InitAllOn
+		case "random":
+			opts.Planner.Init = core.InitRandom
+		case "all-0s":
+			opts.Planner.Init = core.InitAllOff
+		default:
+			return opts, fmt.Errorf("bench: unknown init %q", p.Init)
+		}
+		switch p.Heuristic {
+		case "", "hill-climb":
+			opts.Planner.Heuristic = core.HillClimb
+		case "anneal":
+			opts.Planner.Heuristic = core.Anneal
+		default:
+			return opts, fmt.Errorf("bench: unknown heuristic %q", p.Heuristic)
+		}
+	}
+	return opts, nil
+}
+
+// parseAlgorithm maps an algorithm name.
+func parseAlgorithm(name string) (sim.Algorithm, error) {
+	switch strings.ToUpper(name) {
+	case "NR":
+		return sim.NR, nil
+	case "IFTTT":
+		return sim.IFTTT, nil
+	case "EP":
+		return sim.EP, nil
+	case "MR":
+		return sim.MR, nil
+	default:
+		return 0, fmt.Errorf("bench: unknown algorithm %q", name)
+	}
+}
+
+// RunSpecs executes every spec and returns the flattened results.
+func (s *Suite) RunSpecs(specs []Spec) ([]SpecResult, error) {
+	var out []SpecResult
+	for i, sp := range specs {
+		if sp.Dataset == "" {
+			return nil, fmt.Errorf("bench: spec %d (%q) has no dataset", i, sp.Name)
+		}
+		if len(sp.Algorithms) == 0 {
+			return nil, fmt.Errorf("bench: spec %d (%q) has no algorithms", i, sp.Name)
+		}
+		opts, err := sp.options()
+		if err != nil {
+			return nil, fmt.Errorf("bench: spec %d (%q): %w", i, sp.Name, err)
+		}
+		w, err := s.workload(sp.Dataset)
+		if err != nil {
+			return nil, fmt.Errorf("bench: spec %d (%q): %w", i, sp.Name, err)
+		}
+		for _, name := range sp.Algorithms {
+			alg, err := parseAlgorithm(name)
+			if err != nil {
+				return nil, fmt.Errorf("bench: spec %d (%q): %w", i, sp.Name, err)
+			}
+			fce, fe, ft, err := s.runRepeated(w, alg, opts)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, SpecResult{
+				Spec: sp.Name, Dataset: sp.Dataset, Algorithm: alg.String(),
+				FCE: fce, FE: fe, FT: ft,
+			})
+		}
+	}
+	return out, nil
+}
+
+// LoadSpecs parses a JSON document holding one spec or an array of them.
+func LoadSpecs(r io.Reader) ([]Spec, error) {
+	raw, err := io.ReadAll(io.LimitReader(r, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("bench: read specs: %w", err)
+	}
+	var many []Spec
+	if err := json.Unmarshal(raw, &many); err == nil {
+		return many, nil
+	}
+	var one Spec
+	if err := json.Unmarshal(raw, &one); err != nil {
+		return nil, fmt.Errorf("bench: parse specs: %w", err)
+	}
+	return []Spec{one}, nil
+}
+
+// RunSpecFile loads specs from r, runs them, and writes a text table.
+func (s *Suite) RunSpecFile(r io.Reader, w io.Writer) error {
+	specs, err := LoadSpecs(r)
+	if err != nil {
+		return err
+	}
+	results, err := s.RunSpecs(specs)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-16s %-8s %-6s %18s %24s %18s\n", "Spec", "Dataset", "Alg", "F_CE (%)", "F_E (kWh)", "F_T (s)")
+	for _, r := range results {
+		fmt.Fprintf(w, "%-16s %-8s %-6s %18s %24s %18s\n",
+			r.Spec, r.Dataset, r.Algorithm, r.FCE, fmtEnergy(r.FE), fmtSeconds(r.FT))
+	}
+	return nil
+}

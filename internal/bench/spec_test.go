@@ -1,0 +1,108 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"github.com/imcf/imcf/internal/core"
+	"github.com/imcf/imcf/internal/ecp"
+)
+
+func TestLoadSpecsSingleAndArray(t *testing.T) {
+	one := `{"name":"x","dataset":"Flat","algorithms":["EP"]}`
+	specs, err := LoadSpecs(strings.NewReader(one))
+	if err != nil || len(specs) != 1 || specs[0].Name != "x" {
+		t.Fatalf("single = %+v, %v", specs, err)
+	}
+	many := `[{"name":"a","dataset":"Flat","algorithms":["EP"]},
+	          {"name":"b","dataset":"House","algorithms":["MR"]}]`
+	specs, err = LoadSpecs(strings.NewReader(many))
+	if err != nil || len(specs) != 2 || specs[1].Dataset != "House" {
+		t.Fatalf("array = %+v, %v", specs, err)
+	}
+	if _, err := LoadSpecs(strings.NewReader("{nope")); err == nil {
+		t.Error("bad JSON accepted")
+	}
+}
+
+func TestSpecOptionsMapping(t *testing.T) {
+	sp := Spec{
+		Name: "full", Dataset: "Flat", Algorithms: []string{"EP"},
+		Savings: 0.2, Formula: "BLAF", SaveFraction: 0.3,
+		WindowHours: 6, NoCarryOver: true,
+		Planner: &PlannerSpec{K: 3, MaxIter: 50, Init: "random", Heuristic: "anneal", KeepZeroGain: true},
+	}
+	opts, err := sp.options()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.Formula != ecp.BLAF || opts.SaveFraction != 0.3 || opts.Savings != 0.2 ||
+		opts.PlanWindowHours != 6 || !opts.NoCarryOver {
+		t.Errorf("options = %+v", opts)
+	}
+	if opts.Planner.K != 3 || opts.Planner.MaxIter != 50 ||
+		opts.Planner.Init != core.InitRandom || opts.Planner.Heuristic != core.Anneal ||
+		!opts.Planner.KeepZeroGain {
+		t.Errorf("planner = %+v", opts.Planner)
+	}
+
+	for _, bad := range []Spec{
+		{Formula: "XAF"},
+		{Planner: &PlannerSpec{Init: "sideways"}},
+		{Planner: &PlannerSpec{Heuristic: "quantum"}},
+	} {
+		if _, err := bad.options(); err == nil {
+			t.Errorf("bad spec accepted: %+v", bad)
+		}
+	}
+}
+
+func TestRunSpecsValidation(t *testing.T) {
+	s := fastSuite()
+	if _, err := s.RunSpecs([]Spec{{Name: "x", Algorithms: []string{"EP"}}}); err == nil {
+		t.Error("missing dataset accepted")
+	}
+	if _, err := s.RunSpecs([]Spec{{Name: "x", Dataset: "Flat"}}); err == nil {
+		t.Error("missing algorithms accepted")
+	}
+	if _, err := s.RunSpecs([]Spec{{Name: "x", Dataset: "Flat", Algorithms: []string{"ZZ"}}}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := s.RunSpecs([]Spec{{Name: "x", Dataset: "Mars", Algorithms: []string{"EP"}}}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestRunSpecFileEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-year replays skipped in -short mode")
+	}
+	s := fastSuite()
+	in := strings.NewReader(`[
+	  {"name":"baseline","dataset":"Flat","algorithms":["NR","EP"]},
+	  {"name":"saver","dataset":"Flat","algorithms":["EP"],"savings":0.3}
+	]`)
+	var buf bytes.Buffer
+	if err := s.RunSpecFile(in, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"baseline", "saver", "NR", "EP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+
+	// The saver spec must report lower energy than the baseline EP.
+	results, err := s.RunSpecs([]Spec{
+		{Name: "base", Dataset: "Flat", Algorithms: []string{"EP"}},
+		{Name: "save", Dataset: "Flat", Algorithms: []string{"EP"}, Savings: 0.3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if results[1].FE.Mean >= results[0].FE.Mean {
+		t.Errorf("savings spec energy %v not below baseline %v", results[1].FE.Mean, results[0].FE.Mean)
+	}
+}

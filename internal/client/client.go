@@ -1,0 +1,216 @@
+// Package client is the Go SDK for the IMCF Local Controller's REST API
+// — the programmatic equivalent of the mobile APP in the paper's
+// architecture (Fig. 3). It works equally against a controller directly
+// or through the Cloud Controller relay (point it at
+// "<relay>/cc/sites/<site>").
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strings"
+	"time"
+
+	"github.com/imcf/imcf/internal/controller"
+	"github.com/imcf/imcf/internal/persistence"
+	"github.com/imcf/imcf/internal/rules"
+)
+
+// Client talks to one Local Controller.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New returns a client for the controller at baseURL. httpClient nil
+// means http.DefaultClient.
+func New(baseURL string, httpClient *http.Client) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: invalid base URL %q", baseURL)
+	}
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimSuffix(baseURL, "/"), http: httpClient}, nil
+}
+
+// APIError is a non-2xx response from the controller.
+type APIError struct {
+	Status  int
+	Message string
+}
+
+// Error implements error.
+func (e *APIError) Error() string {
+	return fmt.Sprintf("client: controller returned %d: %s", e.Status, e.Message)
+}
+
+// Item is one device row from GET /rest/items.
+type Item struct {
+	ID       string  `json:"id"`
+	Name     string  `json:"name"`
+	Class    string  `json:"class"`
+	Zone     int     `json:"zone"`
+	Addr     string  `json:"addr"`
+	On       bool    `json:"on"`
+	Setpoint float64 `json:"setpoint"`
+	Commands int     `json:"commands"`
+	Blocked  bool    `json:"blocked"`
+}
+
+// FirewallStatus is the GET /rest/firewall response.
+type FirewallStatus struct {
+	Rules   []string `json:"rules"`
+	Allowed int64    `json:"allowed"`
+	Dropped int64    `json:"dropped"`
+}
+
+// Point is one persisted reading.
+type Point struct {
+	Time  time.Time `json:"time"`
+	Value float64   `json:"value"`
+}
+
+// Items lists the controller's devices.
+func (c *Client) Items(ctx context.Context) ([]Item, error) {
+	var out []Item
+	return out, c.get(ctx, "/rest/items", &out)
+}
+
+// Command manually actuates a device. A firewall-blocked device returns
+// an *APIError with status 403.
+func (c *Client) Command(ctx context.Context, deviceID string, value float64) error {
+	return c.post(ctx, "/rest/items/"+deviceID+"/command", map[string]float64{"value": value}, nil)
+}
+
+// MRT fetches the active Meta-Rule Table.
+func (c *Client) MRT(ctx context.Context) (rules.MRT, error) {
+	var out rules.MRT
+	return out, c.get(ctx, "/rest/mrt", &out)
+}
+
+// SetMRT replaces the Meta-Rule Table.
+func (c *Client) SetMRT(ctx context.Context, mrt rules.MRT) error {
+	return c.post(ctx, "/rest/mrt", mrt, nil)
+}
+
+// Conflicts runs the MRT conflict analysis.
+func (c *Client) Conflicts(ctx context.Context) ([]rules.Conflict, error) {
+	var out []rules.Conflict
+	return out, c.get(ctx, "/rest/mrt/conflicts", &out)
+}
+
+// RunPlan triggers one EP cycle and returns its report.
+func (c *Client) RunPlan(ctx context.Context) (controller.StepReport, error) {
+	var out controller.StepReport
+	return out, c.post(ctx, "/rest/plan/run", nil, &out)
+}
+
+// LastPlan fetches the most recent EP report.
+func (c *Client) LastPlan(ctx context.Context) (controller.StepReport, error) {
+	var out controller.StepReport
+	return out, c.get(ctx, "/rest/plan", &out)
+}
+
+// PlanHistory fetches up to a week of EP reports, oldest first.
+func (c *Client) PlanHistory(ctx context.Context) ([]controller.StepReport, error) {
+	var out []controller.StepReport
+	return out, c.get(ctx, "/rest/plan/history", &out)
+}
+
+// Summary fetches the lifetime metrics.
+func (c *Client) Summary(ctx context.Context) (controller.Summary, error) {
+	var out controller.Summary
+	return out, c.get(ctx, "/rest/summary", &out)
+}
+
+// Firewall fetches the flow table state.
+func (c *Client) Firewall(ctx context.Context) (FirewallStatus, error) {
+	var out FirewallStatus
+	return out, c.get(ctx, "/rest/firewall", &out)
+}
+
+// PersistenceItems lists recorded measurement items.
+func (c *Client) PersistenceItems(ctx context.Context) ([]string, error) {
+	var out []string
+	return out, c.get(ctx, "/rest/persistence/items", &out)
+}
+
+// Readings fetches an item's raw readings in [from, to).
+func (c *Client) Readings(ctx context.Context, item string, from, to time.Time) ([]Point, error) {
+	var out []Point
+	path := fmt.Sprintf("/rest/persistence/data/%s?from=%s&to=%s",
+		item, url.QueryEscape(from.Format(time.RFC3339)), url.QueryEscape(to.Format(time.RFC3339)))
+	return out, c.get(ctx, path, &out)
+}
+
+// Aggregates fetches an item's bucketed statistics in [from, to).
+func (c *Client) Aggregates(ctx context.Context, item string, from, to time.Time, bucket time.Duration) ([]persistence.Bucket, error) {
+	var out []persistence.Bucket
+	path := fmt.Sprintf("/rest/persistence/data/%s?from=%s&to=%s&bucket=%s",
+		item, url.QueryEscape(from.Format(time.RFC3339)), url.QueryEscape(to.Format(time.RFC3339)), bucket)
+	return out, c.get(ctx, path, &out)
+}
+
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	return c.do(ctx, http.MethodGet, path, nil, out)
+}
+
+func (c *Client) post(ctx context.Context, path string, body, out any) error {
+	return c.do(ctx, http.MethodPost, path, body, out)
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var payload io.Reader
+	if body != nil {
+		raw, err := json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: marshal request: %w", err)
+		}
+		payload = bytes.NewReader(raw)
+	} else if method == http.MethodPost {
+		payload = strings.NewReader("{}")
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, payload)
+	if err != nil {
+		return err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		var e struct {
+			Error string `json:"error"`
+		}
+		msg := http.StatusText(resp.StatusCode)
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
+			msg = e.Error
+		}
+		return &APIError{Status: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// IsBlocked reports whether err is the firewall rejecting a command.
+func IsBlocked(err error) bool {
+	var apiErr *APIError
+	return errors.As(err, &apiErr) && apiErr.Status == http.StatusForbidden
+}

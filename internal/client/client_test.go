@@ -1,0 +1,198 @@
+package client
+
+import (
+	"context"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/imcf/imcf/internal/controller"
+	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/persistence"
+	"github.com/imcf/imcf/internal/simclock"
+	"github.com/imcf/imcf/internal/units"
+)
+
+var ctx = context.Background()
+
+// boot starts a prototype controller behind its API and returns both.
+func boot(t *testing.T, mut func(*controller.Config)) (*controller.Controller, *Client, *simclock.SimClock) {
+	t.Helper()
+	res, err := home.Prototype(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clock := simclock.NewSimClock(time.Date(2015, time.January, 10, 20, 0, 0, 0, time.UTC))
+	cfg := controller.Config{
+		Residence:    res,
+		Clock:        clock,
+		WeeklyBudget: home.PrototypeWeeklyBudget,
+	}
+	cfg.Planner.Seed = 5
+	if mut != nil {
+		mut(&cfg)
+	}
+	ctl, err := controller.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(controller.API(ctl))
+	t.Cleanup(srv.Close)
+	cl, err := New(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctl, cl, clock
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("not a url", nil); err == nil {
+		t.Error("bad URL accepted")
+	}
+	if _, err := New("", nil); err == nil {
+		t.Error("empty URL accepted")
+	}
+}
+
+func TestItemsAndCommand(t *testing.T) {
+	_, cl, _ := boot(t, nil)
+	items, err := cl.Items(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 6 {
+		t.Fatalf("items = %d", len(items))
+	}
+	if err := cl.Command(ctx, items[0].ID, 24); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Command(ctx, "ghost", 1); err == nil {
+		t.Error("unknown device accepted")
+	}
+}
+
+func TestPlanLifecycle(t *testing.T) {
+	_, cl, clock := boot(t, nil)
+	if _, err := cl.LastPlan(ctx); err == nil {
+		t.Error("LastPlan before any run succeeded")
+	}
+	report, err := cl.RunPlan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Budget <= 0 {
+		t.Errorf("report = %+v", report)
+	}
+	clock.Advance(time.Hour)
+	if _, err := cl.RunPlan(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	last, err := cl.LastPlan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	history, err := cl.PlanHistory(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(history) != 2 || !history[1].Time.Equal(last.Time) {
+		t.Errorf("history = %d entries", len(history))
+	}
+	sum, err := cl.Summary(ctx)
+	if err != nil || sum.Steps != 2 {
+		t.Errorf("summary = %+v, %v", sum, err)
+	}
+}
+
+func TestMRTAndConflicts(t *testing.T) {
+	_, cl, _ := boot(t, nil)
+	mrt, err := cl.MRT(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mrt.Rules) != 10 {
+		t.Fatalf("mrt = %d rules", len(mrt.Rules))
+	}
+	conflicts, err := cl.Conflicts(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 0 {
+		t.Errorf("conflicts = %+v", conflicts)
+	}
+	// Round trip an update.
+	mrt.Rules = mrt.Rules[:5]
+	if err := cl.SetMRT(ctx, mrt); err != nil {
+		t.Fatal(err)
+	}
+	back, err := cl.MRT(ctx)
+	if err != nil || len(back.Rules) != 5 {
+		t.Errorf("after update: %d rules, %v", len(back.Rules), err)
+	}
+}
+
+func TestBlockedCommand(t *testing.T) {
+	ctl, cl, _ := boot(t, func(cfg *controller.Config) {
+		cfg.WeeklyBudget = units.Energy(1e-9)
+	})
+	if _, err := ctl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	err := cl.Command(ctx, "proto/z0/hvac", 28)
+	if err == nil {
+		t.Fatal("command to blocked device succeeded")
+	}
+	if !IsBlocked(err) {
+		t.Errorf("IsBlocked(%v) = false", err)
+	}
+	fw, err := cl.Firewall(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fw.Rules) == 0 || fw.Dropped == 0 {
+		t.Errorf("firewall = %+v", fw)
+	}
+}
+
+func TestPersistenceQueries(t *testing.T) {
+	svc, err := persistence.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	_, cl, clock := boot(t, func(cfg *controller.Config) { cfg.Persistence = svc })
+
+	for i := 0; i < 4; i++ {
+		if _, err := cl.RunPlan(ctx); err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(time.Hour)
+	}
+	items, err := cl.PersistenceItems(ctx)
+	if err != nil || len(items) != 6 {
+		t.Fatalf("items = %v, %v", items, err)
+	}
+	from := time.Date(2015, time.January, 10, 0, 0, 0, 0, time.UTC)
+	to := from.AddDate(0, 0, 1)
+	points, err := cl.Readings(ctx, "zone0/temperature", from, to)
+	if err != nil || len(points) != 4 {
+		t.Fatalf("points = %d, %v", len(points), err)
+	}
+	buckets, err := cl.Aggregates(ctx, "zone0/temperature", from, to, 2*time.Hour)
+	if err != nil || len(buckets) == 0 {
+		t.Fatalf("buckets = %v, %v", buckets, err)
+	}
+	if _, err := cl.Readings(ctx, "ghost", from, to); err == nil {
+		t.Error("ghost item accepted")
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	_, cl, _ := boot(t, nil)
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cl.Items(cancelled); err == nil {
+		t.Error("cancelled context succeeded")
+	}
+}

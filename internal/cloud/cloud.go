@@ -1,0 +1,245 @@
+// Package cloud implements the cloud tier of the IMCF architecture
+// (Fig. 3 of the paper): the Cloud Controller (CC) that lets a user's
+// APP reach their Local Controller from outside the smart space's NAT,
+// and the Cloud Meta-Controller (CMC) role — the paper's "IMCF-Cloud"
+// future-work extension — that configures rules across many sites at
+// once.
+//
+// The Relay is an HTTP service with two route families:
+//
+//	GET  /cc/sites                     — registered sites
+//	POST /cc/register                  — register a site {"site","url"}
+//	DELETE /cc/sites/{site}            — unregister a site
+//	ANY  /cc/sites/{site}/rest/...     — reverse-proxy to that site's LC
+//	POST /cmc/broadcast/mrt            — push a Meta-Rule Table to every site
+//	POST /cmc/broadcast/plan           — trigger an EP cycle on every site
+//
+// A non-empty bearer token gates every route, standing in for the
+// user-account auth a production CC would carry.
+package cloud
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Relay is the CC/CMC service. It is safe for concurrent use.
+type Relay struct {
+	token  string
+	client *http.Client
+
+	mu    sync.RWMutex
+	sites map[string]*url.URL
+}
+
+// NewRelay returns a relay; token may be empty to disable auth (tests,
+// trusted networks). client nil means http.DefaultClient.
+func NewRelay(token string, client *http.Client) *Relay {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Relay{token: token, client: client, sites: make(map[string]*url.URL)}
+}
+
+// Register adds (or replaces) a site's Local Controller base URL.
+func (r *Relay) Register(site, baseURL string) error {
+	if site == "" || strings.ContainsAny(site, "/ \t") {
+		return fmt.Errorf("cloud: invalid site name %q", site)
+	}
+	u, err := url.Parse(baseURL)
+	if err != nil || u.Scheme == "" || u.Host == "" {
+		return fmt.Errorf("cloud: invalid base URL %q", baseURL)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sites[site] = u
+	return nil
+}
+
+// Unregister removes a site. Removing a missing site is a no-op.
+func (r *Relay) Unregister(site string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.sites, site)
+}
+
+// Sites returns the registered site names, sorted.
+func (r *Relay) Sites() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.sites))
+	for s := range r.sites {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (r *Relay) site(name string) (*url.URL, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	u, ok := r.sites[name]
+	return u, ok
+}
+
+// Handler returns the relay's HTTP handler.
+func (r *Relay) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /cc/sites", r.withAuth(func(w http.ResponseWriter, req *http.Request) {
+		writeJSON(w, http.StatusOK, r.Sites())
+	}))
+	mux.HandleFunc("POST /cc/register", r.withAuth(func(w http.ResponseWriter, req *http.Request) {
+		var body struct {
+			Site string `json:"site"`
+			URL  string `json:"url"`
+		}
+		if err := json.NewDecoder(req.Body).Decode(&body); err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		if err := r.Register(body.Site, body.URL); err != nil {
+			writeJSON(w, http.StatusUnprocessableEntity, map[string]string{"error": err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	}))
+	mux.HandleFunc("DELETE /cc/sites/{site}", r.withAuth(func(w http.ResponseWriter, req *http.Request) {
+		r.Unregister(req.PathValue("site"))
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	}))
+	mux.HandleFunc("/cc/sites/{rest...}", r.withAuth(r.proxy))
+	mux.HandleFunc("POST /cmc/broadcast/mrt", r.withAuth(func(w http.ResponseWriter, req *http.Request) {
+		r.broadcast(w, req, "/rest/mrt", true)
+	}))
+	mux.HandleFunc("POST /cmc/broadcast/plan", r.withAuth(func(w http.ResponseWriter, req *http.Request) {
+		r.broadcast(w, req, "/rest/plan/run", false)
+	}))
+	return mux
+}
+
+func (r *Relay) withAuth(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if r.token != "" {
+			if req.Header.Get("Authorization") != "Bearer "+r.token {
+				writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "invalid token"})
+				return
+			}
+		}
+		h(w, req)
+	}
+}
+
+// proxy forwards /cc/sites/{site}/rest/... to the site's LC.
+func (r *Relay) proxy(w http.ResponseWriter, req *http.Request) {
+	rest := req.PathValue("rest")
+	site, path, ok := strings.Cut(rest, "/")
+	if !ok || !strings.HasPrefix(path, "rest/") {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "route is /cc/sites/{site}/rest/..."})
+		return
+	}
+	base, found := r.site(site)
+	if !found {
+		writeJSON(w, http.StatusNotFound, map[string]string{"error": "unknown site " + site})
+		return
+	}
+
+	target := *base
+	target.Path = strings.TrimSuffix(base.Path, "/") + "/" + path
+	target.RawQuery = req.URL.RawQuery
+
+	out, err := http.NewRequestWithContext(req.Context(), req.Method, target.String(), req.Body)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
+		return
+	}
+	if ct := req.Header.Get("Content-Type"); ct != "" {
+		out.Header.Set("Content-Type", ct)
+	}
+	resp, err := r.client.Do(out)
+	if err != nil {
+		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
+		return
+	}
+	defer resp.Body.Close()
+	for k, vs := range resp.Header {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body) //nolint:errcheck // best-effort stream to client
+}
+
+// BroadcastResult reports one site's outcome of a CMC broadcast.
+type BroadcastResult struct {
+	Site   string `json:"site"`
+	Status int    `json:"status"`
+	Error  string `json:"error,omitempty"`
+}
+
+// broadcast POSTs the request body (forwardBody) or an empty body to
+// path on every registered site and reports per-site outcomes.
+func (r *Relay) broadcast(w http.ResponseWriter, req *http.Request, path string, forwardBody bool) {
+	var body []byte
+	if forwardBody {
+		var err error
+		body, err = io.ReadAll(io.LimitReader(req.Body, 1<<20))
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		if !json.Valid(body) {
+			writeJSON(w, http.StatusBadRequest, map[string]string{"error": "body must be JSON"})
+			return
+		}
+	}
+
+	results := make([]BroadcastResult, 0, len(r.Sites()))
+	allOK := true
+	for _, site := range r.Sites() {
+		base, ok := r.site(site)
+		if !ok {
+			continue // unregistered between listing and dispatch
+		}
+		res := BroadcastResult{Site: site}
+		target := strings.TrimSuffix(base.String(), "/") + path
+		out, err := http.NewRequestWithContext(req.Context(), http.MethodPost, target, bytes.NewReader(body))
+		if err != nil {
+			res.Error = err.Error()
+		} else {
+			out.Header.Set("Content-Type", "application/json")
+			resp, err := r.client.Do(out)
+			if err != nil {
+				res.Error = err.Error()
+			} else {
+				res.Status = resp.StatusCode
+				resp.Body.Close()
+				if resp.StatusCode >= 300 {
+					res.Error = http.StatusText(resp.StatusCode)
+				}
+			}
+		}
+		if res.Error != "" {
+			allOK = false
+		}
+		results = append(results, res)
+	}
+	status := http.StatusOK
+	if !allOK {
+		status = http.StatusBadGateway
+	}
+	writeJSON(w, status, results)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // response already committed
+}

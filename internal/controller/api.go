@@ -1,0 +1,222 @@
+package controller
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"github.com/imcf/imcf/internal/rules"
+)
+
+// API wraps a controller with the REST interface the openHAB panel and
+// the IMCF GUI call. Routes (all JSON):
+//
+//	GET  /rest/items                  — devices and their runtime state
+//	POST /rest/items/{id}/command     — manual actuation {"value": 25}
+//	GET  /rest/mrt                    — the active Meta-Rule Table
+//	POST /rest/mrt                    — replace the Meta-Rule Table
+//	POST /rest/plan/run               — run one EP cycle now
+//	GET  /rest/plan                   — the last EP step report
+//	GET  /rest/plan/history           — the last week of step reports
+//	GET  /rest/summary                — lifetime F_E / F_CE metrics
+//	GET  /rest/firewall               — active block rules and counters
+//	GET  /rest/persistence/items      — recorded measurement items
+//	GET  /rest/persistence/data/{item} — readings or ?bucket= aggregates
+//	GET  /rest/mrt/conflicts          — MRT clash/shadow/budget analysis
+//	GET  /                            — the embedded panel UI (Fig. 5 stand-in)
+func API(c *Controller) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", dashboardHandler())
+	mux.HandleFunc("GET /rest/items", func(w http.ResponseWriter, r *http.Request) {
+		type item struct {
+			ID       string  `json:"id"`
+			Name     string  `json:"name"`
+			Class    string  `json:"class"`
+			Zone     int     `json:"zone"`
+			Addr     string  `json:"addr"`
+			On       bool    `json:"on"`
+			Setpoint float64 `json:"setpoint"`
+			Commands int     `json:"commands"`
+			Blocked  bool    `json:"blocked"`
+		}
+		var items []item
+		for _, d := range c.Registry().List() {
+			_, st, _ := c.Registry().Get(d.ID)
+			on, sp, _, n := st.Snapshot()
+			items = append(items, item{
+				ID: d.ID, Name: d.Name, Class: d.Class.String(), Zone: d.Zone,
+				Addr: d.Addr, On: on, Setpoint: sp, Commands: n,
+				Blocked: c.Firewall().Blocked(d.Addr),
+			})
+		}
+		writeJSON(w, http.StatusOK, items)
+	})
+
+	// Device IDs contain slashes ("proto/z0/hvac"), so the command
+	// route captures the remainder and strips the "/command" suffix.
+	mux.HandleFunc("POST /rest/items/{path...}", func(w http.ResponseWriter, r *http.Request) {
+		id, ok := strings.CutSuffix(r.PathValue("path"), "/command")
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("unknown item action"))
+			return
+		}
+		var body struct {
+			Value float64 `json:"value"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		err := c.Command(id, body.Value)
+		switch {
+		case errors.Is(err, ErrBlocked):
+			writeError(w, http.StatusForbidden, err)
+		case err != nil:
+			writeError(w, http.StatusNotFound, err)
+		default:
+			writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+		}
+	})
+
+	mux.HandleFunc("GET /rest/mrt", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.MRT())
+	})
+
+	mux.HandleFunc("GET /rest/mrt/conflicts", func(w http.ResponseWriter, r *http.Request) {
+		conflicts, err := c.AnalyzeConflicts()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		if conflicts == nil {
+			conflicts = []rules.Conflict{}
+		}
+		writeJSON(w, http.StatusOK, conflicts)
+	})
+
+	mux.HandleFunc("POST /rest/mrt", func(w http.ResponseWriter, r *http.Request) {
+		var t rules.MRT
+		if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		if err := c.SetMRT(t); err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
+	})
+
+	mux.HandleFunc("POST /rest/plan/run", func(w http.ResponseWriter, r *http.Request) {
+		report, err := c.Step()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, report)
+	})
+
+	mux.HandleFunc("GET /rest/plan", func(w http.ResponseWriter, r *http.Request) {
+		report, ok := c.LastStep()
+		if !ok {
+			writeError(w, http.StatusNotFound, errors.New("no plan has run yet"))
+			return
+		}
+		writeJSON(w, http.StatusOK, report)
+	})
+
+	mux.HandleFunc("GET /rest/summary", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Summary())
+	})
+
+	mux.HandleFunc("GET /rest/plan/history", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.History())
+	})
+
+	mux.HandleFunc("GET /rest/persistence/items", func(w http.ResponseWriter, r *http.Request) {
+		p := c.Persistence()
+		if p == nil {
+			writeError(w, http.StatusNotFound, errors.New("persistence is disabled"))
+			return
+		}
+		items, err := p.Items()
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, items)
+	})
+
+	// GET /rest/persistence/data/{item}?from=RFC3339&to=RFC3339[&bucket=1h]
+	mux.HandleFunc("GET /rest/persistence/data/{item...}", func(w http.ResponseWriter, r *http.Request) {
+		p := c.Persistence()
+		if p == nil {
+			writeError(w, http.StatusNotFound, errors.New("persistence is disabled"))
+			return
+		}
+		item := r.PathValue("item")
+		q := r.URL.Query()
+		from, err := time.Parse(time.RFC3339, q.Get("from"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from: %w", err))
+			return
+		}
+		to, err := time.Parse(time.RFC3339, q.Get("to"))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad to: %w", err))
+			return
+		}
+		if bucketStr := q.Get("bucket"); bucketStr != "" {
+			bucket, err := time.ParseDuration(bucketStr)
+			if err != nil {
+				writeError(w, http.StatusBadRequest, fmt.Errorf("bad bucket: %w", err))
+				return
+			}
+			buckets, err := p.Aggregate(item, from, to, bucket)
+			if err != nil {
+				writeError(w, http.StatusNotFound, err)
+				return
+			}
+			writeJSON(w, http.StatusOK, buckets)
+			return
+		}
+		recs, err := p.Query(item, from, to)
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		type point struct {
+			Time  time.Time `json:"time"`
+			Value float64   `json:"value"`
+		}
+		out := make([]point, len(recs))
+		for i, rec := range recs {
+			out[i] = point{Time: rec.Time, Value: rec.Value}
+		}
+		writeJSON(w, http.StatusOK, out)
+	})
+
+	mux.HandleFunc("GET /rest/firewall", func(w http.ResponseWriter, r *http.Request) {
+		allowed, dropped := c.Firewall().Counters()
+		writeJSON(w, http.StatusOK, map[string]any{
+			"rules":   c.Firewall().Rules(),
+			"allowed": allowed,
+			"dropped": dropped,
+		})
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v) //nolint:errcheck // response already committed
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]string{"error": err.Error()})
+}

@@ -1,0 +1,73 @@
+package controller
+
+import (
+	"sync"
+	"time"
+
+	"github.com/imcf/imcf/internal/simclock"
+)
+
+// Cron schedules recurring jobs against a Clock, standing in for the
+// Linux crontab daemon the prototype uses to "reliably execute the EP
+// every few minutes". With a SimClock, tests and simulations drive the
+// schedule deterministically by advancing time.
+type Cron struct {
+	clock simclock.Clock
+
+	mu      sync.Mutex
+	stopped bool
+	stops   []func()
+	wg      sync.WaitGroup
+}
+
+// NewCron returns a scheduler on the given clock (nil means wall clock).
+func NewCron(clock simclock.Clock) *Cron {
+	if clock == nil {
+		clock = simclock.RealClock{}
+	}
+	return &Cron{clock: clock}
+}
+
+// Every runs job every interval until the returned stop function or
+// Stop is called. The first run happens after one interval. The job
+// receives the scheduled firing time.
+func (c *Cron) Every(interval time.Duration, job func(time.Time)) (stop func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.stopped {
+		return func() {}
+	}
+	ch := make(chan struct{})
+	var once sync.Once
+	stop = func() { once.Do(func() { close(ch) }) }
+	c.stops = append(c.stops, stop)
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		for {
+			select {
+			case at := <-c.clock.After(interval):
+				job(at)
+			case <-ch:
+				return
+			}
+		}
+	}()
+	return stop
+}
+
+// Stop cancels all jobs and waits for their goroutines to exit. Jobs
+// currently executing finish first.
+func (c *Cron) Stop() {
+	c.mu.Lock()
+	if c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	for _, stop := range c.stops {
+		stop()
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}

@@ -1,0 +1,118 @@
+package controller
+
+import "net/http"
+
+// dashboardHTML is the embedded panel UI, standing in for the paper's
+// Laravel GUI (Fig. 5): a dashboard of the smart space's current state,
+// the Meta-Rule Table with conflicts, the last energy plan, and the
+// firewall view — all rendered client-side from the REST API.
+const dashboardHTML = `<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>IMCF — IoT Meta-Control Firewall</title>
+<style>
+  body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem; color: #222; }
+  h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+  table { border-collapse: collapse; min-width: 40rem; }
+  th, td { border: 1px solid #ccc; padding: .3rem .6rem; text-align: left; }
+  th { background: #f2f2f2; }
+  .on { color: #0a7c22; font-weight: 600; } .off { color: #999; }
+  .blocked { color: #b00020; font-weight: 600; }
+  .drop { color: #b00020; } .exec { color: #0a7c22; }
+  code { background: #f6f6f6; padding: 0 .3rem; }
+  #refresh { margin-left: 1rem; }
+  .muted { color: #777; }
+</style>
+</head>
+<body>
+<h1>IMCF — IoT Meta-Control Firewall
+  <button id="refresh" onclick="refresh()">refresh</button>
+  <button onclick="runPlan()">run EP now</button>
+</h1>
+<p class="muted">Local Controller panel. Data from <code>/rest/*</code>.</p>
+
+<h2>Things</h2>
+<table id="items"><thead><tr>
+  <th>Item</th><th>Class</th><th>Zone</th><th>Address</th>
+  <th>State</th><th>Setpoint</th><th>Commands</th><th>Firewall</th>
+</tr></thead><tbody></tbody></table>
+
+<h2>Last energy plan</h2>
+<div id="plan" class="muted">no plan has run yet</div>
+
+<h2>Summary</h2>
+<div id="summary" class="muted">—</div>
+
+<h2>Meta-Rule conflicts</h2>
+<div id="conflicts" class="muted">—</div>
+
+<h2>Firewall</h2>
+<div id="firewall" class="muted">—</div>
+
+<script>
+async function getJSON(path) {
+  const r = await fetch(path);
+  if (!r.ok) throw new Error(path + ': ' + r.status);
+  return r.json();
+}
+function esc(s) {
+  return String(s).replace(/[&<>"]/g, c => ({'&':'&amp;','<':'&lt;','>':'&gt;','"':'&quot;'}[c]));
+}
+async function refresh() {
+  try {
+    const items = await getJSON('/rest/items');
+    document.querySelector('#items tbody').innerHTML = items.map(i => '<tr>' +
+      '<td>' + esc(i.id) + '</td><td>' + esc(i.class) + '</td><td>' + i.zone + '</td>' +
+      '<td><code>' + esc(i.addr) + '</code></td>' +
+      '<td class="' + (i.on ? 'on">on' : 'off">off') + '</td>' +
+      '<td>' + i.setpoint + '</td><td>' + i.commands + '</td>' +
+      '<td>' + (i.blocked ? '<span class="blocked">DROP</span>' : 'accept') + '</td></tr>').join('');
+  } catch (e) { console.error(e); }
+  try {
+    const p = await getJSON('/rest/plan');
+    document.getElementById('plan').innerHTML =
+      esc(p.time) + ' — budget ' + p.budgetKWh.toFixed(3) + ' kWh, spent ' +
+      p.energyKWh.toFixed(3) + ' kWh<br>' +
+      'executed: <span class="exec">' + (p.executed || []).map(esc).join(', ') + '</span><br>' +
+      'dropped: <span class="drop">' + ((p.dropped || []).map(esc).join(', ') || '—') + '</span>';
+  } catch (e) { /* no plan yet */ }
+  try {
+    const s = await getJSON('/rest/summary');
+    const owners = Object.entries(s.perOwnerErrorPct || {})
+      .map(([o, v]) => esc(o) + ' ' + v.toFixed(2) + '%').join(' · ');
+    document.getElementById('summary').textContent =
+      s.steps + ' EP cycles — F_E ' + s.energyKWh.toFixed(2) + ' kWh, F_CE ' +
+      s.convenienceErrorPct.toFixed(2) + '%' + (owners ? ' (' + owners + ')' : '');
+  } catch (e) { console.error(e); }
+  try {
+    const cs = await getJSON('/rest/mrt/conflicts');
+    document.getElementById('conflicts').innerHTML = cs.length === 0
+      ? 'none detected'
+      : cs.map(c => '<b>' + esc(c.kind) + '</b>: ' + esc(c.detail)).join('<br>');
+  } catch (e) { console.error(e); }
+  try {
+    const f = await getJSON('/rest/firewall');
+    document.getElementById('firewall').innerHTML =
+      f.allowed + ' flows allowed, ' + f.dropped + ' dropped<br>' +
+      ((f.rules || []).map(r => '<code>' + esc(r) + '</code>').join('<br>') || 'no block rules');
+  } catch (e) { console.error(e); }
+}
+async function runPlan() {
+  await fetch('/rest/plan/run', {method: 'POST'});
+  refresh();
+}
+refresh();
+setInterval(refresh, 5000);
+</script>
+</body>
+</html>
+`
+
+// dashboardHandler serves the embedded panel at the root path.
+func dashboardHandler() http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/html; charset=utf-8")
+		w.Write([]byte(dashboardHTML)) //nolint:errcheck // static response
+	}
+}

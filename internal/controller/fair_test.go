@@ -1,0 +1,69 @@
+package controller
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/simclock"
+	"github.com/imcf/imcf/internal/units"
+)
+
+// spreadOf returns the max−min gap of the per-owner errors.
+func spreadOf(sum Summary) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, ce := range sum.PerOwner {
+		v := float64(ce)
+		lo = math.Min(lo, v)
+		hi = math.Max(hi, v)
+	}
+	if math.IsInf(lo, 1) {
+		return 0
+	}
+	return hi - lo
+}
+
+func runWeek(t *testing.T, fair bool, seed uint64) Summary {
+	t.Helper()
+	clock := simclock.NewSimClock(time.Date(2015, time.January, 5, 0, 0, 0, 0, time.UTC))
+	c := newController(t, func(cfg *Config) {
+		cfg.Clock = clock
+		cfg.FairPlanning = fair
+		cfg.CarryCapHours = 5.5 // the Table IV stress regime, where drops occur
+		cfg.Planner.Seed = seed
+	})
+	for i := 0; i < 7*24; i++ {
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(time.Hour)
+	}
+	return c.Summary()
+}
+
+func TestFairPlanningBalancesResidents(t *testing.T) {
+	var plainSpread, fairSpread, plainErr, fairErr float64
+	const reps = 3
+	for seed := uint64(0); seed < reps; seed++ {
+		plain := runWeek(t, false, seed)
+		fair := runWeek(t, true, seed)
+		plainSpread += spreadOf(plain)
+		fairSpread += spreadOf(fair)
+		plainErr += float64(plain.ConvenienceError)
+		fairErr += float64(fair.ConvenienceError)
+		if fair.Energy > units.Energy(home.PrototypeWeeklyBudget.KWh()*1.05) {
+			t.Errorf("fair week exceeded budget: %v", fair.Energy)
+		}
+	}
+	t.Logf("plain: spread %.3f pp, F_CE %.2f%%; fair: spread %.3f pp, F_CE %.2f%%",
+		plainSpread/reps, plainErr/reps, fairSpread/reps, fairErr/reps)
+	// Fairness must not widen the per-resident gap, and the total error
+	// may only degrade moderately.
+	if fairSpread > plainSpread*1.05+0.1 {
+		t.Errorf("fair spread %.3f worse than plain %.3f", fairSpread/reps, plainSpread/reps)
+	}
+	if fairErr > plainErr*1.5+0.5 {
+		t.Errorf("fair total error %.2f much worse than plain %.2f", fairErr/reps, plainErr/reps)
+	}
+}

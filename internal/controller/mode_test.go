@@ -1,0 +1,109 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"github.com/imcf/imcf/internal/simclock"
+)
+
+func TestModeManualPlansNothing(t *testing.T) {
+	c := newController(t, func(cfg *Config) { cfg.Mode = ModeManual })
+	report, err := c.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Executed) != 0 {
+		t.Errorf("manual mode executed %v", report.Executed)
+	}
+	if report.Energy != 0 {
+		t.Errorf("manual mode consumed %v", report.Energy)
+	}
+	// Manual mode never blocks devices: the user keeps full control.
+	if c.Firewall().Blocked("192.168.2.10") {
+		t.Error("manual mode installed a firewall rule")
+	}
+	// Devices are untouched by the step...
+	_, st, _ := c.Registry().Get("proto/z0/hvac")
+	if _, _, _, n := st.Snapshot(); n != 0 {
+		t.Errorf("manual mode sent %d device commands", n)
+	}
+	// ...but Command still works.
+	if err := c.Command("proto/z0/hvac", 21); err != nil {
+		t.Fatal(err)
+	}
+	// Convenience error accrues, like the NR bound.
+	if c.Summary().ConvenienceError <= 0 {
+		t.Error("manual mode reported zero error on a cold winter night")
+	}
+}
+
+func TestModeIFTTTExecutesGreedily(t *testing.T) {
+	// A winter week: IFTTT must consume more than EP (budget-oblivious)
+	// and err more (setpoint mismatches), the live Fig. 2 spectrum.
+	runMode := func(mode Mode) Summary {
+		clock := simclock.NewSimClock(time.Date(2015, time.January, 5, 0, 0, 0, 0, time.UTC))
+		c := newController(t, func(cfg *Config) {
+			cfg.Clock = clock
+			cfg.Mode = mode
+			cfg.CarryCapHours = 5.5
+		})
+		for i := 0; i < 7*24; i++ {
+			if _, err := c.Step(); err != nil {
+				t.Fatal(err)
+			}
+			clock.Advance(time.Hour)
+		}
+		return c.Summary()
+	}
+	ep := runMode(ModeEP)
+	ifttt := runMode(ModeIFTTT)
+	t.Logf("EP:    F_E=%.1f F_CE=%.2f%%", ep.Energy.KWh(), float64(ep.ConvenienceError))
+	t.Logf("IFTTT: F_E=%.1f F_CE=%.2f%%", ifttt.Energy.KWh(), float64(ifttt.ConvenienceError))
+
+	if ifttt.Energy <= ep.Energy {
+		t.Errorf("IFTTT energy %v not above EP %v", ifttt.Energy, ep.Energy)
+	}
+	if ifttt.ConvenienceError <= ep.ConvenienceError {
+		t.Errorf("IFTTT error %v not above EP %v", ifttt.ConvenienceError, ep.ConvenienceError)
+	}
+	if ifttt.ExecutedRuleSlots == 0 {
+		t.Error("IFTTT executed nothing")
+	}
+}
+
+func TestModeIFTTTActuatesAtIFTTTValues(t *testing.T) {
+	// 20:00 in a winter evening: Table III's winter rule sets
+	// temperature 20, even though the MRT wants 23.
+	clock := simclock.NewSimClock(time.Date(2015, time.January, 10, 20, 0, 0, 0, time.UTC))
+	c := newController(t, func(cfg *Config) {
+		cfg.Clock = clock
+		cfg.Mode = ModeIFTTT
+	})
+	report, err := c.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Executed) == 0 {
+		t.Fatalf("IFTTT executed nothing: %+v", report)
+	}
+	_, st, _ := c.Registry().Get("proto/z0/hvac")
+	on, sp, _, _ := st.Snapshot()
+	if !on {
+		t.Fatal("father's unit off under IFTTT")
+	}
+	// Table III winter/cloudy/cold rules set 20, 22 or 24 — never the
+	// MRT's 23.
+	if sp == 23 {
+		t.Errorf("IFTTT actuated at the MRT setpoint %v; should use its own value", sp)
+	}
+	if sp < 18 || sp > 25 {
+		t.Errorf("IFTTT setpoint %v outside Table III's outputs", sp)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeEP.String() != "EP" || ModeIFTTT.String() != "IFTTT" || ModeManual.String() != "manual" {
+		t.Error("mode names wrong")
+	}
+}

@@ -1,0 +1,38 @@
+package controller
+
+import (
+	"testing"
+
+	"github.com/imcf/imcf/internal/units"
+)
+
+func TestNecessityRuleSurvivesZeroBudget(t *testing.T) {
+	c := newController(t, func(cfg *Config) {
+		cfg.WeeklyBudget = units.Energy(1e-9)
+		for i := range cfg.Residence.MRT.Rules {
+			if cfg.Residence.MRT.Rules[i].ID == "proto/father/night-heat" {
+				cfg.Residence.MRT.Rules[i].Necessity = true
+			}
+		}
+	})
+	// 03:00 in January: only the father's (now necessity) night heat is
+	// active. Despite the zero budget it must execute.
+	report, err := c.Step()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Executed) != 1 || report.Executed[0] != "proto/father/night-heat" {
+		t.Fatalf("report = %+v, want the necessity rule executed", report)
+	}
+	_, st, _ := c.Registry().Get("proto/z0/hvac")
+	on, sp, _, _ := st.Snapshot()
+	if !on || sp != 23 {
+		t.Errorf("necessity device state: on=%v sp=%v", on, sp)
+	}
+	if c.Firewall().Blocked("192.168.2.10") {
+		t.Error("necessity rule's device blocked")
+	}
+	if report.Energy <= 0 {
+		t.Errorf("report energy = %v", report.Energy)
+	}
+}

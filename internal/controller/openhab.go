@@ -1,0 +1,194 @@
+package controller
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/imcf/imcf/internal/device"
+	"github.com/imcf/imcf/internal/units"
+)
+
+// This file parses the openHAB-style .things and .items configuration
+// snippets the paper uses for its default "binding mode" — e.g.
+//
+//	daikin.things: daikin:ac_unit:living_room_ac [ host="192.168.0.5" ]
+//	daikin.items:  Switch DaikinACUnit_Power
+//	                 channel="daikin:ac_unit:living_room_ac:power"
+//	               Number:Temperature DaikinACUnit_SetPoint
+//	                 channel="daikin:ac_unit:living_room_ac:settemp"
+//
+// so that device inventories can be declared in the same dialect an
+// openHAB user already maintains.
+
+// Thing is one parsed .things entry: a bound device instance.
+type Thing struct {
+	// Binding is the integration name ("daikin", "hue").
+	Binding string
+	// TypeID is the device type within the binding ("ac_unit").
+	TypeID string
+	// ID is the user-chosen instance name ("living_room_ac").
+	ID string
+	// Config holds the bracketed key="value" parameters.
+	Config map[string]string
+}
+
+// UID returns the thing's full openHAB UID.
+func (t Thing) UID() string { return t.Binding + ":" + t.TypeID + ":" + t.ID }
+
+// Item is one parsed .items entry: a typed item linked to a channel.
+type Item struct {
+	// Type is the item type ("Switch", "Number:Temperature", "Dimmer").
+	Type string
+	// Name is the item name ("DaikinACUnit_Power").
+	Name string
+	// Channel is the linked channel UID
+	// ("daikin:ac_unit:living_room_ac:power").
+	Channel string
+}
+
+// ThingUID returns the channel's thing UID (all but the last segment).
+func (i Item) ThingUID() string {
+	if at := strings.LastIndexByte(i.Channel, ':'); at > 0 {
+		return i.Channel[:at]
+	}
+	return ""
+}
+
+// ParseThings parses a .things document: one
+// "binding:type:id [ key="v", … ]" entry per line; '//' comments.
+func ParseThings(src string) ([]Thing, error) {
+	var out []Thing
+	for ln, raw := range strings.Split(src, "\n") {
+		line := stripLineComment(raw)
+		if line == "" {
+			continue
+		}
+		body, cfg, err := splitConfig(line)
+		if err != nil {
+			return nil, fmt.Errorf("controller: things line %d: %w", ln+1, err)
+		}
+		parts := strings.Split(strings.TrimSpace(body), ":")
+		if len(parts) != 3 || parts[0] == "" || parts[1] == "" || parts[2] == "" {
+			return nil, fmt.Errorf("controller: things line %d: want binding:type:id, got %q", ln+1, body)
+		}
+		out = append(out, Thing{Binding: parts[0], TypeID: parts[1], ID: parts[2], Config: cfg})
+	}
+	return out, nil
+}
+
+// ParseItems parses a .items document: one
+// `Type Name channel="…"` entry per line; '//' comments.
+func ParseItems(src string) ([]Item, error) {
+	var out []Item
+	for ln, raw := range strings.Split(src, "\n") {
+		line := stripLineComment(raw)
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("controller: items line %d: want Type Name channel=\"…\"", ln+1)
+		}
+		it := Item{Type: fields[0], Name: fields[1]}
+		rest := strings.Join(fields[2:], " ")
+		const key = `channel="`
+		at := strings.Index(rest, key)
+		if at < 0 {
+			return nil, fmt.Errorf("controller: items line %d: missing channel binding", ln+1)
+		}
+		end := strings.IndexByte(rest[at+len(key):], '"')
+		if end < 0 {
+			return nil, fmt.Errorf("controller: items line %d: unterminated channel", ln+1)
+		}
+		it.Channel = rest[at+len(key) : at+len(key)+end]
+		if strings.Count(it.Channel, ":") != 3 {
+			return nil, fmt.Errorf("controller: items line %d: channel %q is not binding:type:id:channel", ln+1, it.Channel)
+		}
+		out = append(out, it)
+	}
+	return out, nil
+}
+
+// bindingRatings maps known bindings to default device ratings for the
+// energy model; unknown bindings get conservative defaults.
+var bindingRatings = map[string]struct {
+	class  device.Class
+	rating units.Power
+}{
+	"daikin": {device.ClassHVAC, 600 * units.Watt},
+	"hue":    {device.ClassLight, 55 * units.Watt},
+}
+
+// DevicesFromConfig joins parsed things and items into device
+// descriptors for the registry: each thing with at least one linked
+// item becomes a device, addressed by its host config.
+func DevicesFromConfig(things []Thing, items []Item, zone int) ([]device.Descriptor, error) {
+	linked := make(map[string]bool)
+	for _, it := range items {
+		linked[it.ThingUID()] = true
+	}
+	var out []device.Descriptor
+	for _, th := range things {
+		if !linked[th.UID()] {
+			continue
+		}
+		spec, ok := bindingRatings[th.Binding]
+		if !ok {
+			spec.class = device.ClassSensor
+		}
+		host := th.Config["host"]
+		if host == "" {
+			return nil, fmt.Errorf("controller: thing %s has no host config", th.UID())
+		}
+		d := device.Descriptor{
+			ID:     th.UID(),
+			Name:   th.ID,
+			Class:  spec.class,
+			Zone:   zone,
+			Rating: spec.rating,
+			Addr:   host,
+		}
+		if err := d.Validate(); err != nil {
+			return nil, err
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// splitConfig separates "body [ k="v", … ]" into body and config map.
+func splitConfig(line string) (string, map[string]string, error) {
+	open := strings.IndexByte(line, '[')
+	if open < 0 {
+		return strings.TrimSpace(line), nil, nil
+	}
+	closeAt := strings.LastIndexByte(line, ']')
+	if closeAt < open {
+		return "", nil, fmt.Errorf("unterminated config bracket")
+	}
+	cfg := make(map[string]string)
+	for _, kv := range strings.Split(line[open+1:closeAt], ",") {
+		kv = strings.TrimSpace(kv)
+		if kv == "" {
+			continue
+		}
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return "", nil, fmt.Errorf("bad config entry %q", kv)
+		}
+		v = strings.TrimSpace(v)
+		if len(v) < 2 || v[0] != '"' || v[len(v)-1] != '"' {
+			return "", nil, fmt.Errorf("config value %q must be quoted", v)
+		}
+		cfg[strings.TrimSpace(k)] = v[1 : len(v)-1]
+	}
+	return strings.TrimSpace(line[:open]), cfg, nil
+}
+
+// stripLineComment removes '//' comments and surrounding space.
+func stripLineComment(line string) string {
+	if at := strings.Index(line, "//"); at >= 0 {
+		line = line[:at]
+	}
+	return strings.TrimSpace(line)
+}

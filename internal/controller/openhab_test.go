@@ -1,0 +1,134 @@
+package controller
+
+import (
+	"testing"
+
+	"github.com/imcf/imcf/internal/device"
+)
+
+// paperThings and paperItems are the paper's Section II binding-mode
+// examples, verbatim.
+const paperThings = `daikin:ac_unit:living_room_ac [ host="192.168.0.5" ]`
+
+const paperItems = `
+Switch DaikinACUnit_Power channel="daikin:ac_unit:living_room_ac:power"
+Number:Temperature DaikinACUnit_SetPoint channel="daikin:ac_unit:living_room_ac:settemp"
+`
+
+func TestParseThingsPaperExample(t *testing.T) {
+	things, err := ParseThings(paperThings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(things) != 1 {
+		t.Fatalf("things = %+v", things)
+	}
+	th := things[0]
+	if th.Binding != "daikin" || th.TypeID != "ac_unit" || th.ID != "living_room_ac" {
+		t.Errorf("thing = %+v", th)
+	}
+	if th.Config["host"] != "192.168.0.5" {
+		t.Errorf("config = %v", th.Config)
+	}
+	if th.UID() != "daikin:ac_unit:living_room_ac" {
+		t.Errorf("UID = %q", th.UID())
+	}
+}
+
+func TestParseItemsPaperExample(t *testing.T) {
+	items, err := ParseItems(paperItems)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(items) != 2 {
+		t.Fatalf("items = %+v", items)
+	}
+	if items[0].Type != "Switch" || items[0].Name != "DaikinACUnit_Power" ||
+		items[0].Channel != "daikin:ac_unit:living_room_ac:power" {
+		t.Errorf("item 0 = %+v", items[0])
+	}
+	if items[1].Type != "Number:Temperature" || items[1].ThingUID() != "daikin:ac_unit:living_room_ac" {
+		t.Errorf("item 1 = %+v", items[1])
+	}
+}
+
+func TestParseThingsErrors(t *testing.T) {
+	cases := []string{
+		`daikin:ac_unit [ host="x" ]`,    // two segments
+		`daikin:ac_unit:x [ host="x"`,    // unterminated bracket
+		`daikin:ac_unit:x [ host=x ]`,    // unquoted value
+		`daikin:ac_unit:x [ hostvalue ]`, // no '='
+		`daikin::x [ host="x" ]`,         // empty segment
+	}
+	for _, src := range cases {
+		if _, err := ParseThings(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+	// Comments and blanks are fine.
+	things, err := ParseThings("// just a comment\n\n" + paperThings + " // trailing")
+	if err != nil || len(things) != 1 {
+		t.Errorf("comment handling: %v %v", things, err)
+	}
+}
+
+func TestParseItemsErrors(t *testing.T) {
+	cases := []string{
+		`Switch OnlyTwo`,
+		`Switch X somethingelse="y"`,
+		`Switch X channel="unterminated`,
+		`Switch X channel="too:few:segments"`,
+	}
+	for _, src := range cases {
+		if _, err := ParseItems(src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestDevicesFromConfig(t *testing.T) {
+	things, err := ParseThings(paperThings + "\n" + `hue:bulb:lounge [ host="192.168.0.6" ]` + "\n" +
+		`zwave:sensor:orphan [ host="192.168.0.7" ]`) // no linked item
+	if err != nil {
+		t.Fatal(err)
+	}
+	items, err := ParseItems(paperItems + "\n" + `Dimmer LoungeBri channel="hue:bulb:lounge:brightness"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs, err := DevicesFromConfig(things, items, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(devs) != 2 {
+		t.Fatalf("devices = %+v", devs)
+	}
+	byID := map[string]device.Descriptor{}
+	for _, d := range devs {
+		byID[d.ID] = d
+	}
+	ac := byID["daikin:ac_unit:living_room_ac"]
+	if ac.Class != device.ClassHVAC || ac.Addr != "192.168.0.5" || ac.Rating.Watts() != 600 {
+		t.Errorf("ac = %+v", ac)
+	}
+	bulb := byID["hue:bulb:lounge"]
+	if bulb.Class != device.ClassLight || bulb.Addr != "192.168.0.6" {
+		t.Errorf("bulb = %+v", bulb)
+	}
+
+	// Registry accepts the parsed devices directly.
+	reg := device.NewRegistry()
+	for _, d := range devs {
+		if err := reg.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestDevicesFromConfigMissingHost(t *testing.T) {
+	things, _ := ParseThings(`daikin:ac_unit:x [ ip="192.168.0.5" ]`)
+	items, _ := ParseItems(`Switch P channel="daikin:ac_unit:x:power"`)
+	if _, err := DevicesFromConfig(things, items, 0); err == nil {
+		t.Error("missing host accepted")
+	}
+}

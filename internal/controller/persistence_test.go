@@ -1,0 +1,150 @@
+package controller
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"github.com/imcf/imcf/internal/persistence"
+	"github.com/imcf/imcf/internal/simclock"
+)
+
+func TestStepRecordsMeasurements(t *testing.T) {
+	svc, err := persistence.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	clock := simclock.NewSimClock(winterNight)
+	c := newController(t, func(cfg *Config) {
+		cfg.Clock = clock
+		cfg.Persistence = svc
+	})
+	for i := 0; i < 24; i++ {
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(time.Hour)
+	}
+
+	items, err := svc.Items()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 zones × (temperature + light).
+	if len(items) != 6 {
+		t.Fatalf("items = %v", items)
+	}
+	recs, err := svc.Query("zone0/temperature", winterNight.Add(-time.Hour), winterNight.Add(25*time.Hour))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 24 {
+		t.Errorf("recorded %d readings, want 24", len(recs))
+	}
+	for _, r := range recs {
+		if r.Value < -10 || r.Value > 45 {
+			t.Errorf("implausible temperature %v", r.Value)
+		}
+	}
+}
+
+func TestPersistenceAPI(t *testing.T) {
+	svc, err := persistence.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+
+	clock := simclock.NewSimClock(winterNight)
+	c := newController(t, func(cfg *Config) {
+		cfg.Clock = clock
+		cfg.Persistence = svc
+	})
+	srv := httptest.NewServer(API(c))
+	defer srv.Close()
+
+	for i := 0; i < 4; i++ {
+		if _, err := c.Step(); err != nil {
+			t.Fatal(err)
+		}
+		clock.Advance(time.Hour)
+	}
+
+	var items []string
+	if code := getJSON(t, srv.URL+"/rest/persistence/items", &items); code != http.StatusOK {
+		t.Fatalf("items = %d", code)
+	}
+	if len(items) != 6 {
+		t.Fatalf("items = %v", items)
+	}
+
+	from := winterNight.Add(-time.Hour).Format(time.RFC3339)
+	to := winterNight.Add(6 * time.Hour).Format(time.RFC3339)
+
+	var points []struct {
+		Time  time.Time `json:"time"`
+		Value float64   `json:"value"`
+	}
+	url := fmt.Sprintf("%s/rest/persistence/data/zone0/temperature?from=%s&to=%s", srv.URL, from, to)
+	if code := getJSON(t, url, &points); code != http.StatusOK {
+		t.Fatalf("data = %d", code)
+	}
+	if len(points) != 4 {
+		t.Errorf("points = %d, want 4", len(points))
+	}
+
+	var buckets []persistence.Bucket
+	url = fmt.Sprintf("%s/rest/persistence/data/zone0/temperature?from=%s&to=%s&bucket=2h", srv.URL, from, to)
+	if code := getJSON(t, url, &buckets); code != http.StatusOK {
+		t.Fatalf("bucket data = %d", code)
+	}
+	// Readings at 03:00–06:00 truncate into the 02:00, 04:00 and
+	// 06:00 two-hour buckets.
+	if len(buckets) != 3 {
+		t.Errorf("buckets = %+v", buckets)
+	}
+
+	// Error paths.
+	resp, err := http.Get(srv.URL + "/rest/persistence/data/ghost?from=" + from + "&to=" + to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("ghost item = %d", resp.StatusCode)
+	}
+	resp, err = http.Get(srv.URL + "/rest/persistence/data/zone0/temperature?from=yesterday&to=" + to)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad from = %d", resp.StatusCode)
+	}
+}
+
+func TestPersistenceDisabled(t *testing.T) {
+	c := newController(t, nil)
+	srv := httptest.NewServer(API(c))
+	defer srv.Close()
+	resp, err := http.Get(srv.URL + "/rest/persistence/items")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled persistence = %d", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["error"] == "" {
+		t.Error("no error message")
+	}
+}

@@ -1,0 +1,126 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/imcf/imcf/internal/rules"
+	"github.com/imcf/imcf/internal/trace"
+)
+
+// Poller implements trigger-condition-aware flexible sensor polling in
+// the style of RT-IFTTT (Heo et al., RTSS 2017), which the paper
+// discusses as complementary work: when a sensed value approaches a
+// rule's trigger threshold the sensor is sampled more often, and when it
+// is far away polling relaxes, saving sensor and network energy without
+// missing trigger crossings.
+type Poller struct {
+	// Source provides the sensed values.
+	Source trace.AmbientSource
+	// Thresholds are the trigger boundaries to track.
+	Thresholds []Threshold
+	// Min and Max bound the polling interval.
+	Min, Max time.Duration
+	// TempScale and LightScale normalize threshold distances; zero
+	// means the defaults (5 °C, 20 dimmer units): a reading at least
+	// one scale away from every threshold polls at Max.
+	TempScale  float64
+	LightScale float64
+}
+
+// Threshold is one numeric trigger boundary.
+type Threshold struct {
+	// Temp selects the temperature signal; otherwise light.
+	Temp  bool
+	Value float64
+}
+
+// ThresholdsFromIFTTT extracts the numeric trigger boundaries of an
+// IFTTT rule set (Table III's "Temperature >30", "Light Level >15", …).
+func ThresholdsFromIFTTT(ruleSet []rules.IFTTTRule) []Threshold {
+	var out []Threshold
+	for _, r := range ruleSet {
+		switch r.Trigger {
+		case rules.TrigTemperature:
+			out = append(out, Threshold{Temp: true, Value: r.Threshold})
+		case rules.TrigLight:
+			out = append(out, Threshold{Temp: false, Value: r.Threshold})
+		}
+	}
+	return out
+}
+
+// Validate reports whether the poller is usable.
+func (p *Poller) Validate() error {
+	if p.Source == nil {
+		return errors.New("controller: poller needs a source")
+	}
+	if p.Min <= 0 || p.Max < p.Min {
+		return fmt.Errorf("controller: poller interval bounds [%v, %v] invalid", p.Min, p.Max)
+	}
+	if len(p.Thresholds) == 0 {
+		return errors.New("controller: poller needs at least one threshold")
+	}
+	return nil
+}
+
+// NextInterval samples the source at the given instant and returns the
+// reading together with the interval until the next poll: Min when a
+// signal sits on a threshold, growing linearly to Max one scale away.
+func (p *Poller) NextInterval(at time.Time) (trace.Ambient, time.Duration, error) {
+	if err := p.Validate(); err != nil {
+		return trace.Ambient{}, 0, err
+	}
+	tempScale := p.TempScale
+	if tempScale <= 0 {
+		tempScale = 5
+	}
+	lightScale := p.LightScale
+	if lightScale <= 0 {
+		lightScale = 20
+	}
+	amb := p.Source.AmbientAt(at)
+
+	nearest := math.Inf(1)
+	for _, th := range p.Thresholds {
+		var d float64
+		if th.Temp {
+			d = math.Abs(amb.Temperature-th.Value) / tempScale
+		} else {
+			d = math.Abs(amb.Light-th.Value) / lightScale
+		}
+		nearest = math.Min(nearest, d)
+	}
+	if nearest > 1 {
+		nearest = 1
+	}
+	interval := time.Duration(float64(p.Min) + nearest*float64(p.Max-p.Min))
+	return amb, interval, nil
+}
+
+// Run polls the source on its adaptive schedule, invoking observe with
+// every reading, until stop is closed. It uses the controller Clock
+// abstraction so tests and simulations drive it deterministically.
+func (p *Poller) Run(clock interface {
+	Now() time.Time
+	After(time.Duration) <-chan time.Time
+}, observe func(time.Time, trace.Ambient), stop <-chan struct{}) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	for {
+		now := clock.Now()
+		amb, interval, err := p.NextInterval(now)
+		if err != nil {
+			return err
+		}
+		observe(now, amb)
+		select {
+		case <-clock.After(interval):
+		case <-stop:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"github.com/imcf/imcf/internal/rules"
+	"github.com/imcf/imcf/internal/simclock"
+	"github.com/imcf/imcf/internal/trace"
+)
+
+// fixedAmbient is an AmbientSource pinned to one reading.
+type fixedAmbient struct{ trace.Ambient }
+
+func (f fixedAmbient) AmbientAt(time.Time) trace.Ambient { return f.Ambient }
+
+func TestThresholdsFromIFTTT(t *testing.T) {
+	ths := ThresholdsFromIFTTT(rules.FlatIFTTT())
+	// Table III has three numeric triggers: >30, <10 (temperature) and
+	// >15 (light).
+	if len(ths) != 3 {
+		t.Fatalf("thresholds = %+v", ths)
+	}
+	temps, lights := 0, 0
+	for _, th := range ths {
+		if th.Temp {
+			temps++
+		} else {
+			lights++
+		}
+	}
+	if temps != 2 || lights != 1 {
+		t.Errorf("temps=%d lights=%d", temps, lights)
+	}
+}
+
+func TestPollerValidation(t *testing.T) {
+	good := &Poller{
+		Source:     fixedAmbient{trace.Ambient{Temperature: 20}},
+		Thresholds: []Threshold{{Temp: true, Value: 10}},
+		Min:        time.Second,
+		Max:        time.Minute,
+	}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid poller rejected: %v", err)
+	}
+	bad := *good
+	bad.Source = nil
+	if bad.Validate() == nil {
+		t.Error("nil source accepted")
+	}
+	bad = *good
+	bad.Min = 0
+	if bad.Validate() == nil {
+		t.Error("zero min accepted")
+	}
+	bad = *good
+	bad.Max = time.Millisecond
+	if bad.Validate() == nil {
+		t.Error("max < min accepted")
+	}
+	bad = *good
+	bad.Thresholds = nil
+	if bad.Validate() == nil {
+		t.Error("no thresholds accepted")
+	}
+}
+
+func TestNextIntervalAdaptsToThresholdDistance(t *testing.T) {
+	mk := func(temp float64) *Poller {
+		return &Poller{
+			Source:     fixedAmbient{trace.Ambient{Temperature: temp, Light: 50}},
+			Thresholds: []Threshold{{Temp: true, Value: 10}},
+			Min:        time.Second,
+			Max:        time.Minute,
+		}
+	}
+	// On the threshold: fastest polling.
+	_, onIt, err := mk(10).NextInterval(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if onIt != time.Second {
+		t.Errorf("on-threshold interval = %v, want 1s", onIt)
+	}
+	// Half a scale (2.5 °C) away: mid interval.
+	_, half, err := mk(12.5).NextInterval(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if half <= onIt || half >= time.Minute {
+		t.Errorf("half-scale interval = %v, want between 1s and 1m", half)
+	}
+	// Far away: slowest polling (clamped).
+	_, far, err := mk(35).NextInterval(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far != time.Minute {
+		t.Errorf("far interval = %v, want 1m", far)
+	}
+	// Nearest threshold wins.
+	multi := mk(10)
+	multi.Thresholds = append(multi.Thresholds, Threshold{Temp: true, Value: 30})
+	_, got, err := multi.NextInterval(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != time.Second {
+		t.Errorf("multi-threshold interval = %v", got)
+	}
+}
+
+func TestNextIntervalLightThreshold(t *testing.T) {
+	p := &Poller{
+		Source:     fixedAmbient{trace.Ambient{Temperature: 20, Light: 15}},
+		Thresholds: []Threshold{{Temp: false, Value: 15}},
+		Min:        time.Second,
+		Max:        time.Minute,
+	}
+	_, it, err := p.NextInterval(time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it != time.Second {
+		t.Errorf("light on-threshold interval = %v", it)
+	}
+}
+
+func TestPollerRunAdaptiveSchedule(t *testing.T) {
+	clock := simclock.NewSimClock(time.Date(2015, 1, 1, 0, 0, 0, 0, time.UTC))
+	p := &Poller{
+		Source:     fixedAmbient{trace.Ambient{Temperature: 10}}, // on threshold
+		Thresholds: []Threshold{{Temp: true, Value: 10}},
+		Min:        time.Second,
+		Max:        time.Minute,
+	}
+	stop := make(chan struct{})
+	type sample struct{ at time.Time }
+	samples := make(chan sample, 16)
+	done := make(chan error, 1)
+	go func() {
+		done <- p.Run(clock, func(at time.Time, _ trace.Ambient) {
+			samples <- sample{at}
+		}, stop)
+	}()
+
+	// First sample is immediate.
+	first := <-samples
+	// Advance by the on-threshold interval (1 s) and expect another.
+	waitForWaiter(t, clock)
+	clock.Advance(time.Second)
+	second := <-samples
+	if got := second.at.Sub(first.at); got != time.Second {
+		t.Errorf("inter-sample gap = %v, want 1s", got)
+	}
+	close(stop)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPollerRunInvalid(t *testing.T) {
+	p := &Poller{}
+	if err := p.Run(simclock.NewSimClock(time.Now()), func(time.Time, trace.Ambient) {}, nil); err == nil {
+		t.Error("invalid poller ran")
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// conflictProblem pits two owners against each other: the budget covers
+// two of the four identical rules. A total-error-optimal plan may fund
+// one owner fully; the fair plan funds one rule of each.
+func conflictProblem() (Problem, []int) {
+	p := Problem{
+		Costs: []RuleCost{
+			{DropError: 0.5, Energy: 1}, // owner A
+			{DropError: 0.5, Energy: 1}, // owner A
+			{DropError: 0.5, Energy: 1}, // owner B
+			{DropError: 0.5, Energy: 1}, // owner B
+		},
+		Budget: 2,
+	}
+	return p, []int{0, 0, 1, 1}
+}
+
+func TestEvaluateGrouped(t *testing.T) {
+	p, group := conflictProblem()
+	ge := EvaluateGrouped(p, Solution{true, true, false, false}, group, 2)
+	if ge.Energy != 2 || ge.Error != 1 {
+		t.Errorf("eval = %+v", ge.Eval)
+	}
+	if ge.GroupError[0] != 0 || ge.GroupError[1] != 1 {
+		t.Errorf("group errors = %v", ge.GroupError)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("mismatched lengths should panic")
+		}
+	}()
+	EvaluateGrouped(p, Solution{true}, group, 2)
+}
+
+func TestPlanFairBalancesOwners(t *testing.T) {
+	p, group := conflictProblem()
+	fair := 0
+	const reps = 30
+	for seed := 0; seed < reps; seed++ {
+		cfg := DefaultConfig()
+		cfg.MaxIter = 300
+		cfg.Seed = uint64(seed)
+		pl, err := NewPlanner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, ge, err := pl.PlanFair(p, group, 2, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ge.Feasible(p.Budget) {
+			t.Fatalf("seed %d: infeasible %+v", seed, ge.Eval)
+		}
+		if sol.CountOn() != 2 {
+			t.Fatalf("seed %d: executed %d rules, want 2", seed, sol.CountOn())
+		}
+		if math.Abs(ge.GroupError[0]-ge.GroupError[1]) < 1e-12 {
+			fair++
+		}
+	}
+	if fair < reps*9/10 {
+		t.Errorf("fair plans in %d/%d runs; minimax acceptance not effective", fair, reps)
+	}
+}
+
+func TestPlanFairAsymmetricCosts(t *testing.T) {
+	// Owner A has one giant-error rule; owner B three small ones. With
+	// budget for two rules, minimax must fund A's rule first.
+	p := Problem{
+		Costs: []RuleCost{
+			{DropError: 2.0, Energy: 1}, // A
+			{DropError: 0.3, Energy: 1}, // B
+			{DropError: 0.3, Energy: 1}, // B
+			{DropError: 0.3, Energy: 1}, // B
+		},
+		Budget: 2,
+	}
+	group := []int{0, 1, 1, 1}
+	cfg := DefaultConfig()
+	cfg.MaxIter = 500
+	cfg.Seed = 7
+	pl, err := NewPlanner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, ge, err := pl.PlanFair(p, group, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol[0] {
+		t.Errorf("minimax dropped the giant-error rule: %v %+v", sol, ge)
+	}
+	if ge.GroupError[0] != 0 {
+		t.Errorf("owner A error = %v", ge.GroupError[0])
+	}
+	// One of B's rules funded, two dropped.
+	if math.Abs(ge.GroupError[1]-0.6) > 1e-9 {
+		t.Errorf("owner B error = %v, want 0.6", ge.GroupError[1])
+	}
+}
+
+func TestPlanFairOffsetsSteerTowardIndebtedGroup(t *testing.T) {
+	// Two identical competing rules, budget for one. Group 0 carries
+	// error debt from earlier slots, so the fair plan must fund its
+	// rule now.
+	p := Problem{
+		Costs: []RuleCost{
+			{DropError: 0.5, Energy: 1}, // group 0, indebted
+			{DropError: 0.5, Energy: 1}, // group 1
+		},
+		Budget: 1,
+	}
+	group := []int{0, 1}
+	for seed := uint64(0); seed < 20; seed++ {
+		cfg := DefaultConfig()
+		cfg.MaxIter = 200
+		cfg.Seed = seed
+		pl, err := NewPlanner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sol, ge, err := pl.PlanFair(p, group, 2, []float64{3.0, 0})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sol[0] || sol[1] {
+			t.Fatalf("seed %d: solution %v favours the undebted group (%+v)", seed, sol, ge)
+		}
+		// Returned errors exclude the offsets.
+		if ge.GroupError[0] != 0 || ge.GroupError[1] != 0.5 {
+			t.Fatalf("seed %d: group errors %v", seed, ge.GroupError)
+		}
+	}
+	// Offset length mismatch is rejected.
+	pl := newPlanner(t, nil)
+	if _, _, err := pl.PlanFair(p, group, 2, []float64{1}); err == nil {
+		t.Error("short offsets accepted")
+	}
+}
+
+func TestPlanFairValidation(t *testing.T) {
+	pl := newPlanner(t, nil)
+	p, group := conflictProblem()
+	if _, _, err := pl.PlanFair(p, group[:2], 2, nil); err == nil {
+		t.Error("short group slice accepted")
+	}
+	if _, _, err := pl.PlanFair(p, group, 0, nil); err == nil {
+		t.Error("zero groups accepted")
+	}
+	if _, _, err := pl.PlanFair(p, []int{0, 0, 2, 1}, 2, nil); err == nil {
+		t.Error("out-of-range group accepted")
+	}
+	bad := p
+	bad.Budget = -1
+	if _, _, err := pl.PlanFair(bad, group, 2, nil); err == nil {
+		t.Error("invalid problem accepted")
+	}
+	sol, ge, err := pl.PlanFair(Problem{}, nil, 3, nil)
+	if err != nil || len(sol) != 0 || len(ge.GroupError) != 3 {
+		t.Errorf("empty problem = %v %+v %v", sol, ge, err)
+	}
+}
+
+func TestPropertyPlanFairInvariants(t *testing.T) {
+	f := func(errs []uint8, energies []uint8, budgetRaw uint16, seed uint16, groupsRaw uint8) bool {
+		p := randomProblem(errs, energies, budgetRaw)
+		nGroups := 1 + int(groupsRaw%4)
+		group := make([]int, len(p.Costs))
+		for i := range group {
+			group[i] = i % nGroups
+		}
+		cfg := DefaultConfig()
+		cfg.MaxIter = 100
+		cfg.Seed = uint64(seed)
+		pl, err := NewPlanner(cfg)
+		if err != nil {
+			return false
+		}
+		sol, ge, err := pl.PlanFair(p, group, nGroups, nil)
+		if err != nil {
+			return false
+		}
+		if !ge.Feasible(p.Budget) {
+			return false
+		}
+		// Group errors must sum to the total error.
+		var sum float64
+		for _, e := range ge.GroupError {
+			sum += e
+		}
+		if math.Abs(sum-ge.Error) > 1e-9 {
+			return false
+		}
+		// Consistency with the plain evaluation.
+		plain := Evaluate(p, sol)
+		return math.Abs(plain.Energy-ge.Energy) < 1e-9 && math.Abs(plain.Error-ge.Error) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

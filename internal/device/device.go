@@ -1,0 +1,197 @@
+// Package device models the IoT "Things" the IMCF controller actuates:
+// split-unit air conditioners (Daikin-style), dimmable lights (Hue-style)
+// and passive sensors, together with the per-device energy model the
+// Energy Planner's F_E metric is built on.
+//
+// Following the paper's cost model, executing a meta-rule's action on a
+// device consumes that device's rated energy for the slot (E = e_j if the
+// output O_i^j is executed, 0 otherwise); a dropped rule consumes nothing.
+package device
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/imcf/imcf/internal/units"
+)
+
+// Class is the device category a meta-rule action targets.
+type Class int
+
+// Device classes.
+const (
+	ClassHVAC Class = iota + 1
+	ClassLight
+	ClassSensor
+)
+
+// String returns the class name.
+func (c Class) String() string {
+	switch c {
+	case ClassHVAC:
+		return "hvac"
+	case ClassLight:
+		return "light"
+	case ClassSensor:
+		return "sensor"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Valid reports whether c is a known class.
+func (c Class) Valid() bool { return c >= ClassHVAC && c <= ClassSensor }
+
+// Descriptor identifies one device and its energy characteristics. It is
+// immutable; the mutable runtime state lives in State.
+type Descriptor struct {
+	// ID is unique within a residence, e.g. "flat/z0/hvac".
+	ID string
+	// Name is the human label, e.g. "Living Room A/C".
+	Name string
+	// Class determines which meta-rule actions can target the device.
+	Class Class
+	// Zone is the index of the zone (room) the device serves.
+	Zone int
+	// Rating is the electrical draw while executing a rule. The
+	// paper's e_j is Rating integrated over the slot duration.
+	Rating units.Power
+	// Addr is the device's address on the smart-space network, used by
+	// the controller bindings and the firewall (e.g. "192.168.0.5").
+	Addr string
+}
+
+// Validate reports whether the descriptor is well-formed.
+func (d Descriptor) Validate() error {
+	if d.ID == "" {
+		return fmt.Errorf("device: descriptor missing ID (%+v)", d)
+	}
+	if !d.Class.Valid() {
+		return fmt.Errorf("device %s: invalid class %d", d.ID, d.Class)
+	}
+	if d.Rating < 0 {
+		return fmt.Errorf("device %s: negative rating %v", d.ID, d.Rating)
+	}
+	if d.Zone < 0 {
+		return fmt.Errorf("device %s: negative zone %d", d.ID, d.Zone)
+	}
+	return nil
+}
+
+// EnergyPerSlot returns e_j for one slot of the given duration: the
+// energy the device consumes when a meta-rule's action is executed on it
+// for the slot.
+func (d Descriptor) EnergyPerSlot(slot time.Duration) units.Energy {
+	return d.Rating.Over(slot)
+}
+
+// State is a device's mutable runtime state as tracked by the local
+// controller. It is safe for concurrent use.
+type State struct {
+	mu          sync.Mutex
+	on          bool
+	setpoint    float64
+	lastCommand time.Time
+	commands    int
+}
+
+// Apply records an actuation command: power the device and set its
+// output value (temperature setpoint or dimmer level).
+func (s *State) Apply(value float64, at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.on = true
+	s.setpoint = value
+	s.lastCommand = at
+	s.commands++
+}
+
+// TurnOff powers the device down.
+func (s *State) TurnOff(at time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.on = false
+	s.lastCommand = at
+	s.commands++
+}
+
+// Snapshot returns the current state.
+func (s *State) Snapshot() (on bool, setpoint float64, lastCommand time.Time, commands int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.on, s.setpoint, s.lastCommand, s.commands
+}
+
+// Registry is a lookup table of devices by ID, the controller's view of
+// the smart space ("Things" in openHAB terms).
+type Registry struct {
+	mu      sync.RWMutex
+	devices map[string]Descriptor
+	states  map[string]*State
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		devices: make(map[string]Descriptor),
+		states:  make(map[string]*State),
+	}
+}
+
+// Add registers a device. Re-adding an existing ID is an error.
+func (r *Registry) Add(d Descriptor) error {
+	if err := d.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, exists := r.devices[d.ID]; exists {
+		return fmt.Errorf("device: duplicate ID %q", d.ID)
+	}
+	r.devices[d.ID] = d
+	r.states[d.ID] = &State{}
+	return nil
+}
+
+// Get returns the descriptor and state of a device.
+func (r *Registry) Get(id string) (Descriptor, *State, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	d, ok := r.devices[id]
+	if !ok {
+		return Descriptor{}, nil, false
+	}
+	return d, r.states[id], true
+}
+
+// List returns all descriptors, in unspecified order.
+func (r *Registry) List() []Descriptor {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Descriptor, 0, len(r.devices))
+	for _, d := range r.devices {
+		out = append(out, d)
+	}
+	return out
+}
+
+// ByZoneClass returns the devices in the given zone with the given class.
+func (r *Registry) ByZoneClass(zone int, class Class) []Descriptor {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []Descriptor
+	for _, d := range r.devices {
+		if d.Zone == zone && d.Class == class {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Len returns the number of registered devices.
+func (r *Registry) Len() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.devices)
+}

@@ -1,0 +1,155 @@
+package device
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/imcf/imcf/internal/units"
+)
+
+func validDesc(id string) Descriptor {
+	return Descriptor{
+		ID:     id,
+		Name:   "Living Room A/C",
+		Class:  ClassHVAC,
+		Zone:   0,
+		Rating: 600 * units.Watt,
+		Addr:   "192.168.0.5",
+	}
+}
+
+func TestDescriptorValidate(t *testing.T) {
+	if err := validDesc("d1").Validate(); err != nil {
+		t.Errorf("valid descriptor rejected: %v", err)
+	}
+	bad := validDesc("")
+	if err := bad.Validate(); err == nil {
+		t.Error("empty ID accepted")
+	}
+	bad = validDesc("d1")
+	bad.Class = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("invalid class accepted")
+	}
+	bad = validDesc("d1")
+	bad.Rating = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative rating accepted")
+	}
+	bad = validDesc("d1")
+	bad.Zone = -2
+	if err := bad.Validate(); err == nil {
+		t.Error("negative zone accepted")
+	}
+}
+
+func TestEnergyPerSlot(t *testing.T) {
+	d := validDesc("d1") // 600 W
+	if got := d.EnergyPerSlot(time.Hour); got.KWh() != 0.6 {
+		t.Errorf("600W over 1h = %v, want 0.6 kWh", got)
+	}
+	if got := d.EnergyPerSlot(30 * time.Minute); got.KWh() != 0.3 {
+		t.Errorf("600W over 30m = %v, want 0.3 kWh", got)
+	}
+}
+
+func TestStateLifecycle(t *testing.T) {
+	var s State
+	on, _, _, n := s.Snapshot()
+	if on || n != 0 {
+		t.Errorf("zero state = on:%v commands:%d", on, n)
+	}
+	at := time.Date(2020, 1, 1, 10, 0, 0, 0, time.UTC)
+	s.Apply(25, at)
+	on, sp, last, n := s.Snapshot()
+	if !on || sp != 25 || !last.Equal(at) || n != 1 {
+		t.Errorf("after Apply: on:%v sp:%v last:%v n:%d", on, sp, last, n)
+	}
+	s.TurnOff(at.Add(time.Hour))
+	on, _, _, n = s.Snapshot()
+	if on || n != 2 {
+		t.Errorf("after TurnOff: on:%v n:%d", on, n)
+	}
+}
+
+func TestRegistryAddGet(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Add(validDesc("d1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add(validDesc("d1")); err == nil {
+		t.Error("duplicate ID accepted")
+	}
+	if err := r.Add(Descriptor{}); err == nil {
+		t.Error("invalid descriptor accepted")
+	}
+	d, st, ok := r.Get("d1")
+	if !ok || d.ID != "d1" || st == nil {
+		t.Errorf("Get(d1) = %+v, %v, %v", d, st, ok)
+	}
+	if _, _, ok := r.Get("nope"); ok {
+		t.Error("Get of missing device succeeded")
+	}
+	if r.Len() != 1 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestRegistryByZoneClass(t *testing.T) {
+	r := NewRegistry()
+	hvac0 := validDesc("z0/hvac")
+	light0 := validDesc("z0/light")
+	light0.Class = ClassLight
+	hvac1 := validDesc("z1/hvac")
+	hvac1.Zone = 1
+	for _, d := range []Descriptor{hvac0, light0, hvac1} {
+		if err := r.Add(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := r.ByZoneClass(0, ClassHVAC)
+	if len(got) != 1 || got[0].ID != "z0/hvac" {
+		t.Errorf("ByZoneClass(0, hvac) = %v", got)
+	}
+	if len(r.ByZoneClass(1, ClassLight)) != 0 {
+		t.Error("found nonexistent zone-1 light")
+	}
+	if len(r.List()) != 3 {
+		t.Errorf("List() returned %d devices", len(r.List()))
+	}
+}
+
+func TestRegistryConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Add(validDesc("d1")); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				_, st, ok := r.Get("d1")
+				if !ok {
+					t.Error("device vanished")
+					return
+				}
+				st.Apply(float64(j), time.Now())
+				st.Snapshot()
+				r.List()
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestClassString(t *testing.T) {
+	if ClassHVAC.String() != "hvac" || ClassLight.String() != "light" || ClassSensor.String() != "sensor" {
+		t.Error("class names wrong")
+	}
+	if Class(9).Valid() {
+		t.Error("Class(9) reported valid")
+	}
+}

@@ -1,0 +1,200 @@
+// Package devicesim provides in-process HTTP device emulators for the
+// two Things the IMCF prototype controls: a Daikin-style split-unit air
+// conditioner and a Hue-style dimmable light.
+//
+// The emulators speak the same unencrypted local-network protocols the
+// paper's "extended mode" drives directly:
+//
+//	Daikin: GET /aircon/set_control_info?pow=1&mode=3&stemp=25&shum=0
+//	        GET /aircon/get_control_info
+//	Hue:    PUT /api/state  {"on": true, "bri": 40}
+//	        GET /api/state
+//
+// They listen on loopback ports so controller bindings exercise real
+// HTTP round-trips, and they count received commands so tests can prove
+// that firewall-dropped rules produce no device traffic.
+package devicesim
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Daikin emulates a split-unit A/C's local HTTP control interface.
+type Daikin struct {
+	mu       sync.Mutex
+	power    bool
+	mode     int
+	setTemp  float64
+	commands int
+
+	srv      *http.Server
+	listener net.Listener
+}
+
+// StartDaikin starts the emulator on a random loopback port.
+func StartDaikin() (*Daikin, error) {
+	d := &Daikin{setTemp: 22, mode: 3}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("devicesim: listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/aircon/set_control_info", d.handleSet)
+	mux.HandleFunc("/aircon/get_control_info", d.handleGet)
+	d.listener = ln
+	d.srv = &http.Server{Handler: mux}
+	go d.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return d, nil
+}
+
+// URL returns the emulator's base URL.
+func (d *Daikin) URL() string { return "http://" + d.listener.Addr().String() }
+
+// Close shuts the emulator down.
+func (d *Daikin) Close() error { return d.srv.Close() }
+
+func (d *Daikin) handleSet(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	pow := q.Get("pow")
+	if pow != "0" && pow != "1" {
+		http.Error(w, "ret=PARAM NG", http.StatusBadRequest)
+		return
+	}
+	var stemp float64
+	if s := q.Get("stemp"); s != "" {
+		v, err := strconv.ParseFloat(s, 64)
+		if err != nil || v < 10 || v > 32 {
+			http.Error(w, "ret=PARAM NG", http.StatusBadRequest)
+			return
+		}
+		stemp = v
+	}
+	mode := 3
+	if s := q.Get("mode"); s != "" {
+		v, err := strconv.Atoi(s)
+		if err != nil || v < 0 || v > 7 {
+			http.Error(w, "ret=PARAM NG", http.StatusBadRequest)
+			return
+		}
+		mode = v
+	}
+
+	d.mu.Lock()
+	d.power = pow == "1"
+	d.mode = mode
+	if stemp != 0 {
+		d.setTemp = stemp
+	}
+	d.commands++
+	d.mu.Unlock()
+	fmt.Fprint(w, "ret=OK,adv=")
+}
+
+func (d *Daikin) handleGet(w http.ResponseWriter, _ *http.Request) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	pow := 0
+	if d.power {
+		pow = 1
+	}
+	fmt.Fprintf(w, "ret=OK,pow=%d,mode=%d,stemp=%.1f,shum=0", pow, d.mode, d.setTemp)
+}
+
+// State returns the unit's power, mode and setpoint.
+func (d *Daikin) State() (power bool, mode int, setTemp float64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.power, d.mode, d.setTemp
+}
+
+// Commands returns how many set commands the unit has received.
+func (d *Daikin) Commands() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.commands
+}
+
+// HueState is the JSON state of the light emulator.
+type HueState struct {
+	On  bool    `json:"on"`
+	Bri float64 `json:"bri"` // 0–100 dimmer scale
+}
+
+// Hue emulates a dimmable light's local HTTP interface.
+type Hue struct {
+	mu       sync.Mutex
+	state    HueState
+	commands int
+
+	srv      *http.Server
+	listener net.Listener
+}
+
+// StartHue starts the emulator on a random loopback port.
+func StartHue() (*Hue, error) {
+	h := &Hue{}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, fmt.Errorf("devicesim: listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/api/state", h.handleState)
+	h.listener = ln
+	h.srv = &http.Server{Handler: mux}
+	go h.srv.Serve(ln) //nolint:errcheck // Serve returns on Close
+	return h, nil
+}
+
+// URL returns the emulator's base URL.
+func (h *Hue) URL() string { return "http://" + h.listener.Addr().String() }
+
+// Close shuts the emulator down.
+func (h *Hue) Close() error { return h.srv.Close() }
+
+func (h *Hue) handleState(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		h.mu.Lock()
+		st := h.state
+		h.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(st) //nolint:errcheck
+	case http.MethodPut:
+		var st HueState
+		if err := json.NewDecoder(r.Body).Decode(&st); err != nil {
+			http.Error(w, `{"error":"bad json"}`, http.StatusBadRequest)
+			return
+		}
+		if st.Bri < 0 || st.Bri > 100 {
+			http.Error(w, `{"error":"bri out of range"}`, http.StatusBadRequest)
+			return
+		}
+		h.mu.Lock()
+		h.state = st
+		h.commands++
+		h.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"success":true}`)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// State returns the light's current state.
+func (h *Hue) State() HueState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+// Commands returns how many state commands the light has received.
+func (h *Hue) Commands() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.commands
+}

@@ -1,0 +1,155 @@
+package devicesim
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDaikinSetGet(t *testing.T) {
+	d, err := StartDaikin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+
+	resp, err := http.Get(d.URL() + "/aircon/set_control_info?pow=1&mode=3&stemp=25&shum=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.HasPrefix(string(body), "ret=OK") {
+		t.Fatalf("set returned %d %q", resp.StatusCode, body)
+	}
+	power, mode, temp := d.State()
+	if !power || mode != 3 || temp != 25 {
+		t.Errorf("state = %v %d %v", power, mode, temp)
+	}
+	if d.Commands() != 1 {
+		t.Errorf("commands = %d", d.Commands())
+	}
+
+	resp, err = http.Get(d.URL() + "/aircon/get_control_info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if got := string(body); !strings.Contains(got, "pow=1") || !strings.Contains(got, "stemp=25.0") {
+		t.Errorf("get_control_info = %q", got)
+	}
+
+	// Power off.
+	if _, err := http.Get(d.URL() + "/aircon/set_control_info?pow=0"); err != nil {
+		t.Fatal(err)
+	}
+	if power, _, _ := d.State(); power {
+		t.Error("power off ignored")
+	}
+}
+
+func TestDaikinRejectsBadParams(t *testing.T) {
+	d, err := StartDaikin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	for _, q := range []string{
+		"pow=2",
+		"pow=1&stemp=99",
+		"pow=1&stemp=abc",
+		"pow=1&mode=11",
+		"",
+	} {
+		resp, err := http.Get(d.URL() + "/aircon/set_control_info?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("query %q accepted with %d", q, resp.StatusCode)
+		}
+	}
+	if d.Commands() != 0 {
+		t.Errorf("rejected commands counted: %d", d.Commands())
+	}
+}
+
+func TestHuePutGet(t *testing.T) {
+	h, err := StartHue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	payload, _ := json.Marshal(HueState{On: true, Bri: 40})
+	req, _ := http.NewRequest(http.MethodPut, h.URL()+"/api/state", bytes.NewReader(payload))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("PUT status %d", resp.StatusCode)
+	}
+	if st := h.State(); !st.On || st.Bri != 40 {
+		t.Errorf("state = %+v", st)
+	}
+
+	resp, err = http.Get(h.URL() + "/api/state")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st HueState
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !st.On || st.Bri != 40 {
+		t.Errorf("GET state = %+v", st)
+	}
+}
+
+func TestHueRejectsBadRequests(t *testing.T) {
+	h, err := StartHue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+
+	req, _ := http.NewRequest(http.MethodPut, h.URL()+"/api/state", strings.NewReader("{bad"))
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad JSON accepted: %d", resp.StatusCode)
+	}
+
+	req, _ = http.NewRequest(http.MethodPut, h.URL()+"/api/state", strings.NewReader(`{"on":true,"bri":500}`))
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bri 500 accepted: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(h.URL()+"/api/state", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("POST accepted: %d", resp.StatusCode)
+	}
+	if h.Commands() != 0 {
+		t.Errorf("rejected commands counted: %d", h.Commands())
+	}
+}

@@ -1,0 +1,257 @@
+// Package ecp implements the Energy Consumption Profile and the paper's
+// Amortization Plan (AP) subroutine: the three formulas — Linear (LAF),
+// Balloon Linear (BLAF) and ECP-based (EAF) — that convert a long-term
+// energy budget into the per-slot constraint E_p the Energy Planner
+// enforces.
+//
+// Budget arithmetic follows the paper's convention of 31-day months
+// (t = 12 × 31 × 24 = 8928 hours per year), so the worked examples in
+// Section II-B reproduce exactly.
+package ecp
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/imcf/imcf/internal/units"
+)
+
+// HoursPerMonth is the paper's month length for budget amortization.
+const HoursPerMonth = 31 * 24
+
+// HoursPerYear is the paper's year length for budget amortization
+// (t = 12 × 31 × 24 = 8928).
+const HoursPerYear = 12 * HoursPerMonth
+
+// Profile is an Energy Consumption Profile: the historical monthly
+// consumption of a residence (the paper's Table I).
+type Profile struct {
+	// Name labels the profile ("Flat").
+	Name string `json:"name"`
+	// Monthly holds January..December consumption in kWh.
+	Monthly [12]units.Energy `json:"monthly"`
+}
+
+// Flat returns the paper's Table I: the ECP of the flat model used in
+// the evaluation (total 3666 kWh/year).
+func Flat() Profile {
+	return Profile{
+		Name: "Flat",
+		Monthly: [12]units.Energy{
+			775.50, // January
+			528.75, // February
+			246.75, // March
+			141.00, // April
+			176.25, // May
+			211.50, // June
+			246.75, // July
+			317.25, // August
+			211.50, // September
+			176.25, // October
+			211.50, // November
+			423.00, // December
+		},
+	}
+}
+
+// Scale returns a copy of the profile with every month multiplied by f,
+// used to derive House and Dorms profiles from the flat one.
+func (p Profile) Scale(f float64) Profile {
+	out := p
+	for i := range out.Monthly {
+		out.Monthly[i] = units.Energy(float64(p.Monthly[i]) * f)
+	}
+	return out
+}
+
+// Total returns the yearly total TE of the profile.
+func (p Profile) Total() units.Energy {
+	var sum units.Energy
+	for _, m := range p.Monthly {
+		sum += m
+	}
+	return sum
+}
+
+// Weight returns w_i = ECP_i / TE for the month, the EAF weighting
+// factor. (The paper's Eq. 5 prints w_i = TE/ECP_i, but its own worked
+// example — w_1 = 0.211 for January 775.50 of 3666 — uses ECP_i/TE,
+// which is also the only definition for which Σw_i = 1; we follow the
+// example.)
+func (p Profile) Weight(m time.Month) float64 {
+	total := p.Total()
+	if total == 0 {
+		return 0
+	}
+	return float64(p.Monthly[m-1]) / float64(total)
+}
+
+// Validate reports whether the profile is usable.
+func (p Profile) Validate() error {
+	for i, m := range p.Monthly {
+		if m < 0 {
+			return fmt.Errorf("ecp: month %d negative consumption %v", i+1, m)
+		}
+	}
+	if p.Total() <= 0 {
+		return errors.New("ecp: profile total must be positive")
+	}
+	return nil
+}
+
+// Formula selects the amortization strategy.
+type Formula int
+
+// The paper's three amortization formulas.
+const (
+	// LAF spreads the budget uniformly over the period (Eq. 3).
+	LAF Formula = iota + 1
+	// BLAF saves a fraction of the budget during designated "save"
+	// months and releases the balloon in the remaining months (Eq. 4).
+	BLAF
+	// EAF shapes the budget by the ECP's monthly weights (Eq. 5).
+	EAF
+)
+
+// String returns the formula acronym.
+func (f Formula) String() string {
+	switch f {
+	case LAF:
+		return "LAF"
+	case BLAF:
+		return "BLAF"
+	case EAF:
+		return "EAF"
+	default:
+		return fmt.Sprintf("Formula(%d)", int(f))
+	}
+}
+
+// Plan is a configured Amortization Plan: it answers "how much energy may
+// be consumed during the slot at time t".
+type Plan struct {
+	// Formula selects LAF, BLAF or EAF.
+	Formula Formula
+	// Profile provides TE and the EAF weights.
+	Profile Profile
+	// Budget is the user's total energy budget E for the whole period.
+	// If zero, the profile total (per year, times Years) is used.
+	Budget units.Energy
+	// Years is the period length; must be ≥ 1.
+	Years int
+	// SaveFraction is BLAF's π: the fraction of the per-month budget
+	// withheld during save months.
+	SaveFraction float64
+	// SaveMonths marks BLAF's λ months (January = index 0).
+	SaveMonths [12]bool
+}
+
+// Validate reports whether the plan is usable.
+func (p Plan) Validate() error {
+	if p.Formula < LAF || p.Formula > EAF {
+		return fmt.Errorf("ecp: invalid formula %d", p.Formula)
+	}
+	if err := p.Profile.Validate(); err != nil {
+		return err
+	}
+	if p.Years < 1 {
+		return fmt.Errorf("ecp: years %d must be ≥ 1", p.Years)
+	}
+	if p.Budget < 0 {
+		return fmt.Errorf("ecp: negative budget %v", p.Budget)
+	}
+	if p.Formula == BLAF {
+		if p.SaveFraction < 0 || p.SaveFraction >= 1 {
+			return fmt.Errorf("ecp: save fraction %v outside [0,1)", p.SaveFraction)
+		}
+		nSave := 0
+		for _, s := range p.SaveMonths {
+			if s {
+				nSave++
+			}
+		}
+		if nSave == 0 || nSave == 12 {
+			return fmt.Errorf("ecp: BLAF needs between 1 and 11 save months, got %d", nSave)
+		}
+	}
+	return nil
+}
+
+// TotalBudget returns the budget E for the whole period.
+func (p Plan) TotalBudget() units.Energy {
+	if p.Budget > 0 {
+		return p.Budget
+	}
+	return units.Energy(float64(p.Profile.Total()) * float64(p.Years))
+}
+
+// yearlyBudget is the per-year share of the total budget.
+func (p Plan) yearlyBudget() float64 {
+	return float64(p.TotalBudget()) / float64(p.Years)
+}
+
+// HourlyBudget returns E_p: the energy available for one hourly slot in
+// the given month.
+func (p Plan) HourlyBudget(m time.Month) (units.Energy, error) {
+	if err := p.Validate(); err != nil {
+		return 0, err
+	}
+	yearly := p.yearlyBudget()
+	switch p.Formula {
+	case LAF:
+		// Eq. (3): uniform over the paper-year of 8928 hours.
+		return units.Energy(yearly / HoursPerYear), nil
+
+	case BLAF:
+		// Eq. (4). The base monthly allocation is yearly/12; σ is the
+		// balloon withheld across the λ save months and released
+		// uniformly across the λ' spend months. (The paper's worked
+		// example divides the balloon by λ in both branches, which
+		// does not conserve energy; we divide by λ' in the spend
+		// branch so the year still totals the budget.)
+		nSave := 0
+		for _, s := range p.SaveMonths {
+			if s {
+				nSave++
+			}
+		}
+		nSpend := 12 - nSave
+		basePerMonth := yearly / 12
+		sigma := basePerMonth * float64(nSave) * p.SaveFraction
+		var monthly float64
+		if p.SaveMonths[m-1] {
+			monthly = basePerMonth - sigma/float64(nSave)
+		} else {
+			monthly = basePerMonth + sigma/float64(nSpend)
+		}
+		return units.Energy(monthly / HoursPerMonth), nil
+
+	case EAF:
+		// Eq. (5): the month's weight times the yearly budget, spread
+		// over the paper-month of 744 hours.
+		w := p.Profile.Weight(m)
+		return units.Energy(w * yearly / HoursPerMonth), nil
+	}
+	return 0, fmt.Errorf("ecp: unreachable formula %v", p.Formula)
+}
+
+// MonthlyBudget returns the month's total allocation (hourly budget times
+// the paper-month hours), convenient for reports.
+func (p Plan) MonthlyBudget(m time.Month) (units.Energy, error) {
+	h, err := p.HourlyBudget(m)
+	if err != nil {
+		return 0, err
+	}
+	return units.Energy(float64(h) * HoursPerMonth), nil
+}
+
+// SummerSaveMonths returns the April–October save-month mask from the
+// paper's BLAF example (λ = 7 months of low consumption).
+func SummerSaveMonths() [12]bool {
+	var m [12]bool
+	for mo := time.April; mo <= time.October; mo++ {
+		m[mo-1] = true
+	}
+	return m
+}

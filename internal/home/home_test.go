@@ -1,0 +1,289 @@
+package home
+
+import (
+	"testing"
+	"time"
+
+	"github.com/imcf/imcf/internal/rules"
+	"github.com/imcf/imcf/internal/simclock"
+)
+
+func TestFlat(t *testing.T) {
+	r, err := Flat(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Zones) != 1 {
+		t.Fatalf("flat has %d zones", len(r.Zones))
+	}
+	if got := len(r.MRT.Convenience()); got != 6 {
+		t.Errorf("flat has %d convenience rules, want 6", got)
+	}
+	if r.Budget.KWh() != 11000 {
+		t.Errorf("flat budget = %v", r.Budget)
+	}
+	if len(r.IFTTT) != 10 {
+		t.Errorf("flat has %d IFTTT rules", len(r.IFTTT))
+	}
+	if r.Profile.Total().KWh() != 3666 {
+		t.Errorf("flat profile total = %v", r.Profile.Total())
+	}
+	if got := len(r.Devices()); got != 2 {
+		t.Errorf("flat has %d devices", got)
+	}
+}
+
+func TestHouse(t *testing.T) {
+	r, err := House(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Zones) != 4 {
+		t.Fatalf("house has %d zones", len(r.Zones))
+	}
+	if got := len(r.MRT.Convenience()); got != 24 {
+		t.Errorf("house has %d convenience rules, want 24", got)
+	}
+	if r.Budget.KWh() != 25500 {
+		t.Errorf("house budget = %v", r.Budget)
+	}
+	// The house profile scales with the budget so EAF weights shape the
+	// larger allowance.
+	wantTotal := 3666 * 25500 / 11000.0
+	if got := r.Profile.Total().KWh(); got < wantTotal-1 || got > wantTotal+1 {
+		t.Errorf("house profile total = %v, want ≈%v", got, wantTotal)
+	}
+	owners := map[string]int{}
+	for _, rule := range r.MRT.Convenience() {
+		owners[rule.Owner]++
+	}
+	if len(owners) != 4 {
+		t.Errorf("house rules span %d owners, want 4", len(owners))
+	}
+}
+
+func TestDorms(t *testing.T) {
+	r, err := Dorms(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Zones) != 100 {
+		t.Fatalf("dorms has %d zones", len(r.Zones))
+	}
+	if got := len(r.MRT.Convenience()); got != 600 {
+		t.Errorf("dorms has %d convenience rules, want 600", got)
+	}
+	if r.Budget.KWh() != 480000 {
+		t.Errorf("dorms budget = %v", r.Budget)
+	}
+	if got := len(r.Devices()); got != 200 {
+		t.Errorf("dorms has %d devices", got)
+	}
+}
+
+func TestVariedRulesDeterministicAndVaried(t *testing.T) {
+	a, err := Dorms(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Dorms(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := a.MRT.Convenience(), b.MRT.Convenience()
+	for i := range ra {
+		if ra[i] != rb[i] {
+			t.Fatalf("same seed produced different rule %d: %+v vs %+v", i, ra[i], rb[i])
+		}
+	}
+	// Across zones the rules must actually vary.
+	varied := false
+	base := rules.FlatMRT().Convenience()
+	for i, r := range ra {
+		t2 := base[i%6]
+		if r.Window != t2.Window || r.Value != t2.Value {
+			varied = true
+			break
+		}
+	}
+	if !varied {
+		t.Error("dorm rules identical to flat table; no variation applied")
+	}
+	// All varied rules must still validate (covered by Dorms' Validate,
+	// but assert explicitly for clarity).
+	for _, r := range ra {
+		if err := r.Validate(); err != nil {
+			t.Errorf("varied rule invalid: %v", err)
+		}
+	}
+}
+
+func TestRuleDevice(t *testing.T) {
+	r, err := House(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rule := range r.MRT.Convenience() {
+		d, err := r.RuleDevice(rule)
+		if err != nil {
+			t.Fatalf("RuleDevice(%s): %v", rule.ID, err)
+		}
+		if d.Zone != rule.Zone {
+			t.Errorf("rule %s in zone %d resolved device in zone %d", rule.ID, rule.Zone, d.Zone)
+		}
+		class, _ := rule.Action.DeviceClass()
+		if d.Class != class {
+			t.Errorf("rule %s resolved class %v, want %v", rule.ID, d.Class, class)
+		}
+	}
+	budget := rules.MetaRule{ID: "b", Action: rules.ActionSetKWhLimit, Value: 10}
+	if _, err := r.RuleDevice(budget); err == nil {
+		t.Error("RuleDevice of budget rule succeeded")
+	}
+}
+
+func TestAmbientPlausibility(t *testing.T) {
+	r, err := Flat(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	amb := r.Zones[0].Ambient
+	jan := amb.AmbientAt(time.Date(2015, time.January, 15, 3, 0, 0, 0, time.UTC))
+	jul := amb.AmbientAt(time.Date(2015, time.July, 15, 14, 0, 0, 0, time.UTC))
+	if jan.Temperature > 15 {
+		t.Errorf("January night ambient %.1f°C too warm", jan.Temperature)
+	}
+	if jul.Temperature < 24 {
+		t.Errorf("July afternoon ambient %.1f°C too cool", jul.Temperature)
+	}
+	if jan.Light > 5 {
+		t.Errorf("night ambient light %.1f", jan.Light)
+	}
+}
+
+func TestShiftWindow(t *testing.T) {
+	cases := []struct {
+		in    simclock.TimeWindow
+		shift int
+		want  simclock.TimeWindow
+	}{
+		{simclock.TimeWindow{StartHour: 1, EndHour: 7}, 1, simclock.TimeWindow{StartHour: 2, EndHour: 8}},
+		{simclock.TimeWindow{StartHour: 1, EndHour: 7}, -1, simclock.TimeWindow{StartHour: 0, EndHour: 6}},
+		{simclock.TimeWindow{StartHour: 17, EndHour: 24}, 1, simclock.TimeWindow{StartHour: 18, EndHour: 24}},
+		{simclock.TimeWindow{StartHour: 23, EndHour: 5}, 1, simclock.TimeWindow{StartHour: 0, EndHour: 6}},
+	}
+	for _, c := range cases {
+		if got := shiftWindow(c.in, c.shift); got != c.want {
+			t.Errorf("shiftWindow(%v, %d) = %v, want %v", c.in, c.shift, got, c.want)
+		}
+	}
+	// Every shift of every valid base window must stay valid.
+	for start := 0; start < 24; start++ {
+		for end := start + 1; end <= 24; end++ {
+			w := simclock.TimeWindow{StartHour: start, EndHour: end}
+			for _, s := range []int{-1, 0, 1} {
+				if got := shiftWindow(w, s); got.Validate() != nil {
+					t.Fatalf("shiftWindow(%v, %d) = %v invalid", w, s, got)
+				}
+			}
+		}
+	}
+}
+
+func TestResidenceValidateCatchesBadZoneRef(t *testing.T) {
+	r, err := Flat(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.MRT.Rules[0].Zone = 99
+	if err := r.Validate(); err == nil {
+		t.Error("rule referencing missing zone accepted")
+	}
+}
+
+func TestPrototypeResidence(t *testing.T) {
+	r, err := Prototype(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Zones) != 3 {
+		t.Fatalf("prototype has %d zones", len(r.Zones))
+	}
+	conv := r.MRT.Convenience()
+	if len(conv) != 9 {
+		t.Errorf("prototype has %d convenience rules, want 9 (3 per resident)", len(conv))
+	}
+	owners := map[string]int{}
+	for _, rule := range conv {
+		owners[rule.Owner]++
+	}
+	for _, owner := range []string{"Father", "Mother", "Daughter"} {
+		if owners[owner] != 3 {
+			t.Errorf("owner %s has %d rules, want 3", owner, owners[owner])
+		}
+	}
+	limit, ok := r.MRT.BudgetLimit("Energy Week")
+	if !ok || limit != PrototypeWeeklyBudget {
+		t.Errorf("weekly budget = %v, %v", limit, ok)
+	}
+	// The three evening-heat rules share window and value so the
+	// planner's drops rotate fairly.
+	var evenings []rules.MetaRule
+	for _, rule := range conv {
+		if rule.Name == "Evening Heat" {
+			evenings = append(evenings, rule)
+		}
+	}
+	if len(evenings) != 3 {
+		t.Fatalf("evening rules = %d", len(evenings))
+	}
+	for _, e := range evenings[1:] {
+		if e.Window != evenings[0].Window || e.Value != evenings[0].Value {
+			t.Errorf("evening rules asymmetric: %+v vs %+v", e, evenings[0])
+		}
+	}
+}
+
+func TestResidenceValidateErrorPaths(t *testing.T) {
+	r, err := Flat(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Budget = 0
+	if r.Validate() == nil {
+		t.Error("zero budget accepted")
+	}
+
+	r, _ = Flat(1)
+	r.Years = 0
+	if r.Validate() == nil {
+		t.Error("zero years accepted")
+	}
+
+	r, _ = Flat(1)
+	r.Zones = nil
+	if r.Validate() == nil {
+		t.Error("zoneless residence accepted")
+	}
+
+	r, _ = Flat(1)
+	r.Zones[0].Ambient = nil
+	if r.Validate() == nil {
+		t.Error("nil ambient accepted")
+	}
+}
+
+func TestDifferentSeedsDifferentTraces(t *testing.T) {
+	a, err := Flat(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Flat(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := time.Date(2015, time.March, 10, 14, 0, 0, 0, time.UTC)
+	if a.Zones[0].Ambient.AmbientAt(at) == b.Zones[0].Ambient.AmbientAt(at) {
+		t.Error("different seeds produced identical ambient")
+	}
+}

@@ -1,0 +1,83 @@
+package home
+
+import (
+	"fmt"
+
+	"github.com/imcf/imcf/internal/device"
+	"github.com/imcf/imcf/internal/ecp"
+	"github.com/imcf/imcf/internal/rules"
+	"github.com/imcf/imcf/internal/simclock"
+	"github.com/imcf/imcf/internal/trace"
+	"github.com/imcf/imcf/internal/units"
+	"github.com/imcf/imcf/internal/weather"
+)
+
+// PrototypeWeeklyBudget is the weekly energy limit one resident
+// configured in the paper's prototype deployment (Table IV): 165 kWh.
+const PrototypeWeeklyBudget = 165 * units.KilowattHour
+
+// Prototype builds the three-person family deployment of the paper's
+// prototype evaluation (Section III-F): each resident configures
+// approximately three meta-rules for their own room, and the household
+// shares a 165 kWh weekly budget.
+func Prototype(seed uint64) (*Residence, error) {
+	wx, err := weather.New(seed, weather.Nicosia())
+	if err != nil {
+		return nil, err
+	}
+	const nZones = 3
+	names := [nZones]string{"Father", "Mother", "Daughter"}
+	res := &Residence{
+		Name:    "Prototype",
+		IFTTT:   rules.FlatIFTTT(),
+		Years:   3, // the residence outlives any one evaluation window
+		Budget:  units.Energy(PrototypeWeeklyBudget.KWh() * 52 * 3),
+		Profile: ecp.Flat().Scale(PrototypeWeeklyBudget.KWh() * 52 / 3666),
+		Weather: wx,
+	}
+	res.Profile.Name = "Prototype"
+	for z := 0; z < nZones; z++ {
+		gen, err := trace.NewGenerator(wx, evaluationZone(seed+uint64(z)*6151))
+		if err != nil {
+			return nil, err
+		}
+		res.Zones = append(res.Zones, Zone{
+			ID:      z,
+			Name:    names[z] + "'s Room",
+			Ambient: gen,
+			HVAC: device.Descriptor{
+				ID: fmt.Sprintf("proto/z%d/hvac", z), Name: names[z] + " Split Unit",
+				Class: device.ClassHVAC, Zone: z, Rating: 700 * units.Watt,
+				Addr: fmt.Sprintf("192.168.2.%d", 10+z),
+			},
+			Light: device.Descriptor{
+				ID: fmt.Sprintf("proto/z%d/light", z), Name: names[z] + " Light",
+				Class: device.ClassLight, Zone: z, Rating: 45 * units.Watt,
+				Addr: fmt.Sprintf("192.168.2.%d", 50+z),
+			},
+		})
+	}
+	window := func(s, e int) simclock.TimeWindow { return simclock.TimeWindow{StartHour: s, EndHour: e} }
+	// Each resident has one uncontested personal rule, one light rule,
+	// and an evening-heat rule that competes with the other residents
+	// for the shared budget during the 18:00–23:00 peak. The evening
+	// rules are symmetric (same setpoint, same window, same unit
+	// rating) so the planner's drops rotate fairly among residents.
+	res.MRT = rules.MRT{Rules: []rules.MetaRule{
+		// Father.
+		{ID: "proto/father/night-heat", Name: "Night Heat", Window: window(1, 5), Action: rules.ActionSetTemperature, Value: 23, Zone: 0, Owner: "Father", Priority: 1},
+		{ID: "proto/father/evening-heat", Name: "Evening Heat", Window: window(18, 23), Action: rules.ActionSetTemperature, Value: 23, Zone: 0, Owner: "Father", Priority: 2},
+		{ID: "proto/father/evening-lights", Name: "Evening Lights", Window: window(18, 23), Action: rules.ActionSetLight, Value: 40, Zone: 0, Owner: "Father", Priority: 3},
+		// Mother.
+		{ID: "proto/mother/morning-heat", Name: "Morning Heat", Window: window(6, 8), Action: rules.ActionSetTemperature, Value: 22, Zone: 1, Owner: "Mother", Priority: 4},
+		{ID: "proto/mother/evening-heat", Name: "Evening Heat", Window: window(18, 23), Action: rules.ActionSetTemperature, Value: 23, Zone: 1, Owner: "Mother", Priority: 5},
+		{ID: "proto/mother/morning-lights", Name: "Morning Lights", Window: window(6, 9), Action: rules.ActionSetLight, Value: 35, Zone: 1, Owner: "Mother", Priority: 6},
+		// Daughter.
+		{ID: "proto/daughter/day-heat", Name: "Study Heat", Window: window(9, 13), Action: rules.ActionSetTemperature, Value: 22, Zone: 2, Owner: "Daughter", Priority: 7},
+		{ID: "proto/daughter/evening-heat", Name: "Evening Heat", Window: window(18, 23), Action: rules.ActionSetTemperature, Value: 23, Zone: 2, Owner: "Daughter", Priority: 8},
+		{ID: "proto/daughter/night-lights", Name: "Night Lights", Window: window(19, 24), Action: rules.ActionSetLight, Value: 35, Zone: 2, Owner: "Daughter", Priority: 9},
+		// The shared budget meta-rule.
+		{ID: "proto/budget", Name: "Energy Week", Action: rules.ActionSetKWhLimit, Value: PrototypeWeeklyBudget.KWh(), Priority: 10},
+	}}
+	return res, res.Validate()
+}

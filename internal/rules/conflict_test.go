@@ -1,0 +1,151 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/imcf/imcf/internal/simclock"
+)
+
+func window(s, e int) simclock.TimeWindow { return simclock.TimeWindow{StartHour: s, EndHour: e} }
+
+func TestFlatMRTHasNoConflicts(t *testing.T) {
+	// The paper's Table II is conflict-free by construction: its
+	// windows are disjoint per action kind and it declares budgets.
+	conflicts, err := AnalyzeConflicts(FlatMRT(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 0 {
+		t.Errorf("Table II reported conflicts: %+v", conflicts)
+	}
+}
+
+func TestClashDetection(t *testing.T) {
+	// The paper's own example: a rule that cools when >18°C clashes
+	// with the exhausted budget — here modelled as two temperature
+	// rules fighting over the same zone and hours.
+	mrt := MRT{Rules: []MetaRule{
+		{ID: "a", Name: "Warm Evening", Window: window(18, 23), Action: ActionSetTemperature, Value: 24},
+		{ID: "b", Name: "Cool Evening", Window: window(20, 22), Action: ActionSetTemperature, Value: 18},
+		{ID: "cap", Name: "Cap", Action: ActionSetKWhLimit, Value: 100},
+	}}
+	conflicts, err := AnalyzeConflicts(mrt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 1 {
+		t.Fatalf("conflicts = %+v", conflicts)
+	}
+	c := conflicts[0]
+	if c.Kind != ConflictClash {
+		t.Errorf("kind = %v", c.Kind)
+	}
+	if len(c.Hours) != 2 || c.Hours[0] != 20 || c.Hours[1] != 21 {
+		t.Errorf("hours = %v, want [20 21]", c.Hours)
+	}
+	if !strings.Contains(c.Detail, "Warm Evening") || !strings.Contains(c.Detail, "Cool Evening") {
+		t.Errorf("detail = %q", c.Detail)
+	}
+}
+
+func TestClashRequiresSameZoneAndAction(t *testing.T) {
+	mrt := MRT{Rules: []MetaRule{
+		{ID: "a", Name: "A", Window: window(18, 23), Action: ActionSetTemperature, Value: 24, Zone: 0},
+		{ID: "b", Name: "B", Window: window(18, 23), Action: ActionSetTemperature, Value: 18, Zone: 1},
+		{ID: "c", Name: "C", Window: window(18, 23), Action: ActionSetLight, Value: 18, Zone: 0},
+		{ID: "cap", Name: "Cap", Action: ActionSetKWhLimit, Value: 100},
+	}}
+	conflicts, err := AnalyzeConflicts(mrt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 0 {
+		t.Errorf("cross-zone/cross-action rules reported: %+v", conflicts)
+	}
+}
+
+func TestShadowDetection(t *testing.T) {
+	mrt := MRT{Rules: []MetaRule{
+		{ID: "a", Name: "Morning", Window: window(6, 10), Action: ActionSetLight, Value: 40},
+		{ID: "b", Name: "Breakfast", Window: window(7, 9), Action: ActionSetLight, Value: 40},
+		{ID: "cap", Name: "Cap", Action: ActionSetKWhLimit, Value: 100},
+	}}
+	conflicts, err := AnalyzeConflicts(mrt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 1 || conflicts[0].Kind != ConflictShadow {
+		t.Fatalf("conflicts = %+v", conflicts)
+	}
+}
+
+func TestNoBudgetDetection(t *testing.T) {
+	mrt := MRT{Rules: []MetaRule{
+		{ID: "a", Name: "A", Window: window(6, 10), Action: ActionSetLight, Value: 40},
+	}}
+	conflicts, err := AnalyzeConflicts(mrt, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(conflicts) != 1 || conflicts[0].Kind != ConflictNoBudget {
+		t.Fatalf("conflicts = %+v", conflicts)
+	}
+}
+
+func TestBudgetInfeasibleDetection(t *testing.T) {
+	mrt := MRT{Rules: []MetaRule{
+		// A 24h necessity rule at 0.6 kWh/h ≈ 14.4 kWh/day ≈ 100/week.
+		{ID: "fridge", Name: "Med Fridge", Window: window(0, 24), Action: ActionSetTemperature, Value: 8, Necessity: true},
+		{ID: "cap", Name: "Weekly Cap", Action: ActionSetKWhLimit, Value: 50}, // ≤1000 → weekly horizon
+	}}
+	rater := func(r MetaRule) float64 { return 0.6 }
+	conflicts, err := AnalyzeConflicts(mrt, rater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range conflicts {
+		if c.Kind == ConflictBudgetInfeasible {
+			found = true
+			if !strings.Contains(c.Detail, "Weekly Cap") {
+				t.Errorf("detail = %q", c.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("infeasible budget not detected: %+v", conflicts)
+	}
+
+	// A generous cap is feasible.
+	mrt.Rules[1].Value = 500
+	conflicts, err = AnalyzeConflicts(mrt, rater)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range conflicts {
+		if c.Kind == ConflictBudgetInfeasible {
+			t.Errorf("feasible budget flagged: %+v", c)
+		}
+	}
+}
+
+func TestAnalyzeConflictsInvalidTable(t *testing.T) {
+	bad := MRT{Rules: []MetaRule{{ID: "x", Action: ActionSetLight, Value: 999}}}
+	if _, err := AnalyzeConflicts(bad, nil); err == nil {
+		t.Error("invalid table accepted")
+	}
+}
+
+func TestConflictKindString(t *testing.T) {
+	for k, want := range map[ConflictKind]string{
+		ConflictClash:            "clash",
+		ConflictShadow:           "shadow",
+		ConflictBudgetInfeasible: "budget-infeasible",
+		ConflictNoBudget:         "no-budget",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+}

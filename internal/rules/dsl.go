@@ -1,0 +1,357 @@
+package rules
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"github.com/imcf/imcf/internal/simclock"
+	"github.com/imcf/imcf/internal/units"
+)
+
+// This file implements the textual Meta-Rule Table format, the
+// configuration-file face of IMCF in the spirit of openHAB's .rules and
+// .items files. A table is a line-oriented document:
+//
+//	# The flat Meta-Rule Table
+//	rule "Night Heat"     window 01:00-07:00 set temperature 25 zone 0 owner "Anna" priority 1
+//	rule "Morning Lights" window 04:00-09:00 set light 40
+//	rule "Med Fridge"     window 00:00-24:00 set temperature 8 necessity
+//	budget "Energy Flat"  limit 11000 kWh
+//
+// Lines are independent; '#' starts a comment; names may be quoted to
+// contain spaces. ParseMRT and FormatMRT round-trip: parsing the output
+// of FormatMRT yields an identical table.
+
+// ParseMRT parses the textual MRT format. Errors carry line numbers.
+func ParseMRT(src string) (MRT, error) {
+	var mrt MRT
+	used := make(map[string]bool)
+	for ln, raw := range strings.Split(src, "\n") {
+		line := stripComment(raw)
+		fields, err := splitQuoted(line)
+		if err != nil {
+			return MRT{}, fmt.Errorf("rules: line %d: %w", ln+1, err)
+		}
+		if len(fields) == 0 {
+			continue
+		}
+		var rule MetaRule
+		switch fields[0] {
+		case "rule":
+			rule, err = parseRuleLine(fields[1:])
+		case "budget":
+			rule, err = parseBudgetLine(fields[1:])
+		default:
+			err = fmt.Errorf("expected 'rule' or 'budget', got %q", fields[0])
+		}
+		if err != nil {
+			return MRT{}, fmt.Errorf("rules: line %d: %w", ln+1, err)
+		}
+		if rule.ID == "" {
+			rule.ID = deriveID(rule.Name)
+			// Same-named rules get disambiguating suffixes.
+			for n := 2; used[rule.ID]; n++ {
+				rule.ID = fmt.Sprintf("%s-%d", deriveID(rule.Name), n)
+			}
+		}
+		used[rule.ID] = true
+		if rule.Priority == 0 {
+			rule.Priority = len(mrt.Rules) + 1
+		}
+		mrt.Rules = append(mrt.Rules, rule)
+	}
+	if err := mrt.Validate(); err != nil {
+		return MRT{}, err
+	}
+	return mrt, nil
+}
+
+// FormatMRT renders a table in the textual format, rules in priority
+// order.
+func FormatMRT(mrt MRT) string {
+	rs := make([]MetaRule, len(mrt.Rules))
+	copy(rs, mrt.Rules)
+	sort.SliceStable(rs, func(i, j int) bool { return rs[i].Priority < rs[j].Priority })
+
+	var b strings.Builder
+	for _, r := range rs {
+		if r.IsBudget() {
+			fmt.Fprintf(&b, "budget %s limit %s kWh", quoteIfNeeded(r.Name), trimFloat(r.Value))
+		} else {
+			action := "temperature"
+			if r.Action == ActionSetLight {
+				action = "light"
+			}
+			fmt.Fprintf(&b, "rule %s window %02d:00-%02d:00 set %s %s",
+				quoteIfNeeded(r.Name), r.Window.StartHour, r.Window.EndHour, action, trimFloat(r.Value))
+			if r.Zone != 0 {
+				fmt.Fprintf(&b, " zone %d", r.Zone)
+			}
+			if r.Owner != "" {
+				fmt.Fprintf(&b, " owner %s", quoteIfNeeded(r.Owner))
+			}
+			if r.Necessity {
+				b.WriteString(" necessity")
+			}
+		}
+		fmt.Fprintf(&b, " priority %d", r.Priority)
+		if r.ID != deriveID(r.Name) { // keep explicit IDs that differ from the derived default
+			fmt.Fprintf(&b, " id %s", quoteIfNeeded(r.ID))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func parseRuleLine(fields []string) (MetaRule, error) {
+	var r MetaRule
+	if len(fields) == 0 {
+		return r, fmt.Errorf("rule needs a name")
+	}
+	r.Name = fields[0]
+	fields = fields[1:]
+	for len(fields) > 0 {
+		switch key := fields[0]; key {
+		case "window":
+			if len(fields) < 2 {
+				return r, fmt.Errorf("window needs HH:00-HH:00")
+			}
+			w, err := parseWindow(fields[1])
+			if err != nil {
+				return r, err
+			}
+			r.Window = w
+			fields = fields[2:]
+		case "set":
+			if len(fields) < 3 {
+				return r, fmt.Errorf("set needs an action and a value")
+			}
+			switch fields[1] {
+			case "temperature":
+				r.Action = ActionSetTemperature
+			case "light":
+				r.Action = ActionSetLight
+			default:
+				return r, fmt.Errorf("unknown action %q (want temperature or light)", fields[1])
+			}
+			v, err := strconv.ParseFloat(fields[2], 64)
+			if err != nil {
+				return r, fmt.Errorf("bad value %q: %w", fields[2], err)
+			}
+			r.Value = v
+			fields = fields[3:]
+		case "zone":
+			if len(fields) < 2 {
+				return r, fmt.Errorf("zone needs an index")
+			}
+			z, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return r, fmt.Errorf("bad zone %q: %w", fields[1], err)
+			}
+			r.Zone = z
+			fields = fields[2:]
+		case "owner":
+			if len(fields) < 2 {
+				return r, fmt.Errorf("owner needs a name")
+			}
+			r.Owner = fields[1]
+			fields = fields[2:]
+		case "priority":
+			if len(fields) < 2 {
+				return r, fmt.Errorf("priority needs a number")
+			}
+			p, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return r, fmt.Errorf("bad priority %q: %w", fields[1], err)
+			}
+			r.Priority = p
+			fields = fields[2:]
+		case "id":
+			if len(fields) < 2 {
+				return r, fmt.Errorf("id needs a value")
+			}
+			r.ID = fields[1]
+			fields = fields[2:]
+		case "necessity":
+			r.Necessity = true
+			fields = fields[1:]
+		default:
+			return r, fmt.Errorf("unknown keyword %q", key)
+		}
+	}
+	if r.Action == 0 {
+		return r, fmt.Errorf("rule %q has no 'set' clause", r.Name)
+	}
+	if r.Window == (simclock.TimeWindow{}) {
+		return r, fmt.Errorf("rule %q has no 'window' clause", r.Name)
+	}
+	return r, nil
+}
+
+func parseBudgetLine(fields []string) (MetaRule, error) {
+	var r MetaRule
+	r.Action = ActionSetKWhLimit
+	if len(fields) == 0 {
+		return r, fmt.Errorf("budget needs a name")
+	}
+	r.Name = fields[0]
+	fields = fields[1:]
+	for len(fields) > 0 {
+		switch key := fields[0]; key {
+		case "limit":
+			if len(fields) < 2 {
+				return r, fmt.Errorf("limit needs a value")
+			}
+			v, err := strconv.ParseFloat(fields[1], 64)
+			if err != nil {
+				return r, fmt.Errorf("bad limit %q: %w", fields[1], err)
+			}
+			r.Value = v
+			fields = fields[2:]
+			// Optional unit suffix. Monetary limits convert to energy
+			// at the paper's EU tariff (≈0.20 €/kWh): "limit 100 EUR"
+			// means the energy 100 € buys.
+			if len(fields) > 0 {
+				switch fields[0] {
+				case "kWh", "kwh":
+					fields = fields[1:]
+				case "EUR", "eur", "euro":
+					r.Value = units.EUTariff.Energy(units.Money(r.Value)).KWh()
+					fields = fields[1:]
+				}
+			}
+		case "priority":
+			if len(fields) < 2 {
+				return r, fmt.Errorf("priority needs a number")
+			}
+			p, err := strconv.Atoi(fields[1])
+			if err != nil {
+				return r, fmt.Errorf("bad priority %q: %w", fields[1], err)
+			}
+			r.Priority = p
+			fields = fields[2:]
+		case "id":
+			if len(fields) < 2 {
+				return r, fmt.Errorf("id needs a value")
+			}
+			r.ID = fields[1]
+			fields = fields[2:]
+		default:
+			return r, fmt.Errorf("unknown keyword %q", key)
+		}
+	}
+	if r.Value == 0 {
+		return r, fmt.Errorf("budget %q has no 'limit' clause", r.Name)
+	}
+	return r, nil
+}
+
+// parseWindow parses "HH:00-HH:00" (or "HH:00-24:00").
+func parseWindow(s string) (simclock.TimeWindow, error) {
+	var w simclock.TimeWindow
+	parts := strings.Split(s, "-")
+	if len(parts) != 2 {
+		return w, fmt.Errorf("bad window %q (want HH:00-HH:00)", s)
+	}
+	parse := func(p string) (int, error) {
+		hm := strings.Split(p, ":")
+		if len(hm) != 2 || hm[1] != "00" {
+			return 0, fmt.Errorf("bad time %q (whole hours only)", p)
+		}
+		return strconv.Atoi(hm[0])
+	}
+	var err error
+	if w.StartHour, err = parse(parts[0]); err != nil {
+		return w, err
+	}
+	if w.EndHour, err = parse(parts[1]); err != nil {
+		return w, err
+	}
+	if err := w.Validate(); err != nil {
+		return w, err
+	}
+	return w, nil
+}
+
+// stripComment removes a trailing # comment that is not inside quotes.
+func stripComment(line string) string {
+	inQuote := false
+	for i, c := range line {
+		switch c {
+		case '"':
+			inQuote = !inQuote
+		case '#':
+			if !inQuote {
+				return line[:i]
+			}
+		}
+	}
+	return line
+}
+
+// splitQuoted splits on whitespace, honouring double-quoted strings.
+func splitQuoted(line string) ([]string, error) {
+	var out []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, c := range line {
+		switch {
+		case c == '"':
+			if inQuote {
+				out = append(out, cur.String()) // may be empty; quoted empty is explicit
+				cur.Reset()
+			} else {
+				flush()
+			}
+			inQuote = !inQuote
+		case !inQuote && (c == ' ' || c == '\t' || c == '\r'):
+			flush()
+		default:
+			cur.WriteRune(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("unterminated quote")
+	}
+	flush()
+	return out, nil
+}
+
+// deriveID builds a stable rule ID from the name.
+func deriveID(name string) string {
+	slug := strings.ToLower(name)
+	slug = strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			return r
+		case r == ' ' || r == '-' || r == '_' || r == '/':
+			return '-'
+		default:
+			return -1
+		}
+	}, slug)
+	slug = strings.Trim(slug, "-")
+	if slug == "" {
+		slug = "rule"
+	}
+	return "mrt/" + slug
+}
+
+func quoteIfNeeded(s string) string {
+	if strings.ContainsAny(s, " \t\"#") || s == "" {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'f', -1, 64)
+}

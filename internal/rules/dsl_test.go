@@ -1,0 +1,187 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/imcf/imcf/internal/simclock"
+)
+
+const sampleMRT = `
+# The flat Meta-Rule Table
+rule "Night Heat"     window 01:00-07:00 set temperature 25 owner "Anna K." priority 1
+rule "Morning Lights" window 04:00-09:00 set light 40
+rule "Med Fridge"     window 00:00-24:00 set temperature 8 necessity zone 1
+budget "Energy Flat"  limit 11000 kWh
+`
+
+func TestParseMRTBasics(t *testing.T) {
+	mrt, err := ParseMRT(sampleMRT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mrt.Rules) != 4 {
+		t.Fatalf("parsed %d rules", len(mrt.Rules))
+	}
+
+	night := mrt.Rules[0]
+	if night.Name != "Night Heat" || night.Window != (simclock.TimeWindow{StartHour: 1, EndHour: 7}) ||
+		night.Action != ActionSetTemperature || night.Value != 25 ||
+		night.Owner != "Anna K." || night.Priority != 1 {
+		t.Errorf("night = %+v", night)
+	}
+	if night.ID != "mrt/night-heat" {
+		t.Errorf("derived ID = %q", night.ID)
+	}
+
+	lights := mrt.Rules[1]
+	if lights.Priority != 2 { // auto-assigned by position
+		t.Errorf("lights priority = %d", lights.Priority)
+	}
+
+	fridge := mrt.Rules[2]
+	if !fridge.Necessity || fridge.Zone != 1 || fridge.Window.Hours() != 24 {
+		t.Errorf("fridge = %+v", fridge)
+	}
+
+	limit, ok := mrt.BudgetLimit("Energy Flat")
+	if !ok || limit.KWh() != 11000 {
+		t.Errorf("budget = %v, %v", limit, ok)
+	}
+}
+
+func TestParseMRTErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{"unknown directive", `frobnicate "X"`, "expected 'rule' or 'budget'"},
+		{"missing set", `rule "X" window 01:00-02:00`, "no 'set' clause"},
+		{"missing window", `rule "X" set light 10`, "no 'window' clause"},
+		{"bad action", `rule "X" window 01:00-02:00 set volume 3`, "unknown action"},
+		{"bad value", `rule "X" window 01:00-02:00 set light ten`, "bad value"},
+		{"bad window", `rule "X" window 01:30-02:00 set light 10`, "whole hours"},
+		{"window shape", `rule "X" window 0100-0200 set light 10`, "bad time"},
+		{"bad zone", `rule "X" window 01:00-02:00 set light 10 zone two`, "bad zone"},
+		{"unknown keyword", `rule "X" window 01:00-02:00 set light 10 wat 5`, "unknown keyword"},
+		{"unterminated quote", `rule "X window 01:00-02:00 set light 10`, "unterminated quote"},
+		{"budget without limit", `budget "B"`, "no 'limit' clause"},
+		{"budget bad limit", `budget "B" limit lots`, "bad limit"},
+		{"nameless rule", `rule`, "rule needs a name"},
+		{"invalid rule value", `rule "X" window 01:00-02:00 set light 500`, "outside [0,100]"},
+		{"bad priority", `rule "X" window 01:00-02:00 set light 10 priority high`, "bad priority"},
+	}
+	for _, c := range cases {
+		_, err := ParseMRT(c.src)
+		if err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.want)
+		}
+	}
+}
+
+func TestParseMRTLineNumbers(t *testing.T) {
+	src := "rule \"A\" window 01:00-02:00 set light 10\n\nbadline here"
+	_, err := ParseMRT(src)
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Errorf("error %v should point at line 3", err)
+	}
+}
+
+func TestParseMRTDuplicateNames(t *testing.T) {
+	src := `
+rule "Evening Heat" window 18:00-23:00 set temperature 23 zone 0
+rule "Evening Heat" window 18:00-23:00 set temperature 23 zone 1
+rule "Evening Heat" window 18:00-23:00 set temperature 23 zone 2
+`
+	mrt, err := ParseMRT(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mrt.Rules) != 3 {
+		t.Fatalf("parsed %d rules", len(mrt.Rules))
+	}
+	seen := map[string]bool{}
+	for _, r := range mrt.Rules {
+		if seen[r.ID] {
+			t.Errorf("duplicate ID %q", r.ID)
+		}
+		seen[r.ID] = true
+	}
+}
+
+func TestFormatParseRoundTrip(t *testing.T) {
+	// The paper's Table II must survive format → parse unchanged.
+	orig := FlatMRT()
+	text := FormatMRT(orig)
+	back, err := ParseMRT(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	if len(back.Rules) != len(orig.Rules) {
+		t.Fatalf("round trip lost rules: %d vs %d", len(back.Rules), len(orig.Rules))
+	}
+	for i := range orig.Rules {
+		if back.Rules[i] != orig.Rules[i] {
+			t.Errorf("rule %d changed:\n  orig %+v\n  back %+v", i, orig.Rules[i], back.Rules[i])
+		}
+	}
+}
+
+func TestFormatParseRoundTripWithExtras(t *testing.T) {
+	orig := MRT{Rules: []MetaRule{
+		{ID: "mrt/med-fridge", Name: "Med Fridge", Window: simclock.TimeWindow{StartHour: 0, EndHour: 24},
+			Action: ActionSetTemperature, Value: 8, Zone: 2, Owner: "Nurse Joy", Priority: 1, Necessity: true},
+		{ID: "custom/id", Name: "Odd # Name", Window: simclock.TimeWindow{StartHour: 22, EndHour: 6},
+			Action: ActionSetLight, Value: 12.5, Priority: 2},
+		{ID: "mrt/cap", Name: "Cap", Action: ActionSetKWhLimit, Value: 165, Priority: 3},
+	}}
+	text := FormatMRT(orig)
+	back, err := ParseMRT(text)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\n%s", err, text)
+	}
+	for i := range orig.Rules {
+		if back.Rules[i] != orig.Rules[i] {
+			t.Errorf("rule %d changed:\n  orig %+v\n  back %+v\n  text %s", i, orig.Rules[i], back.Rules[i], text)
+		}
+	}
+}
+
+func TestCommentsAndQuoting(t *testing.T) {
+	src := `rule "Lounge # Lights" window 18:00-23:00 set light 40 # trailing comment`
+	mrt, err := ParseMRT(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mrt.Rules[0].Name != "Lounge # Lights" {
+		t.Errorf("name = %q", mrt.Rules[0].Name)
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	mrt, err := ParseMRT("\n# only comments\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mrt.Rules) != 0 {
+		t.Errorf("rules = %v", mrt.Rules)
+	}
+}
+
+func TestBudgetInEuros(t *testing.T) {
+	// The paper's "monthly energy consumption budget below 100 euro"
+	// converts at 0.20 €/kWh to 500 kWh.
+	mrt, err := ParseMRT(`budget "Monthly Cap" limit 100 EUR`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	limit, ok := mrt.BudgetLimit("Monthly Cap")
+	if !ok || limit.KWh() != 500 {
+		t.Errorf("limit = %v, want 500 kWh", limit)
+	}
+}

@@ -1,0 +1,36 @@
+package rules
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseMRT asserts the textual-format parser never panics, and that
+// everything it accepts survives a format→parse round trip.
+func FuzzParseMRT(f *testing.F) {
+	f.Add(sampleMRT)
+	f.Add(FormatMRT(FlatMRT()))
+	f.Add(`rule "X" window 01:00-07:00 set temperature 25`)
+	f.Add(`budget "B" limit 100 kWh`)
+	f.Add(`rule "unterminated`)
+	f.Add("rule \"A\" window 22:00-06:00 set light 10 necessity\n# comment")
+	f.Add(strings.Repeat(`rule "R" window 01:00-02:00 set light 1`+"\n", 40))
+
+	f.Fuzz(func(t *testing.T, src string) {
+		mrt, err := ParseMRT(src)
+		if err != nil {
+			return
+		}
+		if err := mrt.Validate(); err != nil {
+			t.Fatalf("accepted table fails validation: %v", err)
+		}
+		text := FormatMRT(mrt)
+		back, err := ParseMRT(text)
+		if err != nil {
+			t.Fatalf("formatted output does not re-parse: %v\n%s", err, text)
+		}
+		if len(back.Rules) != len(mrt.Rules) {
+			t.Fatalf("round trip changed rule count: %d vs %d", len(back.Rules), len(mrt.Rules))
+		}
+	})
+}

@@ -1,0 +1,162 @@
+package rules
+
+import (
+	"fmt"
+
+	"github.com/imcf/imcf/internal/simclock"
+	"github.com/imcf/imcf/internal/weather"
+)
+
+// Trigger is the "IF THIS" half of an IFTTT rule.
+type Trigger int
+
+// Trigger kinds, matching the paper's Table III "IF" column.
+const (
+	TrigSeason Trigger = iota + 1
+	TrigWeather
+	TrigTemperature
+	TrigLight
+	TrigDoor
+)
+
+// String returns the trigger name as printed in Table III.
+func (t Trigger) String() string {
+	switch t {
+	case TrigSeason:
+		return "Season"
+	case TrigWeather:
+		return "Weather"
+	case TrigTemperature:
+		return "Temperature"
+	case TrigLight:
+		return "Light Level"
+	case TrigDoor:
+		return "Door"
+	default:
+		return fmt.Sprintf("Trigger(%d)", int(t))
+	}
+}
+
+// Comparison relates a sensed value to a rule threshold.
+type Comparison int
+
+// Comparisons used by Table III's numeric triggers.
+const (
+	CmpEquals Comparison = iota
+	CmpGreater
+	CmpLess
+)
+
+// IFTTTRule is one trigger-action rule: IF <Trigger> <condition> THEN
+// <Action> <Value>. It is the building block of the IFTTT baseline.
+type IFTTTRule struct {
+	Trigger Trigger `json:"trigger"`
+	// Exactly one of the following condition fields is meaningful,
+	// selected by Trigger.
+	Season    simclock.Season   `json:"season,omitempty"`    // TrigSeason
+	Condition weather.Condition `json:"condition,omitempty"` // TrigWeather
+	Cmp       Comparison        `json:"cmp,omitempty"`       // TrigTemperature, TrigLight
+	Threshold float64           `json:"threshold,omitempty"` // TrigTemperature, TrigLight
+	DoorOpen  bool              `json:"doorOpen,omitempty"`  // TrigDoor
+
+	Action Action  `json:"action"`
+	Value  float64 `json:"value"`
+}
+
+// Validate reports whether the rule is well-formed.
+func (r IFTTTRule) Validate() error {
+	if r.Trigger < TrigSeason || r.Trigger > TrigDoor {
+		return fmt.Errorf("rules: ifttt rule has invalid trigger %d", r.Trigger)
+	}
+	if !r.Action.Valid() || r.Action == ActionSetKWhLimit {
+		return fmt.Errorf("rules: ifttt rule has invalid action %v", r.Action)
+	}
+	if (r.Trigger == TrigTemperature || r.Trigger == TrigLight) && r.Cmp == CmpEquals {
+		return fmt.Errorf("rules: ifttt numeric trigger %v requires > or < comparison", r.Trigger)
+	}
+	return nil
+}
+
+// Matches reports whether the rule's trigger fires in the environment.
+func (r IFTTTRule) Matches(env Env) bool {
+	switch r.Trigger {
+	case TrigSeason:
+		return env.Season == r.Season
+	case TrigWeather:
+		return env.Condition == r.Condition
+	case TrigTemperature:
+		return compare(env.OutdoorTemp, r.Cmp, r.Threshold)
+	case TrigLight:
+		return compare(env.Light, r.Cmp, r.Threshold)
+	case TrigDoor:
+		return env.DoorOpen == r.DoorOpen
+	default:
+		return false
+	}
+}
+
+func compare(v float64, cmp Comparison, threshold float64) bool {
+	switch cmp {
+	case CmpGreater:
+		return v > threshold
+	case CmpLess:
+		return v < threshold
+	default:
+		return v == threshold
+	}
+}
+
+// String formats the rule as a Table III row.
+func (r IFTTTRule) String() string {
+	var cond string
+	switch r.Trigger {
+	case TrigSeason:
+		cond = r.Season.String()
+	case TrigWeather:
+		cond = r.Condition.String()
+	case TrigTemperature, TrigLight:
+		op := ">"
+		if r.Cmp == CmpLess {
+			op = "<"
+		}
+		cond = fmt.Sprintf("%s%g", op, r.Threshold)
+	case TrigDoor:
+		if r.DoorOpen {
+			cond = "Open"
+		} else {
+			cond = "Closed"
+		}
+	}
+	return fmt.Sprintf("IF %s %s THEN %s %g", r.Trigger, cond, r.Action, r.Value)
+}
+
+// Outputs resolves the trigger-action rule set against an environment:
+// for each action kind, the value the IFTTT controller would set. Rules
+// are evaluated in table order and later matching rules overwrite
+// earlier ones, the standard last-writer-wins applet semantics.
+func Outputs(ruleSet []IFTTTRule, env Env) map[Action]float64 {
+	out := make(map[Action]float64)
+	for _, r := range ruleSet {
+		if r.Matches(env) {
+			out[r.Action] = r.Value
+		}
+	}
+	return out
+}
+
+// FlatIFTTT returns the paper's Table III: the ten IFTTT configurations
+// used in the flat experiment.
+func FlatIFTTT() []IFTTTRule {
+	return []IFTTTRule{
+		{Trigger: TrigSeason, Season: simclock.Summer, Action: ActionSetTemperature, Value: 25},
+		{Trigger: TrigSeason, Season: simclock.Winter, Action: ActionSetTemperature, Value: 20},
+		{Trigger: TrigWeather, Condition: weather.Sunny, Action: ActionSetTemperature, Value: 20},
+		{Trigger: TrigWeather, Condition: weather.Cloudy, Action: ActionSetTemperature, Value: 22},
+		{Trigger: TrigWeather, Condition: weather.Sunny, Action: ActionSetLight, Value: 0},
+		{Trigger: TrigWeather, Condition: weather.Cloudy, Action: ActionSetLight, Value: 40},
+		{Trigger: TrigTemperature, Cmp: CmpGreater, Threshold: 30, Action: ActionSetTemperature, Value: 23},
+		{Trigger: TrigTemperature, Cmp: CmpLess, Threshold: 10, Action: ActionSetTemperature, Value: 24},
+		{Trigger: TrigLight, Cmp: CmpGreater, Threshold: 15, Action: ActionSetLight, Value: 9},
+		{Trigger: TrigDoor, DoorOpen: true, Action: ActionSetLight, Value: 0},
+	}
+}

@@ -1,0 +1,188 @@
+// Package shift implements deferrable-workload scheduling, the paper's
+// future-work direction of identifying "power workloads of power-hungry
+// devices (e.g., white devices, electric vehicles, heating)" and
+// rescheduling them "in an environmental friendly manner".
+//
+// A Load is an appliance run that must happen some time today — a
+// washing-machine cycle, an EV charge — but is indifferent to exactly
+// when. The Scheduler packs loads into the hours where the energy plan
+// has the most headroom (budget the Energy Planner's convenience rules
+// did not claim), minimizing the energy drawn above the plan.
+package shift
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"github.com/imcf/imcf/internal/simclock"
+	"github.com/imcf/imcf/internal/units"
+)
+
+// Load is one deferrable appliance run.
+type Load struct {
+	// ID is unique within a scheduling request.
+	ID string
+	// Name is the human label ("Washing Machine").
+	Name string
+	// Power is the draw while running.
+	Power units.Power
+	// Hours is how many one-hour slots the run needs.
+	Hours int
+	// Window is the daily admissible window (e.g. 08:00–22:00 for a
+	// noisy appliance).
+	Window simclock.TimeWindow
+	// Contiguous requires the run to occupy consecutive hours (a wash
+	// cycle); otherwise hours may scatter (EV charging).
+	Contiguous bool
+}
+
+// Validate reports whether the load is schedulable at all.
+func (l Load) Validate() error {
+	if l.ID == "" {
+		return errors.New("shift: load missing ID")
+	}
+	if l.Power <= 0 {
+		return fmt.Errorf("shift: load %s: power %v must be positive", l.ID, l.Power)
+	}
+	if l.Hours < 1 {
+		return fmt.Errorf("shift: load %s: needs at least one hour", l.ID)
+	}
+	if err := l.Window.Validate(); err != nil {
+		return fmt.Errorf("shift: load %s: %w", l.ID, err)
+	}
+	if l.Hours > l.Window.Hours() {
+		return fmt.Errorf("shift: load %s: %d hours do not fit the %d-hour window", l.ID, l.Hours, l.Window.Hours())
+	}
+	return nil
+}
+
+// energyPerHour is the load's hourly consumption in kWh.
+func (l Load) energyPerHour() float64 {
+	return l.Power.Watts() / 1000
+}
+
+// Headroom is the spare energy per hour of day: the slot budget minus
+// what the energy plan already committed. Negative entries are treated
+// as zero.
+type Headroom [24]float64
+
+// Placement is one load's scheduled hours.
+type Placement struct {
+	Load  Load
+	Hours []int // hours of day, sorted
+	// Overdraw is the energy this load consumes above the headroom
+	// that was left when it was placed.
+	Overdraw units.Energy
+}
+
+// Assignment is a full day's deferrable schedule.
+type Assignment struct {
+	Placements []Placement
+	// Energy is the total deferred-load consumption.
+	Energy units.Energy
+	// Overdraw is the total energy above headroom; zero means the
+	// whole schedule fits inside the plan's spare budget.
+	Overdraw units.Energy
+}
+
+// Schedule packs loads into the headroom greedily, in the order given
+// (callers order by priority). Each load takes the admissible placement
+// with minimal overdraw — ties broken by the earliest hour — and
+// consumes the headroom it used.
+func Schedule(loads []Load, headroom Headroom) (Assignment, error) {
+	seen := make(map[string]bool, len(loads))
+	for _, l := range loads {
+		if err := l.Validate(); err != nil {
+			return Assignment{}, err
+		}
+		if seen[l.ID] {
+			return Assignment{}, fmt.Errorf("shift: duplicate load ID %q", l.ID)
+		}
+		seen[l.ID] = true
+	}
+
+	remaining := headroom
+	for h := range remaining {
+		if remaining[h] < 0 {
+			remaining[h] = 0
+		}
+	}
+
+	var out Assignment
+	for _, l := range loads {
+		var hours []int
+		if l.Contiguous {
+			hours = bestContiguous(l, remaining)
+		} else {
+			hours = bestScattered(l, remaining)
+		}
+		p := Placement{Load: l, Hours: hours}
+		need := l.energyPerHour()
+		for _, h := range hours {
+			used := math.Min(need, remaining[h])
+			p.Overdraw += units.Energy(need - used)
+			remaining[h] -= used
+		}
+		out.Placements = append(out.Placements, p)
+		out.Energy += units.Energy(need * float64(l.Hours))
+		out.Overdraw += p.Overdraw
+	}
+	return out, nil
+}
+
+// admissibleHours lists the hours of day inside the load's window, in
+// chronological order starting at the window's start (so wrapping
+// windows enumerate evening-before-morning).
+func admissibleHours(w simclock.TimeWindow) []int {
+	out := make([]int, 0, w.Hours())
+	for i := 0; i < w.Hours(); i++ {
+		out = append(out, (w.StartHour+i)%24)
+	}
+	return out
+}
+
+// bestContiguous finds the start offset whose run has minimal overdraw.
+func bestContiguous(l Load, remaining Headroom) []int {
+	adm := admissibleHours(l.Window)
+	need := l.energyPerHour()
+	bestAt := 0
+	bestCost := math.Inf(1)
+	for at := 0; at+l.Hours <= len(adm); at++ {
+		cost := 0.0
+		for i := 0; i < l.Hours; i++ {
+			cost += math.Max(0, need-remaining[adm[at+i]])
+		}
+		if cost < bestCost-1e-12 {
+			bestCost, bestAt = cost, at
+		}
+	}
+	hours := make([]int, l.Hours)
+	copy(hours, adm[bestAt:bestAt+l.Hours])
+	sort.Ints(hours)
+	return hours
+}
+
+// bestScattered picks the admissible hours with the most headroom.
+func bestScattered(l Load, remaining Headroom) []int {
+	adm := admissibleHours(l.Window)
+	// Sort candidate hours by descending headroom, then by window
+	// order for determinism.
+	order := make([]int, len(adm))
+	copy(order, adm)
+	pos := make(map[int]int, len(adm))
+	for i, h := range adm {
+		pos[h] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if remaining[order[i]] != remaining[order[j]] {
+			return remaining[order[i]] > remaining[order[j]]
+		}
+		return pos[order[i]] < pos[order[j]]
+	})
+	hours := make([]int, l.Hours)
+	copy(hours, order[:l.Hours])
+	sort.Ints(hours)
+	return hours
+}

@@ -1,0 +1,227 @@
+package shift
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/imcf/imcf/internal/simclock"
+	"github.com/imcf/imcf/internal/units"
+)
+
+func window(s, e int) simclock.TimeWindow { return simclock.TimeWindow{StartHour: s, EndHour: e} }
+
+func washer() Load {
+	return Load{ID: "wash", Name: "Washing Machine", Power: 2000 * units.Watt, Hours: 2,
+		Window: window(8, 22), Contiguous: true}
+}
+
+func ev() Load {
+	return Load{ID: "ev", Name: "EV Charger", Power: 3000 * units.Watt, Hours: 4,
+		Window: window(20, 8), Contiguous: false}
+}
+
+func TestLoadValidate(t *testing.T) {
+	if err := washer().Validate(); err != nil {
+		t.Errorf("valid load rejected: %v", err)
+	}
+	bad := washer()
+	bad.ID = ""
+	if bad.Validate() == nil {
+		t.Error("missing ID accepted")
+	}
+	bad = washer()
+	bad.Power = 0
+	if bad.Validate() == nil {
+		t.Error("zero power accepted")
+	}
+	bad = washer()
+	bad.Hours = 0
+	if bad.Validate() == nil {
+		t.Error("zero hours accepted")
+	}
+	bad = washer()
+	bad.Hours = 15 // window 8-22 is 14 hours
+	if bad.Validate() == nil {
+		t.Error("oversized load accepted")
+	}
+	bad = washer()
+	bad.Window = simclock.TimeWindow{StartHour: 5, EndHour: 5}
+	if bad.Validate() == nil {
+		t.Error("empty window accepted")
+	}
+}
+
+func TestScheduleContiguousPicksCheapestRun(t *testing.T) {
+	// Plenty of headroom only at 13:00–15:00.
+	var h Headroom
+	h[13], h[14] = 2.5, 2.5
+	a, err := Schedule([]Load{washer()}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := a.Placements[0]
+	if len(p.Hours) != 2 || p.Hours[0] != 13 || p.Hours[1] != 14 {
+		t.Errorf("hours = %v, want [13 14]", p.Hours)
+	}
+	if p.Overdraw != 0 || a.Overdraw != 0 {
+		t.Errorf("overdraw = %v", p.Overdraw)
+	}
+	if math.Abs(a.Energy.KWh()-4) > 1e-12 {
+		t.Errorf("energy = %v, want 4 kWh", a.Energy)
+	}
+}
+
+func TestScheduleContiguousStaysContiguous(t *testing.T) {
+	// Headroom scattered at 8 and 21: a contiguous 2h run cannot use
+	// both; it must pick some adjacent pair and overdraw.
+	var h Headroom
+	h[8], h[21] = 2, 2
+	a, err := Schedule([]Load{washer()}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := a.Placements[0]
+	if p.Hours[1] != p.Hours[0]+1 {
+		t.Errorf("run not contiguous: %v", p.Hours)
+	}
+	if p.Overdraw.KWh() != 2 { // one hour covered, one hour fully overdrawn
+		t.Errorf("overdraw = %v, want 2 kWh", p.Overdraw)
+	}
+}
+
+func TestScheduleScatteredPicksBestHours(t *testing.T) {
+	// EV window wraps 20:00–08:00; best headroom at 2,3,4,5.
+	var h Headroom
+	for _, hr := range []int{2, 3, 4, 5} {
+		h[hr] = 3
+	}
+	h[21] = 1 // some, but less
+	a, err := Schedule([]Load{ev()}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := a.Placements[0]
+	want := []int{2, 3, 4, 5}
+	for i := range want {
+		if p.Hours[i] != want[i] {
+			t.Fatalf("hours = %v, want %v", p.Hours, want)
+		}
+	}
+	if p.Overdraw != 0 {
+		t.Errorf("overdraw = %v", p.Overdraw)
+	}
+}
+
+func TestScheduleRespectsWindow(t *testing.T) {
+	// Headroom outside the admissible window must not attract the load.
+	var h Headroom
+	h[2], h[3] = 10, 10 // outside washer window 8–22
+	a, err := Schedule([]Load{washer()}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hr := range a.Placements[0].Hours {
+		if !washer().Window.Contains(hr) {
+			t.Errorf("scheduled outside window: %v", a.Placements[0].Hours)
+		}
+	}
+}
+
+func TestScheduleSequentialConsumption(t *testing.T) {
+	// Two scattered loads compete: the second must see the first's
+	// consumption.
+	l1 := ev()
+	l2 := ev()
+	l2.ID = "ev2"
+	var h Headroom
+	for _, hr := range []int{0, 1, 2, 3} {
+		h[hr] = 3 // exactly covers one EV
+	}
+	a, err := Schedule([]Load{l1, l2}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Placements[0].Overdraw != 0 {
+		t.Errorf("first load overdrew: %v", a.Placements[0].Overdraw)
+	}
+	if a.Placements[1].Overdraw.KWh() != 12 {
+		t.Errorf("second load overdraw = %v, want 12 kWh", a.Placements[1].Overdraw)
+	}
+	if a.Overdraw.KWh() != 12 {
+		t.Errorf("total overdraw = %v", a.Overdraw)
+	}
+}
+
+func TestScheduleErrors(t *testing.T) {
+	if _, err := Schedule([]Load{{ID: "x"}}, Headroom{}); err == nil {
+		t.Error("invalid load accepted")
+	}
+	l := washer()
+	if _, err := Schedule([]Load{l, l}, Headroom{}); err == nil {
+		t.Error("duplicate IDs accepted")
+	}
+}
+
+func TestNegativeHeadroomTreatedAsZero(t *testing.T) {
+	var h Headroom
+	for i := range h {
+		h[i] = -5
+	}
+	a, err := Schedule([]Load{washer()}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Overdraw.KWh()-4) > 1e-12 {
+		t.Errorf("overdraw = %v, want full 4 kWh", a.Overdraw)
+	}
+}
+
+func TestPropertyScheduleInvariants(t *testing.T) {
+	f := func(raw [24]uint8, hoursRaw, startRaw, lenRaw uint8, contiguous bool) bool {
+		var h Headroom
+		for i := range h {
+			h[i] = float64(raw[i]) / 50
+		}
+		win := simclock.TimeWindow{
+			StartHour: int(startRaw % 24),
+			EndHour:   1 + int(lenRaw%24),
+		}
+		if win.Validate() != nil {
+			return true
+		}
+		l := Load{
+			ID:         "l",
+			Power:      units.Power(500 + 100*int(hoursRaw%10)),
+			Hours:      1 + int(hoursRaw)%win.Hours(),
+			Window:     win,
+			Contiguous: contiguous,
+		}
+		if l.Validate() != nil {
+			return true
+		}
+		a, err := Schedule([]Load{l}, h)
+		if err != nil {
+			return false
+		}
+		p := a.Placements[0]
+		if len(p.Hours) != l.Hours {
+			return false
+		}
+		seen := map[int]bool{}
+		for _, hr := range p.Hours {
+			if hr < 0 || hr > 23 || seen[hr] || !win.Contains(hr) {
+				return false
+			}
+			seen[hr] = true
+		}
+		// Energy is exact; overdraw never exceeds energy.
+		if math.Abs(a.Energy.KWh()-l.energyPerHour()*float64(l.Hours)) > 1e-9 {
+			return false
+		}
+		return a.Overdraw >= 0 && a.Overdraw <= a.Energy+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"github.com/imcf/imcf/internal/home"
+)
+
+// TestCalibrationFlatFig6 replays the full three-year flat experiment and
+// checks the Fig. 6 shape: the algorithm orderings and the approximate
+// levels the paper reports (EP ≈ 9.5 MWh under the 11 MWh budget with
+// F_CE in the low single digits; NR ≈ 62 % error at zero energy; IFTTT
+// and MR greedy on energy). Run with -v to see the measured values.
+func TestCalibrationFlatFig6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-year replay skipped in -short mode")
+	}
+	flat, err := home.Flat(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := BuildWorkload(flat, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := map[Algorithm]Result{}
+	for _, alg := range []Algorithm{NR, IFTTT, EP, MR} {
+		opts := Options{}
+		opts.Planner.Seed = 7
+		r, err := Run(w, alg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[alg] = r
+		t.Logf("%-6s F_E=%9.1f kWh  F_CE=%6.2f%%  F_T=%8v  exec=%d/%d",
+			alg, r.Energy.KWh(), float64(r.ConvenienceError),
+			r.PlannerTime.Round(time.Millisecond), r.ExecutedRuleSlots, r.ActiveRuleSlots)
+	}
+
+	nr, ifttt, ep, mr := results[NR], results[IFTTT], results[EP], results[MR]
+
+	// NR: zero energy, worst error near the paper's 62 %.
+	if nr.Energy != 0 {
+		t.Errorf("NR energy = %v, want 0", nr.Energy)
+	}
+	if ce := float64(nr.ConvenienceError); ce < 50 || ce > 72 {
+		t.Errorf("NR F_CE = %.1f%%, want ≈62%%", ce)
+	}
+	// MR: zero error, max energy near 14.9 MWh.
+	if mr.ConvenienceError != 0 {
+		t.Errorf("MR F_CE = %v, want 0", mr.ConvenienceError)
+	}
+	if e := mr.Energy.KWh(); e < 13000 || e > 16500 {
+		t.Errorf("MR F_E = %.0f kWh, want ≈14900", e)
+	}
+	// EP: within budget, close to the paper's ≈9.5 MWh, low error.
+	if e := ep.Energy.KWh(); e > 11000 {
+		t.Errorf("EP F_E = %.0f kWh exceeds the 11000 budget", e)
+	}
+	if e := ep.Energy.KWh(); e < 8200 || e > 10800 {
+		t.Errorf("EP F_E = %.0f kWh, want ≈9500", e)
+	}
+	if ce := float64(ep.ConvenienceError); ce < 0.5 || ce > 6 {
+		t.Errorf("EP F_CE = %.2f%%, want ≈2–4%%", ce)
+	}
+	// IFTTT: error between EP and NR, greedy energy near MR.
+	if ce := float64(ifttt.ConvenienceError); ce < float64(ep.ConvenienceError) || ce > float64(nr.ConvenienceError) {
+		t.Errorf("IFTTT F_CE = %.1f%% not between EP and NR", ce)
+	}
+	if ce := float64(ifttt.ConvenienceError); ce < 15 || ce > 40 {
+		t.Errorf("IFTTT F_CE = %.1f%%, want ≈26%%", ce)
+	}
+	if ifttt.Energy.KWh() < ep.Energy.KWh() {
+		t.Errorf("IFTTT F_E = %v below EP %v; should be greedy-high", ifttt.Energy, ep.Energy)
+	}
+	// Ordering of F_E: NR < EP < MR.
+	if !(nr.Energy < ep.Energy && ep.Energy < mr.Energy) {
+		t.Errorf("energy ordering violated: NR=%v EP=%v MR=%v", nr.Energy, ep.Energy, mr.Energy)
+	}
+}
+
+// runDataset replays all four algorithms over a residence and verifies
+// the Fig. 6 shape against the given expected levels.
+func runDataset(t *testing.T, res *home.Residence, budget, epLo, epHi, mrLo, mrHi, epCEHi float64) {
+	t.Helper()
+	w, err := BuildWorkload(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	results := map[Algorithm]Result{}
+	for _, alg := range []Algorithm{NR, IFTTT, EP, MR} {
+		opts := Options{}
+		opts.Planner.Seed = 11
+		r, err := Run(w, alg, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results[alg] = r
+		t.Logf("%-6s F_E=%10.1f kWh  F_CE=%6.2f%%  F_T=%8v",
+			alg, r.Energy.KWh(), float64(r.ConvenienceError), r.PlannerTime.Round(time.Millisecond))
+	}
+	nr, ifttt, ep, mr := results[NR], results[IFTTT], results[EP], results[MR]
+	if nr.Energy != 0 || mr.ConvenienceError != 0 {
+		t.Errorf("baseline degeneracies violated: NR F_E=%v MR F_CE=%v", nr.Energy, mr.ConvenienceError)
+	}
+	if e := ep.Energy.KWh(); e > budget || e < epLo || e > epHi {
+		t.Errorf("EP F_E = %.0f, want within [%.0f, %.0f] and ≤ budget %.0f", e, epLo, epHi, budget)
+	}
+	if e := mr.Energy.KWh(); e < mrLo || e > mrHi {
+		t.Errorf("MR F_E = %.0f, want ≈[%.0f, %.0f]", e, mrLo, mrHi)
+	}
+	if ce := float64(ep.ConvenienceError); ce <= 0 || ce > epCEHi {
+		t.Errorf("EP F_CE = %.2f%%, want (0, %.1f]", ce, epCEHi)
+	}
+	if !(float64(ep.ConvenienceError) < float64(ifttt.ConvenienceError) &&
+		float64(ifttt.ConvenienceError) < float64(nr.ConvenienceError)) {
+		t.Errorf("error ordering violated: EP=%v IFTTT=%v NR=%v",
+			ep.ConvenienceError, ifttt.ConvenienceError, nr.ConvenienceError)
+	}
+}
+
+func TestCalibrationHouseFig6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-year replay skipped in -short mode")
+	}
+	res, err := home.House(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: budget 25500, EP ≈ 22300 (F_CE 2–2.5 %), MR ≈ 32300.
+	runDataset(t, res, 25500, 19000, 24500, 29000, 36000, 5)
+}
+
+func TestCalibrationDormsFig6(t *testing.T) {
+	if testing.Short() {
+		t.Skip("3-year replay skipped in -short mode")
+	}
+	res, err := home.Dorms(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: budget 480000, EP ≈ 410000 (F_CE 2.5–3 %), MR ≈ 560000.
+	runDataset(t, res, 480000, 360000, 460000, 520000, 620000, 6)
+}

@@ -1,0 +1,82 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/imcf/imcf/internal/trace"
+	"github.com/imcf/imcf/internal/weather"
+)
+
+// TestReplayFromStoredDataset runs the same flat experiment twice — once
+// on the direct synthetic ambient model and once replaying a generated
+// on-disk dataset — and requires near-identical planner outcomes. This
+// is the paper's methodology in miniature: record once, replay
+// repeatably through the simulator.
+func TestReplayFromStoredDataset(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation skipped in -short mode")
+	}
+	synthetic := oneYearFlat(t)
+	wSynthetic := buildWorkload(t, synthetic)
+
+	// Generate the same zone's readings to disk over the same year.
+	dir := t.TempDir()
+	wx := weather.MustNew(42, weather.Nicosia())
+	zone := trace.DefaultZone(42)
+	zone.TempOffset = 2.5
+	zone.TempCoupling = 0.85
+	from := DefaultStart
+	m, err := trace.GenerateDataset(dir, wx, trace.DatasetSpec{
+		Name:  "flat-replay",
+		Seed:  42,
+		Zones: []trace.ZoneModel{zone},
+		From:  from,
+		To:    from.AddDate(1, 0, 0),
+		// Coarser than the CASAS cadence to keep the test quick;
+		// hourly means still converge.
+		TempInterval:  4 * time.Minute,
+		LightInterval: 4 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("dataset: %d readings", m.Records)
+
+	// A flat whose zone replays the stored dataset.
+	stored := oneYearFlat(t)
+	ds, err := trace.OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := ds.Ambient(0, stored.Zones[0].Ambient)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stored.Zones[0].Ambient = src
+	wStored, err := BuildWorkload(stored, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opts := Options{}
+	opts.Planner.Seed = 7
+	direct, err := Run(wSynthetic, EP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	replayed, err := Run(wStored, EP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("direct:   F_E=%.1f F_CE=%.2f%%", direct.Energy.KWh(), float64(direct.ConvenienceError))
+	t.Logf("replayed: F_E=%.1f F_CE=%.2f%%", replayed.Energy.KWh(), float64(replayed.ConvenienceError))
+
+	if d := math.Abs(direct.Energy.KWh() - replayed.Energy.KWh()); d > direct.Energy.KWh()*0.03 {
+		t.Errorf("replayed energy diverges by %.1f kWh", d)
+	}
+	if d := math.Abs(float64(direct.ConvenienceError) - float64(replayed.ConvenienceError)); d > 0.8 {
+		t.Errorf("replayed error diverges by %.2f pp", d)
+	}
+}

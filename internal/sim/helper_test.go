@@ -1,0 +1,12 @@
+package sim
+
+import (
+	"time"
+
+	"github.com/imcf/imcf/internal/simclock"
+)
+
+// simSlot wraps an instant in a one-hour Slot for tests.
+func simSlot(at time.Time) simclock.Slot {
+	return simclock.Slot{Start: at, Duration: time.Hour}
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/rules"
+)
+
+// necessityFlat marks the flat's Night Heat as a necessity rule (e.g. a
+// medical requirement) and shrinks the budget so the planner is forced
+// to choose.
+func necessityFlat(t *testing.T) *home.Residence {
+	t.Helper()
+	res := oneYearFlat(t)
+	for i := range res.MRT.Rules {
+		if res.MRT.Rules[i].Name == "Night Heat" {
+			res.MRT.Rules[i].Necessity = true
+		}
+	}
+	return res
+}
+
+func TestNecessityRulesAlwaysExecute(t *testing.T) {
+	res := necessityFlat(t)
+	w := buildWorkload(t, res)
+
+	// Starve the planner to 1 % of the budget: convenience rules are
+	// essentially unaffordable, but the necessity rule must still run.
+	opts := Options{Savings: 0.99}
+	opts.Planner.Seed = 3
+	r, err := Run(w, EP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Night Heat runs 6 h/day regardless: its energy alone is
+	// 6 × 0.6 × 365 = 1314 kWh — far beyond the ~110 kWh budget.
+	if r.Energy.KWh() < 1314-1 {
+		t.Errorf("F_E = %.0f kWh, below the necessity rule's own %.0f", r.Energy.KWh(), 1314.0)
+	}
+	if r.ExecutedRuleSlots < 6*365 {
+		t.Errorf("executed %d rule-slots, want at least the necessity rule's %d",
+			r.ExecutedRuleSlots, 6*365)
+	}
+
+	// The same starved run without the necessity flag stays within its
+	// tiny budget and drops night heating freely.
+	plain := oneYearFlat(t)
+	wp := buildWorkload(t, plain)
+	rp, err := Run(wp, EP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rp.Energy.KWh() > rp.BudgetTotal.KWh() {
+		t.Errorf("plain starved run exceeded budget: %v > %v", rp.Energy, rp.BudgetTotal)
+	}
+	if rp.Energy.KWh() >= 1314 {
+		t.Errorf("plain starved run consumed %.0f kWh — night heat not droppable?", rp.Energy.KWh())
+	}
+}
+
+func TestNecessityReducesConvenienceBudget(t *testing.T) {
+	// With the same total budget, committing energy to a necessity
+	// rule leaves less for the others: convenience error must not
+	// improve.
+	res := necessityFlat(t)
+	w := buildWorkload(t, res)
+	plain := oneYearFlat(t)
+	wp := buildWorkload(t, plain)
+
+	opts := Options{Savings: 0.5}
+	opts.Planner.Seed = 3
+	withNec, err := Run(w, EP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Run(wp, EP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(withNec.ConvenienceError) < float64(without.ConvenienceError)*0.98 {
+		t.Errorf("necessity commitment improved F_CE: %v vs %v",
+			withNec.ConvenienceError, without.ConvenienceError)
+	}
+}
+
+func TestNecessitiesAccessor(t *testing.T) {
+	res := necessityFlat(t)
+	nec := res.MRT.Necessities()
+	if len(nec) != 1 || nec[0].Name != "Night Heat" {
+		t.Errorf("Necessities() = %+v", nec)
+	}
+	if got := len(rules.FlatMRT().Necessities()); got != 0 {
+		t.Errorf("plain flat MRT has %d necessity rules", got)
+	}
+}

@@ -1,0 +1,574 @@
+// Package sim is the trace-driven simulation harness of the IMCF
+// reproduction: it replays a residence's ambient traces through one of
+// the compared algorithms — NR, IFTTT, EP or MR — over the evaluation
+// period and reports the paper's metrics: Convenience Error (F_CE),
+// Energy Consumption (F_E) and planner CPU time (F_T).
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/imcf/imcf/internal/core"
+	"github.com/imcf/imcf/internal/ecp"
+	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/rules"
+	"github.com/imcf/imcf/internal/simclock"
+	"github.com/imcf/imcf/internal/units"
+)
+
+// Algorithm identifies one of the compared methods.
+type Algorithm int
+
+// The four compared methods of the paper's Fig. 6.
+const (
+	NR Algorithm = iota + 1
+	IFTTT
+	EP
+	MR
+)
+
+// String returns the method acronym.
+func (a Algorithm) String() string {
+	switch a {
+	case NR:
+		return "NR"
+	case IFTTT:
+		return "IFTTT"
+	case EP:
+		return "EP"
+	case MR:
+		return "MR"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// DefaultStart is the beginning of the CASAS trace period the paper
+// replays (October 2013).
+var DefaultStart = time.Date(2013, time.October, 1, 0, 0, 0, 0, time.UTC)
+
+// Options configures a simulation run.
+type Options struct {
+	// Start is the first slot's instant; zero means DefaultStart.
+	Start time.Time
+	// Planner configures EP; ignored by the baselines.
+	Planner core.Config
+	// Formula selects the amortization plan; zero means EAF.
+	Formula ecp.Formula
+	// SaveMonths and SaveFraction configure BLAF when selected.
+	SaveFraction float64
+	SaveMonths   [12]bool
+	// Savings scales the total budget down by the given fraction
+	// (Fig. 9's energy-conservation sweep): budget × (1 − Savings).
+	Savings float64
+	// ErrorModel overrides the convenience-error model; zero value
+	// means rules.DefaultErrorModel.
+	ErrorModel rules.ErrorModel
+	// NoCarryOver disables the net-metering ledger that rolls unspent
+	// slot budget forward. The ledger is on by default: the paper's
+	// amortization story is explicitly net-metering ("energy excess on
+	// a sunny day can be used at later stages within a yearly cycle"),
+	// and without it no hourly budget in a low-ECP month could afford
+	// a single split-unit hour. The ablation bench exercises both.
+	NoCarryOver bool
+	// CarryCapHours bounds the ledger to this many mean-budget hours
+	// (a rollover allowance, not a season-scale battery). Zero means
+	// DefaultCarryCapHours; ablations may pass very large values to
+	// approximate an unbounded ledger.
+	CarryCapHours float64
+	// PlanWindowHours is the EP decision granularity: the planner runs
+	// once per window and its solution vector holds one bit per
+	// meta-rule for the whole window, exactly the paper's s = ⟨s_1…s_N⟩
+	// over the MRT (Fig. 4). Zero means DefaultPlanWindowHours (daily).
+	// 1 gives per-slot decisions (an ablation). Baselines are
+	// window-invariant.
+	PlanWindowHours int
+}
+
+// DefaultPlanWindowHours is the default EP decision window: one day.
+const DefaultPlanWindowHours = 24
+
+// DefaultCarryCapHours is the default ledger bound: three days of mean
+// hourly budget.
+const DefaultCarryCapHours = 72
+
+func (o Options) withDefaults() Options {
+	if o.Start.IsZero() {
+		o.Start = DefaultStart
+	}
+	if o.Planner.K == 0 {
+		o.Planner.K = core.DefaultConfig().K
+	}
+	if o.Planner.Init == 0 {
+		o.Planner.Init = core.DefaultConfig().Init
+	}
+	// Planner.MaxIter zero means auto-scale: Run sets τ_max from the
+	// rule count so the local search is meaningful at every dataset
+	// scale (6 rules in the flat, 600 in the dorms).
+	if o.Formula == 0 {
+		o.Formula = ecp.EAF
+	}
+	if o.ErrorModel == (rules.ErrorModel{}) {
+		o.ErrorModel = rules.DefaultErrorModel()
+	}
+	if o.CarryCapHours == 0 {
+		o.CarryCapHours = DefaultCarryCapHours
+	}
+	if o.PlanWindowHours == 0 {
+		o.PlanWindowHours = DefaultPlanWindowHours
+	}
+	return o
+}
+
+// Result is one run's outcome.
+type Result struct {
+	Algorithm Algorithm
+	Dataset   string
+	// Energy is F_E: total energy consumed over the period.
+	Energy units.Energy
+	// ConvenienceError is F_CE: the mean normalized error over all
+	// active rule-slot pairs, as a percentage.
+	ConvenienceError units.Percent
+	// PlannerTime is F_T: CPU time spent inside the planning
+	// algorithm (problem construction + search; not trace replay).
+	PlannerTime time.Duration
+	// Slots is the number of simulated hourly slots.
+	Slots int
+	// ActiveRuleSlots counts (rule, slot) pairs where the rule's
+	// window was active; ExecutedRuleSlots of those executed.
+	ActiveRuleSlots   int64
+	ExecutedRuleSlots int64
+	// BudgetTotal is the period budget EP planned against.
+	BudgetTotal units.Energy
+	// PerOwner attributes convenience error to rule owners (Table V).
+	PerOwner map[string]units.Percent
+}
+
+// Workload is a residence's precomputed replay data: per-slot ambient
+// conditions and environments, shared by all algorithm runs so that
+// NR/IFTTT/EP/MR comparisons see identical traces.
+type Workload struct {
+	Residence *home.Residence
+	Grid      *simclock.Grid
+	Model     rules.ErrorModel
+
+	ruleList []ruleStatic
+	byHour   [24][]int // rule indices active at each hour of day
+
+	// ambient[zone][slot] holds (temperature, light).
+	ambient [][][2]float32
+	envs    []rules.Env
+}
+
+type ruleStatic struct {
+	rule      rules.MetaRule
+	energyKWh float64 // e_j for one hourly slot
+	zone      int
+	isTemp    bool
+	desired   float64
+	owner     string
+	necessity bool
+}
+
+// RuleCount returns the number of convenience meta-rules in the
+// workload, which control studies use to size the search budget.
+func (w *Workload) RuleCount() int { return len(w.ruleList) }
+
+// BuildWorkload precomputes the replay data for a residence.
+func BuildWorkload(res *home.Residence, opts Options) (*Workload, error) {
+	if res == nil {
+		return nil, errors.New("sim: nil residence")
+	}
+	if err := res.Validate(); err != nil {
+		return nil, err
+	}
+	opts = opts.withDefaults()
+	if err := opts.ErrorModel.Validate(); err != nil {
+		return nil, err
+	}
+	end := opts.Start.AddDate(res.Years, 0, 0)
+	grid, err := simclock.GridOver(opts.Start, end, time.Hour)
+	if err != nil {
+		return nil, err
+	}
+
+	w := &Workload{Residence: res, Grid: grid, Model: opts.ErrorModel}
+	for _, r := range res.MRT.Convenience() {
+		dev, err := res.RuleDevice(r)
+		if err != nil {
+			return nil, err
+		}
+		rs := ruleStatic{
+			rule:      r,
+			energyKWh: dev.EnergyPerSlot(time.Hour).KWh(),
+			zone:      r.Zone,
+			isTemp:    r.Action == rules.ActionSetTemperature,
+			desired:   r.Value,
+			owner:     r.Owner,
+			necessity: r.Necessity,
+		}
+		idx := len(w.ruleList)
+		w.ruleList = append(w.ruleList, rs)
+		for h := 0; h < 24; h++ {
+			if r.ActiveAt(h) {
+				w.byHour[h] = append(w.byHour[h], idx)
+			}
+		}
+	}
+
+	// Precompute ambient per zone per slot and the IFTTT environment
+	// per slot.
+	n := grid.Len()
+	w.ambient = make([][][2]float32, len(res.Zones))
+	for z := range res.Zones {
+		w.ambient[z] = make([][2]float32, n)
+	}
+	w.envs = make([]rules.Env, n)
+	for i := 0; i < n; i++ {
+		slot := grid.Slot(i)
+		for z, zone := range res.Zones {
+			a := zone.Ambient.AmbientAt(slot.Start)
+			w.ambient[z][i] = [2]float32{float32(a.Temperature), float32(a.Light)}
+		}
+		obs := res.Weather.At(slot.Start.Add(30 * time.Minute))
+		w.envs[i] = rules.Env{
+			Season:      obs.Season,
+			Condition:   obs.Condition,
+			OutdoorTemp: obs.Temperature.Celsius(),
+			Light:       float64(w.ambient[0][i][1]),
+			DoorOpen:    doorOpen(res.Name, slot),
+		}
+	}
+	return w, nil
+}
+
+// doorOpen deterministically marks some waking-hour slots as having the
+// door open, standing in for the CASAS door/window sensor stream.
+func doorOpen(name string, slot simclock.Slot) bool {
+	h := slot.HourOfDay()
+	if h < 7 || h > 21 {
+		return false
+	}
+	x := uint64(slot.Start.Unix()/3600) * 0x9E3779B97F4A7C15
+	for _, c := range name {
+		x ^= uint64(c) * 0xBF58476D1CE4E5B9
+	}
+	x ^= x >> 33
+	x *= 0xD6E8FEB86659FD93
+	x ^= x >> 33
+	return x%100 < 22 // ≈ a fifth of waking hours see a door event
+}
+
+// dropError returns ce for ignoring rule r during slot i: the deviation
+// between the desired output and the ambient value.
+func (w *Workload) dropError(r *ruleStatic, i int) float64 {
+	amb := w.ambient[r.zone][i]
+	if r.isTemp {
+		return w.Model.Error(rules.ActionSetTemperature, r.desired, float64(amb[0]))
+	}
+	return w.Model.Error(rules.ActionSetLight, r.desired, float64(amb[1]))
+}
+
+// Run replays the workload through an algorithm.
+func Run(w *Workload, alg Algorithm, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	res := Result{
+		Algorithm: alg,
+		Dataset:   w.Residence.Name,
+		Slots:     w.Grid.Len(),
+		PerOwner:  make(map[string]units.Percent),
+	}
+
+	plan := ecp.Plan{
+		Formula:      opts.Formula,
+		Profile:      w.Residence.Profile,
+		Budget:       units.Energy(w.Residence.Budget.KWh() * (1 - opts.Savings)),
+		Years:        w.Residence.Years,
+		SaveFraction: opts.SaveFraction,
+		SaveMonths:   opts.SaveMonths,
+	}
+	if opts.Savings < 0 || opts.Savings >= 1 {
+		return res, fmt.Errorf("sim: savings fraction %v outside [0,1)", opts.Savings)
+	}
+	if err := plan.Validate(); err != nil {
+		return res, err
+	}
+	res.BudgetTotal = plan.TotalBudget()
+
+	// Hourly budgets per month, precomputed.
+	var hourlyBudget [13]float64
+	for m := time.January; m <= time.December; m++ {
+		b, err := plan.HourlyBudget(m)
+		if err != nil {
+			return res, err
+		}
+		hourlyBudget[m] = b.KWh()
+	}
+	if opts.CarryCapHours < 0 {
+		return res, fmt.Errorf("sim: negative carry cap %v", opts.CarryCapHours)
+	}
+	if opts.PlanWindowHours < 1 {
+		return res, fmt.Errorf("sim: plan window %d must be ≥ 1 hour", opts.PlanWindowHours)
+	}
+	meanHourly := plan.TotalBudget().KWh() / float64(w.Residence.Years*ecp.HoursPerYear)
+	carryCap := meanHourly * opts.CarryCapHours
+
+	var planner *core.Planner
+	if alg == EP {
+		if opts.Planner.MaxIter == 0 {
+			opts.Planner.MaxIter = autoMaxIter(len(w.ruleList))
+		}
+		var err error
+		planner, err = core.NewPlanner(opts.Planner)
+		if err != nil {
+			return res, err
+		}
+	}
+
+	acc := &runAccumulator{
+		ownerErr:    make(map[string]float64),
+		ownerActive: make(map[string]int64),
+	}
+	var err error
+	if alg == EP {
+		err = w.runEP(planner, opts, hourlyBudget, carryCap, acc)
+	} else {
+		err = w.runPerSlot(alg, acc)
+	}
+	if err != nil {
+		return res, err
+	}
+
+	res.Energy = units.Energy(acc.totalEnergy)
+	res.PlannerTime = acc.plannerTime
+	res.ActiveRuleSlots = acc.active
+	res.ExecutedRuleSlots = acc.executed
+	if acc.active > 0 {
+		res.ConvenienceError = units.FromFraction(acc.totalError / float64(acc.active))
+	}
+	for owner, sum := range acc.ownerErr {
+		if acc.ownerActive[owner] > 0 {
+			res.PerOwner[owner] = units.FromFraction(sum / float64(acc.ownerActive[owner]))
+		}
+	}
+	return res, nil
+}
+
+// autoMaxIter scales τ_max with the number of meta-rules so the local
+// search is near-convergent — but not exhaustively converged — at every
+// dataset scale, which is the regime where the paper's k-opt and
+// initialization effects (Figs. 7–8) are visible.
+func autoMaxIter(rules int) int {
+	iter := 10 * rules
+	if iter < 50 {
+		return 50
+	}
+	if iter > 4000 {
+		return 4000
+	}
+	return iter
+}
+
+// runAccumulator gathers metrics across the replay loops.
+type runAccumulator struct {
+	totalEnergy float64
+	totalError  float64
+	active      int64
+	executed    int64
+	ownerErr    map[string]float64
+	ownerActive map[string]int64
+	plannerTime time.Duration
+}
+
+// runEP replays the Energy Planner: one invocation per plan window, one
+// activation bit per meta-rule for the whole window (the paper's
+// s = ⟨s_1 … s_N⟩ over the MRT), constrained by the window's amortized
+// budget plus the bounded ledger.
+func (w *Workload) runEP(planner *core.Planner, opts Options, hourlyBudget [13]float64, carryCap float64, acc *runAccumulator) error {
+	n := w.Grid.Len()
+	window := opts.PlanWindowHours
+	nRules := len(w.ruleList)
+
+	// Scratch per-rule window aggregates.
+	energy := make([]float64, nRules)
+	dropErr := make([]float64, nRules)
+	slots := make([]int64, nRules)
+	present := make([]int, 0, nRules)
+	planned := make([]int, 0, nRules)
+	var problem core.Problem
+	var carry float64
+
+	for w0 := 0; w0 < n; w0 += window {
+		wEnd := w0 + window
+		if wEnd > n {
+			wEnd = n
+		}
+		start := time.Now()
+
+		budget := 0.0
+		if !opts.NoCarryOver {
+			budget = carry
+		}
+		present = present[:0]
+		for i := w0; i < wEnd; i++ {
+			slot := w.Grid.Slot(i)
+			budget += hourlyBudget[slot.Month()]
+			for _, ri := range w.byHour[slot.HourOfDay()] {
+				if slots[ri] == 0 {
+					present = append(present, ri)
+				}
+				r := &w.ruleList[ri]
+				slots[ri]++
+				energy[ri] += r.energyKWh
+				dropErr[ri] += w.dropError(r, i)
+			}
+		}
+
+		// Necessity rules execute unconditionally: their energy is
+		// committed before the convenience rules compete for what is
+		// left of the window budget.
+		necessityEnergy := 0.0
+		problem.Costs = problem.Costs[:0]
+		planned := planned[:0]
+		for _, ri := range present {
+			if w.ruleList[ri].necessity {
+				necessityEnergy += energy[ri]
+				continue
+			}
+			planned = append(planned, ri)
+			problem.Costs = append(problem.Costs, core.RuleCost{
+				DropError: dropErr[ri],
+				Energy:    energy[ri],
+			})
+		}
+		problem.Budget = max(budget-necessityEnergy, 0)
+
+		sol, eval, err := planner.Plan(problem)
+		if err != nil {
+			return err
+		}
+		acc.plannerTime += time.Since(start)
+
+		spent := eval.Energy + necessityEnergy
+		acc.totalEnergy += spent
+		if !opts.NoCarryOver {
+			carry = min(max(budget-spent, 0), carryCap)
+		}
+		for j, ri := range planned {
+			r := &w.ruleList[ri]
+			if sol[j] {
+				acc.executed += slots[ri]
+			} else {
+				acc.totalError += dropErr[ri]
+				acc.ownerErr[r.owner] += dropErr[ri]
+			}
+		}
+		for _, ri := range present {
+			r := &w.ruleList[ri]
+			acc.active += slots[ri]
+			acc.ownerActive[r.owner] += slots[ri]
+			if r.necessity {
+				acc.executed += slots[ri]
+			}
+			// Reset scratch for the next window.
+			energy[ri], dropErr[ri], slots[ri] = 0, 0, 0
+		}
+	}
+	return nil
+}
+
+// runPerSlot replays the window-invariant baselines slot by slot.
+func (w *Workload) runPerSlot(alg Algorithm, acc *runAccumulator) error {
+	n := w.Grid.Len()
+	var problem core.Problem
+	for i := 0; i < n; i++ {
+		slot := w.Grid.Slot(i)
+		idx := w.byHour[slot.HourOfDay()]
+		if len(idx) == 0 {
+			continue
+		}
+		problem.Costs = problem.Costs[:0]
+		for _, ri := range idx {
+			r := &w.ruleList[ri]
+			problem.Costs = append(problem.Costs, core.RuleCost{
+				DropError: w.dropError(r, i),
+				Energy:    r.energyKWh,
+			})
+		}
+
+		var sol core.Solution
+		var eval core.Eval
+		start := time.Now()
+		switch alg {
+		case NR:
+			sol, eval = core.NoRule(problem)
+		case MR:
+			sol, eval = core.MetaRuleAll(problem)
+		case IFTTT:
+			sol, eval = w.iftttSlot(problem, idx, i)
+		default:
+			return fmt.Errorf("sim: unknown algorithm %v", alg)
+		}
+		acc.plannerTime += time.Since(start)
+
+		acc.totalEnergy += eval.Energy
+		acc.active += int64(len(idx))
+		for j, ri := range idx {
+			r := &w.ruleList[ri]
+			var ce float64
+			if sol[j] {
+				acc.executed++
+				if alg == IFTTT {
+					ce = w.iftttMismatch(r, i)
+				}
+			} else {
+				ce = problem.Costs[j].DropError
+			}
+			acc.totalError += ce
+			acc.ownerErr[r.owner] += ce
+			acc.ownerActive[r.owner]++
+		}
+	}
+	return nil
+}
+
+// iftttSlot models the trigger-action baseline for one slot: every zone
+// device whose action kind the IFTTT table sets is actuated (consuming
+// its energy), regardless of budget; rules whose action kind the table
+// does not set fall back to ambient (dropped).
+func (w *Workload) iftttSlot(p core.Problem, idx []int, slotIdx int) (core.Solution, core.Eval) {
+	outputs := rules.Outputs(w.Residence.IFTTT, w.envs[slotIdx])
+	sol := make(core.Solution, len(idx))
+	var eval core.Eval
+	for j, ri := range idx {
+		r := &w.ruleList[ri]
+		action := rules.ActionSetLight
+		if r.isTemp {
+			action = rules.ActionSetTemperature
+		}
+		if _, ok := outputs[action]; ok {
+			sol[j] = true
+			eval.Energy += p.Costs[j].Energy
+		} else {
+			eval.Error += p.Costs[j].DropError
+		}
+	}
+	return sol, eval
+}
+
+// iftttMismatch is the convenience error of an executed IFTTT action:
+// the deviation between the MRT-desired output and the IFTTT-set output.
+func (w *Workload) iftttMismatch(r *ruleStatic, slotIdx int) float64 {
+	outputs := rules.Outputs(w.Residence.IFTTT, w.envs[slotIdx])
+	action := rules.ActionSetLight
+	if r.isTemp {
+		action = rules.ActionSetTemperature
+	}
+	set, ok := outputs[action]
+	if !ok {
+		return 0
+	}
+	return w.Model.Error(r.rule.Action, r.desired, set)
+}

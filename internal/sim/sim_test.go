@@ -1,0 +1,388 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"github.com/imcf/imcf/internal/core"
+	"github.com/imcf/imcf/internal/ecp"
+	"github.com/imcf/imcf/internal/home"
+)
+
+// oneYearFlat returns a flat residence shortened to one year for fast
+// unit tests (the calibration tests cover the full three-year runs).
+func oneYearFlat(t *testing.T) *home.Residence {
+	t.Helper()
+	res, err := home.Flat(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Years = 1
+	return res
+}
+
+func buildWorkload(t *testing.T, res *home.Residence) *Workload {
+	t.Helper()
+	w, err := BuildWorkload(res, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestBuildWorkloadValidation(t *testing.T) {
+	if _, err := BuildWorkload(nil, Options{}); err == nil {
+		t.Error("nil residence accepted")
+	}
+	res := oneYearFlat(t)
+	res.MRT.Rules[0].Zone = 99
+	if _, err := BuildWorkload(res, Options{}); err == nil {
+		t.Error("invalid residence accepted")
+	}
+}
+
+func TestWorkloadShape(t *testing.T) {
+	w := buildWorkload(t, oneYearFlat(t))
+	if w.Grid.Len() != 365*24 {
+		t.Errorf("grid has %d slots, want 8760", w.Grid.Len())
+	}
+	// Hour 3 has Night Heat only; hour 5 adds Morning Lights; hour 0
+	// has nothing.
+	if n := len(w.byHour[3]); n != 1 {
+		t.Errorf("hour 3 has %d active rules, want 1", n)
+	}
+	if n := len(w.byHour[5]); n != 2 {
+		t.Errorf("hour 5 has %d active rules, want 2", n)
+	}
+	if n := len(w.byHour[0]); n != 0 {
+		t.Errorf("hour 0 has %d active rules, want 0", n)
+	}
+}
+
+func TestRunInvalidInputs(t *testing.T) {
+	w := buildWorkload(t, oneYearFlat(t))
+	if _, err := Run(w, Algorithm(99), Options{}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+	if _, err := Run(w, EP, Options{Savings: 1.5}); err == nil {
+		t.Error("savings ≥ 1 accepted")
+	}
+	if _, err := Run(w, EP, Options{Savings: -0.1}); err == nil {
+		t.Error("negative savings accepted")
+	}
+	if _, err := Run(w, EP, Options{CarryCapHours: -1}); err == nil {
+		t.Error("negative carry cap accepted")
+	}
+	bad := Options{}
+	bad.Planner = core.Config{K: -1, MaxIter: 1, Init: core.InitAllOn}
+	if _, err := Run(w, EP, bad); err == nil {
+		t.Error("invalid planner config accepted")
+	}
+}
+
+func TestRunBaselinesInvariants(t *testing.T) {
+	w := buildWorkload(t, oneYearFlat(t))
+	nr, err := Run(w, NR, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nr.Energy != 0 || nr.ExecutedRuleSlots != 0 {
+		t.Errorf("NR consumed energy: %+v", nr)
+	}
+	if nr.ConvenienceError <= 0 {
+		t.Error("NR error not positive")
+	}
+	mr, err := Run(w, MR, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.ConvenienceError != 0 {
+		t.Errorf("MR error = %v", mr.ConvenienceError)
+	}
+	if mr.ExecutedRuleSlots != mr.ActiveRuleSlots {
+		t.Errorf("MR executed %d of %d", mr.ExecutedRuleSlots, mr.ActiveRuleSlots)
+	}
+	// Table II windows cover 39 rule-hours/day.
+	if want := int64(39 * 365); mr.ActiveRuleSlots != want {
+		t.Errorf("active rule-slots = %d, want %d", mr.ActiveRuleSlots, want)
+	}
+}
+
+func TestRunEPRespectsBudget(t *testing.T) {
+	w := buildWorkload(t, oneYearFlat(t))
+	opts := Options{}
+	opts.Planner.Seed = 3
+	ep, err := Run(w, EP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.Energy > ep.BudgetTotal {
+		t.Errorf("EP energy %v exceeds budget %v", ep.Energy, ep.BudgetTotal)
+	}
+	if ep.ExecutedRuleSlots == 0 || ep.ExecutedRuleSlots == ep.ActiveRuleSlots {
+		t.Errorf("EP executed %d of %d: no planning happened", ep.ExecutedRuleSlots, ep.ActiveRuleSlots)
+	}
+}
+
+func TestRunDeterminism(t *testing.T) {
+	w := buildWorkload(t, oneYearFlat(t))
+	opts := Options{}
+	opts.Planner.Seed = 5
+	a, err := Run(w, EP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(w, EP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Energy != b.Energy || a.ConvenienceError != b.ConvenienceError {
+		t.Errorf("same seed diverged: %+v vs %+v", a, b)
+	}
+}
+
+func TestSavingsReducesEnergy(t *testing.T) {
+	w := buildWorkload(t, oneYearFlat(t))
+	opts := Options{}
+	opts.Planner.Seed = 5
+	base, err := Run(w, EP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Savings = 0.4
+	saved, err := Run(w, EP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved.BudgetTotal.KWh() >= base.BudgetTotal.KWh() {
+		t.Errorf("savings did not shrink budget: %v vs %v", saved.BudgetTotal, base.BudgetTotal)
+	}
+	if saved.Energy >= base.Energy {
+		t.Errorf("40%% savings did not reduce energy: %v vs %v", saved.Energy, base.Energy)
+	}
+	if saved.ConvenienceError < base.ConvenienceError {
+		t.Errorf("saving energy improved convenience: %v vs %v", saved.ConvenienceError, base.ConvenienceError)
+	}
+}
+
+func TestCarryOverAblation(t *testing.T) {
+	// At per-slot granularity the ledger is what makes split-unit
+	// hours affordable in low-ECP months: without it EP collapses to
+	// cheap rules only.
+	w := buildWorkload(t, oneYearFlat(t))
+	opts := Options{PlanWindowHours: 1}
+	opts.Planner.Seed = 5
+	with, err := Run(w, EP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.NoCarryOver = true
+	without, err := Run(w, EP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if without.Energy >= with.Energy {
+		t.Errorf("no-carry energy %v not below carry energy %v", without.Energy, with.Energy)
+	}
+	if without.ConvenienceError <= with.ConvenienceError {
+		t.Errorf("no-carry error %v not worse than carry %v", without.ConvenienceError, with.ConvenienceError)
+	}
+
+	// At the default daily window the amortization already smooths
+	// within the day, so disabling the ledger must not blow up.
+	daily := Options{NoCarryOver: true}
+	daily.Planner.Seed = 5
+	r, err := Run(w, EP, daily)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Energy > r.BudgetTotal {
+		t.Errorf("daily no-carry exceeded budget: %v > %v", r.Energy, r.BudgetTotal)
+	}
+}
+
+func TestPlanWindowAblation(t *testing.T) {
+	// Finer decision windows give the planner strictly more freedom:
+	// per-slot plans must not be worse on error while staying within
+	// budget.
+	w := buildWorkload(t, oneYearFlat(t))
+	daily := Options{}
+	daily.Planner.Seed = 5
+	d, err := Run(w, EP, daily)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hourly := Options{PlanWindowHours: 1}
+	hourly.Planner.Seed = 5
+	h, err := Run(w, EP, hourly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Energy > h.BudgetTotal || d.Energy > d.BudgetTotal {
+		t.Errorf("budget violated: hourly %v, daily %v (budget %v)", h.Energy, d.Energy, d.BudgetTotal)
+	}
+	if float64(h.ConvenienceError) > float64(d.ConvenienceError)*1.5 {
+		t.Errorf("hourly plans much worse than daily: %v vs %v", h.ConvenienceError, d.ConvenienceError)
+	}
+	if _, err := Run(w, EP, Options{PlanWindowHours: -3}); err == nil {
+		t.Error("negative plan window accepted")
+	}
+}
+
+func TestFormulaVariants(t *testing.T) {
+	w := buildWorkload(t, oneYearFlat(t))
+	for _, f := range []ecp.Formula{ecp.LAF, ecp.EAF} {
+		opts := Options{Formula: f}
+		opts.Planner.Seed = 5
+		r, err := Run(w, EP, opts)
+		if err != nil {
+			t.Fatalf("%v: %v", f, err)
+		}
+		if r.Energy > r.BudgetTotal {
+			t.Errorf("%v: over budget", f)
+		}
+	}
+	blaf := Options{Formula: ecp.BLAF, SaveFraction: 0.3, SaveMonths: ecp.SummerSaveMonths()}
+	blaf.Planner.Seed = 5
+	r, err := Run(w, EP, blaf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Energy > r.BudgetTotal {
+		t.Error("BLAF: over budget")
+	}
+}
+
+func TestIFTTTExecutesGreedily(t *testing.T) {
+	w := buildWorkload(t, oneYearFlat(t))
+	r, err := Run(w, IFTTT, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Table III always sets a temperature (season rules cover every
+	// slot) and usually a light level, so execution is near-total.
+	if r.ExecutedRuleSlots < r.ActiveRuleSlots*9/10 {
+		t.Errorf("IFTTT executed %d of %d", r.ExecutedRuleSlots, r.ActiveRuleSlots)
+	}
+	if r.ConvenienceError <= 0 {
+		t.Error("IFTTT error should be positive (setpoint mismatches)")
+	}
+}
+
+func TestPerOwnerAttribution(t *testing.T) {
+	res, err := home.House(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Years = 1
+	w := buildWorkload(t, res)
+	opts := Options{}
+	opts.Planner.Seed = 5
+	r, err := Run(w, EP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PerOwner) != 4 {
+		t.Fatalf("PerOwner has %d entries: %v", len(r.PerOwner), r.PerOwner)
+	}
+	for owner, ce := range r.PerOwner {
+		if ce < 0 || float64(ce) > 100 {
+			t.Errorf("owner %s error %v out of range", owner, ce)
+		}
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if NR.String() != "NR" || IFTTT.String() != "IFTTT" || EP.String() != "EP" || MR.String() != "MR" {
+		t.Error("algorithm names wrong")
+	}
+}
+
+func TestDoorOpenPattern(t *testing.T) {
+	start := time.Date(2014, time.March, 1, 0, 0, 0, 0, time.UTC)
+	open := 0
+	total := 0
+	for d := 0; d < 60; d++ {
+		for h := 0; h < 24; h++ {
+			slot := simSlot(start.AddDate(0, 0, d).Add(time.Duration(h) * time.Hour))
+			isOpen := doorOpen("Flat", slot)
+			if h < 7 || h > 21 {
+				if isOpen {
+					t.Fatalf("door open at night hour %d", h)
+				}
+				continue
+			}
+			total++
+			if isOpen {
+				open++
+			}
+		}
+	}
+	frac := float64(open) / float64(total)
+	if frac < 0.1 || frac > 0.35 {
+		t.Errorf("daytime door-open fraction %.2f outside [0.1, 0.35]", frac)
+	}
+}
+
+func TestPropertyEPAlwaysWithinBudget(t *testing.T) {
+	// Across random option combinations the planner must never exceed
+	// its total budget and must report internally consistent counters.
+	w := buildWorkload(t, oneYearFlat(t))
+	f := func(seed uint16, savingsRaw uint8, window uint8, noCarry bool, k uint8) bool {
+		opts := Options{
+			Savings:         float64(savingsRaw%60) / 100,
+			PlanWindowHours: 1 + int(window%48),
+			NoCarryOver:     noCarry,
+		}
+		opts.Planner.Seed = uint64(seed)
+		opts.Planner.K = 1 + int(k%6)
+		r, err := Run(w, EP, opts)
+		if err != nil {
+			return false
+		}
+		if r.Energy.KWh() > r.BudgetTotal.KWh()+1e-6 {
+			return false
+		}
+		if r.ExecutedRuleSlots > r.ActiveRuleSlots {
+			return false
+		}
+		ce := float64(r.ConvenienceError)
+		return ce >= 0 && ce <= 100
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEPTracksExhaustiveOptimum(t *testing.T) {
+	// On the flat (≤6 rules per daily window) the exhaustive engine is
+	// tractable; hill climbing must land within a whisker of the true
+	// optimum over a full year.
+	w := buildWorkload(t, oneYearFlat(t))
+	hc := Options{Savings: 0.6} // stress the budget so planning matters
+	hc.Planner.Seed = 9
+	heuristic, err := Run(w, EP, hc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := Options{Savings: 0.6}
+	ex.Planner.Heuristic = core.Exhaustive
+	ex.Planner.K = 1
+	ex.Planner.MaxIter = 1
+	ex.Planner.Init = core.InitAllOn
+	optimum, err := Run(w, EP, ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("hill climb F_CE=%.3f%%, exhaustive F_CE=%.3f%%",
+		float64(heuristic.ConvenienceError), float64(optimum.ConvenienceError))
+	if float64(heuristic.ConvenienceError) < float64(optimum.ConvenienceError)-1e-9 {
+		t.Fatalf("heuristic beat the exhaustive optimum: %v < %v",
+			heuristic.ConvenienceError, optimum.ConvenienceError)
+	}
+	if float64(heuristic.ConvenienceError) > float64(optimum.ConvenienceError)*1.1+0.1 {
+		t.Errorf("hill climbing %.3f%% far from optimum %.3f%%",
+			float64(heuristic.ConvenienceError), float64(optimum.ConvenienceError))
+	}
+}

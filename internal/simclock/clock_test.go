@@ -1,0 +1,71 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRealClockNow(t *testing.T) {
+	var c Clock = RealClock{}
+	before := time.Now()
+	now := c.Now()
+	after := time.Now()
+	if now.Before(before) || now.After(after) {
+		t.Errorf("RealClock.Now() = %v outside [%v, %v]", now, before, after)
+	}
+}
+
+func TestSimClockAdvanceFiresWaiters(t *testing.T) {
+	c := NewSimClock(epoch)
+	ch1 := c.After(time.Hour)
+	ch2 := c.After(3 * time.Hour)
+	if c.PendingWaiters() != 2 {
+		t.Fatalf("PendingWaiters = %d, want 2", c.PendingWaiters())
+	}
+
+	c.Advance(time.Hour)
+	select {
+	case got := <-ch1:
+		if !got.Equal(epoch.Add(time.Hour)) {
+			t.Errorf("ch1 fired at %v", got)
+		}
+	default:
+		t.Fatal("ch1 should have fired after 1h advance")
+	}
+	select {
+	case <-ch2:
+		t.Fatal("ch2 fired too early")
+	default:
+	}
+
+	c.Advance(2 * time.Hour)
+	select {
+	case <-ch2:
+	default:
+		t.Fatal("ch2 should have fired after 3h total")
+	}
+	if c.PendingWaiters() != 0 {
+		t.Errorf("PendingWaiters = %d, want 0", c.PendingWaiters())
+	}
+}
+
+func TestSimClockAfterNonPositive(t *testing.T) {
+	c := NewSimClock(epoch)
+	ch := c.After(0)
+	select {
+	case got := <-ch:
+		if !got.Equal(epoch) {
+			t.Errorf("immediate fire at %v, want %v", got, epoch)
+		}
+	default:
+		t.Fatal("After(0) should fire immediately")
+	}
+}
+
+func TestSimClockNowAdvances(t *testing.T) {
+	c := NewSimClock(epoch)
+	c.Advance(90 * time.Minute)
+	if got := c.Now(); !got.Equal(epoch.Add(90 * time.Minute)) {
+		t.Errorf("Now() = %v", got)
+	}
+}

@@ -1,0 +1,223 @@
+package simclock
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var epoch = time.Date(2013, time.October, 1, 0, 0, 0, 0, time.UTC)
+
+func TestNewGridValidation(t *testing.T) {
+	if _, err := NewGrid(epoch, 0, 10); err == nil {
+		t.Error("NewGrid with zero step should fail")
+	}
+	if _, err := NewGrid(epoch, time.Hour, 0); err == nil {
+		t.Error("NewGrid with zero slots should fail")
+	}
+	if _, err := NewGrid(epoch, -time.Hour, 10); err == nil {
+		t.Error("NewGrid with negative step should fail")
+	}
+}
+
+func TestGridOver(t *testing.T) {
+	end := epoch.Add(36*time.Hour + 30*time.Minute)
+	g, err := GridOver(epoch, end, time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 36 {
+		t.Errorf("Len() = %d, want 36 (partial slot dropped)", g.Len())
+	}
+	if _, err := GridOver(epoch, epoch, time.Hour); err == nil {
+		t.Error("GridOver with empty interval should fail")
+	}
+	if _, err := GridOver(epoch, epoch.Add(time.Minute), time.Hour); err == nil {
+		t.Error("GridOver shorter than one step should fail")
+	}
+}
+
+func TestGridSlots(t *testing.T) {
+	g, err := NewGrid(epoch, time.Hour, 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s0 := g.Slot(0)
+	if !s0.Start.Equal(epoch) || s0.Index != 0 {
+		t.Errorf("Slot(0) = %+v", s0)
+	}
+	s47 := g.Slot(47)
+	if !s47.End().Equal(g.End()) {
+		t.Errorf("last slot end %v != grid end %v", s47.End(), g.End())
+	}
+	if s47.HourOfDay() != 23 {
+		t.Errorf("Slot(47).HourOfDay() = %d, want 23", s47.HourOfDay())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Slot(48) should panic")
+		}
+	}()
+	g.Slot(48)
+}
+
+func TestSlotAt(t *testing.T) {
+	g, _ := NewGrid(epoch, time.Hour, 24)
+	s, ok := g.SlotAt(epoch.Add(90 * time.Minute))
+	if !ok || s.Index != 1 {
+		t.Errorf("SlotAt(+90m) = %v, %v; want index 1", s, ok)
+	}
+	if _, ok := g.SlotAt(epoch.Add(-time.Second)); ok {
+		t.Error("SlotAt before grid should report false")
+	}
+	if _, ok := g.SlotAt(g.End()); ok {
+		t.Error("SlotAt at exclusive end should report false")
+	}
+}
+
+func TestGridEach(t *testing.T) {
+	g, _ := NewGrid(epoch, time.Hour, 5)
+	var n int
+	if err := g.Each(func(Slot) error { n++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("Each visited %d slots, want 5", n)
+	}
+	sentinel := errors.New("stop")
+	n = 0
+	err := g.Each(func(Slot) error {
+		n++
+		if n == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) || n != 3 {
+		t.Errorf("Each early stop: err=%v n=%d", err, n)
+	}
+}
+
+func TestSeasonOf(t *testing.T) {
+	cases := []struct {
+		m    time.Month
+		want Season
+	}{
+		{time.January, Winter}, {time.February, Winter}, {time.December, Winter},
+		{time.March, Spring}, {time.May, Spring},
+		{time.June, Summer}, {time.August, Summer},
+		{time.September, Autumn}, {time.November, Autumn},
+	}
+	for _, c := range cases {
+		d := time.Date(2014, c.m, 15, 12, 0, 0, 0, time.UTC)
+		if got := SeasonOf(d); got != c.want {
+			t.Errorf("SeasonOf(%v) = %v, want %v", c.m, got, c.want)
+		}
+	}
+}
+
+func TestParseSeason(t *testing.T) {
+	for _, s := range []Season{Winter, Spring, Summer, Autumn} {
+		got, err := ParseSeason(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSeason(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if got, err := ParseSeason("fall"); err != nil || got != Autumn {
+		t.Errorf("ParseSeason(fall) = %v, %v", got, err)
+	}
+	if _, err := ParseSeason("monsoon"); err == nil {
+		t.Error("ParseSeason(monsoon) should fail")
+	}
+}
+
+func TestTimeWindowContains(t *testing.T) {
+	w := TimeWindow{StartHour: 1, EndHour: 7} // paper's "Night Heat"
+	for h := 0; h < 24; h++ {
+		want := h >= 1 && h < 7
+		if got := w.Contains(h); got != want {
+			t.Errorf("window %v Contains(%d) = %v, want %v", w, h, got, want)
+		}
+	}
+	eod := TimeWindow{StartHour: 17, EndHour: 24} // "Afternoon Preheat"
+	if !eod.Contains(23) || eod.Contains(0) || !eod.Contains(17) {
+		t.Errorf("end-of-day window misbehaves: %v", eod)
+	}
+	wrap := TimeWindow{StartHour: 22, EndHour: 6}
+	if !wrap.Contains(23) || !wrap.Contains(2) || wrap.Contains(12) {
+		t.Errorf("wrapping window misbehaves: %v", wrap)
+	}
+}
+
+func TestTimeWindowHours(t *testing.T) {
+	cases := []struct {
+		w    TimeWindow
+		want int
+	}{
+		{TimeWindow{1, 7}, 6},
+		{TimeWindow{17, 24}, 7},
+		{TimeWindow{22, 6}, 8},
+		{TimeWindow{0, 24}, 24},
+	}
+	for _, c := range cases {
+		if got := c.w.Hours(); got != c.want {
+			t.Errorf("%v.Hours() = %d, want %d", c.w, got, c.want)
+		}
+	}
+}
+
+func TestTimeWindowValidate(t *testing.T) {
+	valid := []TimeWindow{{0, 24}, {1, 7}, {22, 6}, {23, 24}}
+	for _, w := range valid {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%v should validate: %v", w, err)
+		}
+	}
+	invalid := []TimeWindow{{-1, 7}, {24, 5}, {3, 0}, {5, 25}, {6, 6}}
+	for _, w := range invalid {
+		if err := w.Validate(); err == nil {
+			t.Errorf("%v should not validate", w)
+		}
+	}
+}
+
+func TestPropertyWindowHoursMatchesContains(t *testing.T) {
+	// Hours() must equal the count of hours h for which Contains(h).
+	f := func(start, end uint8) bool {
+		w := TimeWindow{StartHour: int(start % 24), EndHour: 1 + int(end%24)}
+		if w.Validate() != nil {
+			return true
+		}
+		n := 0
+		for h := 0; h < 24; h++ {
+			if w.Contains(h) {
+				n++
+			}
+		}
+		return n == w.Hours()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertySlotsContiguous(t *testing.T) {
+	f := func(nRaw uint8, stepMin uint8) bool {
+		n := 1 + int(nRaw%100)
+		step := time.Duration(1+stepMin%120) * time.Minute
+		g, err := NewGrid(epoch, step, n)
+		if err != nil {
+			return false
+		}
+		for i := 1; i < n; i++ {
+			if !g.Slot(i).Start.Equal(g.Slot(i - 1).End()) {
+				return false
+			}
+		}
+		return g.Slot(n - 1).End().Equal(g.End())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,156 @@
+package store
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// opBatch is the WAL op code for an atomic multi-operation record.
+const opBatch = 3
+
+// Batch collects Put and Delete operations that commit atomically: a
+// crash either persists all of them or none, because the whole batch is
+// one CRC-protected WAL record. The controller uses batches to replace
+// a Meta-Rule Table and its dependent keys in one durable step.
+type Batch struct {
+	ops []batchOp
+}
+
+type batchOp struct {
+	del   bool
+	key   string
+	value []byte
+}
+
+// Put schedules a write into the batch.
+func (b *Batch) Put(key string, value []byte) {
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	b.ops = append(b.ops, batchOp{key: key, value: cp})
+}
+
+// Delete schedules a removal into the batch.
+func (b *Batch) Delete(key string) {
+	b.ops = append(b.ops, batchOp{del: true, key: key})
+}
+
+// Len returns the number of scheduled operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+// Apply runs fn to fill a batch and commits it atomically. If fn
+// returns an error nothing is written. An empty batch is a no-op.
+func (db *DB) Apply(fn func(*Batch) error) error {
+	var b Batch
+	if err := fn(&b); err != nil {
+		return err
+	}
+	for _, op := range b.ops {
+		if op.key == "" {
+			return errors.New("store: empty key in batch")
+		}
+	}
+	if len(b.ops) == 0 {
+		return nil
+	}
+
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.appendBatchWAL(&b); err != nil {
+		return err
+	}
+	for _, op := range b.ops {
+		if op.del {
+			delete(db.data, op.key)
+		} else {
+			db.data[op.key] = op.value
+		}
+	}
+	return db.maybeCompactLocked()
+}
+
+// appendBatchWAL writes one record whose payload is
+//
+//	opBatch | count uvarint | ops…
+//
+// with each sub-op encoded as
+//
+//	op byte | keyLen uvarint | key | [valLen uvarint | value]
+func (db *DB) appendBatchWAL(b *Batch) error {
+	payload := make([]byte, 0, 16)
+	payload = append(payload, opBatch)
+	payload = binary.AppendUvarint(payload, uint64(len(b.ops)))
+	for _, op := range b.ops {
+		code := byte(opPut)
+		if op.del {
+			code = opDelete
+		}
+		payload = append(payload, code)
+		payload = binary.AppendUvarint(payload, uint64(len(op.key)))
+		payload = append(payload, op.key...)
+		if !op.del {
+			payload = binary.AppendUvarint(payload, uint64(len(op.value)))
+			payload = append(payload, op.value...)
+		}
+	}
+
+	rec := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
+	rec = append(rec, payload...)
+	if _, err := db.wal.Write(rec); err != nil {
+		return fmt.Errorf("store: wal batch append: %w", err)
+	}
+	if db.opts.SyncWrites {
+		if err := db.wal.Sync(); err != nil {
+			return fmt.Errorf("store: wal sync: %w", err)
+		}
+	}
+	db.walRecs++
+	return nil
+}
+
+// applyBatchPayload replays a batch WAL record during recovery.
+func (db *DB) applyBatchPayload(p []byte) error {
+	count, n := binary.Uvarint(p)
+	if n <= 0 {
+		return errors.New("store: bad batch count")
+	}
+	p = p[n:]
+	for i := uint64(0); i < count; i++ {
+		if len(p) < 2 {
+			return errors.New("store: truncated batch op")
+		}
+		code := p[0]
+		p = p[1:]
+		klen, n := binary.Uvarint(p)
+		if n <= 0 || uint64(len(p)) < uint64(n)+klen {
+			return errors.New("store: bad batch key")
+		}
+		key := string(p[n : n+int(klen)])
+		p = p[n+int(klen):]
+		switch code {
+		case opPut:
+			vlen, n := binary.Uvarint(p)
+			if n <= 0 || uint64(len(p)) < uint64(n)+vlen {
+				return errors.New("store: bad batch value")
+			}
+			val := make([]byte, vlen)
+			copy(val, p[n:n+int(vlen)])
+			p = p[n+int(vlen):]
+			db.data[key] = val
+		case opDelete:
+			delete(db.data, key)
+		default:
+			return fmt.Errorf("store: unknown batch op %d", code)
+		}
+	}
+	if len(p) != 0 {
+		return errors.New("store: trailing bytes in batch record")
+	}
+	return nil
+}

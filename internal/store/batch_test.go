@@ -1,0 +1,158 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"testing"
+)
+
+func TestBatchAtomicCommit(t *testing.T) {
+	dir := t.TempDir()
+	db := open(t, dir)
+	if err := db.Put("old", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+
+	err := db.Apply(func(b *Batch) error {
+		b.Put("mrt/1", []byte("night heat"))
+		b.Put("mrt/2", []byte("morning lights"))
+		b.Delete("old")
+		if b.Len() != 3 {
+			t.Errorf("Len = %d", b.Len())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Get("old"); ok {
+		t.Error("batched delete not applied")
+	}
+	if v, _ := db.Get("mrt/1"); string(v) != "night heat" {
+		t.Errorf("mrt/1 = %q", v)
+	}
+
+	// The whole batch survives a crash-style restart as one unit.
+	db.wal.Close()
+	db2 := open(t, dir)
+	defer db2.Close()
+	if db2.Len() != 2 {
+		t.Errorf("recovered %d keys, want 2", db2.Len())
+	}
+	if v, _ := db2.Get("mrt/2"); !bytes.Equal(v, []byte("morning lights")) {
+		t.Errorf("mrt/2 = %q", v)
+	}
+}
+
+func TestBatchFnErrorWritesNothing(t *testing.T) {
+	db := open(t, t.TempDir())
+	defer db.Close()
+	sentinel := errors.New("nope")
+	err := db.Apply(func(b *Batch) error {
+		b.Put("k", []byte("v"))
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, ok := db.Get("k"); ok {
+		t.Error("aborted batch wrote data")
+	}
+	if db.WALRecords() != 0 {
+		t.Errorf("aborted batch touched the WAL: %d records", db.WALRecords())
+	}
+}
+
+func TestBatchValidation(t *testing.T) {
+	db := open(t, t.TempDir())
+	defer db.Close()
+	if err := db.Apply(func(b *Batch) error {
+		b.Put("", []byte("v"))
+		return nil
+	}); err == nil {
+		t.Error("empty key in batch accepted")
+	}
+	// Empty batch is a no-op.
+	if err := db.Apply(func(*Batch) error { return nil }); err != nil {
+		t.Errorf("empty batch: %v", err)
+	}
+	if db.WALRecords() != 0 {
+		t.Error("empty batch wrote a record")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Apply(func(b *Batch) error { b.Put("k", nil); return nil }); err != ErrClosed {
+		t.Errorf("Apply after close = %v", err)
+	}
+}
+
+func TestBatchTornTailDropsWholeBatch(t *testing.T) {
+	dir := t.TempDir()
+	db := open(t, dir)
+	if err := db.Put("keep", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Apply(func(b *Batch) error {
+		for i := 0; i < 10; i++ {
+			b.Put(fmt.Sprintf("batch/%d", i), []byte("v"))
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	db.wal.Close()
+
+	// Tear the batch record: every sub-op must vanish together.
+	walPath := dir + "/" + walName
+	raw := readFile(t, walPath)
+	writeFile(t, walPath, raw[:len(raw)-4])
+
+	db2 := open(t, dir)
+	defer db2.Close()
+	if db2.Len() != 1 {
+		t.Errorf("recovered %d keys, want only the pre-batch key", db2.Len())
+	}
+	if _, ok := db2.Get("keep"); !ok {
+		t.Error("pre-batch key lost")
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok := db2.Get(fmt.Sprintf("batch/%d", i)); ok {
+			t.Fatalf("partial batch visible after torn tail")
+		}
+	}
+}
+
+func TestBatchValueIsolation(t *testing.T) {
+	db := open(t, t.TempDir())
+	defer db.Close()
+	buf := []byte("abc")
+	if err := db.Apply(func(b *Batch) error {
+		b.Put("k", buf)
+		buf[0] = 'X' // caller mutates after scheduling
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := db.Get("k"); string(v) != "abc" {
+		t.Errorf("batch captured mutated buffer: %q", v)
+	}
+}
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func writeFile(t *testing.T, path string, b []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,456 @@
+// Package store implements a small embedded key-value store with a
+// write-ahead log and snapshot compaction. It substitutes the MariaDB
+// persistence layer of the IMCF prototype: meta-rule tables, energy
+// profiles and controller configuration are durably stored and survive
+// controller restarts, including crashes that tear the log's tail.
+//
+// On disk a store is a directory with two files:
+//
+//	store.snap — a point-in-time snapshot of all live keys
+//	store.wal  — the write-ahead log of operations since that snapshot
+//
+// Open loads the snapshot, replays the WAL (stopping at the first torn
+// or corrupt record, which is truncated away), and serves reads from an
+// in-memory map. Every mutation is appended to the WAL before it is
+// applied. Compact rewrites the snapshot and resets the WAL.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+const (
+	snapName = "store.snap"
+	walName  = "store.wal"
+
+	opPut    = 1
+	opDelete = 2
+)
+
+var snapMagic = [4]byte{'I', 'M', 'S', 'S'}
+
+const snapVersion = 1
+
+// ErrClosed is returned by operations on a closed DB.
+var ErrClosed = errors.New("store: database is closed")
+
+// Options configures Open.
+type Options struct {
+	// Dir is the directory holding the store files; it is created if
+	// missing.
+	Dir string
+	// SyncWrites fsyncs the WAL after every mutation. Slower, but a
+	// crash loses nothing. Off by default, matching the prototype's
+	// MariaDB default durability.
+	SyncWrites bool
+	// CompactEvery triggers automatic compaction after this many WAL
+	// records (0 disables automatic compaction).
+	CompactEvery int
+}
+
+// DB is an open store. It is safe for concurrent use.
+type DB struct {
+	mu      sync.RWMutex
+	opts    Options
+	data    map[string][]byte
+	wal     *os.File
+	walRecs int
+	closed  bool
+}
+
+// Open opens (or creates) the store in opts.Dir.
+func Open(opts Options) (*DB, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("store: Dir must be set")
+	}
+	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	db := &DB{opts: opts, data: make(map[string][]byte)}
+	if err := db.loadSnapshot(); err != nil {
+		return nil, err
+	}
+	replayed, err := db.replayWAL()
+	if err != nil {
+		return nil, err
+	}
+	wal, err := os.OpenFile(db.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	db.wal = wal
+	db.walRecs = replayed
+	return db, nil
+}
+
+func (db *DB) snapPath() string { return filepath.Join(db.opts.Dir, snapName) }
+func (db *DB) walPath() string  { return filepath.Join(db.opts.Dir, walName) }
+
+// Get returns the value stored at key. The returned slice is a copy the
+// caller may retain.
+func (db *DB) Get(key string) ([]byte, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	v, ok := db.data[key]
+	if !ok {
+		return nil, false
+	}
+	out := make([]byte, len(v))
+	copy(out, v)
+	return out, true
+}
+
+// Put durably stores value at key.
+func (db *DB) Put(key string, value []byte) error {
+	if key == "" {
+		return errors.New("store: empty key")
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if err := db.appendWAL(opPut, key, value); err != nil {
+		return err
+	}
+	cp := make([]byte, len(value))
+	copy(cp, value)
+	db.data[key] = cp
+	return db.maybeCompactLocked()
+}
+
+// Delete durably removes key. Deleting a missing key is a no-op.
+func (db *DB) Delete(key string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	if _, ok := db.data[key]; !ok {
+		return nil
+	}
+	if err := db.appendWAL(opDelete, key, nil); err != nil {
+		return err
+	}
+	delete(db.data, key)
+	return db.maybeCompactLocked()
+}
+
+// Keys returns all keys with the given prefix, sorted.
+func (db *DB) Keys(prefix string) []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var out []string
+	for k := range db.data {
+		if strings.HasPrefix(k, prefix) {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live keys.
+func (db *DB) Len() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return len(db.data)
+}
+
+// PutJSON marshals v and stores it at key.
+func (db *DB) PutJSON(key string, v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("store: marshal %s: %w", key, err)
+	}
+	return db.Put(key, b)
+}
+
+// GetJSON unmarshals the value at key into v, reporting whether the key
+// existed.
+func (db *DB) GetJSON(key string, v any) (bool, error) {
+	b, ok := db.Get(key)
+	if !ok {
+		return false, nil
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return true, fmt.Errorf("store: unmarshal %s: %w", key, err)
+	}
+	return true, nil
+}
+
+// Compact rewrites the snapshot with the live data and truncates the WAL.
+func (db *DB) Compact() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.compactLocked()
+}
+
+// WALRecords reports the number of records in the current WAL, useful
+// for tests and operational introspection.
+func (db *DB) WALRecords() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.walRecs
+}
+
+// Close compacts and closes the store.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	err := db.compactLocked()
+	if cerr := db.wal.Close(); err == nil {
+		err = cerr
+	}
+	db.closed = true
+	return err
+}
+
+func (db *DB) maybeCompactLocked() error {
+	if db.opts.CompactEvery > 0 && db.walRecs >= db.opts.CompactEvery {
+		return db.compactLocked()
+	}
+	return nil
+}
+
+// appendWAL writes one record:
+//
+//	len   uint32 — payload length
+//	crc   uint32 — CRC-32 (IEEE) of payload
+//	payload: op byte | keyLen uvarint | key | value
+func (db *DB) appendWAL(op byte, key string, value []byte) error {
+	payload := make([]byte, 0, 1+binary.MaxVarintLen64+len(key)+len(value))
+	payload = append(payload, op)
+	payload = binary.AppendUvarint(payload, uint64(len(key)))
+	payload = append(payload, key...)
+	payload = append(payload, value...)
+
+	rec := make([]byte, 8, 8+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
+	rec = append(rec, payload...)
+
+	if _, err := db.wal.Write(rec); err != nil {
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if db.opts.SyncWrites {
+		if err := db.wal.Sync(); err != nil {
+			return fmt.Errorf("store: wal sync: %w", err)
+		}
+	}
+	db.walRecs++
+	return nil
+}
+
+// replayWAL applies WAL records on top of the snapshot. A torn or
+// corrupt tail ends replay and is truncated from the file so subsequent
+// appends extend a clean log.
+func (db *DB) replayWAL() (int, error) {
+	f, err := os.Open(db.walPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("store: open wal for replay: %w", err)
+	}
+	defer f.Close()
+
+	var (
+		hdr    [8]byte
+		offset int64
+		count  int
+	)
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			break // clean EOF or torn header: stop
+		}
+		plen := binary.LittleEndian.Uint32(hdr[0:])
+		wantCRC := binary.LittleEndian.Uint32(hdr[4:])
+		if plen == 0 || plen > 1<<30 {
+			break // implausible: treat as corruption
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			break // torn record
+		}
+		if crc32.ChecksumIEEE(payload) != wantCRC {
+			break // corrupt record
+		}
+		if err := db.applyPayload(payload); err != nil {
+			break
+		}
+		offset += int64(8 + plen)
+		count++
+	}
+	// Truncate anything after the last good record.
+	if info, err := os.Stat(db.walPath()); err == nil && info.Size() > offset {
+		if err := os.Truncate(db.walPath(), offset); err != nil {
+			return count, fmt.Errorf("store: truncate torn wal: %w", err)
+		}
+	}
+	return count, nil
+}
+
+func (db *DB) applyPayload(p []byte) error {
+	if len(p) < 2 {
+		return errors.New("store: short wal payload")
+	}
+	op := p[0]
+	if op == opBatch {
+		return db.applyBatchPayload(p[1:])
+	}
+	klen, n := binary.Uvarint(p[1:])
+	if n <= 0 || int(klen) > len(p)-1-n {
+		return errors.New("store: bad wal key length")
+	}
+	key := string(p[1+n : 1+n+int(klen)])
+	val := p[1+n+int(klen):]
+	switch op {
+	case opPut:
+		cp := make([]byte, len(val))
+		copy(cp, val)
+		db.data[key] = cp
+	case opDelete:
+		delete(db.data, key)
+	default:
+		return fmt.Errorf("store: unknown wal op %d", op)
+	}
+	return nil
+}
+
+// compactLocked writes a fresh snapshot atomically (write temp + rename)
+// and truncates the WAL.
+func (db *DB) compactLocked() error {
+	tmp := db.snapPath() + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: create snapshot: %w", err)
+	}
+	crc := crc32.NewIEEE()
+	w := io.MultiWriter(f, crc)
+
+	hdr := make([]byte, 0, 16)
+	hdr = append(hdr, snapMagic[:]...)
+	hdr = append(hdr, snapVersion, 0, 0, 0)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(db.data)))
+	if _, err := w.Write(hdr); err != nil {
+		f.Close()
+		return err
+	}
+	keys := make([]string, 0, len(db.data))
+	for k := range db.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf []byte
+	for _, k := range keys {
+		v := db.data[k]
+		buf = buf[:0]
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+		if _, err := w.Write(buf); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	if _, err := f.Write(tail[:]); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, db.snapPath()); err != nil {
+		return fmt.Errorf("store: install snapshot: %w", err)
+	}
+
+	// Reset the WAL. Truncate via a fresh handle so the append-mode
+	// descriptor continues at offset 0.
+	if db.wal != nil {
+		if err := db.wal.Close(); err != nil {
+			return err
+		}
+	}
+	if err := os.Truncate(db.walPath(), 0); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return fmt.Errorf("store: reset wal: %w", err)
+	}
+	wal, err := os.OpenFile(db.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: reopen wal: %w", err)
+	}
+	db.wal = wal
+	db.walRecs = 0
+	return nil
+}
+
+// loadSnapshot reads the snapshot file if present.
+func (db *DB) loadSnapshot() error {
+	b, err := os.ReadFile(db.snapPath())
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("store: read snapshot: %w", err)
+	}
+	if len(b) < 20 {
+		return errors.New("store: snapshot too short")
+	}
+	if [4]byte(b[:4]) != snapMagic {
+		return errors.New("store: snapshot bad magic")
+	}
+	if b[4] != snapVersion {
+		return fmt.Errorf("store: snapshot unsupported version %d", b[4])
+	}
+	body, tail := b[:len(b)-4], b[len(b)-4:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
+		return errors.New("store: snapshot checksum mismatch")
+	}
+	count := binary.LittleEndian.Uint64(b[8:16])
+	p := body[16:]
+	for i := uint64(0); i < count; i++ {
+		klen, n := binary.Uvarint(p)
+		if n <= 0 || uint64(len(p)) < uint64(n)+klen {
+			return errors.New("store: snapshot truncated entry key")
+		}
+		p = p[n:]
+		key := string(p[:klen])
+		p = p[klen:]
+		vlen, n := binary.Uvarint(p)
+		if n <= 0 || uint64(len(p)) < uint64(n)+vlen {
+			return errors.New("store: snapshot truncated entry value")
+		}
+		p = p[n:]
+		val := make([]byte, vlen)
+		copy(val, p[:vlen])
+		p = p[vlen:]
+		db.data[key] = val
+	}
+	if len(p) != 0 {
+		return errors.New("store: snapshot trailing garbage")
+	}
+	return nil
+}

@@ -1,0 +1,408 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func open(t *testing.T, dir string, opts ...func(*Options)) *DB {
+	t.Helper()
+	o := Options{Dir: dir}
+	for _, f := range opts {
+		f(&o)
+	}
+	db, err := Open(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestOpenValidation(t *testing.T) {
+	if _, err := Open(Options{}); err == nil {
+		t.Error("Open with empty Dir accepted")
+	}
+}
+
+func TestPutGetDelete(t *testing.T) {
+	db := open(t, t.TempDir())
+	defer db.Close()
+
+	if _, ok := db.Get("missing"); ok {
+		t.Error("Get on empty store found a key")
+	}
+	if err := db.Put("mrt/1", []byte("night heat")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok := db.Get("mrt/1")
+	if !ok || string(v) != "night heat" {
+		t.Errorf("Get = %q, %v", v, ok)
+	}
+	if err := db.Put("mrt/1", []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := db.Get("mrt/1"); string(v) != "updated" {
+		t.Errorf("overwrite failed: %q", v)
+	}
+	if err := db.Delete("mrt/1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := db.Get("mrt/1"); ok {
+		t.Error("key survives delete")
+	}
+	if err := db.Delete("mrt/1"); err != nil {
+		t.Errorf("deleting missing key: %v", err)
+	}
+	if err := db.Put("", []byte("x")); err == nil {
+		t.Error("empty key accepted")
+	}
+}
+
+func TestGetReturnsCopy(t *testing.T) {
+	db := open(t, t.TempDir())
+	defer db.Close()
+	if err := db.Put("k", []byte("abc")); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := db.Get("k")
+	v[0] = 'X'
+	again, _ := db.Get("k")
+	if string(again) != "abc" {
+		t.Error("Get exposed internal buffer")
+	}
+}
+
+func TestKeysPrefix(t *testing.T) {
+	db := open(t, t.TempDir())
+	defer db.Close()
+	for _, k := range []string{"mrt/2", "mrt/1", "ecp/flat", "mrt/3"} {
+		if err := db.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := db.Keys("mrt/")
+	want := []string{"mrt/1", "mrt/2", "mrt/3"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Keys(mrt/) = %v, want %v", got, want)
+	}
+	if n := len(db.Keys("")); n != 4 {
+		t.Errorf("Keys(\"\") = %d keys, want 4", n)
+	}
+	if db.Len() != 4 {
+		t.Errorf("Len() = %d", db.Len())
+	}
+}
+
+func TestRestartRecoversFromWAL(t *testing.T) {
+	dir := t.TempDir()
+	db := open(t, dir)
+	for i := 0; i < 50; i++ {
+		if err := db.Put(fmt.Sprintf("k%02d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Delete("k10"); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate a crash: do NOT Close (which would compact); just reopen.
+	if err := db.wal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := open(t, dir)
+	defer db2.Close()
+	if db2.Len() != 49 {
+		t.Errorf("recovered %d keys, want 49", db2.Len())
+	}
+	if _, ok := db2.Get("k10"); ok {
+		t.Error("deleted key resurrected")
+	}
+	if v, _ := db2.Get("k42"); !bytes.Equal(v, []byte{42}) {
+		t.Errorf("k42 = %v", v)
+	}
+}
+
+func TestRestartAfterCompact(t *testing.T) {
+	dir := t.TempDir()
+	db := open(t, dir)
+	for i := 0; i < 20; i++ {
+		if err := db.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if db.WALRecords() != 0 {
+		t.Errorf("WALRecords after compact = %d", db.WALRecords())
+	}
+	if err := db.Put("post", []byte("compact")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := open(t, dir)
+	defer db2.Close()
+	if db2.Len() != 21 {
+		t.Errorf("recovered %d keys, want 21", db2.Len())
+	}
+	if v, _ := db2.Get("post"); string(v) != "compact" {
+		t.Errorf("post = %q", v)
+	}
+}
+
+func TestTornWALTail(t *testing.T) {
+	dir := t.TempDir()
+	db := open(t, dir)
+	for i := 0; i < 10; i++ {
+		if err := db.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.wal.Close() // crash without compaction
+
+	// Tear the last record in half.
+	walPath := filepath.Join(dir, walName)
+	info, err := os.Stat(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(walPath, info.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := open(t, dir)
+	defer db2.Close()
+	if db2.Len() != 9 {
+		t.Errorf("recovered %d keys, want 9 (torn record dropped)", db2.Len())
+	}
+	// The store must accept new writes and survive another restart.
+	if err := db2.Put("fresh", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db3 := open(t, dir)
+	defer db3.Close()
+	if _, ok := db3.Get("fresh"); !ok {
+		t.Error("write after torn-tail recovery lost")
+	}
+}
+
+func TestCorruptWALRecordStopsReplay(t *testing.T) {
+	dir := t.TempDir()
+	db := open(t, dir)
+	for i := 0; i < 5; i++ {
+		if err := db.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db.wal.Close()
+
+	walPath := filepath.Join(dir, walName)
+	raw, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xFF // corrupt final record's payload
+	if err := os.WriteFile(walPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := open(t, dir)
+	defer db2.Close()
+	if db2.Len() != 4 {
+		t.Errorf("recovered %d keys, want 4", db2.Len())
+	}
+}
+
+func TestCorruptSnapshotRejected(t *testing.T) {
+	dir := t.TempDir()
+	db := open(t, dir)
+	if err := db.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snapPath := filepath.Join(dir, snapName)
+	raw, err := os.ReadFile(snapPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-6] ^= 0xFF
+	if err := os.WriteFile(snapPath, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(Options{Dir: dir}); err == nil {
+		t.Error("corrupt snapshot accepted")
+	}
+}
+
+func TestAutoCompact(t *testing.T) {
+	db := open(t, t.TempDir(), func(o *Options) { o.CompactEvery = 10 })
+	defer db.Close()
+	for i := 0; i < 25; i++ {
+		if err := db.Put(fmt.Sprintf("k%d", i%3), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.WALRecords() >= 10 {
+		t.Errorf("WALRecords = %d, auto-compaction did not run", db.WALRecords())
+	}
+	if db.Len() != 3 {
+		t.Errorf("Len = %d, want 3", db.Len())
+	}
+}
+
+func TestSyncWrites(t *testing.T) {
+	db := open(t, t.TempDir(), func(o *Options) { o.SyncWrites = true })
+	defer db.Close()
+	if err := db.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := db.Get("k"); !ok || string(v) != "v" {
+		t.Errorf("Get = %q, %v", v, ok)
+	}
+}
+
+func TestClosedOperations(t *testing.T) {
+	db := open(t, t.TempDir())
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put("k", []byte("v")); err != ErrClosed {
+		t.Errorf("Put after close = %v, want ErrClosed", err)
+	}
+	if err := db.Delete("k"); err != ErrClosed {
+		t.Errorf("Delete after close = %v, want ErrClosed", err)
+	}
+	if err := db.Compact(); err != ErrClosed {
+		t.Errorf("Compact after close = %v, want ErrClosed", err)
+	}
+	if err := db.Close(); err != nil {
+		t.Errorf("double Close = %v", err)
+	}
+}
+
+func TestJSONHelpers(t *testing.T) {
+	db := open(t, t.TempDir())
+	defer db.Close()
+	type mrt struct {
+		Name  string
+		Limit float64
+	}
+	in := mrt{Name: "Energy Flat", Limit: 11000}
+	if err := db.PutJSON("mrt/flat", in); err != nil {
+		t.Fatal(err)
+	}
+	var out mrt
+	ok, err := db.GetJSON("mrt/flat", &out)
+	if err != nil || !ok || out != in {
+		t.Errorf("GetJSON = %+v, %v, %v", out, ok, err)
+	}
+	ok, err = db.GetJSON("mrt/none", &out)
+	if err != nil || ok {
+		t.Errorf("GetJSON missing = %v, %v", ok, err)
+	}
+	if err := db.Put("bad", []byte("{not json")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.GetJSON("bad", &out); err == nil {
+		t.Error("GetJSON on invalid JSON succeeded")
+	}
+	if err := db.PutJSON("ch", make(chan int)); err == nil {
+		t.Error("PutJSON of unmarshalable value succeeded")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	db := open(t, t.TempDir())
+	defer db.Close()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("g%d/k%d", g, i)
+				if err := db.Put(key, []byte{byte(i)}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, ok := db.Get(key); !ok {
+					t.Errorf("lost own write %s", key)
+					return
+				}
+				db.Keys(fmt.Sprintf("g%d/", g))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if db.Len() != 800 {
+		t.Errorf("Len = %d, want 800", db.Len())
+	}
+}
+
+func TestPropertyStateMatchesModel(t *testing.T) {
+	// Random op sequences applied to both the DB and a plain map, then a
+	// restart — final states must agree.
+	f := func(ops []struct {
+		Key byte
+		Val byte
+		Del bool
+	}) bool {
+		dir, err := os.MkdirTemp("", "storeprop")
+		if err != nil {
+			return false
+		}
+		defer os.RemoveAll(dir)
+		db, err := Open(Options{Dir: dir})
+		if err != nil {
+			return false
+		}
+		model := map[string][]byte{}
+		for _, op := range ops {
+			key := fmt.Sprintf("k%d", op.Key%16)
+			if op.Del {
+				if db.Delete(key) != nil {
+					return false
+				}
+				delete(model, key)
+			} else {
+				if db.Put(key, []byte{op.Val}) != nil {
+					return false
+				}
+				model[key] = []byte{op.Val}
+			}
+		}
+		db.wal.Close() // crash-style restart
+		db2, err := Open(Options{Dir: dir})
+		if err != nil {
+			return false
+		}
+		defer db2.Close()
+		if db2.Len() != len(model) {
+			return false
+		}
+		for k, v := range model {
+			got, ok := db2.Get(k)
+			if !ok || !bytes.Equal(got, v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

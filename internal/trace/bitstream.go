@@ -1,0 +1,106 @@
+package trace
+
+import "errors"
+
+// ErrShortStream is returned when a BitReader runs out of input
+// mid-value, which indicates a truncated or corrupt block payload.
+var ErrShortStream = errors.New("trace: bit stream truncated")
+
+// BitWriter packs bits most-significant-first into an in-memory buffer.
+// It is the encoding primitive for the Gorilla-style block codec.
+type BitWriter struct {
+	buf   []byte
+	cur   byte
+	nbits uint // bits used in cur, 0–7
+}
+
+// NewBitWriter returns an empty BitWriter with capacity hint n bytes.
+func NewBitWriter(n int) *BitWriter {
+	return &BitWriter{buf: make([]byte, 0, n)}
+}
+
+// WriteBit appends a single bit.
+func (w *BitWriter) WriteBit(bit bool) {
+	if bit {
+		w.cur |= 1 << (7 - w.nbits)
+	}
+	w.nbits++
+	if w.nbits == 8 {
+		w.buf = append(w.buf, w.cur)
+		w.cur, w.nbits = 0, 0
+	}
+}
+
+// WriteBits appends the low n bits of v, most significant first.
+// n must be in [0, 64].
+func (w *BitWriter) WriteBits(v uint64, n uint) {
+	for i := int(n) - 1; i >= 0; i-- {
+		w.WriteBit(v>>uint(i)&1 == 1)
+	}
+}
+
+// Bytes returns the packed stream, padding the final partial byte with
+// zero bits. The writer remains usable; subsequent writes continue from
+// the unpadded position.
+func (w *BitWriter) Bytes() []byte {
+	if w.nbits == 0 {
+		out := make([]byte, len(w.buf))
+		copy(out, w.buf)
+		return out
+	}
+	out := make([]byte, len(w.buf)+1)
+	copy(out, w.buf)
+	out[len(w.buf)] = w.cur
+	return out
+}
+
+// Len returns the current stream length in bits.
+func (w *BitWriter) Len() int { return len(w.buf)*8 + int(w.nbits) }
+
+// BitReader reads bits most-significant-first from a byte slice.
+type BitReader struct {
+	buf   []byte
+	pos   int  // byte position
+	nbits uint // bits consumed from buf[pos], 0–7
+}
+
+// NewBitReader returns a reader over buf.
+func NewBitReader(buf []byte) *BitReader {
+	return &BitReader{buf: buf}
+}
+
+// ReadBit reads one bit.
+func (r *BitReader) ReadBit() (bool, error) {
+	if r.pos >= len(r.buf) {
+		return false, ErrShortStream
+	}
+	bit := r.buf[r.pos]>>(7-r.nbits)&1 == 1
+	r.nbits++
+	if r.nbits == 8 {
+		r.pos++
+		r.nbits = 0
+	}
+	return bit, nil
+}
+
+// ReadBits reads n bits (n ≤ 64) into the low bits of the result.
+func (r *BitReader) ReadBits(n uint) (uint64, error) {
+	var v uint64
+	for i := uint(0); i < n; i++ {
+		bit, err := r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		v <<= 1
+		if bit {
+			v |= 1
+		}
+	}
+	return v, nil
+}
+
+// zigzag encodes a signed delta so small magnitudes get small codes.
+func zigzag(v int64) uint64 { return uint64(v<<1) ^ uint64(v>>63) }
+
+// unzigzag inverts zigzag.
+func unzigzag(u uint64) int64 { return int64(u>>1) ^ -int64(u&1) }

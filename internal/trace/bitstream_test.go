@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitWriterSingleBits(t *testing.T) {
+	w := NewBitWriter(4)
+	for _, b := range []bool{true, false, true, true, false, false, true, false, true} {
+		w.WriteBit(b)
+	}
+	got := w.Bytes()
+	want := []byte{0b10110010, 0b10000000}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("Bytes() = %08b, want %08b", got, want)
+	}
+	if w.Len() != 9 {
+		t.Errorf("Len() = %d, want 9", w.Len())
+	}
+}
+
+func TestBitRoundTrip(t *testing.T) {
+	w := NewBitWriter(16)
+	w.WriteBits(0b101, 3)
+	w.WriteBits(0xDEADBEEF, 32)
+	w.WriteBits(0, 7)
+	w.WriteBits(1, 1)
+	w.WriteBits(0xFFFFFFFFFFFFFFFF, 64)
+
+	r := NewBitReader(w.Bytes())
+	if v, err := r.ReadBits(3); err != nil || v != 0b101 {
+		t.Errorf("ReadBits(3) = %v, %v", v, err)
+	}
+	if v, err := r.ReadBits(32); err != nil || v != 0xDEADBEEF {
+		t.Errorf("ReadBits(32) = %x, %v", v, err)
+	}
+	if v, err := r.ReadBits(7); err != nil || v != 0 {
+		t.Errorf("ReadBits(7) = %v, %v", v, err)
+	}
+	if v, err := r.ReadBits(1); err != nil || v != 1 {
+		t.Errorf("ReadBits(1) = %v, %v", v, err)
+	}
+	if v, err := r.ReadBits(64); err != nil || v != 0xFFFFFFFFFFFFFFFF {
+		t.Errorf("ReadBits(64) = %x, %v", v, err)
+	}
+}
+
+func TestBitReaderTruncation(t *testing.T) {
+	r := NewBitReader([]byte{0xAB})
+	if _, err := r.ReadBits(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.ReadBit(); err != ErrShortStream {
+		t.Errorf("ReadBit past end = %v, want ErrShortStream", err)
+	}
+	if _, err := r.ReadBits(4); err != ErrShortStream {
+		t.Errorf("ReadBits past end = %v, want ErrShortStream", err)
+	}
+}
+
+func TestPropertyBitsRoundTrip(t *testing.T) {
+	f := func(vals []uint64, widths []uint8) bool {
+		if len(vals) > len(widths) {
+			vals = vals[:len(widths)]
+		} else {
+			widths = widths[:len(vals)]
+		}
+		w := NewBitWriter(64)
+		want := make([]uint64, len(vals))
+		ns := make([]uint, len(vals))
+		for i, v := range vals {
+			n := uint(widths[i]%64) + 1
+			ns[i] = n
+			if n < 64 {
+				v &= (1 << n) - 1
+			}
+			want[i] = v
+			w.WriteBits(v, n)
+		}
+		r := NewBitReader(w.Bytes())
+		for i := range want {
+			got, err := r.ReadBits(ns[i])
+			if err != nil || got != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZigzag(t *testing.T) {
+	cases := []int64{0, 1, -1, 2, -2, 63, -63, 64, 2048, -2047, 1 << 40, -(1 << 40)}
+	for _, v := range cases {
+		if got := unzigzag(zigzag(v)); got != v {
+			t.Errorf("unzigzag(zigzag(%d)) = %d", v, got)
+		}
+	}
+	// Small magnitudes must get small codes.
+	if zigzag(-1) != 1 || zigzag(1) != 2 || zigzag(0) != 0 {
+		t.Errorf("zigzag mapping unexpected: %d %d %d", zigzag(0), zigzag(-1), zigzag(1))
+	}
+}
+
+func TestPropertyZigzagRoundTrip(t *testing.T) {
+	f := func(v int64) bool { return unzigzag(zigzag(v)) == v }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,195 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/imcf/imcf/internal/weather"
+)
+
+// This file implements on-disk datasets: a directory holding one trace
+// file per (zone, kind) plus a manifest, mirroring how the paper stores
+// its CASAS-derived Flat/House/Dorms datasets (1.09–20 GB of readings)
+// and replays them through the simulator. GenerateDataset synthesizes
+// and writes the files; OpenDataset replays them as AmbientSources.
+
+// manifestName is the dataset descriptor file.
+const manifestName = "dataset.json"
+
+// Manifest describes a dataset directory.
+type Manifest struct {
+	Name    string    `json:"name"`
+	Seed    uint64    `json:"seed"`
+	Zones   int       `json:"zones"`
+	From    time.Time `json:"from"`
+	To      time.Time `json:"to"`
+	Records int64     `json:"records"`
+	// Intervals are the mean reading cadences used at generation.
+	TempInterval  time.Duration `json:"tempIntervalNs"`
+	LightInterval time.Duration `json:"lightIntervalNs"`
+}
+
+// DatasetSpec configures GenerateDataset.
+type DatasetSpec struct {
+	Name  string
+	Seed  uint64
+	Zones []ZoneModel
+	From  time.Time
+	To    time.Time
+	// TempInterval and LightInterval are mean reading cadences; zero
+	// means the CASAS-like defaults (29 s temperature, 48 s light).
+	TempInterval  time.Duration
+	LightInterval time.Duration
+}
+
+// GenerateDataset synthesizes a dataset into dir (created if missing):
+// per zone one temperature and one light trace, plus the manifest.
+func GenerateDataset(dir string, wx *weather.Service, spec DatasetSpec) (Manifest, error) {
+	var m Manifest
+	if wx == nil {
+		return m, errors.New("trace: nil weather service")
+	}
+	if len(spec.Zones) == 0 {
+		return m, errors.New("trace: dataset needs at least one zone")
+	}
+	if !spec.To.After(spec.From) {
+		return m, fmt.Errorf("trace: dataset period [%v, %v) empty", spec.From, spec.To)
+	}
+	if spec.TempInterval <= 0 {
+		spec.TempInterval = 29 * time.Second
+	}
+	if spec.LightInterval <= 0 {
+		spec.LightInterval = 48 * time.Second
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return m, fmt.Errorf("trace: create dataset dir: %w", err)
+	}
+
+	m = Manifest{
+		Name: spec.Name, Seed: spec.Seed, Zones: len(spec.Zones),
+		From: spec.From.UTC(), To: spec.To.UTC(),
+		TempInterval: spec.TempInterval, LightInterval: spec.LightInterval,
+	}
+	for z, zone := range spec.Zones {
+		gen, err := NewGenerator(wx, zone)
+		if err != nil {
+			return m, err
+		}
+		for _, part := range []struct {
+			kind     Kind
+			interval time.Duration
+		}{
+			{KindTemperature, spec.TempInterval},
+			{KindLight, spec.LightInterval},
+		} {
+			w, err := CreateFile(datasetFile(dir, z, part.kind), part.kind, 0)
+			if err != nil {
+				return m, err
+			}
+			if err := gen.Readings(part.kind, m.From, m.To, part.interval, w.Append); err != nil {
+				w.Close() //nolint:errcheck
+				return m, err
+			}
+			if err := w.Close(); err != nil {
+				return m, err
+			}
+			m.Records += w.Count()
+		}
+	}
+
+	raw, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return m, err
+	}
+	if err := os.WriteFile(filepath.Join(dir, manifestName), raw, 0o644); err != nil {
+		return m, fmt.Errorf("trace: write manifest: %w", err)
+	}
+	return m, nil
+}
+
+// Dataset replays a generated dataset directory.
+type Dataset struct {
+	dir      string
+	manifest Manifest
+}
+
+// OpenDataset opens a dataset directory and validates its manifest and
+// files.
+func OpenDataset(dir string) (*Dataset, error) {
+	raw, err := os.ReadFile(filepath.Join(dir, manifestName))
+	if err != nil {
+		return nil, fmt.Errorf("trace: read manifest: %w", err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(raw, &m); err != nil {
+		return nil, fmt.Errorf("trace: parse manifest: %w", err)
+	}
+	if m.Zones < 1 {
+		return nil, errors.New("trace: manifest has no zones")
+	}
+	for z := 0; z < m.Zones; z++ {
+		for _, kind := range []Kind{KindTemperature, KindLight} {
+			if _, err := os.Stat(datasetFile(dir, z, kind)); err != nil {
+				return nil, fmt.Errorf("trace: dataset missing %s for zone %d: %w", kind, z, err)
+			}
+		}
+	}
+	return &Dataset{dir: dir, manifest: m}, nil
+}
+
+// Manifest returns the dataset descriptor.
+func (d *Dataset) Manifest() Manifest { return d.manifest }
+
+// Ambient loads one zone's hourly ambient series from the stored traces.
+// The returned source covers the dataset period; hours without readings
+// fall back to the optional fallback source.
+func (d *Dataset) Ambient(zone int, fallback AmbientSource) (AmbientSource, error) {
+	if zone < 0 || zone >= d.manifest.Zones {
+		return nil, fmt.Errorf("trace: zone %d outside [0,%d)", zone, d.manifest.Zones)
+	}
+	temps, err := d.hourly(zone, KindTemperature)
+	if err != nil {
+		return nil, err
+	}
+	lights, err := d.hourly(zone, KindLight)
+	if err != nil {
+		return nil, err
+	}
+	return &StoredAmbient{Temps: temps, Lights: lights, Fallback: fallback}, nil
+}
+
+func (d *Dataset) hourly(zone int, kind Kind) (map[time.Time]float64, error) {
+	r, err := OpenFile(datasetFile(d.dir, zone, kind))
+	if err != nil {
+		return nil, err
+	}
+	defer r.Close()
+	recs, err := r.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	return HourlyMeans(recs), nil
+}
+
+// Size returns the dataset's total on-disk bytes.
+func (d *Dataset) Size() (int64, error) {
+	var total int64
+	for z := 0; z < d.manifest.Zones; z++ {
+		for _, kind := range []Kind{KindTemperature, KindLight} {
+			info, err := os.Stat(datasetFile(d.dir, z, kind))
+			if err != nil {
+				return 0, err
+			}
+			total += info.Size()
+		}
+	}
+	return total, nil
+}
+
+func datasetFile(dir string, zone int, kind Kind) string {
+	return filepath.Join(dir, fmt.Sprintf("zone%03d.%s.imt", zone, kind))
+}

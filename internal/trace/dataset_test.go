@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"github.com/imcf/imcf/internal/weather"
+)
+
+func genDataset(t *testing.T, zones int, days int) (string, Manifest) {
+	t.Helper()
+	dir := t.TempDir()
+	wx := weather.MustNew(42, weather.Nicosia())
+	spec := DatasetSpec{
+		Name: "test",
+		Seed: 42,
+		From: time.Date(2015, time.April, 1, 0, 0, 0, 0, time.UTC),
+		To:   time.Date(2015, time.April, 1+days, 0, 0, 0, 0, time.UTC),
+		// Coarse cadence keeps the test fast.
+		TempInterval:  5 * time.Minute,
+		LightInterval: 5 * time.Minute,
+	}
+	for z := 0; z < zones; z++ {
+		spec.Zones = append(spec.Zones, DefaultZone(uint64(z)))
+	}
+	m, err := GenerateDataset(dir, wx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir, m
+}
+
+func TestGenerateAndOpenDataset(t *testing.T) {
+	dir, m := genDataset(t, 2, 3)
+	if m.Zones != 2 || m.Records == 0 {
+		t.Fatalf("manifest = %+v", m)
+	}
+	// ~3 days × 288 readings/day × 2 kinds × 2 zones.
+	want := int64(3 * 288 * 2 * 2)
+	if m.Records < want*8/10 || m.Records > want*12/10 {
+		t.Errorf("records = %d, want ≈%d", m.Records, want)
+	}
+
+	d, err := OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Manifest().Name != "test" {
+		t.Errorf("manifest = %+v", d.Manifest())
+	}
+	size, err := d.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size <= 0 || size > m.Records*16 {
+		t.Errorf("size = %d for %d records (no compression?)", size, m.Records)
+	}
+}
+
+func TestGenerateDatasetValidation(t *testing.T) {
+	wx := weather.MustNew(1, weather.Nicosia())
+	from := time.Now()
+	if _, err := GenerateDataset(t.TempDir(), nil, DatasetSpec{Zones: []ZoneModel{DefaultZone(0)}, From: from, To: from.Add(time.Hour)}); err == nil {
+		t.Error("nil weather accepted")
+	}
+	if _, err := GenerateDataset(t.TempDir(), wx, DatasetSpec{From: from, To: from.Add(time.Hour)}); err == nil {
+		t.Error("zero zones accepted")
+	}
+	if _, err := GenerateDataset(t.TempDir(), wx, DatasetSpec{Zones: []ZoneModel{DefaultZone(0)}, From: from, To: from}); err == nil {
+		t.Error("empty period accepted")
+	}
+}
+
+func TestOpenDatasetErrors(t *testing.T) {
+	if _, err := OpenDataset(t.TempDir()); err == nil {
+		t.Error("missing manifest accepted")
+	}
+	dir, _ := genDataset(t, 1, 1)
+	// Corrupt manifest.
+	if err := os.WriteFile(filepath.Join(dir, manifestName), []byte("{bad"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDataset(dir); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+	// Valid manifest, missing trace file.
+	dir2, _ := genDataset(t, 1, 1)
+	if err := os.Remove(datasetFile(dir2, 0, KindLight)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDataset(dir2); err == nil {
+		t.Error("missing zone file accepted")
+	}
+}
+
+func TestDatasetAmbientMatchesGenerator(t *testing.T) {
+	// The replay-from-disk path must track the direct synthetic model:
+	// this is the store→simulator loop the paper's methodology rests on.
+	dir, m := genDataset(t, 1, 3)
+	d, err := OpenDataset(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wx := weather.MustNew(42, weather.Nicosia())
+	gen, err := NewGenerator(wx, DefaultZone(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src, err := d.Ambient(0, gen)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var worstT, worstL float64
+	for h := m.From; h.Before(m.To); h = h.Add(time.Hour) {
+		stored := src.AmbientAt(h)
+		direct := gen.AmbientAt(h)
+		worstT = math.Max(worstT, math.Abs(stored.Temperature-direct.Temperature))
+		worstL = math.Max(worstL, math.Abs(stored.Light-direct.Light))
+	}
+	if worstT > 1.5 {
+		t.Errorf("stored temperature diverges by %.2f°C", worstT)
+	}
+	if worstL > 12 {
+		t.Errorf("stored light diverges by %.1f", worstL)
+	}
+
+	if _, err := d.Ambient(5, nil); err == nil {
+		t.Error("out-of-range zone accepted")
+	}
+}

@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// FuzzDecodeBlock asserts the block decoder never panics or over-reads
+// on arbitrary bytes: it either errors or returns records consistent
+// with its own re-encoding.
+func FuzzDecodeBlock(f *testing.F) {
+	recs := mkRecs(64, 29*time.Second, func(i int) float64 { return 20 + float64(i%5) })
+	good, err := EncodeBlock(KindTemperature, recs)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("IMTB"))
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+	corrupted := append([]byte(nil), good...)
+	corrupted[blockHeaderSize+2] ^= 0x40
+	f.Add(corrupted)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		recs, n, err := DecodeBlock(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("decoder consumed %d of %d bytes", n, len(data))
+		}
+		for i := 1; i < len(recs); i++ {
+			if recs[i].Time.Before(recs[i-1].Time) {
+				t.Fatal("decoded records out of order")
+			}
+		}
+	})
+}
+
+// FuzzReaderStream feeds arbitrary bytes to the trace file reader.
+func FuzzReaderStream(f *testing.F) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, KindLight, 16)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := w.Append(Record{Time: t0.Add(time.Duration(i) * time.Minute), Value: float64(i)}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte("IMTF\x01\x02\x00\x00garbage"))
+	f.Add([]byte{})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r, err := NewReader(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// Reading must terminate (EOF or error), never hang or panic.
+		_, _ = r.ReadAll()
+	})
+}

@@ -1,0 +1,232 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"github.com/imcf/imcf/internal/weather"
+)
+
+// ZoneModel describes how one zone (a room served by one split unit and
+// one light fixture) converts outdoor weather into indoor ambient
+// conditions when nothing is actuated: the building-envelope model behind
+// the synthetic CASAS traces.
+type ZoneModel struct {
+	// TempOffset is the indoor warmth gained passively (solar gain,
+	// appliances, neighbours) in °C.
+	TempOffset float64
+	// TempCoupling is the fraction of the outdoor temperature swing
+	// transmitted indoors (0 = perfectly insulated, 1 = outdoors).
+	TempCoupling float64
+	// ThermalLagHours smooths outdoor temperature over this many hours
+	// to model thermal mass.
+	ThermalLagHours int
+	// LightTransmission is the fraction of outdoor daylight reaching
+	// the indoor light sensor.
+	LightTransmission float64
+	// TempNoise and LightNoise bound the deterministic sensor noise.
+	TempNoise  float64
+	LightNoise float64
+	// Seed decorrelates zones that share a weather service.
+	Seed uint64
+}
+
+// DefaultZone returns the flat-calibrated zone model used throughout the
+// evaluation, decorrelated by seed.
+func DefaultZone(seed uint64) ZoneModel {
+	return ZoneModel{
+		TempOffset:        5.0,
+		TempCoupling:      0.9,
+		ThermalLagHours:   6,
+		LightTransmission: 0.65,
+		TempNoise:         0.3,
+		LightNoise:        2.0,
+		Seed:              seed,
+	}
+}
+
+// Validate reports whether the zone model is usable.
+func (z ZoneModel) Validate() error {
+	if z.TempCoupling < 0 || z.TempCoupling > 1 {
+		return fmt.Errorf("trace: temp coupling %v outside [0,1]", z.TempCoupling)
+	}
+	if z.LightTransmission < 0 || z.LightTransmission > 1 {
+		return fmt.Errorf("trace: light transmission %v outside [0,1]", z.LightTransmission)
+	}
+	if z.ThermalLagHours < 0 || z.ThermalLagHours > 48 {
+		return fmt.Errorf("trace: thermal lag %d outside [0,48]", z.ThermalLagHours)
+	}
+	if z.TempNoise < 0 || z.LightNoise < 0 {
+		return errors.New("trace: negative noise amplitude")
+	}
+	return nil
+}
+
+// Generator synthesizes sensor readings and hourly ambient conditions
+// for one zone. It is deterministic: identical (weather seed, zone)
+// pairs produce identical traces.
+type Generator struct {
+	wx   *weather.Service
+	zone ZoneModel
+}
+
+// NewGenerator returns a generator for the zone driven by wx.
+func NewGenerator(wx *weather.Service, zone ZoneModel) (*Generator, error) {
+	if wx == nil {
+		return nil, errors.New("trace: nil weather service")
+	}
+	if err := zone.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{wx: wx, zone: zone}, nil
+}
+
+// TemperatureAt returns the unconditioned indoor temperature at t.
+func (g *Generator) TemperatureAt(t time.Time) float64 {
+	z := g.zone
+	// Thermal mass: average outdoor temperature over the lag window.
+	samples := z.ThermalLagHours + 1
+	var sum float64
+	for i := 0; i < samples; i++ {
+		sum += g.wx.At(t.Add(-time.Duration(i) * time.Hour)).Temperature.Celsius()
+	}
+	smoothed := sum / float64(samples)
+	noise := (hashUnit(z.Seed, uint64(t.Unix())/300, 0x7E37)*2 - 1) * z.TempNoise
+	return z.TempOffset + z.TempCoupling*smoothed + noise
+}
+
+// LightAt returns the unlit indoor light level at t on the 0–100 scale.
+func (g *Generator) LightAt(t time.Time) float64 {
+	z := g.zone
+	day := g.wx.At(t).Daylight.Level()
+	noise := (hashUnit(z.Seed, uint64(t.Unix())/300, 0x119A)*2 - 1) * z.LightNoise
+	v := z.LightTransmission*day + noise
+	if v < 0 {
+		return 0
+	}
+	if v > 100 {
+		return 100
+	}
+	return v
+}
+
+// AmbientAt implements AmbientSource: the mean ambient conditions over
+// the hour starting at t, approximated by the mid-hour model value.
+func (g *Generator) AmbientAt(t time.Time) Ambient {
+	mid := t.Add(30 * time.Minute)
+	return Ambient{
+		Temperature: g.TemperatureAt(mid),
+		Light:       g.LightAt(mid),
+	}
+}
+
+// Readings streams synthetic sensor readings of the given kind over
+// [from, to) at a jittered cadence averaging meanInterval, calling emit
+// for each. Door readings are binary open(1)/closed(0) transitions.
+func (g *Generator) Readings(kind Kind, from, to time.Time, meanInterval time.Duration, emit func(Record) error) error {
+	if !kind.Valid() {
+		return fmt.Errorf("trace: invalid kind %v", kind)
+	}
+	if meanInterval <= 0 {
+		return errors.New("trace: mean interval must be positive")
+	}
+	if kind == KindDoor {
+		return g.doorReadings(from, to, emit)
+	}
+	t := from
+	for i := uint64(0); t.Before(to); i++ {
+		var v float64
+		switch kind {
+		case KindTemperature:
+			v = g.TemperatureAt(t)
+		case KindLight:
+			v = g.LightAt(t)
+		}
+		if err := emit(Record{Time: t, Value: v}); err != nil {
+			return err
+		}
+		// Jitter the cadence by ±30 % deterministically.
+		jitter := 0.7 + 0.6*hashUnit(g.zone.Seed, i, uint64(kind))
+		t = t.Add(time.Duration(float64(meanInterval) * jitter))
+	}
+	return nil
+}
+
+// doorReadings emits a plausible daily pattern of door open/close event
+// pairs: a few openings during waking hours, each with a short dwell.
+func (g *Generator) doorReadings(from, to time.Time, emit func(Record) error) error {
+	day := from.UTC().Truncate(24 * time.Hour)
+	var last []Record
+	for day.Before(to) {
+		dayKey := uint64(day.Unix() / 86400)
+		openings := 2 + int(hashUnit(g.zone.Seed, dayKey, 0xD008)*5) // 2–6 per day
+		var events []Record
+		for i := 0; i < openings; i++ {
+			hf := 7 + 15*hashUnit(g.zone.Seed, dayKey*8+uint64(i), 0xD009) // 07:00–22:00
+			open := day.Add(time.Duration(hf * float64(time.Hour)))
+			dwell := time.Duration(20+hashUnit(g.zone.Seed, dayKey*8+uint64(i), 0xD00A)*600) * time.Second
+			events = append(events, Record{Time: open, Value: 1}, Record{Time: open.Add(dwell), Value: 0})
+		}
+		SortRecords(events)
+		for _, e := range events {
+			if e.Time.Before(from) || !e.Time.Before(to) {
+				continue
+			}
+			// Guard against dwell overlap producing out-of-order output.
+			if n := len(last); n > 0 && e.Time.Before(last[n-1].Time) {
+				continue
+			}
+			last = append(last[:0], e)
+			if err := emit(e); err != nil {
+				return err
+			}
+		}
+		day = day.Add(24 * time.Hour)
+	}
+	return nil
+}
+
+// hashUnit maps (seed, a, b) deterministically to [0, 1).
+func hashUnit(seed, a, b uint64) float64 {
+	x := seed ^ (a * 0x9E3779B97F4A7C15) ^ (b * 0xBF58476D1CE4E5B9)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return float64(x>>11) / (1 << 53)
+}
+
+// StoredAmbient adapts hourly means aggregated from stored trace files
+// into an AmbientSource, closing the loop store → replay exactly as the
+// paper feeds recorded CASAS data into its simulator. Hours missing from
+// either series fall back to the provided generator model.
+type StoredAmbient struct {
+	Temps    map[time.Time]float64
+	Lights   map[time.Time]float64
+	Fallback AmbientSource
+}
+
+// AmbientAt implements AmbientSource.
+func (s *StoredAmbient) AmbientAt(t time.Time) Ambient {
+	h := t.UTC().Truncate(time.Hour)
+	var a Ambient
+	var haveT, haveL bool
+	if v, ok := s.Temps[h]; ok {
+		a.Temperature, haveT = v, true
+	}
+	if v, ok := s.Lights[h]; ok {
+		a.Light, haveL = v, true
+	}
+	if (!haveT || !haveL) && s.Fallback != nil {
+		fb := s.Fallback.AmbientAt(t)
+		if !haveT {
+			a.Temperature = fb.Temperature
+		}
+		if !haveL {
+			a.Light = fb.Light
+		}
+	}
+	return a
+}

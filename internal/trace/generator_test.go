@@ -1,0 +1,224 @@
+package trace
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/imcf/imcf/internal/weather"
+)
+
+func gen(t *testing.T, zoneSeed uint64) *Generator {
+	t.Helper()
+	wx := weather.MustNew(42, weather.Pullman())
+	g, err := NewGenerator(wx, DefaultZone(zoneSeed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	wx := weather.MustNew(1, weather.Pullman())
+	if _, err := NewGenerator(nil, DefaultZone(0)); err == nil {
+		t.Error("nil weather accepted")
+	}
+	bad := DefaultZone(0)
+	bad.TempCoupling = 2
+	if _, err := NewGenerator(wx, bad); err == nil {
+		t.Error("coupling > 1 accepted")
+	}
+	bad = DefaultZone(0)
+	bad.LightNoise = -1
+	if _, err := NewGenerator(wx, bad); err == nil {
+		t.Error("negative noise accepted")
+	}
+	bad = DefaultZone(0)
+	bad.ThermalLagHours = 100
+	if _, err := NewGenerator(wx, bad); err == nil {
+		t.Error("excessive lag accepted")
+	}
+}
+
+func TestIndoorSeasonality(t *testing.T) {
+	g := gen(t, 7)
+	meanMonth := func(m time.Month) float64 {
+		var sum float64
+		n := 0
+		for d := 1; d <= 28; d++ {
+			for h := 0; h < 24; h += 2 {
+				sum += g.TemperatureAt(time.Date(2015, m, d, h, 0, 0, 0, time.UTC))
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	jan, jul := meanMonth(time.January), meanMonth(time.July)
+	if jan > 10 {
+		t.Errorf("January indoor mean %.1f°C too warm for unconditioned zone", jan)
+	}
+	if jul < 18 || jul > 30 {
+		t.Errorf("July indoor mean %.1f°C outside [18,30]", jul)
+	}
+}
+
+func TestIndoorLight(t *testing.T) {
+	g := gen(t, 7)
+	night := g.LightAt(time.Date(2015, time.June, 10, 1, 0, 0, 0, time.UTC))
+	if night > 5 {
+		t.Errorf("night indoor light %.1f, want near 0", night)
+	}
+	noon := g.LightAt(time.Date(2015, time.June, 10, 12, 30, 0, 0, time.UTC))
+	if noon < 20 {
+		t.Errorf("summer noon indoor light %.1f, want bright", noon)
+	}
+	for h := 0; h < 24; h++ {
+		v := g.LightAt(time.Date(2015, time.March, 10, h, 0, 0, 0, time.UTC))
+		if v < 0 || v > 100 {
+			t.Fatalf("light %.1f at hour %d out of range", v, h)
+		}
+	}
+}
+
+func TestZonesDecorrelated(t *testing.T) {
+	g1, g2 := gen(t, 1), gen(t, 2)
+	at := time.Date(2014, time.May, 5, 9, 0, 0, 0, time.UTC)
+	if g1.TemperatureAt(at) == g2.TemperatureAt(at) {
+		t.Error("different zone seeds produced identical temperature (noise not applied)")
+	}
+	// But both track the same weather: long-run means agree closely.
+	var s1, s2 float64
+	for d := 0; d < 60; d++ {
+		tt := at.AddDate(0, 0, d)
+		s1 += g1.TemperatureAt(tt)
+		s2 += g2.TemperatureAt(tt)
+	}
+	if math.Abs(s1-s2)/60 > 0.5 {
+		t.Errorf("zone means diverge: %.2f vs %.2f", s1/60, s2/60)
+	}
+}
+
+func TestReadingsCadence(t *testing.T) {
+	g := gen(t, 3)
+	from := time.Date(2014, time.January, 1, 0, 0, 0, 0, time.UTC)
+	to := from.Add(24 * time.Hour)
+	var recs []Record
+	err := g.Readings(KindTemperature, from, to, 29*time.Second, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ~2979 readings/day at 29 s cadence; allow 15 % slack for jitter.
+	want := int(24 * time.Hour / (29 * time.Second))
+	if len(recs) < want*85/100 || len(recs) > want*115/100 {
+		t.Errorf("got %d readings, want ≈%d", len(recs), want)
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].Time.Before(recs[i-1].Time) {
+			t.Fatalf("readings out of order at %d", i)
+		}
+	}
+}
+
+func TestReadingsValidation(t *testing.T) {
+	g := gen(t, 3)
+	from := time.Date(2014, time.January, 1, 0, 0, 0, 0, time.UTC)
+	if err := g.Readings(Kind(0), from, from.Add(time.Hour), time.Second, func(Record) error { return nil }); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	if err := g.Readings(KindLight, from, from.Add(time.Hour), 0, func(Record) error { return nil }); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestDoorReadings(t *testing.T) {
+	g := gen(t, 3)
+	from := time.Date(2014, time.June, 1, 0, 0, 0, 0, time.UTC)
+	to := from.AddDate(0, 0, 7)
+	var recs []Record
+	if err := g.Readings(KindDoor, from, to, time.Minute, func(r Record) error {
+		recs = append(recs, r)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 14 { // at least 2 open events/day
+		t.Errorf("only %d door events over a week", len(recs))
+	}
+	for i, r := range recs {
+		if r.Value != 0 && r.Value != 1 {
+			t.Fatalf("door value %v not binary", r.Value)
+		}
+		if i > 0 && r.Time.Before(recs[i-1].Time) {
+			t.Fatalf("door events out of order at %d", i)
+		}
+	}
+}
+
+func TestStoredAggregationMatchesModel(t *testing.T) {
+	// Generate a stored trace, aggregate it hourly, and check the means
+	// track the direct model closely: the store→replay path and the
+	// direct synthetic path must be interchangeable.
+	g := gen(t, 9)
+	from := time.Date(2015, time.April, 1, 0, 0, 0, 0, time.UTC)
+	to := from.AddDate(0, 0, 3)
+
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, KindTemperature, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Readings(KindTemperature, from, to, 30*time.Second, w.Append); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	all, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	means := HourlyMeans(all)
+
+	src := &StoredAmbient{Temps: means, Fallback: g}
+	var worst float64
+	for h := from; h.Before(to); h = h.Add(time.Hour) {
+		stored := src.AmbientAt(h).Temperature
+		direct := g.AmbientAt(h).Temperature
+		if d := math.Abs(stored - direct); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1.5 {
+		t.Errorf("stored-vs-direct hourly ambient diverges by %.2f°C", worst)
+	}
+}
+
+func TestStoredAmbientFallback(t *testing.T) {
+	g := gen(t, 9)
+	at := time.Date(2015, time.April, 1, 12, 0, 0, 0, time.UTC)
+	src := &StoredAmbient{
+		Temps:    map[time.Time]float64{at: 99},
+		Fallback: g,
+	}
+	a := src.AmbientAt(at)
+	if a.Temperature != 99 {
+		t.Errorf("stored temp not used: %v", a.Temperature)
+	}
+	if a.Light != g.AmbientAt(at).Light {
+		t.Errorf("light fallback not used: %v", a.Light)
+	}
+	miss := src.AmbientAt(at.Add(time.Hour))
+	want := g.AmbientAt(at.Add(time.Hour))
+	if miss != want {
+		t.Errorf("full fallback mismatch: %v vs %v", miss, want)
+	}
+}

@@ -1,0 +1,295 @@
+package trace
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"math/bits"
+	"time"
+)
+
+// Block format (all multi-byte integers little-endian):
+//
+//	magic   [4]byte "IMTB"
+//	version uint8   (1)
+//	kind    uint8
+//	count   uint32
+//	first   int64   unix seconds of the first record
+//	last    int64   unix seconds of the last record (enables block skipping)
+//	plen    uint32  payload length in bytes
+//	payload []byte  Gorilla-compressed records
+//	crc     uint32  CRC-32 (IEEE) of the payload
+//
+// Payload: the first record stores its value as raw 64 float bits; its
+// timestamp is the header's first field. Each subsequent record stores a
+// delta-of-delta timestamp (Gorilla variable-length scheme) followed by an
+// XOR-compressed value.
+
+var blockMagic = [4]byte{'I', 'M', 'T', 'B'}
+
+const blockVersion = 1
+
+// blockHeaderSize is the fixed-size prefix before the payload.
+const blockHeaderSize = 4 + 1 + 1 + 4 + 8 + 8 + 4
+
+// ErrCorruptBlock is returned when a block fails structural or checksum
+// validation.
+var ErrCorruptBlock = errors.New("trace: corrupt block")
+
+// MaxBlockPayload bounds a block's compressed payload. Writers flush at
+// DefaultBlockSize records (~64 KB compressed), so this is generous
+// headroom while keeping readers safe from adversarial headers.
+const MaxBlockPayload = 1 << 26
+
+// EncodeBlock compresses records into a self-contained block. Records
+// must be non-empty and sorted by non-decreasing time; values must be
+// finite. Timestamps are truncated to seconds.
+func EncodeBlock(kind Kind, recs []Record) ([]byte, error) {
+	if !kind.Valid() {
+		return nil, fmt.Errorf("trace: invalid kind %v", kind)
+	}
+	if len(recs) == 0 {
+		return nil, errors.New("trace: cannot encode empty block")
+	}
+	for i, r := range recs {
+		if math.IsNaN(r.Value) || math.IsInf(r.Value, 0) {
+			return nil, fmt.Errorf("trace: record %d has non-finite value", i)
+		}
+		if i > 0 && recs[i].Time.Unix() < recs[i-1].Time.Unix() {
+			return nil, fmt.Errorf("trace: records out of order at %d", i)
+		}
+	}
+
+	w := NewBitWriter(len(recs)) // rough capacity hint
+	first := recs[0].Time.Unix()
+	prevTS := first
+	prevDelta := int64(0)
+	prevBits := math.Float64bits(recs[0].Value)
+	w.WriteBits(prevBits, 64)
+	prevLeading, prevTrailing := uint(65), uint(0) // 65 marks "no window yet"
+
+	for _, r := range recs[1:] {
+		ts := r.Time.Unix()
+		delta := ts - prevTS
+		dod := delta - prevDelta
+		writeDoD(w, dod)
+		prevTS, prevDelta = ts, delta
+
+		cur := math.Float64bits(r.Value)
+		xor := cur ^ prevBits
+		if xor == 0 {
+			w.WriteBit(false)
+		} else {
+			w.WriteBit(true)
+			leading := uint(bits.LeadingZeros64(xor))
+			if leading > 31 {
+				leading = 31
+			}
+			trailing := uint(bits.TrailingZeros64(xor))
+			if prevLeading <= 64 && leading >= prevLeading && trailing >= prevTrailing {
+				// Fits the previous meaningful-bit window.
+				w.WriteBit(false)
+				w.WriteBits(xor>>prevTrailing, 64-prevLeading-prevTrailing)
+			} else {
+				w.WriteBit(true)
+				sig := 64 - leading - trailing
+				w.WriteBits(uint64(leading), 5)
+				w.WriteBits(uint64(sig), 7) // 1–64 fits in 7 bits
+				w.WriteBits(xor>>trailing, sig)
+				prevLeading, prevTrailing = leading, trailing
+			}
+		}
+		prevBits = cur
+	}
+
+	payload := w.Bytes()
+	out := make([]byte, 0, blockHeaderSize+len(payload)+4)
+	out = append(out, blockMagic[:]...)
+	out = append(out, blockVersion, byte(kind))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(recs)))
+	out = binary.LittleEndian.AppendUint64(out, uint64(first))
+	out = binary.LittleEndian.AppendUint64(out, uint64(recs[len(recs)-1].Time.Unix()))
+	out = binary.LittleEndian.AppendUint32(out, uint32(len(payload)))
+	out = append(out, payload...)
+	out = binary.LittleEndian.AppendUint32(out, crc32.ChecksumIEEE(payload))
+	return out, nil
+}
+
+// writeDoD encodes a delta-of-delta with Gorilla's prefix scheme.
+func writeDoD(w *BitWriter, dod int64) {
+	switch {
+	case dod == 0:
+		w.WriteBit(false)
+	case dod >= -63 && dod <= 64:
+		w.WriteBits(0b10, 2)
+		w.WriteBits(zigzag(dod), 7+1)
+	case dod >= -255 && dod <= 256:
+		w.WriteBits(0b110, 3)
+		w.WriteBits(zigzag(dod), 9+1)
+	case dod >= -2047 && dod <= 2048:
+		w.WriteBits(0b1110, 4)
+		w.WriteBits(zigzag(dod), 12+1)
+	default:
+		w.WriteBits(0b1111, 4)
+		w.WriteBits(zigzag(dod), 64)
+	}
+}
+
+// readDoD decodes one delta-of-delta.
+func readDoD(r *BitReader) (int64, error) {
+	b, err := r.ReadBit()
+	if err != nil {
+		return 0, err
+	}
+	if !b {
+		return 0, nil
+	}
+	var width uint
+	for _, w := range []uint{8, 10, 13} {
+		b, err = r.ReadBit()
+		if err != nil {
+			return 0, err
+		}
+		if !b {
+			width = w
+			break
+		}
+	}
+	if width == 0 {
+		width = 64
+	}
+	u, err := r.ReadBits(width)
+	if err != nil {
+		return 0, err
+	}
+	return unzigzag(u), nil
+}
+
+// BlockHeader summarizes a block without decoding its payload, enabling
+// time-range skipping.
+type BlockHeader struct {
+	Kind        Kind
+	Count       int
+	First, Last time.Time
+	PayloadLen  int
+}
+
+// parseBlockHeader validates the fixed prefix of a block.
+func parseBlockHeader(b []byte) (BlockHeader, error) {
+	if len(b) < blockHeaderSize {
+		return BlockHeader{}, ErrCorruptBlock
+	}
+	if [4]byte(b[:4]) != blockMagic {
+		return BlockHeader{}, fmt.Errorf("%w: bad magic", ErrCorruptBlock)
+	}
+	if b[4] != blockVersion {
+		return BlockHeader{}, fmt.Errorf("%w: unsupported version %d", ErrCorruptBlock, b[4])
+	}
+	kind := Kind(b[5])
+	if !kind.Valid() {
+		return BlockHeader{}, fmt.Errorf("%w: invalid kind %d", ErrCorruptBlock, b[5])
+	}
+	count := binary.LittleEndian.Uint32(b[6:])
+	if count == 0 {
+		return BlockHeader{}, fmt.Errorf("%w: zero record count", ErrCorruptBlock)
+	}
+	first := int64(binary.LittleEndian.Uint64(b[10:]))
+	last := int64(binary.LittleEndian.Uint64(b[18:]))
+	if last < first {
+		return BlockHeader{}, fmt.Errorf("%w: last < first", ErrCorruptBlock)
+	}
+	plen := binary.LittleEndian.Uint32(b[26:])
+	if plen > MaxBlockPayload {
+		return BlockHeader{}, fmt.Errorf("%w: payload %d exceeds limit", ErrCorruptBlock, plen)
+	}
+	return BlockHeader{
+		Kind:       kind,
+		Count:      int(count),
+		First:      time.Unix(first, 0).UTC(),
+		Last:       time.Unix(last, 0).UTC(),
+		PayloadLen: int(plen),
+	}, nil
+}
+
+// DecodeBlock decompresses a block produced by EncodeBlock and returns
+// its records along with the total encoded size consumed from b.
+func DecodeBlock(b []byte) ([]Record, int, error) {
+	hdr, err := parseBlockHeader(b)
+	if err != nil {
+		return nil, 0, err
+	}
+	total := blockHeaderSize + hdr.PayloadLen + 4
+	if len(b) < total {
+		return nil, 0, fmt.Errorf("%w: truncated payload", ErrCorruptBlock)
+	}
+	payload := b[blockHeaderSize : blockHeaderSize+hdr.PayloadLen]
+	wantCRC := binary.LittleEndian.Uint32(b[blockHeaderSize+hdr.PayloadLen:])
+	if crc32.ChecksumIEEE(payload) != wantCRC {
+		return nil, 0, fmt.Errorf("%w: checksum mismatch", ErrCorruptBlock)
+	}
+	// Every record after the first costs at least two payload bits (one
+	// delta-of-delta bit, one xor bit), so a count the payload cannot
+	// justify is corruption — and must be rejected before allocation.
+	if hdr.Count > 1 && hdr.Count-1 > hdr.PayloadLen*4 {
+		return nil, 0, fmt.Errorf("%w: record count %d exceeds payload capacity", ErrCorruptBlock, hdr.Count)
+	}
+
+	r := NewBitReader(payload)
+	recs := make([]Record, 0, hdr.Count)
+	firstBits, err := r.ReadBits(64)
+	if err != nil {
+		return nil, 0, err
+	}
+	ts := hdr.First.Unix()
+	recs = append(recs, Record{Time: time.Unix(ts, 0).UTC(), Value: math.Float64frombits(firstBits)})
+
+	prevBits := firstBits
+	prevDelta := int64(0)
+	prevLeading, prevTrailing := uint(0), uint(0)
+	for i := 1; i < hdr.Count; i++ {
+		dod, err := readDoD(r)
+		if err != nil {
+			return nil, 0, err
+		}
+		prevDelta += dod
+		ts += prevDelta
+
+		nonzero, err := r.ReadBit()
+		if err != nil {
+			return nil, 0, err
+		}
+		cur := prevBits
+		if nonzero {
+			newWindow, err := r.ReadBit()
+			if err != nil {
+				return nil, 0, err
+			}
+			if newWindow {
+				lead, err := r.ReadBits(5)
+				if err != nil {
+					return nil, 0, err
+				}
+				sig, err := r.ReadBits(7)
+				if err != nil {
+					return nil, 0, err
+				}
+				if sig == 0 || lead+sig > 64 {
+					return nil, 0, fmt.Errorf("%w: invalid xor window", ErrCorruptBlock)
+				}
+				prevLeading = uint(lead)
+				prevTrailing = 64 - uint(lead) - uint(sig)
+			}
+			width := 64 - prevLeading - prevTrailing
+			xorBits, err := r.ReadBits(width)
+			if err != nil {
+				return nil, 0, err
+			}
+			cur = prevBits ^ (xorBits << prevTrailing)
+		}
+		prevBits = cur
+		recs = append(recs, Record{Time: time.Unix(ts, 0).UTC(), Value: math.Float64frombits(cur)})
+	}
+	return recs, total, nil
+}

@@ -1,0 +1,189 @@
+package trace
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var t0 = time.Date(2013, time.October, 1, 0, 0, 0, 0, time.UTC)
+
+func mkRecs(n int, step time.Duration, f func(i int) float64) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{Time: t0.Add(time.Duration(i) * step), Value: f(i)}
+	}
+	return recs
+}
+
+func TestBlockRoundTripRegular(t *testing.T) {
+	recs := mkRecs(1000, 30*time.Second, func(i int) float64 {
+		return 20 + 5*math.Sin(float64(i)/50)
+	})
+	block, err := EncodeBlock(KindTemperature, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := DecodeBlock(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(block) {
+		t.Errorf("consumed %d bytes, block is %d", n, len(block))
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("decoded %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if !got[i].Time.Equal(recs[i].Time) || got[i].Value != recs[i].Value {
+			t.Fatalf("record %d: got %v, want %v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestBlockCompression(t *testing.T) {
+	// Regular cadence + smooth values should compress far below the raw
+	// 16 bytes/record.
+	recs := mkRecs(4096, 30*time.Second, func(i int) float64 {
+		return math.Round((15+3*math.Sin(float64(i)/100))*10) / 10
+	})
+	block, err := EncodeBlock(KindTemperature, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 16 * len(recs)
+	if len(block)*3 > raw {
+		t.Errorf("block %d bytes for %d raw: compression ratio below 3x", len(block), raw)
+	}
+}
+
+func TestBlockSingleRecord(t *testing.T) {
+	recs := []Record{{Time: t0, Value: 21.5}}
+	block, err := EncodeBlock(KindLight, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeBlock(block)
+	if err != nil || len(got) != 1 || got[0].Value != 21.5 {
+		t.Fatalf("round trip = %v, %v", got, err)
+	}
+}
+
+func TestBlockIrregularTimestamps(t *testing.T) {
+	recs := []Record{
+		{Time: t0, Value: 1},
+		{Time: t0.Add(1 * time.Second), Value: 1},
+		{Time: t0.Add(1 * time.Second), Value: 2},            // duplicate second
+		{Time: t0.Add(4000 * time.Second), Value: -3.5},      // big jump
+		{Time: t0.Add(4001 * time.Second), Value: 1e300},     // extreme value
+		{Time: t0.Add(90000 * time.Second), Value: -1e-300},  // day jump
+		{Time: t0.Add(90030 * time.Second), Value: 0},        // zero
+		{Time: t0.Add(90060 * time.Second), Value: math.Pi},  //
+		{Time: t0.Add(90061 * time.Second), Value: math.Pi},  // repeat value
+		{Time: t0.Add(90062 * time.Second), Value: -math.Pi}, // sign flip
+	}
+	block, err := EncodeBlock(KindTemperature, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := DecodeBlock(block)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if got[i].Time.Unix() != recs[i].Time.Unix() || got[i].Value != recs[i].Value {
+			t.Fatalf("record %d: got %v, want %v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestEncodeBlockValidation(t *testing.T) {
+	if _, err := EncodeBlock(KindTemperature, nil); err == nil {
+		t.Error("empty block accepted")
+	}
+	if _, err := EncodeBlock(Kind(99), mkRecs(1, time.Second, func(int) float64 { return 0 })); err == nil {
+		t.Error("invalid kind accepted")
+	}
+	bad := []Record{{Time: t0, Value: math.NaN()}}
+	if _, err := EncodeBlock(KindTemperature, bad); err == nil {
+		t.Error("NaN value accepted")
+	}
+	ooo := []Record{{Time: t0.Add(time.Hour), Value: 1}, {Time: t0, Value: 2}}
+	if _, err := EncodeBlock(KindTemperature, ooo); err == nil {
+		t.Error("out-of-order records accepted")
+	}
+}
+
+func TestDecodeBlockCorruption(t *testing.T) {
+	recs := mkRecs(100, 30*time.Second, func(i int) float64 { return float64(i) })
+	block, err := EncodeBlock(KindTemperature, recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	t.Run("bad magic", func(t *testing.T) {
+		b := append([]byte(nil), block...)
+		b[0] ^= 0xFF
+		if _, _, err := DecodeBlock(b); !errors.Is(err, ErrCorruptBlock) {
+			t.Errorf("err = %v, want ErrCorruptBlock", err)
+		}
+	})
+	t.Run("payload bit flip", func(t *testing.T) {
+		b := append([]byte(nil), block...)
+		b[blockHeaderSize+10] ^= 0x10
+		if _, _, err := DecodeBlock(b); !errors.Is(err, ErrCorruptBlock) {
+			t.Errorf("err = %v, want checksum failure", err)
+		}
+	})
+	t.Run("truncated", func(t *testing.T) {
+		if _, _, err := DecodeBlock(block[:len(block)-5]); !errors.Is(err, ErrCorruptBlock) {
+			t.Errorf("err = %v, want ErrCorruptBlock", err)
+		}
+	})
+	t.Run("short header", func(t *testing.T) {
+		if _, _, err := DecodeBlock(block[:10]); !errors.Is(err, ErrCorruptBlock) {
+			t.Errorf("err = %v, want ErrCorruptBlock", err)
+		}
+	})
+}
+
+func TestPropertyBlockRoundTrip(t *testing.T) {
+	f := func(deltas []uint16, raw []float64) bool {
+		n := len(deltas)
+		if len(raw) < n {
+			n = len(raw)
+		}
+		if n == 0 {
+			return true
+		}
+		recs := make([]Record, n)
+		ts := t0
+		for i := 0; i < n; i++ {
+			ts = ts.Add(time.Duration(deltas[i]) * time.Second)
+			v := raw[i]
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			recs[i] = Record{Time: ts, Value: v}
+		}
+		block, err := EncodeBlock(KindLight, recs)
+		if err != nil {
+			return false
+		}
+		got, consumed, err := DecodeBlock(block)
+		if err != nil || consumed != len(block) || len(got) != n {
+			return false
+		}
+		for i := range recs {
+			if got[i].Time.Unix() != recs[i].Time.Unix() || got[i].Value != recs[i].Value {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,326 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+)
+
+// File format: a fixed file header followed by a sequence of blocks.
+//
+//	magic   [4]byte "IMTF"
+//	version uint8   (1)
+//	kind    uint8
+//	_       [2]byte reserved
+//	blocks  ...
+//
+// Blocks are self-describing (see gorilla.go), so the file needs no
+// footer index: a range scan reads each block header and skips the
+// payload of blocks that cannot overlap the requested interval.
+
+var fileMagic = [4]byte{'I', 'M', 'T', 'F'}
+
+const (
+	fileVersion    = 1
+	fileHeaderSize = 8
+
+	// DefaultBlockSize is the number of records buffered into one
+	// compressed block. At the CASAS reading cadence (~30 s) one block
+	// covers roughly two days.
+	DefaultBlockSize = 4096
+)
+
+// Writer appends records to a trace file, flushing a compressed block
+// every BlockSize records. Records must be appended in non-decreasing
+// time order.
+type Writer struct {
+	w         *bufio.Writer
+	closer    io.Closer
+	kind      Kind
+	pending   []Record
+	blockSize int
+	lastUnix  int64
+	count     int64
+	headerOK  bool
+}
+
+// NewWriter creates a trace writer on w. If w is also an io.Closer,
+// Close will close it.
+func NewWriter(w io.Writer, kind Kind, blockSize int) (*Writer, error) {
+	if !kind.Valid() {
+		return nil, fmt.Errorf("trace: invalid kind %v", kind)
+	}
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	tw := &Writer{
+		w:         bufio.NewWriterSize(w, 1<<16),
+		kind:      kind,
+		pending:   make([]Record, 0, blockSize),
+		blockSize: blockSize,
+		lastUnix:  -1 << 62,
+	}
+	if c, ok := w.(io.Closer); ok {
+		tw.closer = c
+	}
+	return tw, nil
+}
+
+// CreateFile creates (truncating) a trace file at path.
+func CreateFile(path string, kind Kind, blockSize int) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: create %s: %w", path, err)
+	}
+	w, err := NewWriter(f, kind, blockSize)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+func (w *Writer) writeHeader() error {
+	if w.headerOK {
+		return nil
+	}
+	hdr := make([]byte, 0, fileHeaderSize)
+	hdr = append(hdr, fileMagic[:]...)
+	hdr = append(hdr, fileVersion, byte(w.kind), 0, 0)
+	if _, err := w.w.Write(hdr); err != nil {
+		return err
+	}
+	w.headerOK = true
+	return nil
+}
+
+// Append buffers one record.
+func (w *Writer) Append(r Record) error {
+	ts := r.Time.Unix()
+	if ts < w.lastUnix {
+		return fmt.Errorf("trace: record at %v out of order (last %v)", r.Time, time.Unix(w.lastUnix, 0).UTC())
+	}
+	w.lastUnix = ts
+	w.pending = append(w.pending, r)
+	w.count++
+	if len(w.pending) >= w.blockSize {
+		return w.Flush()
+	}
+	return nil
+}
+
+// Count returns the number of records appended so far.
+func (w *Writer) Count() int64 { return w.count }
+
+// Flush encodes and writes any buffered records as a block.
+func (w *Writer) Flush() error {
+	if err := w.writeHeader(); err != nil {
+		return err
+	}
+	if len(w.pending) == 0 {
+		return w.w.Flush()
+	}
+	block, err := EncodeBlock(w.kind, w.pending)
+	if err != nil {
+		return err
+	}
+	if _, err := w.w.Write(block); err != nil {
+		return err
+	}
+	w.pending = w.pending[:0]
+	return w.w.Flush()
+}
+
+// Close flushes buffered records and closes the underlying writer if it
+// is closable.
+func (w *Writer) Close() error {
+	err := w.Flush()
+	if w.closer != nil {
+		if cerr := w.closer.Close(); err == nil {
+			err = cerr
+		}
+	}
+	return err
+}
+
+// Reader iterates the records of a trace file, optionally restricted to
+// a time range.
+type Reader struct {
+	r       *bufio.Reader
+	closer  io.Closer
+	kind    Kind
+	from    time.Time
+	to      time.Time
+	ranged  bool
+	block   []Record
+	blockAt int
+	scratch []byte
+}
+
+// NewReader opens a trace stream for sequential reading.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	hdr := make([]byte, fileHeaderSize)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	if [4]byte(hdr[:4]) != fileMagic {
+		return nil, errors.New("trace: not a trace file (bad magic)")
+	}
+	if hdr[4] != fileVersion {
+		return nil, fmt.Errorf("trace: unsupported file version %d", hdr[4])
+	}
+	kind := Kind(hdr[5])
+	if !kind.Valid() {
+		return nil, fmt.Errorf("trace: invalid kind %d in header", hdr[5])
+	}
+	tr := &Reader{r: br, kind: kind}
+	if c, ok := r.(io.Closer); ok {
+		tr.closer = c
+	}
+	return tr, nil
+}
+
+// OpenFile opens a trace file for reading.
+func OpenFile(path string) (*Reader, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: open %s: %w", path, err)
+	}
+	r, err := NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return r, nil
+}
+
+// Kind returns the modality recorded in the file header.
+func (r *Reader) Kind() Kind { return r.kind }
+
+// Restrict limits subsequent Next calls to records in [from, to). It
+// must be called before the first Next.
+func (r *Reader) Restrict(from, to time.Time) {
+	r.from, r.to, r.ranged = from, to, true
+}
+
+// Next returns the next record, or io.EOF when the stream (or the
+// restricted range) is exhausted.
+func (r *Reader) Next() (Record, error) {
+	for {
+		if r.blockAt < len(r.block) {
+			rec := r.block[r.blockAt]
+			r.blockAt++
+			if r.ranged {
+				if rec.Time.Before(r.from) {
+					continue
+				}
+				if !rec.Time.Before(r.to) {
+					return Record{}, io.EOF
+				}
+			}
+			return rec, nil
+		}
+		if err := r.nextBlock(); err != nil {
+			return Record{}, err
+		}
+	}
+}
+
+// nextBlock loads the next relevant block into r.block.
+func (r *Reader) nextBlock() error {
+	for {
+		hdrBytes := make([]byte, blockHeaderSize)
+		if _, err := io.ReadFull(r.r, hdrBytes); err != nil {
+			if err == io.EOF {
+				return io.EOF
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return fmt.Errorf("%w: truncated block header", ErrCorruptBlock)
+			}
+			return err
+		}
+		hdr, err := parseBlockHeader(hdrBytes)
+		if err != nil {
+			return err
+		}
+		body := hdr.PayloadLen + 4
+		if r.ranged && (hdr.Last.Before(r.from) || !hdr.First.Before(r.to)) {
+			// The block cannot overlap the range: skip its body.
+			if _, err := r.r.Discard(body); err != nil {
+				return fmt.Errorf("%w: skipping block: %v", ErrCorruptBlock, err)
+			}
+			// Blocks are time-ordered, so once past the range we are done.
+			if !hdr.First.Before(r.to) {
+				return io.EOF
+			}
+			continue
+		}
+		if cap(r.scratch) < blockHeaderSize+body {
+			r.scratch = make([]byte, blockHeaderSize+body)
+		}
+		buf := r.scratch[:blockHeaderSize+body]
+		copy(buf, hdrBytes)
+		if _, err := io.ReadFull(r.r, buf[blockHeaderSize:]); err != nil {
+			return fmt.Errorf("%w: truncated block body", ErrCorruptBlock)
+		}
+		recs, _, err := DecodeBlock(buf)
+		if err != nil {
+			return err
+		}
+		r.block, r.blockAt = recs, 0
+		return nil
+	}
+}
+
+// Close closes the underlying reader if it is closable.
+func (r *Reader) Close() error {
+	if r.closer != nil {
+		return r.closer.Close()
+	}
+	return nil
+}
+
+// ReadAll drains the reader and returns every remaining record.
+func (r *Reader) ReadAll() ([]Record, error) {
+	var out []Record
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, rec)
+	}
+}
+
+// HourlyMeans aggregates records into per-hour means keyed by the hour's
+// start time (UTC, truncated). It is the bridge from raw stored traces to
+// the simulator's hourly ambient series.
+func HourlyMeans(recs []Record) map[time.Time]float64 {
+	sums := make(map[time.Time]float64)
+	counts := make(map[time.Time]int)
+	for _, r := range recs {
+		h := r.Time.UTC().Truncate(time.Hour)
+		sums[h] += r.Value
+		counts[h]++
+	}
+	out := make(map[time.Time]float64, len(sums))
+	for h, s := range sums {
+		out[h] = s / float64(counts[h])
+	}
+	return out
+}
+
+// SortRecords orders records by time (stable), a convenience for callers
+// assembling blocks from unordered sources ("mixing up the readings", as
+// the paper's House dataset construction does).
+func SortRecords(recs []Record) {
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Time.Before(recs[j].Time) })
+}

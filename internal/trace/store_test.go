@@ -1,0 +1,246 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func writeTrace(t *testing.T, recs []Record, blockSize int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, KindTemperature, blockSize)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestWriterReaderRoundTrip(t *testing.T) {
+	recs := mkRecs(10000, 29*time.Second, func(i int) float64 {
+		return 18 + 4*math.Sin(float64(i)/200)
+	})
+	data := writeTrace(t, recs, 512) // multiple blocks
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Kind() != KindTemperature {
+		t.Errorf("Kind() = %v", r.Kind())
+	}
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d records, want %d", len(got), len(recs))
+	}
+	for i := range recs {
+		if got[i].Value != recs[i].Value || got[i].Time.Unix() != recs[i].Time.Unix() {
+			t.Fatalf("record %d mismatch: %v vs %v", i, got[i], recs[i])
+		}
+	}
+}
+
+func TestWriterRejectsOutOfOrder(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf, KindLight, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Time: t0.Add(time.Hour), Value: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Append(Record{Time: t0, Value: 2}); err == nil {
+		t.Error("out-of-order append accepted")
+	}
+}
+
+func TestWriterCount(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, KindLight, 8)
+	for i := 0; i < 20; i++ {
+		if err := w.Append(Record{Time: t0.Add(time.Duration(i) * time.Minute), Value: float64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 20 {
+		t.Errorf("Count() = %d", w.Count())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmptyTraceFile(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf, KindDoor, 0)
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Errorf("Next on empty trace = %v, want EOF", err)
+	}
+}
+
+func TestRangeRestriction(t *testing.T) {
+	recs := mkRecs(24*60, time.Minute, func(i int) float64 { return float64(i) }) // one day
+	data := writeTrace(t, recs, 60)                                               // one block per hour
+
+	from := t0.Add(5 * time.Hour)
+	to := t0.Add(7 * time.Hour)
+	r, err := NewReader(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Restrict(from, to)
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 120 {
+		t.Fatalf("range read %d records, want 120", len(got))
+	}
+	for _, rec := range got {
+		if rec.Time.Before(from) || !rec.Time.Before(to) {
+			t.Fatalf("record %v outside [%v, %v)", rec.Time, from, to)
+		}
+	}
+}
+
+func TestRangeOutsideTrace(t *testing.T) {
+	recs := mkRecs(100, time.Minute, func(i int) float64 { return float64(i) })
+	data := writeTrace(t, recs, 32)
+	r, _ := NewReader(bytes.NewReader(data))
+	r.Restrict(t0.AddDate(1, 0, 0), t0.AddDate(2, 0, 0))
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("read %d records from out-of-range query", len(got))
+	}
+}
+
+func TestReaderBadHeader(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("bogus!!!"))); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte("IM"))); err == nil {
+		t.Error("short header accepted")
+	}
+	data := writeTrace(t, mkRecs(5, time.Second, func(i int) float64 { return 1 }), 0)
+	bad := append([]byte(nil), data...)
+	bad[4] = 99 // version
+	if _, err := NewReader(bytes.NewReader(bad)); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestReaderCorruptBlock(t *testing.T) {
+	data := writeTrace(t, mkRecs(100, time.Second, func(i int) float64 { return float64(i) }), 50)
+	bad := append([]byte(nil), data...)
+	bad[fileHeaderSize+blockHeaderSize+3] ^= 0xFF // flip payload byte in first block
+	r, err := NewReader(bytes.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = r.ReadAll()
+	if !errors.Is(err, ErrCorruptBlock) {
+		t.Errorf("ReadAll on corrupt trace = %v, want ErrCorruptBlock", err)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "flat.temperature.imt")
+	w, err := CreateFile(path, KindTemperature, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs := mkRecs(1000, 31*time.Second, func(i int) float64 { return 20 + float64(i%7) })
+	for _, rec := range recs {
+		if err := w.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Size() >= int64(16*len(recs)) {
+		t.Errorf("file size %d not smaller than raw %d", info.Size(), 16*len(recs))
+	}
+
+	r, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	got, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(recs) {
+		t.Fatalf("read %d, want %d", len(got), len(recs))
+	}
+}
+
+func TestOpenFileMissing(t *testing.T) {
+	if _, err := OpenFile(filepath.Join(t.TempDir(), "nope.imt")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestHourlyMeans(t *testing.T) {
+	recs := []Record{
+		{Time: t0.Add(10 * time.Minute), Value: 10},
+		{Time: t0.Add(20 * time.Minute), Value: 20},
+		{Time: t0.Add(70 * time.Minute), Value: 5},
+	}
+	means := HourlyMeans(recs)
+	if got := means[t0]; got != 15 {
+		t.Errorf("hour 0 mean = %v, want 15", got)
+	}
+	if got := means[t0.Add(time.Hour)]; got != 5 {
+		t.Errorf("hour 1 mean = %v, want 5", got)
+	}
+	if len(means) != 2 {
+		t.Errorf("got %d hours, want 2", len(means))
+	}
+}
+
+func TestSortRecords(t *testing.T) {
+	recs := []Record{
+		{Time: t0.Add(2 * time.Hour), Value: 2},
+		{Time: t0, Value: 0},
+		{Time: t0.Add(time.Hour), Value: 1},
+	}
+	SortRecords(recs)
+	for i := range recs {
+		if recs[i].Value != float64(i) {
+			t.Fatalf("records not sorted: %v", recs)
+		}
+	}
+}

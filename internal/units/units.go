@@ -1,0 +1,183 @@
+// Package units defines the physical quantities used across IMCF:
+// energy (kWh), power (W), temperature (°C), light level, and percent.
+//
+// Quantities are small value types over float64 with explicit conversion
+// helpers, so that a kWh can never be accidentally added to a Celsius.
+// Formatting follows the conventions of the IMCF paper (kWh with two
+// decimals, temperature in whole or half degrees, light on the 0–100
+// dimmer scale).
+package units
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// Energy is an amount of electrical energy in kilowatt-hours.
+type Energy float64
+
+// Common energy constants.
+const (
+	WattHour     Energy = 0.001
+	KilowattHour Energy = 1
+	MegawattHour Energy = 1000
+)
+
+// KWh returns the energy as a float64 number of kilowatt-hours.
+func (e Energy) KWh() float64 { return float64(e) }
+
+// Wh returns the energy as a float64 number of watt-hours.
+func (e Energy) Wh() float64 { return float64(e) * 1000 }
+
+// String formats the energy with the unit used throughout the paper.
+func (e Energy) String() string {
+	switch {
+	case math.Abs(float64(e)) >= 1000:
+		return fmt.Sprintf("%.2f MWh", float64(e)/1000)
+	case math.Abs(float64(e)) < 0.001 && e != 0:
+		return fmt.Sprintf("%.3f Wh", float64(e)*1000)
+	default:
+		return fmt.Sprintf("%.2f kWh", float64(e))
+	}
+}
+
+// IsZero reports whether the energy is exactly zero.
+func (e Energy) IsZero() bool { return e == 0 }
+
+// Power is an instantaneous power draw in watts.
+type Power float64
+
+// Common power constants.
+const (
+	Watt     Power = 1
+	Kilowatt Power = 1000
+)
+
+// Watts returns the power as a float64 number of watts.
+func (p Power) Watts() float64 { return float64(p) }
+
+// String formats the power in W or kW.
+func (p Power) String() string {
+	if math.Abs(float64(p)) >= 1000 {
+		return fmt.Sprintf("%.2f kW", float64(p)/1000)
+	}
+	return fmt.Sprintf("%.0f W", float64(p))
+}
+
+// Over returns the energy consumed by drawing power p for duration d.
+func (p Power) Over(d time.Duration) Energy {
+	hours := d.Hours()
+	return Energy(float64(p) / 1000 * hours)
+}
+
+// Temperature is a temperature in degrees Celsius.
+type Temperature float64
+
+// Celsius returns the temperature as a float64 number of degrees Celsius.
+func (t Temperature) Celsius() float64 { return float64(t) }
+
+// String formats the temperature as in the paper (°C).
+func (t Temperature) String() string { return fmt.Sprintf("%.1f°C", float64(t)) }
+
+// DeltaTo returns the absolute difference between t and other in degrees.
+func (t Temperature) DeltaTo(other Temperature) float64 {
+	return math.Abs(float64(t) - float64(other))
+}
+
+// LightLevel is a luminosity setting on the 0–100 dimmer scale used by the
+// paper's Meta-Rule Table ("Set Light 40").
+type LightLevel float64
+
+// Level returns the light level as a float64 on the 0–100 scale.
+func (l LightLevel) Level() float64 { return float64(l) }
+
+// String formats the light level.
+func (l LightLevel) String() string { return fmt.Sprintf("%.0f", float64(l)) }
+
+// Clamp returns the light level clamped to the valid [0, 100] range.
+func (l LightLevel) Clamp() LightLevel {
+	if l < 0 {
+		return 0
+	}
+	if l > 100 {
+		return 100
+	}
+	return l
+}
+
+// DeltaTo returns the absolute difference between l and other.
+func (l LightLevel) DeltaTo(other LightLevel) float64 {
+	return math.Abs(float64(l) - float64(other))
+}
+
+// Mass is a mass in kilograms, used for CO₂ accounting — the paper's
+// future-work direction of "CO₂ reduction methods with algorithms
+// geared towards the environment".
+type Mass float64
+
+// Kg returns the mass as a float64 number of kilograms.
+func (m Mass) Kg() float64 { return float64(m) }
+
+// String formats the mass in kg or tonnes.
+func (m Mass) String() string {
+	if math.Abs(float64(m)) >= 1000 {
+		return fmt.Sprintf("%.2f t", float64(m)/1000)
+	}
+	return fmt.Sprintf("%.2f kg", float64(m))
+}
+
+// EmissionFactor converts consumed energy to CO₂-equivalent mass, in
+// kilograms per kWh.
+type EmissionFactor float64
+
+// EUGridIntensity is the approximate EU-average electricity carbon
+// intensity in the paper's time frame (~275 g CO₂e per kWh).
+const EUGridIntensity EmissionFactor = 0.275
+
+// Emissions returns the CO₂-equivalent mass of consuming the energy at
+// the given grid intensity.
+func (e Energy) Emissions(f EmissionFactor) Mass {
+	return Mass(float64(e) * float64(f))
+}
+
+// Money is an amount in euros. The paper converts budgets between money
+// and energy directly ("Keep the monthly energy consumption budget below
+// 100 euro" at ≈0.20 €/kWh).
+type Money float64
+
+// Euros returns the amount as a float64 number of euros.
+func (m Money) Euros() float64 { return float64(m) }
+
+// String formats the amount.
+func (m Money) String() string { return fmt.Sprintf("€%.2f", float64(m)) }
+
+// Tariff is an electricity price in euros per kWh.
+type Tariff float64
+
+// EUTariff is the paper's quoted EU average price: ≈0.20 €/kWh.
+const EUTariff Tariff = 0.20
+
+// Cost returns the price of the energy at this tariff.
+func (t Tariff) Cost(e Energy) Money { return Money(float64(e) * float64(t)) }
+
+// Energy returns the energy a budget buys at this tariff.
+func (t Tariff) Energy(m Money) Energy {
+	if t == 0 {
+		return 0
+	}
+	return Energy(float64(m) / float64(t))
+}
+
+// Percent is a ratio expressed in percent (0–100 for the usual range,
+// though values outside it are representable).
+type Percent float64
+
+// Fraction returns the percent as a 0–1 fraction.
+func (p Percent) Fraction() float64 { return float64(p) / 100 }
+
+// FromFraction converts a 0–1 fraction into a Percent.
+func FromFraction(f float64) Percent { return Percent(f * 100) }
+
+// String formats the percent with two decimals, as in the paper's tables.
+func (p Percent) String() string { return fmt.Sprintf("%.2f%%", float64(p)) }

@@ -1,0 +1,198 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEnergyConversions(t *testing.T) {
+	e := Energy(2.5)
+	if got := e.KWh(); got != 2.5 {
+		t.Errorf("KWh() = %v, want 2.5", got)
+	}
+	if got := e.Wh(); got != 2500 {
+		t.Errorf("Wh() = %v, want 2500", got)
+	}
+	if WattHour.Wh() != 1 {
+		t.Errorf("WattHour.Wh() = %v, want 1", WattHour.Wh())
+	}
+	if MegawattHour.KWh() != 1000 {
+		t.Errorf("MegawattHour.KWh() = %v, want 1000", MegawattHour.KWh())
+	}
+}
+
+func TestEnergyString(t *testing.T) {
+	cases := []struct {
+		e    Energy
+		want string
+	}{
+		{0, "0.00 kWh"},
+		{3666, "3.67 MWh"},
+		{130.64, "130.64 kWh"},
+		{0.0005, "0.500 Wh"},
+		{-2000, "-2.00 MWh"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("Energy(%v).String() = %q, want %q", float64(c.e), got, c.want)
+		}
+	}
+}
+
+func TestPowerOver(t *testing.T) {
+	// A 1000 W device running for one hour consumes 1 kWh.
+	if got := Power(1000).Over(time.Hour); got != 1 {
+		t.Errorf("1000W over 1h = %v, want 1 kWh", got)
+	}
+	// 500 W for 30 minutes is 0.25 kWh.
+	if got := Power(500).Over(30 * time.Minute); math.Abs(got.KWh()-0.25) > 1e-12 {
+		t.Errorf("500W over 30m = %v, want 0.25 kWh", got)
+	}
+	if got := Power(0).Over(time.Hour); got != 0 {
+		t.Errorf("0W over 1h = %v, want 0", got)
+	}
+}
+
+func TestPowerString(t *testing.T) {
+	if got := Power(750).String(); got != "750 W" {
+		t.Errorf("Power(750).String() = %q", got)
+	}
+	if got := Power(2400).String(); got != "2.40 kW" {
+		t.Errorf("Power(2400).String() = %q", got)
+	}
+}
+
+func TestTemperatureDelta(t *testing.T) {
+	if got := Temperature(25).DeltaTo(22); got != 3 {
+		t.Errorf("DeltaTo = %v, want 3", got)
+	}
+	if got := Temperature(18).DeltaTo(22); got != 4 {
+		t.Errorf("DeltaTo = %v, want 4 (symmetric)", got)
+	}
+}
+
+func TestLightLevelClamp(t *testing.T) {
+	cases := []struct {
+		in, want LightLevel
+	}{
+		{-5, 0}, {0, 0}, {40, 40}, {100, 100}, {140, 100},
+	}
+	for _, c := range cases {
+		if got := c.in.Clamp(); got != c.want {
+			t.Errorf("LightLevel(%v).Clamp() = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEmissions(t *testing.T) {
+	// 1000 kWh at the EU grid intensity is 275 kg CO₂e.
+	got := Energy(1000).Emissions(EUGridIntensity)
+	if math.Abs(got.Kg()-275) > 1e-9 {
+		t.Errorf("Emissions = %v, want 275 kg", got)
+	}
+	if Energy(0).Emissions(EUGridIntensity) != 0 {
+		t.Error("zero energy emits")
+	}
+	if got := Mass(120).String(); got != "120.00 kg" {
+		t.Errorf("Mass(120).String() = %q", got)
+	}
+	if got := Mass(41250).String(); got != "41.25 t" {
+		t.Errorf("Mass(41250).String() = %q", got)
+	}
+}
+
+func TestPropertyEmissionsLinear(t *testing.T) {
+	f := func(a, b uint16) bool {
+		ea, eb := Energy(a), Energy(b)
+		sum := (ea + eb).Emissions(EUGridIntensity)
+		parts := ea.Emissions(EUGridIntensity) + eb.Emissions(EUGridIntensity)
+		return math.Abs(sum.Kg()-parts.Kg()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPercentRoundTrip(t *testing.T) {
+	if got := Percent(62).Fraction(); got != 0.62 {
+		t.Errorf("Fraction() = %v, want 0.62", got)
+	}
+	if got := FromFraction(0.0235); math.Abs(float64(got)-2.35) > 1e-12 {
+		t.Errorf("FromFraction(0.0235) = %v, want 2.35", got)
+	}
+	if got := Percent(2.35).String(); got != "2.35%" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestPropertyDeltaSymmetricNonNegative(t *testing.T) {
+	f := func(a, b float64) bool {
+		// Restrict to finite realistic values.
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		ta, tb := Temperature(a), Temperature(b)
+		d1, d2 := ta.DeltaTo(tb), tb.DeltaTo(ta)
+		return d1 == d2 && d1 >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyPowerOverAdditive(t *testing.T) {
+	// Energy over d1+d2 equals energy over d1 plus energy over d2.
+	f := func(w uint16, m1, m2 uint16) bool {
+		p := Power(w)
+		d1 := time.Duration(m1) * time.Minute
+		d2 := time.Duration(m2) * time.Minute
+		sum := p.Over(d1).KWh() + p.Over(d2).KWh()
+		whole := p.Over(d1 + d2).KWh()
+		return math.Abs(sum-whole) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyClampIdempotentInRange(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) {
+			return true
+		}
+		c := LightLevel(v).Clamp()
+		return c >= 0 && c <= 100 && c.Clamp() == c
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMoneyAndTariff(t *testing.T) {
+	// The paper: 1 kWh ≈ 0.20 €, so 100 € buys 500 kWh.
+	if got := EUTariff.Energy(100); got.KWh() != 500 {
+		t.Errorf("100 EUR buys %v, want 500 kWh", got)
+	}
+	if got := EUTariff.Cost(500); got.Euros() != 100 {
+		t.Errorf("500 kWh costs %v, want 100 EUR", got)
+	}
+	if got := Tariff(0).Energy(100); got != 0 {
+		t.Errorf("zero tariff energy = %v", got)
+	}
+	if got := Money(12.5).String(); got != "€12.50" {
+		t.Errorf("Money.String() = %q", got)
+	}
+}
+
+func TestPropertyTariffRoundTrip(t *testing.T) {
+	f := func(kwhRaw uint16) bool {
+		e := Energy(kwhRaw)
+		back := EUTariff.Energy(EUTariff.Cost(e))
+		return math.Abs(back.KWh()-e.KWh()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,235 @@
+// Package weather provides a deterministic synthetic weather service.
+//
+// It substitutes both the open-weather API the IMCF prototype queries and
+// the outdoor climate that drives the CASAS residential traces used in the
+// paper's evaluation. Observations are a pure function of (seed, time):
+// the same service always reports the same weather for the same instant,
+// which keeps trace generation and experiments repeatable.
+//
+// The model is a layered signal: a seasonal sinusoid, a diurnal sinusoid,
+// a multi-day weather-front component, and bounded high-frequency noise,
+// plus a persistent sunny/cloudy regime drawn per day. The default
+// climate is calibrated to the Pullman, WA area where the CASAS testbed
+// apartment is located (cold winters, warm dry summers).
+package weather
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"github.com/imcf/imcf/internal/simclock"
+	"github.com/imcf/imcf/internal/units"
+)
+
+// Condition is the sky condition reported by the service. The paper's
+// IFTTT configurations (Table III) only distinguish Sunny and Cloudy.
+type Condition int
+
+// Sky conditions.
+const (
+	Sunny Condition = iota
+	Cloudy
+)
+
+// String returns the condition name.
+func (c Condition) String() string {
+	switch c {
+	case Sunny:
+		return "Sunny"
+	case Cloudy:
+		return "Cloudy"
+	default:
+		return fmt.Sprintf("Condition(%d)", int(c))
+	}
+}
+
+// ParseCondition parses a condition name as used in IFTTT rule tables.
+func ParseCondition(s string) (Condition, error) {
+	switch s {
+	case "Sunny", "sunny":
+		return Sunny, nil
+	case "Cloudy", "cloudy":
+		return Cloudy, nil
+	default:
+		return 0, fmt.Errorf("weather: unknown condition %q", s)
+	}
+}
+
+// Observation is the weather at one instant.
+type Observation struct {
+	Time        time.Time
+	Temperature units.Temperature // outdoor air temperature
+	Condition   Condition
+	// Daylight is the outdoor natural-light intensity on the 0–100
+	// scale used by the light sensors (0 at night, ~100 clear midday).
+	Daylight units.LightLevel
+	Season   simclock.Season
+}
+
+// Climate parameterizes the synthetic weather model.
+type Climate struct {
+	// MeanAnnual is the annual mean outdoor temperature.
+	MeanAnnual units.Temperature
+	// SeasonalAmplitude is the half-swing of the yearly sinusoid: the
+	// warmest day's mean is MeanAnnual+SeasonalAmplitude.
+	SeasonalAmplitude float64
+	// DiurnalAmplitude is the half-swing of the day/night sinusoid.
+	DiurnalAmplitude float64
+	// FrontAmplitude bounds the multi-day weather-front deviation.
+	FrontAmplitude float64
+	// NoiseAmplitude bounds the per-hour high-frequency noise.
+	NoiseAmplitude float64
+	// CloudyFraction is the long-run fraction of cloudy days (0–1).
+	CloudyFraction float64
+	// PeakDayOfYear is the day of year with the warmest mean (≈200 for
+	// mid-July in the northern hemisphere).
+	PeakDayOfYear int
+}
+
+// Pullman approximates Pullman, WA (the CASAS testbed's location):
+// January mean around 0 °C, July mean around 21 °C.
+func Pullman() Climate {
+	return Climate{
+		MeanAnnual:        10.5,
+		SeasonalAmplitude: 10.5,
+		DiurnalAmplitude:  5.5,
+		FrontAmplitude:    3.5,
+		NoiseAmplitude:    0.8,
+		CloudyFraction:    0.45,
+		PeakDayOfYear:     200,
+	}
+}
+
+// Nicosia approximates Nicosia, Cyprus: January mean around 10 °C, July
+// mean around 29 °C. It is the evaluation default because the paper's
+// flat ECP (Table I) is Mediterranean — peak consumption in January
+// (heating) with a secondary peak in August (cooling) — matching the
+// authors' University of Cyprus deployment.
+func Nicosia() Climate {
+	return Climate{
+		MeanAnnual:        19.5,
+		SeasonalAmplitude: 9.5,
+		DiurnalAmplitude:  5.5,
+		FrontAmplitude:    2.5,
+		NoiseAmplitude:    0.8,
+		CloudyFraction:    0.30,
+		PeakDayOfYear:     205,
+	}
+}
+
+// Validate reports whether the climate's parameters are usable.
+func (c Climate) Validate() error {
+	if c.SeasonalAmplitude < 0 || c.DiurnalAmplitude < 0 || c.FrontAmplitude < 0 || c.NoiseAmplitude < 0 {
+		return fmt.Errorf("weather: negative amplitude in climate %+v", c)
+	}
+	if c.CloudyFraction < 0 || c.CloudyFraction > 1 {
+		return fmt.Errorf("weather: cloudy fraction %v outside [0,1]", c.CloudyFraction)
+	}
+	if c.PeakDayOfYear < 1 || c.PeakDayOfYear > 366 {
+		return fmt.Errorf("weather: peak day of year %d outside [1,366]", c.PeakDayOfYear)
+	}
+	return nil
+}
+
+// Service produces deterministic weather observations.
+type Service struct {
+	seed    uint64
+	climate Climate
+}
+
+// New returns a weather service for the given seed and climate.
+func New(seed uint64, climate Climate) (*Service, error) {
+	if err := climate.Validate(); err != nil {
+		return nil, err
+	}
+	return &Service{seed: seed, climate: climate}, nil
+}
+
+// MustNew is New for known-good climates; it panics on error.
+func MustNew(seed uint64, climate Climate) *Service {
+	s, err := New(seed, climate)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// At returns the weather observation for instant t.
+func (s *Service) At(t time.Time) Observation {
+	u := t.UTC()
+	dayKey := uint64(u.Year())*1000 + uint64(u.YearDay())
+	cond := Sunny
+	if unitFloat(mix(s.seed, dayKey, 0x5EED)) < s.climate.CloudyFraction {
+		cond = Cloudy
+	}
+	return Observation{
+		Time:        t,
+		Temperature: s.temperatureAt(u, cond, dayKey),
+		Condition:   cond,
+		Daylight:    s.daylightAt(u, cond),
+		Season:      simclock.SeasonOf(u),
+	}
+}
+
+func (s *Service) temperatureAt(u time.Time, cond Condition, dayKey uint64) units.Temperature {
+	c := s.climate
+	yearFrac := float64(u.YearDay()-c.PeakDayOfYear) / 365.25
+	seasonal := c.SeasonalAmplitude * math.Cos(2*math.Pi*yearFrac)
+
+	// Diurnal swing peaks mid-afternoon (15:00) and bottoms out
+	// pre-dawn. Cloud cover damps the swing.
+	hourFrac := (float64(u.Hour()) + float64(u.Minute())/60 - 15) / 24
+	diurnal := c.DiurnalAmplitude * math.Cos(2*math.Pi*hourFrac)
+	if cond == Cloudy {
+		diurnal *= 0.6
+	}
+
+	// Weather fronts: a slow random walk realized as the blend of two
+	// per-period offsets so consecutive days move smoothly.
+	const frontPeriodDays = 4
+	day := u.Year()*366 + u.YearDay()
+	p0 := day / frontPeriodDays
+	blend := float64(day%frontPeriodDays)/frontPeriodDays +
+		float64(u.Hour())/(24*frontPeriodDays)
+	f0 := (unitFloat(mix(s.seed, uint64(p0), 0xF407))*2 - 1) * c.FrontAmplitude
+	f1 := (unitFloat(mix(s.seed, uint64(p0+1), 0xF407))*2 - 1) * c.FrontAmplitude
+	front := f0*(1-blend) + f1*blend
+
+	noise := (unitFloat(mix(s.seed, dayKey*24+uint64(u.Hour()), 0x0153))*2 - 1) * c.NoiseAmplitude
+
+	return units.Temperature(float64(c.MeanAnnual) + seasonal + diurnal + front + noise)
+}
+
+func (s *Service) daylightAt(u time.Time, cond Condition) units.LightLevel {
+	// Approximate day length: 12 h ± 3.2 h with the seasons.
+	yearFrac := float64(u.YearDay()-172) / 365.25 // solstice ≈ day 172
+	halfDay := 6 + 1.6*math.Cos(2*math.Pi*yearFrac)
+	hour := float64(u.Hour()) + float64(u.Minute())/60
+	elev := math.Cos((hour - 12.5) / halfDay * (math.Pi / 2))
+	if math.Abs(hour-12.5) >= halfDay || elev <= 0 {
+		return 0
+	}
+	peak := 100.0
+	if cond == Cloudy {
+		peak = 45
+	}
+	return units.LightLevel(peak * elev).Clamp()
+}
+
+// mix is a splitmix64-style hash combining the seed with two words; it is
+// the deterministic randomness source for the whole weather model.
+func mix(seed, a, b uint64) uint64 {
+	x := seed ^ (a * 0x9E3779B97F4A7C15) ^ (b * 0xBF58476D1CE4E5B9)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// unitFloat maps a hash to [0, 1).
+func unitFloat(h uint64) float64 {
+	return float64(h>>11) / (1 << 53)
+}

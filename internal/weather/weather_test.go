@@ -1,0 +1,244 @@
+package weather
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"github.com/imcf/imcf/internal/simclock"
+)
+
+func svc(t *testing.T) *Service {
+	t.Helper()
+	s, err := New(42, Pullman())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDeterminism(t *testing.T) {
+	s1 := svc(t)
+	s2 := svc(t)
+	at := time.Date(2014, time.July, 4, 15, 0, 0, 0, time.UTC)
+	o1, o2 := s1.At(at), s2.At(at)
+	if o1 != o2 {
+		t.Errorf("same seed produced different observations: %+v vs %+v", o1, o2)
+	}
+	other, _ := New(43, Pullman())
+	diff := false
+	for d := 0; d < 30; d++ {
+		at := time.Date(2014, time.July, 1+d, 15, 0, 0, 0, time.UTC)
+		if s1.At(at) != other.At(at) {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds never diverged over 30 days")
+	}
+}
+
+func TestSeasonalShape(t *testing.T) {
+	s := svc(t)
+	meanAt := func(m time.Month) float64 {
+		var sum float64
+		var n int
+		for d := 1; d <= 28; d++ {
+			for h := 0; h < 24; h++ {
+				sum += s.At(time.Date(2015, m, d, h, 0, 0, 0, time.UTC)).Temperature.Celsius()
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	jan, jul := meanAt(time.January), meanAt(time.July)
+	if jan > 4 {
+		t.Errorf("January mean %.1f°C too warm for Pullman climate", jan)
+	}
+	if jul < 17 || jul > 25 {
+		t.Errorf("July mean %.1f°C outside expected [17,25]", jul)
+	}
+	if jul-jan < 12 {
+		t.Errorf("seasonal swing %.1f°C too small", jul-jan)
+	}
+}
+
+func TestDiurnalShape(t *testing.T) {
+	s := svc(t)
+	// Afternoon should on average be warmer than pre-dawn.
+	var afternoon, predawn float64
+	for d := 1; d <= 28; d++ {
+		afternoon += s.At(time.Date(2015, time.May, d, 15, 0, 0, 0, time.UTC)).Temperature.Celsius()
+		predawn += s.At(time.Date(2015, time.May, d, 4, 0, 0, 0, time.UTC)).Temperature.Celsius()
+	}
+	if afternoon <= predawn {
+		t.Errorf("afternoon mean %.1f not warmer than pre-dawn %.1f", afternoon/28, predawn/28)
+	}
+}
+
+func TestDaylight(t *testing.T) {
+	s := svc(t)
+	night := s.At(time.Date(2015, time.June, 10, 1, 0, 0, 0, time.UTC))
+	if night.Daylight != 0 {
+		t.Errorf("daylight at 01:00 = %v, want 0", night.Daylight)
+	}
+	noon := s.At(time.Date(2015, time.June, 10, 12, 30, 0, 0, time.UTC))
+	if noon.Daylight < 40 {
+		t.Errorf("daylight at summer noon = %v, want bright", noon.Daylight)
+	}
+	if noon.Daylight > 100 {
+		t.Errorf("daylight %v exceeds scale", noon.Daylight)
+	}
+	// Winter days are shorter: 17:00 in December should be dark, but
+	// bright in June.
+	dec := s.At(time.Date(2015, time.December, 10, 17, 0, 0, 0, time.UTC))
+	jun := s.At(time.Date(2015, time.June, 10, 17, 0, 0, 0, time.UTC))
+	if dec.Daylight >= jun.Daylight {
+		t.Errorf("December 17:00 daylight %v not darker than June %v", dec.Daylight, jun.Daylight)
+	}
+}
+
+func TestCloudyFraction(t *testing.T) {
+	s := svc(t)
+	cloudy := 0
+	const days = 365 * 3
+	for d := 0; d < days; d++ {
+		at := time.Date(2013, time.October, 1, 12, 0, 0, 0, time.UTC).AddDate(0, 0, d)
+		if s.At(at).Condition == Cloudy {
+			cloudy++
+		}
+	}
+	frac := float64(cloudy) / days
+	if math.Abs(frac-Pullman().CloudyFraction) > 0.06 {
+		t.Errorf("cloudy fraction %.3f, want ≈%.2f", frac, Pullman().CloudyFraction)
+	}
+}
+
+func TestConditionStableWithinDay(t *testing.T) {
+	s := svc(t)
+	day := time.Date(2014, time.March, 3, 0, 0, 0, 0, time.UTC)
+	first := s.At(day).Condition
+	for h := 1; h < 24; h++ {
+		if got := s.At(day.Add(time.Duration(h) * time.Hour)).Condition; got != first {
+			t.Fatalf("condition changed within day at hour %d: %v -> %v", h, first, got)
+		}
+	}
+}
+
+func TestCloudyDampsDaylight(t *testing.T) {
+	s := svc(t)
+	// Find a sunny day and a cloudy day; compare noon daylight.
+	var sunny, cloudy *Observation
+	for d := 0; d < 60 && (sunny == nil || cloudy == nil); d++ {
+		at := time.Date(2014, time.June, 1, 12, 30, 0, 0, time.UTC).AddDate(0, 0, d%30)
+		o := s.At(at)
+		switch o.Condition {
+		case Sunny:
+			sunny = &o
+		case Cloudy:
+			cloudy = &o
+		}
+	}
+	if sunny == nil || cloudy == nil {
+		t.Skip("did not find both conditions in June window")
+	}
+	if cloudy.Daylight >= sunny.Daylight {
+		t.Errorf("cloudy noon %v not darker than sunny noon %v", cloudy.Daylight, sunny.Daylight)
+	}
+}
+
+func TestSeasonField(t *testing.T) {
+	s := svc(t)
+	o := s.At(time.Date(2015, time.January, 15, 12, 0, 0, 0, time.UTC))
+	if o.Season != simclock.Winter {
+		t.Errorf("January season = %v", o.Season)
+	}
+}
+
+func TestParseCondition(t *testing.T) {
+	for _, c := range []Condition{Sunny, Cloudy} {
+		got, err := ParseCondition(c.String())
+		if err != nil || got != c {
+			t.Errorf("ParseCondition(%q) = %v, %v", c.String(), got, err)
+		}
+	}
+	if _, err := ParseCondition("hail"); err == nil {
+		t.Error("ParseCondition(hail) should fail")
+	}
+}
+
+func TestClimateValidate(t *testing.T) {
+	bad := Pullman()
+	bad.CloudyFraction = 1.5
+	if _, err := New(1, bad); err == nil {
+		t.Error("invalid cloudy fraction accepted")
+	}
+	bad = Pullman()
+	bad.SeasonalAmplitude = -1
+	if _, err := New(1, bad); err == nil {
+		t.Error("negative amplitude accepted")
+	}
+	bad = Pullman()
+	bad.PeakDayOfYear = 0
+	if _, err := New(1, bad); err == nil {
+		t.Error("invalid peak day accepted")
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew with bad climate should panic")
+		}
+	}()
+	bad := Pullman()
+	bad.CloudyFraction = -1
+	MustNew(1, bad)
+}
+
+func TestTemperatureBounded(t *testing.T) {
+	s := svc(t)
+	c := Pullman()
+	lo := float64(c.MeanAnnual) - c.SeasonalAmplitude - c.DiurnalAmplitude - c.FrontAmplitude - c.NoiseAmplitude - 0.01
+	hi := float64(c.MeanAnnual) + c.SeasonalAmplitude + c.DiurnalAmplitude + c.FrontAmplitude + c.NoiseAmplitude + 0.01
+	for d := 0; d < 400; d++ {
+		for h := 0; h < 24; h += 3 {
+			at := time.Date(2013, time.October, 1, h, 0, 0, 0, time.UTC).AddDate(0, 0, d)
+			temp := s.At(at).Temperature.Celsius()
+			if temp < lo || temp > hi {
+				t.Fatalf("temperature %.2f at %v outside [%.2f, %.2f]", temp, at, lo, hi)
+			}
+		}
+	}
+}
+
+func TestNicosiaClimate(t *testing.T) {
+	s, err := New(42, Nicosia())
+	if err != nil {
+		t.Fatal(err)
+	}
+	meanAt := func(m time.Month) float64 {
+		var sum float64
+		n := 0
+		for d := 1; d <= 28; d++ {
+			for h := 0; h < 24; h += 2 {
+				sum += s.At(time.Date(2015, m, d, h, 0, 0, 0, time.UTC)).Temperature.Celsius()
+				n++
+			}
+		}
+		return sum / float64(n)
+	}
+	jan, jul, aug := meanAt(time.January), meanAt(time.July), meanAt(time.August)
+	if jan < 6 || jan > 14 {
+		t.Errorf("Nicosia January mean %.1f°C outside [6,14]", jan)
+	}
+	if jul < 25 || jul > 33 {
+		t.Errorf("Nicosia July mean %.1f°C outside [25,33]", jul)
+	}
+	// The warm peak sits in high summer (matching Table I's August
+	// cooling bump).
+	if aug < jan {
+		t.Errorf("August %.1f colder than January %.1f", aug, jan)
+	}
+}
