@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race check bench fig6bench
+
+all: check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the packages with dedicated concurrency machinery under the
+# race detector (full -race ./... is covered by check).
+race:
+	$(GO) test -race ./internal/sim ./internal/bench ./internal/core
+
+check:
+	./scripts/check.sh
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' ./...
+
+# fig6bench regenerates the machine-readable perf artifact.
+fig6bench:
+	$(GO) run ./cmd/imcf-bench -reps 3 -benchjson BENCH_fig6.json

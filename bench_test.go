@@ -100,6 +100,33 @@ func flatWorkload(b *testing.B) *sim.Workload {
 	return w
 }
 
+// BenchmarkBuildWorkload measures workload construction at dorm scale
+// (600 rules, 26,280 slots × 100 zones): the per-slot trace/environment
+// precompute that fronts every experiment, sequentially and sharded
+// over the worker pool.
+func BenchmarkBuildWorkload(b *testing.B) {
+	res, err := home.Dorms(42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"sequential", 1},
+		{"parallel", 0}, // GOMAXPROCS
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sim.BuildWorkload(res, sim.Options{Workers: bc.workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkFig6Performance replays a one-year flat run per iteration for
 // each compared algorithm — the workload behind Fig. 6.
 func BenchmarkFig6Performance(b *testing.B) {

@@ -3,8 +3,9 @@
 //
 // Usage:
 //
-//	imcf-bench [-run all|table1|table2|table3|fig6|fig7|fig8|fig9|table4|table5|ablations]
-//	           [-reps N] [-datasets Flat,House,Dorms] [-seed N]
+//	imcf-bench [-run all|table1|table2|table3|fig6|fig7|fig8|fig9|table4|table5|ablations|fig6bench]
+//	           [-reps N] [-datasets Flat,House,Dorms] [-seed N] [-parallel N]
+//	           [-cpuprofile out.pprof] [-memprofile out.pprof] [-benchjson BENCH_fig6.json]
 //
 // Each experiment prints the same rows/series the paper reports, with
 // mean ± standard deviation over the configured repetitions.
@@ -15,6 +16,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -23,20 +26,69 @@ import (
 
 func main() {
 	var (
-		run      = flag.String("run", "all", "experiment to run: all, table1, table2, table3, fig6, fig7, fig8, fig9, table4, table5, ablations")
-		reps     = flag.Int("reps", 10, "repetitions per configuration")
-		datasets = flag.String("datasets", "Flat,House,Dorms", "comma-separated datasets")
-		seed     = flag.Uint64("seed", 42, "base random seed")
-		format   = flag.String("format", "text", "output format: text or json (json covers fig6-9 and the prototype)")
-		specPath = flag.String("spec", "", "JSON experiment spec file (runs instead of the built-in experiments)")
+		run        = flag.String("run", "all", "experiment to run: all, table1, table2, table3, fig6, fig7, fig8, fig9, table4, table5, ablations, fig6bench")
+		reps       = flag.Int("reps", 10, "repetitions per configuration")
+		datasets   = flag.String("datasets", "Flat,House,Dorms", "comma-separated datasets")
+		seed       = flag.Uint64("seed", 42, "base random seed")
+		format     = flag.String("format", "text", "output format: text or json (json covers fig6-9 and the prototype)")
+		specPath   = flag.String("spec", "", "JSON experiment spec file (runs instead of the built-in experiments)")
+		parallel   = flag.Int("parallel", 0, "suite-wide simulation runs in flight (0 = GOMAXPROCS, 1 = sequential)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		benchjson  = flag.String("benchjson", "", "write the fig6bench before/after artifact (BENCH_fig6.json) to this file")
 	)
 	flag.Parse()
 
-	suite := &bench.Suite{Reps: *reps, Seed: *seed}
+	suite := &bench.Suite{Reps: *reps, Seed: *seed, Parallel: *parallel}
 	for _, d := range strings.Split(*datasets, ",") {
 		if d = strings.TrimSpace(d); d != "" {
 			suite.Datasets = append(suite.Datasets, d)
 		}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imcf-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "imcf-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "imcf-bench: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "imcf-bench: %v\n", err)
+			}
+		}()
+	}
+
+	if *benchjson != "" {
+		f, err := os.Create(*benchjson)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imcf-bench: %v\n", err)
+			os.Exit(1)
+		}
+		err = suite.WriteFig6Bench(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imcf-bench: fig6bench: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	if *specPath != "" {
@@ -67,22 +119,29 @@ func main() {
 
 	experiments := []struct {
 		name string
-		fn   func() error
+		// explicitOnly experiments are skipped by -run all and must be
+		// named directly (perf harnesses, not paper figures).
+		explicitOnly bool
+		fn           func() error
 	}{
-		{"table1", func() error { return bench.Table1(os.Stdout) }},
-		{"table2", func() error { return bench.Table2(os.Stdout) }},
-		{"table3", func() error { return bench.Table3(os.Stdout) }},
-		{"fig6", func() error { return suite.Fig6(os.Stdout) }},
-		{"fig7", func() error { return suite.Fig7(os.Stdout) }},
-		{"fig8", func() error { return suite.Fig8(os.Stdout) }},
-		{"fig9", func() error { return suite.Fig9(os.Stdout) }},
-		{"table4", func() error { return suite.Table4(os.Stdout) }},
-		{"table5", func() error { return suite.Table5(os.Stdout) }},
-		{"ablations", func() error { return suite.Ablations(os.Stdout) }},
+		{name: "table1", fn: func() error { return bench.Table1(os.Stdout) }},
+		{name: "table2", fn: func() error { return bench.Table2(os.Stdout) }},
+		{name: "table3", fn: func() error { return bench.Table3(os.Stdout) }},
+		{name: "fig6", fn: func() error { return suite.Fig6(os.Stdout) }},
+		{name: "fig7", fn: func() error { return suite.Fig7(os.Stdout) }},
+		{name: "fig8", fn: func() error { return suite.Fig8(os.Stdout) }},
+		{name: "fig9", fn: func() error { return suite.Fig9(os.Stdout) }},
+		{name: "table4", fn: func() error { return suite.Table4(os.Stdout) }},
+		{name: "table5", fn: func() error { return suite.Table5(os.Stdout) }},
+		{name: "ablations", fn: func() error { return suite.Ablations(os.Stdout) }},
+		{name: "fig6bench", explicitOnly: true, fn: func() error { return suite.WriteFig6Bench(os.Stdout) }},
 	}
 
 	ran := false
 	for _, e := range experiments {
+		if *run == "all" && e.explicitOnly {
+			continue
+		}
 		if *run != "all" && *run != e.name {
 			continue
 		}

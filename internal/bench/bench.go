@@ -71,9 +71,18 @@ type Suite struct {
 	Seed uint64
 	// Datasets restricts which datasets run; nil means all three.
 	Datasets []string
+	// Parallel bounds the number of simulation runs in flight across
+	// the whole suite: every (dataset × algorithm × repetition) cell of
+	// every experiment draws from one shared worker pool, so the tail
+	// of a slow cell no longer idles cores. Zero means GOMAXPROCS; 1
+	// gives a fully sequential suite.
+	Parallel int
 
 	mu        sync.Mutex
 	workloads map[string]*sim.Workload
+
+	semOnce sync.Once
+	sem     chan struct{}
 }
 
 // NewSuite returns a suite with the paper's defaults.
@@ -87,6 +96,22 @@ func (s *Suite) reps() int {
 	}
 	return s.Reps
 }
+
+func (s *Suite) parallel() int {
+	if s.Parallel > 0 {
+		return s.Parallel
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// acquire takes a slot in the suite-wide run pool, lazily sizing the
+// pool on first use.
+func (s *Suite) acquire() {
+	s.semOnce.Do(func() { s.sem = make(chan struct{}, s.parallel()) })
+	s.sem <- struct{}{}
+}
+
+func (s *Suite) release() { <-s.sem }
 
 func (s *Suite) datasets() []string {
 	if len(s.Datasets) == 0 {
@@ -136,20 +161,31 @@ func (s *Suite) workload(name string) (*sim.Workload, error) {
 // runRepeated replays a configuration Reps times with distinct planner
 // seeds and aggregates F_CE (%), F_E (kWh) and F_T (seconds).
 // Repetitions run concurrently — a workload is immutable during Run —
-// bounded by the CPU count.
+// drawing from the suite-wide pool so cells from different experiments
+// interleave instead of each cell fanning out privately. The pool slot
+// is acquired before the goroutine spawns, bounding the peak goroutine
+// count at the pool size.
 func (s *Suite) runRepeated(w *sim.Workload, alg sim.Algorithm, opts sim.Options) (fce, fe, ft Stat, err error) {
 	reps := s.reps()
 	results := make([]sim.Result, reps)
 	errs := make([]error, reps)
 
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	// Each repetition is one planner-seeded Run. When the pool runs
+	// several repetitions at once the inner prefetch pipeline is
+	// disabled — whole runs already saturate the cores; with a
+	// single-slot pool the pipeline is the only parallelism left, so it
+	// stays on.
+	if s.parallel() > 1 {
+		opts.Workers = 1
+	}
+
 	var wg sync.WaitGroup
 	for rep := 0; rep < reps; rep++ {
+		s.acquire()
 		wg.Add(1)
 		go func(rep int) {
 			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			defer s.release()
 			o := opts
 			o.Planner.Seed = s.Seed*1_000_003 + uint64(rep)
 			results[rep], errs[rep] = sim.Run(w, alg, o)
@@ -157,7 +193,9 @@ func (s *Suite) runRepeated(w *sim.Workload, alg sim.Algorithm, opts sim.Options
 	}
 	wg.Wait()
 
-	var ces, es, ts []float64
+	ces := make([]float64, 0, reps)
+	es := make([]float64, 0, reps)
+	ts := make([]float64, 0, reps)
 	for rep := 0; rep < reps; rep++ {
 		if errs[rep] != nil {
 			return Stat{}, Stat{}, Stat{}, errs[rep]
@@ -167,4 +205,28 @@ func (s *Suite) runRepeated(w *sim.Workload, alg sim.Algorithm, opts sim.Options
 		ts = append(ts, results[rep].PlannerTime.Seconds())
 	}
 	return Aggregate(ces), Aggregate(es), Aggregate(ts), nil
+}
+
+// runCells executes n independent experiment cells concurrently. Cells
+// are lightweight coordinators — the heavy lifting inside them flows
+// through the suite pool — so they are not themselves pooled. Results
+// must land in caller-owned, index-addressed storage so row order stays
+// deterministic; the first error wins.
+func runCells(n int, cell func(i int) error) error {
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = cell(i)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }

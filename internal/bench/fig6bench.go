@@ -1,0 +1,162 @@
+package bench
+
+import (
+	"encoding/json"
+	"io"
+	"runtime"
+	"time"
+
+	"github.com/imcf/imcf/internal/sim"
+)
+
+// Fig6BenchCell is one (dataset, algorithm) cell of the Fig. 6 perf
+// comparison: the sequential-engine baseline ("before") against the
+// pipelined parallel suite ("after") at identical seeds.
+type Fig6BenchCell struct {
+	Dataset   string `json:"dataset"`
+	Algorithm string `json:"algorithm"`
+	Reps      int    `json:"reps"`
+	// SeqWallNs is the cell's wall-clock with the fully sequential
+	// engine, runs back to back on one goroutine. SeqNsPerOp is the
+	// per-run mean.
+	SeqWallNs  int64 `json:"seq_wall_ns"`
+	SeqNsPerOp int64 `json:"seq_ns_per_op"`
+	// ParWallNs is the cell's wall-clock inside the parallel suite run;
+	// cells overlap there, so the per-suite totals below are the
+	// authoritative speedup measure.
+	ParWallNs int64 `json:"par_wall_ns"`
+	// AllocsPerOp and BytesPerOp are per sequential run, measured via
+	// runtime.MemStats around the cell.
+	AllocsPerOp uint64 `json:"allocs_per_op"`
+	BytesPerOp  uint64 `json:"bytes_per_op"`
+	// F_T, F_CE, F_E sanity-check that both engines computed the same
+	// experiment (mean over reps; F_T from the sequential pass).
+	FTSeconds float64 `json:"ft_seconds"`
+	FCE       float64 `json:"fce_percent"`
+	FE        float64 `json:"fe_kwh"`
+	// Speedup is SeqWallNs / ParWallNs for this cell.
+	Speedup float64 `json:"speedup"`
+}
+
+// Fig6Bench is the machine-readable Fig. 6 performance trajectory
+// artifact (BENCH_fig6.json): before/after wall-clock per cell and for
+// the whole sweep, so future PRs can track perf across sessions.
+type Fig6Bench struct {
+	GOMAXPROCS int             `json:"gomaxprocs"`
+	Parallel   int             `json:"parallel"`
+	Reps       int             `json:"reps"`
+	Seed       uint64          `json:"seed"`
+	Datasets   []string        `json:"datasets"`
+	SeqWallNs  int64           `json:"seq_wall_ns"`
+	ParWallNs  int64           `json:"par_wall_ns"`
+	Speedup    float64         `json:"speedup"`
+	Cells      []Fig6BenchCell `json:"cells"`
+}
+
+// RunFig6Bench measures the Fig. 6 sweep twice: first with the fully
+// sequential engine (no prefetch pipeline, no suite pool, one run at a
+// time — the pre-parallelization baseline), then through the pipelined
+// parallel suite. Identical seeds make the two passes compute identical
+// results, so the comparison is pure engine overhead.
+func (s *Suite) RunFig6Bench() (*Fig6Bench, error) {
+	reps := s.reps()
+	out := &Fig6Bench{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Parallel:   s.parallel(),
+		Reps:       reps,
+		Seed:       s.Seed,
+		Datasets:   s.datasets(),
+	}
+
+	type cellSpec struct {
+		w   *sim.Workload
+		ds  string
+		alg sim.Algorithm
+	}
+	var cells []cellSpec
+	for _, ds := range s.datasets() {
+		w, err := s.workload(ds)
+		if err != nil {
+			return nil, err
+		}
+		for _, alg := range fig6Algorithms {
+			cells = append(cells, cellSpec{w: w, ds: ds, alg: alg})
+		}
+	}
+	out.Cells = make([]Fig6BenchCell, len(cells))
+
+	// Before: strictly sequential engine, cells and reps back to back.
+	var ms0, ms1 runtime.MemStats
+	seqStart := time.Now()
+	for i, c := range cells {
+		ces := make([]float64, 0, reps)
+		es := make([]float64, 0, reps)
+		ts := make([]float64, 0, reps)
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		cellStart := time.Now()
+		for rep := 0; rep < reps; rep++ {
+			opts := sim.Options{Workers: 1}
+			opts.Planner.Seed = s.Seed*1_000_003 + uint64(rep)
+			r, err := sim.Run(c.w, c.alg, opts)
+			if err != nil {
+				return nil, err
+			}
+			ces = append(ces, float64(r.ConvenienceError))
+			es = append(es, r.Energy.KWh())
+			ts = append(ts, r.PlannerTime.Seconds())
+		}
+		wall := time.Since(cellStart)
+		runtime.ReadMemStats(&ms1)
+		out.Cells[i] = Fig6BenchCell{
+			Dataset:     c.ds,
+			Algorithm:   c.alg.String(),
+			Reps:        reps,
+			SeqWallNs:   wall.Nanoseconds(),
+			SeqNsPerOp:  wall.Nanoseconds() / int64(reps),
+			AllocsPerOp: (ms1.Mallocs - ms0.Mallocs) / uint64(reps),
+			BytesPerOp:  (ms1.TotalAlloc - ms0.TotalAlloc) / uint64(reps),
+			FTSeconds:   Aggregate(ts).Mean,
+			FCE:         Aggregate(ces).Mean,
+			FE:          Aggregate(es).Mean,
+		}
+	}
+	out.SeqWallNs = time.Since(seqStart).Nanoseconds()
+
+	// After: the pipelined parallel suite — all cells fan out over the
+	// shared pool at once, exactly how RunFig6 executes.
+	parStart := time.Now()
+	err := runCells(len(cells), func(i int) error {
+		c := cells[i]
+		cellStart := time.Now()
+		_, _, _, err := s.runRepeated(c.w, c.alg, sim.Options{})
+		out.Cells[i].ParWallNs = time.Since(cellStart).Nanoseconds()
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	out.ParWallNs = time.Since(parStart).Nanoseconds()
+
+	if out.ParWallNs > 0 {
+		out.Speedup = float64(out.SeqWallNs) / float64(out.ParWallNs)
+	}
+	for i := range out.Cells {
+		if out.Cells[i].ParWallNs > 0 {
+			out.Cells[i].Speedup = float64(out.Cells[i].SeqWallNs) / float64(out.Cells[i].ParWallNs)
+		}
+	}
+	return out, nil
+}
+
+// WriteFig6Bench runs the Fig. 6 perf comparison and writes the JSON
+// artifact.
+func (s *Suite) WriteFig6Bench(w io.Writer) error {
+	b, err := s.RunFig6Bench()
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

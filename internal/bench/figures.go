@@ -32,21 +32,38 @@ type Fig6Row struct {
 	FT        Stat // seconds
 }
 
+// fig6Algorithms are the compared methods, in the paper's order.
+var fig6Algorithms = []sim.Algorithm{sim.NR, sim.IFTTT, sim.EP, sim.MR}
+
 // RunFig6 reproduces Fig. 6: NR, IFTTT, EP and MR over all datasets.
+// Every (dataset, algorithm) cell runs concurrently over the suite-wide
+// pool; row order stays deterministic because rows are indexed, not
+// appended.
 func (s *Suite) RunFig6() ([]Fig6Row, error) {
-	var rows []Fig6Row
+	type cellSpec struct {
+		w   *sim.Workload
+		ds  string
+		alg sim.Algorithm
+	}
+	var cells []cellSpec
 	for _, ds := range s.datasets() {
 		w, err := s.workload(ds)
 		if err != nil {
 			return nil, err
 		}
-		for _, alg := range []sim.Algorithm{sim.NR, sim.IFTTT, sim.EP, sim.MR} {
-			fce, fe, ft, err := s.runRepeated(w, alg, sim.Options{})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig6Row{Dataset: ds, Algorithm: alg, FCE: fce, FE: fe, FT: ft})
+		for _, alg := range fig6Algorithms {
+			cells = append(cells, cellSpec{w: w, ds: ds, alg: alg})
 		}
+	}
+	rows := make([]Fig6Row, len(cells))
+	err := runCells(len(cells), func(i int) error {
+		c := cells[i]
+		fce, fe, ft, err := s.runRepeated(c.w, c.alg, sim.Options{})
+		rows[i] = Fig6Row{Dataset: c.ds, Algorithm: c.alg, FCE: fce, FE: fe, FT: ft}
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -75,24 +92,35 @@ type Fig7Row struct {
 }
 
 // RunFig7 reproduces Fig. 7: EP with k ∈ {2, 3, 4} rule modifications
-// per iteration.
+// per iteration. Cells run concurrently over the suite pool.
 func (s *Suite) RunFig7() ([]Fig7Row, error) {
-	var rows []Fig7Row
+	type cellSpec struct {
+		w  *sim.Workload
+		ds string
+		k  int
+	}
+	var cells []cellSpec
 	for _, ds := range s.datasets() {
 		w, err := s.workload(ds)
 		if err != nil {
 			return nil, err
 		}
 		for _, k := range []int{2, 3, 4} {
-			opts := sim.Options{}
-			opts.Planner.K = k
-			opts.Planner.MaxIter = controlStudyIters(w.RuleCount())
-			fce, fe, _, err := s.runRepeated(w, sim.EP, opts)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig7Row{Dataset: ds, K: k, FCE: fce, FE: fe})
+			cells = append(cells, cellSpec{w: w, ds: ds, k: k})
 		}
+	}
+	rows := make([]Fig7Row, len(cells))
+	err := runCells(len(cells), func(i int) error {
+		c := cells[i]
+		opts := sim.Options{}
+		opts.Planner.K = c.k
+		opts.Planner.MaxIter = controlStudyIters(c.w.RuleCount())
+		fce, fe, _, err := s.runRepeated(c.w, sim.EP, opts)
+		rows[i] = Fig7Row{Dataset: c.ds, K: c.k, FCE: fce, FE: fe}
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -121,23 +149,35 @@ type Fig8Row struct {
 }
 
 // RunFig8 reproduces Fig. 8: EP initialized all-1s, random, all-0s.
+// Cells run concurrently over the suite pool.
 func (s *Suite) RunFig8() ([]Fig8Row, error) {
-	var rows []Fig8Row
+	type cellSpec struct {
+		w    *sim.Workload
+		ds   string
+		init core.InitStrategy
+	}
+	var cells []cellSpec
 	for _, ds := range s.datasets() {
 		w, err := s.workload(ds)
 		if err != nil {
 			return nil, err
 		}
 		for _, init := range []core.InitStrategy{core.InitAllOn, core.InitRandom, core.InitAllOff} {
-			opts := sim.Options{}
-			opts.Planner.Init = init
-			opts.Planner.MaxIter = controlStudyIters(w.RuleCount())
-			fce, fe, _, err := s.runRepeated(w, sim.EP, opts)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig8Row{Dataset: ds, Init: init, FCE: fce, FE: fe})
+			cells = append(cells, cellSpec{w: w, ds: ds, init: init})
 		}
+	}
+	rows := make([]Fig8Row, len(cells))
+	err := runCells(len(cells), func(i int) error {
+		c := cells[i]
+		opts := sim.Options{}
+		opts.Planner.Init = c.init
+		opts.Planner.MaxIter = controlStudyIters(c.w.RuleCount())
+		fce, fe, _, err := s.runRepeated(c.w, sim.EP, opts)
+		rows[i] = Fig8Row{Dataset: c.ds, Init: c.init, FCE: fce, FE: fe}
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -168,21 +208,32 @@ type Fig9Row struct {
 var Fig9Savings = []float64{0.05, 0.10, 0.20, 0.30, 0.40}
 
 // RunFig9 reproduces Fig. 9: EP with the budget reduced by 5–40 %.
+// Cells run concurrently over the suite pool.
 func (s *Suite) RunFig9() ([]Fig9Row, error) {
-	var rows []Fig9Row
+	type cellSpec struct {
+		w  *sim.Workload
+		ds string
+		sv float64
+	}
+	var cells []cellSpec
 	for _, ds := range s.datasets() {
 		w, err := s.workload(ds)
 		if err != nil {
 			return nil, err
 		}
 		for _, sv := range Fig9Savings {
-			opts := sim.Options{Savings: sv}
-			fce, fe, _, err := s.runRepeated(w, sim.EP, opts)
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig9Row{Dataset: ds, Savings: sv, FCE: fce, FE: fe})
+			cells = append(cells, cellSpec{w: w, ds: ds, sv: sv})
 		}
+	}
+	rows := make([]Fig9Row, len(cells))
+	err := runCells(len(cells), func(i int) error {
+		c := cells[i]
+		fce, fe, _, err := s.runRepeated(c.w, sim.EP, sim.Options{Savings: c.sv})
+		rows[i] = Fig9Row{Dataset: c.ds, Savings: c.sv, FCE: fce, FE: fe}
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

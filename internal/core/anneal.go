@@ -14,13 +14,17 @@ import "math"
 func (pl *Planner) anneal(p Problem) (Solution, Eval) {
 	cur := pl.initial(p)
 	curEval := Evaluate(p, cur)
-	best := cur.Clone()
+	if cap(pl.solB) < len(cur) {
+		pl.solB = make(Solution, len(cur))
+	}
+	best := pl.solB[:len(cur)]
+	copy(best, cur)
 	bestEval := curEval
 
 	idx := pl.flippable(p)
 	if len(idx) == 0 {
 		if !bestEval.Feasible(p.Budget) {
-			bestEval = repair(p, best, bestEval)
+			bestEval = pl.repairFeasible(p, best, bestEval)
 		}
 		return best, bestEval
 	}
@@ -83,7 +87,7 @@ func (pl *Planner) anneal(p Problem) (Solution, Eval) {
 	// Recompute exactly to shed incremental float drift.
 	bestEval = Evaluate(p, best)
 	if !pl.cfg.DisableRepair && !bestEval.Feasible(p.Budget) {
-		bestEval = repair(p, best, bestEval)
+		bestEval = pl.repairFeasible(p, best, bestEval)
 	}
 	return best, bestEval
 }

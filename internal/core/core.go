@@ -215,11 +215,23 @@ func DefaultConfig() Config {
 // Planner runs the EP search. It is reusable across slots and carries a
 // deterministic RNG; it is not safe for concurrent use (create one
 // planner per goroutine).
+//
+// To keep the per-window hot path allocation-free, Plan and PlanFair
+// return a Solution backed by planner-owned scratch that is overwritten
+// by the next Plan/PlanFair call. Callers that retain a solution across
+// calls must Clone it first.
 type Planner struct {
 	cfg Config
 	rng *rand.Rand
-	// scratch buffers reused across Plan calls
-	flips []int
+	// scratch buffers reused across Plan calls: the incumbent solution
+	// (returned to the caller), annealing's second solution, the
+	// flippable index set, the per-iteration flip picks, and repair's
+	// candidate list.
+	sol    Solution
+	solB   Solution
+	idx    []int
+	flips  []int
+	repair []repairCand
 }
 
 // NewPlanner validates the configuration and returns a planner.
@@ -243,6 +255,9 @@ func (pl *Planner) Config() Config { return pl.cfg }
 // its evaluation. The returned solution satisfies the budget whenever a
 // feasible solution exists (all-0s always is, since energy costs are
 // non-negative).
+//
+// The returned Solution aliases planner-owned scratch and is valid only
+// until the next Plan/PlanFair call on this planner; Clone it to retain.
 func (pl *Planner) Plan(p Problem) (Solution, Eval, error) {
 	if err := p.Validate(); err != nil {
 		return nil, Eval{}, err
@@ -269,10 +284,14 @@ func (pl *Planner) Plan(p Problem) (Solution, Eval, error) {
 }
 
 // init builds the initial solution per the configured strategy, with
-// zero-gain rules forced off unless KeepZeroGain is set.
+// zero-gain rules forced off unless KeepZeroGain is set. The result is
+// backed by the planner's solution scratch.
 func (pl *Planner) initial(p Problem) Solution {
 	n := len(p.Costs)
-	s := make(Solution, n)
+	if cap(pl.sol) < n {
+		pl.sol = make(Solution, n)
+	}
+	s := pl.sol[:n]
 	switch pl.cfg.Init {
 	case InitAllOn:
 		for i := range s {
@@ -282,8 +301,10 @@ func (pl *Planner) initial(p Problem) Solution {
 		for i := range s {
 			s[i] = pl.rng.Uint64()&1 == 1
 		}
-	case InitAllOff:
-		// zero value: all false
+	default:
+		for i := range s {
+			s[i] = false
+		}
 	}
 	if !pl.cfg.KeepZeroGain {
 		for i, c := range p.Costs {
@@ -296,14 +317,19 @@ func (pl *Planner) initial(p Problem) Solution {
 }
 
 // flippable returns the indices the search may flip: all of them, or
-// only the useful ones when zero-gain pruning is on.
+// only the useful ones when zero-gain pruning is on. The result is
+// backed by the planner's index scratch.
 func (pl *Planner) flippable(p Problem) []int {
-	idx := make([]int, 0, len(p.Costs))
+	if cap(pl.idx) < len(p.Costs) {
+		pl.idx = make([]int, 0, len(p.Costs))
+	}
+	idx := pl.idx[:0]
 	for i, c := range p.Costs {
 		if pl.cfg.KeepZeroGain || c.DropError > 0 {
 			idx = append(idx, i)
 		}
 	}
+	pl.idx = idx
 	return idx
 }
 
@@ -359,7 +385,7 @@ func (pl *Planner) hillClimb(p Problem) (Solution, Eval) {
 	// rounding over many iterations.
 	bestEval = Evaluate(p, best)
 	if !pl.cfg.DisableRepair && !bestEval.Feasible(p.Budget) {
-		bestEval = repair(p, best, bestEval)
+		bestEval = pl.repairFeasible(p, best, bestEval)
 	}
 	return best, bestEval
 }
@@ -385,14 +411,20 @@ func accept(cand, incumbent Eval, budget float64) bool {
 	}
 }
 
-// repair greedily switches off executed rules in increasing order of
-// error-per-kWh until the budget holds, guaranteeing a feasible result.
-func repair(p Problem, s Solution, e Eval) Eval {
-	type cand struct {
-		idx   int
-		ratio float64
+// repairCand is one executed rule considered by the greedy repair.
+type repairCand struct {
+	idx   int
+	ratio float64
+}
+
+// repairFeasible greedily switches off executed rules in increasing
+// order of error-per-kWh until the budget holds, guaranteeing a feasible
+// result. The candidate list lives in planner scratch.
+func (pl *Planner) repairFeasible(p Problem, s Solution, e Eval) Eval {
+	if cap(pl.repair) < len(s) {
+		pl.repair = make([]repairCand, 0, len(s))
 	}
-	var on []cand
+	on := pl.repair[:0]
 	for i, b := range s {
 		if b {
 			c := p.Costs[i]
@@ -400,7 +432,7 @@ func repair(p Problem, s Solution, e Eval) Eval {
 			if c.Energy > 0 {
 				r = c.DropError / c.Energy
 			}
-			on = append(on, cand{idx: i, ratio: r})
+			on = append(on, repairCand{idx: i, ratio: r})
 		}
 	}
 	// Selection by repeated minimum keeps this dependency-free and the
@@ -494,18 +526,41 @@ func totalError(p Problem) float64 {
 // NoRule is the NR baseline: ignore every meta-rule. F_E is zero and
 // F_CE is maximal.
 func NoRule(p Problem) (Solution, Eval) {
-	s := make(Solution, len(p.Costs))
+	return NoRuleInto(p, nil)
+}
+
+// NoRuleInto is NoRule writing into s, reusing its capacity so per-slot
+// replay loops stay allocation-free.
+func NoRuleInto(p Problem, s Solution) (Solution, Eval) {
+	s = resizeSolution(s, len(p.Costs))
+	for i := range s {
+		s[i] = false
+	}
 	return s, Eval{Error: totalError(p)}
 }
 
 // MetaRuleAll is the MR baseline: execute every meta-rule greedily,
 // ignoring the budget. F_CE is zero and F_E is maximal.
 func MetaRuleAll(p Problem) (Solution, Eval) {
-	s := make(Solution, len(p.Costs))
+	return MetaRuleAllInto(p, nil)
+}
+
+// MetaRuleAllInto is MetaRuleAll writing into s, reusing its capacity.
+func MetaRuleAllInto(p Problem, s Solution) (Solution, Eval) {
+	s = resizeSolution(s, len(p.Costs))
 	var e Eval
 	for i := range s {
 		s[i] = true
 		e.Energy += p.Costs[i].Energy
 	}
 	return s, e
+}
+
+// resizeSolution returns s with length n, reallocating only when the
+// capacity is insufficient.
+func resizeSolution(s Solution, n int) Solution {
+	if cap(s) < n {
+		return make(Solution, n)
+	}
+	return s[:n]
 }

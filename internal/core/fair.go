@@ -53,7 +53,8 @@ func EvaluateGrouped(p Problem, s Solution, group []int, nGroups int) GroupEval 
 // each group's error with debt carried in from earlier slots, so
 // long-running callers achieve fairness over time rather than per slot;
 // the returned GroupError reports only this plan's errors (offsets
-// excluded).
+// excluded). Like Plan, the returned Solution aliases planner-owned
+// scratch and is valid only until the next Plan/PlanFair call.
 func (pl *Planner) PlanFair(p Problem, group []int, nGroups int, offsets []float64) (Solution, GroupEval, error) {
 	if err := p.Validate(); err != nil {
 		return nil, GroupEval{}, err
@@ -120,7 +121,7 @@ func (pl *Planner) PlanFair(p Problem, group []int, nGroups int, offsets []float
 	// Recompute exactly (offset-free) and repair feasibility if needed.
 	bestEval = EvaluateGrouped(p, best, group, nGroups)
 	if !pl.cfg.DisableRepair && !bestEval.Feasible(p.Budget) {
-		bestEval.Eval = repair(p, best, bestEval.Eval)
+		bestEval.Eval = pl.repairFeasible(p, best, bestEval.Eval)
 		bestEval = EvaluateGrouped(p, best, group, nGroups)
 	}
 	return best, bestEval, nil

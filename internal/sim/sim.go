@@ -8,6 +8,9 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/imcf/imcf/internal/core"
@@ -85,6 +88,12 @@ type Options struct {
 	// 1 gives per-slot decisions (an ablation). Baselines are
 	// window-invariant.
 	PlanWindowHours int
+	// Workers bounds the worker pool used for the parallel parts of the
+	// replay: the per-slot precompute in BuildWorkload and the
+	// window-problem prefetch pipeline in Run. Zero means GOMAXPROCS; 1
+	// forces the fully sequential fallback path. Results are
+	// bit-identical for any value — only wall-clock changes.
+	Workers int
 }
 
 // DefaultPlanWindowHours is the default EP decision window: one day.
@@ -120,6 +129,15 @@ func (o Options) withDefaults() Options {
 		o.PlanWindowHours = DefaultPlanWindowHours
 	}
 	return o
+}
+
+// workers resolves the effective worker count: Options.Workers, or
+// GOMAXPROCS when unset.
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }
 
 // Result is one run's outcome.
@@ -218,16 +236,53 @@ func BuildWorkload(res *home.Residence, opts Options) (*Workload, error) {
 		}
 	}
 
-	// Precompute ambient per zone per slot and the IFTTT environment
-	// per slot.
+	// Precompute ambient per zone per slot and the IFTTT environment per
+	// slot. Every slot is independent — the ambient and weather models
+	// are pure functions of the instant — so the fill is sharded over a
+	// bounded worker pool; each worker owns a disjoint slot range, which
+	// keeps the result bit-identical to a sequential fill.
 	n := grid.Len()
 	w.ambient = make([][][2]float32, len(res.Zones))
 	for z := range res.Zones {
 		w.ambient[z] = make([][2]float32, n)
 	}
 	w.envs = make([]rules.Env, n)
-	for i := 0; i < n; i++ {
-		slot := grid.Slot(i)
+
+	workers := opts.workers()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 || n < minParallelSlots {
+		w.fillSlots(0, n)
+		return w, nil
+	}
+	var wg sync.WaitGroup
+	chunk := (n + workers - 1) / workers
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			w.fillSlots(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+	return w, nil
+}
+
+// minParallelSlots is the grid size below which sharding the precompute
+// costs more than it saves.
+const minParallelSlots = 512
+
+// fillSlots computes the ambient and environment precompute for the slot
+// range [lo, hi). Ranges are disjoint across workers.
+func (w *Workload) fillSlots(lo, hi int) {
+	res := w.Residence
+	for i := lo; i < hi; i++ {
+		slot := w.Grid.Slot(i)
 		for z, zone := range res.Zones {
 			a := zone.Ambient.AmbientAt(slot.Start)
 			w.ambient[z][i] = [2]float32{float32(a.Temperature), float32(a.Light)}
@@ -241,7 +296,6 @@ func BuildWorkload(res *home.Residence, opts Options) (*Workload, error) {
 			DoorOpen:    doorOpen(res.Name, slot),
 		}
 	}
-	return w, nil
 }
 
 // doorOpen deterministically marks some waking-hour slots as having the
@@ -382,107 +436,265 @@ type runAccumulator struct {
 	plannerTime time.Duration
 }
 
-// runEP replays the Energy Planner: one invocation per plan window, one
-// activation bit per meta-rule for the whole window (the paper's
-// s = ⟨s_1 … s_N⟩ over the MRT), constrained by the window's amortized
-// budget plus the bounded ledger.
-func (w *Workload) runEP(planner *core.Planner, opts Options, hourlyBudget [13]float64, carryCap float64, acc *runAccumulator) error {
-	n := w.Grid.Len()
-	window := opts.PlanWindowHours
-	nRules := len(w.ruleList)
+// winRule is one rule's trace-derived aggregate over a decision window.
+type winRule struct {
+	ri      int // index into Workload.ruleList
+	slots   int64
+	energy  float64
+	dropErr float64
+}
 
-	// Scratch per-rule window aggregates.
-	energy := make([]float64, nRules)
-	dropErr := make([]float64, nRules)
-	slots := make([]int64, nRules)
-	present := make([]int, 0, nRules)
-	planned := make([]int, 0, nRules)
-	var problem core.Problem
-	var carry float64
+// windowProblem is one EP decision window's planning input. Everything
+// in it depends only on the trace — never on the net-metering ledger —
+// which is what makes windows buildable ahead of the strictly
+// sequential ledger/search loop.
+type windowProblem struct {
+	w0, wEnd   int
+	hourBudget float64   // Σ amortized slot budgets over the window
+	necessity  float64   // energy committed to necessity rules
+	present    []winRule // active rules, in first-occurrence order
+	// planned indexes the present entries that compete for budget;
+	// costs is the planner input aligned with planned.
+	planned   []int
+	costs     []core.RuleCost
+	buildTime time.Duration
+}
 
-	for w0 := 0; w0 < n; w0 += window {
-		wEnd := w0 + window
-		if wEnd > n {
-			wEnd = n
-		}
-		start := time.Now()
+// winScratch is one window builder's dense per-rule accumulation
+// scratch, reused across the windows the builder owns.
+type winScratch struct {
+	energy  []float64
+	dropErr []float64
+	slots   []int64
+	order   []int
+}
 
-		budget := 0.0
-		if !opts.NoCarryOver {
-			budget = carry
-		}
-		present = present[:0]
-		for i := w0; i < wEnd; i++ {
-			slot := w.Grid.Slot(i)
-			budget += hourlyBudget[slot.Month()]
-			for _, ri := range w.byHour[slot.HourOfDay()] {
-				if slots[ri] == 0 {
-					present = append(present, ri)
-				}
-				r := &w.ruleList[ri]
-				slots[ri]++
-				energy[ri] += r.energyKWh
-				dropErr[ri] += w.dropError(r, i)
+func newWinScratch(nRules int) *winScratch {
+	return &winScratch{
+		energy:  make([]float64, nRules),
+		dropErr: make([]float64, nRules),
+		slots:   make([]int64, nRules),
+		order:   make([]int, 0, nRules),
+	}
+}
+
+// buildWindow aggregates the window [w0, wEnd) into wp. Both the
+// sequential fallback and the prefetch producers run exactly this code,
+// with identical float accumulation order, so the two paths are
+// bit-identical by construction.
+func (w *Workload) buildWindow(wp *windowProblem, scr *winScratch, hourlyBudget *[13]float64, w0, wEnd int) {
+	start := time.Now()
+	wp.w0, wp.wEnd = w0, wEnd
+	wp.hourBudget, wp.necessity = 0, 0
+	wp.present = wp.present[:0]
+	wp.planned = wp.planned[:0]
+	wp.costs = wp.costs[:0]
+
+	order := scr.order[:0]
+	for i := w0; i < wEnd; i++ {
+		slot := w.Grid.Slot(i)
+		wp.hourBudget += hourlyBudget[slot.Month()]
+		for _, ri := range w.byHour[slot.HourOfDay()] {
+			if scr.slots[ri] == 0 {
+				order = append(order, ri)
 			}
-		}
-
-		// Necessity rules execute unconditionally: their energy is
-		// committed before the convenience rules compete for what is
-		// left of the window budget.
-		necessityEnergy := 0.0
-		problem.Costs = problem.Costs[:0]
-		planned := planned[:0]
-		for _, ri := range present {
-			if w.ruleList[ri].necessity {
-				necessityEnergy += energy[ri]
-				continue
-			}
-			planned = append(planned, ri)
-			problem.Costs = append(problem.Costs, core.RuleCost{
-				DropError: dropErr[ri],
-				Energy:    energy[ri],
-			})
-		}
-		problem.Budget = max(budget-necessityEnergy, 0)
-
-		sol, eval, err := planner.Plan(problem)
-		if err != nil {
-			return err
-		}
-		acc.plannerTime += time.Since(start)
-
-		spent := eval.Energy + necessityEnergy
-		acc.totalEnergy += spent
-		if !opts.NoCarryOver {
-			carry = min(max(budget-spent, 0), carryCap)
-		}
-		for j, ri := range planned {
 			r := &w.ruleList[ri]
-			if sol[j] {
-				acc.executed += slots[ri]
-			} else {
-				acc.totalError += dropErr[ri]
-				acc.ownerErr[r.owner] += dropErr[ri]
-			}
+			scr.slots[ri]++
+			scr.energy[ri] += r.energyKWh
+			scr.dropErr[ri] += w.dropError(r, i)
 		}
-		for _, ri := range present {
-			r := &w.ruleList[ri]
-			acc.active += slots[ri]
-			acc.ownerActive[r.owner] += slots[ri]
-			if r.necessity {
-				acc.executed += slots[ri]
-			}
-			// Reset scratch for the next window.
-			energy[ri], dropErr[ri], slots[ri] = 0, 0, 0
+	}
+	scr.order = order
+
+	// Necessity rules execute unconditionally: their energy is committed
+	// before the convenience rules compete for what is left of the
+	// window budget.
+	for _, ri := range order {
+		wr := winRule{ri: ri, slots: scr.slots[ri], energy: scr.energy[ri], dropErr: scr.dropErr[ri]}
+		if w.ruleList[ri].necessity {
+			wp.necessity += wr.energy
+		} else {
+			wp.planned = append(wp.planned, len(wp.present))
+			wp.costs = append(wp.costs, core.RuleCost{DropError: wr.dropErr, Energy: wr.energy})
+		}
+		wp.present = append(wp.present, wr)
+		// Reset dense scratch for the builder's next window.
+		scr.energy[ri], scr.dropErr[ri], scr.slots[ri] = 0, 0, 0
+	}
+	wp.buildTime = time.Since(start)
+}
+
+// ledgerState is the sequential part of the EP replay: the carry-over
+// ledger and the planner invocation that consumes it, window by window
+// in order.
+type ledgerState struct {
+	planner  *core.Planner
+	opts     Options
+	carryCap float64
+	carry    float64
+	problem  core.Problem
+}
+
+// consumeWindow runs the planner over one prepared window and folds the
+// outcome into the accumulator. It must be called in window order: the
+// ledger carry and the planner's RNG both advance here.
+func (w *Workload) consumeWindow(ls *ledgerState, wp *windowProblem, acc *runAccumulator) error {
+	start := time.Now()
+	budget := wp.hourBudget
+	if !ls.opts.NoCarryOver {
+		budget += ls.carry
+	}
+	ls.problem.Costs = wp.costs
+	ls.problem.Budget = max(budget-wp.necessity, 0)
+
+	sol, eval, err := ls.planner.Plan(ls.problem)
+	if err != nil {
+		return err
+	}
+	acc.plannerTime += wp.buildTime + time.Since(start)
+
+	spent := eval.Energy + wp.necessity
+	acc.totalEnergy += spent
+	if !ls.opts.NoCarryOver {
+		ls.carry = min(max(budget-spent, 0), ls.carryCap)
+	}
+	for j, pi := range wp.planned {
+		wr := &wp.present[pi]
+		if sol[j] {
+			acc.executed += wr.slots
+		} else {
+			acc.totalError += wr.dropErr
+			acc.ownerErr[w.ruleList[wr.ri].owner] += wr.dropErr
+		}
+	}
+	for i := range wp.present {
+		wr := &wp.present[i]
+		r := &w.ruleList[wr.ri]
+		acc.active += wr.slots
+		acc.ownerActive[r.owner] += wr.slots
+		if r.necessity {
+			acc.executed += wr.slots
 		}
 	}
 	return nil
 }
 
-// runPerSlot replays the window-invariant baselines slot by slot.
+// runEP replays the Energy Planner: one invocation per plan window, one
+// activation bit per meta-rule for the whole window (the paper's
+// s = ⟨s_1 … s_N⟩ over the MRT), constrained by the window's amortized
+// budget plus the bounded ledger.
+//
+// Window problems depend only on the trace, so their construction is
+// pipelined: a bounded producer pool builds windows ahead of the
+// consumer, while the ledger/search loop itself stays strictly
+// sequential — the carry-over budget and the planner RNG both thread
+// state from window to window.
+func (w *Workload) runEP(planner *core.Planner, opts Options, hourlyBudget [13]float64, carryCap float64, acc *runAccumulator) error {
+	n := w.Grid.Len()
+	window := opts.PlanWindowHours
+	nWindows := (n + window - 1) / window
+	ls := &ledgerState{planner: planner, opts: opts, carryCap: carryCap}
+
+	workers := opts.workers()
+	if workers > nWindows {
+		workers = nWindows
+	}
+	if workers <= 1 || nWindows < 2 {
+		// Sequential fallback: build and consume inline.
+		wp := &windowProblem{}
+		scr := newWinScratch(len(w.ruleList))
+		for w0 := 0; w0 < n; w0 += window {
+			wEnd := min(w0+window, n)
+			w.buildWindow(wp, scr, &hourlyBudget, w0, wEnd)
+			if err := w.consumeWindow(ls, wp, acc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return w.runEPPipelined(ls, acc, hourlyBudget, workers, nWindows)
+}
+
+// prefetchDepth is how many windows each producer may run ahead of the
+// consumer; workers × prefetchDepth window problems are in flight at
+// most, bounding peak memory.
+const prefetchDepth = 4
+
+// runEPPipelined overlaps window-problem construction with the
+// sequential ledger/search loop. Producers claim window indices from an
+// atomic counter and recycle windowProblem structs through a free list
+// whose capacity bounds the prefetch distance; the consumer receives
+// each window over a per-window buffered channel, preserving window
+// order exactly.
+func (w *Workload) runEPPipelined(ls *ledgerState, acc *runAccumulator, hourlyBudget [13]float64, workers, nWindows int) error {
+	n := w.Grid.Len()
+	window := ls.opts.PlanWindowHours
+
+	inflight := workers * prefetchDepth
+	if inflight > nWindows {
+		inflight = nWindows
+	}
+	free := make(chan *windowProblem, inflight)
+	for i := 0; i < inflight; i++ {
+		free <- &windowProblem{}
+	}
+	built := make([]chan *windowProblem, nWindows)
+	for k := range built {
+		built[k] = make(chan *windowProblem, 1)
+	}
+	stop := make(chan struct{})
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			scr := newWinScratch(len(w.ruleList))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := int(next.Add(1)) - 1
+				if k >= nWindows {
+					return
+				}
+				var wp *windowProblem
+				select {
+				case wp = <-free:
+				case <-stop:
+					return
+				}
+				w0 := k * window
+				w.buildWindow(wp, scr, &hourlyBudget, w0, min(w0+window, n))
+				built[k] <- wp // buffered(1), single producer per window
+			}
+		}()
+	}
+
+	var err error
+	for k := 0; k < nWindows; k++ {
+		wp := <-built[k]
+		if err = w.consumeWindow(ls, wp, acc); err != nil {
+			break
+		}
+		free <- wp
+	}
+	close(stop)
+	wg.Wait()
+	return err
+}
+
+// runPerSlot replays the window-invariant baselines slot by slot. The
+// problem, solution and IFTTT output table are scratch reused across
+// slots, keeping the inner loop allocation-free.
 func (w *Workload) runPerSlot(alg Algorithm, acc *runAccumulator) error {
 	n := w.Grid.Len()
 	var problem core.Problem
+	var sol core.Solution
+	var outputs map[rules.Action]float64
 	for i := 0; i < n; i++ {
 		slot := w.Grid.Slot(i)
 		idx := w.byHour[slot.HourOfDay()]
@@ -498,16 +710,16 @@ func (w *Workload) runPerSlot(alg Algorithm, acc *runAccumulator) error {
 			})
 		}
 
-		var sol core.Solution
 		var eval core.Eval
 		start := time.Now()
 		switch alg {
 		case NR:
-			sol, eval = core.NoRule(problem)
+			sol, eval = core.NoRuleInto(problem, sol)
 		case MR:
-			sol, eval = core.MetaRuleAll(problem)
+			sol, eval = core.MetaRuleAllInto(problem, sol)
 		case IFTTT:
-			sol, eval = w.iftttSlot(problem, idx, i)
+			outputs = rules.Outputs(w.Residence.IFTTT, w.envs[i])
+			sol, eval = w.iftttSlot(problem, idx, outputs, sol)
 		default:
 			return fmt.Errorf("sim: unknown algorithm %v", alg)
 		}
@@ -521,7 +733,7 @@ func (w *Workload) runPerSlot(alg Algorithm, acc *runAccumulator) error {
 			if sol[j] {
 				acc.executed++
 				if alg == IFTTT {
-					ce = w.iftttMismatch(r, i)
+					ce = w.iftttMismatch(r, outputs)
 				}
 			} else {
 				ce = problem.Costs[j].DropError
@@ -537,10 +749,14 @@ func (w *Workload) runPerSlot(alg Algorithm, acc *runAccumulator) error {
 // iftttSlot models the trigger-action baseline for one slot: every zone
 // device whose action kind the IFTTT table sets is actuated (consuming
 // its energy), regardless of budget; rules whose action kind the table
-// does not set fall back to ambient (dropped).
-func (w *Workload) iftttSlot(p core.Problem, idx []int, slotIdx int) (core.Solution, core.Eval) {
-	outputs := rules.Outputs(w.Residence.IFTTT, w.envs[slotIdx])
-	sol := make(core.Solution, len(idx))
+// does not set fall back to ambient (dropped). outputs is the slot's
+// resolved trigger-action table, computed once by the caller and shared
+// with the mismatch scoring.
+func (w *Workload) iftttSlot(p core.Problem, idx []int, outputs map[rules.Action]float64, sol core.Solution) (core.Solution, core.Eval) {
+	if cap(sol) < len(idx) {
+		sol = make(core.Solution, len(idx))
+	}
+	sol = sol[:len(idx)]
 	var eval core.Eval
 	for j, ri := range idx {
 		r := &w.ruleList[ri]
@@ -552,6 +768,7 @@ func (w *Workload) iftttSlot(p core.Problem, idx []int, slotIdx int) (core.Solut
 			sol[j] = true
 			eval.Energy += p.Costs[j].Energy
 		} else {
+			sol[j] = false
 			eval.Error += p.Costs[j].DropError
 		}
 	}
@@ -560,8 +777,7 @@ func (w *Workload) iftttSlot(p core.Problem, idx []int, slotIdx int) (core.Solut
 
 // iftttMismatch is the convenience error of an executed IFTTT action:
 // the deviation between the MRT-desired output and the IFTTT-set output.
-func (w *Workload) iftttMismatch(r *ruleStatic, slotIdx int) float64 {
-	outputs := rules.Outputs(w.Residence.IFTTT, w.envs[slotIdx])
+func (w *Workload) iftttMismatch(r *ruleStatic, outputs map[rules.Action]float64) float64 {
 	action := rules.ActionSetLight
 	if r.isTemp {
 		action = rules.ActionSetTemperature

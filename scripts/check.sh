@@ -1,0 +1,17 @@
+#!/bin/sh
+# check.sh — the repo's verification gate: build, vet, then the full
+# test suite under the race detector. Run from the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo ">> go build ./..."
+go build ./...
+
+echo ">> go vet ./..."
+go vet ./...
+
+echo ">> go test -race ./..."
+go test -race ./...
+
+echo "check: OK"
