@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench fig6bench
+.PHONY: all build vet test race check bench fig6bench metrics-smoke
 
 all: check
 
@@ -27,3 +27,8 @@ bench:
 # fig6bench regenerates the machine-readable perf artifact.
 fig6bench:
 	$(GO) run ./cmd/imcf-bench -reps 3 -benchjson BENCH_fig6.json
+
+# metrics-smoke boots imcfd, runs a planning cycle and checks that
+# /metrics serves the core families and /healthz reports ok.
+metrics-smoke:
+	./scripts/metrics_smoke.sh

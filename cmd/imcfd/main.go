@@ -1,175 +1,69 @@
 // Command imcfd runs the IMCF Local Controller as a daemon: it builds a
 // residence, optionally starts emulated Daikin/Hue devices and drives
 // them over HTTP, schedules the Energy Planner on a cron interval, and
-// serves the openHAB-style REST API.
+// serves the openHAB-style REST API plus Prometheus metrics.
 //
 // Usage:
 //
-//	imcfd [-addr :8088] [-residence prototype|flat|house] [-store DIR]
-//	      [-interval 1h] [-weekly-budget 165] [-emulate] [-seed 42]
+//	imcfd [-addr :8088] [-metrics-addr :8089] [-residence prototype|flat|house]
+//	      [-store DIR] [-interval 1h] [-weekly-budget 165] [-emulate] [-seed 42]
 //
 // With -emulate, every HVAC and light in the residence gets an
 // in-process device emulator and commands flow over real loopback HTTP
-// through the meta-control firewall.
+// through the meta-control firewall. The metrics listener serves
+// GET /metrics (Prometheus text exposition), GET /healthz and
+// GET /debug/spans; -metrics-addr "" disables it.
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
-	"net/http"
-	"os"
-	"os/signal"
 	"time"
 
-	"github.com/imcf/imcf/internal/controller"
-	"github.com/imcf/imcf/internal/devicesim"
-	"github.com/imcf/imcf/internal/firewall"
+	"github.com/imcf/imcf/internal/daemon"
 	"github.com/imcf/imcf/internal/home"
-	"github.com/imcf/imcf/internal/persistence"
-	"github.com/imcf/imcf/internal/rules"
-	"github.com/imcf/imcf/internal/store"
-	"github.com/imcf/imcf/internal/units"
 )
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":8088", "REST API listen address")
-		residence = flag.String("residence", "prototype", "residence: prototype, flat or house")
-		storeDir  = flag.String("store", "", "persistence directory (empty disables)")
-		interval  = flag.Duration("interval", time.Hour, "EP scheduling interval")
-		weekly    = flag.Float64("weekly-budget", home.PrototypeWeeklyBudget.KWh(), "weekly energy budget in kWh")
-		emulate   = flag.Bool("emulate", false, "start HTTP device emulators and drive them")
-		seed      = flag.Uint64("seed", 42, "residence seed")
-		mrtPath   = flag.String("mrt", "", "Meta-Rule Table file in the textual format (overrides the residence's)")
-		persist   = flag.String("persist", "", "directory for measurement persistence (empty disables)")
-		mode      = flag.String("mode", "EP", "planning mode: EP, IFTTT or manual")
+		addr        = flag.String("addr", ":8088", "REST API listen address")
+		metricsAddr = flag.String("metrics-addr", ":8089", "metrics/health listen address (empty disables)")
+		residence   = flag.String("residence", "prototype", "residence: prototype, flat or house")
+		storeDir    = flag.String("store", "", "persistence directory (empty disables)")
+		interval    = flag.Duration("interval", time.Hour, "EP scheduling interval")
+		weekly      = flag.Float64("weekly-budget", home.PrototypeWeeklyBudget.KWh(), "weekly energy budget in kWh")
+		emulate     = flag.Bool("emulate", false, "start HTTP device emulators and drive them")
+		seed        = flag.Uint64("seed", 42, "residence seed")
+		mrtPath     = flag.String("mrt", "", "Meta-Rule Table file in the textual format (overrides the residence's)")
+		persist     = flag.String("persist", "", "directory for measurement persistence (empty disables)")
+		mode        = flag.String("mode", "EP", "planning mode: EP, IFTTT or manual")
 	)
 	flag.Parse()
-	if err := run(*addr, *residence, *storeDir, *mrtPath, *persist, *mode, *interval, *weekly, *emulate, *seed); err != nil {
+
+	d, err := daemon.New(daemon.Options{
+		Addr:            *addr,
+		MetricsAddr:     *metricsAddr,
+		Residence:       *residence,
+		Seed:            *seed,
+		StoreDir:        *storeDir,
+		PersistDir:      *persist,
+		MRTPath:         *mrtPath,
+		Mode:            *mode,
+		Interval:        *interval,
+		WeeklyBudgetKWh: *weekly,
+		Emulate:         *emulate,
+	})
+	if err != nil {
 		log.Fatalf("imcfd: %v", err)
 	}
-}
+	defer d.Close() //nolint:errcheck // best-effort shutdown
 
-func run(addr, residence, storeDir, mrtPath, persistDir, modeName string, interval time.Duration, weekly float64, emulate bool, seed uint64) error {
-	var (
-		res *home.Residence
-		err error
-	)
-	switch residence {
-	case "prototype":
-		res, err = home.Prototype(seed)
-	case "flat":
-		res, err = home.Flat(seed)
-	case "house":
-		res, err = home.House(seed)
-	default:
-		return fmt.Errorf("unknown residence %q", residence)
+	go handleSignals(d)
+	log.Printf("REST API on %s", d.APIAddr())
+	if ma := d.MetricsAddr(); ma != "" {
+		log.Printf("metrics on http://%s/metrics (health: /healthz)", ma)
 	}
-	if err != nil {
-		return err
+	if err := d.Serve(); err != nil {
+		log.Fatalf("imcfd: %v", err)
 	}
-	if mrtPath != "" {
-		src, err := os.ReadFile(mrtPath)
-		if err != nil {
-			return err
-		}
-		mrt, err := rules.ParseMRT(string(src))
-		if err != nil {
-			return err
-		}
-		res.MRT = mrt
-		if err := res.Validate(); err != nil {
-			return fmt.Errorf("MRT from %s: %w", mrtPath, err)
-		}
-		log.Printf("loaded %d meta-rules from %s", len(mrt.Rules), mrtPath)
-	}
-
-	cfg := controller.Config{
-		Residence:    res,
-		WeeklyBudget: units.Energy(weekly),
-	}
-	switch modeName {
-	case "EP", "ep":
-		cfg.Mode = controller.ModeEP
-	case "IFTTT", "ifttt":
-		cfg.Mode = controller.ModeIFTTT
-	case "manual":
-		cfg.Mode = controller.ModeManual
-	default:
-		return fmt.Errorf("unknown mode %q", modeName)
-	}
-
-	if storeDir != "" {
-		db, err := store.Open(store.Options{Dir: storeDir, SyncWrites: true})
-		if err != nil {
-			return err
-		}
-		defer db.Close()
-		cfg.Store = db
-	}
-	if persistDir != "" {
-		svc, err := persistence.Open(persistDir)
-		if err != nil {
-			return err
-		}
-		defer svc.Close()
-		cfg.Persistence = svc
-		log.Printf("recording measurements to %s", persistDir)
-	}
-
-	var closers []func() error
-	defer func() {
-		for _, c := range closers {
-			c() //nolint:errcheck // best-effort shutdown
-		}
-	}()
-	if emulate {
-		fw := firewall.New(nil)
-		endpoints := make(map[string]string)
-		for _, z := range res.Zones {
-			d, err := devicesim.StartDaikin()
-			if err != nil {
-				return err
-			}
-			closers = append(closers, d.Close)
-			endpoints[z.HVAC.ID] = d.URL()
-			log.Printf("emulated %s at %s (LAN addr %s)", z.HVAC.ID, d.URL(), z.HVAC.Addr)
-
-			h, err := devicesim.StartHue()
-			if err != nil {
-				return err
-			}
-			closers = append(closers, h.Close)
-			endpoints[z.Light.ID] = h.URL()
-			log.Printf("emulated %s at %s (LAN addr %s)", z.Light.ID, h.URL(), z.Light.Addr)
-		}
-		cfg.Firewall = fw
-		cfg.Binding = &controller.HTTPBinding{Endpoints: endpoints, Firewall: fw}
-	}
-
-	c, err := controller.New(cfg)
-	if err != nil {
-		return err
-	}
-
-	cron := controller.NewCron(nil)
-	defer cron.Stop()
-	stop := c.Schedule(cron, interval, func(err error) { log.Printf("EP cycle: %v", err) })
-	defer stop()
-	log.Printf("EP scheduled every %v for %q (weekly budget %.0f kWh)", interval, residence, weekly)
-
-	srv := &http.Server{Addr: addr, Handler: controller.API(c)}
-	go func() {
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
-		log.Print("shutting down")
-		srv.Close() //nolint:errcheck
-	}()
-	log.Printf("REST API on %s", addr)
-	if err := srv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
-		return err
-	}
-	return nil
 }

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"log"
+	"os"
+	"os/signal"
+
+	"github.com/imcf/imcf/internal/daemon"
+)
+
+// handleSignals closes the daemon on the first interrupt.
+func handleSignals(d *daemon.Daemon) {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	<-sig
+	log.Print("shutting down")
+	d.Close() //nolint:errcheck // exiting anyway
+}

@@ -43,6 +43,7 @@ budget "Cap" limit 165 kWh
 	defer cancel()
 	cmd := exec.CommandContext(ctx, bin,
 		"-addr", addr,
+		"-metrics-addr", "127.0.0.1:0",
 		"-residence", "prototype",
 		"-emulate",
 		"-interval", "250ms",

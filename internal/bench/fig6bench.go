@@ -6,6 +6,7 @@ import (
 	"runtime"
 	"time"
 
+	"github.com/imcf/imcf/internal/metrics"
 	"github.com/imcf/imcf/internal/sim"
 )
 
@@ -36,6 +37,15 @@ type Fig6BenchCell struct {
 	FE        float64 `json:"fe_kwh"`
 	// Speedup is SeqWallNs / ParWallNs for this cell.
 	Speedup float64 `json:"speedup"`
+	// PlanLatency is the merged per-invocation planner latency
+	// histogram across the sequential reps (one sample per EP window,
+	// or per slot for the baselines); the quantiles are
+	// Prometheus-style linear interpolations over its buckets, in
+	// seconds.
+	PlanLatency    metrics.Snapshot `json:"plan_latency"`
+	PlanLatencyP50 float64          `json:"plan_latency_p50_s"`
+	PlanLatencyP95 float64          `json:"plan_latency_p95_s"`
+	PlanLatencyP99 float64          `json:"plan_latency_p99_s"`
 }
 
 // Fig6Bench is the machine-readable Fig. 6 performance trajectory
@@ -92,6 +102,7 @@ func (s *Suite) RunFig6Bench() (*Fig6Bench, error) {
 		ces := make([]float64, 0, reps)
 		es := make([]float64, 0, reps)
 		ts := make([]float64, 0, reps)
+		var lat metrics.Snapshot
 		runtime.GC()
 		runtime.ReadMemStats(&ms0)
 		cellStart := time.Now()
@@ -105,6 +116,7 @@ func (s *Suite) RunFig6Bench() (*Fig6Bench, error) {
 			ces = append(ces, float64(r.ConvenienceError))
 			es = append(es, r.Energy.KWh())
 			ts = append(ts, r.PlannerTime.Seconds())
+			lat.Merge(r.PlanLatency)
 		}
 		wall := time.Since(cellStart)
 		runtime.ReadMemStats(&ms1)
@@ -119,6 +131,11 @@ func (s *Suite) RunFig6Bench() (*Fig6Bench, error) {
 			FTSeconds:   Aggregate(ts).Mean,
 			FCE:         Aggregate(ces).Mean,
 			FE:          Aggregate(es).Mean,
+
+			PlanLatency:    lat,
+			PlanLatencyP50: lat.Quantile(0.50),
+			PlanLatencyP95: lat.Quantile(0.95),
+			PlanLatencyP99: lat.Quantile(0.99),
 		}
 	}
 	out.SeqWallNs = time.Since(seqStart).Nanoseconds()

@@ -18,14 +18,26 @@ import (
 	"time"
 
 	"github.com/imcf/imcf/internal/controller"
+	"github.com/imcf/imcf/internal/metrics"
 	"github.com/imcf/imcf/internal/persistence"
 	"github.com/imcf/imcf/internal/rules"
 )
 
+// SDK request counters.
+var (
+	sdkRequests = metrics.NewCounter("imcf_client_requests_total",
+		"HTTP requests issued by the Go SDK, including retries.")
+	sdkRetries = metrics.NewCounter("imcf_client_retries_total",
+		"SDK requests re-issued after a transport error or 5xx.")
+	sdkErrors = metrics.NewCounter("imcf_client_errors_total",
+		"SDK requests that ended in a transport error or non-2xx status.")
+)
+
 // Client talks to one Local Controller.
 type Client struct {
-	base string
-	http *http.Client
+	base    string
+	http    *http.Client
+	retries int
 }
 
 // New returns a client for the controller at baseURL. httpClient nil
@@ -39,6 +51,19 @@ func New(baseURL string, httpClient *http.Client) (*Client, error) {
 		httpClient = http.DefaultClient
 	}
 	return &Client{base: strings.TrimSuffix(baseURL, "/"), http: httpClient}, nil
+}
+
+// WithRetries returns the client configured to re-issue requests up to
+// n extra times on transport errors or 5xx responses, with a short
+// linear backoff. Non-idempotent POSTs are retried too: every
+// controller route tolerates replay (plan cycles are re-runnable,
+// MRT/commands are idempotent writes).
+func (c *Client) WithRetries(n int) *Client {
+	if n < 0 {
+		n = 0
+	}
+	c.retries = n
+	return c
 }
 
 // APIError is a non-2xx response from the controller.
@@ -168,45 +193,73 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var payload io.Reader
+	var raw []byte
 	if body != nil {
-		raw, err := json.Marshal(body)
+		var err error
+		raw, err = json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("client: marshal request: %w", err)
 		}
-		payload = bytes.NewReader(raw)
 	} else if method == http.MethodPost {
-		payload = strings.NewReader("{}")
+		raw = []byte("{}")
 	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, payload)
-	if err != nil {
-		return err
-	}
-	if payload != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return fmt.Errorf("client: %s %s: %w", method, path, err)
-	}
-	defer resp.Body.Close()
-	if resp.StatusCode >= 300 {
-		var e struct {
-			Error string `json:"error"`
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			sdkRetries.Inc()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(time.Duration(attempt) * 10 * time.Millisecond):
+			}
 		}
-		msg := http.StatusText(resp.StatusCode)
-		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
-			msg = e.Error
+		// The request (and its body reader) is rebuilt every attempt: a
+		// consumed reader cannot be replayed.
+		var payload io.Reader
+		if raw != nil {
+			payload = bytes.NewReader(raw)
 		}
-		return &APIError{Status: resp.StatusCode, Message: msg}
-	}
-	if out == nil {
+		req, err := http.NewRequestWithContext(ctx, method, c.base+path, payload)
+		if err != nil {
+			return err
+		}
+		if payload != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		sdkRequests.Inc()
+		resp, err := c.http.Do(req)
+		if err != nil {
+			sdkErrors.Inc()
+			if attempt < c.retries && ctx.Err() == nil {
+				continue
+			}
+			return fmt.Errorf("client: %s %s: %w", method, path, err)
+		}
+		if resp.StatusCode >= 300 {
+			sdkErrors.Inc()
+			var e struct {
+				Error string `json:"error"`
+			}
+			msg := http.StatusText(resp.StatusCode)
+			if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
+				msg = e.Error
+			}
+			resp.Body.Close()
+			if resp.StatusCode >= 500 && attempt < c.retries {
+				continue
+			}
+			return &APIError{Status: resp.StatusCode, Message: msg}
+		}
+		if out == nil {
+			resp.Body.Close()
+			return nil
+		}
+		err = json.NewDecoder(resp.Body).Decode(out)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("client: decode %s response: %w", path, err)
+		}
 		return nil
 	}
-	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
-		return fmt.Errorf("client: decode %s response: %w", path, err)
-	}
-	return nil
 }
 
 // IsBlocked reports whether err is the firewall rejecting a command.

@@ -28,6 +28,18 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"github.com/imcf/imcf/internal/metrics"
+)
+
+// Relay request counters, by route family and outcome.
+var (
+	relayRequests = metrics.NewCounterVec("imcf_cloud_requests_total",
+		"Requests handled by the cloud relay, by route family.", "route")
+	relayAuthFailures = metrics.NewCounter("imcf_cloud_auth_failures_total",
+		"Relay requests rejected for a missing or invalid bearer token.")
+	relayProxyErrors = metrics.NewCounter("imcf_cloud_proxy_errors_total",
+		"Upstream failures while proxying or broadcasting to site LCs.")
 )
 
 // Relay is the CC/CMC service. It is safe for concurrent use.
@@ -128,9 +140,15 @@ func (r *Relay) withAuth(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, req *http.Request) {
 		if r.token != "" {
 			if req.Header.Get("Authorization") != "Bearer "+r.token {
+				relayAuthFailures.Inc()
 				writeJSON(w, http.StatusUnauthorized, map[string]string{"error": "invalid token"})
 				return
 			}
+		}
+		if strings.HasPrefix(req.URL.Path, "/cmc/") {
+			relayRequests.With("cmc").Inc()
+		} else {
+			relayRequests.With("cc").Inc()
 		}
 		h(w, req)
 	}
@@ -156,6 +174,7 @@ func (r *Relay) proxy(w http.ResponseWriter, req *http.Request) {
 
 	out, err := http.NewRequestWithContext(req.Context(), req.Method, target.String(), req.Body)
 	if err != nil {
+		relayProxyErrors.Inc()
 		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
 		return
 	}
@@ -164,6 +183,7 @@ func (r *Relay) proxy(w http.ResponseWriter, req *http.Request) {
 	}
 	resp, err := r.client.Do(out)
 	if err != nil {
+		relayProxyErrors.Inc()
 		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
 		return
 	}
@@ -227,6 +247,7 @@ func (r *Relay) broadcast(w http.ResponseWriter, req *http.Request, path string,
 			}
 		}
 		if res.Error != "" {
+			relayProxyErrors.Inc()
 			allOK = false
 		}
 		results = append(results, res)

@@ -11,6 +11,7 @@ import (
 	"github.com/imcf/imcf/internal/device"
 	"github.com/imcf/imcf/internal/firewall"
 	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/metrics"
 	"github.com/imcf/imcf/internal/persistence"
 	"github.com/imcf/imcf/internal/rules"
 	"github.com/imcf/imcf/internal/simclock"
@@ -21,6 +22,14 @@ import (
 
 // mrtStoreKey is where the controller persists its Meta-Rule Table.
 const mrtStoreKey = "imcf/mrt"
+
+// Step-outcome counters, resolved once at init.
+var (
+	stepsVec = metrics.NewCounterVec("imcf_controller_steps_total",
+		"Planning cycles run by the local controller, by outcome.", "outcome")
+	stepsOK  = stepsVec.With("ok")
+	stepsErr = stepsVec.With("error")
+)
 
 // Mode selects the controller's planning behaviour, the spectrum of
 // Fig. 2 in the paper: the budget-aware Energy Planner (the
@@ -87,6 +96,9 @@ type Config struct {
 	FairPlanning bool
 	// Mode selects EP (default), IFTTT or manual operation.
 	Mode Mode
+	// Health, when set, tracks step outcomes: any Step error marks the
+	// process unhealthy (503 on /healthz) until a cycle succeeds again.
+	Health *metrics.Health
 }
 
 // StepReport summarizes one planning cycle.
@@ -278,6 +290,25 @@ func (c *Controller) AnalyzeConflicts() ([]rules.Conflict, error) {
 // actuates executed rules through the binding, and blocks dropped rules
 // in the firewall.
 func (c *Controller) Step() (StepReport, error) {
+	start := time.Now()
+	report, err := c.step()
+	metrics.PlannerWindowSeconds.Observe(time.Since(start).Seconds())
+	if err != nil {
+		stepsErr.Inc()
+		if c.cfg.Health != nil {
+			c.cfg.Health.SetError(err)
+		}
+	} else {
+		stepsOK.Inc()
+		if c.cfg.Health != nil {
+			c.cfg.Health.SetHealthy()
+		}
+	}
+	return report, err
+}
+
+// step is the uninstrumented planning cycle.
+func (c *Controller) step() (StepReport, error) {
 	now := c.clock.Now().UTC().Truncate(time.Hour)
 	hour := now.Hour()
 
@@ -515,6 +546,15 @@ func (c *Controller) finishStep(report StepReport, activeRules []rules.MetaRule,
 		c.historyAt = (c.historyAt + 1) % historyCap
 	}
 	c.mu.Unlock()
+
+	// Every active rule lands in exactly one of Executed/Dropped, so
+	// these satisfy considered == executed + dropped by construction —
+	// the invariant /metrics scrapers can assert.
+	metrics.RulesConsidered.Add(uint64(len(activeRules)))
+	metrics.RulesExecuted.Add(uint64(len(report.Executed)))
+	metrics.RulesDropped.Add(uint64(len(report.Dropped)))
+	metrics.EnergyConsumedKWh.Add(eval.Energy)
+	metrics.ConvenienceErrorSum.Add(eval.Error)
 
 	return report, firstErr
 }

@@ -1,6 +1,10 @@
 package core
 
-import "math"
+import (
+	"math"
+
+	"github.com/imcf/imcf/internal/metrics"
+)
 
 // anneal is the simulated-annealing engine: the same k-flip
 // neighbourhood as hill climbing, but worse candidates are accepted with
@@ -83,6 +87,7 @@ func (pl *Planner) anneal(p Problem) (Solution, Eval) {
 		}
 		temp *= cooling
 	}
+	metrics.PlannerIterations.Add(uint64(pl.cfg.MaxIter))
 
 	// Recompute exactly to shed incremental float drift.
 	bestEval = Evaluate(p, best)

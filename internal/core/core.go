@@ -19,6 +19,8 @@ package core
 import (
 	"fmt"
 	"math/rand/v2"
+
+	"github.com/imcf/imcf/internal/metrics"
 )
 
 // RuleCost describes one rule that is active in the current slot.
@@ -267,6 +269,7 @@ func (pl *Planner) Plan(p Problem) (Solution, Eval, error) {
 		return Solution{}, Eval{}, nil
 	}
 
+	metrics.PlannerPlans.Inc()
 	switch pl.cfg.Heuristic {
 	case Exhaustive:
 		if n > ExhaustiveMaxN {
@@ -379,6 +382,9 @@ func (pl *Planner) hillClimb(p Problem) (Solution, Eval) {
 				bestEval = cand
 			}
 		}
+		// One amortized add per Plan call, not one per iteration: the
+		// counter stays off the per-flip path.
+		metrics.PlannerIterations.Add(uint64(pl.cfg.MaxIter))
 	}
 
 	// Recompute exactly: the incremental updates accumulate float

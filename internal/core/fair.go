@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/imcf/imcf/internal/metrics"
+)
 
 // This file implements fairness-aware planning, the paper's future-work
 // direction of "multiple energy planners with conflicting interests":
@@ -77,6 +81,7 @@ func (pl *Planner) PlanFair(p Problem, group []int, nGroups int, offsets []float
 	if n == 0 {
 		return Solution{}, GroupEval{GroupError: make([]float64, nGroups)}, nil
 	}
+	metrics.PlannerPlans.Inc()
 
 	best := pl.initial(p)
 	bestEval := evaluateWithOffsets(p, best, group, nGroups, offsets)
@@ -116,6 +121,7 @@ func (pl *Planner) PlanFair(p Problem, group []int, nGroups int, offsets []float
 				copy(bestEval.GroupError, cand.GroupError)
 			}
 		}
+		metrics.PlannerIterations.Add(uint64(pl.cfg.MaxIter))
 	}
 
 	// Recompute exactly (offset-free) and repair feasibility if needed.

@@ -1,0 +1,316 @@
+// Package daemon assembles and serves a complete IMCF Local Controller
+// process: residence construction, optional durable store and
+// measurement persistence, optional HTTP device emulators, the cron-
+// scheduled Energy Planner, the openHAB-style REST API, and the
+// observability endpoints (/metrics, /healthz, /debug/spans).
+//
+// It is the testable core of cmd/imcfd: tests boot a Daemon on
+// ephemeral ports (":0"), drive it over real HTTP, and inspect the
+// bound addresses via APIAddr/MetricsAddr.
+package daemon
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"sync"
+	"time"
+
+	"github.com/imcf/imcf/internal/controller"
+	"github.com/imcf/imcf/internal/devicesim"
+	"github.com/imcf/imcf/internal/firewall"
+	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/metrics"
+	"github.com/imcf/imcf/internal/persistence"
+	"github.com/imcf/imcf/internal/rules"
+	"github.com/imcf/imcf/internal/simclock"
+	"github.com/imcf/imcf/internal/store"
+	"github.com/imcf/imcf/internal/units"
+)
+
+// Options configures a daemon. The zero value is not runnable: Addr and
+// Residence are required.
+type Options struct {
+	// Addr is the REST API listen address (":0" for an ephemeral port).
+	Addr string
+	// MetricsAddr serves /metrics, /healthz and /debug/spans; empty
+	// disables the observability listener.
+	MetricsAddr string
+	// Residence names the built-in layout: prototype, flat or house.
+	Residence string
+	// Seed parameterizes the residence's ambient traces.
+	Seed uint64
+	// StoreDir enables the durable KV store; empty disables.
+	StoreDir string
+	// PersistDir enables measurement persistence; empty disables.
+	PersistDir string
+	// MRTPath overrides the residence's Meta-Rule Table with a file in
+	// the textual format.
+	MRTPath string
+	// Mode is EP (default when empty), IFTTT or manual.
+	Mode string
+	// Interval schedules the planner; <= 0 disables the cron so tests
+	// can drive cycles explicitly over /rest/plan/run.
+	Interval time.Duration
+	// WeeklyBudgetKWh is the weekly energy allowance.
+	WeeklyBudgetKWh float64
+	// Emulate starts loopback HTTP device emulators and routes all
+	// actuation through them (and the firewall).
+	Emulate bool
+	// Clock overrides the wall clock (tests use simclock.NewSimClock).
+	Clock simclock.Clock
+	// Binding overrides device actuation (ignored with Emulate; tests
+	// inject failing bindings to exercise health reporting).
+	Binding controller.Binding
+	// Logf overrides log.Printf; nil uses the standard logger.
+	Logf func(format string, args ...any)
+}
+
+// Daemon is a fully wired Local Controller process.
+type Daemon struct {
+	ctrl   *controller.Controller
+	health *metrics.Health
+	logf   func(string, ...any)
+
+	apiLn     net.Listener
+	metricsLn net.Listener
+	apiSrv    *http.Server
+	metricSrv *http.Server
+
+	cron      *controller.Cron
+	stopSched func()
+
+	mu      sync.Mutex
+	closed  bool
+	closers []func() error // shutdown hooks, run in reverse order
+}
+
+// New builds the daemon and binds its listeners, but does not serve
+// yet; call Serve. On error, everything partially constructed is torn
+// down.
+func New(opts Options) (_ *Daemon, err error) {
+	logf := opts.Logf
+	if logf == nil {
+		logf = log.Printf
+	}
+	d := &Daemon{logf: logf, health: metrics.NewHealth(metrics.HealthyGauge)}
+	defer func() {
+		if err != nil {
+			d.Close() //nolint:errcheck // already failing
+		}
+	}()
+
+	var res *home.Residence
+	switch opts.Residence {
+	case "prototype":
+		res, err = home.Prototype(opts.Seed)
+	case "flat":
+		res, err = home.Flat(opts.Seed)
+	case "house":
+		res, err = home.House(opts.Seed)
+	default:
+		return nil, fmt.Errorf("daemon: unknown residence %q", opts.Residence)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if opts.MRTPath != "" {
+		src, err := os.ReadFile(opts.MRTPath)
+		if err != nil {
+			return nil, err
+		}
+		mrt, err := rules.ParseMRT(string(src))
+		if err != nil {
+			return nil, err
+		}
+		res.MRT = mrt
+		if err := res.Validate(); err != nil {
+			return nil, fmt.Errorf("daemon: MRT from %s: %w", opts.MRTPath, err)
+		}
+		logf("loaded %d meta-rules from %s", len(mrt.Rules), opts.MRTPath)
+	}
+
+	cfg := controller.Config{
+		Residence:    res,
+		WeeklyBudget: units.Energy(opts.WeeklyBudgetKWh),
+		Clock:        opts.Clock,
+		Health:       d.health,
+		Binding:      opts.Binding,
+	}
+	switch opts.Mode {
+	case "EP", "ep", "":
+		cfg.Mode = controller.ModeEP
+	case "IFTTT", "ifttt":
+		cfg.Mode = controller.ModeIFTTT
+	case "manual":
+		cfg.Mode = controller.ModeManual
+	default:
+		return nil, fmt.Errorf("daemon: unknown mode %q", opts.Mode)
+	}
+
+	if opts.StoreDir != "" {
+		db, err := store.Open(store.Options{Dir: opts.StoreDir, SyncWrites: true})
+		if err != nil {
+			return nil, err
+		}
+		d.closers = append(d.closers, db.Close)
+		cfg.Store = db
+	}
+	if opts.PersistDir != "" {
+		svc, err := persistence.Open(opts.PersistDir)
+		if err != nil {
+			return nil, err
+		}
+		d.closers = append(d.closers, svc.Close)
+		cfg.Persistence = svc
+		logf("recording measurements to %s", opts.PersistDir)
+	}
+
+	if opts.Emulate {
+		fw := firewall.New(opts.Clock)
+		endpoints := make(map[string]string)
+		for _, z := range res.Zones {
+			dk, err := devicesim.StartDaikin()
+			if err != nil {
+				return nil, err
+			}
+			d.closers = append(d.closers, dk.Close)
+			endpoints[z.HVAC.ID] = dk.URL()
+			logf("emulated %s at %s (LAN addr %s)", z.HVAC.ID, dk.URL(), z.HVAC.Addr)
+
+			hue, err := devicesim.StartHue()
+			if err != nil {
+				return nil, err
+			}
+			d.closers = append(d.closers, hue.Close)
+			endpoints[z.Light.ID] = hue.URL()
+			logf("emulated %s at %s (LAN addr %s)", z.Light.ID, hue.URL(), z.Light.Addr)
+		}
+		cfg.Firewall = fw
+		cfg.Binding = &controller.HTTPBinding{Endpoints: endpoints, Firewall: fw}
+	}
+
+	d.ctrl, err = controller.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	if opts.Interval > 0 {
+		d.cron = controller.NewCron(opts.Clock)
+		d.stopSched = d.ctrl.Schedule(d.cron, opts.Interval, func(err error) {
+			logf("EP cycle: %v", err)
+		})
+		logf("EP scheduled every %v for %q (weekly budget %.0f kWh)",
+			opts.Interval, opts.Residence, opts.WeeklyBudgetKWh)
+	}
+
+	d.apiLn, err = net.Listen("tcp", opts.Addr)
+	if err != nil {
+		return nil, err
+	}
+	d.apiSrv = &http.Server{Handler: controller.API(d.ctrl)}
+	if opts.MetricsAddr != "" {
+		d.metricsLn, err = net.Listen("tcp", opts.MetricsAddr)
+		if err != nil {
+			return nil, err
+		}
+		mux := http.NewServeMux()
+		mux.Handle("GET /metrics", metrics.Handler())
+		mux.Handle("GET /healthz", d.health.Handler())
+		mux.Handle("GET /debug/spans", metrics.DefaultTracer().Handler())
+		d.metricSrv = &http.Server{Handler: mux}
+	}
+	return d, nil
+}
+
+// Controller exposes the wired Local Controller.
+func (d *Daemon) Controller() *controller.Controller { return d.ctrl }
+
+// Health exposes the daemon's health state (wired to /healthz).
+func (d *Daemon) Health() *metrics.Health { return d.health }
+
+// APIAddr returns the REST listener's bound address.
+func (d *Daemon) APIAddr() string { return d.apiLn.Addr().String() }
+
+// MetricsAddr returns the observability listener's bound address, or ""
+// when disabled.
+func (d *Daemon) MetricsAddr() string {
+	if d.metricsLn == nil {
+		return ""
+	}
+	return d.metricsLn.Addr().String()
+}
+
+// Serve blocks serving both listeners until Close is called. It returns
+// the first serve error, or nil on clean shutdown.
+func (d *Daemon) Serve() error {
+	errc := make(chan error, 2)
+	go func() { errc <- d.apiSrv.Serve(d.apiLn) }()
+	n := 1
+	if d.metricSrv != nil {
+		n = 2
+		go func() { errc <- d.metricSrv.Serve(d.metricsLn) }()
+	}
+	var first error
+	for i := 0; i < n; i++ {
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) && first == nil {
+			first = err
+			d.Close() //nolint:errcheck // tearing down after serve error
+		}
+	}
+	return first
+}
+
+// Start runs Serve on a goroutine and returns immediately; serve errors
+// go to the daemon's logger. Tests use Start + Close.
+func (d *Daemon) Start() {
+	go func() {
+		if err := d.Serve(); err != nil {
+			d.logf("daemon: serve: %v", err)
+		}
+	}()
+}
+
+// Close shuts the daemon down: scheduler, HTTP servers, then the
+// shutdown hooks (emulators, persistence, store) in reverse order. It
+// is idempotent.
+func (d *Daemon) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.mu.Unlock()
+
+	if d.stopSched != nil {
+		d.stopSched()
+	}
+	if d.cron != nil {
+		d.cron.Stop()
+	}
+	var firstErr error
+	if d.apiSrv != nil {
+		if err := d.apiSrv.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	} else if d.apiLn != nil {
+		d.apiLn.Close() //nolint:errcheck // listener without server
+	}
+	if d.metricSrv != nil {
+		if err := d.metricSrv.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	} else if d.metricsLn != nil {
+		d.metricsLn.Close() //nolint:errcheck // listener without server
+	}
+	for i := len(d.closers) - 1; i >= 0; i-- {
+		if err := d.closers[i](); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}

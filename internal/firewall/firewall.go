@@ -16,7 +16,17 @@ import (
 	"sync"
 	"time"
 
+	"github.com/imcf/imcf/internal/metrics"
 	"github.com/imcf/imcf/internal/simclock"
+)
+
+// Flow-check counters, resolved to their label children once so Check
+// pays a single atomic increment per flow.
+var (
+	checksVec = metrics.NewCounterVec("imcf_firewall_checks_total",
+		"Flow checks evaluated by the firewall, by verdict.", "decision")
+	checksAllowed = checksVec.With("ACCEPT")
+	checksDropped = checksVec.With("DROP")
 )
 
 // Decision is the outcome of a flow check.
@@ -106,8 +116,10 @@ func (f *Firewall) Check(addr string) Decision {
 	if isBlocked {
 		d = Drop
 		f.dropped++
+		checksDropped.Inc()
 	} else {
 		f.allowed++
+		checksAllowed.Inc()
 	}
 	f.audit = append(f.audit, AuditEntry{
 		Time:     f.clock.Now(),

@@ -1,0 +1,186 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing integer metric. All methods are
+// safe for concurrent use; Inc and Add are lock-free and allocation-free.
+type Counter struct {
+	v      atomic.Uint64
+	name   string
+	help   string
+	labels string // rendered "{k=\"v\",...}" suffix, empty for plain counters
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if disabled.Load() {
+		return
+	}
+	c.v.Add(1)
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if disabled.Load() {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+func (c *Counter) metricName() string { return c.name }
+func (c *Counter) metricType() string { return "counter" }
+func (c *Counter) metricHelp() string { return c.help }
+func (c *Counter) writeTo(w *bufio.Writer) {
+	fmt.Fprintf(w, "%s%s %d\n", c.name, c.labels, c.v.Load())
+}
+
+// FloatCounter is a monotonically increasing float metric (e.g. energy
+// in kWh). Add is a lock-free compare-and-swap loop over the float's
+// bits and performs no allocations.
+type FloatCounter struct {
+	bits atomic.Uint64
+	name string
+	help string
+}
+
+// Add accumulates v. Negative deltas are ignored: the metric is a
+// counter and must never decrease.
+func (c *FloatCounter) Add(v float64) {
+	if v < 0 || disabled.Load() {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if c.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the accumulated total.
+func (c *FloatCounter) Value() float64 { return math.Float64frombits(c.bits.Load()) }
+
+func (c *FloatCounter) metricName() string { return c.name }
+func (c *FloatCounter) metricType() string { return "counter" }
+func (c *FloatCounter) metricHelp() string { return c.help }
+func (c *FloatCounter) writeTo(w *bufio.Writer) {
+	w.WriteString(c.name) //nolint:errcheck
+	w.WriteByte(' ')      //nolint:errcheck
+	writeFloat(w, c.Value())
+	w.WriteByte('\n') //nolint:errcheck
+}
+
+// Gauge is a float metric that can go up and down (queue depths,
+// health, carry-over budget). Set and Add are lock-free and
+// allocation-free.
+type Gauge struct {
+	bits atomic.Uint64
+	name string
+	help string
+}
+
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) {
+	if disabled.Load() {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Add shifts the gauge by delta (which may be negative).
+func (g *Gauge) Add(delta float64) {
+	if disabled.Load() {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Value returns the gauge's current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+func (g *Gauge) metricName() string { return g.name }
+func (g *Gauge) metricType() string { return "gauge" }
+func (g *Gauge) metricHelp() string { return g.help }
+func (g *Gauge) writeTo(w *bufio.Writer) {
+	w.WriteString(g.name) //nolint:errcheck
+	w.WriteByte(' ')      //nolint:errcheck
+	writeFloat(w, g.Value())
+	w.WriteByte('\n') //nolint:errcheck
+}
+
+// CounterVec is a family of counters distinguished by label values.
+// Children are resolved with With — which takes a lock and may allocate
+// — so callers resolve once at init time and keep the *Counter; the
+// per-observation path is then identical to a plain Counter.
+type CounterVec struct {
+	name   string
+	help   string
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]*Counter
+}
+
+// With returns the child counter for the given label values (one per
+// label name, in registration order). Children persist for the life of
+// the vec.
+func (v *CounterVec) With(values ...string) *Counter {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if c, ok := v.children[key]; ok {
+		return c
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, ln := range v.labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(ln)
+		sb.WriteString(`=`)
+		sb.WriteString(strconv.Quote(values[i]))
+	}
+	sb.WriteByte('}')
+	c := &Counter{name: v.name, help: v.help, labels: sb.String()}
+	v.children[key] = c
+	return c
+}
+
+func (v *CounterVec) metricName() string { return v.name }
+func (v *CounterVec) metricType() string { return "counter" }
+func (v *CounterVec) metricHelp() string { return v.help }
+func (v *CounterVec) writeTo(w *bufio.Writer) {
+	v.mu.Lock()
+	children := make([]*Counter, 0, len(v.children))
+	for _, c := range v.children {
+		children = append(children, c)
+	}
+	v.mu.Unlock()
+	sort.Slice(children, func(i, j int) bool { return children[i].labels < children[j].labels })
+	for _, c := range children {
+		c.writeTo(w)
+	}
+}

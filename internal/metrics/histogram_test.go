@@ -1,0 +1,159 @@
+package metrics
+
+import (
+	"math"
+	"math/rand/v2"
+	"sync"
+	"testing"
+)
+
+// TestHistogramProperties drives random observation sequences through
+// random bucket layouts and checks the structural invariants: bucket
+// counts are monotone cumulative, the +Inf bucket equals the total
+// count, and sum/count match the sequence exactly.
+func TestHistogramProperties(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 13))
+	for trial := 0; trial < 50; trial++ {
+		// Random strictly ascending bounds.
+		nb := 1 + rng.IntN(12)
+		bounds := make([]float64, nb)
+		x := rng.Float64() * 10
+		for i := range bounds {
+			x += 0.01 + rng.Float64()*20
+			bounds[i] = x
+		}
+		h := NewDetachedHistogram(bounds)
+
+		n := rng.IntN(500)
+		var wantSum float64
+		var perBucket = make([]uint64, nb+1)
+		for i := 0; i < n; i++ {
+			// Integer-valued observations so float sums are exact in
+			// any order.
+			v := float64(rng.IntN(200))
+			h.Observe(v)
+			wantSum += v
+			j := 0
+			for j < nb && v > bounds[j] {
+				j++
+			}
+			perBucket[j]++
+		}
+
+		s := h.Snapshot()
+		if h.Count() != uint64(n) || s.Count != uint64(n) {
+			t.Fatalf("trial %d: count %d/%d, want %d", trial, h.Count(), s.Count, n)
+		}
+		if h.Sum() != wantSum {
+			t.Fatalf("trial %d: sum %v, want %v", trial, h.Sum(), wantSum)
+		}
+		var cum uint64
+		for i, b := range s.Buckets {
+			cum += perBucket[i]
+			if b.Count != cum {
+				t.Fatalf("trial %d: bucket %d cumulative count %d, want %d", trial, i, b.Count, cum)
+			}
+			if i > 0 && b.Count < s.Buckets[i-1].Count {
+				t.Fatalf("trial %d: bucket counts not monotone at %d", trial, i)
+			}
+		}
+		if !math.IsInf(s.Buckets[len(s.Buckets)-1].LE, 1) {
+			t.Fatalf("trial %d: last bucket bound not +Inf", trial)
+		}
+		if s.Buckets[len(s.Buckets)-1].Count != uint64(n) {
+			t.Fatalf("trial %d: +Inf bucket %d, want %d", trial, s.Buckets[len(s.Buckets)-1].Count, n)
+		}
+	}
+}
+
+// TestHistogramConcurrentObserve hammers one histogram from 8
+// goroutines and checks that no sample is lost: total count, +Inf
+// bucket and the exact integer sum all match. Run under -race this also
+// proves the observation path is race-clean.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	const goroutines = 8
+	const perG = 5000
+	h := NewDetachedHistogram([]float64{10, 50, 100, 500})
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(g), 99))
+			for i := 0; i < perG; i++ {
+				// Integer values keep the float sum order-independent.
+				h.Observe(float64(rng.IntN(1000)))
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	const total = goroutines * perG
+	if h.Count() != total {
+		t.Fatalf("count %d, want %d: samples lost", h.Count(), total)
+	}
+	s := h.Snapshot()
+	if inf := s.Buckets[len(s.Buckets)-1].Count; inf != total {
+		t.Fatalf("+Inf bucket %d, want %d", inf, total)
+	}
+	// Recompute the exact expected sum from the same deterministic
+	// per-goroutine streams.
+	var wantSum float64
+	for g := 0; g < goroutines; g++ {
+		rng := rand.New(rand.NewPCG(uint64(g), 99))
+		for i := 0; i < perG; i++ {
+			wantSum += float64(rng.IntN(1000))
+		}
+	}
+	if h.Sum() != wantSum {
+		t.Fatalf("sum %v, want %v: CAS accumulation lost an update", h.Sum(), wantSum)
+	}
+}
+
+// TestCounterConcurrent checks integer and float counters under
+// concurrent mutation.
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "c")
+	f := r.FloatCounter("conc_kwh", "f")
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10000; i++ {
+				c.Inc()
+				f.Add(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 80000 {
+		t.Fatalf("counter %d, want 80000", c.Value())
+	}
+	if f.Value() != 40000 {
+		t.Fatalf("float counter %v, want 40000", f.Value())
+	}
+}
+
+// TestHistogramBucketEdges pins the boundary semantics: le is
+// inclusive, matching Prometheus ("observations less than or equal to
+// the bound").
+func TestHistogramBucketEdges(t *testing.T) {
+	h := NewDetachedHistogram([]float64{1, 2})
+	h.Observe(1) // on the bound: belongs to le="1"
+	h.Observe(1.0000001)
+	h.Observe(2)
+	h.Observe(3)
+	s := h.Snapshot()
+	if s.Buckets[0].Count != 1 {
+		t.Errorf(`le="1" = %d, want 1`, s.Buckets[0].Count)
+	}
+	if s.Buckets[1].Count != 3 {
+		t.Errorf(`le="2" = %d, want 3`, s.Buckets[1].Count)
+	}
+	if s.Buckets[2].Count != 4 {
+		t.Errorf(`le="+Inf" = %d, want 4`, s.Buckets[2].Count)
+	}
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SpanRecord is one completed span: a named, timed section of the
+// serving path (an EP cycle, a store compaction, a relay broadcast).
+type SpanRecord struct {
+	Name     string        `json:"name"`
+	Start    time.Time     `json:"start"`
+	Duration time.Duration `json:"durationNs"`
+	Err      string        `json:"err,omitempty"`
+}
+
+// Tracer collects completed spans into a fixed ring — lightweight
+// span-style tracing for the daemon's /debug/spans endpoint. The ring
+// is allocated once at construction; recording a span after that point
+// performs no heap allocations.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []SpanRecord
+	at   int
+	n    int
+}
+
+// NewTracer returns a tracer keeping the most recent cap spans
+// (minimum 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{ring: make([]SpanRecord, capacity)}
+}
+
+// defaultTracer backs the package-level span helpers.
+var defaultTracer = NewTracer(256)
+
+// DefaultTracer returns the process-wide tracer the instrumented
+// packages record into.
+func DefaultTracer() *Tracer { return defaultTracer }
+
+// Span is an in-flight timed section. It is a value type: starting and
+// ending a span allocates nothing. End may be called once.
+type Span struct {
+	tracer *Tracer
+	hist   *Histogram
+	name   string
+	start  time.Time
+}
+
+// StartSpan opens a span on the tracer. hist, when non-nil, receives
+// the span's duration in seconds at End — linking traces to the
+// histogram families on /metrics.
+func (t *Tracer) StartSpan(name string, hist *Histogram) Span {
+	return Span{tracer: t, hist: hist, name: name, start: time.Now()}
+}
+
+// StartSpan opens a span on the default tracer.
+func StartSpan(name string, hist *Histogram) Span {
+	return defaultTracer.StartSpan(name, hist)
+}
+
+// End closes the span, records it in the tracer's ring and observes its
+// duration on the linked histogram. It returns the duration. err, when
+// non-nil, is recorded on the span.
+func (s Span) End(err error) time.Duration {
+	d := time.Since(s.start)
+	if disabled.Load() {
+		return d
+	}
+	if s.hist != nil {
+		s.hist.Observe(d.Seconds())
+	}
+	if s.tracer != nil {
+		rec := SpanRecord{Name: s.name, Start: s.start, Duration: d}
+		if err != nil {
+			rec.Err = err.Error()
+		}
+		t := s.tracer
+		t.mu.Lock()
+		t.ring[t.at] = rec
+		t.at = (t.at + 1) % len(t.ring)
+		if t.n < len(t.ring) {
+			t.n++
+		}
+		t.mu.Unlock()
+	}
+	return d
+}
+
+// Recent returns the recorded spans, oldest first.
+func (t *Tracer) Recent() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, t.n)
+	if t.n == len(t.ring) {
+		out = append(out, t.ring[t.at:]...)
+		out = append(out, t.ring[:t.at]...)
+	} else {
+		out = append(out, t.ring[:t.n]...)
+	}
+	return out
+}
+
+// Handler serves the tracer's recent spans as JSON — mount it at
+// GET /debug/spans.
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(t.Recent()) //nolint:errcheck // response committed
+	})
+}

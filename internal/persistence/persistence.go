@@ -26,7 +26,18 @@ import (
 	"sync"
 	"time"
 
+	"github.com/imcf/imcf/internal/metrics"
 	"github.com/imcf/imcf/internal/trace"
+)
+
+// Recording counters.
+var (
+	recordsWritten = metrics.NewCounter("imcf_persistence_records_total",
+		"Item readings appended to trace segments.")
+	flushes = metrics.NewCounter("imcf_persistence_flushes_total",
+		"Explicit flushes of buffered readings to disk.")
+	flushErrors = metrics.NewCounter("imcf_persistence_flush_errors_total",
+		"Flushes that failed for at least one item segment.")
 )
 
 const segmentExt = ".imt"
@@ -86,18 +97,26 @@ func (s *Service) Record(item string, kind trace.Kind, rec trace.Record) error {
 	if s.kinds[item] != kind {
 		return fmt.Errorf("persistence: item %q is %v, got %v", item, s.kinds[item], kind)
 	}
-	return w.Append(rec)
+	if err := w.Append(rec); err != nil {
+		return err
+	}
+	recordsWritten.Inc()
+	return nil
 }
 
 // Flush forces buffered readings of every item to disk.
 func (s *Service) Flush() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	flushes.Inc()
 	var firstErr error
 	for item, w := range s.writers {
 		if err := w.Flush(); err != nil && firstErr == nil {
 			firstErr = fmt.Errorf("persistence: flush %q: %w", item, err)
 		}
+	}
+	if firstErr != nil {
+		flushErrors.Inc()
 	}
 	return firstErr
 }

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"github.com/imcf/imcf/internal/core"
+	"github.com/imcf/imcf/internal/metrics"
 )
 
 // TestBuildWorkloadParallelEquivalence asserts the sharded precompute
@@ -65,8 +66,10 @@ func TestRunPipelineMatchesSequential(t *testing.T) {
 			if err != nil {
 				t.Fatalf("%v/%s parallel: %v", alg, tc.name, err)
 			}
-			// F_T is wall-clock and legitimately differs between runs.
+			// F_T and the latency histogram are wall-clock and
+			// legitimately differ between runs.
 			seq.PlannerTime, par.PlannerTime = 0, 0
+			seq.PlanLatency, par.PlanLatency = metrics.Snapshot{}, metrics.Snapshot{}
 			if !reflect.DeepEqual(seq, par) {
 				t.Errorf("%v/%s: parallel Run diverged from sequential:\nseq: %+v\npar: %+v", alg, tc.name, seq, par)
 			}

@@ -16,6 +16,7 @@ import (
 	"github.com/imcf/imcf/internal/core"
 	"github.com/imcf/imcf/internal/ecp"
 	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/metrics"
 	"github.com/imcf/imcf/internal/rules"
 	"github.com/imcf/imcf/internal/simclock"
 	"github.com/imcf/imcf/internal/units"
@@ -162,6 +163,11 @@ type Result struct {
 	BudgetTotal units.Energy
 	// PerOwner attributes convenience error to rule owners (Table V).
 	PerOwner map[string]units.Percent
+	// PlanLatency is the distribution of per-invocation planning
+	// latencies (per window for EP, per slot for the baselines),
+	// captured in a run-local histogram. Empty when metrics are
+	// globally disabled via metrics.SetEnabled(false).
+	PlanLatency metrics.Snapshot
 }
 
 // Workload is a residence's precomputed replay data: per-slot ambient
@@ -384,6 +390,7 @@ func Run(w *Workload, alg Algorithm, opts Options) (Result, error) {
 	acc := &runAccumulator{
 		ownerErr:    make(map[string]float64),
 		ownerActive: make(map[string]int64),
+		latency:     metrics.NewDetachedHistogram(nil),
 	}
 	var err error
 	if alg == EP {
@@ -399,6 +406,16 @@ func Run(w *Workload, alg Algorithm, opts Options) (Result, error) {
 	res.PlannerTime = acc.plannerTime
 	res.ActiveRuleSlots = acc.active
 	res.ExecutedRuleSlots = acc.executed
+	res.PlanLatency = acc.latency.Snapshot()
+
+	// Fold the run into the process-wide serving metrics. Done once per
+	// run, after the replay, so instrumentation never touches the
+	// (possibly pipelined) hot loops and cannot perturb results.
+	metrics.RulesConsidered.Add(uint64(acc.active))
+	metrics.RulesExecuted.Add(uint64(acc.executed))
+	metrics.RulesDropped.Add(uint64(acc.active - acc.executed))
+	metrics.EnergyConsumedKWh.Add(acc.totalEnergy)
+	metrics.ConvenienceErrorSum.Add(acc.totalError)
 	if acc.active > 0 {
 		res.ConvenienceError = units.FromFraction(acc.totalError / float64(acc.active))
 	}
@@ -434,6 +451,7 @@ type runAccumulator struct {
 	ownerErr    map[string]float64
 	ownerActive map[string]int64
 	plannerTime time.Duration
+	latency     *metrics.Histogram // run-local, detached from the registry
 }
 
 // winRule is one rule's trace-derived aggregate over a decision window.
@@ -551,7 +569,10 @@ func (w *Workload) consumeWindow(ls *ledgerState, wp *windowProblem, acc *runAcc
 	if err != nil {
 		return err
 	}
-	acc.plannerTime += wp.buildTime + time.Since(start)
+	d := wp.buildTime + time.Since(start)
+	acc.plannerTime += d
+	acc.latency.Observe(d.Seconds())
+	metrics.PlannerWindowSeconds.Observe(d.Seconds())
 
 	spent := eval.Energy + wp.necessity
 	acc.totalEnergy += spent
@@ -723,7 +744,10 @@ func (w *Workload) runPerSlot(alg Algorithm, acc *runAccumulator) error {
 		default:
 			return fmt.Errorf("sim: unknown algorithm %v", alg)
 		}
-		acc.plannerTime += time.Since(start)
+		d := time.Since(start)
+		acc.plannerTime += d
+		acc.latency.Observe(d.Seconds())
+		metrics.PlannerWindowSeconds.Observe(d.Seconds())
 
 		acc.totalEnergy += eval.Energy
 		acc.active += int64(len(idx))

@@ -111,6 +111,9 @@ func (db *DB) appendBatchWAL(b *Batch) error {
 		}
 	}
 	db.walRecs++
+	walAppends.Inc()
+	walBatchOps.Add(uint64(len(b.ops)))
+	walBytes.Add(float64(len(rec)))
 	return nil
 }
 

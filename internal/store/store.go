@@ -27,6 +27,20 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"github.com/imcf/imcf/internal/metrics"
+)
+
+// WAL and compaction counters.
+var (
+	walAppends = metrics.NewCounter("imcf_store_wal_appends_total",
+		"Records appended to the write-ahead log (single ops and batches).")
+	walBatchOps = metrics.NewCounter("imcf_store_batch_ops_total",
+		"Individual operations committed through atomic batches.")
+	walBytes = metrics.NewFloatCounter("imcf_store_wal_bytes_total",
+		"Bytes appended to the write-ahead log.")
+	storeCompactions = metrics.NewCounter("imcf_store_compactions_total",
+		"Snapshot compactions performed.")
 )
 
 const (
@@ -255,6 +269,8 @@ func (db *DB) appendWAL(op byte, key string, value []byte) error {
 		}
 	}
 	db.walRecs++
+	walAppends.Inc()
+	walBytes.Add(float64(len(rec)))
 	return nil
 }
 
@@ -337,6 +353,7 @@ func (db *DB) applyPayload(p []byte) error {
 // compactLocked writes a fresh snapshot atomically (write temp + rename)
 // and truncates the WAL.
 func (db *DB) compactLocked() error {
+	storeCompactions.Inc()
 	tmp := db.snapPath() + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {

@@ -14,4 +14,33 @@ go vet ./...
 echo ">> go test -race ./..."
 go test -race ./...
 
+echo ">> go test -cover ./internal/..."
+cover_out=$(go test -cover ./internal/...)
+echo "$cover_out"
+
+# Every internal package must ship tests: a "[no test files]" line in
+# the coverage run is a gate failure, not a warning.
+if echo "$cover_out" | grep -q 'no test files'; then
+    echo "check: FAIL — internal packages without tests:" >&2
+    echo "$cover_out" | grep 'no test files' >&2
+    exit 1
+fi
+
+# The metrics registry is the serving path's observability substrate;
+# hold it to a 90% statement-coverage floor.
+metrics_cov=$(echo "$cover_out" | awk '
+    $2 ~ /\/internal\/metrics$/ {
+        for (i = 1; i <= NF; i++)
+            if ($i ~ /^[0-9.]+%$/) { sub(/%/, "", $i); print $i }
+    }')
+if [ -z "$metrics_cov" ]; then
+    echo "check: FAIL — no coverage figure for internal/metrics" >&2
+    exit 1
+fi
+if ! awk -v c="$metrics_cov" 'BEGIN { exit !(c >= 90) }'; then
+    echo "check: FAIL — internal/metrics coverage ${metrics_cov}% is below the 90% floor" >&2
+    exit 1
+fi
+echo "internal/metrics coverage ${metrics_cov}% (floor 90%)"
+
 echo "check: OK"
