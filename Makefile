@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check bench fig6bench metrics-smoke
+.PHONY: all build vet test race check lint bench fig6bench metrics-smoke
 
 all: check
 
@@ -20,6 +20,12 @@ race:
 
 check:
 	./scripts/check.sh
+
+# lint runs the project-native static analyzer (see DESIGN.md §9).
+# Findings not in lint.baseline fail the build; stale baseline entries
+# fail it too.
+lint:
+	$(GO) run ./cmd/imcf-lint ./...
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...

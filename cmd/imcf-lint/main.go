@@ -1,0 +1,131 @@
+// Command imcf-lint runs the project-native static-analysis suite over
+// the module: the noalloc, determinism, metrics-hygiene, err-drop and
+// atomic-mix rules (see internal/analysis).
+//
+// Usage:
+//
+//	imcf-lint [flags] [./...]
+//
+// The positional package pattern is accepted for familiarity; the
+// linter always analyzes the whole module rooted at -C (the rules are
+// module-wide by design).
+//
+// Exit status: 0 when clean, 1 when findings remain after baseline
+// filtering, 2 on usage, load or baseline errors (including stale
+// baseline entries for files that no longer exist).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"github.com/imcf/imcf/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("imcf-lint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		root          = fs.String("C", ".", "module root directory to analyze")
+		jsonOut       = fs.Bool("json", false, "emit findings as JSON")
+		baselinePath  = fs.String("baseline", "lint.baseline", "baseline file, relative to the module root (absent file = empty baseline)")
+		writeBaseline = fs.Bool("write-baseline", false, "write the current findings to the baseline file and exit 0")
+		listRules     = fs.Bool("list", false, "list the rules and exit")
+	)
+	enabled := make(map[string]*bool, len(analysis.AllRules()))
+	for _, r := range analysis.AllRules() {
+		enabled[r.Name()] = fs.Bool(r.Name(), true, "enable the "+r.Name()+" rule")
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *listRules {
+		for _, r := range analysis.AllRules() {
+			fmt.Fprintf(stdout, "%-16s %s\n", r.Name(), r.Doc())
+		}
+		return 0
+	}
+	for _, arg := range fs.Args() {
+		// "./..." and "." are the familiar go-tool spellings for "the
+		// whole module" — anything else is a misunderstanding of scope.
+		if arg != "./..." && arg != "." {
+			fmt.Fprintf(stderr, "imcf-lint: unsupported package pattern %q (the suite always analyzes the whole module; use -C to pick the module)\n", arg)
+			return 2
+		}
+	}
+
+	mod, err := analysis.LoadModule(*root)
+	if err != nil {
+		fmt.Fprintf(stderr, "imcf-lint: %v\n", err)
+		return 2
+	}
+	var rules []analysis.Rule
+	for _, r := range analysis.AllRules() {
+		if *enabled[r.Name()] {
+			rules = append(rules, r)
+		}
+	}
+	findings := analysis.Run(mod, rules)
+
+	blPath := *baselinePath
+	if !filepath.IsAbs(blPath) {
+		blPath = filepath.Join(mod.Root, blPath)
+	}
+	if *writeBaseline {
+		if err := os.WriteFile(blPath, []byte(analysis.FormatBaseline(findings)), 0o644); err != nil {
+			fmt.Fprintf(stderr, "imcf-lint: %v\n", err)
+			return 2
+		}
+		fmt.Fprintf(stdout, "imcf-lint: wrote %d finding(s) to %s\n", len(findings), blPath)
+		return 0
+	}
+	baseline, err := analysis.LoadBaseline(blPath)
+	if err != nil {
+		fmt.Fprintf(stderr, "imcf-lint: %v\n", err)
+		return 2
+	}
+	if stale := baseline.Stale(mod.Root); len(stale) > 0 {
+		for _, f := range stale {
+			fmt.Fprintf(stderr, "imcf-lint: stale baseline entry: %s no longer exists\n", f)
+		}
+		fmt.Fprintf(stderr, "imcf-lint: regenerate the baseline with -write-baseline\n")
+		return 2
+	}
+	remaining := baseline.Filter(findings)
+
+	if *jsonOut {
+		out := struct {
+			Module     string             `json:"module"`
+			Findings   []analysis.Finding `json:"findings"`
+			Suppressed int                `json:"suppressed"`
+		}{mod.Path, remaining, len(findings) - len(remaining)}
+		if out.Findings == nil {
+			out.Findings = []analysis.Finding{}
+		}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "imcf-lint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, f := range remaining {
+			fmt.Fprintln(stdout, f.String())
+		}
+		if len(remaining) > 0 {
+			fmt.Fprintf(stderr, "imcf-lint: %d finding(s)\n", len(remaining))
+		}
+	}
+	if len(remaining) > 0 {
+		return 1
+	}
+	return 0
+}

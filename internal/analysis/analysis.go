@@ -1,0 +1,228 @@
+// Package analysis implements imcf-lint: a project-native static
+// analysis suite that machine-checks the repository's cross-cutting
+// invariants — the allocation-free planner and metrics hot paths
+// (//imcf:noalloc), replay determinism in the simulation packages,
+// metrics-registry hygiene, discarded errors on the serving path, and
+// mixed atomic/plain access to shared state.
+//
+// The framework is standard-library only: packages are parsed with
+// go/parser and type-checked with go/types using the source importer,
+// so the linter builds and runs wherever the repository does, with no
+// dependency on golang.org/x/tools.
+//
+// Two comment directives steer the rules:
+//
+//	//imcf:noalloc              annotates a function whose body must
+//	                            stay allocation-free (doc comment)
+//	//imcf:allow <rule> <why>   waives every <rule> finding on the same
+//	                            or the following line
+//
+// The err-drop rule additionally honors the repository's pre-existing
+// //nolint:errcheck convention.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Rule names, as used by waiver comments, enable flags and baselines.
+const (
+	RuleNoalloc        = "noalloc"
+	RuleDeterminism    = "determinism"
+	RuleMetricsHygiene = "metrics-hygiene"
+	RuleErrDrop        = "err-drop"
+	RuleAtomicMix      = "atomic-mix"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Rule string `json:"rule"`
+	// File is the module-relative, slash-separated file path.
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	// Message describes the violation.
+	Message string `json:"message"`
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.File, f.Line, f.Col, f.Rule, f.Message)
+}
+
+// Rule is one check of the suite. Rules inspect the whole module so
+// cross-package rules (metrics-hygiene, atomic-mix) fit the same shape
+// as per-function ones.
+type Rule interface {
+	// Name is the rule's identifier ("noalloc").
+	Name() string
+	// Doc is a one-line description shown by the driver.
+	Doc() string
+	// Check inspects the module and reports findings.
+	Check(m *Module, rep *Reporter)
+}
+
+// AllRules returns the full suite in its canonical order.
+func AllRules() []Rule {
+	return []Rule{
+		noallocRule{},
+		determinismRule{},
+		metricsHygieneRule{},
+		errDropRule{},
+		atomicMixRule{},
+	}
+}
+
+// Reporter collects findings and applies waiver directives.
+type Reporter struct {
+	fset *token.FileSet
+	root string
+	// waived maps file → line → rule names waived on that line.
+	waived   map[string]map[int]map[string]bool
+	findings []Finding
+}
+
+// NewReporter builds a reporter for the module, indexing every waiver
+// comment (//imcf:allow and //nolint:errcheck) up front.
+func NewReporter(m *Module) *Reporter {
+	r := &Reporter{
+		fset:   m.Fset,
+		root:   m.Root,
+		waived: make(map[string]map[int]map[string]bool),
+	}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			r.indexWaivers(f)
+		}
+	}
+	return r
+}
+
+// indexWaivers records the waiver directives of one file.
+func (r *Reporter) indexWaivers(f *ast.File) {
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+			var rule string
+			switch {
+			case strings.HasPrefix(text, "imcf:allow"):
+				fields := strings.Fields(strings.TrimPrefix(text, "imcf:allow"))
+				if len(fields) == 0 {
+					continue
+				}
+				rule = fields[0]
+			case strings.HasPrefix(text, "nolint") && strings.Contains(text, "errcheck"):
+				rule = RuleErrDrop
+			default:
+				continue
+			}
+			pos := r.fset.Position(c.Pos())
+			file := r.relFile(pos.Filename)
+			if r.waived[file] == nil {
+				r.waived[file] = make(map[int]map[string]bool)
+			}
+			if r.waived[file][pos.Line] == nil {
+				r.waived[file][pos.Line] = make(map[string]bool)
+			}
+			r.waived[file][pos.Line][rule] = true
+		}
+	}
+}
+
+// relFile converts an absolute file name to the module-relative form
+// used in findings and baselines.
+func (r *Reporter) relFile(filename string) string {
+	if rel, err := filepath.Rel(r.root, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// Waived reports whether the rule is waived at the file's line: by a
+// trailing directive on the line itself or a directive on the line
+// directly above.
+func (r *Reporter) Waived(rule, file string, line int) bool {
+	byLine := r.waived[file]
+	return byLine[line][rule] || byLine[line-1][rule]
+}
+
+// Report records a finding at pos unless a waiver covers it.
+func (r *Reporter) Report(pos token.Pos, rule, format string, args ...any) {
+	p := r.fset.Position(pos)
+	file := r.relFile(p.Filename)
+	if r.Waived(rule, file, p.Line) {
+		return
+	}
+	r.findings = append(r.findings, Finding{
+		Rule:    rule,
+		File:    file,
+		Line:    p.Line,
+		Col:     p.Column,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Findings returns the collected findings sorted by file, line, column
+// and rule.
+func (r *Reporter) Findings() []Finding {
+	sort.Slice(r.findings, func(i, j int) bool {
+		a, b := r.findings[i], r.findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Rule < b.Rule
+	})
+	return r.findings
+}
+
+// Run executes the given rules over the module and returns the sorted
+// findings.
+func Run(m *Module, rules []Rule) []Finding {
+	rep := NewReporter(m)
+	for _, rule := range rules {
+		rule.Check(m, rep)
+	}
+	return rep.Findings()
+}
+
+// noallocAnnotated reports whether the function declaration carries the
+// //imcf:noalloc contract in its doc comment.
+func noallocAnnotated(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == "imcf:noalloc" || strings.HasPrefix(text, "imcf:noalloc ") {
+			return true
+		}
+	}
+	return false
+}
+
+// funcName renders a declaration's name, with the receiver type for
+// methods ("Planner.hillClimb").
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	t := fd.Recv.List[0].Type
+	if star, ok := t.(*ast.StarExpr); ok {
+		t = star.X
+	}
+	if id, ok := t.(*ast.Ident); ok {
+		return id.Name + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}

@@ -1,0 +1,96 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// atomicMixRule enforces the memory-model discipline behind the metrics
+// hot path: once any code site accesses a variable or struct field
+// through sync/atomic (atomic.AddInt64(&x, 1), atomic.LoadUint64(&f.n),
+// ...), every other access must also be atomic. A plain load can
+// observe a torn or stale value, and a plain store races with the
+// atomic ones — the race detector only catches the interleavings a
+// given test happens to produce, while this rule catches the pattern
+// statically, module-wide. Typed atomics (atomic.Int64 and friends)
+// make the mix inexpressible and are the repository's preferred form;
+// the rule exists for the pointer-style call sites that remain.
+type atomicMixRule struct{}
+
+func (atomicMixRule) Name() string { return RuleAtomicMix }
+func (atomicMixRule) Doc() string {
+	return "variables accessed via sync/atomic must never be accessed plainly"
+}
+
+func (atomicMixRule) Check(m *Module, rep *Reporter) {
+	atomicObjs := make(map[types.Object]bool)
+	// exempt marks the &target operands inside sync/atomic calls so the
+	// second pass does not flag the atomic accesses themselves.
+	exempt := make(map[ast.Expr]bool)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			collectAtomicTargets(pkg.Info, f, atomicObjs, exempt)
+		}
+	}
+	if len(atomicObjs) == 0 {
+		return
+	}
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			checkPlainAccess(pkg.Info, rep, f, atomicObjs, exempt)
+		}
+	}
+}
+
+// collectAtomicTargets records the object behind every &x passed to a
+// sync/atomic function.
+func collectAtomicTargets(info *types.Info, f *ast.File, objs map[types.Object]bool, exempt map[ast.Expr]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, _, ok := pkgFuncCall(info, call)
+		if !ok || pkgPath != "sync/atomic" {
+			return true
+		}
+		for _, arg := range call.Args {
+			un, isAddr := arg.(*ast.UnaryExpr)
+			if !isAddr || un.Op != token.AND {
+				continue
+			}
+			if obj := exprObj(info, un.X); obj != nil {
+				objs[obj] = true
+				exempt[un.X] = true
+			}
+		}
+		return true
+	})
+}
+
+// checkPlainAccess reports every read or write of an atomic object that
+// is not itself one of the collected atomic call operands.
+func checkPlainAccess(info *types.Info, rep *Reporter, f *ast.File, objs map[types.Object]bool, exempt map[ast.Expr]bool) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		e, ok := n.(ast.Expr)
+		if !ok {
+			return true
+		}
+		if exempt[e] {
+			return false
+		}
+		switch e.(type) {
+		case *ast.SelectorExpr, *ast.Ident:
+		default:
+			return true
+		}
+		obj := exprObj(info, e)
+		if obj == nil || !objs[obj] {
+			return true
+		}
+		rep.Report(e.Pos(), RuleAtomicMix,
+			"%s is accessed atomically elsewhere; this plain access races with it", obj.Name())
+		return false
+	})
+}

@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is a committed set of grandfathered findings. Entries are
+// keyed by rule, file and message — deliberately not by line number, so
+// unrelated edits to a file do not invalidate its baseline. Each entry
+// suppresses one matching finding; two identical findings need two
+// identical lines.
+//
+// The on-disk format is one entry per line, tab-separated:
+//
+//	rule<TAB>file<TAB>message
+//
+// with '#' comments and blank lines ignored.
+type Baseline struct {
+	// counts maps entry key → number of findings it may suppress.
+	counts map[string]int
+	// files lists the distinct file paths mentioned, for staleness
+	// checks.
+	files []string
+}
+
+func baselineKey(rule, file, message string) string {
+	return rule + "\t" + file + "\t" + message
+}
+
+// LoadBaseline reads a baseline file. A missing file is an empty
+// baseline, so a repository with nothing grandfathered needs no file
+// at all.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{counts: make(map[string]int)}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return b, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	seenFile := make(map[string]bool)
+	for i, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		parts := strings.SplitN(line, "\t", 3)
+		if len(parts) != 3 {
+			return nil, fmt.Errorf("%s:%d: malformed baseline entry (want rule<TAB>file<TAB>message)", path, i+1)
+		}
+		b.counts[baselineKey(parts[0], parts[1], parts[2])]++
+		if !seenFile[parts[1]] {
+			seenFile[parts[1]] = true
+			b.files = append(b.files, parts[1])
+		}
+	}
+	return b, nil
+}
+
+// Filter returns the findings not suppressed by the baseline, in their
+// original order.
+func (b *Baseline) Filter(findings []Finding) []Finding {
+	if len(b.counts) == 0 {
+		return findings
+	}
+	remaining := make(map[string]int, len(b.counts))
+	for k, n := range b.counts {
+		remaining[k] = n
+	}
+	var out []Finding
+	for _, f := range findings {
+		k := baselineKey(f.Rule, f.File, f.Message)
+		if remaining[k] > 0 {
+			remaining[k]--
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// Stale returns the baselined file paths that no longer exist under
+// root — drift that means the baseline shrank out from under its
+// entries and must be regenerated.
+func (b *Baseline) Stale(root string) []string {
+	var stale []string
+	for _, f := range b.files {
+		if _, err := os.Stat(filepath.Join(root, filepath.FromSlash(f))); os.IsNotExist(err) {
+			stale = append(stale, f)
+		}
+	}
+	sort.Strings(stale)
+	return stale
+}
+
+// FormatBaseline renders findings in the baseline file format, sorted,
+// with a header comment documenting the format.
+func FormatBaseline(findings []Finding) string {
+	var sb strings.Builder
+	sb.WriteString("# imcf-lint baseline: grandfathered findings, one per line.\n")
+	sb.WriteString("# Format: rule<TAB>file<TAB>message. Delete lines as findings are fixed.\n")
+	lines := make([]string, 0, len(findings))
+	for _, f := range findings {
+		lines = append(lines, baselineKey(f.Rule, f.File, f.Message))
+	}
+	sort.Strings(lines)
+	for _, l := range lines {
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}

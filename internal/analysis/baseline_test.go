@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestLoadBaselineMissingFile(t *testing.T) {
+	b, err := LoadBaseline(filepath.Join(t.TempDir(), "nope.baseline"))
+	if err != nil {
+		t.Fatalf("missing baseline must be empty, not an error: %v", err)
+	}
+	in := []Finding{{Rule: "noalloc", File: "a.go", Message: "m"}}
+	if got := b.Filter(in); !reflect.DeepEqual(got, in) {
+		t.Errorf("empty baseline filtered findings: %v", got)
+	}
+	if stale := b.Stale(t.TempDir()); len(stale) != 0 {
+		t.Errorf("empty baseline reported stale entries: %v", stale)
+	}
+}
+
+func TestLoadBaselineMalformed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(path, []byte("only-one-field\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadBaseline(path); err == nil || !strings.Contains(err.Error(), "malformed") {
+		t.Errorf("want malformed-entry error, got %v", err)
+	}
+}
+
+func TestBaselineFilterCounts(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "lint.baseline")
+	content := "# header comment\n\n" +
+		"err-drop\tpkg/f.go\terror returned by f.Close is discarded\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := Finding{Rule: "err-drop", File: "pkg/f.go", Line: 10, Message: "error returned by f.Close is discarded"}
+	dup := same
+	dup.Line = 20
+	other := Finding{Rule: "noalloc", File: "pkg/f.go", Message: "closure allocates its environment"}
+	got := b.Filter([]Finding{same, dup, other})
+	// One baseline line suppresses exactly one finding: the duplicate at
+	// line 20 and the unrelated rule survive.
+	if len(got) != 2 || got[0] != dup || got[1] != other {
+		t.Errorf("Filter = %+v, want [dup other]", got)
+	}
+}
+
+func TestBaselineStale(t *testing.T) {
+	root := t.TempDir()
+	if err := os.MkdirAll(filepath.Join(root, "pkg"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(root, "pkg", "live.go"), []byte("package pkg\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(root, "lint.baseline")
+	content := "noalloc\tpkg/live.go\tm1\n" +
+		"noalloc\tpkg/gone.go\tm2\n" +
+		"err-drop\tpkg/gone.go\tm3\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Stale(root); !reflect.DeepEqual(got, []string{"pkg/gone.go"}) {
+		t.Errorf("Stale = %v, want [pkg/gone.go]", got)
+	}
+}
+
+func TestFormatBaselineRoundTrip(t *testing.T) {
+	findings := []Finding{
+		{Rule: "noalloc", File: "b.go", Line: 2, Message: "late"},
+		{Rule: "atomic-mix", File: "a.go", Line: 9, Message: "early"},
+	}
+	text := FormatBaseline(findings)
+	if !strings.HasPrefix(text, "#") {
+		t.Error("formatted baseline lacks the header comment")
+	}
+	// Entries are sorted independent of input order.
+	iA := strings.Index(text, "atomic-mix\ta.go\tearly")
+	iB := strings.Index(text, "noalloc\tb.go\tlate")
+	if iA < 0 || iB < 0 || iA > iB {
+		t.Errorf("formatted baseline wrong or unsorted:\n%s", text)
+	}
+	path := filepath.Join(t.TempDir(), "lint.baseline")
+	if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatalf("formatted baseline does not re-parse: %v", err)
+	}
+	if got := b.Filter(findings); len(got) != 0 {
+		t.Errorf("round-tripped baseline failed to suppress its own findings: %v", got)
+	}
+}

@@ -1,0 +1,101 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errDropPackages are the serving-path subtrees where a silently
+// dropped error loses data or masks a failed shutdown: the daemon, the
+// live controller, the cloud relay and the persistent store.
+var errDropPackages = []string{
+	"internal/daemon",
+	"internal/controller",
+	"internal/cloud",
+	"internal/store",
+}
+
+// errDropRule flags calls on the serving path whose error result is
+// discarded: a call used as a bare statement, or an error assigned to
+// the blank identifier. Deferred and go-routine calls are exempt — the
+// language offers no direct way to consume their results, and the
+// repository's convention for intentional drops there (and anywhere
+// else) is an explicit //nolint:errcheck or //imcf:allow err-drop
+// waiver with a justification.
+type errDropRule struct{}
+
+func (errDropRule) Name() string { return RuleErrDrop }
+func (errDropRule) Doc() string {
+	return "serving-path packages must not discard error returns"
+}
+
+func (errDropRule) Check(m *Module, rep *Reporter) {
+	for _, pkg := range m.Pkgs {
+		if !inAnyScope(pkg, errDropPackages) {
+			continue
+		}
+		for _, f := range pkg.Files {
+			checkErrDropFile(pkg.Info, rep, f)
+		}
+	}
+}
+
+func checkErrDropFile(info *types.Info, rep *Reporter, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.DeferStmt, *ast.GoStmt:
+			return false
+		case *ast.ExprStmt:
+			call, ok := x.X.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if positions, _ := returnsError(info, call); len(positions) > 0 {
+				rep.Report(call.Pos(), RuleErrDrop,
+					"error returned by %s is discarded", types.ExprString(call.Fun))
+			}
+		case *ast.AssignStmt:
+			checkErrDropAssign(info, rep, x)
+		}
+		return true
+	})
+}
+
+// checkErrDropAssign flags error results assigned to the blank
+// identifier, in both the single-call multi-assign form
+// (v, _ := f()) and the pairwise form (_ = f()).
+func checkErrDropAssign(info *types.Info, rep *Reporter, as *ast.AssignStmt) {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		positions, _ := returnsError(info, call)
+		for _, p := range positions {
+			if p < len(as.Lhs) && isBlank(as.Lhs[p]) {
+				rep.Report(call.Pos(), RuleErrDrop,
+					"error returned by %s assigned to _", types.ExprString(call.Fun))
+			}
+		}
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBlank(as.Lhs[i]) {
+			continue
+		}
+		if positions, n := returnsError(info, call); n == 1 && len(positions) == 1 {
+			rep.Report(call.Pos(), RuleErrDrop,
+				"error returned by %s assigned to _", types.ExprString(call.Fun))
+		}
+	}
+}
+
+// isBlank reports whether the expression is the blank identifier.
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

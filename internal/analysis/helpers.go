@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgFuncCall resolves a call of the form pkgname.Func(...) to the
+// imported package's path and the function name. It returns ok=false
+// for method calls, local calls, builtins and conversions.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, name string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isIdent := sel.X.(*ast.Ident)
+	if !isIdent {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// calleeSignature returns the signature of an ordinary call, and
+// ok=false for builtins and type conversions.
+func calleeSignature(info *types.Info, call *ast.CallExpr) (*types.Signature, bool) {
+	tv, found := info.Types[call.Fun]
+	if !found || tv.IsType() || tv.IsBuiltin() {
+		return nil, false
+	}
+	sig, isSig := tv.Type.Underlying().(*types.Signature)
+	return sig, isSig
+}
+
+// errorType is the predeclared error interface.
+var errorType = types.Universe.Lookup("error").Type()
+
+// isErrorType reports whether t is exactly the error interface.
+func isErrorType(t types.Type) bool {
+	return t != nil && types.Identical(t, errorType)
+}
+
+// returnsError reports whether the call's result tuple contains an
+// error, and at which positions.
+func returnsError(info *types.Info, call *ast.CallExpr) (positions []int, n int) {
+	sig, ok := calleeSignature(info, call)
+	if !ok {
+		return nil, 0
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			positions = append(positions, i)
+		}
+	}
+	return positions, res.Len()
+}
+
+// exprObj resolves an identifier or field selector to its object: the
+// *types.Var of a variable or struct field, or nil.
+func exprObj(info *types.Info, e ast.Expr) types.Object {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		if s, ok := info.Selections[x]; ok {
+			return s.Obj()
+		}
+		return info.Uses[x.Sel] // package-qualified name
+	case *ast.ParenExpr:
+		return exprObj(info, x.X)
+	}
+	return nil
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isFloatType reports whether t's underlying type is a floating-point
+// basic type.
+func isFloatType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isStringType reports whether t's underlying type is string.
+func isStringType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}

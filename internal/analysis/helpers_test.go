@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"reflect"
+	"testing"
+)
+
+func TestRelFile(t *testing.T) {
+	r := &Reporter{root: "/repo"}
+	if got := r.relFile("/repo/internal/a.go"); got != "internal/a.go" {
+		t.Errorf("relFile inside root = %q", got)
+	}
+	if got := r.relFile("/elsewhere/b.go"); got != "/elsewhere/b.go" {
+		t.Errorf("relFile outside root = %q", got)
+	}
+}
+
+func TestFindingsSortOrder(t *testing.T) {
+	r := &Reporter{findings: []Finding{
+		{Rule: "b", File: "z.go", Line: 1, Col: 1},
+		{Rule: "a", File: "a.go", Line: 2, Col: 1},
+		{Rule: "a", File: "a.go", Line: 1, Col: 9},
+		{Rule: "a", File: "a.go", Line: 1, Col: 2},
+		{Rule: "z", File: "a.go", Line: 1, Col: 2},
+	}}
+	got := r.Findings()
+	want := []Finding{
+		{Rule: "a", File: "a.go", Line: 1, Col: 2},
+		{Rule: "z", File: "a.go", Line: 1, Col: 2},
+		{Rule: "a", File: "a.go", Line: 1, Col: 9},
+		{Rule: "a", File: "a.go", Line: 2, Col: 1},
+		{Rule: "b", File: "z.go", Line: 1, Col: 1},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Findings() order = %+v", got)
+	}
+}
+
+func TestNilTypeHelpers(t *testing.T) {
+	if isMapType(nil) {
+		t.Error("isMapType(nil)")
+	}
+	if isStringType(nil) {
+		t.Error("isStringType(nil)")
+	}
+	if isErrorType(nil) {
+		t.Error("isErrorType(nil)")
+	}
+}
+
+func TestPkgBase(t *testing.T) {
+	for in, want := range map[string]string{
+		"sort":                    "sort",
+		"math/rand":               "rand",
+		"golang.org/x/exp/slices": "slices",
+	} {
+		if got := pkgBase(in); got != want {
+			t.Errorf("pkgBase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestFuncName(t *testing.T) {
+	src := `package p
+func Plain() {}
+func (t T) Value() {}
+func (t *T) Pointer() {}
+func ((T)) Odd() {}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", src, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]bool{"Plain": true, "T.Value": true, "T.Pointer": true, "Odd": true}
+	for _, d := range f.Decls {
+		fd, ok := d.(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if name := funcName(fd); !want[name] {
+			t.Errorf("funcName rendered %q", name)
+		}
+	}
+}

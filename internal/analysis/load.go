@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Package is one type-checked package of the module under analysis.
+type Package struct {
+	// Path is the package's import path.
+	Path string
+	// Dir is the package directory, absolute.
+	Dir string
+	// Files are the parsed non-test sources, sorted by file name.
+	Files []*ast.File
+	// Types is the type-checked package.
+	Types *types.Package
+	// Info holds the type-checker's fact tables for Files.
+	Info *types.Info
+}
+
+// Module is a fully loaded and type-checked Go module.
+type Module struct {
+	// Root is the absolute directory containing go.mod.
+	Root string
+	// Path is the module path declared in go.mod.
+	Path string
+	// Fset positions every file in every package.
+	Fset *token.FileSet
+	// Pkgs lists the module's packages in dependency order.
+	Pkgs []*Package
+}
+
+// Lookup returns the module package with the given import path, or nil.
+func (m *Module) Lookup(path string) *Package {
+	for _, p := range m.Pkgs {
+		if p.Path == path {
+			return p
+		}
+	}
+	return nil
+}
+
+// modulePath extracts the module path from go.mod content.
+func modulePath(gomod []byte) (string, error) {
+	for _, line := range strings.Split(string(gomod), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module"); ok {
+			if rest == "" || (rest[0] != ' ' && rest[0] != '\t') {
+				continue // identifier merely starts with "module"
+			}
+			p := strings.TrimSpace(rest)
+			if p != "" {
+				return strings.Trim(p, `"`), nil
+			}
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in go.mod")
+}
+
+// skipDir reports whether a directory is outside the analyzed module
+// source: testdata trees, VCS metadata, vendored or hidden directories.
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" ||
+		strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")
+}
+
+// sourceFile reports whether name is a non-test Go source file.
+func sourceFile(name string) bool {
+	return strings.HasSuffix(name, ".go") && !strings.HasSuffix(name, "_test.go")
+}
+
+// LoadModule parses and type-checks every non-test package under the
+// module rooted at root, using only the standard library: go/parser for
+// syntax and go/types with the source importer for the standard
+// library's type information. Test files and testdata trees are not
+// loaded; the lint rules govern production sources.
+func LoadModule(root string) (*Module, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	gomod, err := os.ReadFile(filepath.Join(absRoot, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("analysis: %s is not a module root: %w", absRoot, err)
+	}
+	modPath, err := modulePath(gomod)
+	if err != nil {
+		return nil, err
+	}
+
+	m := &Module{Root: absRoot, Path: modPath, Fset: token.NewFileSet()}
+	byPath := make(map[string]*Package)
+	err = filepath.WalkDir(absRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		if path != absRoot && skipDir(d.Name()) {
+			return filepath.SkipDir
+		}
+		pkg, err := parseDir(m.Fset, absRoot, modPath, path)
+		if err != nil {
+			return err
+		}
+		if pkg != nil {
+			byPath[pkg.Path] = pkg
+			m.Pkgs = append(m.Pkgs, pkg)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Pkgs) == 0 {
+		return nil, fmt.Errorf("analysis: no Go packages under %s", absRoot)
+	}
+	if err := m.sortByDeps(byPath); err != nil {
+		return nil, err
+	}
+	if err := m.typeCheck(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// parseDir parses the non-test Go files of one directory into a Package
+// (without type information yet). Directories without Go files yield nil.
+func parseDir(fset *token.FileSet, root, modPath, dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && sourceFile(e.Name()) {
+			names = append(names, e.Name())
+		}
+	}
+	if len(names) == 0 {
+		return nil, nil
+	}
+	sort.Strings(names)
+
+	rel, err := filepath.Rel(root, dir)
+	if err != nil {
+		return nil, err
+	}
+	path := modPath
+	if rel != "." {
+		path = modPath + "/" + filepath.ToSlash(rel)
+	}
+	pkg := &Package{Path: path, Dir: dir}
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		pkg.Files = append(pkg.Files, f)
+	}
+	for _, f := range pkg.Files[1:] {
+		if f.Name.Name != pkg.Files[0].Name.Name {
+			return nil, fmt.Errorf("analysis: %s: conflicting package names %s and %s",
+				dir, pkg.Files[0].Name.Name, f.Name.Name)
+		}
+	}
+	return pkg, nil
+}
+
+// imports lists a package's distinct import paths.
+func (p *Package) imports() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, f := range p.Files {
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[path] {
+				continue
+			}
+			seen[path] = true
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sortByDeps orders m.Pkgs so every package follows its intra-module
+// dependencies (a topological sort; import cycles are reported).
+func (m *Module) sortByDeps(byPath map[string]*Package) error {
+	const (
+		visiting = 1
+		done     = 2
+	)
+	state := make(map[string]int)
+	var order []*Package
+	var visit func(p *Package) error
+	visit = func(p *Package) error {
+		switch state[p.Path] {
+		case done:
+			return nil
+		case visiting:
+			return fmt.Errorf("analysis: import cycle through %s", p.Path)
+		}
+		state[p.Path] = visiting
+		for _, dep := range p.imports() {
+			if q, ok := byPath[dep]; ok {
+				if err := visit(q); err != nil {
+					return err
+				}
+			}
+		}
+		state[p.Path] = done
+		order = append(order, p)
+		return nil
+	}
+	// Deterministic root order: by import path.
+	sorted := make([]*Package, len(m.Pkgs))
+	copy(sorted, m.Pkgs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Path < sorted[j].Path })
+	for _, p := range sorted {
+		if err := visit(p); err != nil {
+			return err
+		}
+	}
+	m.Pkgs = order
+	return nil
+}
+
+// moduleImporter resolves intra-module imports from the packages already
+// type-checked and everything else (the standard library — the module
+// has no external dependencies) through the source importer.
+type moduleImporter struct {
+	mod map[string]*types.Package
+	std types.Importer
+}
+
+func (mi *moduleImporter) Import(path string) (*types.Package, error) {
+	if p, ok := mi.mod[path]; ok {
+		return p, nil
+	}
+	return mi.std.Import(path)
+}
+
+// typeCheck type-checks every package in dependency order.
+func (m *Module) typeCheck() error {
+	imp := &moduleImporter{
+		mod: make(map[string]*types.Package, len(m.Pkgs)),
+		std: importer.ForCompiler(m.Fset, "source", nil),
+	}
+	for _, p := range m.Pkgs {
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.Path, m.Fset, p.Files, info)
+		if err != nil {
+			return fmt.Errorf("analysis: type-checking %s: %w", p.Path, err)
+		}
+		p.Types = tpkg
+		p.Info = info
+		imp.mod[p.Path] = tpkg
+	}
+	return nil
+}
+
+// InScope reports whether the package's import path denotes the named
+// project subtree: an exact match or a "/…" suffix match, so rules keyed
+// to e.g. "internal/core" fire both on the real module and on fixture
+// modules that mirror the layout.
+func (p *Package) InScope(subtree string) bool {
+	return p.Path == subtree || strings.HasSuffix(p.Path, "/"+subtree)
+}

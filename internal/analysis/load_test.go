@@ -1,0 +1,145 @@
+package analysis
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// writeModule materializes a throwaway module from path→content pairs.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	root := t.TempDir()
+	for rel, content := range files {
+		path := filepath.Join(root, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root
+}
+
+func TestModulePath(t *testing.T) {
+	for _, tc := range []struct {
+		gomod string
+		want  string
+		ok    bool
+	}{
+		{"module example.com/m\n\ngo 1.21\n", "example.com/m", true},
+		{"// comment\nmodule \"quoted.example/m\"\n", "quoted.example/m", true},
+		{"go 1.21\n", "", false},
+		{"modulex example.com/m\n", "", false},
+	} {
+		got, err := modulePath([]byte(tc.gomod))
+		if tc.ok && (err != nil || got != tc.want) {
+			t.Errorf("modulePath(%q) = %q, %v; want %q", tc.gomod, got, err, tc.want)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("modulePath(%q) succeeded with %q; want error", tc.gomod, got)
+		}
+	}
+}
+
+func TestLoadModuleErrors(t *testing.T) {
+	t.Run("not-a-module", func(t *testing.T) {
+		if _, err := LoadModule(t.TempDir()); err == nil {
+			t.Error("loading a directory without go.mod succeeded")
+		}
+	})
+	t.Run("no-packages", func(t *testing.T) {
+		root := writeModule(t, map[string]string{"go.mod": "module empty.test\n"})
+		if _, err := LoadModule(root); err == nil || !strings.Contains(err.Error(), "no Go packages") {
+			t.Errorf("want no-packages error, got %v", err)
+		}
+	})
+	t.Run("parse-error", func(t *testing.T) {
+		root := writeModule(t, map[string]string{
+			"go.mod":  "module broken.test\n",
+			"main.go": "package main\nfunc {\n",
+		})
+		if _, err := LoadModule(root); err == nil {
+			t.Error("syntactically broken module loaded")
+		}
+	})
+	t.Run("conflicting-package-names", func(t *testing.T) {
+		root := writeModule(t, map[string]string{
+			"go.mod": "module conflict.test\n",
+			"a.go":   "package one\n",
+			"b.go":   "package two\n",
+		})
+		if _, err := LoadModule(root); err == nil || !strings.Contains(err.Error(), "conflicting package names") {
+			t.Errorf("want conflicting-package-names error, got %v", err)
+		}
+	})
+	t.Run("import-cycle", func(t *testing.T) {
+		root := writeModule(t, map[string]string{
+			"go.mod": "module cycle.test\n",
+			"a/a.go": "package a\n\nimport _ \"cycle.test/b\"\n",
+			"b/b.go": "package b\n\nimport _ \"cycle.test/a\"\n",
+		})
+		if _, err := LoadModule(root); err == nil || !strings.Contains(err.Error(), "import cycle") {
+			t.Errorf("want import-cycle error, got %v", err)
+		}
+	})
+	t.Run("type-error", func(t *testing.T) {
+		root := writeModule(t, map[string]string{
+			"go.mod":  "module typed.test\n",
+			"main.go": "package main\n\nvar x int = \"not an int\"\n",
+		})
+		if _, err := LoadModule(root); err == nil || !strings.Contains(err.Error(), "type-checking") {
+			t.Errorf("want type-checking error, got %v", err)
+		}
+	})
+}
+
+// TestLoadModuleSkipsNonSource verifies testdata, hidden, underscore
+// and vendor trees as well as _test.go files stay out of the load.
+func TestLoadModuleSkipsNonSource(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod":               "module skip.test\n",
+		"ok/ok.go":             "package ok\n",
+		"ok/ok_test.go":        "package ok\n\nfunc init() { var broken }\n",
+		"testdata/bad.go":      "this is not Go at all",
+		"vendor/v/v.go":        "also not Go",
+		".hidden/h.go":         "not Go either",
+		"_attic/old.go":        "ancient non-Go",
+		"ok/testdata/inner.go": "still not Go",
+	})
+	m, err := LoadModule(root)
+	if err != nil {
+		t.Fatalf("skip dirs leaked into the load: %v", err)
+	}
+	if len(m.Pkgs) != 1 || m.Pkgs[0].Path != "skip.test/ok" {
+		t.Errorf("loaded packages = %+v, want exactly skip.test/ok", m.Pkgs)
+	}
+}
+
+// TestLoadModuleDependencyOrder checks intra-module imports are
+// type-checked before their importers.
+func TestLoadModuleDependencyOrder(t *testing.T) {
+	root := writeModule(t, map[string]string{
+		"go.mod": "module order.test\n",
+		"a/a.go": "package a\n\nimport \"order.test/b\"\n\nvar X = b.Y\n",
+		"b/b.go": "package b\n\nvar Y = 7\n",
+	})
+	m, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var paths []string
+	for _, p := range m.Pkgs {
+		paths = append(paths, p.Path)
+	}
+	if len(paths) != 2 || paths[0] != "order.test/b" || paths[1] != "order.test/a" {
+		t.Errorf("dependency order = %v, want [order.test/b order.test/a]", paths)
+	}
+	for _, p := range m.Pkgs {
+		if p.Types == nil || p.Info == nil {
+			t.Errorf("%s missing type information", p.Path)
+		}
+	}
+}

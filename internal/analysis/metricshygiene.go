@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"path/filepath"
+)
+
+// metricsHygieneRule keeps the metric registry honest in both
+// directions: every family declared in internal/metrics/families.go
+// must be observed at least once outside its declaration file (a
+// registered-but-never-fed family silently exports zeros forever), and
+// every labelled-counter call site must pass exactly as many label
+// values as the family declares (the registry panics on mismatch at
+// runtime; the rule catches it at lint time).
+type metricsHygieneRule struct{}
+
+func (metricsHygieneRule) Name() string { return RuleMetricsHygiene }
+func (metricsHygieneRule) Doc() string {
+	return "metric families must be observed and label arities must match declarations"
+}
+
+// vecConstructors maps constructor names to the number of leading
+// non-label arguments (name, help).
+var vecConstructors = map[string]int{
+	"NewCounterVec": 2,
+	"CounterVec":    2,
+}
+
+func (metricsHygieneRule) Check(m *Module, rep *Reporter) {
+	families := collectFamilies(m)
+	vecs := collectVecArities(m)
+	checkObservations(m, rep, families)
+	checkWithArities(m, rep, vecs)
+}
+
+// family is one package-level metric family declared in families.go.
+type family struct {
+	name string
+	pos  ast.Node
+	obj  types.Object
+}
+
+// collectFamilies gathers the package-level vars of families.go in the
+// module's internal/metrics package.
+func collectFamilies(m *Module) []family {
+	var out []family
+	for _, pkg := range m.Pkgs {
+		if !pkg.InScope("internal/metrics") {
+			continue
+		}
+		for _, f := range pkg.Files {
+			if filepath.Base(m.Fset.Position(f.Pos()).Filename) != "families.go" {
+				continue
+			}
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if obj := pkg.Info.Defs[name]; obj != nil {
+							out = append(out, family{name: name.Name, pos: name, obj: obj})
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkObservations reports families never used outside families.go.
+func checkObservations(m *Module, rep *Reporter, families []family) {
+	if len(families) == 0 {
+		return
+	}
+	used := make(map[types.Object]bool)
+	for _, pkg := range m.Pkgs {
+		for id, obj := range pkg.Info.Uses {
+			if filepath.Base(m.Fset.Position(id.Pos()).Filename) == "families.go" {
+				continue
+			}
+			used[obj] = true
+		}
+	}
+	for _, fam := range families {
+		if !used[fam.obj] {
+			rep.Report(fam.pos.Pos(), RuleMetricsHygiene,
+				"metric family %s is declared but has no observation site", fam.name)
+		}
+	}
+}
+
+// collectVecArities records, for every variable initialized from a
+// labelled-counter constructor, how many labels the family declares.
+func collectVecArities(m *Module) map[types.Object]int {
+	arities := make(map[types.Object]int)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.ValueSpec:
+					for i, name := range x.Names {
+						if i >= len(x.Values) {
+							break
+						}
+						recordVecArity(pkg.Info, arities, pkg.Info.Defs[name], x.Values[i])
+					}
+				case *ast.AssignStmt:
+					if len(x.Lhs) != len(x.Rhs) {
+						break
+					}
+					for i, rhs := range x.Rhs {
+						recordVecArity(pkg.Info, arities, exprDefOrUse(pkg.Info, x.Lhs[i]), rhs)
+					}
+				}
+				return true
+			})
+		}
+	}
+	return arities
+}
+
+// exprDefOrUse resolves an assignment target to its object whether the
+// statement defines (:=) or reuses (=) it.
+func exprDefOrUse(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := e.(*ast.Ident); ok {
+		if obj := info.Defs[id]; obj != nil {
+			return obj
+		}
+	}
+	return exprObj(info, e)
+}
+
+// recordVecArity inspects one initializer; if it is a labelled-counter
+// constructor call, the target's label arity is recorded.
+func recordVecArity(info *types.Info, arities map[types.Object]int, target types.Object, init ast.Expr) {
+	if target == nil {
+		return
+	}
+	if n, ok := vecCallArity(info, init); ok {
+		arities[target] = n
+	}
+}
+
+// vecCallArity returns the label count of a NewCounterVec /
+// Registry.CounterVec call expression.
+func vecCallArity(info *types.Info, e ast.Expr) (int, bool) {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || call.Ellipsis.IsValid() {
+		return 0, false
+	}
+	var fn string
+	if _, name, isPkgCall := pkgFuncCall(info, call); isPkgCall {
+		fn = name
+	} else if sel, isSel := call.Fun.(*ast.SelectorExpr); isSel {
+		fn = sel.Sel.Name
+	} else {
+		return 0, false
+	}
+	lead, isVec := vecConstructors[fn]
+	if !isVec || len(call.Args) < lead {
+		return 0, false
+	}
+	return len(call.Args) - lead, true
+}
+
+// checkWithArities verifies every .With(...) call against the declared
+// label arity of its receiver family.
+func checkWithArities(m *Module, rep *Reporter, arities map[types.Object]int) {
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || call.Ellipsis.IsValid() {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "With" {
+					return true
+				}
+				want, ok := withReceiverArity(pkg.Info, arities, sel.X)
+				if !ok {
+					return true
+				}
+				if len(call.Args) != want {
+					rep.Report(call.Pos(), RuleMetricsHygiene,
+						"With called with %d label value(s); family declares %d label(s)",
+						len(call.Args), want)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// withReceiverArity resolves the receiver of a With call to a declared
+// family arity: either a variable holding a vec, or a chained
+// constructor call NewCounterVec(...).With(...).
+func withReceiverArity(info *types.Info, arities map[types.Object]int, recv ast.Expr) (int, bool) {
+	if obj := exprObj(info, recv); obj != nil {
+		n, ok := arities[obj]
+		return n, ok
+	}
+	return vecCallArity(info, recv)
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// noallocRule enforces the //imcf:noalloc contract: annotated functions
+// (planner scratch operations, metrics Inc/Add/Observe, span End) must
+// not introduce per-call heap allocations. The rule is syntactic with
+// type information — it flags the constructs that allocate on this
+// repository's hot paths rather than re-deriving escape analysis:
+//
+//   - composite literals of slice or map type, and composite literals
+//     whose address is taken (both escape);
+//   - append that is not a self-append (x = append(x, ...) or
+//     x = append(x[:0], ...)), the sanctioned reuse idiom whose
+//     amortized growth is provisioned by cap-guarded make;
+//   - function literals (closure environments allocate);
+//   - any fmt call and any string concatenation;
+//   - implicit or explicit conversions of concrete values to interface
+//     types (boxing allocates).
+//
+// make under a cap guard is deliberately permitted: growing scratch to
+// a high-water mark is the repository's preallocation idiom.
+type noallocRule struct{}
+
+func (noallocRule) Name() string { return RuleNoalloc }
+func (noallocRule) Doc() string {
+	return "functions annotated //imcf:noalloc must stay free of per-call heap allocations"
+}
+
+func (noallocRule) Check(m *Module, rep *Reporter) {
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !noallocAnnotated(fd) || fd.Body == nil {
+					continue
+				}
+				checkNoallocBody(pkg.Info, rep, funcName(fd), fd.Body)
+			}
+		}
+	}
+}
+
+// checkNoallocBody walks one annotated function body.
+func checkNoallocBody(info *types.Info, rep *Reporter, name string, body *ast.BlockStmt) {
+	// seen marks nodes already judged by their parent (the composite
+	// literal under &, the append call vetted by its assignment).
+	seen := make(map[ast.Node]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			rep.Report(x.Pos(), RuleNoalloc, "%s: closure allocates its environment", name)
+			return false
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if lit, ok := x.X.(*ast.CompositeLit); ok {
+					seen[lit] = true
+					rep.Report(x.Pos(), RuleNoalloc,
+						"%s: address of composite literal escapes to the heap", name)
+				}
+			}
+		case *ast.CompositeLit:
+			if seen[x] {
+				return true
+			}
+			switch info.Types[x].Type.Underlying().(type) {
+			case *types.Slice, *types.Map:
+				rep.Report(x.Pos(), RuleNoalloc,
+					"%s: %s literal allocates", name, typeKind(info.Types[x].Type))
+			}
+		case *ast.AssignStmt:
+			checkNoallocAssign(info, rep, name, x, seen)
+		case *ast.BinaryExpr:
+			if x.Op == token.ADD && isStringType(info.Types[x].Type) {
+				rep.Report(x.Pos(), RuleNoalloc, "%s: string concatenation allocates", name)
+			}
+		case *ast.CallExpr:
+			checkNoallocCall(info, rep, name, x, seen)
+		}
+		return true
+	})
+}
+
+// typeKind names the allocating composite kind for the message.
+func typeKind(t types.Type) string {
+	if _, ok := t.Underlying().(*types.Map); ok {
+		return "map"
+	}
+	return "slice"
+}
+
+// checkNoallocAssign vets append self-assignments and flags string
+// concatenation through +=.
+func checkNoallocAssign(info *types.Info, rep *Reporter, name string, as *ast.AssignStmt, seen map[ast.Node]bool) {
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 && isStringType(info.Types[as.Lhs[0]].Type) {
+		rep.Report(as.Pos(), RuleNoalloc, "%s: string concatenation allocates", name)
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, rhs := range as.Rhs {
+		call, ok := rhs.(*ast.CallExpr)
+		if !ok || !isBuiltinAppend(info, call) {
+			continue
+		}
+		seen[call] = true
+		if !selfAppend(as.Lhs[i], call) {
+			rep.Report(call.Pos(), RuleNoalloc,
+				"%s: append without preallocated capacity (not a self-append into reused scratch)", name)
+		}
+	}
+}
+
+// isBuiltinAppend reports whether the call invokes the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// selfAppend reports whether the vetted assignment grows a slice in
+// place: lhs = append(lhs, ...), lhs = append(lhs[:k], ...), or
+// lhs = append(scratch[:0], ...) — appending into a truncated view of
+// reused scratch, which is alloc-free at steady state.
+func selfAppend(lhs ast.Expr, call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	target := types.ExprString(lhs)
+	first := call.Args[0]
+	if types.ExprString(first) == target {
+		return true
+	}
+	if sl, ok := first.(*ast.SliceExpr); ok {
+		if types.ExprString(sl.X) == target {
+			return true
+		}
+		// append(scratch[:0], ...): reset-and-refill of a named
+		// scratch buffer under a different result name.
+		if low, ok := sl.Low.(*ast.BasicLit); (sl.Low == nil) || (ok && low.Value == "0") {
+			return sl.High == nil || types.ExprString(sl.High) == "0"
+		}
+	}
+	return false
+}
+
+// checkNoallocCall flags fmt calls, un-vetted appends and implicit
+// interface conversions at call boundaries.
+func checkNoallocCall(info *types.Info, rep *Reporter, name string, call *ast.CallExpr, seen map[ast.Node]bool) {
+	if isBuiltinAppend(info, call) {
+		if !seen[call] {
+			rep.Report(call.Pos(), RuleNoalloc,
+				"%s: append result discarded or not reassigned to its source", name)
+		}
+		return
+	}
+	if pkgPath, fn, ok := pkgFuncCall(info, call); ok && pkgPath == "fmt" {
+		rep.Report(call.Pos(), RuleNoalloc, "%s: fmt.%s allocates", name, fn)
+		return
+	}
+	tv, found := info.Types[call.Fun]
+	if !found || tv.IsBuiltin() {
+		return
+	}
+	if tv.IsType() {
+		// Explicit conversion T(x): boxing when T is an interface.
+		if len(call.Args) == 1 && types.IsInterface(tv.Type) &&
+			!types.IsInterface(info.Types[call.Args[0]].Type) && !info.Types[call.Args[0]].IsNil() {
+			rep.Report(call.Pos(), RuleNoalloc,
+				"%s: conversion to interface %s boxes its operand", name, tv.Type.String())
+		}
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		pt := paramType(sig, params, i, call.Ellipsis.IsValid())
+		if pt == nil || !types.IsInterface(pt) {
+			continue
+		}
+		at := info.Types[arg]
+		if at.IsNil() || at.Type == nil || types.IsInterface(at.Type) {
+			continue
+		}
+		rep.Report(arg.Pos(), RuleNoalloc,
+			"%s: implicit conversion of %s to interface %s allocates", name, at.Type.String(), pt.String())
+	}
+}
+
+// paramType resolves the declared type of argument i, unrolling
+// variadic parameters.
+func paramType(sig *types.Signature, params *types.Tuple, i int, ellipsis bool) types.Type {
+	if sig.Variadic() && i >= params.Len()-1 {
+		last := params.At(params.Len() - 1).Type()
+		if ellipsis {
+			if i == params.Len()-1 {
+				return last
+			}
+			return nil
+		}
+		sl, ok := last.(*types.Slice)
+		if !ok {
+			return nil
+		}
+		return sl.Elem()
+	}
+	if i < params.Len() {
+		return params.At(i).Type()
+	}
+	return nil
+}

@@ -1,0 +1,3 @@
+module fixtures.test
+
+go 1.21

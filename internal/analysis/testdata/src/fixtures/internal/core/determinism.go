@@ -1,0 +1,133 @@
+package core
+
+import (
+	"math/rand"
+	"slices"
+	"sort"
+	"time"
+)
+
+// ClockBad samples the wall clock — positive fixture.
+func ClockBad() int64 {
+	return time.Now().Unix()
+}
+
+// ClockWaived samples the wall clock under a documented waiver —
+// negative fixture for the directive machinery.
+func ClockWaived() int64 {
+	//imcf:allow determinism fixture: timing feeds no results
+	return time.Now().Unix()
+}
+
+// RandBad draws from the shared global generator — positive fixture.
+func RandBad() int {
+	return rand.Int()
+}
+
+// RandGood draws from a generator seeded by the caller — negative
+// fixture (constructors are the sanctioned path).
+func RandGood(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Int()
+}
+
+// SumBad accumulates floats in map order — positive fixture (rounding
+// depends on iteration order).
+func SumBad(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
+// CollectBad appends keys in map order and never sorts — positive
+// fixture.
+func CollectBad(m map[string]int) []string {
+	var names []string
+	for k := range m {
+		names = append(names, k)
+	}
+	return names
+}
+
+// CollectGood sorts after the collect loop — negative fixture (the
+// repository's collect-then-sort idiom).
+func CollectGood(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// IndexGood writes each key into its own slot — negative fixture
+// (order cannot matter).
+func IndexGood(m map[string]int, out map[string]int) {
+	for k, v := range m {
+		out[k] = v * 2
+	}
+}
+
+// CountGood accumulates integers — negative fixture (exact and
+// associative).
+func CountGood(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// FirstBad returns from inside the loop — positive fixture (the result
+// is whichever key iteration yields first).
+func FirstBad(m map[string]int) string {
+	for k := range m {
+		return k
+	}
+	return ""
+}
+
+// BreakBad stops at an arbitrary element — positive fixture.
+func BreakBad(m map[string]int, limit int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+		if total > limit {
+			break
+		}
+	}
+	return total
+}
+
+// AccumKeyedGood accumulates floats into slots keyed by the loop
+// variable — negative fixture (each key owns its slot, so order cannot
+// matter).
+func AccumKeyedGood(m map[string]float64, out map[string]float64) {
+	for k, v := range m {
+		out[k] += v
+	}
+}
+
+// CollectSlicesGood uses the slices package's sort — negative fixture
+// for the second sanctioned sort family.
+func CollectSlicesGood(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	slices.Sort(keys)
+	return keys
+}
+
+// CollectResortGood sorts a re-sliced view of the collected slice —
+// negative fixture for the slice-expression sort argument.
+func CollectResortGood(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys[:])
+	return keys
+}

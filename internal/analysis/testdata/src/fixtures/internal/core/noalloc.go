@@ -1,0 +1,86 @@
+// Package core hosts the noalloc and determinism fixtures; its import
+// path suffix puts it in both rules' scope.
+package core
+
+import "fmt"
+
+type scratch struct {
+	buf []int
+}
+
+func sink(v any) {}
+
+// NoallocBad is the positive fixture: it commits every violation class
+// the contract names.
+//
+//imcf:noalloc
+func NoallocBad(s *scratch, xs []int) string {
+	lit := []int{1, 2}                 // slice literal
+	byName := map[string]int{}         // map literal
+	esc := &scratch{}                  // address of composite literal escapes
+	grown := append(xs, 3)             // append that is not a self-append
+	f := func() int { return len(xs) } // closure
+	msg := fmt.Sprintf("%d", len(xs))  // fmt
+	msg = msg + "!"                    // string concatenation
+	sink(f())                          // implicit interface conversion of int
+	_ = any(lit)                       // explicit conversion to interface
+	return fmt.Sprint(byName, esc, grown, msg)
+}
+
+// NoallocGood is the negative fixture: the sanctioned scratch-reuse
+// idioms only.
+//
+//imcf:noalloc
+func NoallocGood(s *scratch, xs []int) int {
+	if cap(s.buf) < len(xs) {
+		s.buf = make([]int, 0, len(xs)) // cap-guarded growth is allowed
+	}
+	s.buf = s.buf[:0]
+	for _, x := range xs {
+		s.buf = append(s.buf, x) // self-append into reused scratch
+	}
+	out := append(s.buf[:0], xs...) // reset-and-refill view of scratch
+	total := 0
+	for _, x := range out {
+		total += x
+	}
+	return total
+}
+
+// Unannotated allocates freely and must produce no findings: the
+// contract binds only annotated functions.
+func Unannotated(xs []int) []int {
+	out := []int{}
+	out = append(out, xs...)
+	return out
+}
+
+func sinkAll(vs ...any) {}
+
+// VariadicBad boxes concrete values into a variadic interface
+// parameter — positive fixture for the variadic unrolling.
+//
+//imcf:noalloc
+func VariadicBad(a, b int) {
+	sinkAll(a, b)
+}
+
+// VariadicGood spreads an existing interface slice — negative fixture:
+// the slice parameter itself is not an interface type.
+//
+//imcf:noalloc
+func VariadicGood(vs []any) {
+	sinkAll(vs...)
+}
+
+// Reslice is the negative fixture for the self-slice append form and
+// the receiver-qualified name in findings.
+//
+//imcf:noalloc
+func (s *scratch) Reslice(x int) {
+	if len(s.buf) > 1 {
+		s.buf = append(s.buf[:1], x)
+	}
+	drop := append(s.buf[:3], x) // positive: truncation that is not a reset
+	_ = drop
+}

@@ -1,0 +1,27 @@
+// Package hygiene exercises the metrics-hygiene rule's label-arity
+// check and provides the observation site for the Observed family.
+package hygiene
+
+import "fixtures.test/internal/metrics"
+
+// decisions declares one label.
+var decisions = metrics.NewCounterVec("fixture_decisions_total", "By decision.", "decision")
+
+// ObserveGood is the negative fixture: matching arity, plus the
+// observation site that keeps metrics.Observed out of the orphan list.
+func ObserveGood() {
+	metrics.Observed.Inc()
+	decisions.With("accept").Inc()
+}
+
+// ObserveBad is the positive fixture: two label values against a
+// one-label family.
+func ObserveBad() {
+	decisions.With("accept", "extra").Inc()
+}
+
+// ObserveChainedBad resolves the family inline — positive fixture for
+// the chained-constructor receiver.
+func ObserveChainedBad() {
+	metrics.NewCounterVec("fixture_routes_total", "By route.", "route", "method").With("only-one").Inc()
+}

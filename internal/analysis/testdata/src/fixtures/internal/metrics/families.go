@@ -1,0 +1,12 @@
+package metrics
+
+// Canonical families of the fixture module.
+var (
+	// Observed has an observation site in internal/hygiene — the
+	// metrics-hygiene negative fixture.
+	Observed = NewCounter("fixture_observed_total", "Observed by internal/hygiene.")
+
+	// Orphan is registered but never observed anywhere — the
+	// metrics-hygiene positive fixture.
+	Orphan = NewCounter("fixture_orphan_total", "Never observed.")
+)

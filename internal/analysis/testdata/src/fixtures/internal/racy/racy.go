@@ -1,0 +1,30 @@
+// Package racy hosts the atomic-mix fixtures. The rule is module-wide,
+// so the package path does not matter.
+package racy
+
+import "sync/atomic"
+
+type stats struct {
+	// hits is written atomically but also read plainly — the positive
+	// fixture.
+	hits int64
+	// clean is only ever touched through sync/atomic — the negative
+	// fixture.
+	clean int64
+}
+
+// Touch records one event on both fields, atomically.
+func (s *stats) Touch() {
+	atomic.AddInt64(&s.hits, 1)
+	atomic.AddInt64(&s.clean, 1)
+}
+
+// Racy reads hits without atomic — positive fixture.
+func (s *stats) Racy() int64 {
+	return s.hits
+}
+
+// Clean reads through atomic — negative fixture.
+func (s *stats) Clean() int64 {
+	return atomic.LoadInt64(&s.clean)
+}

@@ -1,0 +1,45 @@
+// Package store hosts the err-drop fixtures; its import path suffix
+// puts it on the rule's serving-path scope.
+package store
+
+import "errors"
+
+type handle struct{}
+
+// Close fails, so its error matters.
+func (h *handle) Close() error { return errors.New("close failed") }
+
+func mayFail() error { return nil }
+
+func lookup() (int, error) { return 0, nil }
+
+// DropBad is the positive fixture: three ways to lose an error.
+func DropBad(h *handle) int {
+	h.Close()        // bare statement
+	_ = mayFail()    // blank single assignment
+	v, _ := lookup() // blank in a multi-assign
+	return v
+}
+
+// DropGood is the negative fixture: every error is consumed.
+func DropGood(h *handle) error {
+	if err := mayFail(); err != nil {
+		return err
+	}
+	v, err := lookup()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return h.Close()
+}
+
+// DropWaived documents its intentional drops — negative fixture for
+// both waiver spellings, plus the defer/go exemption.
+func DropWaived(h *handle) {
+	h.Close() //nolint:errcheck // best-effort fixture shutdown
+	//imcf:allow err-drop fixture: result is advisory
+	_ = mayFail()
+	defer h.Close()
+	go mayFail()
+}

@@ -240,9 +240,11 @@ func (r *Relay) broadcast(w http.ResponseWriter, req *http.Request, path string,
 				res.Error = err.Error()
 			} else {
 				res.Status = resp.StatusCode
-				resp.Body.Close()
+				cerr := resp.Body.Close()
 				if resp.StatusCode >= 300 {
 					res.Error = http.StatusText(resp.StatusCode)
+				} else if cerr != nil {
+					res.Error = "close response body: " + cerr.Error()
 				}
 			}
 		}

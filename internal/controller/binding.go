@@ -145,7 +145,10 @@ func (b *HTTPBinding) daikinSet(base string, power bool, stemp float64) error {
 		return fmt.Errorf("controller: daikin command: %w", err)
 	}
 	defer resp.Body.Close()
-	body, _ := io.ReadAll(io.LimitReader(resp.Body, 256))
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 256))
+	if err != nil {
+		return fmt.Errorf("controller: daikin response: %w", err)
+	}
 	if resp.StatusCode != http.StatusOK {
 		return fmt.Errorf("controller: daikin command rejected: %d %s", resp.StatusCode, bytes.TrimSpace(body))
 	}

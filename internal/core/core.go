@@ -87,8 +87,11 @@ func (e Eval) Feasible(budget float64) bool { return e.Energy <= budget+1e-12 }
 
 // Evaluate computes a solution's objectives against a problem.
 // It panics if the lengths differ, which indicates a programming error.
+//
+//imcf:noalloc
 func Evaluate(p Problem, s Solution) Eval {
 	if len(s) != len(p.Costs) {
+		//imcf:allow noalloc panic path only; unreachable in a correct program
 		panic(fmt.Sprintf("core: solution length %d != problem size %d", len(s), len(p.Costs)))
 	}
 	var e Eval
@@ -289,6 +292,8 @@ func (pl *Planner) Plan(p Problem) (Solution, Eval, error) {
 // init builds the initial solution per the configured strategy, with
 // zero-gain rules forced off unless KeepZeroGain is set. The result is
 // backed by the planner's solution scratch.
+//
+//imcf:noalloc
 func (pl *Planner) initial(p Problem) Solution {
 	n := len(p.Costs)
 	if cap(pl.sol) < n {
@@ -322,6 +327,8 @@ func (pl *Planner) initial(p Problem) Solution {
 // flippable returns the indices the search may flip: all of them, or
 // only the useful ones when zero-gain pruning is on. The result is
 // backed by the planner's index scratch.
+//
+//imcf:noalloc
 func (pl *Planner) flippable(p Problem) []int {
 	if cap(pl.idx) < len(p.Costs) {
 		pl.idx = make([]int, 0, len(p.Costs))
@@ -344,6 +351,8 @@ func (pl *Planner) flippable(p Problem) []int {
 // region — Algorithm 1 as printed would otherwise never leave an
 // infeasible initial solution, since no candidate can beat its zero
 // convenience error.
+//
+//imcf:noalloc
 func (pl *Planner) hillClimb(p Problem) (Solution, Eval) {
 	best := pl.initial(p)
 	bestEval := Evaluate(p, best)
@@ -399,6 +408,8 @@ func (pl *Planner) hillClimb(p Problem) (Solution, Eval) {
 // accept implements the (repaired) Algorithm 1 acceptance rule:
 // feasibility first, then strictly lower convenience error; ties on
 // error prefer lower energy so the planner does not waste budget.
+//
+//imcf:noalloc
 func accept(cand, incumbent Eval, budget float64) bool {
 	candFeas := cand.Feasible(budget)
 	incFeas := incumbent.Feasible(budget)
@@ -426,6 +437,8 @@ type repairCand struct {
 // repairFeasible greedily switches off executed rules in increasing
 // order of error-per-kWh until the budget holds, guaranteeing a feasible
 // result. The candidate list lives in planner scratch.
+//
+//imcf:noalloc
 func (pl *Planner) repairFeasible(p Problem, s Solution, e Eval) Eval {
 	if cap(pl.repair) < len(s) {
 		pl.repair = make([]repairCand, 0, len(s))
@@ -463,6 +476,8 @@ func (pl *Planner) repairFeasible(p Problem, s Solution, e Eval) Eval {
 // sampleDistinct fills out with distinct elements drawn uniformly from
 // idx. When len(out) is a large fraction of len(idx) it uses a partial
 // Fisher–Yates over a copy; otherwise rejection sampling.
+//
+//imcf:noalloc
 func (pl *Planner) sampleDistinct(idx []int, out []int) {
 	k, n := len(out), len(idx)
 	if k*3 >= n {
@@ -537,6 +552,8 @@ func NoRule(p Problem) (Solution, Eval) {
 
 // NoRuleInto is NoRule writing into s, reusing its capacity so per-slot
 // replay loops stay allocation-free.
+//
+//imcf:noalloc
 func NoRuleInto(p Problem, s Solution) (Solution, Eval) {
 	s = resizeSolution(s, len(p.Costs))
 	for i := range s {
@@ -552,6 +569,8 @@ func MetaRuleAll(p Problem) (Solution, Eval) {
 }
 
 // MetaRuleAllInto is MetaRuleAll writing into s, reusing its capacity.
+//
+//imcf:noalloc
 func MetaRuleAllInto(p Problem, s Solution) (Solution, Eval) {
 	s = resizeSolution(s, len(p.Costs))
 	var e Eval
@@ -564,6 +583,8 @@ func MetaRuleAllInto(p Problem, s Solution) (Solution, Eval) {
 
 // resizeSolution returns s with length n, reallocating only when the
 // capacity is insufficient.
+//
+//imcf:noalloc
 func resizeSolution(s Solution, n int) Solution {
 	if cap(s) < n {
 		return make(Solution, n)

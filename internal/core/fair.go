@@ -22,6 +22,8 @@ type GroupEval struct {
 }
 
 // worst returns the maximum per-group error.
+//
+//imcf:noalloc
 func (g GroupEval) worst() float64 {
 	w := 0.0
 	for _, e := range g.GroupError {
@@ -147,6 +149,8 @@ func evaluateWithOffsets(p Problem, s Solution, group []int, nGroups int, offset
 
 // acceptFair orders candidates by feasibility, then worst group error,
 // then total error, then energy.
+//
+//imcf:noalloc
 func acceptFair(cand, incumbent GroupEval, budget float64) bool {
 	candFeas := cand.Feasible(budget)
 	incFeas := incumbent.Feasible(budget)

@@ -21,6 +21,8 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//imcf:noalloc
 func (c *Counter) Inc() {
 	if disabled.Load() {
 		return
@@ -29,6 +31,8 @@ func (c *Counter) Inc() {
 }
 
 // Add adds n.
+//
+//imcf:noalloc
 func (c *Counter) Add(n uint64) {
 	if disabled.Load() {
 		return
@@ -57,6 +61,8 @@ type FloatCounter struct {
 
 // Add accumulates v. Negative deltas are ignored: the metric is a
 // counter and must never decrease.
+//
+//imcf:noalloc
 func (c *FloatCounter) Add(v float64) {
 	if v < 0 || disabled.Load() {
 		return
@@ -93,6 +99,8 @@ type Gauge struct {
 }
 
 // Set replaces the gauge's value.
+//
+//imcf:noalloc
 func (g *Gauge) Set(v float64) {
 	if disabled.Load() {
 		return
@@ -101,6 +109,8 @@ func (g *Gauge) Set(v float64) {
 }
 
 // Add shifts the gauge by delta (which may be negative).
+//
+//imcf:noalloc
 func (g *Gauge) Add(delta float64) {
 	if disabled.Load() {
 		return

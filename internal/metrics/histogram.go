@@ -61,6 +61,8 @@ func NewDetachedHistogram(buckets []float64) *Histogram {
 }
 
 // Observe records one sample.
+//
+//imcf:noalloc
 func (h *Histogram) Observe(v float64) {
 	if disabled.Load() {
 		return
@@ -84,6 +86,8 @@ func (h *Histogram) Observe(v float64) {
 
 // ObserveDuration records a duration given in seconds — an alias kept
 // for call-site readability next to span timing.
+//
+//imcf:noalloc
 func (h *Histogram) ObserveDuration(seconds float64) { h.Observe(seconds) }
 
 // Count returns the number of observations.
@@ -99,14 +103,14 @@ func (h *Histogram) writeTo(w *bufio.Writer) {
 	var cum uint64
 	for i, b := range h.bounds {
 		cum += h.counts[i].Load()
-		w.WriteString(h.name)          //nolint:errcheck
-		w.WriteString(`_bucket{le="`)  //nolint:errcheck
+		w.WriteString(h.name)         //nolint:errcheck
+		w.WriteString(`_bucket{le="`) //nolint:errcheck
 		writeFloat(w, b)
 		fmt.Fprintf(w, "\"} %d\n", cum)
 	}
 	cum += h.counts[len(h.bounds)].Load()
 	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", h.name, cum)
-	w.WriteString(h.name) //nolint:errcheck
+	w.WriteString(h.name)  //nolint:errcheck
 	w.WriteString("_sum ") //nolint:errcheck
 	writeFloat(w, h.Sum())
 	w.WriteByte('\n') //nolint:errcheck

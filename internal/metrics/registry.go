@@ -58,7 +58,7 @@ type collector interface {
 // packages may share a family (e.g. the controller and the simulator
 // both observe imcf_planner_window_seconds).
 type Registry struct {
-	mu    sync.RWMutex
+	mu     sync.RWMutex
 	byName map[string]collector
 }
 

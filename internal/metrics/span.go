@@ -67,6 +67,8 @@ func StartSpan(name string, hist *Histogram) Span {
 // End closes the span, records it in the tracer's ring and observes its
 // duration on the linked histogram. It returns the duration. err, when
 // non-nil, is recorded on the span.
+//
+//imcf:noalloc
 func (s Span) End(err error) time.Duration {
 	d := time.Since(s.start)
 	if disabled.Load() {

@@ -1,0 +1,74 @@
+package sim
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"math"
+	"sort"
+	"testing"
+)
+
+// resultLedgerHash digests the bit-exact, order-independent content of a
+// Result: the float64 bits of F_E, F_CE and the budget, the rule-slot
+// ledger counts, and the per-owner error attribution in sorted owner
+// order. Wall-clock fields (F_T, the latency histogram) are excluded by
+// construction — they legitimately vary between runs.
+func resultLedgerHash(t *testing.T, r Result) uint64 {
+	t.Helper()
+	h := fnv.New64a()
+	put := func(v uint64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], v)
+		if _, err := h.Write(b[:]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	put(math.Float64bits(r.Energy.KWh()))
+	put(math.Float64bits(float64(r.ConvenienceError)))
+	put(math.Float64bits(r.BudgetTotal.KWh()))
+	put(uint64(r.Slots))
+	put(uint64(r.ActiveRuleSlots))
+	put(uint64(r.ExecutedRuleSlots))
+	owners := make([]string, 0, len(r.PerOwner))
+	for o := range r.PerOwner {
+		owners = append(owners, o)
+	}
+	sort.Strings(owners)
+	for _, o := range owners {
+		if _, err := h.Write([]byte(o)); err != nil {
+			t.Fatal(err)
+		}
+		put(math.Float64bits(float64(r.PerOwner[o])))
+	}
+	return h.Sum64()
+}
+
+// TestRunDeterminismHashes is the runtime counterpart of the
+// determinism lint rule: the full simulation, run twice sequentially
+// and twice with a parallel prefetch pipeline in one process, must
+// produce bit-identical F_CE, F_E and ledger hashes across all four
+// runs. Any wall-clock, map-order or scheduling dependence in the
+// replay path shows up as a hash mismatch here.
+func TestRunDeterminismHashes(t *testing.T) {
+	w := buildWorkload(t, oneYearFlat(t))
+	for _, alg := range []Algorithm{NR, IFTTT, EP, MR} {
+		var hashes []uint64
+		var labels []string
+		for _, workers := range []int{1, 1, 8, 8} {
+			opts := Options{Workers: workers}
+			opts.Planner.Seed = 42
+			res, err := Run(w, alg, opts)
+			if err != nil {
+				t.Fatalf("%v workers=%d: %v", alg, workers, err)
+			}
+			hashes = append(hashes, resultLedgerHash(t, res))
+			labels = append(labels, map[bool]string{true: "sequential", false: "parallel"}[workers == 1])
+		}
+		for i := 1; i < len(hashes); i++ {
+			if hashes[i] != hashes[0] {
+				t.Errorf("%v: run %d (%s) hash %#x != run 0 (%s) hash %#x — replay is not deterministic",
+					alg, i, labels[i], hashes[i], labels[0], hashes[0])
+			}
+		}
+	}
+}

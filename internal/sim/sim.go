@@ -285,6 +285,8 @@ const minParallelSlots = 512
 
 // fillSlots computes the ambient and environment precompute for the slot
 // range [lo, hi). Ranges are disjoint across workers.
+//
+//imcf:noalloc
 func (w *Workload) fillSlots(lo, hi int) {
 	res := w.Residence
 	for i := lo; i < hi; i++ {
@@ -306,6 +308,8 @@ func (w *Workload) fillSlots(lo, hi int) {
 
 // doorOpen deterministically marks some waking-hour slots as having the
 // door open, standing in for the CASAS door/window sensor stream.
+//
+//imcf:noalloc
 func doorOpen(name string, slot simclock.Slot) bool {
 	h := slot.HourOfDay()
 	if h < 7 || h > 21 {
@@ -323,6 +327,8 @@ func doorOpen(name string, slot simclock.Slot) bool {
 
 // dropError returns ce for ignoring rule r during slot i: the deviation
 // between the desired output and the ambient value.
+//
+//imcf:noalloc
 func (w *Workload) dropError(r *ruleStatic, i int) float64 {
 	amb := w.ambient[r.zone][i]
 	if r.isTemp {
@@ -500,7 +506,10 @@ func newWinScratch(nRules int) *winScratch {
 // sequential fallback and the prefetch producers run exactly this code,
 // with identical float accumulation order, so the two paths are
 // bit-identical by construction.
+//
+//imcf:noalloc
 func (w *Workload) buildWindow(wp *windowProblem, scr *winScratch, hourlyBudget *[13]float64, w0, wEnd int) {
+	//imcf:allow determinism wall-clock build latency feeds metrics only, never simulation results
 	start := time.Now()
 	wp.w0, wp.wEnd = w0, wEnd
 	wp.hourBudget, wp.necessity = 0, 0
@@ -539,6 +548,7 @@ func (w *Workload) buildWindow(wp *windowProblem, scr *winScratch, hourlyBudget 
 		// Reset dense scratch for the builder's next window.
 		scr.energy[ri], scr.dropErr[ri], scr.slots[ri] = 0, 0, 0
 	}
+	//imcf:allow determinism wall-clock build latency feeds metrics only, never simulation results
 	wp.buildTime = time.Since(start)
 }
 
@@ -556,7 +566,10 @@ type ledgerState struct {
 // consumeWindow runs the planner over one prepared window and folds the
 // outcome into the accumulator. It must be called in window order: the
 // ledger carry and the planner's RNG both advance here.
+//
+//imcf:noalloc
 func (w *Workload) consumeWindow(ls *ledgerState, wp *windowProblem, acc *runAccumulator) error {
+	//imcf:allow determinism wall-clock planner latency feeds metrics only, never simulation results
 	start := time.Now()
 	budget := wp.hourBudget
 	if !ls.opts.NoCarryOver {
@@ -569,6 +582,7 @@ func (w *Workload) consumeWindow(ls *ledgerState, wp *windowProblem, acc *runAcc
 	if err != nil {
 		return err
 	}
+	//imcf:allow determinism wall-clock planner latency feeds metrics only, never simulation results
 	d := wp.buildTime + time.Since(start)
 	acc.plannerTime += d
 	acc.latency.Observe(d.Seconds())
@@ -732,6 +746,7 @@ func (w *Workload) runPerSlot(alg Algorithm, acc *runAccumulator) error {
 		}
 
 		var eval core.Eval
+		//imcf:allow determinism wall-clock per-slot latency feeds metrics only, never simulation results
 		start := time.Now()
 		switch alg {
 		case NR:
@@ -744,6 +759,7 @@ func (w *Workload) runPerSlot(alg Algorithm, acc *runAccumulator) error {
 		default:
 			return fmt.Errorf("sim: unknown algorithm %v", alg)
 		}
+		//imcf:allow determinism wall-clock per-slot latency feeds metrics only, never simulation results
 		d := time.Since(start)
 		acc.plannerTime += d
 		acc.latency.Observe(d.Seconds())
@@ -776,6 +792,8 @@ func (w *Workload) runPerSlot(alg Algorithm, acc *runAccumulator) error {
 // does not set fall back to ambient (dropped). outputs is the slot's
 // resolved trigger-action table, computed once by the caller and shared
 // with the mismatch scoring.
+//
+//imcf:noalloc
 func (w *Workload) iftttSlot(p core.Problem, idx []int, outputs map[rules.Action]float64, sol core.Solution) (core.Solution, core.Eval) {
 	if cap(sol) < len(idx) {
 		sol = make(core.Solution, len(idx))

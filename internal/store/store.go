@@ -359,47 +359,15 @@ func (db *DB) compactLocked() error {
 	if err != nil {
 		return fmt.Errorf("store: create snapshot: %w", err)
 	}
-	crc := crc32.NewIEEE()
-	w := io.MultiWriter(f, crc)
-
-	hdr := make([]byte, 0, 16)
-	hdr = append(hdr, snapMagic[:]...)
-	hdr = append(hdr, snapVersion, 0, 0, 0)
-	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(db.data)))
-	if _, err := w.Write(hdr); err != nil {
-		f.Close()
-		return err
+	// Close exactly once, with the error checked on every path: a
+	// close failure on the write path can mean lost snapshot bytes.
+	werr := db.writeSnapshotLocked(f)
+	cerr := f.Close()
+	if werr != nil {
+		return werr
 	}
-	keys := make([]string, 0, len(db.data))
-	for k := range db.data {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	var buf []byte
-	for _, k := range keys {
-		v := db.data[k]
-		buf = buf[:0]
-		buf = binary.AppendUvarint(buf, uint64(len(k)))
-		buf = append(buf, k...)
-		buf = binary.AppendUvarint(buf, uint64(len(v)))
-		buf = append(buf, v...)
-		if _, err := w.Write(buf); err != nil {
-			f.Close()
-			return err
-		}
-	}
-	var tail [4]byte
-	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
-	if _, err := f.Write(tail[:]); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return err
-	}
-	if err := f.Close(); err != nil {
-		return err
+	if cerr != nil {
+		return fmt.Errorf("store: close snapshot: %w", cerr)
 	}
 	if err := os.Rename(tmp, db.snapPath()); err != nil {
 		return fmt.Errorf("store: install snapshot: %w", err)
@@ -422,6 +390,44 @@ func (db *DB) compactLocked() error {
 	db.wal = wal
 	db.walRecs = 0
 	return nil
+}
+
+// writeSnapshotLocked streams the snapshot body (header, sorted
+// records, CRC tail) to f and syncs it. The caller owns closing f.
+func (db *DB) writeSnapshotLocked(f *os.File) error {
+	crc := crc32.NewIEEE()
+	w := io.MultiWriter(f, crc)
+
+	hdr := make([]byte, 0, 16)
+	hdr = append(hdr, snapMagic[:]...)
+	hdr = append(hdr, snapVersion, 0, 0, 0)
+	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(db.data)))
+	if _, err := w.Write(hdr); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(db.data))
+	for k := range db.data {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var buf []byte
+	for _, k := range keys {
+		v := db.data[k]
+		buf = buf[:0]
+		buf = binary.AppendUvarint(buf, uint64(len(k)))
+		buf = append(buf, k...)
+		buf = binary.AppendUvarint(buf, uint64(len(v)))
+		buf = append(buf, v...)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	if _, err := f.Write(tail[:]); err != nil {
+		return err
+	}
+	return f.Sync()
 }
 
 // loadSnapshot reads the snapshot file if present.

@@ -1,15 +1,31 @@
 #!/bin/sh
-# check.sh — the repo's verification gate: build, vet, then the full
-# test suite under the race detector. Run from the repo root.
+# check.sh — the repo's verification gate: format, build, vet, lint,
+# then the full test suite under the race detector. Run from the repo
+# root.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+echo ">> gofmt -l"
+fmt_out=$(gofmt -l .)
+if [ -n "$fmt_out" ]; then
+    echo "check: FAIL — files need gofmt:" >&2
+    echo "$fmt_out" >&2
+    exit 1
+fi
 
 echo ">> go build ./..."
 go build ./...
 
 echo ">> go vet ./..."
 go vet ./...
+
+# imcf-lint runs before the race suite: static findings are cheaper to
+# surface than a full -race cycle. The driver exits 2 when
+# lint.baseline lists findings that no longer exist (stale entries), so
+# a shrinking baseline must be re-recorded, never left to rot.
+echo ">> imcf-lint ./..."
+go run ./cmd/imcf-lint ./...
 
 echo ">> go test -race ./..."
 go test -race ./...
@@ -26,21 +42,27 @@ if echo "$cover_out" | grep -q 'no test files'; then
     exit 1
 fi
 
-# The metrics registry is the serving path's observability substrate;
-# hold it to a 90% statement-coverage floor.
-metrics_cov=$(echo "$cover_out" | awk '
-    $2 ~ /\/internal\/metrics$/ {
-        for (i = 1; i <= NF; i++)
-            if ($i ~ /^[0-9.]+%$/) { sub(/%/, "", $i); print $i }
-    }')
-if [ -z "$metrics_cov" ]; then
-    echo "check: FAIL — no coverage figure for internal/metrics" >&2
-    exit 1
-fi
-if ! awk -v c="$metrics_cov" 'BEGIN { exit !(c >= 90) }'; then
-    echo "check: FAIL — internal/metrics coverage ${metrics_cov}% is below the 90% floor" >&2
-    exit 1
-fi
-echo "internal/metrics coverage ${metrics_cov}% (floor 90%)"
+# Coverage floors. internal/metrics is the serving path's
+# observability substrate; internal/analysis is the lint rule suite,
+# whose false negatives silently erode the invariants it guards.
+check_floor() {
+    pkg="$1" floor="$2"
+    cov=$(echo "$cover_out" | awk -v p="/$pkg\$" '
+        $2 ~ p {
+            for (i = 1; i <= NF; i++)
+                if ($i ~ /^[0-9.]+%$/) { sub(/%/, "", $i); print $i }
+        }')
+    if [ -z "$cov" ]; then
+        echo "check: FAIL — no coverage figure for $pkg" >&2
+        exit 1
+    fi
+    if ! awk -v c="$cov" -v f="$floor" 'BEGIN { exit !(c >= f) }'; then
+        echo "check: FAIL — $pkg coverage ${cov}% is below the ${floor}% floor" >&2
+        exit 1
+    fi
+    echo "$pkg coverage ${cov}% (floor ${floor}%)"
+}
+check_floor internal/metrics 90
+check_floor internal/analysis 90
 
 echo "check: OK"
