@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint bench fig6bench metrics-smoke
+.PHONY: all build vet test race check lint bench fig6bench metrics-smoke explain-smoke
 
 all: check
 
@@ -38,3 +38,9 @@ fig6bench:
 # /metrics serves the core families and /healthz reports ok.
 metrics-smoke:
 	./scripts/metrics_smoke.sh
+
+# explain-smoke boots imcfd with persistence, forces a rule drop,
+# restarts the daemon and checks imcf-explain answers "why was rule R
+# dropped" from the replayed journal.
+explain-smoke:
+	./scripts/explain_smoke.sh

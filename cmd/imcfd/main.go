@@ -11,8 +11,10 @@
 // With -emulate, every HVAC and light in the residence gets an
 // in-process device emulator and commands flow over real loopback HTTP
 // through the meta-control firewall. The metrics listener serves
-// GET /metrics (Prometheus text exposition), GET /healthz and
-// GET /debug/spans; -metrics-addr "" disables it.
+// GET /metrics (Prometheus text exposition), GET /healthz,
+// GET /debug/spans, GET /debug/exemplars, GET /debug/decisions (the
+// Energy-Planner decision journal, see cmd/imcf-explain) and
+// GET /debug/trace/{id}; -metrics-addr "" disables it.
 package main
 
 import (
@@ -37,6 +39,7 @@ func main() {
 		mrtPath     = flag.String("mrt", "", "Meta-Rule Table file in the textual format (overrides the residence's)")
 		persist     = flag.String("persist", "", "directory for measurement persistence (empty disables)")
 		mode        = flag.String("mode", "EP", "planning mode: EP, IFTTT or manual")
+		journalCap  = flag.Int("journal-cap", daemon.DefaultJournalCap, "decision journal ring capacity (negative disables journaling)")
 	)
 	flag.Parse()
 
@@ -52,6 +55,7 @@ func main() {
 		Interval:        *interval,
 		WeeklyBudgetKWh: *weekly,
 		Emulate:         *emulate,
+		JournalCap:      *journalCap,
 	})
 	if err != nil {
 		log.Fatalf("imcfd: %v", err)

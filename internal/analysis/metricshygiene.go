@@ -2,22 +2,26 @@ package analysis
 
 import (
 	"go/ast"
+	"go/constant"
 	"go/types"
 	"path/filepath"
 )
 
-// metricsHygieneRule keeps the metric registry honest in both
-// directions: every family declared in internal/metrics/families.go
-// must be observed at least once outside its declaration file (a
-// registered-but-never-fed family silently exports zeros forever), and
-// every labelled-counter call site must pass exactly as many label
-// values as the family declares (the registry panics on mismatch at
-// runtime; the rule catches it at lint time).
+// metricsHygieneRule keeps the metric registry honest in three
+// directions: every family declared in a families.go (any package —
+// internal/metrics, internal/journal, ...) must be observed at least
+// once outside its declaration file (a registered-but-never-fed family
+// silently exports zeros forever); every labelled-counter call site
+// must pass exactly as many label values as the family declares (the
+// registry panics on mismatch at runtime; the rule catches it at lint
+// time); and every exemplar attachment must pass a trace ID that is not
+// statically empty (ObserveExemplar silently drops the exemplar then —
+// the caller meant Observe).
 type metricsHygieneRule struct{}
 
 func (metricsHygieneRule) Name() string { return RuleMetricsHygiene }
 func (metricsHygieneRule) Doc() string {
-	return "metric families must be observed and label arities must match declarations"
+	return "metric families must be observed, label arities must match, exemplar traces must not be statically empty"
 }
 
 // vecConstructors maps constructor names to the number of leading
@@ -32,6 +36,7 @@ func (metricsHygieneRule) Check(m *Module, rep *Reporter) {
 	vecs := collectVecArities(m)
 	checkObservations(m, rep, families)
 	checkWithArities(m, rep, vecs)
+	checkExemplars(m, rep)
 }
 
 // family is one package-level metric family declared in families.go.
@@ -41,14 +46,13 @@ type family struct {
 	obj  types.Object
 }
 
-// collectFamilies gathers the package-level vars of families.go in the
-// module's internal/metrics package.
+// collectFamilies gathers the package-level vars of every families.go
+// in the module — internal/metrics declares the serving-path families,
+// internal/journal the provenance ones, and any future package joins
+// the check just by following the naming convention.
 func collectFamilies(m *Module) []family {
 	var out []family
 	for _, pkg := range m.Pkgs {
-		if !pkg.InScope("internal/metrics") {
-			continue
-		}
 		for _, f := range pkg.Files {
 			if filepath.Base(m.Fset.Position(f.Pos()).Filename) != "families.go" {
 				continue
@@ -209,4 +213,32 @@ func withReceiverArity(info *types.Info, arities map[types.Object]int, recv ast.
 		return n, ok
 	}
 	return vecCallArity(info, recv)
+}
+
+// checkExemplars reports ObserveExemplar call sites whose trace
+// argument is statically the empty string: the histogram drops the
+// exemplar at runtime, so the call site meant Observe (or forgot to
+// thread the trace ID through).
+func checkExemplars(m *Module, rep *Reporter) {
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := call.Fun.(*ast.SelectorExpr)
+				if !ok || sel.Sel.Name != "ObserveExemplar" || len(call.Args) != 2 {
+					return true
+				}
+				if tv, ok := pkg.Info.Types[call.Args[1]]; ok && tv.Value != nil {
+					if constant.StringVal(tv.Value) == "" {
+						rep.Report(call.Pos(), RuleMetricsHygiene,
+							"ObserveExemplar with a statically empty trace ID never attaches an exemplar; use Observe or pass the trace")
+					}
+				}
+				return true
+			})
+		}
+	}
 }

@@ -25,3 +25,22 @@ func ObserveBad() {
 func ObserveChainedBad() {
 	metrics.NewCounterVec("fixture_routes_total", "By route.", "route", "method").With("only-one").Inc()
 }
+
+// latency is the exemplar-check fixture histogram.
+var latency = metrics.NewHistogram("fixture_latency_seconds", "Latency.", 0.1, 1)
+
+// emptyTrace is a named empty constant — the exemplar check must see
+// through it.
+const emptyTrace = ""
+
+// ObserveExemplarGood is the negative fixture: a dynamic trace ID.
+func ObserveExemplarGood(trace string) {
+	latency.ObserveExemplar(0.2, trace)
+}
+
+// ObserveExemplarBad is the positive fixture: statically empty trace
+// IDs (literal and named constant) never attach an exemplar.
+func ObserveExemplarBad() {
+	latency.ObserveExemplar(0.2, "")
+	latency.ObserveExemplar(0.2, emptyTrace)
+}

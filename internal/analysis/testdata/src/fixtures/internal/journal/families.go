@@ -1,0 +1,13 @@
+package journal
+
+import "fixtures.test/internal/metrics"
+
+// Families of the fixture journal package — exercises the generalized
+// families.go collection (any package, not just internal/metrics).
+var (
+	// JEvents is observed in journal.go — negative fixture.
+	JEvents = metrics.NewCounter("fixture_journal_events_total", "Observed in journal.go.")
+
+	// JOrphan is never observed — positive fixture.
+	JOrphan = metrics.NewCounter("fixture_journal_orphan_total", "Never observed.")
+)

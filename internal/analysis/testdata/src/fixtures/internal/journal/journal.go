@@ -1,0 +1,9 @@
+// Package journal is the fixture for families.go collection outside
+// internal/metrics.
+package journal
+
+// Append is the observation site keeping JEvents out of the orphan
+// list.
+func Append() {
+	JEvents.Inc()
+}

@@ -21,3 +21,15 @@ func NewCounterVec(name, help string, labels ...string) *CounterVec {
 
 // With resolves a child counter.
 func (v *CounterVec) With(values ...string) *Counter { return &Counter{} }
+
+// Histogram is a stub histogram with exemplar support.
+type Histogram struct{ n uint64 }
+
+// NewHistogram registers a stub histogram.
+func NewHistogram(name, help string, bounds ...float64) *Histogram { return &Histogram{} }
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) { h.n++ }
+
+// ObserveExemplar records one sample with a trace-ID exemplar.
+func (h *Histogram) ObserveExemplar(v float64, trace string) { h.n++ }

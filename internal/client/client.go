@@ -192,10 +192,21 @@ func (c *Client) post(ctx context.Context, path string, body, out any) error {
 	return c.do(ctx, http.MethodPost, path, body, out)
 }
 
-func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+// do issues one request (with retries). Tracing: a TraceContext already
+// on ctx is propagated via the traceparent header; otherwise the SDK
+// mints a fresh trace — the APP is the root of the causal chain, so
+// every hop downstream (relay, controller, firewall, journal) shares
+// the ID this call stamps.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) (err error) {
+	tc, hasTrace := metrics.TraceFrom(ctx)
+	if !hasTrace {
+		tc = metrics.NewTrace()
+	}
+	sp := metrics.StartSpanTrace("client.request", nil, tc.TraceIDString())
+	defer func() { sp.End(err) }()
+
 	var raw []byte
 	if body != nil {
-		var err error
 		raw, err = json.Marshal(body)
 		if err != nil {
 			return fmt.Errorf("client: marshal request: %w", err)
@@ -225,6 +236,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		if payload != nil {
 			req.Header.Set("Content-Type", "application/json")
 		}
+		metrics.InjectTrace(req, tc)
 		sdkRequests.Inc()
 		resp, err := c.http.Do(req)
 		if err != nil {

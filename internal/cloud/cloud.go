@@ -133,7 +133,10 @@ func (r *Relay) Handler() http.Handler {
 	mux.HandleFunc("POST /cmc/broadcast/plan", r.withAuth(func(w http.ResponseWriter, req *http.Request) {
 		r.broadcast(w, req, "/rest/plan/run", false)
 	}))
-	return mux
+	// TraceMiddleware propagates an incoming traceparent (or mints one)
+	// so a cycle triggered through the relay shares the APP's trace end
+	// to end: client.request → http.cloud → cloud.proxy → http.api.
+	return metrics.TraceMiddleware("http.cloud", mux)
 }
 
 func (r *Relay) withAuth(h http.HandlerFunc) http.HandlerFunc {
@@ -181,7 +184,12 @@ func (r *Relay) proxy(w http.ResponseWriter, req *http.Request) {
 	if ct := req.Header.Get("Content-Type"); ct != "" {
 		out.Header.Set("Content-Type", ct)
 	}
+	if tc, ok := metrics.TraceFrom(req.Context()); ok {
+		metrics.InjectTrace(out, tc)
+	}
+	sp := metrics.StartSpanTrace("cloud.proxy", nil, metrics.TraceIDFrom(req.Context()))
 	resp, err := r.client.Do(out)
+	sp.End(err)
 	if err != nil {
 		relayProxyErrors.Inc()
 		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
@@ -235,7 +243,12 @@ func (r *Relay) broadcast(w http.ResponseWriter, req *http.Request, path string,
 			res.Error = err.Error()
 		} else {
 			out.Header.Set("Content-Type", "application/json")
+			if tc, ok := metrics.TraceFrom(req.Context()); ok {
+				metrics.InjectTrace(out, tc)
+			}
+			sp := metrics.StartSpanTrace("cloud.broadcast", nil, metrics.TraceIDFrom(req.Context()))
 			resp, err := r.client.Do(out)
+			sp.End(err)
 			if err != nil {
 				res.Error = err.Error()
 			} else {

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/imcf/imcf/internal/metrics"
 	"github.com/imcf/imcf/internal/rules"
 )
 
@@ -27,6 +28,11 @@ import (
 //	GET  /rest/persistence/data/{item} — readings or ?bucket= aggregates
 //	GET  /rest/mrt/conflicts          — MRT clash/shadow/budget analysis
 //	GET  /                            — the embedded panel UI (Fig. 5 stand-in)
+//
+// Every route runs behind metrics.TraceMiddleware: an incoming
+// traceparent header is propagated (and echoed on the response) or a
+// fresh trace is minted, so POST /rest/plan/run ties the cycle's span,
+// journal events and firewall blocks to the caller's trace.
 func API(c *Controller) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /{$}", dashboardHandler())
@@ -111,7 +117,7 @@ func API(c *Controller) http.Handler {
 	})
 
 	mux.HandleFunc("POST /rest/plan/run", func(w http.ResponseWriter, r *http.Request) {
-		report, err := c.Step()
+		report, err := c.StepCtx(r.Context())
 		if err != nil {
 			writeError(w, http.StatusInternalServerError, err)
 			return
@@ -208,7 +214,7 @@ func API(c *Controller) http.Handler {
 		})
 	})
 
-	return mux
+	return metrics.TraceMiddleware("http.api", mux)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -11,6 +12,7 @@ import (
 	"github.com/imcf/imcf/internal/device"
 	"github.com/imcf/imcf/internal/firewall"
 	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/journal"
 	"github.com/imcf/imcf/internal/metrics"
 	"github.com/imcf/imcf/internal/persistence"
 	"github.com/imcf/imcf/internal/rules"
@@ -99,6 +101,10 @@ type Config struct {
 	// Health, when set, tracks step outcomes: any Step error marks the
 	// process unhealthy (503 on /healthz) until a cycle succeeds again.
 	Health *metrics.Health
+	// Journal, when set, records one decision-provenance event per rule
+	// verdict each cycle (see internal/journal); the daemon serves it at
+	// /debug/decisions and persists it across restarts.
+	Journal *journal.Journal
 }
 
 // StepReport summarizes one planning cycle.
@@ -132,6 +138,7 @@ type Controller struct {
 	planner  *core.Planner
 	model    rules.ErrorModel
 	clock    simclock.Clock
+	rec      *stepRecorder
 
 	mu          sync.Mutex
 	mrt         rules.MRT
@@ -201,6 +208,10 @@ func New(cfg Config) (*Controller, error) {
 	}
 	if c.fw == nil {
 		c.fw = firewall.New(cfg.Clock)
+	}
+	if cfg.Journal != nil {
+		c.rec = &stepRecorder{j: cfg.Journal}
+		planner.SetRecorder(c.rec)
 	}
 	for _, d := range cfg.Residence.Devices() {
 		if err := c.registry.Add(d); err != nil {
@@ -290,9 +301,20 @@ func (c *Controller) AnalyzeConflicts() ([]rules.Conflict, error) {
 // actuates executed rules through the binding, and blocks dropped rules
 // in the firewall.
 func (c *Controller) Step() (StepReport, error) {
+	return c.StepCtx(context.Background())
+}
+
+// StepCtx is Step carrying the caller's causal trace: when ctx holds a
+// metrics.TraceContext (the REST API's TraceMiddleware installs one),
+// the cycle's span, journal events, firewall blocks and latency
+// exemplar are all tagged with the trace ID.
+func (c *Controller) StepCtx(ctx context.Context) (StepReport, error) {
+	traceID := metrics.TraceIDFrom(ctx)
+	sp := metrics.StartSpanTrace("controller.step", nil, traceID)
 	start := time.Now()
-	report, err := c.step()
-	metrics.PlannerWindowSeconds.Observe(time.Since(start).Seconds())
+	report, err := c.step(traceID)
+	metrics.PlannerWindowSeconds.ObserveExemplar(time.Since(start).Seconds(), traceID)
+	sp.End(err)
 	if err != nil {
 		stepsErr.Inc()
 		if c.cfg.Health != nil {
@@ -307,8 +329,9 @@ func (c *Controller) Step() (StepReport, error) {
 	return report, err
 }
 
-// step is the uninstrumented planning cycle.
-func (c *Controller) step() (StepReport, error) {
+// step is the uninstrumented planning cycle. traceID tags the cycle's
+// provenance (journal events, firewall blocks), "" when untraced.
+func (c *Controller) step(traceID string) (StepReport, error) {
 	now := c.clock.Now().UTC().Truncate(time.Hour)
 	hour := now.Hour()
 
@@ -321,6 +344,7 @@ func (c *Controller) step() (StepReport, error) {
 		}
 	}
 	budget := c.cfg.WeeklyBudget.KWh()/(7*24) + c.carry
+	stepNo := c.steps
 	c.mu.Unlock()
 
 	report := StepReport{
@@ -377,16 +401,25 @@ func (c *Controller) step() (StepReport, error) {
 	}
 	problem.Budget = max(budget-necessityEnergy, 0)
 
-	// Non-EP modes bypass the planner entirely.
+	// Non-EP modes bypass the planner entirely; finishStep journals
+	// their verdicts since the planner's recorder never fires.
 	switch c.cfg.Mode {
 	case ModeManual:
 		return c.finishStep(report, activeRules, devs, drops, nil,
-			make(core.Solution, len(activeRules)), core.Eval{Error: sum(drops)}, budget, false)
+			make(core.Solution, len(activeRules)), core.Eval{Error: sum(drops)}, budget, false,
+			traceID, stepNo, false)
 	case ModeIFTTT:
 		sol, setpoints, eval := c.iftttPlan(now, activeRules, devs)
 		// IFTTT accrues drop errors for unmatched rules and mismatch
 		// errors for executed ones; both are inside eval already.
-		return c.finishStep(report, activeRules, devs, drops, setpoints, sol, eval, budget, true)
+		return c.finishStep(report, activeRules, devs, drops, setpoints, sol, eval, budget, true,
+			traceID, stepNo, false)
+	}
+
+	// Point the planner's decision recorder at this cycle before the
+	// search runs: its per-rule callbacks fire inside Plan/PlanFair.
+	if c.rec != nil {
+		c.rec.bind(traceID, now, stepNo, activeRules, planned)
 	}
 
 	var planSol core.Solution
@@ -437,7 +470,8 @@ func (c *Controller) step() (StepReport, error) {
 	for j, i := range planned {
 		sol[i] = planSol[j]
 	}
-	return c.finishStep(report, activeRules, devs, drops, nil, sol, eval, budget, true)
+	return c.finishStep(report, activeRules, devs, drops, nil, sol, eval, budget, true,
+		traceID, stepNo, true)
 }
 
 // sum adds a float slice.
@@ -490,8 +524,13 @@ func (c *Controller) iftttPlan(now time.Time, activeRules []rules.MetaRule, devs
 // finishStep actuates a plan (when actuate is true), updates the
 // accounting and history, and returns the report. setpoints, when
 // non-nil, overrides each executed rule's actuation value (IFTTT mode).
+// traceID and stepNo tag provenance; plannerJournaled reports whether
+// the planner's recorder already journaled the convenience-rule
+// verdicts, in which case finishStep journals only the necessity rules
+// the planner never saw.
 func (c *Controller) finishStep(report StepReport, activeRules []rules.MetaRule, devs []device.Descriptor,
-	drops []float64, setpoints []float64, sol core.Solution, eval core.Eval, budget float64, actuate bool) (StepReport, error) {
+	drops []float64, setpoints []float64, sol core.Solution, eval core.Eval, budget float64, actuate bool,
+	traceID string, stepNo int, plannerJournaled bool) (StepReport, error) {
 
 	var firstErr error
 	for i, r := range activeRules {
@@ -514,10 +553,32 @@ func (c *Controller) finishStep(report StepReport, activeRules []rules.MetaRule,
 				if err := c.binding.TurnOff(dev); err != nil && firstErr == nil {
 					firstErr = err
 				}
-				c.fw.Block(dev.Addr, "meta-rule "+r.ID+" dropped by "+c.cfg.Mode.String())
+				c.fw.BlockTraced(dev.Addr, "meta-rule "+r.ID+" dropped by "+c.cfg.Mode.String(), traceID)
 			}
 			report.Dropped = append(report.Dropped, r.ID)
 			report.PerRule[r.ID] = drops[i]
+		}
+		// Journal the verdicts the planner's recorder did not cover:
+		// every rule in manual/IFTTT mode, only necessity rules under EP.
+		if c.cfg.Journal != nil && (!plannerJournaled || r.Necessity) {
+			v := journal.VerdictDropped
+			delta := drops[i]
+			if sol[i] {
+				v = journal.VerdictExecuted
+				delta = 0
+			}
+			c.cfg.Journal.Append(journal.Event{
+				Slot:           report.Time,
+				Window:         stepNo,
+				Rule:           r.ID,
+				Owner:          r.Owner,
+				Verdict:        v,
+				Trace:          traceID,
+				EpRemainingKWh: budget - eval.Energy,
+				EnergyKWh:      dev.EnergyPerSlot(time.Hour).KWh(),
+				FCEDelta:       delta,
+				FlipIter:       journal.FlipNever,
+			})
 		}
 	}
 	sort.Strings(report.Executed)

@@ -1,0 +1,52 @@
+package controller
+
+import (
+	"time"
+
+	"github.com/imcf/imcf/internal/journal"
+	"github.com/imcf/imcf/internal/rules"
+)
+
+// stepRecorder adapts the planner's index-based DecisionRecorder
+// callbacks into journal events: problem index i names the i-th planned
+// (non-necessity) rule of the current cycle, which bind has stashed
+// along with the slot, step ordinal and causal trace. One recorder is
+// installed on the planner at construction and re-bound per cycle from
+// the planning goroutine — the planner is single-threaded by contract.
+type stepRecorder struct {
+	j       *journal.Journal
+	trace   string
+	slot    time.Time
+	window  int
+	rules   []rules.MetaRule
+	planned []int
+}
+
+// bind points the recorder at the current cycle's context.
+func (sr *stepRecorder) bind(trace string, slot time.Time, window int, active []rules.MetaRule, planned []int) {
+	sr.trace, sr.slot, sr.window = trace, slot, window
+	sr.rules, sr.planned = active, planned
+}
+
+// RecordDecision implements core.DecisionRecorder. The Flip* sentinels
+// pass through numerically — core and journal declare identical values
+// (pinned by TestFlipSentinelsMatchCore).
+func (sr *stepRecorder) RecordDecision(i int, executed bool, flipIter int, rem, energy, fce float64) {
+	r := &sr.rules[sr.planned[i]]
+	v := journal.VerdictDropped
+	if executed {
+		v = journal.VerdictExecuted
+	}
+	sr.j.Append(journal.Event{
+		Slot:           sr.slot,
+		Window:         sr.window,
+		Rule:           r.ID,
+		Owner:          r.Owner,
+		Verdict:        v,
+		Trace:          sr.trace,
+		EpRemainingKWh: rem,
+		EnergyKWh:      energy,
+		FCEDelta:       fce,
+		FlipIter:       flipIter,
+	})
+}

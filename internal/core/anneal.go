@@ -76,8 +76,14 @@ func (pl *Planner) anneal(p Problem) (Solution, Eval) {
 		}
 		delta := score(cand) - score(curEval)
 		if delta <= 0 || pl.rng.Float64() < math.Exp(-delta/temp) {
+			// Provenance is stamped on the walk's moves; the best-snapshot
+			// copy below keeps the stamps of the moves that reached it,
+			// which is exact for the bits that differ from the
+			// initialization and approximate for bits a later rejected
+			// stretch of the walk flipped back and forth.
 			for _, i := range flips {
 				cur[i] = !cur[i]
+				pl.flipIter[i] = iter
 			}
 			curEval = cand
 			if accept(curEval, bestEval, p.Budget) {

@@ -237,6 +237,12 @@ type Planner struct {
 	idx    []int
 	flips  []int
 	repair []repairCand
+	// flipIter[i] is the k-opt iteration that last flipped bit i in the
+	// current plan, or a Flip* sentinel — provenance for DecisionRecorder.
+	flipIter []int
+	// rec, when non-nil, receives one callback per rule after each
+	// Plan/PlanFair call (see recorder.go).
+	rec DecisionRecorder
 }
 
 // NewPlanner validates the configuration and returns a planner.
@@ -273,18 +279,22 @@ func (pl *Planner) Plan(p Problem) (Solution, Eval, error) {
 	}
 
 	metrics.PlannerPlans.Inc()
+	pl.resetFlipIter(n)
 	switch pl.cfg.Heuristic {
 	case Exhaustive:
 		if n > ExhaustiveMaxN {
 			return nil, Eval{}, fmt.Errorf("core: exhaustive search limited to N ≤ %d, got %d", ExhaustiveMaxN, n)
 		}
 		s, e := exhaustive(p, pl.cfg.KeepZeroGain)
+		pl.emit(p, s, e)
 		return s, e, nil
 	case Anneal:
 		s, e := pl.anneal(p)
+		pl.emit(p, s, e)
 		return s, e, nil
 	default:
 		s, e := pl.hillClimb(p)
+		pl.emit(p, s, e)
 		return s, e, nil
 	}
 }
@@ -387,6 +397,7 @@ func (pl *Planner) hillClimb(p Problem) (Solution, Eval) {
 			if accept(cand, bestEval, p.Budget) {
 				for _, i := range flips {
 					best[i] = !best[i]
+					pl.flipIter[i] = iter
 				}
 				bestEval = cand
 			}
@@ -465,6 +476,9 @@ func (pl *Planner) repairFeasible(p Problem, s Solution, e Eval) Eval {
 		}
 		i := on[minAt].idx
 		s[i] = false
+		if i < len(pl.flipIter) {
+			pl.flipIter[i] = FlipRepair
+		}
 		e.Energy -= p.Costs[i].Energy
 		e.Error += p.Costs[i].DropError
 		on[minAt] = on[len(on)-1]

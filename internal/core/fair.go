@@ -84,6 +84,7 @@ func (pl *Planner) PlanFair(p Problem, group []int, nGroups int, offsets []float
 		return Solution{}, GroupEval{GroupError: make([]float64, nGroups)}, nil
 	}
 	metrics.PlannerPlans.Inc()
+	pl.resetFlipIter(n)
 
 	best := pl.initial(p)
 	bestEval := evaluateWithOffsets(p, best, group, nGroups, offsets)
@@ -118,6 +119,7 @@ func (pl *Planner) PlanFair(p Problem, group []int, nGroups int, offsets []float
 			if acceptFair(cand, bestEval, p.Budget) {
 				for _, i := range flips {
 					best[i] = !best[i]
+					pl.flipIter[i] = iter
 				}
 				bestEval.Eval = cand.Eval
 				copy(bestEval.GroupError, cand.GroupError)
@@ -132,6 +134,7 @@ func (pl *Planner) PlanFair(p Problem, group []int, nGroups int, offsets []float
 		bestEval.Eval = pl.repairFeasible(p, best, bestEval.Eval)
 		bestEval = EvaluateGrouped(p, best, group, nGroups)
 	}
+	pl.emit(p, best, bestEval.Eval)
 	return best, bestEval, nil
 }
 

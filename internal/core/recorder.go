@@ -1,0 +1,73 @@
+package core
+
+// This file is the planner's decision-provenance hook. The planner
+// itself stays ignorant of rule identities, slots and traces — it
+// reports verdicts by problem index, and the callers (the live
+// controller, the simulator) install a DecisionRecorder adapter that
+// enriches the index with context and forwards to internal/journal.
+// Keeping the hook index-based keeps core free of journal/time imports
+// and keeps the no-recorder cost at a single nil check per Plan call.
+
+// FlipIter sentinels reported through DecisionRecorder. Non-negative
+// values are the k-opt iteration that last flipped the rule's bit.
+const (
+	// FlipNever marks a bit the search never flipped: it kept the value
+	// the initialization strategy (or zero-gain pruning) gave it.
+	FlipNever = -1
+	// FlipRepair marks a bit switched off by the greedy feasibility
+	// repair after the search.
+	FlipRepair = -2
+)
+
+// DecisionRecorder receives one callback per rule after every
+// Plan/PlanFair call: the rule's problem index, its verdict, the k-opt
+// iteration that last flipped its bit (or a Flip* sentinel), the budget
+// remaining after the whole plan (E_p − F_E, negative when repair was
+// disabled and the plan is infeasible), the rule's own energy cost, and
+// the convenience error the verdict adds to F_CE (zero for executed
+// rules). Callbacks run on the planning goroutine and must not retain
+// references past the call — the planner's scratch is reused.
+type DecisionRecorder interface {
+	RecordDecision(i int, executed bool, flipIter int, epRemainingKWh, energyKWh, fceDelta float64)
+}
+
+// SetRecorder installs (or, with nil, removes) the planner's decision
+// recorder. Recording is read-only with respect to the search: it runs
+// after the plan is final and cannot perturb results.
+func (pl *Planner) SetRecorder(r DecisionRecorder) { pl.rec = r }
+
+// resetFlipIter sizes the flip-provenance scratch for an n-rule problem
+// and marks every bit untouched. Reuses capacity like the other planner
+// scratch buffers.
+//
+//imcf:noalloc
+func (pl *Planner) resetFlipIter(n int) {
+	if cap(pl.flipIter) < n {
+		pl.flipIter = make([]int, n)
+	}
+	pl.flipIter = pl.flipIter[:n]
+	for i := range pl.flipIter {
+		pl.flipIter[i] = FlipNever
+	}
+}
+
+// emit reports the finished plan to the recorder, one callback per
+// rule. The exhaustive engine does not track per-bit flips, so its
+// rules report FlipNever.
+func (pl *Planner) emit(p Problem, s Solution, e Eval) {
+	if pl.rec == nil {
+		return
+	}
+	rem := p.Budget - e.Energy
+	for i, on := range s {
+		fi := FlipNever
+		if i < len(pl.flipIter) {
+			fi = pl.flipIter[i]
+		}
+		delta := 0.0
+		if !on {
+			delta = p.Costs[i].DropError
+		}
+		pl.rec.RecordDecision(i, on, fi, rem, p.Costs[i].Energy, delta)
+	}
+}

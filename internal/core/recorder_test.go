@@ -1,0 +1,196 @@
+package core
+
+import "testing"
+
+type capturedDecision struct {
+	i         int
+	executed  bool
+	flipIter  int
+	remaining float64
+	energy    float64
+	fceDelta  float64
+}
+
+type captureRecorder struct{ got []capturedDecision }
+
+func (c *captureRecorder) RecordDecision(i int, executed bool, flipIter int, rem, energy, fce float64) {
+	c.got = append(c.got, capturedDecision{i, executed, flipIter, rem, energy, fce})
+}
+
+func recorderProblem() Problem {
+	return Problem{
+		Costs: []RuleCost{
+			{DropError: 5, Energy: 1},
+			{DropError: 4, Energy: 1},
+			{DropError: 3, Energy: 1},
+			{DropError: 0, Energy: 1}, // zero-gain, pruned off
+		},
+		Budget: 2,
+	}
+}
+
+func TestRecorderEmitsOnePerRule(t *testing.T) {
+	for _, h := range []Heuristic{HillClimb, Anneal, Exhaustive} {
+		cfg := DefaultConfig()
+		cfg.Heuristic = h
+		pl, err := NewPlanner(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := &captureRecorder{}
+		pl.SetRecorder(rec)
+
+		p := recorderProblem()
+		sol, eval, err := pl.Plan(p)
+		if err != nil {
+			t.Fatalf("%v: %v", h, err)
+		}
+		if len(rec.got) != len(p.Costs) {
+			t.Fatalf("%v: %d callbacks for %d rules", h, len(rec.got), len(p.Costs))
+		}
+		for i, d := range rec.got {
+			if d.i != i {
+				t.Fatalf("%v: callback %d reports index %d", h, i, d.i)
+			}
+			if d.executed != sol[i] {
+				t.Fatalf("%v: rule %d verdict mismatch", h, i)
+			}
+			if d.remaining != p.Budget-eval.Energy {
+				t.Fatalf("%v: rule %d remaining %v, want %v", h, i, d.remaining, p.Budget-eval.Energy)
+			}
+			if d.energy != p.Costs[i].Energy {
+				t.Fatalf("%v: rule %d energy %v", h, i, d.energy)
+			}
+			wantDelta := 0.0
+			if !sol[i] {
+				wantDelta = p.Costs[i].DropError
+			}
+			if d.fceDelta != wantDelta {
+				t.Fatalf("%v: rule %d fce delta %v, want %v", h, i, d.fceDelta, wantDelta)
+			}
+			if d.flipIter < FlipRepair {
+				t.Fatalf("%v: rule %d flip iter %d below sentinels", h, i, d.flipIter)
+			}
+			if h == Exhaustive && d.flipIter != FlipNever {
+				t.Fatalf("exhaustive: rule %d flip iter %d, want FlipNever", i, d.flipIter)
+			}
+		}
+	}
+}
+
+// TestRecorderFlipProvenance pins the per-bit provenance: an all-0s
+// start under a generous budget must flip the useful bits on at some
+// recorded iteration, while the pruned zero-gain bit reports FlipNever.
+func TestRecorderFlipProvenance(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Init = InitAllOff
+	pl, err := NewPlanner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &captureRecorder{}
+	pl.SetRecorder(rec)
+
+	p := recorderProblem()
+	p.Budget = 10 // everything useful fits
+	sol, _, err := pl.Plan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range rec.got {
+		if sol[i] && d.flipIter < 0 {
+			t.Fatalf("rule %d executed from all-0s start but flip iter = %d", i, d.flipIter)
+		}
+	}
+	if last := rec.got[3]; last.executed || last.flipIter != FlipNever {
+		t.Fatalf("zero-gain rule: %+v, want dropped with FlipNever", last)
+	}
+}
+
+// TestRecorderRepairProvenance forces the repair path: all-1s start
+// with repair disabled off, tiny budget, zero search iterations — the
+// bits the repair switches off must report FlipRepair.
+func TestRecorderRepairProvenance(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxIter = 0
+	pl, err := NewPlanner(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &captureRecorder{}
+	pl.SetRecorder(rec)
+
+	p := recorderProblem()
+	p.Budget = 1 // only one of the three useful rules fits
+	sol, eval, err := pl.Plan(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eval.Feasible(p.Budget) {
+		t.Fatal("repair left an infeasible plan")
+	}
+	repaired := 0
+	for i, d := range rec.got {
+		if !sol[i] && d.flipIter == FlipRepair {
+			repaired++
+		}
+	}
+	if repaired == 0 {
+		t.Fatalf("no rule reports FlipRepair: %+v", rec.got)
+	}
+}
+
+// TestRecorderDoesNotPerturbSearch pins that recording is read-only:
+// the same seed with and without a recorder yields identical plans.
+func TestRecorderDoesNotPerturbSearch(t *testing.T) {
+	p := recorderProblem()
+	plan := func(rec DecisionRecorder) (Solution, Eval) {
+		pl, err := NewPlanner(DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		pl.SetRecorder(rec)
+		s, e, err := pl.Plan(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s.Clone(), e
+	}
+	s1, e1 := plan(nil)
+	s2, e2 := plan(&captureRecorder{})
+	if e1 != e2 {
+		t.Fatalf("eval diverged: %+v vs %+v", e1, e2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("solution diverged at %d", i)
+		}
+	}
+}
+
+func TestRecorderPlanFair(t *testing.T) {
+	pl, err := NewPlanner(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &captureRecorder{}
+	pl.SetRecorder(rec)
+
+	p := recorderProblem()
+	group := []int{0, 0, 1, 1}
+	sol, ge, err := pl.PlanFair(p, group, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.got) != len(p.Costs) {
+		t.Fatalf("%d callbacks for %d rules", len(rec.got), len(p.Costs))
+	}
+	for i, d := range rec.got {
+		if d.executed != sol[i] {
+			t.Fatalf("rule %d verdict mismatch", i)
+		}
+		if d.remaining != p.Budget-ge.Energy {
+			t.Fatalf("rule %d remaining %v", i, d.remaining)
+		}
+	}
+}

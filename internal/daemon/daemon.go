@@ -10,6 +10,7 @@
 package daemon
 
 import (
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log"
@@ -23,6 +24,7 @@ import (
 	"github.com/imcf/imcf/internal/devicesim"
 	"github.com/imcf/imcf/internal/firewall"
 	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/journal"
 	"github.com/imcf/imcf/internal/metrics"
 	"github.com/imcf/imcf/internal/persistence"
 	"github.com/imcf/imcf/internal/rules"
@@ -30,6 +32,10 @@ import (
 	"github.com/imcf/imcf/internal/store"
 	"github.com/imcf/imcf/internal/units"
 )
+
+// DefaultJournalCap bounds the in-memory decision journal when Options
+// leaves JournalCap at zero.
+const DefaultJournalCap = journal.DefaultCap
 
 // Options configures a daemon. The zero value is not runnable: Addr and
 // Residence are required.
@@ -65,15 +71,19 @@ type Options struct {
 	// Binding overrides device actuation (ignored with Emulate; tests
 	// inject failing bindings to exercise health reporting).
 	Binding controller.Binding
+	// JournalCap bounds the decision-provenance journal ring; 0 means
+	// DefaultJournalCap, negative disables journaling entirely.
+	JournalCap int
 	// Logf overrides log.Printf; nil uses the standard logger.
 	Logf func(format string, args ...any)
 }
 
 // Daemon is a fully wired Local Controller process.
 type Daemon struct {
-	ctrl   *controller.Controller
-	health *metrics.Health
-	logf   func(string, ...any)
+	ctrl    *controller.Controller
+	health  *metrics.Health
+	journal *journal.Journal
+	logf    func(string, ...any)
 
 	apiLn     net.Listener
 	metricsLn net.Listener
@@ -133,12 +143,21 @@ func New(opts Options) (_ *Daemon, err error) {
 		logf("loaded %d meta-rules from %s", len(mrt.Rules), opts.MRTPath)
 	}
 
+	if opts.JournalCap >= 0 {
+		jcap := opts.JournalCap
+		if jcap == 0 {
+			jcap = DefaultJournalCap
+		}
+		d.journal = journal.New(jcap)
+	}
+
 	cfg := controller.Config{
 		Residence:    res,
 		WeeklyBudget: units.Energy(opts.WeeklyBudgetKWh),
 		Clock:        opts.Clock,
 		Health:       d.health,
 		Binding:      opts.Binding,
+		Journal:      d.journal,
 	}
 	switch opts.Mode {
 	case "EP", "ep", "":
@@ -167,6 +186,25 @@ func New(opts Options) (_ *Daemon, err error) {
 		d.closers = append(d.closers, svc.Close)
 		cfg.Persistence = svc
 		logf("recording measurements to %s", opts.PersistDir)
+
+		if d.journal != nil {
+			jl, err := persistence.OpenJournal(opts.PersistDir)
+			if err != nil {
+				return nil, err
+			}
+			d.closers = append(d.closers, jl.Close)
+			// Replay first so a restarted daemon can still explain
+			// decisions made before the restart, then sink so new
+			// verdicts append to the same log.
+			n, err := jl.Replay(d.journal.Preload)
+			if err != nil {
+				return nil, fmt.Errorf("daemon: replay decision journal: %w", err)
+			}
+			if n > 0 {
+				logf("replayed %d journaled decisions from %s", n, jl.Path())
+			}
+			d.journal.SetSink(jl)
+		}
 	}
 
 	if opts.Emulate {
@@ -221,13 +259,43 @@ func New(opts Options) (_ *Daemon, err error) {
 		mux.Handle("GET /metrics", metrics.Handler())
 		mux.Handle("GET /healthz", d.health.Handler())
 		mux.Handle("GET /debug/spans", metrics.DefaultTracer().Handler())
+		mux.Handle("GET /debug/exemplars", metrics.ExemplarHandler())
+		if d.journal != nil {
+			mux.Handle("GET /debug/decisions", d.journal.Handler())
+			mux.HandleFunc("GET /debug/trace/{id}", d.traceHandler)
+		}
 		d.metricSrv = &http.Server{Handler: mux}
 	}
 	return d, nil
 }
 
+// traceHandler serves GET /debug/trace/{id}: everything the daemon
+// knows about one trace — its spans (from the in-memory tracer ring)
+// and the planner decisions it caused (from the journal).
+func (d *Daemon) traceHandler(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	spans := metrics.DefaultTracer().ByTrace(id)
+	decisions := d.journal.Recent(journal.Filter{Trace: id})
+	if spans == nil {
+		spans = []metrics.SpanRecord{}
+	}
+	if decisions == nil {
+		decisions = []journal.Event{}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck // response committed
+		"trace":     id,
+		"spans":     spans,
+		"decisions": decisions,
+	})
+}
+
 // Controller exposes the wired Local Controller.
 func (d *Daemon) Controller() *controller.Controller { return d.ctrl }
+
+// Journal exposes the decision-provenance journal, or nil when
+// journaling is disabled (Options.JournalCap < 0).
+func (d *Daemon) Journal() *journal.Journal { return d.journal }
 
 // Health exposes the daemon's health state (wired to /healthz).
 func (d *Daemon) Health() *metrics.Health { return d.health }

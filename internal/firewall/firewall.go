@@ -54,6 +54,16 @@ type AuditEntry struct {
 	// Reason is the meta-rule or operator action behind a block, empty
 	// for allowed flows.
 	Reason string
+	// Trace is the causal trace ID of the planning cycle that installed
+	// the block rule this check hit, empty for allowed flows and for
+	// untraced blocks — the firewall's end of end-to-end tracing.
+	Trace string
+}
+
+// blockEntry is one installed block rule.
+type blockEntry struct {
+	reason string
+	trace  string
 }
 
 // Firewall is a thread-safe flow table. The zero value is not usable;
@@ -61,7 +71,7 @@ type AuditEntry struct {
 type Firewall struct {
 	mu      sync.Mutex
 	clock   simclock.Clock
-	blocked map[string]string // addr → reason
+	blocked map[string]blockEntry
 	audit   []AuditEntry
 	// counters
 	allowed int64
@@ -78,16 +88,23 @@ func New(clock simclock.Clock) *Firewall {
 	}
 	return &Firewall{
 		clock:      clock,
-		blocked:    make(map[string]string),
+		blocked:    make(map[string]blockEntry),
 		auditLimit: 4096,
 	}
 }
 
 // Block drops all future flows to addr, recording why.
 func (f *Firewall) Block(addr, reason string) {
+	f.BlockTraced(addr, reason, "")
+}
+
+// BlockTraced is Block tagged with the causal trace ID of the planning
+// cycle that decided the block; subsequent dropped checks of addr carry
+// the trace in their audit entries.
+func (f *Firewall) BlockTraced(addr, reason, trace string) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.blocked[addr] = reason
+	f.blocked[addr] = blockEntry{reason: reason, trace: trace}
 }
 
 // Unblock re-allows flows to addr. Unblocking an unblocked address is a
@@ -111,7 +128,7 @@ func (f *Firewall) Blocked(addr string) bool {
 func (f *Firewall) Check(addr string) Decision {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	reason, isBlocked := f.blocked[addr]
+	entry, isBlocked := f.blocked[addr]
 	d := Allow
 	if isBlocked {
 		d = Drop
@@ -125,7 +142,8 @@ func (f *Firewall) Check(addr string) Decision {
 		Time:     f.clock.Now(),
 		Addr:     addr,
 		Decision: d,
-		Reason:   reason,
+		Reason:   entry.reason,
+		Trace:    entry.trace,
 	})
 	if len(f.audit) > f.auditLimit {
 		// Keep the most recent half; copy so the old backing array is
@@ -173,7 +191,7 @@ func (f *Firewall) Rules() []string {
 func (f *Firewall) Reset() {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.blocked = make(map[string]string)
+	f.blocked = make(map[string]blockEntry)
 	f.audit = nil
 	f.allowed, f.dropped = 0, 0
 }

@@ -1,0 +1,21 @@
+package journal
+
+import "github.com/imcf/imcf/internal/metrics"
+
+// Canonical metric families of the decision journal. Declared here so
+// the metrics-hygiene lint rule can verify every family is observed
+// somewhere in the package.
+var (
+	// events counts decision events accepted into the journal ring.
+	events = metrics.NewCounter("imcf_journal_events_total",
+		"Decision-provenance events appended to the journal.")
+
+	// evicted counts events pushed out of the bounded ring by newer ones.
+	evicted = metrics.NewCounter("imcf_journal_evicted_total",
+		"Journal events evicted from the bounded ring by capacity pressure.")
+
+	// sinkErrors counts persistence sink failures (events that reached
+	// the in-memory ring but could not be durably appended).
+	sinkErrors = metrics.NewCounter("imcf_journal_sink_errors_total",
+		"Journal events the persistence sink failed to append.")
+)

@@ -57,4 +57,11 @@ var (
 	// HealthyGauge mirrors the daemon's /healthz state on /metrics.
 	HealthyGauge = NewGauge("imcf_healthy",
 		"1 when the last planning cycle succeeded, 0 after a cycle error.")
+
+	// TraceRequests counts HTTP requests entering trace-aware handlers,
+	// split by whether the traceparent arrived from an upstream hop
+	// ("propagated") or had to be minted fresh ("minted"). A healthy
+	// multi-hop deployment propagates on every interior hop.
+	TraceRequests = NewCounterVec("imcf_trace_requests_total",
+		"Trace-aware HTTP requests, by trace origin.", "origin")
 )

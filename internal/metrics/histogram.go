@@ -7,6 +7,7 @@ import (
 	"math"
 	"sort"
 	"strconv"
+	"sync"
 	"sync/atomic"
 )
 
@@ -31,6 +32,19 @@ type Histogram struct {
 	counts []atomic.Uint64 // len(bounds)+1, last is the +Inf bucket
 	sum    atomic.Uint64   // float64 bits
 	count  atomic.Uint64
+
+	// exemplars holds each bucket's most recent trace-tagged sample
+	// (len(bounds)+1, lazily allocated on the first ObserveExemplar).
+	// It is off the Observe hot path: only trace-carrying call sites
+	// (one per HTTP-driven planning cycle) pay the mutex.
+	exMu      sync.Mutex
+	exemplars []exemplar
+}
+
+// exemplar is one bucket's most recent trace-tagged observation.
+type exemplar struct {
+	value float64
+	trace string
 }
 
 // newHistogram builds a histogram, copying and validating the bounds.
@@ -60,6 +74,19 @@ func NewDetachedHistogram(buckets []float64) *Histogram {
 	return newHistogram("", "", buckets)
 }
 
+// bucketIndex returns the index of the bucket v falls in, the +Inf
+// bucket included. Linear scan: bucket counts are small (≤ ~20) and the
+// scan is branch-predictable, beating binary search at this size.
+//
+//imcf:noalloc
+func (h *Histogram) bucketIndex(v float64) int {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	return i
+}
+
 // Observe records one sample.
 //
 //imcf:noalloc
@@ -67,12 +94,7 @@ func (h *Histogram) Observe(v float64) {
 	if disabled.Load() {
 		return
 	}
-	// Linear scan: bucket counts are small (≤ ~20) and the scan is
-	// branch-predictable, beating binary search at this size.
-	i := 0
-	for i < len(h.bounds) && v > h.bounds[i] {
-		i++
-	}
+	i := h.bucketIndex(v)
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	for {
@@ -89,6 +111,54 @@ func (h *Histogram) Observe(v float64) {
 //
 //imcf:noalloc
 func (h *Histogram) ObserveDuration(seconds float64) { h.Observe(seconds) }
+
+// ObserveExemplar records one sample and, when trace is non-empty,
+// stores (v, trace) as the sample's bucket exemplar — the link from a
+// latency outlier to the causal trace that produced it, served at
+// /debug/exemplars. Pass a real trace ID or use Observe: a statically
+// empty trace literal is a metrics-hygiene lint finding.
+func (h *Histogram) ObserveExemplar(v float64, trace string) {
+	h.Observe(v)
+	if trace == "" || disabled.Load() {
+		return
+	}
+	i := h.bucketIndex(v)
+	h.exMu.Lock()
+	if h.exemplars == nil {
+		h.exemplars = make([]exemplar, len(h.bounds)+1)
+	}
+	h.exemplars[i] = exemplar{value: v, trace: trace}
+	h.exMu.Unlock()
+}
+
+// Exemplar is one bucket's exemplar as exposed on /debug/exemplars.
+// LE is the bucket's upper bound rendered like the exposition format
+// ("+Inf" for the overflow bucket).
+type Exemplar struct {
+	LE    string  `json:"le"`
+	Value float64 `json:"value"`
+	Trace string  `json:"trace"`
+}
+
+// Exemplars returns the histogram's bucket exemplars, lowest bound
+// first, omitting buckets that never saw a trace-tagged observation.
+func (h *Histogram) Exemplars() []Exemplar {
+	h.exMu.Lock()
+	defer h.exMu.Unlock()
+	var out []Exemplar
+	for i := range h.exemplars {
+		ex := h.exemplars[i]
+		if ex.trace == "" {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = strconv.FormatFloat(h.bounds[i], 'g', -1, 64)
+		}
+		out = append(out, Exemplar{LE: le, Value: ex.value, Trace: ex.trace})
+	}
+	return out
+}
 
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count.Load() }

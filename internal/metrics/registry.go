@@ -19,6 +19,7 @@ package metrics
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"net/http"
 	"sort"
@@ -202,6 +203,38 @@ func (r *Registry) Handler() http.Handler {
 
 // Handler serves the Default registry — the daemon's GET /metrics.
 func Handler() http.Handler { return Default().Handler() }
+
+// Exemplars returns every registered histogram's bucket exemplars,
+// keyed by family name; families without exemplars are omitted. The
+// classic text exposition on /metrics stays exemplar-free by design —
+// this is the JSON side channel behind GET /debug/exemplars.
+func (r *Registry) Exemplars() map[string][]Exemplar {
+	r.mu.RLock()
+	hists := make(map[string]*Histogram)
+	for name, c := range r.byName {
+		if h, ok := c.(*Histogram); ok {
+			hists[name] = h
+		}
+	}
+	r.mu.RUnlock()
+
+	out := make(map[string][]Exemplar)
+	for name, h := range hists {
+		if ex := h.Exemplars(); len(ex) > 0 {
+			out[name] = ex
+		}
+	}
+	return out
+}
+
+// ExemplarHandler serves the Default registry's histogram exemplars as
+// JSON — mount it at GET /debug/exemplars.
+func ExemplarHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(Default().Exemplars()) //nolint:errcheck // response committed
+	})
+}
 
 // writeFloat appends a float in the canonical exposition form.
 func writeFloat(w *bufio.Writer, v float64) {

@@ -9,11 +9,14 @@ import (
 
 // SpanRecord is one completed span: a named, timed section of the
 // serving path (an EP cycle, a store compaction, a relay broadcast).
+// Trace, when non-empty, is the hex trace ID of the causal trace the
+// span belongs to (see traceid.go); /debug/trace/<id> filters on it.
 type SpanRecord struct {
 	Name     string        `json:"name"`
 	Start    time.Time     `json:"start"`
 	Duration time.Duration `json:"durationNs"`
 	Err      string        `json:"err,omitempty"`
+	Trace    string        `json:"trace,omitempty"`
 }
 
 // Tracer collects completed spans into a fixed ring — lightweight
@@ -49,6 +52,7 @@ type Span struct {
 	tracer *Tracer
 	hist   *Histogram
 	name   string
+	trace  string
 	start  time.Time
 }
 
@@ -59,9 +63,21 @@ func (t *Tracer) StartSpan(name string, hist *Histogram) Span {
 	return Span{tracer: t, hist: hist, name: name, start: time.Now()}
 }
 
+// StartSpanTrace is StartSpan with a causal-trace tag: trace is the hex
+// trace ID (TraceContext.TraceIDString) the completed span records, or
+// "" for an untraced span.
+func (t *Tracer) StartSpanTrace(name string, hist *Histogram, trace string) Span {
+	return Span{tracer: t, hist: hist, name: name, trace: trace, start: time.Now()}
+}
+
 // StartSpan opens a span on the default tracer.
 func StartSpan(name string, hist *Histogram) Span {
 	return defaultTracer.StartSpan(name, hist)
+}
+
+// StartSpanTrace opens a trace-tagged span on the default tracer.
+func StartSpanTrace(name string, hist *Histogram, trace string) Span {
+	return defaultTracer.StartSpanTrace(name, hist, trace)
 }
 
 // End closes the span, records it in the tracer's ring and observes its
@@ -78,7 +94,7 @@ func (s Span) End(err error) time.Duration {
 		s.hist.Observe(d.Seconds())
 	}
 	if s.tracer != nil {
-		rec := SpanRecord{Name: s.name, Start: s.start, Duration: d}
+		rec := SpanRecord{Name: s.name, Start: s.start, Duration: d, Trace: s.trace}
 		if err != nil {
 			rec.Err = err.Error()
 		}
@@ -104,6 +120,21 @@ func (t *Tracer) Recent() []SpanRecord {
 		out = append(out, t.ring[:t.at]...)
 	} else {
 		out = append(out, t.ring[:t.n]...)
+	}
+	return out
+}
+
+// ByTrace returns the recorded spans tagged with the given trace ID,
+// oldest first — the span half of the daemon's /debug/trace/<id> view.
+func (t *Tracer) ByTrace(id string) []SpanRecord {
+	if id == "" {
+		return nil
+	}
+	var out []SpanRecord
+	for _, rec := range t.Recent() {
+		if rec.Trace == id {
+			out = append(out, rec)
+		}
 	}
 	return out
 }

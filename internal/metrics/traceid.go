@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"net/http"
+)
+
+// This file is the causal-tracing substrate of the serving path: a
+// W3C-style trace context minted at the outermost client, carried in
+// the `traceparent` HTTP header across every hop (APP → CC relay → LC
+// API → planner → firewall), and attached to the span ring and the
+// decision journal so one ID reassembles a request end to end
+// (DESIGN.md §10). It is deliberately not the workload-trace package
+// internal/trace, which stores sensor time series.
+
+// TraceHeader is the HTTP header carrying the trace context, per the
+// W3C Trace Context specification.
+const TraceHeader = "traceparent"
+
+// Trace-origin counters, resolved to their label children at init so
+// the middleware pays one atomic increment per request.
+var (
+	tracePropagated = TraceRequests.With("propagated")
+	traceMinted     = TraceRequests.With("minted")
+)
+
+// TraceContext is one hop's view of a trace: the 16-byte trace ID
+// shared by every hop of a logical request, and the 8-byte span ID of
+// the current hop. The zero value is invalid.
+type TraceContext struct {
+	TraceID [16]byte
+	SpanID  [8]byte
+}
+
+// NewTrace mints a fresh root trace context. Trace IDs come from
+// crypto/rand: minting happens at the serving path's edges (client SDK,
+// HTTP middleware), never inside the deterministic core/sim replay.
+func NewTrace() TraceContext {
+	var tc TraceContext
+	mustRand(tc.TraceID[:])
+	mustRand(tc.SpanID[:])
+	return tc
+}
+
+// mustRand fills b from crypto/rand; exhausting the system's entropy
+// source is unrecoverable.
+func mustRand(b []byte) {
+	if _, err := rand.Read(b); err != nil {
+		panic("metrics: crypto/rand: " + err.Error())
+	}
+}
+
+// Valid reports whether the context carries a non-zero trace ID (the
+// W3C validity rule).
+func (t TraceContext) Valid() bool { return t.TraceID != [16]byte{} }
+
+// Child returns the context to forward downstream: the same trace ID
+// with a fresh span ID identifying the new hop.
+func (t TraceContext) Child() TraceContext {
+	c := TraceContext{TraceID: t.TraceID}
+	mustRand(c.SpanID[:])
+	return c
+}
+
+// TraceIDString returns the 32-hex-digit trace ID — the key for
+// /debug/trace/<id>, span-ring tags and journal events.
+func (t TraceContext) TraceIDString() string {
+	return hex.EncodeToString(t.TraceID[:])
+}
+
+// Traceparent renders the context as a version-00 traceparent value:
+// 00-<trace-id>-<span-id>-01 (sampled flag always set; the subsystem
+// does not sample, it bounds retention instead — see DESIGN.md §10).
+func (t TraceContext) Traceparent() string {
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], t.TraceID[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], t.SpanID[:])
+	b[52], b[53], b[54] = '-', '0', '1'
+	return string(b[:])
+}
+
+// ParseTraceparent parses a traceparent header value. It accepts any
+// version except the reserved "ff" and requires a non-zero trace ID;
+// anything malformed reports false and the caller mints a fresh root.
+func ParseTraceparent(s string) (TraceContext, bool) {
+	var tc TraceContext
+	if len(s) < 55 || s[2] != '-' || s[35] != '-' || s[52] != '-' {
+		return TraceContext{}, false
+	}
+	if s[0] == 'f' && s[1] == 'f' {
+		return TraceContext{}, false
+	}
+	if _, err := hex.Decode(tc.TraceID[:], []byte(s[3:35])); err != nil {
+		return TraceContext{}, false
+	}
+	if _, err := hex.Decode(tc.SpanID[:], []byte(s[36:52])); err != nil {
+		return TraceContext{}, false
+	}
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// traceCtxKey keys the trace context in a context.Context.
+type traceCtxKey struct{}
+
+// ContextWithTrace returns ctx carrying tc; handlers and the client SDK
+// read it back with TraceFrom.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFrom extracts the trace context carried by ctx.
+func TraceFrom(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok && tc.Valid()
+}
+
+// TraceIDFrom returns the hex trace ID carried by ctx, or "" when ctx
+// carries none — the form span tags, journal events and exemplars use.
+func TraceIDFrom(ctx context.Context) string {
+	if tc, ok := TraceFrom(ctx); ok {
+		return tc.TraceIDString()
+	}
+	return ""
+}
+
+// InjectTrace stamps an outgoing request with the context's
+// traceparent, deriving a fresh child span ID for the downstream hop.
+func InjectTrace(req *http.Request, tc TraceContext) {
+	req.Header.Set(TraceHeader, tc.Child().Traceparent())
+}
+
+// TraceMiddleware wraps an HTTP handler with trace propagation: the
+// incoming traceparent is parsed (a fresh root is minted when absent or
+// malformed), stored in the request context, echoed on the response,
+// and one span named spanName, tagged with the trace ID, is recorded in
+// the default tracer per request.
+func TraceMiddleware(spanName string, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tc, ok := ParseTraceparent(r.Header.Get(TraceHeader))
+		if ok {
+			tracePropagated.Inc()
+		} else {
+			tc = NewTrace()
+			traceMinted.Inc()
+		}
+		w.Header().Set(TraceHeader, tc.Traceparent())
+		sp := StartSpanTrace(spanName, nil, tc.TraceIDString())
+		next.ServeHTTP(w, r.WithContext(ContextWithTrace(r.Context(), tc)))
+		sp.End(nil)
+	})
+}

@@ -1,0 +1,161 @@
+package metrics
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceAndFormat(t *testing.T) {
+	tc := NewTrace()
+	if !tc.Valid() {
+		t.Fatal("NewTrace not valid")
+	}
+	tp := tc.Traceparent()
+	if len(tp) != 55 {
+		t.Fatalf("traceparent length = %d, want 55: %q", len(tp), tp)
+	}
+	if !strings.HasPrefix(tp, "00-") || !strings.HasSuffix(tp, "-01") {
+		t.Fatalf("traceparent framing: %q", tp)
+	}
+	if got := len(tc.TraceIDString()); got != 32 {
+		t.Fatalf("trace id hex length = %d", got)
+	}
+
+	child := tc.Child()
+	if child.TraceID != tc.TraceID {
+		t.Fatal("Child changed the trace id")
+	}
+	if child.SpanID == tc.SpanID {
+		t.Fatal("Child kept the span id")
+	}
+
+	if (TraceContext{}).Valid() {
+		t.Fatal("zero TraceContext reported valid")
+	}
+	a, b := NewTrace(), NewTrace()
+	if a.TraceID == b.TraceID {
+		t.Fatal("two minted traces collided")
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	tc := NewTrace()
+	back, ok := ParseTraceparent(tc.Traceparent())
+	if !ok {
+		t.Fatal("round trip rejected")
+	}
+	if back.TraceID != tc.TraceID || back.SpanID != tc.SpanID {
+		t.Fatal("round trip mangled ids")
+	}
+
+	bad := []string{
+		"",
+		"00-short",
+		"ff-0af7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // version ff
+		"00-00000000000000000000000000000000-b7ad6b7169203331-01", // zero trace id
+		"00-0af7651916cd43dd8448eb211c80319c_b7ad6b7169203331-01", // bad dash
+		"00-zzf7651916cd43dd8448eb211c80319c-b7ad6b7169203331-01", // bad hex
+		"00-0af7651916cd43dd8448eb211c80319c-zzad6b7169203331-01", // bad span hex
+	}
+	for _, s := range bad {
+		if _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent accepted %q", s)
+		}
+	}
+}
+
+func TestContextHelpers(t *testing.T) {
+	ctx := context.Background()
+	if _, ok := TraceFrom(ctx); ok {
+		t.Fatal("empty context has a trace")
+	}
+	if got := TraceIDFrom(ctx); got != "" {
+		t.Fatalf("TraceIDFrom(empty) = %q", got)
+	}
+	tc := NewTrace()
+	ctx = ContextWithTrace(ctx, tc)
+	back, ok := TraceFrom(ctx)
+	if !ok || back != tc {
+		t.Fatal("context round trip failed")
+	}
+	if got := TraceIDFrom(ctx); got != tc.TraceIDString() {
+		t.Fatalf("TraceIDFrom = %q", got)
+	}
+}
+
+func TestInjectTrace(t *testing.T) {
+	tc := NewTrace()
+	req := httptest.NewRequest("GET", "/x", nil)
+	InjectTrace(req, tc)
+	got, ok := ParseTraceparent(req.Header.Get(TraceHeader))
+	if !ok {
+		t.Fatal("injected header unparseable")
+	}
+	if got.TraceID != tc.TraceID {
+		t.Fatal("injected header changed trace id")
+	}
+	if got.SpanID == tc.SpanID {
+		t.Fatal("injected header must carry a child span id")
+	}
+}
+
+func TestTraceMiddleware(t *testing.T) {
+	var seen TraceContext
+	h := TraceMiddleware("test.handler", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		seen, _ = TraceFrom(r.Context())
+	}))
+
+	// Propagated: upstream traceparent wins.
+	up := NewTrace()
+	req := httptest.NewRequest("GET", "/x", nil)
+	req.Header.Set(TraceHeader, up.Traceparent())
+	rr := httptest.NewRecorder()
+	propBefore := tracePropagated.Value()
+	h.ServeHTTP(rr, req)
+	if seen.TraceID != up.TraceID {
+		t.Fatal("middleware dropped the upstream trace id")
+	}
+	if tracePropagated.Value() != propBefore+1 {
+		t.Fatal("propagated counter not incremented")
+	}
+	if echo, ok := ParseTraceparent(rr.Header().Get(TraceHeader)); !ok || echo.TraceID != up.TraceID {
+		t.Fatal("middleware did not echo the trace on the response")
+	}
+
+	// Minted: no upstream header.
+	mintBefore := traceMinted.Value()
+	rr = httptest.NewRecorder()
+	h.ServeHTTP(rr, httptest.NewRequest("GET", "/x", nil))
+	if !seen.Valid() {
+		t.Fatal("middleware did not mint a trace")
+	}
+	if traceMinted.Value() != mintBefore+1 {
+		t.Fatal("minted counter not incremented")
+	}
+
+	// The handled span lands in the default tracer ring, trace-tagged.
+	if spans := DefaultTracer().ByTrace(seen.TraceIDString()); len(spans) == 0 {
+		t.Fatal("middleware recorded no span for the minted trace")
+	} else if spans[0].Name != "test.handler" {
+		t.Fatalf("span name = %q", spans[0].Name)
+	}
+}
+
+func TestTracerByTrace(t *testing.T) {
+	tr := NewTracer(8)
+	tc := NewTrace()
+	tr.StartSpanTrace("a", nil, tc.TraceIDString()).End(nil)
+	tr.StartSpanTrace("b", nil, "other").End(nil)
+	tr.StartSpan("c", nil).End(nil)
+
+	got := tr.ByTrace(tc.TraceIDString())
+	if len(got) != 1 || got[0].Name != "a" {
+		t.Fatalf("ByTrace = %+v", got)
+	}
+	if tr.ByTrace("") != nil {
+		t.Fatal("ByTrace(\"\") must return nil")
+	}
+}

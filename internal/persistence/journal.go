@@ -1,0 +1,133 @@
+package persistence
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"github.com/imcf/imcf/internal/journal"
+	"github.com/imcf/imcf/internal/metrics"
+)
+
+// journalRecords counts decision events durably appended to the
+// journal log.
+var journalRecords = metrics.NewCounter("imcf_persistence_journal_records_total",
+	"Decision-provenance events appended to the on-disk journal log.")
+
+// JournalFile is the decision journal's file name inside the
+// persistence directory.
+const JournalFile = "decisions.jnl"
+
+// JournalLog is the durable backing of the decision journal: one JSON
+// event per line, appended and flushed synchronously so a crash loses
+// at most the event being written. It implements journal.Sink; the
+// daemon replays it on boot (Replay → journal.Preload) and installs it
+// as the live journal's sink, making "why was rule R dropped"
+// answerable across restarts. Safe for concurrent use.
+type JournalLog struct {
+	mu   sync.Mutex
+	path string
+	f    *os.File
+	bw   *bufio.Writer
+	enc  *json.Encoder
+}
+
+// OpenJournal opens (creating if needed) the journal log in dir.
+func OpenJournal(dir string) (*JournalLog, error) {
+	if dir == "" {
+		return nil, errors.New("persistence: journal dir must be set")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persistence: create journal dir: %w", err)
+	}
+	return OpenJournalFile(filepath.Join(dir, JournalFile))
+}
+
+// OpenJournalFile opens (creating if needed) a journal log at an
+// explicit path — cmd/imcf-explain uses it to read arbitrary dumps.
+func OpenJournalFile(path string) (*JournalLog, error) {
+	if path == "" {
+		return nil, errors.New("persistence: journal path must be set")
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("persistence: open journal: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	return &JournalLog{path: path, f: f, bw: bw, enc: json.NewEncoder(bw)}, nil
+}
+
+// Path returns the log's file path.
+func (l *JournalLog) Path() string { return l.path }
+
+// AppendEvent durably appends one event (implements journal.Sink).
+func (l *JournalLog) AppendEvent(ev journal.Event) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return errors.New("persistence: journal log is closed")
+	}
+	if err := l.enc.Encode(ev); err != nil {
+		return fmt.Errorf("persistence: encode journal event: %w", err)
+	}
+	if err := l.bw.Flush(); err != nil {
+		return fmt.Errorf("persistence: flush journal: %w", err)
+	}
+	journalRecords.Inc()
+	return nil
+}
+
+// Replay reads the log from the start, invoking fn for each decoded
+// event, and returns the number of events replayed. A torn final line
+// (crash mid-append) is ignored; a malformed interior line aborts with
+// an error.
+func (l *JournalLog) Replay(fn func(journal.Event)) (int, error) {
+	data, err := os.ReadFile(l.path)
+	if err != nil {
+		return 0, fmt.Errorf("persistence: read journal: %w", err)
+	}
+	n := 0
+	for len(data) > 0 {
+		line := data
+		nl := bytes.IndexByte(data, '\n')
+		if nl < 0 {
+			// No trailing newline: a torn final append. Skip it.
+			break
+		}
+		line, data = data[:nl], data[nl+1:]
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var ev journal.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return n, fmt.Errorf("persistence: journal line %d: %w", n+1, err)
+		}
+		fn(ev)
+		n++
+	}
+	return n, nil
+}
+
+// Close flushes and closes the log. The log is unusable after.
+func (l *JournalLog) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	flushErr := l.bw.Flush()
+	closeErr := l.f.Close()
+	l.f = nil
+	if flushErr != nil {
+		return fmt.Errorf("persistence: flush journal: %w", flushErr)
+	}
+	if closeErr != nil {
+		return fmt.Errorf("persistence: close journal: %w", closeErr)
+	}
+	return nil
+}

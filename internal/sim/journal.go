@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"time"
+
+	"github.com/imcf/imcf/internal/journal"
+)
+
+// simRecorder adapts the planner's index-based DecisionRecorder
+// callbacks into journal events during an EP replay: problem index i
+// names the i-th planned entry of the window the consume loop has bound.
+// Recording is strictly read-only with respect to the replay — it runs
+// after each window's plan is final, from the sequential consume
+// goroutine, and touches neither the ledger nor the planner RNG, so
+// results are bit-identical with and without a journal (pinned by
+// TestRunEPJournalDoesNotPerturbResults).
+type simRecorder struct {
+	j      *journal.Journal
+	w      *Workload
+	wp     *windowProblem
+	slot   time.Time
+	window int
+}
+
+// bind points the recorder at the window about to be planned.
+//
+//imcf:noalloc
+func (sr *simRecorder) bind(wp *windowProblem, slot time.Time, window int) {
+	sr.wp, sr.slot, sr.window = wp, slot, window
+}
+
+// RecordDecision implements core.DecisionRecorder. Flip* sentinels pass
+// through numerically (core and journal declare identical values).
+func (sr *simRecorder) RecordDecision(i int, executed bool, flipIter int, rem, energy, fce float64) {
+	wr := &sr.wp.present[sr.wp.planned[i]]
+	rs := &sr.w.ruleList[wr.ri]
+	v := journal.VerdictDropped
+	if executed {
+		v = journal.VerdictExecuted
+	}
+	sr.j.Append(journal.Event{
+		Slot:           sr.slot,
+		Window:         sr.window,
+		Rule:           rs.rule.ID,
+		Owner:          rs.owner,
+		Verdict:        v,
+		EpRemainingKWh: rem,
+		EnergyKWh:      energy,
+		FCEDelta:       fce,
+		FlipIter:       flipIter,
+	})
+}

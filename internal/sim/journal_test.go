@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/imcf/imcf/internal/journal"
+)
+
+// TestRunEPJournalDoesNotPerturbResults pins the journal's read-only
+// contract: the same EP replay with and without a journal — sequential
+// and pipelined — produces bit-identical ledger hashes. Journaling
+// happens after each window's plan is final, from the sequential
+// consume loop, so it must not move a single bit of the result.
+func TestRunEPJournalDoesNotPerturbResults(t *testing.T) {
+	w := buildWorkload(t, oneYearFlat(t))
+	var hashes []uint64
+	for _, withJournal := range []bool{false, true, true} {
+		for _, workers := range []int{1, 8} {
+			opts := Options{Workers: workers}
+			opts.Planner.Seed = 42
+			if withJournal {
+				opts.Journal = journal.New(1 << 16)
+			}
+			res, err := Run(w, EP, opts)
+			if err != nil {
+				t.Fatalf("journal=%v workers=%d: %v", withJournal, workers, err)
+			}
+			hashes = append(hashes, resultLedgerHash(t, res))
+			if withJournal && opts.Journal.Len() == 0 {
+				t.Fatalf("journal=%v workers=%d: no events recorded", withJournal, workers)
+			}
+		}
+	}
+	for i := 1; i < len(hashes); i++ {
+		if hashes[i] != hashes[0] {
+			t.Errorf("run %d hash %#x != run 0 hash %#x — journaling perturbed the replay", i, hashes[i], hashes[0])
+		}
+	}
+}
+
+// TestRunEPJournalEventContent checks the events the replay emits: one
+// per (window, present convenience rule), slots on the grid, windows
+// increasing, provenance fields populated.
+func TestRunEPJournalEventContent(t *testing.T) {
+	w := buildWorkload(t, oneYearFlat(t))
+	j := journal.New(1 << 16)
+	opts := Options{Workers: 1, Journal: j}
+	opts.Planner.Seed = 42
+	res, err := Run(w, EP, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	evs := j.Recent(journal.Filter{})
+	if len(evs) == 0 {
+		t.Fatal("no journal events")
+	}
+	executed := 0
+	lastWindow := -1
+	for _, ev := range evs {
+		if ev.Rule == "" {
+			t.Fatalf("event without rule ID: %+v", ev)
+		}
+		if ev.Window < lastWindow {
+			t.Fatalf("window ordinals regressed: %d after %d", ev.Window, lastWindow)
+		}
+		lastWindow = ev.Window
+		if _, ok := w.Grid.SlotAt(ev.Slot); !ok {
+			t.Fatalf("event slot %v off the replay grid", ev.Slot)
+		}
+		if ev.FlipIter < journal.FlipRepair {
+			t.Fatalf("flip iter %d below sentinels: %+v", ev.FlipIter, ev)
+		}
+		if ev.Verdict == journal.VerdictExecuted {
+			executed++
+			if ev.FCEDelta != 0 {
+				t.Fatalf("executed event with FCEDelta %v", ev.FCEDelta)
+			}
+		} else if ev.FCEDelta < 0 {
+			// Zero is legitimate: zero-gain rules drop without error.
+			t.Fatalf("dropped event with negative FCEDelta: %+v", ev)
+		}
+		if ev.EnergyKWh <= 0 {
+			t.Fatalf("event with non-positive energy: %+v", ev)
+		}
+	}
+	if executed == 0 || executed == len(evs) {
+		t.Fatalf("degenerate verdict mix: %d executed of %d (F_CE %v)", executed, len(evs), res.ConvenienceError)
+	}
+}
+
+// TestRunBaselinesIgnoreJournal pins that NR/IFTTT/MR runs make no
+// planner decisions and therefore record nothing.
+func TestRunBaselinesIgnoreJournal(t *testing.T) {
+	w := buildWorkload(t, oneYearFlat(t))
+	for _, alg := range []Algorithm{NR, IFTTT, MR} {
+		j := journal.New(64)
+		opts := Options{Workers: 1, Journal: j}
+		if _, err := Run(w, alg, opts); err != nil {
+			t.Fatalf("%v: %v", alg, err)
+		}
+		if j.Len() != 0 {
+			t.Errorf("%v recorded %d journal events", alg, j.Len())
+		}
+	}
+}

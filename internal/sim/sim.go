@@ -16,6 +16,7 @@ import (
 	"github.com/imcf/imcf/internal/core"
 	"github.com/imcf/imcf/internal/ecp"
 	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/journal"
 	"github.com/imcf/imcf/internal/metrics"
 	"github.com/imcf/imcf/internal/rules"
 	"github.com/imcf/imcf/internal/simclock"
@@ -95,6 +96,12 @@ type Options struct {
 	// forces the fully sequential fallback path. Results are
 	// bit-identical for any value — only wall-clock changes.
 	Workers int
+	// Journal, when set, records one decision-provenance event per rule
+	// verdict per EP plan window (see internal/journal). Events are
+	// appended from the sequential consume loop after each window's plan
+	// is final, so journaling cannot perturb results; baselines ignore
+	// it (they make no planner decisions).
+	Journal *journal.Journal
 }
 
 // DefaultPlanWindowHours is the default EP decision window: one day.
@@ -561,6 +568,9 @@ type ledgerState struct {
 	carryCap float64
 	carry    float64
 	problem  core.Problem
+	// rec, when non-nil, is the provenance recorder bound to each window
+	// just before its plan runs (journaling replay mode).
+	rec *simRecorder
 }
 
 // consumeWindow runs the planner over one prepared window and folds the
@@ -578,6 +588,9 @@ func (w *Workload) consumeWindow(ls *ledgerState, wp *windowProblem, acc *runAcc
 	ls.problem.Costs = wp.costs
 	ls.problem.Budget = max(budget-wp.necessity, 0)
 
+	if ls.rec != nil {
+		ls.rec.bind(wp, w.Grid.Slot(wp.w0).Start, wp.w0/ls.opts.PlanWindowHours)
+	}
 	sol, eval, err := ls.planner.Plan(ls.problem)
 	if err != nil {
 		return err
@@ -629,6 +642,10 @@ func (w *Workload) runEP(planner *core.Planner, opts Options, hourlyBudget [13]f
 	window := opts.PlanWindowHours
 	nWindows := (n + window - 1) / window
 	ls := &ledgerState{planner: planner, opts: opts, carryCap: carryCap}
+	if opts.Journal != nil {
+		ls.rec = &simRecorder{j: opts.Journal, w: w}
+		planner.SetRecorder(ls.rec)
+	}
 
 	workers := opts.workers()
 	if workers > nWindows {

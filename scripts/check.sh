@@ -27,6 +27,12 @@ go vet ./...
 echo ">> imcf-lint ./..."
 go run ./cmd/imcf-lint ./...
 
+# Tracing-overhead gate: the disabled tracing/journaling paths must
+# stay allocation-free (testing.AllocsPerRun == 0). Run outside -race
+# (the detector's instrumentation allocates and would mask regressions).
+echo ">> go test -run AllocsTrace ./internal/metrics ./internal/journal"
+go test -run AllocsTrace -count=1 ./internal/metrics ./internal/journal
+
 echo ">> go test -race ./..."
 go test -race ./...
 
@@ -44,7 +50,9 @@ fi
 
 # Coverage floors. internal/metrics is the serving path's
 # observability substrate; internal/analysis is the lint rule suite,
-# whose false negatives silently erode the invariants it guards.
+# whose false negatives silently erode the invariants it guards;
+# internal/journal is the decision-provenance record whose gaps would
+# make "why was rule R dropped" unanswerable.
 check_floor() {
     pkg="$1" floor="$2"
     cov=$(echo "$cover_out" | awk -v p="/$pkg\$" '
@@ -64,5 +72,6 @@ check_floor() {
 }
 check_floor internal/metrics 90
 check_floor internal/analysis 90
+check_floor internal/journal 90
 
 echo "check: OK"

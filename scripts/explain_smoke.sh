@@ -1,0 +1,87 @@
+#!/bin/sh
+# explain_smoke.sh — the explainability acceptance path as a shell
+# smoke: boot imcfd with persistence and a tight budget, run a planning
+# cycle so the Energy Planner drops a rule, restart the daemon, and ask
+# the real imcf-explain binary why — the answer must come from the
+# replayed on-disk journal and cite the E_p budget. Run from the repo
+# root (or via `make explain-smoke`).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+workdir=$(mktemp -d)
+bin="$workdir/imcfd"
+explain="$workdir/imcf-explain"
+log="$workdir/imcfd.log"
+persist="$workdir/persist"
+
+cleanup() {
+    [ -n "${pid:-}" ] && kill "$pid" 2>/dev/null || true
+    rm -rf "$workdir"
+}
+trap cleanup EXIT INT TERM
+
+echo ">> building imcfd and imcf-explain"
+go build -o "$bin" ./cmd/imcfd
+go build -o "$explain" ./cmd/imcf-explain
+
+api_port=${IMCF_SMOKE_API_PORT:-18090}
+obs_port=${IMCF_SMOKE_METRICS_PORT:-18091}
+api="http://127.0.0.1:$api_port"
+obs="http://127.0.0.1:$obs_port"
+
+start_daemon() {
+    # A 5 kWh weekly budget guarantees drops, so the journal always has
+    # a verdict worth explaining.
+    "$bin" -addr "127.0.0.1:$api_port" -metrics-addr "127.0.0.1:$obs_port" \
+        -residence flat -interval 1h -weekly-budget 5 -persist "$persist" \
+        >>"$log" 2>&1 &
+    pid=$!
+    ready=""
+    for _ in $(seq 1 50); do
+        if curl -fsS "$obs/healthz" >/dev/null 2>&1; then
+            ready=1
+            break
+        fi
+        sleep 0.1
+    done
+    if [ -z "$ready" ]; then
+        echo "explain-smoke: FAIL — daemon never became ready" >&2
+        cat "$log" >&2
+        exit 1
+    fi
+}
+
+echo ">> starting imcfd (api :$api_port, metrics :$obs_port)"
+start_daemon
+
+echo ">> running one planning cycle"
+curl -fsS -X POST -d '{}' "$api/rest/plan/run" >/dev/null
+
+echo ">> finding a dropped rule in /debug/decisions"
+dropped_rule=$(curl -fsS "$obs/debug/decisions?verdict=dropped&limit=1" |
+    sed -n 's/.*"rule":"\([^"]*\)".*/\1/p')
+if [ -z "$dropped_rule" ]; then
+    echo "explain-smoke: FAIL — no dropped rule in the journal" >&2
+    exit 1
+fi
+echo "   dropped: $dropped_rule"
+
+echo ">> restarting imcfd"
+kill "$pid"
+wait "$pid" 2>/dev/null || true
+pid=""
+start_daemon
+
+echo ">> explaining the drop against the restarted daemon"
+answer=$("$explain" -rule "$dropped_rule" -verdict dropped -daemon "$obs")
+echo "$answer"
+case "$answer" in
+*"E_p remaining"*) ;;
+*)
+    echo "explain-smoke: FAIL — explanation does not cite E_p remaining" >&2
+    exit 1
+    ;;
+esac
+
+echo "explain-smoke: OK"
