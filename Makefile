@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint bench fig6bench metrics-smoke explain-smoke
+.PHONY: all build vet test race check lint bench fig6bench metrics-smoke explain-smoke crash-suite
 
 all: check
 
@@ -33,6 +33,15 @@ bench:
 # fig6bench regenerates the machine-readable perf artifact.
 fig6bench:
 	$(GO) run ./cmd/imcf-bench -reps 3 -benchjson BENCH_fig6.json
+
+# crash-suite runs the kill-at-every-failpoint recovery harness (see
+# DESIGN.md §11): store and journal crash/recovery at every I/O
+# failpoint, compaction-rename durability, and the daemon degraded-mode
+# e2e. Part of check; this target reruns it in isolation, verbosely.
+crash-suite:
+	$(GO) test -count=1 -v \
+		-run 'CrashRecoveryEveryFailpoint|CompactionRenameDurability|FailedCompactionLeavesCleanErrors|ProbeRecordsAreInvisible|JournalCrashRecoveryEveryFailpoint|JournalSyncCadence|DaemonDegradedMode' \
+		./internal/store ./internal/persistence ./internal/daemon
 
 # metrics-smoke boots imcfd, runs a planning cycle and checks that
 # /metrics serves the core families and /healthz reports ok.

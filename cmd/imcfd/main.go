@@ -40,22 +40,24 @@ func main() {
 		persist     = flag.String("persist", "", "directory for measurement persistence (empty disables)")
 		mode        = flag.String("mode", "EP", "planning mode: EP, IFTTT or manual")
 		journalCap  = flag.Int("journal-cap", daemon.DefaultJournalCap, "decision journal ring capacity (negative disables journaling)")
+		journalSync = flag.Int("journal-sync", 1, "fsync the decision journal every N events (negative: only on shutdown)")
 	)
 	flag.Parse()
 
 	d, err := daemon.New(daemon.Options{
-		Addr:            *addr,
-		MetricsAddr:     *metricsAddr,
-		Residence:       *residence,
-		Seed:            *seed,
-		StoreDir:        *storeDir,
-		PersistDir:      *persist,
-		MRTPath:         *mrtPath,
-		Mode:            *mode,
-		Interval:        *interval,
-		WeeklyBudgetKWh: *weekly,
-		Emulate:         *emulate,
-		JournalCap:      *journalCap,
+		Addr:             *addr,
+		MetricsAddr:      *metricsAddr,
+		Residence:        *residence,
+		Seed:             *seed,
+		StoreDir:         *storeDir,
+		PersistDir:       *persist,
+		MRTPath:          *mrtPath,
+		Mode:             *mode,
+		Interval:         *interval,
+		WeeklyBudgetKWh:  *weekly,
+		Emulate:          *emulate,
+		JournalCap:       *journalCap,
+		JournalSyncEvery: *journalSync,
 	})
 	if err != nil {
 		log.Fatalf("imcfd: %v", err)

@@ -11,10 +11,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"net/url"
+	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"github.com/imcf/imcf/internal/controller"
@@ -28,9 +32,20 @@ var (
 	sdkRequests = metrics.NewCounter("imcf_client_requests_total",
 		"HTTP requests issued by the Go SDK, including retries.")
 	sdkRetries = metrics.NewCounter("imcf_client_retries_total",
-		"SDK requests re-issued after a transport error or 5xx.")
+		"SDK requests re-issued after a transport error, 5xx or 429.")
 	sdkErrors = metrics.NewCounter("imcf_client_errors_total",
 		"SDK requests that ended in a transport error or non-2xx status.")
+)
+
+// Backoff policy: exponential growth from backoffBase, capped at
+// backoffCap, with deterministic jitter in [d/2, d]. A server-supplied
+// Retry-After (daemon degraded mode sends one on its 503s) overrides
+// the computed delay, capped at retryAfterCap so a confused server
+// cannot park the client for minutes.
+const (
+	backoffBase   = 10 * time.Millisecond
+	backoffCap    = 2 * time.Second
+	retryAfterCap = 30 * time.Second
 )
 
 // Client talks to one Local Controller.
@@ -38,6 +53,9 @@ type Client struct {
 	base    string
 	http    *http.Client
 	retries int
+
+	mu  sync.Mutex // guards rng
+	rng *rand.Rand // jitter source, seeded from base for reproducibility
 }
 
 // New returns a client for the controller at baseURL. httpClient nil
@@ -50,14 +68,24 @@ func New(baseURL string, httpClient *http.Client) (*Client, error) {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimSuffix(baseURL, "/"), http: httpClient}, nil
+	// Jitter is seeded from the base URL: retry timing is reproducible
+	// for a given target, while clients of distinct controllers (or
+	// relay paths) still spread out.
+	h := fnv.New64a()
+	h.Write([]byte(baseURL)) //nolint:errcheck // fnv writes never fail
+	return &Client{
+		base: strings.TrimSuffix(baseURL, "/"),
+		http: httpClient,
+		rng:  rand.New(rand.NewPCG(h.Sum64(), 0x9e3779b97f4a7c15)),
+	}, nil
 }
 
 // WithRetries returns the client configured to re-issue requests up to
-// n extra times on transport errors or 5xx responses, with a short
-// linear backoff. Non-idempotent POSTs are retried too: every
-// controller route tolerates replay (plan cycles are re-runnable,
-// MRT/commands are idempotent writes).
+// n extra times on transport errors, 5xx responses or 429s, with
+// capped exponential backoff and deterministic jitter; a Retry-After
+// header on the response overrides the computed delay. Non-idempotent
+// POSTs are retried too: every controller route tolerates replay (plan
+// cycles are re-runnable, MRT/commands are idempotent writes).
 func (c *Client) WithRetries(n int) *Client {
 	if n < 0 {
 		n = 0
@@ -184,6 +212,48 @@ func (c *Client) Aggregates(ctx context.Context, item string, from, to time.Time
 	return out, c.get(ctx, path, &out)
 }
 
+// backoff returns the delay before retry number attempt (1-based):
+// exponential growth from backoffBase capped at backoffCap, jittered
+// into [d/2, d] so synchronized clients de-correlate. The jitter
+// stream is per-client and seeded, so a test (or a replayed trace)
+// sees the same delays every run.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := backoffCap
+	if attempt < 63 { // avoid shifting into the sign bit
+		if shifted := backoffBase << (attempt - 1); shifted > 0 && shifted < backoffCap {
+			d = shifted
+		}
+	}
+	c.mu.Lock()
+	j := time.Duration(c.rng.Int64N(int64(d)/2 + 1))
+	c.mu.Unlock()
+	return d/2 + j
+}
+
+// parseRetryAfter interprets a Retry-After header, either delta-seconds
+// or an HTTP-date, capped at retryAfterCap. ok is false when the header
+// is absent or unparseable.
+func parseRetryAfter(h string) (d time.Duration, ok bool) {
+	h = strings.TrimSpace(h)
+	if h == "" {
+		return 0, false
+	}
+	if secs, err := strconv.Atoi(h); err == nil {
+		if secs < 0 {
+			return 0, false
+		}
+		d = time.Duration(secs) * time.Second
+	} else if t, err := http.ParseTime(h); err == nil {
+		d = time.Until(t)
+		if d < 0 {
+			d = 0
+		}
+	} else {
+		return 0, false
+	}
+	return min(d, retryAfterCap), true
+}
+
 func (c *Client) get(ctx context.Context, path string, out any) error {
 	return c.do(ctx, http.MethodGet, path, nil, out)
 }
@@ -214,13 +284,14 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) (er
 	} else if method == http.MethodPost {
 		raw = []byte("{}")
 	}
+	var wait time.Duration // delay before the next attempt, set at the failure site
 	for attempt := 0; ; attempt++ {
 		if attempt > 0 {
 			sdkRetries.Inc()
 			select {
 			case <-ctx.Done():
 				return ctx.Err()
-			case <-time.After(time.Duration(attempt) * 10 * time.Millisecond):
+			case <-time.After(wait):
 			}
 		}
 		// The request (and its body reader) is rebuilt every attempt: a
@@ -242,6 +313,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) (er
 		if err != nil {
 			sdkErrors.Inc()
 			if attempt < c.retries && ctx.Err() == nil {
+				wait = c.backoff(attempt + 1)
 				continue
 			}
 			return fmt.Errorf("client: %s %s: %w", method, path, err)
@@ -255,8 +327,17 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) (er
 			if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&e) == nil && e.Error != "" {
 				msg = e.Error
 			}
+			retryAfter := resp.Header.Get("Retry-After")
 			resp.Body.Close()
-			if resp.StatusCode >= 500 && attempt < c.retries {
+			retryable := resp.StatusCode >= 500 || resp.StatusCode == http.StatusTooManyRequests
+			if retryable && attempt < c.retries {
+				// A degraded or throttling server knows when to come back
+				// better than our schedule does — honor its Retry-After.
+				if d, ok := parseRetryAfter(retryAfter); ok {
+					wait = d
+				} else {
+					wait = c.backoff(attempt + 1)
+				}
 				continue
 			}
 			return &APIError{Status: resp.StatusCode, Message: msg}

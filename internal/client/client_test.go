@@ -2,7 +2,10 @@ package client
 
 import (
 	"context"
+	"errors"
+	"net/http"
 	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -194,5 +197,162 @@ func TestContextCancellation(t *testing.T) {
 	cancel()
 	if _, err := cl.Items(cancelled); err == nil {
 		t.Error("cancelled context succeeded")
+	}
+}
+
+// flakyServer answers with the scripted status codes (plus optional
+// headers) in order, then 200 {"ok":true} forever. It records the
+// Retry-After each failing response advertised.
+func flakyServer(t *testing.T, script []int, headers map[string]string) (*httptest.Server, *int32) {
+	t.Helper()
+	var calls int32
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := atomic.AddInt32(&calls, 1)
+		if int(n) <= len(script) {
+			for k, v := range headers {
+				w.Header().Set(k, v)
+			}
+			w.WriteHeader(script[int(n)-1])
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}`)) //nolint:errcheck // test server
+	}))
+	t.Cleanup(srv.Close)
+	return srv, &calls
+}
+
+func TestRetryOn5xxAnd429(t *testing.T) {
+	srv, calls := flakyServer(t, []int{503, 429, 500}, nil)
+	cl, err := New(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.WithRetries(5)
+	if err := cl.get(ctx, "/", new(map[string]bool)); err != nil {
+		t.Fatalf("get after 503/429/500: %v", err)
+	}
+	if got := atomic.LoadInt32(calls); got != 4 {
+		t.Fatalf("server saw %d calls, want 4 (3 failures + success)", got)
+	}
+
+	// 4xx other than 429 must NOT be retried.
+	srv2, calls2 := flakyServer(t, []int{404}, nil)
+	cl2, err := New(srv2.URL, srv2.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl2.WithRetries(5)
+	err = cl2.get(ctx, "/", new(map[string]bool))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 404 {
+		t.Fatalf("err = %v, want 404 APIError", err)
+	}
+	if got := atomic.LoadInt32(calls2); got != 1 {
+		t.Fatalf("404 retried: server saw %d calls", got)
+	}
+}
+
+func TestRetryExhaustionReturnsLastStatus(t *testing.T) {
+	srv, calls := flakyServer(t, []int{503, 503, 503, 503}, nil)
+	cl, err := New(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.WithRetries(2)
+	err = cl.get(ctx, "/", new(map[string]bool))
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != 503 {
+		t.Fatalf("err = %v, want 503 APIError", err)
+	}
+	if got := atomic.LoadInt32(calls); got != 3 {
+		t.Fatalf("server saw %d calls, want 3 (1 + 2 retries)", got)
+	}
+}
+
+func TestBackoffShape(t *testing.T) {
+	cl, err := New("http://controller.example:8088", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exponential growth with jitter in [d/2, d], capped.
+	for attempt, want := range map[int]time.Duration{
+		1: backoffBase,      // 10ms
+		2: 2 * backoffBase,  // 20ms
+		5: 16 * backoffBase, // 160ms
+		9: backoffCap,       // 2.56s uncapped -> 2s
+	} {
+		for i := 0; i < 32; i++ {
+			d := cl.backoff(attempt)
+			if d < want/2 || d > want {
+				t.Fatalf("backoff(%d) = %v, want in [%v, %v]", attempt, d, want/2, want)
+			}
+		}
+	}
+	// Absurd attempt counts must not overflow past the cap.
+	for _, attempt := range []int{60, 63, 64, 1000} {
+		if d := cl.backoff(attempt); d < backoffCap/2 || d > backoffCap {
+			t.Fatalf("backoff(%d) = %v, want in [%v, %v]", attempt, d, backoffCap/2, backoffCap)
+		}
+	}
+	// Determinism: a client with the same base URL replays the same
+	// jitter sequence.
+	a, _ := New("http://controller.example:8088", nil)
+	b, _ := New("http://controller.example:8088", nil)
+	for i := 1; i <= 16; i++ {
+		if da, db := a.backoff(i), b.backoff(i); da != db {
+			t.Fatalf("attempt %d: %v != %v — jitter not deterministic per base URL", i, da, db)
+		}
+	}
+}
+
+func TestParseRetryAfter(t *testing.T) {
+	cases := []struct {
+		in   string
+		want time.Duration
+		ok   bool
+	}{
+		{"", 0, false},
+		{"5", 5 * time.Second, true},
+		{" 2 ", 2 * time.Second, true},
+		{"0", 0, true},
+		{"-3", 0, false},
+		{"junk", 0, false},
+		{"120", retryAfterCap, true}, // capped
+	}
+	for _, tc := range cases {
+		got, ok := parseRetryAfter(tc.in)
+		if got != tc.want || ok != tc.ok {
+			t.Errorf("parseRetryAfter(%q) = %v, %v; want %v, %v", tc.in, got, ok, tc.want, tc.ok)
+		}
+	}
+	// HTTP-date in the past clamps to zero; in the future it is honored
+	// (within scheduling slop) and capped.
+	if d, ok := parseRetryAfter(time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)); !ok || d != 0 {
+		t.Errorf("past date = %v, %v; want 0, true", d, ok)
+	}
+	if d, ok := parseRetryAfter(time.Now().Add(time.Hour).UTC().Format(http.TimeFormat)); !ok || d != retryAfterCap {
+		t.Errorf("far-future date = %v, %v; want %v, true", d, ok, retryAfterCap)
+	}
+}
+
+func TestRetryHonorsRetryAfter(t *testing.T) {
+	srv, calls := flakyServer(t, []int{503}, map[string]string{"Retry-After": "1"})
+	cl, err := New(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl.WithRetries(1)
+	start := time.Now()
+	if err := cl.get(ctx, "/", new(map[string]bool)); err != nil {
+		t.Fatal(err)
+	}
+	if got := atomic.LoadInt32(calls); got != 2 {
+		t.Fatalf("server saw %d calls, want 2", got)
+	}
+	// The advertised 1s must be respected (the computed backoff for
+	// attempt 1 would be at most 10ms).
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retried after %v, want >= ~1s (Retry-After honored)", elapsed)
 	}
 }

@@ -110,6 +110,14 @@ func API(c *Controller) http.Handler {
 			return
 		}
 		if err := c.SetMRT(t); err != nil {
+			// A table that failed to persist is a server fault, not a
+			// client one: the new MRT is active in memory but a restart
+			// would lose it.
+			var pe *PersistError
+			if errors.As(err, &pe) {
+				writeError(w, http.StatusInternalServerError, err)
+				return
+			}
 			writeError(w, http.StatusUnprocessableEntity, err)
 			return
 		}

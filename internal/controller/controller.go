@@ -25,6 +25,19 @@ import (
 // mrtStoreKey is where the controller persists its Meta-Rule Table.
 const mrtStoreKey = "imcf/mrt"
 
+// PersistError marks a request that was validated and accepted but
+// could not be made durable: the fault is in the storage layer, not
+// the input. The REST API maps it to 500 (and the daemon's degraded-
+// mode probe to 503) instead of the 422 a bad table gets.
+type PersistError struct{ Err error }
+
+// Error implements error.
+func (e *PersistError) Error() string { return "controller: persist: " + e.Err.Error() }
+
+// Unwrap exposes the storage-layer cause, so errors.Is sees ENOSPC/EIO
+// through the wrapper.
+func (e *PersistError) Unwrap() error { return e.Err }
+
 // Step-outcome counters, resolved once at init.
 var (
 	stepsVec = metrics.NewCounterVec("imcf_controller_steps_total",
@@ -277,7 +290,9 @@ func (c *Controller) SetMRT(t rules.MRT) error {
 	c.mrt = t
 	c.mu.Unlock()
 	if c.cfg.Store != nil {
-		return c.cfg.Store.PutJSON(mrtStoreKey, t)
+		if err := c.cfg.Store.PutJSON(mrtStoreKey, t); err != nil {
+			return &PersistError{Err: err}
+		}
 	}
 	return nil
 }

@@ -10,6 +10,7 @@
 package daemon
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 
 	"github.com/imcf/imcf/internal/controller"
 	"github.com/imcf/imcf/internal/devicesim"
+	"github.com/imcf/imcf/internal/faultfs"
 	"github.com/imcf/imcf/internal/firewall"
 	"github.com/imcf/imcf/internal/home"
 	"github.com/imcf/imcf/internal/journal"
@@ -36,6 +38,10 @@ import (
 // DefaultJournalCap bounds the in-memory decision journal when Options
 // leaves JournalCap at zero.
 const DefaultJournalCap = journal.DefaultCap
+
+// shutdownGrace bounds how long Close waits for in-flight requests to
+// drain before force-closing the HTTP servers.
+const shutdownGrace = 5 * time.Second
 
 // Options configures a daemon. The zero value is not runnable: Addr and
 // Residence are required.
@@ -74,6 +80,14 @@ type Options struct {
 	// JournalCap bounds the decision-provenance journal ring; 0 means
 	// DefaultJournalCap, negative disables journaling entirely.
 	JournalCap int
+	// JournalSyncEvery sets the decision journal's fsync cadence: every
+	// N events, 0 for every event, negative for only on shutdown
+	// (imcfd -journal-sync).
+	JournalSyncEvery int
+	// FS overrides the file layer under the store and the decision
+	// journal (tests inject faultfs fakes to exercise crash recovery
+	// and degraded mode); nil uses the real filesystem.
+	FS faultfs.FS
 	// Logf overrides log.Printf; nil uses the standard logger.
 	Logf func(format string, args ...any)
 }
@@ -83,6 +97,7 @@ type Daemon struct {
 	ctrl    *controller.Controller
 	health  *metrics.Health
 	journal *journal.Journal
+	store   *store.DB // nil when StoreDir is unset
 	logf    func(string, ...any)
 
 	apiLn     net.Listener
@@ -171,12 +186,13 @@ func New(opts Options) (_ *Daemon, err error) {
 	}
 
 	if opts.StoreDir != "" {
-		db, err := store.Open(store.Options{Dir: opts.StoreDir, SyncWrites: true})
+		db, err := store.Open(store.Options{Dir: opts.StoreDir, SyncWrites: true, FS: opts.FS})
 		if err != nil {
 			return nil, err
 		}
 		d.closers = append(d.closers, db.Close)
 		cfg.Store = db
+		d.store = db
 	}
 	if opts.PersistDir != "" {
 		svc, err := persistence.Open(opts.PersistDir)
@@ -188,7 +204,8 @@ func New(opts Options) (_ *Daemon, err error) {
 		logf("recording measurements to %s", opts.PersistDir)
 
 		if d.journal != nil {
-			jl, err := persistence.OpenJournal(opts.PersistDir)
+			jl, err := persistence.OpenJournalOpts(opts.PersistDir,
+				persistence.JournalOptions{SyncEvery: opts.JournalSyncEvery, FS: opts.FS})
 			if err != nil {
 				return nil, err
 			}
@@ -240,6 +257,9 @@ func New(opts Options) (_ *Daemon, err error) {
 		d.cron = controller.NewCron(opts.Clock)
 		d.stopSched = d.ctrl.Schedule(d.cron, opts.Interval, func(err error) {
 			logf("EP cycle: %v", err)
+			// A planner cycle that died on a full or failing disk must
+			// degrade the daemon, not crash it mid-plan.
+			d.noteError(err)
 		})
 		logf("EP scheduled every %v for %q (weekly budget %.0f kWh)",
 			opts.Interval, opts.Residence, opts.WeeklyBudgetKWh)
@@ -249,7 +269,7 @@ func New(opts Options) (_ *Daemon, err error) {
 	if err != nil {
 		return nil, err
 	}
-	d.apiSrv = &http.Server{Handler: controller.API(d.ctrl)}
+	d.apiSrv = newHTTPServer(d.degradeMiddleware(controller.API(d.ctrl)))
 	if opts.MetricsAddr != "" {
 		d.metricsLn, err = net.Listen("tcp", opts.MetricsAddr)
 		if err != nil {
@@ -264,9 +284,21 @@ func New(opts Options) (_ *Daemon, err error) {
 			mux.Handle("GET /debug/decisions", d.journal.Handler())
 			mux.HandleFunc("GET /debug/trace/{id}", d.traceHandler)
 		}
-		d.metricSrv = &http.Server{Handler: mux}
+		d.metricSrv = newHTTPServer(mux)
 	}
 	return d, nil
+}
+
+// newHTTPServer applies the daemon's server hardening: header and body
+// read deadlines so a stalled or malicious client cannot pin a
+// connection open forever, and an idle timeout to reap keep-alives.
+func newHTTPServer(h http.Handler) *http.Server {
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 5 * time.Second,
+		ReadTimeout:       30 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
 }
 
 // traceHandler serves GET /debug/trace/{id}: everything the daemon
@@ -360,18 +392,27 @@ func (d *Daemon) Close() error {
 	if d.cron != nil {
 		d.cron.Stop()
 	}
+	// Drain in-flight requests before tearing down the closers they may
+	// depend on (store, persistence); force-close whatever is still
+	// running when the grace period expires.
+	ctx, cancel := context.WithTimeout(context.Background(), shutdownGrace)
+	defer cancel()
 	var firstErr error
-	if d.apiSrv != nil {
-		if err := d.apiSrv.Close(); err != nil && firstErr == nil {
-			firstErr = err
+	shutdown := func(srv *http.Server) {
+		if err := srv.Shutdown(ctx); err != nil {
+			srv.Close() //nolint:errcheck // force close after drain timeout
+			if firstErr == nil && !errors.Is(err, context.DeadlineExceeded) {
+				firstErr = err
+			}
 		}
+	}
+	if d.apiSrv != nil {
+		shutdown(d.apiSrv)
 	} else if d.apiLn != nil {
 		d.apiLn.Close() //nolint:errcheck // listener without server
 	}
 	if d.metricSrv != nil {
-		if err := d.metricSrv.Close(); err != nil && firstErr == nil {
-			firstErr = err
-		}
+		shutdown(d.metricSrv)
 	} else if d.metricsLn != nil {
 		d.metricsLn.Close() //nolint:errcheck // listener without server
 	}

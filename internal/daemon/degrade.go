@@ -1,0 +1,141 @@
+// Degraded mode: when the durable store reports a persistent media
+// fault (ENOSPC, EIO), the daemon keeps serving reads but refuses
+// mutations with 503 instead of crashing mid-plan or silently
+// accepting writes it cannot persist. Classification is probe-based:
+// store.Probe appends (and under SyncWrites fsyncs) a no-op WAL
+// record, exercising the real write path. A probe also runs before
+// each mutation while degraded, so the daemon heals itself the moment
+// the disk recovers.
+package daemon
+
+import (
+	"fmt"
+	"net/http"
+
+	"github.com/imcf/imcf/internal/faultfs"
+	"github.com/imcf/imcf/internal/metrics"
+)
+
+var (
+	degradedGauge = metrics.NewGauge("imcf_daemon_degraded",
+		"1 while the daemon is in read-only degraded mode (disk full or failing), else 0.")
+	degradedEntries = metrics.NewCounter("imcf_daemon_degraded_entries_total",
+		"Times the daemon entered read-only degraded mode.")
+	degradedRejects = metrics.NewCounter("imcf_daemon_degraded_rejected_total",
+		"Mutating requests rejected with 503 while degraded.")
+)
+
+// degradedRetryAfter is the Retry-After hint on degraded 503s; clients
+// with capped backoff (internal/client) honor it.
+const degradedRetryAfter = "5"
+
+// Degraded reports whether the daemon is in read-only degraded mode.
+func (d *Daemon) Degraded() bool {
+	degraded, _ := d.health.Degraded()
+	return degraded
+}
+
+// enterDegraded flips the daemon into read-only degraded mode.
+func (d *Daemon) enterDegraded(err error) {
+	if degraded, _ := d.health.Degraded(); degraded {
+		return
+	}
+	d.health.SetDegraded(err.Error())
+	degradedGauge.Set(1)
+	degradedEntries.Inc()
+	d.logf("daemon: entering read-only degraded mode: %v", err)
+}
+
+// exitDegraded restores full service after a successful probe.
+func (d *Daemon) exitDegraded() {
+	if degraded, _ := d.health.Degraded(); !degraded {
+		return
+	}
+	d.health.ClearDegraded()
+	degradedGauge.Set(0)
+	d.logf("daemon: disk recovered, leaving degraded mode")
+}
+
+// noteError classifies an error from the serving or planning path:
+// persistent media faults trip degraded mode, anything else is left to
+// the regular health reporting. The classification is confirmed by a
+// probe so a wrapped one-off error cannot degrade a healthy disk.
+func (d *Daemon) noteError(err error) {
+	if err == nil || d.store == nil || d.Degraded() {
+		return
+	}
+	if !faultfs.IsDiskFault(err) {
+		return
+	}
+	if perr := d.store.Probe(); perr != nil {
+		d.enterDegraded(perr)
+	}
+}
+
+// probeRecovery re-checks the write path while degraded; it reports
+// whether the daemon is (now) fully serviceable.
+func (d *Daemon) probeRecovery() bool {
+	if d.store == nil {
+		return true
+	}
+	if err := d.store.Probe(); err != nil {
+		return false
+	}
+	d.exitDegraded()
+	return true
+}
+
+// statusRecorder captures the response status for post-serve fault
+// classification.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	if sr.status == 0 {
+		sr.status = code
+	}
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+func (sr *statusRecorder) Write(p []byte) (int, error) {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	return sr.ResponseWriter.Write(p)
+}
+
+// degradeMiddleware enforces read-only degraded mode around the REST
+// API: while degraded, mutations are refused with 503 + Retry-After
+// (after a recovery probe, so service resumes as soon as the disk
+// does); reads always pass. After any server error on a mutation, the
+// write path is probed and a confirmed disk fault flips the daemon
+// into degraded mode.
+func (d *Daemon) degradeMiddleware(next http.Handler) http.Handler {
+	if d.store == nil {
+		return next // no durable layer, nothing to degrade
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mutation := r.Method != http.MethodGet && r.Method != http.MethodHead
+		if mutation && d.Degraded() && !d.probeRecovery() {
+			degradedRejects.Inc()
+			_, reason := d.health.Degraded()
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Retry-After", degradedRetryAfter)
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "{\"error\":%q}\n", "read-only degraded mode: "+reason) //nolint:errcheck // response committed
+			return
+		}
+		sr := &statusRecorder{ResponseWriter: w}
+		next.ServeHTTP(sr, r)
+		if mutation && sr.status >= http.StatusInternalServerError && !d.Degraded() {
+			// The handler failed server-side; probe the write path. A
+			// failing probe means no mutation can be persisted, whatever
+			// the root cause — degrade rather than keep returning 500s.
+			if err := d.store.Probe(); err != nil {
+				d.enterDegraded(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestOpString(t *testing.T) {
+	cases := map[Op]string{
+		OpOpen:     "open",
+		OpWrite:    "write",
+		OpSyncDir:  "syncdir",
+		OpSize:     "size",
+		Op(0):      "unknown",
+		Op(200):    "unknown",
+		OpReadFile: "readfile",
+	}
+	for op, want := range cases {
+		if got := op.String(); got != want {
+			t.Errorf("Op(%d).String() = %q, want %q", op, got, want)
+		}
+	}
+}
+
+func TestIsDiskFault(t *testing.T) {
+	if !IsDiskFault(fmt.Errorf("wal append: %w", syscall.ENOSPC)) {
+		t.Error("wrapped ENOSPC not classified as disk fault")
+	}
+	if !IsDiskFault(&os.PathError{Op: "write", Path: "x", Err: syscall.EIO}) {
+		t.Error("EIO PathError not classified as disk fault")
+	}
+	if IsDiskFault(errors.New("bad request")) {
+		t.Error("logic error misclassified as disk fault")
+	}
+	if IsDiskFault(nil) {
+		t.Error("nil misclassified as disk fault")
+	}
+}
+
+// TestOSRoundTrip drives the production passthrough against a real
+// temp directory: create, append, sync, reopen, read, size, truncate,
+// rename, syncdir, remove.
+func TestOSRoundTrip(t *testing.T) {
+	var fsys OS
+	dir := filepath.Join(t.TempDir(), "sub", "dir")
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	p := filepath.Join(dir, "f")
+
+	f, err := fsys.OpenFile(p, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("hello ")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("world")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if b, err := fsys.ReadFile(p); err != nil || string(b) != "hello world" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if n, err := fsys.Size(p); err != nil || n != 11 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if err := fsys.Truncate(p, 5); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := fsys.ReadFile(p); string(b) != "hello" {
+		t.Fatalf("after truncate: %q", b)
+	}
+
+	r, err := fsys.OpenFile(p, os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "hello" {
+		t.Fatalf("sequential read = %q, %v", got, err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	p2 := filepath.Join(dir, "g")
+	if err := fsys.Rename(p, p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fsys.Size(p); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("old name still visible: %v", err)
+	}
+	if err := fsys.Remove(p2); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.SyncDir(""); err != nil {
+		t.Fatalf("SyncDir(\"\") should sync the cwd: %v", err)
+	}
+	if err := fsys.SyncDir(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("SyncDir of a missing directory should fail")
+	}
+}

@@ -1,0 +1,248 @@
+package faultfs
+
+import (
+	"errors"
+	"hash/fnv"
+	"os"
+	"sync"
+)
+
+// ErrCrashed is returned by every operation of a Faulty layer after a
+// crash fault fired: the process would be dead, so nothing more can
+// reach the disk.
+var ErrCrashed = errors.New("faultfs: simulated crash")
+
+// ErrInjected is the default error for injected non-crash faults.
+var ErrInjected = errors.New("faultfs: injected fault")
+
+// FaultOp describes one instrumented operation about to execute.
+type FaultOp struct {
+	Op    Op
+	Path  string
+	Index int // 0-based sequence number of the operation in this Faulty
+	Size  int // byte count for OpWrite, else 0
+}
+
+// Fault is an injector's verdict for one operation.
+type Fault struct {
+	// Err is returned from the operation. Nil with Crash set defaults
+	// to ErrCrashed; nil otherwise defaults to ErrInjected.
+	Err error
+	// Partial, for OpWrite, is how many leading bytes still reach the
+	// inner file before the error — a torn write.
+	Partial int
+	// Crash flips the Faulty into the dead state: this operation and
+	// every later one fail with ErrCrashed.
+	Crash bool
+}
+
+// Injector decides the fate of each instrumented operation. Returning
+// nil lets the operation through. Implementations must be
+// deterministic: the recovery harness replays workloads and expects
+// identical fault schedules.
+type Injector interface {
+	Fault(op FaultOp) *Fault
+}
+
+// InjectorFunc adapts a function to the Injector interface.
+type InjectorFunc func(op FaultOp) *Fault
+
+// Fault implements Injector.
+func (f InjectorFunc) Fault(op FaultOp) *Fault { return f(op) }
+
+// CrashAt returns an injector that crashes at the n-th instrumented
+// operation (0-based). If that operation is a write, a deterministic
+// prefix of it tears through to the inner file first, so the crash
+// point exercises torn-record recovery too.
+func CrashAt(n int) Injector {
+	return InjectorFunc(func(op FaultOp) *Fault {
+		if op.Index != n {
+			return nil
+		}
+		f := &Fault{Crash: true}
+		if op.Op == OpWrite && op.Size > 0 {
+			h := fnv.New64a()
+			h.Write([]byte(op.Path)) //nolint:errcheck // fnv never fails
+			f.Partial = int((h.Sum64() ^ uint64(n)) % uint64(op.Size+1))
+		}
+		return f
+	})
+}
+
+// Faulty wraps an inner FS, consulting an Injector before every
+// operation. With a nil injector it simply counts operations — the
+// harness uses that to enumerate a workload's failpoints.
+type Faulty struct {
+	inner FS
+	inj   Injector
+
+	mu   sync.Mutex
+	ops  int
+	dead bool
+}
+
+// NewFaulty wraps inner with the given injector (nil = count only).
+func NewFaulty(inner FS, inj Injector) *Faulty {
+	return &Faulty{inner: inner, inj: inj}
+}
+
+// Ops reports how many instrumented operations have been attempted.
+func (fy *Faulty) Ops() int {
+	fy.mu.Lock()
+	defer fy.mu.Unlock()
+	return fy.ops
+}
+
+// Dead reports whether a crash fault has fired.
+func (fy *Faulty) Dead() bool {
+	fy.mu.Lock()
+	defer fy.mu.Unlock()
+	return fy.dead
+}
+
+// enter numbers the operation and consults the injector. It returns a
+// non-nil fault to apply, or an error that preempts the operation
+// entirely (the dead state).
+func (fy *Faulty) enter(op Op, path string, size int) (*Fault, error) {
+	fy.mu.Lock()
+	defer fy.mu.Unlock()
+	if fy.dead {
+		return nil, ErrCrashed
+	}
+	idx := fy.ops
+	fy.ops++
+	if fy.inj == nil {
+		return nil, nil
+	}
+	f := fy.inj.Fault(FaultOp{Op: op, Path: path, Index: idx, Size: size})
+	if f == nil {
+		return nil, nil
+	}
+	if f.Crash {
+		fy.dead = true
+		if f.Err == nil {
+			return f, ErrCrashed
+		}
+	}
+	if f.Err == nil {
+		return f, ErrInjected
+	}
+	return f, f.Err
+}
+
+// OpenFile implements FS.
+func (fy *Faulty) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	if _, err := fy.enter(OpOpen, path, 0); err != nil {
+		return nil, err
+	}
+	inner, err := fy.inner.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyFile{fy: fy, inner: inner, path: path}, nil
+}
+
+// ReadFile implements FS.
+func (fy *Faulty) ReadFile(path string) ([]byte, error) {
+	if _, err := fy.enter(OpReadFile, path, 0); err != nil {
+		return nil, err
+	}
+	return fy.inner.ReadFile(path)
+}
+
+// Size implements FS.
+func (fy *Faulty) Size(path string) (int64, error) {
+	if _, err := fy.enter(OpSize, path, 0); err != nil {
+		return 0, err
+	}
+	return fy.inner.Size(path)
+}
+
+// Truncate implements FS.
+func (fy *Faulty) Truncate(path string, size int64) error {
+	if _, err := fy.enter(OpTruncate, path, 0); err != nil {
+		return err
+	}
+	return fy.inner.Truncate(path, size)
+}
+
+// Rename implements FS.
+func (fy *Faulty) Rename(oldpath, newpath string) error {
+	if _, err := fy.enter(OpRename, oldpath, 0); err != nil {
+		return err
+	}
+	return fy.inner.Rename(oldpath, newpath)
+}
+
+// Remove implements FS.
+func (fy *Faulty) Remove(path string) error {
+	if _, err := fy.enter(OpRemove, path, 0); err != nil {
+		return err
+	}
+	return fy.inner.Remove(path)
+}
+
+// MkdirAll implements FS.
+func (fy *Faulty) MkdirAll(path string, perm os.FileMode) error {
+	if _, err := fy.enter(OpMkdir, path, 0); err != nil {
+		return err
+	}
+	return fy.inner.MkdirAll(path, perm)
+}
+
+// SyncDir implements FS.
+func (fy *Faulty) SyncDir(dir string) error {
+	if _, err := fy.enter(OpSyncDir, dir, 0); err != nil {
+		return err
+	}
+	return fy.inner.SyncDir(dir)
+}
+
+// faultyFile instruments a handle's Read/Write/Sync/Close.
+type faultyFile struct {
+	fy    *Faulty
+	inner File
+	path  string
+}
+
+// Read implements File.
+func (ff *faultyFile) Read(p []byte) (int, error) {
+	if _, err := ff.fy.enter(OpRead, ff.path, 0); err != nil {
+		return 0, err
+	}
+	return ff.inner.Read(p)
+}
+
+// Write implements File. A fault with Partial > 0 lets that many bytes
+// through to the inner file before reporting the error — a torn write.
+func (ff *faultyFile) Write(p []byte) (int, error) {
+	f, err := ff.fy.enter(OpWrite, ff.path, len(p))
+	if f == nil && err == nil {
+		return ff.inner.Write(p)
+	}
+	n := 0
+	if f != nil && f.Partial > 0 {
+		k := f.Partial
+		if k > len(p) {
+			k = len(p)
+		}
+		n, _ = ff.inner.Write(p[:k]) //nolint:errcheck // the injected error wins
+	}
+	return n, err
+}
+
+// Sync implements File.
+func (ff *faultyFile) Sync() error {
+	if _, err := ff.fy.enter(OpSync, ff.path, 0); err != nil {
+		return err
+	}
+	return ff.inner.Sync()
+}
+
+// Close implements File.
+func (ff *faultyFile) Close() error {
+	if _, err := ff.fy.enter(OpClose, ff.path, 0); err != nil {
+		return err
+	}
+	return ff.inner.Close()
+}

@@ -1,0 +1,268 @@
+package faultfs
+
+import (
+	"errors"
+	"os"
+	"syscall"
+	"testing"
+)
+
+func TestFaultyCountsWithNilInjector(t *testing.T) {
+	fy := NewFaulty(NewMemFS(), nil)
+	if err := fy.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fy.OpenFile("/d/f", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("ab")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fy.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fy.ReadFile("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fy.Size("/d/f"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fy.Rename("/d/f", "/d/g"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fy.Truncate("/d/g", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := fy.Remove("/d/g"); err != nil {
+		t.Fatal(err)
+	}
+	// mkdir, open, write, sync, close, syncdir, readfile, size, rename,
+	// truncate, remove = 11 instrumented ops.
+	if got := fy.Ops(); got != 11 {
+		t.Fatalf("Ops = %d, want 11", got)
+	}
+	if fy.Dead() {
+		t.Fatal("counting wrapper should never be dead")
+	}
+}
+
+// TestFaultyOpSequence checks that the injector sees every operation
+// with the right class, path and index.
+func TestFaultyOpSequence(t *testing.T) {
+	var seen []FaultOp
+	inj := InjectorFunc(func(op FaultOp) *Fault {
+		seen = append(seen, op)
+		return nil
+	})
+	fy := NewFaulty(NewMemFS(), inj)
+	if err := fy.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fy.OpenFile("/d/f", os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("xyz")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Read(make([]byte, 1)); err != nil && err.Error() != "EOF" {
+		t.Fatal(err)
+	}
+	want := []struct {
+		op   Op
+		path string
+		size int
+	}{
+		{OpMkdir, "/d", 0},
+		{OpOpen, "/d/f", 0},
+		{OpWrite, "/d/f", 3},
+		{OpRead, "/d/f", 0},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("saw %d ops, want %d: %+v", len(seen), len(want), seen)
+	}
+	for i, w := range want {
+		got := seen[i]
+		if got.Op != w.op || got.Path != w.path || got.Index != i || got.Size != w.size {
+			t.Errorf("op %d = %+v, want {%v %s %d %d}", i, got, w.op, w.path, i, w.size)
+		}
+	}
+}
+
+func TestFaultyInjectedErrors(t *testing.T) {
+	enospc := &Fault{Err: syscall.ENOSPC}
+	inj := InjectorFunc(func(op FaultOp) *Fault {
+		if op.Op == OpSync {
+			return enospc
+		}
+		if op.Op == OpSyncDir {
+			return &Fault{} // nil Err defaults to ErrInjected
+		}
+		return nil
+	})
+	fy := NewFaulty(NewMemFS(), inj)
+	if err := fy.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fy.OpenFile("/d/f", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("sync error = %v, want ENOSPC", err)
+	}
+	if !IsDiskFault(func() error { return f.Sync() }()) {
+		t.Fatal("injected ENOSPC should classify as a disk fault")
+	}
+	if err := fy.SyncDir("/d"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("syncdir error = %v, want ErrInjected", err)
+	}
+	// Non-crash faults are transient: the layer is not dead and later
+	// operations succeed.
+	if fy.Dead() {
+		t.Fatal("non-crash fault must not kill the layer")
+	}
+	if _, err := f.Write([]byte("ok")); err != nil {
+		t.Fatalf("write after transient fault: %v", err)
+	}
+}
+
+func TestFaultyPartialWrite(t *testing.T) {
+	inj := InjectorFunc(func(op FaultOp) *Fault {
+		if op.Op == OpWrite {
+			return &Fault{Err: syscall.EIO, Partial: 4}
+		}
+		return nil
+	})
+	mem := NewMemFS()
+	fy := NewFaulty(mem, inj)
+	if err := fy.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	f, err := fy.OpenFile("/d/f", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := f.Write([]byte("abcdefgh"))
+	if !errors.Is(err, syscall.EIO) {
+		t.Fatalf("write error = %v, want EIO", err)
+	}
+	if n != 4 {
+		t.Fatalf("short write reported n=%d, want 4", n)
+	}
+	if b, _ := mem.ReadFile("/d/f"); string(b) != "abcd" {
+		t.Fatalf("inner content after torn write = %q, want \"abcd\"", b)
+	}
+
+	// Partial larger than the buffer is clamped.
+	inj2 := InjectorFunc(func(op FaultOp) *Fault {
+		if op.Op == OpWrite {
+			return &Fault{Partial: 99}
+		}
+		return nil
+	})
+	fy2 := NewFaulty(mem, inj2)
+	f2, err := fy2.OpenFile("/d/f2", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, err := f2.Write([]byte("xy")); !errors.Is(err, ErrInjected) || n != 2 {
+		t.Fatalf("clamped partial: n=%d err=%v", n, err)
+	}
+}
+
+func TestFaultyCrashAt(t *testing.T) {
+	mem := NewMemFS()
+	fy := NewFaulty(mem, CrashAt(3))
+	if err := fy.MkdirAll("/d", 0o755); err != nil { // op 0
+		t.Fatal(err)
+	}
+	f, err := fy.OpenFile("/d/f", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644) // op 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("first")); err != nil { // op 2
+		t.Fatal(err)
+	}
+	if fy.Dead() {
+		t.Fatal("dead before the crash point")
+	}
+	n, err := f.Write([]byte("second")) // op 3: crash, deterministic tear
+	if !errors.Is(err, ErrCrashed) {
+		t.Fatalf("crash-point error = %v, want ErrCrashed", err)
+	}
+	if n < 0 || n > len("second") {
+		t.Fatalf("torn write n=%d out of range", n)
+	}
+	if !fy.Dead() {
+		t.Fatal("layer should be dead after the crash point")
+	}
+
+	// Everything after the crash fails with ErrCrashed, reaching nothing.
+	if _, err := f.Write([]byte("more")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash write = %v", err)
+	}
+	if err := f.Sync(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash sync = %v", err)
+	}
+	if err := f.Close(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash close = %v", err)
+	}
+	if _, err := fy.OpenFile("/d/g", os.O_CREATE, 0o644); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open = %v", err)
+	}
+	if _, err := fy.ReadFile("/d/f"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash readfile = %v", err)
+	}
+	if _, err := fy.Size("/d/f"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash size = %v", err)
+	}
+	if err := fy.Truncate("/d/f", 0); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash truncate = %v", err)
+	}
+	if err := fy.Rename("/d/f", "/d/g"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash rename = %v", err)
+	}
+	if err := fy.Remove("/d/f"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash remove = %v", err)
+	}
+	if err := fy.MkdirAll("/e", 0o755); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash mkdir = %v", err)
+	}
+	if err := fy.SyncDir("/d"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash syncdir = %v", err)
+	}
+
+	// The inner FS itself stays usable: the harness reboots by calling
+	// mem.Crash() and attaching a fresh Faulty.
+	mem.Crash()
+	fy2 := NewFaulty(mem, nil)
+	if _, err := fy2.OpenFile("/d/f", os.O_CREATE|os.O_WRONLY, 0o644); err != nil {
+		t.Fatalf("reboot open: %v", err)
+	}
+
+	// CrashAt tears deterministically: same schedule, same partial.
+	run := func() int {
+		m := NewMemFS()
+		y := NewFaulty(m, CrashAt(2))
+		if err := y.MkdirAll("/d", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		h, err := y.OpenFile("/d/f", os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, _ := h.Write([]byte("payload")) //nolint:errcheck // the crash is the point
+		return n
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("CrashAt tear not deterministic: %d vs %d", a, b)
+	}
+}

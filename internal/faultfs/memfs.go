@@ -1,0 +1,322 @@
+package faultfs
+
+import (
+	"bytes"
+	"hash/fnv"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// MemFS is an in-memory FS with an explicit crash-durability model:
+//
+//   - File *content* survives a crash only up to the file's last Sync.
+//   - Namespace entries (creates, renames, removes) survive only once
+//     the parent directory has been SyncDir'd afterwards.
+//   - Directories themselves are durable as soon as MkdirAll returns
+//     (a simplification: the layers under test never remove them).
+//
+// Crash simulates power loss: the live state is replaced by the
+// durable state. With a tearing seed, a deterministic prefix of each
+// file's unsynced appended suffix additionally survives, modeling the
+// partially-flushed pages a real disk can leave behind — which is
+// exactly what the WAL's CRC-and-truncate replay path must absorb.
+//
+// MemFS is safe for concurrent use.
+type MemFS struct {
+	mu   sync.Mutex
+	live map[string]*memFile // current namespace
+	dur  map[string]*memFile // namespace as of the last SyncDir
+	dirs map[string]bool     // existing directories
+}
+
+type memFile struct {
+	data   []byte // live content
+	synced []byte // content as of the last Sync
+}
+
+// NewMemFS returns an empty in-memory filesystem.
+func NewMemFS() *MemFS {
+	return &MemFS{
+		live: make(map[string]*memFile),
+		dur:  make(map[string]*memFile),
+		dirs: make(map[string]bool),
+	}
+}
+
+func memClean(p string) string { return filepath.Clean(p) }
+
+func (m *MemFS) dirExists(dir string) bool {
+	return dir == "." || dir == "/" || m.dirs[dir]
+}
+
+// memHandle is an open MemFS file.
+type memHandle struct {
+	fs       *MemFS
+	f        *memFile
+	path     string
+	off      int
+	append   bool
+	writable bool
+	closed   bool
+}
+
+// OpenFile implements FS.
+func (m *MemFS) OpenFile(path string, flag int, perm os.FileMode) (File, error) {
+	path = memClean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirExists(filepath.Dir(path)) {
+		return nil, notExist("open", path)
+	}
+	f, ok := m.live[path]
+	if !ok {
+		if flag&os.O_CREATE == 0 {
+			return nil, notExist("open", path)
+		}
+		f = &memFile{}
+		m.live[path] = f
+	}
+	if flag&os.O_TRUNC != 0 {
+		f.data = nil // the truncate is unsynced: f.synced keeps the old content
+	}
+	return &memHandle{
+		fs:       m,
+		f:        f,
+		path:     path,
+		append:   flag&os.O_APPEND != 0,
+		writable: flag&(os.O_WRONLY|os.O_RDWR) != 0,
+	}, nil
+}
+
+// Read implements File, reading sequentially from the handle's offset.
+func (h *memHandle) Read(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if h.off >= len(h.f.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, h.f.data[h.off:])
+	h.off += n
+	return n, nil
+}
+
+// Write implements File. Append-mode handles always write at the end;
+// others write at the handle offset, zero-extending as needed.
+func (h *memHandle) Write(p []byte) (int, error) {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return 0, fs.ErrClosed
+	}
+	if !h.writable {
+		return 0, &fs.PathError{Op: "write", Path: h.path, Err: fs.ErrPermission}
+	}
+	if h.append {
+		h.f.data = append(h.f.data, p...)
+		h.off = len(h.f.data)
+		return len(p), nil
+	}
+	end := h.off + len(p)
+	for len(h.f.data) < end {
+		h.f.data = append(h.f.data, 0)
+	}
+	copy(h.f.data[h.off:end], p)
+	h.off = end
+	return len(p), nil
+}
+
+// Sync implements File: the current content becomes crash-durable.
+func (h *memHandle) Sync() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.f.synced = append([]byte(nil), h.f.data...)
+	return nil
+}
+
+// Close implements File. Closing does not sync.
+func (h *memHandle) Close() error {
+	h.fs.mu.Lock()
+	defer h.fs.mu.Unlock()
+	if h.closed {
+		return fs.ErrClosed
+	}
+	h.closed = true
+	return nil
+}
+
+// ReadFile implements FS.
+func (m *MemFS) ReadFile(path string) ([]byte, error) {
+	path = memClean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.live[path]
+	if !ok {
+		return nil, notExist("readfile", path)
+	}
+	return append([]byte(nil), f.data...), nil
+}
+
+// Size implements FS.
+func (m *MemFS) Size(path string) (int64, error) {
+	path = memClean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.live[path]
+	if !ok {
+		return 0, notExist("size", path)
+	}
+	return int64(len(f.data)), nil
+}
+
+// Truncate implements FS. Like a real truncate, the size change is not
+// crash-durable until the next Sync of the file.
+func (m *MemFS) Truncate(path string, size int64) error {
+	path = memClean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.live[path]
+	if !ok {
+		return notExist("truncate", path)
+	}
+	if int(size) <= len(f.data) {
+		f.data = f.data[:size]
+		return nil
+	}
+	for len(f.data) < int(size) {
+		f.data = append(f.data, 0)
+	}
+	return nil
+}
+
+// Rename implements FS. The move is visible immediately but durable
+// only after SyncDir.
+func (m *MemFS) Rename(oldpath, newpath string) error {
+	oldpath, newpath = memClean(oldpath), memClean(newpath)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f, ok := m.live[oldpath]
+	if !ok {
+		return notExist("rename", oldpath)
+	}
+	if !m.dirExists(filepath.Dir(newpath)) {
+		return notExist("rename", newpath)
+	}
+	delete(m.live, oldpath)
+	m.live[newpath] = f
+	return nil
+}
+
+// Remove implements FS. Durable only after SyncDir.
+func (m *MemFS) Remove(path string) error {
+	path = memClean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.live[path]; !ok {
+		return notExist("remove", path)
+	}
+	delete(m.live, path)
+	return nil
+}
+
+// MkdirAll implements FS. Directories are durable immediately.
+func (m *MemFS) MkdirAll(path string, perm os.FileMode) error {
+	path = memClean(path)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for p := path; p != "." && p != "/"; p = filepath.Dir(p) {
+		m.dirs[p] = true
+	}
+	return nil
+}
+
+// SyncDir implements FS: the directory's current set of direct entries
+// becomes the durable namespace for that directory.
+func (m *MemFS) SyncDir(dir string) error {
+	dir = memClean(dir)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if !m.dirExists(dir) {
+		return notExist("syncdir", dir)
+	}
+	for p, f := range m.live {
+		if filepath.Dir(p) == dir {
+			m.dur[p] = f
+		}
+	}
+	for p := range m.dur {
+		if filepath.Dir(p) == dir {
+			if _, ok := m.live[p]; !ok {
+				delete(m.dur, p)
+			}
+		}
+	}
+	return nil
+}
+
+// Crash simulates power loss and reboot: only durable directory
+// entries survive, each holding its last-synced content. Outstanding
+// handles keep referencing the pre-crash objects and must be
+// discarded by the caller (the Faulty wrapper's dead state enforces
+// this when the crash came from an injector).
+func (m *MemFS) Crash() { m.crash(0) }
+
+// CrashTearing is Crash with torn tails: for every surviving file
+// whose live content extended its synced content, a deterministic
+// (seeded) prefix of the unsynced suffix also survives — the
+// partially-flushed pages of a real power loss. seed 0 tears nothing.
+func (m *MemFS) CrashTearing(seed uint64) { m.crash(seed) }
+
+func (m *MemFS) crash(seed uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	newLive := make(map[string]*memFile, len(m.dur))
+	newDur := make(map[string]*memFile, len(m.dur))
+	for p, f := range m.dur {
+		content := append([]byte(nil), f.synced...)
+		if seed != 0 && bytes.HasPrefix(f.data, f.synced) && len(f.data) > len(f.synced) {
+			delta := f.data[len(f.synced):]
+			content = append(content, delta[:tearLen(seed, p, len(delta))]...)
+		}
+		nf := &memFile{data: content, synced: append([]byte(nil), content...)}
+		newLive[p] = nf
+		newDur[p] = nf
+	}
+	m.live = newLive
+	m.dur = newDur
+}
+
+// tearLen deterministically picks how many of n unsynced bytes survive
+// a tearing crash: a seeded FNV hash of the path, so distinct files
+// and seeds tear at different offsets but a given run replays exactly.
+func tearLen(seed uint64, path string, n int) int {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(seed >> (8 * i))
+	}
+	h.Write(b[:])         //nolint:errcheck // fnv never fails
+	h.Write([]byte(path)) //nolint:errcheck // fnv never fails
+	return int(h.Sum64() % uint64(n+1))
+}
+
+// Paths lists the live file paths, sorted — test introspection.
+func (m *MemFS) Paths() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.live))
+	for p := range m.live {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,266 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"os"
+	"reflect"
+	"testing"
+)
+
+func memWrite(t *testing.T, m *MemFS, path, content string, sync bool) {
+	t.Helper()
+	f, err := m.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte(content)); err != nil {
+		t.Fatal(err)
+	}
+	if sync {
+		if err := f.Sync(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMemFSBasicIO(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.OpenFile("/missing/f", os.O_CREATE|os.O_WRONLY, 0o644); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("create under missing dir: %v", err)
+	}
+	if _, err := m.OpenFile("/d/f", os.O_RDONLY, 0); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("open missing without O_CREATE: %v", err)
+	}
+
+	memWrite(t, m, "/d/f", "abcdef", true)
+	if b, err := m.ReadFile("/d/f"); err != nil || string(b) != "abcdef" {
+		t.Fatalf("ReadFile = %q, %v", b, err)
+	}
+	if n, err := m.Size("/d/f"); err != nil || n != 6 {
+		t.Fatalf("Size = %d, %v", n, err)
+	}
+	if _, err := m.ReadFile("/d/none"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("ReadFile missing: %v", err)
+	}
+	if _, err := m.Size("/d/none"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Size missing: %v", err)
+	}
+
+	// Sequential reads hit EOF like a real handle.
+	r, err := m.OpenFile("/d/f", os.O_RDONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := io.ReadAll(r)
+	if err != nil || string(got) != "abcdef" {
+		t.Fatalf("ReadAll = %q, %v", got, err)
+	}
+	if _, err := r.Write([]byte("x")); err == nil {
+		t.Fatal("write on read-only handle should fail")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err == nil {
+		t.Fatal("double close should fail")
+	}
+	if _, err := r.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read after close should fail")
+	}
+
+	// Non-append handles write at their offset, zero-extending.
+	w, err := m.OpenFile("/d/g", os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("12345")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write([]byte("x")); err == nil {
+		t.Fatal("write after close should fail")
+	}
+	if err := w.Sync(); err == nil {
+		t.Fatal("sync after close should fail")
+	}
+
+	// O_TRUNC clears live content.
+	w2, err := m.OpenFile("/d/g", os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w2.Write([]byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := m.ReadFile("/d/g"); string(b) != "new" {
+		t.Fatalf("after O_TRUNC rewrite: %q", b)
+	}
+
+	if err := m.Truncate("/d/g", 2); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := m.ReadFile("/d/g"); string(b) != "ne" {
+		t.Fatalf("after truncate: %q", b)
+	}
+	if err := m.Truncate("/d/g", 4); err != nil {
+		t.Fatal(err)
+	}
+	if b, _ := m.ReadFile("/d/g"); string(b) != "ne\x00\x00" {
+		t.Fatalf("after growing truncate: %q", b)
+	}
+	if err := m.Truncate("/d/none", 0); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("truncate missing: %v", err)
+	}
+}
+
+func TestMemFSNamespace(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	memWrite(t, m, "/d/a", "A", true)
+	if err := m.Rename("/d/a", "/d/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Rename("/d/none", "/d/x"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("rename missing source: %v", err)
+	}
+	memWrite(t, m, "/d/c", "C", true)
+	if err := m.Rename("/d/c", "/nodir/c"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("rename into missing dir: %v", err)
+	}
+	if err := m.Remove("/d/c"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("/d/c"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("remove missing: %v", err)
+	}
+	if err := m.SyncDir("/nodir"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("syncdir missing dir: %v", err)
+	}
+	if got, want := m.Paths(), []string{"/d/b"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Paths = %v, want %v", got, want)
+	}
+}
+
+// TestMemFSCrashDurability pins the durability model: content survives
+// to the last Sync; namespace entries survive to the last SyncDir.
+func TestMemFSCrashDurability(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+
+	// synced file, durable name.
+	memWrite(t, m, "/d/synced", "keep", true)
+	if err := m.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	// extra unsynced append on the synced file.
+	memWrite(t, m, "/d/synced", "-lost", false)
+	// removal not yet durable: the durable namespace still has the file.
+	memWrite(t, m, "/d/removed", "back", true)
+	if err := m.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Remove("/d/removed"); err != nil {
+		t.Fatal(err)
+	}
+	// file whose name was never SyncDir'd: gone after the crash.
+	memWrite(t, m, "/d/unlinked", "gone", true)
+
+	m.Crash()
+
+	if b, err := m.ReadFile("/d/synced"); err != nil || string(b) != "keep" {
+		t.Fatalf("synced file after crash = %q, %v (want content as of last Sync)", b, err)
+	}
+	if _, err := m.ReadFile("/d/removed"); err != nil {
+		t.Fatal("removal without SyncDir should roll back on crash")
+	}
+	if got, want := m.Paths(), []string{"/d/removed", "/d/synced"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Paths after crash = %v, want %v", got, want)
+	}
+
+	// Directories remain after a crash; new files can be created.
+	memWrite(t, m, "/d/new", "ok", true)
+}
+
+func TestMemFSRenameDurability(t *testing.T) {
+	m := NewMemFS()
+	if err := m.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	memWrite(t, m, "/d/old", "v1", true)
+	if err := m.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	// A rename without SyncDir rolls back on crash.
+	if err := m.Rename("/d/old", "/d/new"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if got, want := m.Paths(), []string{"/d/old"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("un-synced rename survived the crash: %v, want %v", got, want)
+	}
+	// The same rename followed by SyncDir survives.
+	if err := m.Rename("/d/old", "/d/new"); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash()
+	if got, want := m.Paths(), []string{"/d/new"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("synced rename lost in the crash: %v, want %v", got, want)
+	}
+	if b, _ := m.ReadFile("/d/new"); string(b) != "v1" {
+		t.Fatalf("content after durable rename = %q", b)
+	}
+}
+
+func TestMemFSCrashTearing(t *testing.T) {
+	const seed = 0xBEEF
+	m := NewMemFS()
+	if err := m.MkdirAll("/d", 0o755); err != nil {
+		t.Fatal(err)
+	}
+	memWrite(t, m, "/d/f", "durable|", true)
+	if err := m.SyncDir("/d"); err != nil {
+		t.Fatal(err)
+	}
+	memWrite(t, m, "/d/f", "torn-tail", false)
+
+	m.CrashTearing(seed)
+
+	b, err := m.ReadFile("/d/f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "durable|" + "torn-tail"[:tearLen(seed, "/d/f", len("torn-tail"))]
+	if string(b) != want {
+		t.Fatalf("torn content = %q, want %q", b, want)
+	}
+
+	// Determinism: same seed and path always tear identically.
+	if a, b := tearLen(seed, "/d/f", 9), tearLen(seed, "/d/f", 9); a != b {
+		t.Fatalf("tearLen not deterministic: %d vs %d", a, b)
+	}
+	// Tearing never exceeds the unsynced suffix.
+	for n := 0; n < 20; n++ {
+		if l := tearLen(seed, "/x", n); l < 0 || l > n {
+			t.Fatalf("tearLen(%d) = %d out of range", n, l)
+		}
+	}
+}

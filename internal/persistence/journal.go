@@ -10,62 +10,119 @@ import (
 	"path/filepath"
 	"sync"
 
+	"github.com/imcf/imcf/internal/faultfs"
 	"github.com/imcf/imcf/internal/journal"
 	"github.com/imcf/imcf/internal/metrics"
 )
 
-// journalRecords counts decision events durably appended to the
-// journal log.
-var journalRecords = metrics.NewCounter("imcf_persistence_journal_records_total",
-	"Decision-provenance events appended to the on-disk journal log.")
+// Journal durability counters.
+var (
+	journalRecords = metrics.NewCounter("imcf_persistence_journal_records_total",
+		"Decision-provenance events appended to the on-disk journal log.")
+	journalSyncs = metrics.NewCounter("imcf_persistence_journal_syncs_total",
+		"fsyncs of the journal log (cadence configured by -journal-sync).")
+	journalSkippedLines = metrics.NewCounter("imcf_persistence_journal_skipped_lines_total",
+		"Torn or corrupt journal lines skipped during replay.")
+)
 
 // JournalFile is the decision journal's file name inside the
 // persistence directory.
 const JournalFile = "decisions.jnl"
 
-// JournalLog is the durable backing of the decision journal: one JSON
-// event per line, appended and flushed synchronously so a crash loses
-// at most the event being written. It implements journal.Sink; the
-// daemon replays it on boot (Replay → journal.Preload) and installs it
-// as the live journal's sink, making "why was rule R dropped"
-// answerable across restarts. Safe for concurrent use.
-type JournalLog struct {
-	mu   sync.Mutex
-	path string
-	f    *os.File
-	bw   *bufio.Writer
-	enc  *json.Encoder
+// JournalOptions tunes the durability of a JournalLog.
+type JournalOptions struct {
+	// SyncEvery fsyncs the log after every N appended events. 0 means
+	// the default of 1 (sync every event); a negative value syncs only
+	// on Close — the provenance journal is advisory, so operators can
+	// trade a crash's worth of events for append latency
+	// (imcfd -journal-sync).
+	SyncEvery int
+	// FS overrides the file layer (tests inject faultfs fakes); nil
+	// uses the real filesystem.
+	FS faultfs.FS
 }
 
-// OpenJournal opens (creating if needed) the journal log in dir.
+func (o JournalOptions) syncEvery() int {
+	if o.SyncEvery == 0 {
+		return 1
+	}
+	return o.SyncEvery
+}
+
+// JournalLog is the durable backing of the decision journal: one JSON
+// event per line, appended and flushed synchronously so a crash loses
+// at most the events since the last fsync. It implements journal.Sink;
+// the daemon replays it on boot (Replay → journal.Preload) and installs
+// it as the live journal's sink, making "why was rule R dropped"
+// answerable across restarts. Safe for concurrent use.
+type JournalLog struct {
+	mu        sync.Mutex
+	path      string
+	fs        faultfs.FS
+	opts      JournalOptions
+	f         faultfs.File
+	bw        *bufio.Writer
+	enc       *json.Encoder
+	sinceSync int
+}
+
+// OpenJournal opens (creating if needed) the journal log in dir with
+// default durability (fsync every event).
 func OpenJournal(dir string) (*JournalLog, error) {
+	return OpenJournalOpts(dir, JournalOptions{})
+}
+
+// OpenJournalOpts opens (creating if needed) the journal log in dir.
+func OpenJournalOpts(dir string, o JournalOptions) (*JournalLog, error) {
 	if dir == "" {
 		return nil, errors.New("persistence: journal dir must be set")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	fsys := o.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persistence: create journal dir: %w", err)
 	}
-	return OpenJournalFile(filepath.Join(dir, JournalFile))
+	return OpenJournalFileOpts(filepath.Join(dir, JournalFile), o)
 }
 
 // OpenJournalFile opens (creating if needed) a journal log at an
 // explicit path — cmd/imcf-explain uses it to read arbitrary dumps.
 func OpenJournalFile(path string) (*JournalLog, error) {
+	return OpenJournalFileOpts(path, JournalOptions{})
+}
+
+// OpenJournalFileOpts opens (creating if needed) a journal log at an
+// explicit path.
+func OpenJournalFileOpts(path string, o JournalOptions) (*JournalLog, error) {
 	if path == "" {
 		return nil, errors.New("persistence: journal path must be set")
 	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
+	fsys := o.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	f, err := fsys.OpenFile(path, os.O_CREATE|os.O_APPEND|os.O_WRONLY, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("persistence: open journal: %w", err)
 	}
+	// A freshly created log is only a directory entry until the parent
+	// is synced; without this a crash right after boot could drop the
+	// whole file rather than just unsynced events.
+	if err := fsys.SyncDir(filepath.Dir(path)); err != nil {
+		f.Close() //nolint:errcheck // the syncdir error is already being returned
+		return nil, fmt.Errorf("persistence: sync journal dir: %w", err)
+	}
 	bw := bufio.NewWriter(f)
-	return &JournalLog{path: path, f: f, bw: bw, enc: json.NewEncoder(bw)}, nil
+	return &JournalLog{path: path, fs: fsys, opts: o, f: f, bw: bw, enc: json.NewEncoder(bw)}, nil
 }
 
 // Path returns the log's file path.
 func (l *JournalLog) Path() string { return l.path }
 
-// AppendEvent durably appends one event (implements journal.Sink).
+// AppendEvent appends one event (implements journal.Sink) and fsyncs
+// according to the configured cadence.
 func (l *JournalLog) AppendEvent(ev journal.Event) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -79,15 +136,26 @@ func (l *JournalLog) AppendEvent(ev journal.Event) error {
 		return fmt.Errorf("persistence: flush journal: %w", err)
 	}
 	journalRecords.Inc()
+	l.sinceSync++
+	if every := l.opts.syncEvery(); every > 0 && l.sinceSync >= every {
+		if err := l.f.Sync(); err != nil {
+			return fmt.Errorf("persistence: sync journal: %w", err)
+		}
+		l.sinceSync = 0
+		journalSyncs.Inc()
+	}
 	return nil
 }
 
 // Replay reads the log from the start, invoking fn for each decoded
-// event, and returns the number of events replayed. A torn final line
-// (crash mid-append) is ignored; a malformed interior line aborts with
-// an error.
+// event, and returns the number of events replayed. Torn or corrupt
+// lines — a tail cut mid-append, or an interior record mangled by a
+// torn page — are skipped and counted in
+// imcf_persistence_journal_skipped_lines_total rather than aborting:
+// the journal is provenance, so salvaging every readable event beats
+// refusing to boot.
 func (l *JournalLog) Replay(fn func(journal.Event)) (int, error) {
-	data, err := os.ReadFile(l.path)
+	data, err := l.fs.ReadFile(l.path)
 	if err != nil {
 		return 0, fmt.Errorf("persistence: read journal: %w", err)
 	}
@@ -97,6 +165,9 @@ func (l *JournalLog) Replay(fn func(journal.Event)) (int, error) {
 		nl := bytes.IndexByte(data, '\n')
 		if nl < 0 {
 			// No trailing newline: a torn final append. Skip it.
+			if len(bytes.TrimSpace(line)) != 0 {
+				journalSkippedLines.Inc()
+			}
 			break
 		}
 		line, data = data[:nl], data[nl+1:]
@@ -105,7 +176,8 @@ func (l *JournalLog) Replay(fn func(journal.Event)) (int, error) {
 		}
 		var ev journal.Event
 		if err := json.Unmarshal(line, &ev); err != nil {
-			return n, fmt.Errorf("persistence: journal line %d: %w", n+1, err)
+			journalSkippedLines.Inc()
+			continue
 		}
 		fn(ev)
 		n++
@@ -113,7 +185,7 @@ func (l *JournalLog) Replay(fn func(journal.Event)) (int, error) {
 	return n, nil
 }
 
-// Close flushes and closes the log. The log is unusable after.
+// Close flushes, fsyncs and closes the log. The log is unusable after.
 func (l *JournalLog) Close() error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -121,10 +193,21 @@ func (l *JournalLog) Close() error {
 		return nil
 	}
 	flushErr := l.bw.Flush()
+	var syncErr error
+	if flushErr == nil {
+		syncErr = l.f.Sync()
+		if syncErr == nil && l.sinceSync > 0 {
+			l.sinceSync = 0
+			journalSyncs.Inc()
+		}
+	}
 	closeErr := l.f.Close()
 	l.f = nil
 	if flushErr != nil {
 		return fmt.Errorf("persistence: flush journal: %w", flushErr)
+	}
+	if syncErr != nil {
+		return fmt.Errorf("persistence: sync journal: %w", syncErr)
 	}
 	if closeErr != nil {
 		return fmt.Errorf("persistence: close journal: %w", closeErr)

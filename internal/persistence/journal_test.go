@@ -111,7 +111,9 @@ func TestJournalLogTornTail(t *testing.T) {
 func TestJournalLogMalformedInterior(t *testing.T) {
 	dir := t.TempDir()
 	path := filepath.Join(dir, JournalFile)
-	if err := os.WriteFile(path, []byte("not json\n{\"seq\":1}\n"), 0o644); err != nil {
+	// A torn page can mangle a record in the middle of the file, not
+	// just the tail. Replay salvages everything around it.
+	if err := os.WriteFile(path, []byte("{\"seq\":1}\nnot json\n{\"seq\":3}\n"), 0o644); err != nil {
 		t.Fatal(err)
 	}
 	l, err := OpenJournal(dir)
@@ -119,8 +121,13 @@ func TestJournalLogMalformedInterior(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer l.Close() //nolint:errcheck // test cleanup
-	if _, err := l.Replay(func(journal.Event) {}); err == nil {
-		t.Fatal("malformed interior line must fail replay")
+	var seqs []uint64
+	n, err := l.Replay(func(ev journal.Event) { seqs = append(seqs, ev.Seq) })
+	if err != nil {
+		t.Fatalf("malformed interior line must not fail replay: %v", err)
+	}
+	if n != 2 || len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 3 {
+		t.Fatalf("replay salvaged %d events (%v), want seqs [1 3]", n, seqs)
 	}
 }
 

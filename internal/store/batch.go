@@ -4,7 +4,6 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
-	"hash/crc32"
 )
 
 // opBatch is the WAL op code for an atomic multi-operation record.
@@ -98,22 +97,10 @@ func (db *DB) appendBatchWAL(b *Batch) error {
 		}
 	}
 
-	rec := make([]byte, 8, 8+len(payload))
-	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
-	rec = append(rec, payload...)
-	if _, err := db.wal.Write(rec); err != nil {
-		return fmt.Errorf("store: wal batch append: %w", err)
+	if err := db.commitWAL(payload); err != nil {
+		return err
 	}
-	if db.opts.SyncWrites {
-		if err := db.wal.Sync(); err != nil {
-			return fmt.Errorf("store: wal sync: %w", err)
-		}
-	}
-	db.walRecs++
-	walAppends.Inc()
 	walBatchOps.Add(uint64(len(b.ops)))
-	walBytes.Add(float64(len(rec)))
 	return nil
 }
 

@@ -28,6 +28,7 @@ import (
 	"strings"
 	"sync"
 
+	"github.com/imcf/imcf/internal/faultfs"
 	"github.com/imcf/imcf/internal/metrics"
 )
 
@@ -49,11 +50,22 @@ const (
 
 	opPut    = 1
 	opDelete = 2
+	// opProbe (4, see batch.go for 3) is a no-op record appended by
+	// Probe to verify the write path; replay ignores it.
+	opProbe = 4
 )
 
-var snapMagic = [4]byte{'I', 'M', 'S', 'S'}
+var (
+	snapMagic = [4]byte{'I', 'M', 'S', 'S'}
+	walMagic  = [4]byte{'I', 'M', 'W', 'L'}
+)
 
-const snapVersion = 1
+const (
+	snapVersion = 2
+	walVersion  = 1
+	// walHeaderLen is magic(4) + version(1) + pad(3) + generation(8).
+	walHeaderLen = 16
+)
 
 // ErrClosed is returned by operations on a closed DB.
 var ErrClosed = errors.New("store: database is closed")
@@ -70,16 +82,30 @@ type Options struct {
 	// CompactEvery triggers automatic compaction after this many WAL
 	// records (0 disables automatic compaction).
 	CompactEvery int
+	// FS overrides the file layer (tests inject faultfs fakes to
+	// exercise crash recovery); nil uses the real filesystem.
+	FS faultfs.FS
 }
 
 // DB is an open store. It is safe for concurrent use.
 type DB struct {
 	mu      sync.RWMutex
 	opts    Options
+	fs      faultfs.FS
 	data    map[string][]byte
-	wal     *os.File
+	wal     faultfs.File
+	walErr  error // why wal is nil after a failed compaction
 	walRecs int
-	closed  bool
+	// gen is the compaction generation. The snapshot and the WAL header
+	// both carry it; replay discards a WAL whose generation differs from
+	// the snapshot's. This closes the stale-log window: a crash after
+	// the new snapshot's rename is durable but before the WAL reset is
+	// can resurrect pre-compaction records (tearing keeps an arbitrary
+	// prefix), and replaying that prefix — e.g. a stale delete of a key
+	// the folded-in history later re-created — onto the newer snapshot
+	// would fabricate a state that never existed.
+	gen    uint64
+	closed bool
 }
 
 // Open opens (or creates) the store in opts.Dir.
@@ -87,10 +113,19 @@ func Open(opts Options) (*DB, error) {
 	if opts.Dir == "" {
 		return nil, errors.New("store: Dir must be set")
 	}
-	if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
 		return nil, fmt.Errorf("store: create dir: %w", err)
 	}
-	db := &DB{opts: opts, data: make(map[string][]byte)}
+	db := &DB{opts: opts, fs: fsys, data: make(map[string][]byte)}
+	// A temp snapshot left behind by a crash mid-compaction is garbage:
+	// the real snapshot is only ever replaced by a completed rename.
+	if err := fsys.Remove(db.snapPath() + ".tmp"); err != nil && !errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("store: remove stale temp snapshot: %w", err)
+	}
 	if err := db.loadSnapshot(); err != nil {
 		return nil, err
 	}
@@ -98,13 +133,42 @@ func Open(opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	wal, err := os.OpenFile(db.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	wal, err := fsys.OpenFile(db.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("store: open wal: %w", err)
 	}
 	db.wal = wal
+	if size, err := fsys.Size(db.walPath()); err != nil {
+		return nil, fmt.Errorf("store: stat wal: %w", err)
+	} else if size == 0 {
+		// Fresh (or reset-after-staleness) log: stamp it with the
+		// snapshot's generation before any record lands.
+		if err := db.writeWALHeader(); err != nil {
+			return nil, err
+		}
+	}
+	// The directory entries (a freshly created WAL, the removed temp
+	// snapshot) must be durable before the first append is
+	// acknowledged, or a power cut could take the whole log with it.
+	if err := fsys.SyncDir(opts.Dir); err != nil {
+		return nil, fmt.Errorf("store: sync dir: %w", err)
+	}
 	db.walRecs = replayed
 	return db, nil
+}
+
+// writeWALHeader appends the 16-byte log header (magic, version, the
+// current compaction generation) to an empty WAL. The caller holds
+// db.mu or is still constructing the DB.
+func (db *DB) writeWALHeader() error {
+	hdr := make([]byte, 0, walHeaderLen)
+	hdr = append(hdr, walMagic[:]...)
+	hdr = append(hdr, walVersion, 0, 0, 0)
+	hdr = binary.LittleEndian.AppendUint64(hdr, db.gen)
+	if _, err := db.wal.Write(hdr); err != nil {
+		return fmt.Errorf("store: write wal header: %w", err)
+	}
+	return nil
 }
 
 func (db *DB) snapPath() string { return filepath.Join(db.opts.Dir, snapName) }
@@ -221,6 +285,19 @@ func (db *DB) WALRecords() int {
 	return db.walRecs
 }
 
+// Probe appends (and, under SyncWrites, fsyncs) a no-op WAL record,
+// verifying the append path end to end without touching any key. The
+// daemon's degraded-mode logic uses it to classify persistent disk
+// faults and to detect when a full or failing disk has recovered.
+func (db *DB) Probe() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	return db.appendWAL(opProbe, "", nil)
+}
+
 // Close compacts and closes the store.
 func (db *DB) Close() error {
 	db.mu.Lock()
@@ -229,8 +306,11 @@ func (db *DB) Close() error {
 		return nil
 	}
 	err := db.compactLocked()
-	if cerr := db.wal.Close(); err == nil {
-		err = cerr
+	if db.wal != nil {
+		if cerr := db.wal.Close(); err == nil {
+			err = cerr
+		}
+		db.wal = nil
 	}
 	db.closed = true
 	return err
@@ -254,7 +334,17 @@ func (db *DB) appendWAL(op byte, key string, value []byte) error {
 	payload = binary.AppendUvarint(payload, uint64(len(key)))
 	payload = append(payload, key...)
 	payload = append(payload, value...)
+	return db.commitWAL(payload)
+}
 
+// commitWAL frames payload (length + CRC-32 header), appends it to the
+// log and syncs when SyncWrites is set. The caller holds db.mu. After
+// a failed compaction left the log without a handle, it fails cleanly
+// instead of panicking so callers see every later mutation rejected.
+func (db *DB) commitWAL(payload []byte) error {
+	if db.wal == nil {
+		return fmt.Errorf("store: wal unavailable after failed compaction: %w", db.walErr)
+	}
 	rec := make([]byte, 8, 8+len(payload))
 	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
 	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
@@ -278,7 +368,7 @@ func (db *DB) appendWAL(op byte, key string, value []byte) error {
 // corrupt tail ends replay and is truncated from the file so subsequent
 // appends extend a clean log.
 func (db *DB) replayWAL() (int, error) {
-	f, err := os.Open(db.walPath())
+	f, err := db.fs.OpenFile(db.walPath(), os.O_RDONLY, 0)
 	if errors.Is(err, os.ErrNotExist) {
 		return 0, nil
 	}
@@ -287,9 +377,29 @@ func (db *DB) replayWAL() (int, error) {
 	}
 	defer f.Close()
 
+	// The log must carry the snapshot's generation. A mismatch means a
+	// crash raced a compaction and resurrected a stale log (its records
+	// are already folded into the snapshot — replaying a prefix of them
+	// could undo folded-in history); a short or garbled header is a torn
+	// reset. Either way every usable record is in the snapshot already,
+	// so the log restarts empty at the current generation.
+	var whdr [walHeaderLen]byte
+	headerOK := false
+	if _, err := io.ReadFull(f, whdr[:]); err == nil {
+		headerOK = [4]byte(whdr[:4]) == walMagic &&
+			whdr[4] == walVersion &&
+			binary.LittleEndian.Uint64(whdr[8:]) == db.gen
+	}
+	if !headerOK {
+		if err := db.fs.Truncate(db.walPath(), 0); err != nil {
+			return 0, fmt.Errorf("store: reset stale wal: %w", err)
+		}
+		return 0, nil
+	}
+
 	var (
 		hdr    [8]byte
-		offset int64
+		offset = int64(walHeaderLen)
 		count  int
 	)
 	for {
@@ -315,8 +425,8 @@ func (db *DB) replayWAL() (int, error) {
 		count++
 	}
 	// Truncate anything after the last good record.
-	if info, err := os.Stat(db.walPath()); err == nil && info.Size() > offset {
-		if err := os.Truncate(db.walPath(), offset); err != nil {
+	if size, err := db.fs.Size(db.walPath()); err == nil && size > offset {
+		if err := db.fs.Truncate(db.walPath(), offset); err != nil {
 			return count, fmt.Errorf("store: truncate torn wal: %w", err)
 		}
 	}
@@ -344,18 +454,29 @@ func (db *DB) applyPayload(p []byte) error {
 		db.data[key] = cp
 	case opDelete:
 		delete(db.data, key)
+	case opProbe:
+		// Write-path probe: no data effect.
 	default:
 		return fmt.Errorf("store: unknown wal op %d", op)
 	}
 	return nil
 }
 
-// compactLocked writes a fresh snapshot atomically (write temp + rename)
-// and truncates the WAL.
+// compactLocked writes a fresh snapshot atomically (write temp +
+// rename + directory sync) and truncates the WAL. The ordering is the
+// durability argument: the snapshot content is synced before the
+// rename, and the rename is made durable (SyncDir) before a single
+// WAL byte is dropped, so at every crash point the directory holds
+// either the old snapshot with the full log or the new snapshot with
+// a log whose records are already folded into it.
 func (db *DB) compactLocked() error {
 	storeCompactions.Inc()
+	// The new snapshot opens a new generation; the reset WAL is stamped
+	// with it, so a crash that resurrects the pre-compaction log leaves
+	// a generation mismatch replay can detect.
+	db.gen++
 	tmp := db.snapPath() + ".tmp"
-	f, err := os.Create(tmp)
+	f, err := db.fs.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
 	if err != nil {
 		return fmt.Errorf("store: create snapshot: %w", err)
 	}
@@ -363,44 +484,70 @@ func (db *DB) compactLocked() error {
 	// close failure on the write path can mean lost snapshot bytes.
 	werr := db.writeSnapshotLocked(f)
 	cerr := f.Close()
-	if werr != nil {
-		return werr
-	}
-	if cerr != nil {
+	if werr != nil || cerr != nil {
+		// Don't leak the torn temp snapshot; removal is best-effort
+		// (the disk may be gone entirely).
+		db.fs.Remove(tmp) //nolint:errcheck // cleanup after a failure already being returned
+		if werr != nil {
+			return werr
+		}
 		return fmt.Errorf("store: close snapshot: %w", cerr)
 	}
-	if err := os.Rename(tmp, db.snapPath()); err != nil {
+	if err := db.fs.Rename(tmp, db.snapPath()); err != nil {
+		db.fs.Remove(tmp) //nolint:errcheck // cleanup after a failure already being returned
 		return fmt.Errorf("store: install snapshot: %w", err)
+	}
+	// Make the rename durable before touching the WAL: if the log were
+	// reset first and power failed, the directory could hold the old
+	// snapshot next to an empty log — every record since the previous
+	// snapshot silently gone.
+	if err := db.fs.SyncDir(db.opts.Dir); err != nil {
+		return fmt.Errorf("store: sync dir after snapshot install: %w", err)
 	}
 
 	// Reset the WAL. Truncate via a fresh handle so the append-mode
-	// descriptor continues at offset 0.
-	if db.wal != nil {
-		if err := db.wal.Close(); err != nil {
-			return err
+	// descriptor continues at offset 0. db.wal stays nil until the
+	// reopen succeeds, so a failure here leaves later appends erroring
+	// cleanly instead of writing into a closed or stale handle.
+	old := db.wal
+	db.wal = nil
+	if old != nil {
+		if err := old.Close(); err != nil {
+			db.walErr = err
+			return fmt.Errorf("store: close wal: %w", err)
 		}
 	}
-	if err := os.Truncate(db.walPath(), 0); err != nil && !errors.Is(err, os.ErrNotExist) {
+	if err := db.fs.Truncate(db.walPath(), 0); err != nil && !errors.Is(err, os.ErrNotExist) {
+		db.walErr = err
 		return fmt.Errorf("store: reset wal: %w", err)
 	}
-	wal, err := os.OpenFile(db.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	wal, err := db.fs.OpenFile(db.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
+		db.walErr = err
 		return fmt.Errorf("store: reopen wal: %w", err)
 	}
 	db.wal = wal
+	if err := db.writeWALHeader(); err != nil {
+		db.wal = nil
+		db.walErr = err
+		wal.Close() //nolint:errcheck // the header write error is already being returned
+		return err
+	}
+	db.walErr = nil
 	db.walRecs = 0
 	return nil
 }
 
 // writeSnapshotLocked streams the snapshot body (header, sorted
 // records, CRC tail) to f and syncs it. The caller owns closing f.
-func (db *DB) writeSnapshotLocked(f *os.File) error {
+func (db *DB) writeSnapshotLocked(f faultfs.File) error {
 	crc := crc32.NewIEEE()
 	w := io.MultiWriter(f, crc)
 
-	hdr := make([]byte, 0, 16)
+	hdr := make([]byte, 0, 24)
 	hdr = append(hdr, snapMagic[:]...)
 	hdr = append(hdr, snapVersion, 0, 0, 0)
+	hdr = binary.LittleEndian.AppendUint64(hdr, db.gen)
 	hdr = binary.LittleEndian.AppendUint64(hdr, uint64(len(db.data)))
 	if _, err := w.Write(hdr); err != nil {
 		return err
@@ -432,14 +579,14 @@ func (db *DB) writeSnapshotLocked(f *os.File) error {
 
 // loadSnapshot reads the snapshot file if present.
 func (db *DB) loadSnapshot() error {
-	b, err := os.ReadFile(db.snapPath())
+	b, err := db.fs.ReadFile(db.snapPath())
 	if errors.Is(err, os.ErrNotExist) {
 		return nil
 	}
 	if err != nil {
 		return fmt.Errorf("store: read snapshot: %w", err)
 	}
-	if len(b) < 20 {
+	if len(b) < 28 {
 		return errors.New("store: snapshot too short")
 	}
 	if [4]byte(b[:4]) != snapMagic {
@@ -452,8 +599,9 @@ func (db *DB) loadSnapshot() error {
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
 		return errors.New("store: snapshot checksum mismatch")
 	}
-	count := binary.LittleEndian.Uint64(b[8:16])
-	p := body[16:]
+	db.gen = binary.LittleEndian.Uint64(b[8:16])
+	count := binary.LittleEndian.Uint64(b[16:24])
+	p := body[24:]
 	for i := uint64(0); i < count; i++ {
 		klen, n := binary.Uvarint(p)
 		if n <= 0 || uint64(len(p)) < uint64(n)+klen {

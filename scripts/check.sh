@@ -33,6 +33,15 @@ go run ./cmd/imcf-lint ./...
 echo ">> go test -run AllocsTrace ./internal/metrics ./internal/journal"
 go test -run AllocsTrace -count=1 ./internal/metrics ./internal/journal
 
+# Crash suite: kill-at-every-failpoint recovery for the store and the
+# decision journal, plus the daemon degraded-mode e2e (DESIGN.md §11).
+# Runs without -race first so a durability regression fails fast with
+# the failpoint identified, before the slower race cycle repeats it.
+echo ">> crash suite (kill-at-every-failpoint)"
+go test -count=1 \
+    -run 'CrashRecoveryEveryFailpoint|CompactionRenameDurability|FailedCompactionLeavesCleanErrors|JournalCrashRecoveryEveryFailpoint|DaemonDegradedMode' \
+    ./internal/store ./internal/persistence ./internal/daemon
+
 echo ">> go test -race ./..."
 go test -race ./...
 
@@ -52,7 +61,9 @@ fi
 # observability substrate; internal/analysis is the lint rule suite,
 # whose false negatives silently erode the invariants it guards;
 # internal/journal is the decision-provenance record whose gaps would
-# make "why was rule R dropped" unanswerable.
+# make "why was rule R dropped" unanswerable; internal/faultfs is the
+# fault-injection seam the crash suite's guarantees rest on — an
+# untested injector proves nothing about the code it instruments.
 check_floor() {
     pkg="$1" floor="$2"
     cov=$(echo "$cover_out" | awk -v p="/$pkg\$" '
@@ -73,5 +84,6 @@ check_floor() {
 check_floor internal/metrics 90
 check_floor internal/analysis 90
 check_floor internal/journal 90
+check_floor internal/faultfs 90
 
 echo "check: OK"
