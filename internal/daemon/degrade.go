@@ -106,6 +106,22 @@ func (sr *statusRecorder) Write(p []byte) (int, error) {
 	return sr.ResponseWriter.Write(p)
 }
 
+// Unwrap exposes the wrapped writer to http.NewResponseController, so
+// handlers behind degradeMiddleware keep the underlying writer's
+// optional capabilities (http.Flusher, http.Hijacker, io.ReaderFrom).
+func (sr *statusRecorder) Unwrap() http.ResponseWriter { return sr.ResponseWriter }
+
+// Flush implements http.Flusher for handlers that type-assert the
+// writer directly instead of going through a ResponseController.
+func (sr *statusRecorder) Flush() {
+	if sr.status == 0 {
+		sr.status = http.StatusOK
+	}
+	if f, ok := sr.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // degradeMiddleware enforces read-only degraded mode around the REST
 // API: while degraded, mutations are refused with 503 + Retry-After
 // (after a recovery probe, so service resumes as soon as the disk

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"net/http/httptest"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -153,6 +154,27 @@ func TestDaemonDegradedMode(t *testing.T) {
 	}
 	if fams := scrapeMetrics(t, obs+"/metrics"); fams["imcf_daemon_degraded"] != 0 {
 		t.Fatalf("imcf_daemon_degraded = %v after recovery, want 0", fams["imcf_daemon_degraded"])
+	}
+}
+
+// TestStatusRecorderForwardsCapabilities: the middleware's recorder
+// must not mask the underlying writer's optional interfaces — both a
+// direct http.Flusher assertion and the http.NewResponseController
+// path (which relies on Unwrap) have to reach the real writer.
+func TestStatusRecorderForwardsCapabilities(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sr := &statusRecorder{ResponseWriter: rec}
+	if _, ok := interface{}(sr).(http.Flusher); !ok {
+		t.Fatal("statusRecorder does not implement http.Flusher")
+	}
+	if err := http.NewResponseController(sr).Flush(); err != nil {
+		t.Fatalf("Flush through ResponseController: %v", err)
+	}
+	if !rec.Flushed {
+		t.Fatal("flush did not reach the underlying writer")
+	}
+	if sr.Unwrap() != http.ResponseWriter(rec) {
+		t.Fatal("Unwrap does not return the wrapped writer")
 	}
 }
 

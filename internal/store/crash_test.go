@@ -344,6 +344,163 @@ func TestFailedCompactionLeavesCleanErrors(t *testing.T) {
 	}
 }
 
+// TestTornAppendRollback pins the tail-rollback fix: a short write
+// (ENOSPC mid-record) must not leave torn bytes at the log tail. If it
+// did, appends acknowledged after the disk recovered would land beyond
+// the garbage, and the next replay — which truncates at the first bad
+// record — would silently discard them.
+func TestTornAppendRollback(t *testing.T) {
+	mem := faultfs.NewMemFS()
+	tearNext := false
+	inj := faultfs.InjectorFunc(func(op faultfs.FaultOp) *faultfs.Fault {
+		if tearNext && op.Op == faultfs.OpWrite && strings.HasSuffix(op.Path, walName) {
+			tearNext = false
+			return &faultfs.Fault{Err: syscall.ENOSPC, Partial: op.Size / 2}
+		}
+		return nil
+	})
+	db, err := Open(Options{Dir: "/db", SyncWrites: true, FS: faultfs.NewFaulty(mem, inj)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	tearNext = true
+	if err := db.Put("torn", []byte("lost-to-enospc")); err == nil {
+		t.Fatal("put should fail on the injected short write")
+	}
+	// Disk recovered: this write is acknowledged and must survive.
+	if err := db.Put("b", []byte("2")); err != nil {
+		t.Fatalf("put after disk recovery: %v", err)
+	}
+	mem.Crash()
+
+	db2, err := Open(Options{Dir: "/db", SyncWrites: true, FS: mem})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close() //nolint:errcheck
+	if _, ok := db2.Get("a"); !ok {
+		t.Fatal("pre-tear acknowledged key lost")
+	}
+	if v, ok := db2.Get("b"); !ok || string(v) != "2" {
+		t.Fatal("acknowledged key written after the torn append was lost: the tail was not rolled back")
+	}
+	if _, ok := db2.Get("torn"); ok {
+		t.Fatal("unacknowledged torn write resurrected")
+	}
+}
+
+// TestTornAppendRollbackTruncateFails covers the double fault: the
+// append tears AND the rollback truncate fails. The log must be marked
+// unusable (further mutations error cleanly) and then heal through the
+// commitWAL/Probe repair path once the disk recovers, with no
+// acknowledged write lost.
+func TestTornAppendRollbackTruncateFails(t *testing.T) {
+	mem := faultfs.NewMemFS()
+	diskDead := false
+	inj := faultfs.InjectorFunc(func(op faultfs.FaultOp) *faultfs.Fault {
+		if !diskDead || !strings.HasSuffix(op.Path, walName) {
+			return nil
+		}
+		switch op.Op {
+		case faultfs.OpWrite:
+			return &faultfs.Fault{Err: syscall.ENOSPC, Partial: op.Size / 3}
+		case faultfs.OpSync, faultfs.OpTruncate, faultfs.OpOpen:
+			return &faultfs.Fault{Err: syscall.ENOSPC}
+		}
+		return nil
+	})
+	db, err := Open(Options{Dir: "/db", SyncWrites: true, FS: faultfs.NewFaulty(mem, inj)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	diskDead = true
+	if err := db.Put("torn", []byte("x")); err == nil {
+		t.Fatal("put should fail while the disk is dead")
+	}
+	if err := db.Probe(); err == nil {
+		t.Fatal("probe should fail while the disk is dead: the torn tail cannot be repaired yet")
+	}
+	diskDead = false
+	// The repair path truncates the torn tail before this append is
+	// acknowledged.
+	if err := db.Probe(); err != nil {
+		t.Fatalf("probe after disk recovery: %v", err)
+	}
+	if err := db.Put("b", []byte("2")); err != nil {
+		t.Fatalf("put after disk recovery: %v", err)
+	}
+	mem.Crash()
+
+	db2, err := Open(Options{Dir: "/db", SyncWrites: true, FS: mem})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close() //nolint:errcheck
+	if _, ok := db2.Get("a"); !ok {
+		t.Fatal("pre-fault acknowledged key lost")
+	}
+	if _, ok := db2.Get("b"); !ok {
+		t.Fatal("post-repair acknowledged key lost")
+	}
+	if _, ok := db2.Get("torn"); ok {
+		t.Fatal("unacknowledged torn write resurrected")
+	}
+}
+
+// TestProbeHealsAfterFailedCompaction pins the degraded-mode auto-heal:
+// a compaction that fails after installing the snapshot leaves the
+// store without a WAL handle, and Probe alone — no compaction, no
+// restart — must re-establish it once the disk recovers.
+func TestProbeHealsAfterFailedCompaction(t *testing.T) {
+	mem := faultfs.NewMemFS()
+	arm := false
+	inj := faultfs.InjectorFunc(func(op faultfs.FaultOp) *faultfs.Fault {
+		if arm && op.Op == faultfs.OpOpen && strings.HasSuffix(op.Path, walName) {
+			return &faultfs.Fault{Err: syscall.ENOSPC}
+		}
+		return nil
+	})
+	db, err := Open(Options{Dir: "/db", SyncWrites: true, FS: faultfs.NewFaulty(mem, inj)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Put("a", []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	arm = true
+	if err := db.Compact(); err == nil {
+		t.Fatal("compaction should fail when the wal cannot be reopened")
+	}
+	if err := db.Probe(); err == nil {
+		t.Fatal("probe should still fail while the disk is dead")
+	}
+	arm = false
+	if err := db.Probe(); err != nil {
+		t.Fatalf("probe should repair the wal once the disk recovers: %v", err)
+	}
+	if err := db.Put("b", []byte("2")); err != nil {
+		t.Fatalf("put after probe-driven repair: %v", err)
+	}
+	mem.Crash()
+
+	db2, err := Open(Options{Dir: "/db", SyncWrites: true, FS: mem})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer db2.Close() //nolint:errcheck
+	for _, k := range []string{"a", "b"} {
+		if _, ok := db2.Get(k); !ok {
+			t.Fatalf("acknowledged key %s lost across probe-driven repair", k)
+		}
+	}
+}
+
 // TestProbeRecordsAreInvisible checks that Probe's WAL records replay
 // as no-ops and never surface as keys.
 func TestProbeRecordsAreInvisible(t *testing.T) {

@@ -16,6 +16,7 @@
 package store
 
 import (
+	"bytes"
 	"encoding/binary"
 	"encoding/json"
 	"errors"
@@ -61,8 +62,13 @@ var (
 )
 
 const (
-	snapVersion = 2
-	walVersion  = 1
+	// snapVersionLegacy is the pre-generation snapshot format: a
+	// 16-byte header (magic, version, pad, key count) and no WAL
+	// header. Still accepted by Open; the next compaction rewrites
+	// both files in the current format.
+	snapVersionLegacy = 1
+	snapVersion       = 2
+	walVersion        = 1
 	// walHeaderLen is magic(4) + version(1) + pad(3) + generation(8).
 	walHeaderLen = 16
 )
@@ -94,8 +100,14 @@ type DB struct {
 	fs      faultfs.FS
 	data    map[string][]byte
 	wal     faultfs.File
-	walErr  error // why wal is nil after a failed compaction
+	walErr  error // why wal is nil (failed compaction reset or tail rollback)
 	walRecs int
+	// walSize is the log length up to the last acknowledged record —
+	// the rollback point after a failed append. Truncating back to it
+	// keeps torn bytes (a short write under ENOSPC) from sitting in
+	// front of later acknowledged records, which replay — stopping at
+	// the first bad record — would otherwise silently discard.
+	walSize int64
 	// gen is the compaction generation. The snapshot and the WAL header
 	// both carry it; replay discards a WAL whose generation differs from
 	// the snapshot's. This closes the stale-log window: a crash after
@@ -146,6 +158,10 @@ func Open(opts Options) (*DB, error) {
 		if err := db.writeWALHeader(); err != nil {
 			return nil, err
 		}
+	} else {
+		// Replay already truncated any torn tail, so the current
+		// length is the last-good offset.
+		db.walSize = size
 	}
 	// The directory entries (a freshly created WAL, the removed temp
 	// snapshot) must be durable before the first append is
@@ -168,6 +184,7 @@ func (db *DB) writeWALHeader() error {
 	if _, err := db.wal.Write(hdr); err != nil {
 		return fmt.Errorf("store: write wal header: %w", err)
 	}
+	db.walSize = walHeaderLen
 	return nil
 }
 
@@ -338,12 +355,17 @@ func (db *DB) appendWAL(op byte, key string, value []byte) error {
 }
 
 // commitWAL frames payload (length + CRC-32 header), appends it to the
-// log and syncs when SyncWrites is set. The caller holds db.mu. After
-// a failed compaction left the log without a handle, it fails cleanly
-// instead of panicking so callers see every later mutation rejected.
+// log and syncs when SyncWrites is set. The caller holds db.mu. If the
+// log has no usable handle — a compaction reset or a tail rollback
+// failed earlier — it first retries the repair, so the store (and with
+// it the daemon's degraded mode, whose Probe lands here) heals without
+// a restart as soon as the disk recovers. A failed append is rolled
+// back to the last acknowledged record before the error is returned.
 func (db *DB) commitWAL(payload []byte) error {
 	if db.wal == nil {
-		return fmt.Errorf("store: wal unavailable after failed compaction: %w", db.walErr)
+		if err := db.repairWALLocked(); err != nil {
+			return fmt.Errorf("store: wal unavailable: %w", err)
+		}
 	}
 	rec := make([]byte, 8, 8+len(payload))
 	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
@@ -351,16 +373,71 @@ func (db *DB) commitWAL(payload []byte) error {
 	rec = append(rec, payload...)
 
 	if _, err := db.wal.Write(rec); err != nil {
+		db.rollbackWALTailLocked()
 		return fmt.Errorf("store: wal append: %w", err)
 	}
 	if db.opts.SyncWrites {
 		if err := db.wal.Sync(); err != nil {
+			db.rollbackWALTailLocked()
 			return fmt.Errorf("store: wal sync: %w", err)
 		}
 	}
+	db.walSize += int64(len(rec))
 	db.walRecs++
 	walAppends.Inc()
 	walBytes.Add(float64(len(rec)))
+	return nil
+}
+
+// rollbackWALTailLocked discards the bytes of a failed append so the
+// log ends at the last acknowledged record. A short write (ENOSPC
+// mid-record) leaves torn bytes at the tail; left in place, appends
+// after the disk recovered would be acknowledged beyond them, and the
+// next replay — which truncates at the first bad record — would
+// silently discard those acknowledged writes. If the truncate itself
+// fails, the handle is closed and the log marked unusable; commitWAL
+// repairs it (retrying the truncate) before accepting any new append.
+func (db *DB) rollbackWALTailLocked() {
+	if err := db.fs.Truncate(db.walPath(), db.walSize); err != nil {
+		db.walErr = err
+		if db.wal != nil {
+			db.wal.Close() //nolint:errcheck // the append failure is already being returned
+			db.wal = nil
+		}
+	}
+}
+
+// repairWALLocked re-establishes a usable append handle after the log
+// was marked unusable: it truncates the file back to the last-good
+// offset — dropping a torn tail after a failed rollback, or the whole
+// folded-in log after a failed compaction reset (walSize 0) — reopens
+// it for append, and restamps the header when the log restarts empty.
+// Reached from commitWAL, this is how Probe verifies and repairs the
+// log tail before reporting the write path healthy again.
+func (db *DB) repairWALLocked() error {
+	if err := db.fs.Truncate(db.walPath(), db.walSize); err != nil {
+		// A missing file is only acceptable when nothing acknowledged
+		// lives in the log; OpenFile below recreates it.
+		if db.walSize > 0 || !errors.Is(err, os.ErrNotExist) {
+			db.walErr = err
+			return fmt.Errorf("repair wal tail: %w", err)
+		}
+	}
+	wal, err := db.fs.OpenFile(db.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		db.walErr = err
+		return fmt.Errorf("reopen wal: %w", err)
+	}
+	db.wal = wal
+	if db.walSize == 0 {
+		if err := db.writeWALHeader(); err != nil {
+			db.wal = nil
+			db.walErr = err
+			wal.Close() //nolint:errcheck // the header-write error is already being returned
+			return err
+		}
+	}
+	db.walErr = nil
 	return nil
 }
 
@@ -383,14 +460,26 @@ func (db *DB) replayWAL() (int, error) {
 	// could undo folded-in history); a short or garbled header is a torn
 	// reset. Either way every usable record is in the snapshot already,
 	// so the log restarts empty at the current generation.
+	//
+	// Exception: a store written before the header existed (snapshot
+	// version 1) has records starting at offset zero. It is recognised
+	// by the absence of the magic together with generation 0 — every
+	// compacted snapshot carries gen >= 1, so a post-compaction stale
+	// log can never be mistaken for it — and replayed headerless; the
+	// records are CRC-gated like any others. The next compaction
+	// rewrites both files in the current format.
 	var whdr [walHeaderLen]byte
-	headerOK := false
-	if _, err := io.ReadFull(f, whdr[:]); err == nil {
-		headerOK = [4]byte(whdr[:4]) == walMagic &&
-			whdr[4] == walVersion &&
-			binary.LittleEndian.Uint64(whdr[8:]) == db.gen
+	n, err := io.ReadFull(f, whdr[:])
+	if err != nil && !errors.Is(err, io.EOF) && !errors.Is(err, io.ErrUnexpectedEOF) {
+		return 0, fmt.Errorf("store: read wal header: %w", err)
 	}
-	if !headerOK {
+	headerOK := n == walHeaderLen &&
+		[4]byte(whdr[:4]) == walMagic &&
+		whdr[4] == walVersion &&
+		binary.LittleEndian.Uint64(whdr[8:]) == db.gen
+	legacy := !headerOK && db.gen == 0 &&
+		(n < len(walMagic) || [4]byte(whdr[:4]) != walMagic)
+	if !headerOK && !legacy {
 		if err := db.fs.Truncate(db.walPath(), 0); err != nil {
 			return 0, fmt.Errorf("store: reset stale wal: %w", err)
 		}
@@ -399,11 +488,17 @@ func (db *DB) replayWAL() (int, error) {
 
 	var (
 		hdr    [8]byte
-		offset = int64(walHeaderLen)
+		r      io.Reader = f
+		offset           = int64(walHeaderLen)
 		count  int
 	)
+	if legacy {
+		// Re-feed the bytes consumed by the header probe.
+		r = io.MultiReader(bytes.NewReader(whdr[:n]), f)
+		offset = 0
+	}
 	for {
-		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			break // clean EOF or torn header: stop
 		}
 		plen := binary.LittleEndian.Uint32(hdr[0:])
@@ -412,7 +507,7 @@ func (db *DB) replayWAL() (int, error) {
 			break // implausible: treat as corruption
 		}
 		payload := make([]byte, plen)
-		if _, err := io.ReadFull(f, payload); err != nil {
+		if _, err := io.ReadFull(r, payload); err != nil {
 			break // torn record
 		}
 		if crc32.ChecksumIEEE(payload) != wantCRC {
@@ -505,36 +600,26 @@ func (db *DB) compactLocked() error {
 		return fmt.Errorf("store: sync dir after snapshot install: %w", err)
 	}
 
-	// Reset the WAL. Truncate via a fresh handle so the append-mode
-	// descriptor continues at offset 0. db.wal stays nil until the
-	// reopen succeeds, so a failure here leaves later appends erroring
-	// cleanly instead of writing into a closed or stale handle.
+	// Reset the WAL. The installed snapshot holds every record, so the
+	// log is logically empty from here: the last-good offset drops to
+	// zero and repairWALLocked rebuilds the handle (truncate, reopen,
+	// restamp the header with the new generation). On failure db.wal
+	// stays nil and the next append — including the degraded-mode
+	// Probe — retries the repair, so the store heals without a restart
+	// once the disk recovers.
 	old := db.wal
 	db.wal = nil
+	db.walSize = 0
+	db.walRecs = 0
 	if old != nil {
 		if err := old.Close(); err != nil {
 			db.walErr = err
 			return fmt.Errorf("store: close wal: %w", err)
 		}
 	}
-	if err := db.fs.Truncate(db.walPath(), 0); err != nil && !errors.Is(err, os.ErrNotExist) {
-		db.walErr = err
+	if err := db.repairWALLocked(); err != nil {
 		return fmt.Errorf("store: reset wal: %w", err)
 	}
-	wal, err := db.fs.OpenFile(db.walPath(), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		db.walErr = err
-		return fmt.Errorf("store: reopen wal: %w", err)
-	}
-	db.wal = wal
-	if err := db.writeWALHeader(); err != nil {
-		db.wal = nil
-		db.walErr = err
-		wal.Close() //nolint:errcheck // the header write error is already being returned
-		return err
-	}
-	db.walErr = nil
-	db.walRecs = 0
 	return nil
 }
 
@@ -586,22 +671,37 @@ func (db *DB) loadSnapshot() error {
 	if err != nil {
 		return fmt.Errorf("store: read snapshot: %w", err)
 	}
-	if len(b) < 28 {
+	if len(b) < 20 {
 		return errors.New("store: snapshot too short")
 	}
 	if [4]byte(b[:4]) != snapMagic {
 		return errors.New("store: snapshot bad magic")
 	}
-	if b[4] != snapVersion {
-		return fmt.Errorf("store: snapshot unsupported version %d", b[4])
+	version := b[4]
+	if version != snapVersionLegacy && version != snapVersion {
+		return fmt.Errorf("store: snapshot unsupported version %d", version)
 	}
 	body, tail := b[:len(b)-4], b[len(b)-4:]
 	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(tail) {
 		return errors.New("store: snapshot checksum mismatch")
 	}
-	db.gen = binary.LittleEndian.Uint64(b[8:16])
-	count := binary.LittleEndian.Uint64(b[16:24])
-	p := body[24:]
+	// A version-1 header is 16 bytes and carries no generation: the
+	// store opens at gen 0, which also tells replayWAL to expect the
+	// headerless v1 log. The next compaction rewrites the snapshot in
+	// the current format.
+	var count uint64
+	var p []byte
+	if version == snapVersionLegacy {
+		count = binary.LittleEndian.Uint64(b[8:16])
+		p = body[16:]
+	} else {
+		if len(b) < 28 {
+			return errors.New("store: snapshot too short")
+		}
+		db.gen = binary.LittleEndian.Uint64(b[8:16])
+		count = binary.LittleEndian.Uint64(b[16:24])
+		p = body[24:]
+	}
 	for i := uint64(0); i < count; i++ {
 		klen, n := binary.Uvarint(p)
 		if n <= 0 || uint64(len(p)) < uint64(n)+klen {
