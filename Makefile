@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint bench fig6bench metrics-smoke explain-smoke crash-suite
+.PHONY: all build vet test race check lint bench fig6bench store-bench metrics-smoke explain-smoke crash-suite
 
 all: check
 
@@ -34,13 +34,20 @@ bench:
 fig6bench:
 	$(GO) run ./cmd/imcf-bench -reps 3 -benchjson BENCH_fig6.json
 
+# store-bench regenerates the storage-engine write-throughput artifact
+# (baseline vs group commit vs sharded; see DESIGN.md §12). Use
+# -store-ops for a quick smoke run: make store-bench STORE_OPS=50.
+STORE_OPS ?= 0
+store-bench:
+	$(GO) run ./cmd/imcf-bench -store -store-ops $(STORE_OPS) -storejson BENCH_store.json
+
 # crash-suite runs the kill-at-every-failpoint recovery harness (see
 # DESIGN.md §11): store and journal crash/recovery at every I/O
 # failpoint, compaction-rename durability, and the daemon degraded-mode
 # e2e. Part of check; this target reruns it in isolation, verbosely.
 crash-suite:
 	$(GO) test -count=1 -v \
-		-run 'CrashRecoveryEveryFailpoint|CompactionRenameDurability|FailedCompactionLeavesCleanErrors|ProbeRecordsAreInvisible|JournalCrashRecoveryEveryFailpoint|JournalSyncCadence|DaemonDegradedMode' \
+		-run 'CrashRecoveryEveryFailpoint|ShardedCrashBetweenShardCommits|CompactionRenameDurability|FailedCompactionLeavesCleanErrors|ProbeRecordsAreInvisible|JournalCrashRecoveryEveryFailpoint|JournalSyncCadence|DaemonDegradedMode' \
 		./internal/store ./internal/persistence ./internal/daemon
 
 # metrics-smoke boots imcfd, runs a planning cycle and checks that

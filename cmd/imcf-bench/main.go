@@ -36,6 +36,9 @@ func main() {
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		benchjson  = flag.String("benchjson", "", "write the fig6bench before/after artifact (BENCH_fig6.json) to this file")
+		storeBench = flag.Bool("store", false, "run the storage-engine write benchmark (baseline vs group commit vs sharded)")
+		storejson  = flag.String("storejson", "", "with -store, also write the BENCH_store.json artifact to this file")
+		storeOps   = flag.Int("store-ops", 0, "with -store, Puts per writer in sync cells (0 = default matrix)")
 	)
 	flag.Parse()
 
@@ -87,6 +90,40 @@ func main() {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "imcf-bench: fig6bench: %v\n", err)
 			os.Exit(1)
+		}
+		return
+	}
+
+	if *storeBench {
+		opts := bench.StoreBenchOptions{SyncOps: *storeOps}
+		if *storeOps != 0 {
+			// A reduced op count is a smoke run; shrink the unsynced
+			// cells proportionally too.
+			opts.NoSyncOps = *storeOps * 4
+		}
+		res, err := bench.RunStoreBench(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imcf-bench: store: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "imcf-bench: store: %v\n", err)
+			os.Exit(1)
+		}
+		if *storejson != "" {
+			f, err := os.Create(*storejson)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "imcf-bench: %v\n", err)
+				os.Exit(1)
+			}
+			err = res.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "imcf-bench: store: %v\n", err)
+				os.Exit(1)
+			}
 		}
 		return
 	}

@@ -28,19 +28,21 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", ":8088", "REST API listen address")
-		metricsAddr = flag.String("metrics-addr", ":8089", "metrics/health listen address (empty disables)")
-		residence   = flag.String("residence", "prototype", "residence: prototype, flat or house")
-		storeDir    = flag.String("store", "", "persistence directory (empty disables)")
-		interval    = flag.Duration("interval", time.Hour, "EP scheduling interval")
-		weekly      = flag.Float64("weekly-budget", home.PrototypeWeeklyBudget.KWh(), "weekly energy budget in kWh")
-		emulate     = flag.Bool("emulate", false, "start HTTP device emulators and drive them")
-		seed        = flag.Uint64("seed", 42, "residence seed")
-		mrtPath     = flag.String("mrt", "", "Meta-Rule Table file in the textual format (overrides the residence's)")
-		persist     = flag.String("persist", "", "directory for measurement persistence (empty disables)")
-		mode        = flag.String("mode", "EP", "planning mode: EP, IFTTT or manual")
-		journalCap  = flag.Int("journal-cap", daemon.DefaultJournalCap, "decision journal ring capacity (negative disables journaling)")
-		journalSync = flag.Int("journal-sync", 1, "fsync the decision journal every N events (negative: only on shutdown)")
+		addr         = flag.String("addr", ":8088", "REST API listen address")
+		metricsAddr  = flag.String("metrics-addr", ":8089", "metrics/health listen address (empty disables)")
+		residence    = flag.String("residence", "prototype", "residence: prototype, flat or house")
+		storeDir     = flag.String("store", "", "persistence directory (empty disables)")
+		storeBackend = flag.String("store-backend", "wal", "storage engine: wal, sharded or mem")
+		storeShards  = flag.Int("store-shards", 0, "shard count for -store-backend sharded (0: adopt the directory's manifest, or 8 when fresh)")
+		interval     = flag.Duration("interval", time.Hour, "EP scheduling interval")
+		weekly       = flag.Float64("weekly-budget", home.PrototypeWeeklyBudget.KWh(), "weekly energy budget in kWh")
+		emulate      = flag.Bool("emulate", false, "start HTTP device emulators and drive them")
+		seed         = flag.Uint64("seed", 42, "residence seed")
+		mrtPath      = flag.String("mrt", "", "Meta-Rule Table file in the textual format (overrides the residence's)")
+		persist      = flag.String("persist", "", "directory for measurement persistence (empty disables)")
+		mode         = flag.String("mode", "EP", "planning mode: EP, IFTTT or manual")
+		journalCap   = flag.Int("journal-cap", daemon.DefaultJournalCap, "decision journal ring capacity (negative disables journaling)")
+		journalSync  = flag.Int("journal-sync", 1, "fsync the decision journal every N events (negative: only on shutdown)")
 	)
 	flag.Parse()
 
@@ -50,6 +52,8 @@ func main() {
 		Residence:        *residence,
 		Seed:             *seed,
 		StoreDir:         *storeDir,
+		StoreBackend:     *storeBackend,
+		StoreShards:      *storeShards,
 		PersistDir:       *persist,
 		MRTPath:          *mrtPath,
 		Mode:             *mode,

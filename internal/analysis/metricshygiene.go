@@ -29,6 +29,8 @@ func (metricsHygieneRule) Doc() string {
 var vecConstructors = map[string]int{
 	"NewCounterVec": 2,
 	"CounterVec":    2,
+	"NewGaugeVec":   2,
+	"GaugeVec":      2,
 }
 
 func (metricsHygieneRule) Check(m *Module, rep *Reporter) {

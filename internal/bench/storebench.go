@@ -1,0 +1,300 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/imcf/imcf/internal/faultfs"
+	"github.com/imcf/imcf/internal/store"
+)
+
+// The store bench measures the write path of the storage engines
+// head to head: the pre-group-commit baseline (one fsync per Put under
+// the store lock), the group-commit DB (concurrent writers share a
+// leader's fsync) and the sharded store (group commit × independent
+// logs). Writers/sec is the acked-durable-write throughput; fsyncs per
+// write is the artifact's proof that batching, not weakened
+// durability, bought the speedup.
+
+// StoreBenchOptions configures RunStoreBench. The zero value runs the
+// full default matrix in a temp directory.
+type StoreBenchOptions struct {
+	// Dir is the scratch root; empty uses a fresh os.MkdirTemp that is
+	// removed afterwards.
+	Dir string
+	// Writers lists the concurrency levels; nil means 1, 2, 4, 8, 16.
+	Writers []int
+	// SyncOps / NoSyncOps are Puts per writer per cell; zero means 300
+	// and 2000 respectively (sync cells pay real fsyncs, so fewer ops
+	// keep the matrix fast while still amortizing warmup).
+	SyncOps   int
+	NoSyncOps int
+	// ValueBytes sizes each value; zero means 128.
+	ValueBytes int
+	// Shards is the sharded engine's shard count; zero means 8.
+	Shards int
+	// Reps re-runs every sync cell this many times and keeps the
+	// fastest (fsync latency on shared machines is noisy; best-of is
+	// the stable throughput estimate). Zero means 3. Unsynced cells
+	// always run once — they are CPU-bound and stable.
+	Reps int
+}
+
+// StoreBenchCell is one (engine, sync, writers) measurement.
+type StoreBenchCell struct {
+	Engine  string `json:"engine"` // baseline | group | sharded
+	Sync    bool   `json:"sync"`
+	Writers int    `json:"writers"`
+	Ops     int64  `json:"ops"`
+	WallNs  int64  `json:"wall_ns"`
+	// AckedPerSec is acknowledged (durable, under Sync) writes per
+	// second across all writers.
+	AckedPerSec float64 `json:"acked_per_sec"`
+	// Fsyncs counts File.Sync calls the engine issued during the
+	// measured window; FsyncsPerWrite is Fsyncs/Ops. The baseline pins
+	// this at ~1.0 under sync; group commit drives it toward
+	// 1/batch-size.
+	Fsyncs         int64   `json:"fsyncs"`
+	FsyncsPerWrite float64 `json:"fsyncs_per_write"`
+}
+
+// StoreBench is the machine-readable BENCH_store.json artifact.
+type StoreBench struct {
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	ValueBytes int              `json:"value_bytes"`
+	Shards     int              `json:"shards"`
+	Cells      []StoreBenchCell `json:"cells"`
+	// Speedup8Group and Speedup8Sharded compare acked-writes/sec
+	// against the baseline at 8 concurrent writers with SyncWrites on —
+	// the acceptance headline. Fsyncs8Group is the group engine's
+	// fsyncs/write there.
+	Speedup8Group   float64 `json:"speedup_8w_sync_group"`
+	Speedup8Sharded float64 `json:"speedup_8w_sync_sharded"`
+	Fsyncs8Group    float64 `json:"fsyncs_per_write_8w_sync_group"`
+}
+
+// syncCountingFS wraps an FS and counts File.Sync calls, so the bench
+// can report fsyncs per acknowledged write without touching the store.
+type syncCountingFS struct {
+	faultfs.FS
+	syncs atomic.Int64
+}
+
+type syncCountingFile struct {
+	faultfs.File
+	fs *syncCountingFS
+}
+
+func (f *syncCountingFile) Sync() error {
+	f.fs.syncs.Add(1)
+	return f.File.Sync()
+}
+
+func (c *syncCountingFS) OpenFile(path string, flag int, perm os.FileMode) (faultfs.File, error) {
+	f, err := c.FS.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &syncCountingFile{File: f, fs: c}, nil
+}
+
+// storeEngine abstracts "open a fresh store in dir" per engine row.
+type storeEngine struct {
+	name string
+	open func(dir string, syncWrites bool, fsys faultfs.FS) (store.Adapter, error)
+}
+
+func storeEngines(shards int) []storeEngine {
+	return []storeEngine{
+		{"baseline", func(dir string, sync bool, fsys faultfs.FS) (store.Adapter, error) {
+			return store.Open(store.Options{Dir: dir, SyncWrites: sync, NoGroupCommit: true, FS: fsys})
+		}},
+		{"group", func(dir string, sync bool, fsys faultfs.FS) (store.Adapter, error) {
+			return store.Open(store.Options{Dir: dir, SyncWrites: sync, FS: fsys})
+		}},
+		{"sharded", func(dir string, sync bool, fsys faultfs.FS) (store.Adapter, error) {
+			return store.OpenSharded(store.ShardedOptions{Dir: dir, Shards: shards, SyncWrites: sync, FS: fsys})
+		}},
+	}
+}
+
+// RunStoreBench measures the full engine × sync × writers matrix.
+func RunStoreBench(opts StoreBenchOptions) (*StoreBench, error) {
+	root := opts.Dir
+	if root == "" {
+		var err error
+		root, err = os.MkdirTemp("", "imcf-storebench-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(root) //nolint:errcheck // scratch space
+	}
+	writers := opts.Writers
+	if writers == nil {
+		writers = []int{1, 2, 4, 8, 16}
+	}
+	syncOps, noSyncOps := opts.SyncOps, opts.NoSyncOps
+	if syncOps == 0 {
+		syncOps = 300
+	}
+	if noSyncOps == 0 {
+		noSyncOps = 2000
+	}
+	valueBytes := opts.ValueBytes
+	if valueBytes == 0 {
+		valueBytes = 128
+	}
+	shards := opts.Shards
+	if shards == 0 {
+		shards = store.DefaultShards
+	}
+	reps := opts.Reps
+	if reps == 0 {
+		reps = 3
+	}
+
+	out := &StoreBench{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		ValueBytes: valueBytes,
+		Shards:     shards,
+	}
+	value := make([]byte, valueBytes)
+	for i := range value {
+		value[i] = byte('a' + i%26)
+	}
+
+	base8 := map[string]float64{} // engine -> acked/sec at 8 writers sync
+	cellID := 0
+	for _, syncWrites := range []bool{true, false} {
+		ops := syncOps
+		if !syncWrites {
+			ops = noSyncOps
+		}
+		for _, engine := range storeEngines(shards) {
+			for _, w := range writers {
+				cellReps := reps
+				if !syncWrites {
+					cellReps = 1
+				}
+				var cell StoreBenchCell
+				for r := 0; r < cellReps; r++ {
+					cellID++
+					dir := fmt.Sprintf("%s%ccell-%03d", root, os.PathSeparator, cellID)
+					c, err := runStoreCell(engine, dir, syncWrites, w, ops, value)
+					if err != nil {
+						return nil, fmt.Errorf("storebench %s sync=%v writers=%d: %w", engine.name, syncWrites, w, err)
+					}
+					if r == 0 || c.AckedPerSec > cell.AckedPerSec {
+						cell = c
+					}
+				}
+				out.Cells = append(out.Cells, cell)
+				if syncWrites && w == 8 {
+					base8[engine.name] = cell.AckedPerSec
+					if engine.name == "group" {
+						out.Fsyncs8Group = cell.FsyncsPerWrite
+					}
+				}
+			}
+		}
+	}
+	if b := base8["baseline"]; b > 0 {
+		out.Speedup8Group = base8["group"] / b
+		out.Speedup8Sharded = base8["sharded"] / b
+	}
+	return out, nil
+}
+
+// runStoreCell opens a fresh store and hammers it with w concurrent
+// writers doing ops Puts each, all on distinct keys.
+func runStoreCell(engine storeEngine, dir string, syncWrites bool, w, ops int, value []byte) (StoreBenchCell, error) {
+	fsys := &syncCountingFS{FS: faultfs.OS{}}
+	db, err := engine.open(dir, syncWrites, fsys)
+	if err != nil {
+		return StoreBenchCell{}, err
+	}
+
+	// Warm up pools, the WAL handle and the key space outside the
+	// measured window.
+	for i := 0; i < 16; i++ {
+		if err := db.Put(fmt.Sprintf("warm/%02d", i), value); err != nil {
+			return StoreBenchCell{}, err
+		}
+	}
+	startSyncs := fsys.syncs.Load()
+
+	var (
+		wg       sync.WaitGroup
+		firstErr atomic.Value
+	)
+	start := time.Now()
+	for wr := 0; wr < w; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				if err := db.Put(fmt.Sprintf("bench/w%02d/k%06d", wr, i), value); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+			}
+		}(wr)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	fsyncs := fsys.syncs.Load() - startSyncs
+
+	if err := db.Close(); err != nil {
+		return StoreBenchCell{}, err
+	}
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return StoreBenchCell{}, err
+	}
+
+	total := int64(w) * int64(ops)
+	cell := StoreBenchCell{
+		Engine:  engine.name,
+		Sync:    syncWrites,
+		Writers: w,
+		Ops:     total,
+		WallNs:  wall.Nanoseconds(),
+		Fsyncs:  fsyncs,
+	}
+	if wall > 0 {
+		cell.AckedPerSec = float64(total) / wall.Seconds()
+	}
+	if total > 0 {
+		cell.FsyncsPerWrite = float64(fsyncs) / float64(total)
+	}
+	return cell, nil
+}
+
+// WriteJSON writes the BENCH_store.json artifact.
+func (res *StoreBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// WriteTable renders a human-readable summary of the matrix.
+func (res *StoreBench) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "store write throughput (GOMAXPROCS=%d, value=%dB, shards=%d)\n",
+		res.GOMAXPROCS, res.ValueBytes, res.Shards); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%-9s %-5s %7s %12s %14s %10s\n",
+		"engine", "sync", "writers", "acked/sec", "fsyncs/write", "ops")
+	for _, c := range res.Cells {
+		fmt.Fprintf(w, "%-9s %-5v %7d %12.0f %14.3f %10d\n",
+			c.Engine, c.Sync, c.Writers, c.AckedPerSec, c.FsyncsPerWrite, c.Ops)
+	}
+	_, err := fmt.Fprintf(w, "\nsync @ 8 writers: group %.2fx baseline (%.3f fsyncs/write), sharded %.2fx\n",
+		res.Speedup8Group, res.Fsyncs8Group, res.Speedup8Sharded)
+	return err
+}

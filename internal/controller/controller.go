@@ -82,7 +82,9 @@ type Config struct {
 	// Residence is the smart space the controller manages.
 	Residence *home.Residence
 	// Store persists the MRT and summaries; nil disables persistence.
-	Store *store.DB
+	// Any store.Adapter backend works: the durable WAL DB, the sharded
+	// group-commit store, or the in-memory backend.
+	Store store.Adapter
 	// Clock drives scheduling; nil means the wall clock.
 	Clock simclock.Clock
 	// Planner configures the Energy Planner.

@@ -55,8 +55,17 @@ type Options struct {
 	Residence string
 	// Seed parameterizes the residence's ambient traces.
 	Seed uint64
-	// StoreDir enables the durable KV store; empty disables.
+	// StoreDir enables the KV store; empty disables it (except for the
+	// mem backend, which needs no directory).
 	StoreDir string
+	// StoreBackend selects the storage engine: "wal" (default, the
+	// single-log group-commit store), "sharded" (N independent WAL
+	// shards hashed by key) or "mem" (ephemeral, no disk).
+	StoreBackend string
+	// StoreShards sets the shard count for the sharded backend; 0
+	// adopts the directory's manifest (or store.DefaultShards when
+	// fresh). Ignored by the other backends.
+	StoreShards int
 	// PersistDir enables measurement persistence; empty disables.
 	PersistDir string
 	// MRTPath overrides the residence's Meta-Rule Table with a file in
@@ -97,7 +106,7 @@ type Daemon struct {
 	ctrl    *controller.Controller
 	health  *metrics.Health
 	journal *journal.Journal
-	store   *store.DB // nil when StoreDir is unset
+	store   store.Adapter // nil when no store is configured
 	logf    func(string, ...any)
 
 	apiLn     net.Listener
@@ -185,11 +194,11 @@ func New(opts Options) (_ *Daemon, err error) {
 		return nil, fmt.Errorf("daemon: unknown mode %q", opts.Mode)
 	}
 
-	if opts.StoreDir != "" {
-		db, err := store.Open(store.Options{Dir: opts.StoreDir, SyncWrites: true, FS: opts.FS})
-		if err != nil {
-			return nil, err
-		}
+	db, err := openStoreBackend(opts)
+	if err != nil {
+		return nil, err
+	}
+	if db != nil {
 		d.closers = append(d.closers, db.Close)
 		cfg.Store = db
 		d.store = db
@@ -287,6 +296,34 @@ func New(opts Options) (_ *Daemon, err error) {
 		d.metricSrv = newHTTPServer(mux)
 	}
 	return d, nil
+}
+
+// openStoreBackend builds the Adapter selected by StoreBackend. It
+// returns (nil, nil) — no store at all — when the configuration
+// disables persistence, so callers must check for nil before wiring;
+// returning a typed-nil Adapter here would defeat those checks.
+func openStoreBackend(opts Options) (store.Adapter, error) {
+	switch opts.StoreBackend {
+	case "", "wal":
+		if opts.StoreDir == "" {
+			return nil, nil
+		}
+		return store.Open(store.Options{Dir: opts.StoreDir, SyncWrites: true, FS: opts.FS})
+	case "sharded":
+		if opts.StoreDir == "" {
+			return nil, nil
+		}
+		return store.OpenSharded(store.ShardedOptions{
+			Dir:        opts.StoreDir,
+			Shards:     opts.StoreShards,
+			SyncWrites: true,
+			FS:         opts.FS,
+		})
+	case "mem":
+		return store.OpenMem(), nil
+	default:
+		return nil, fmt.Errorf("daemon: unknown store backend %q", opts.StoreBackend)
+	}
 }
 
 // newHTTPServer applies the daemon's server hardening: header and body

@@ -154,6 +154,57 @@ func TestDaemonRejectsBadOptions(t *testing.T) {
 	if _, err := New(Options{Addr: "127.0.0.1:0", Residence: "flat", Mode: "psychic", WeeklyBudgetKWh: 165}); err == nil {
 		t.Error("unknown mode accepted")
 	}
+	if _, err := New(Options{Addr: "127.0.0.1:0", Residence: "flat", WeeklyBudgetKWh: 165, StoreBackend: "etcd"}); err == nil {
+		t.Error("unknown store backend accepted")
+	}
+}
+
+// TestDaemonStoreBackends boots the daemon once per storage engine and
+// checks the store actually serves: the MRT is persisted through the
+// configured Adapter at construction time.
+func TestDaemonStoreBackends(t *testing.T) {
+	cases := []struct {
+		name string
+		opts func(o *Options)
+	}{
+		{"wal", func(o *Options) { o.StoreDir = t.TempDir() }},
+		{"sharded", func(o *Options) {
+			o.StoreDir = t.TempDir()
+			o.StoreBackend = "sharded"
+			o.StoreShards = 2
+		}},
+		{"mem", func(o *Options) { o.StoreBackend = "mem" }},
+		{"disabled", func(o *Options) { o.StoreBackend = "wal" }}, // no dir: no store
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			opts := Options{
+				Addr:            "127.0.0.1:0",
+				Residence:       "flat",
+				WeeklyBudgetKWh: 165,
+				Logf:            t.Logf,
+			}
+			tc.opts(&opts)
+			d, err := New(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer d.Close() //nolint:errcheck
+			if tc.name == "disabled" {
+				if d.store != nil {
+					t.Fatal("store wired without a directory")
+				}
+				return
+			}
+			if d.store == nil {
+				t.Fatal("store not wired")
+			}
+			// The controller persists the MRT on construction.
+			if _, ok := d.store.Get("imcf/mrt"); !ok {
+				t.Error("MRT not persisted through the backend")
+			}
+		})
+	}
 }
 
 func getStatus(t *testing.T, url string) int {

@@ -93,9 +93,10 @@ func (c *FloatCounter) writeTo(w *bufio.Writer) {
 // health, carry-over budget). Set and Add are lock-free and
 // allocation-free.
 type Gauge struct {
-	bits atomic.Uint64
-	name string
-	help string
+	bits   atomic.Uint64
+	name   string
+	help   string
+	labels string // rendered "{k=\"v\",...}" suffix, empty for plain gauges
 }
 
 // Set replaces the gauge's value.
@@ -131,8 +132,9 @@ func (g *Gauge) metricName() string { return g.name }
 func (g *Gauge) metricType() string { return "gauge" }
 func (g *Gauge) metricHelp() string { return g.help }
 func (g *Gauge) writeTo(w *bufio.Writer) {
-	w.WriteString(g.name) //nolint:errcheck
-	w.WriteByte(' ')      //nolint:errcheck
+	w.WriteString(g.name)   //nolint:errcheck
+	w.WriteString(g.labels) //nolint:errcheck
+	w.WriteByte(' ')        //nolint:errcheck
 	writeFloat(w, g.Value())
 	w.WriteByte('\n') //nolint:errcheck
 }
@@ -163,9 +165,64 @@ func (v *CounterVec) With(values ...string) *Counter {
 	if c, ok := v.children[key]; ok {
 		return c
 	}
+	c := &Counter{name: v.name, help: v.help, labels: renderLabels(v.labels, values)}
+	v.children[key] = c
+	return c
+}
+
+// GaugeVec is a family of gauges distinguished by label values. Like
+// CounterVec, With takes a lock and may allocate, so callers resolve
+// children once (e.g. one gauge per storage shard at open time) and
+// keep the *Gauge; the per-observation path is then identical to a
+// plain Gauge.
+type GaugeVec struct {
+	name   string
+	help   string
+	labels []string
+
+	mu       sync.Mutex
+	children map[string]*Gauge
+}
+
+// With returns the child gauge for the given label values (one per
+// label name, in registration order). Children persist for the life of
+// the vec.
+func (v *GaugeVec) With(values ...string) *Gauge {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %s expects %d label values, got %d", v.name, len(v.labels), len(values)))
+	}
+	key := strings.Join(values, "\xff")
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if g, ok := v.children[key]; ok {
+		return g
+	}
+	g := &Gauge{name: v.name, help: v.help, labels: renderLabels(v.labels, values)}
+	v.children[key] = g
+	return g
+}
+
+func (v *GaugeVec) metricName() string { return v.name }
+func (v *GaugeVec) metricType() string { return "gauge" }
+func (v *GaugeVec) metricHelp() string { return v.help }
+func (v *GaugeVec) writeTo(w *bufio.Writer) {
+	v.mu.Lock()
+	children := make([]*Gauge, 0, len(v.children))
+	for _, g := range v.children {
+		children = append(children, g)
+	}
+	v.mu.Unlock()
+	sort.Slice(children, func(i, j int) bool { return children[i].labels < children[j].labels })
+	for _, g := range children {
+		g.writeTo(w)
+	}
+}
+
+// renderLabels builds the exposition-format label suffix {k="v",...}.
+func renderLabels(names, values []string) string {
 	var sb strings.Builder
 	sb.WriteByte('{')
-	for i, ln := range v.labels {
+	for i, ln := range names {
 		if i > 0 {
 			sb.WriteByte(',')
 		}
@@ -174,9 +231,7 @@ func (v *CounterVec) With(values ...string) *Counter {
 		sb.WriteString(strconv.Quote(values[i]))
 	}
 	sb.WriteByte('}')
-	c := &Counter{name: v.name, help: v.help, labels: sb.String()}
-	v.children[key] = c
-	return c
+	return sb.String()
 }
 
 func (v *CounterVec) metricName() string { return v.name }

@@ -1,0 +1,58 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestGaugeVec(t *testing.T) {
+	r := NewRegistry()
+	v := r.GaugeVec("test_shard_records", "Per-shard records.", "shard")
+	s0 := v.With("0")
+	if v.With("0") != s0 {
+		t.Fatal("With must cache children")
+	}
+	s0.Set(41)
+	s0.Add(1)
+	v.With("1").Set(7)
+	out := render(r)
+	if !strings.Contains(out, `test_shard_records{shard="0"} 42`) ||
+		!strings.Contains(out, `test_shard_records{shard="1"} 7`) {
+		t.Errorf("vec exposition wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "# TYPE test_shard_records gauge") {
+		t.Errorf("missing gauge TYPE line:\n%s", out)
+	}
+	if v2 := r.GaugeVec("test_shard_records", "again", "shard"); v2 != v {
+		t.Fatal("re-registering the same vec name must return the same collector")
+	}
+}
+
+func TestGaugeVecDefaultRegistry(t *testing.T) {
+	v := NewGaugeVec("short_by_shard", "v", "shard")
+	if NewGaugeVec("short_by_shard", "again", "shard") != v {
+		t.Fatal("NewGaugeVec must dedupe on the Default registry")
+	}
+	v.With("3").Set(1)
+}
+
+func TestGaugeVecArityPanics(t *testing.T) {
+	v := NewRegistry().GaugeVec("arity_gauge", "v", "a", "b")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("wrong label arity must panic")
+		}
+	}()
+	v.With("only-one")
+}
+
+func TestGaugeVecTypeClashPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("clash_metric_total", "c")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a counter name as a gauge vec must panic")
+		}
+	}()
+	r.GaugeVec("clash_metric_total", "g", "shard")
+}

@@ -145,6 +145,20 @@ func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
 	return v
 }
 
+// GaugeVec registers (or returns the existing) labelled gauge family.
+// Children are resolved with With at registration time (e.g. one child
+// per storage shard), never on the hot path.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	c := r.getOrCreate(name, func() collector {
+		return &GaugeVec{name: name, help: help, labels: labels, children: make(map[string]*Gauge)}
+	})
+	v, ok := c.(*GaugeVec)
+	if !ok {
+		panic(fmt.Sprintf("metrics: %q already registered as %s", name, c.metricType()))
+	}
+	return v
+}
+
 // Package-level shorthands against the Default registry, used by the
 // instrumented packages at var-init time.
 
@@ -166,6 +180,12 @@ func NewHistogram(name, help string, buckets []float64) *Histogram {
 // registry.
 func NewCounterVec(name, help string, labels ...string) *CounterVec {
 	return Default().CounterVec(name, help, labels...)
+}
+
+// NewGaugeVec registers a labelled gauge family on the Default
+// registry.
+func NewGaugeVec(name, help string, labels ...string) *GaugeVec {
+	return Default().GaugeVec(name, help, labels...)
 }
 
 // WritePrometheus renders every registered family in Prometheus text

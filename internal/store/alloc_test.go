@@ -1,0 +1,61 @@
+package store
+
+import (
+	"testing"
+
+	"github.com/imcf/imcf/internal/faultfs"
+)
+
+// putAllocBudget bounds the steady-state heap allocations of one Put on
+// the group-commit path: the value copy, the pooled request and its
+// recycled payload/batch scratch, and map bookkeeping. The encode
+// buffer, the batch framing buffer and the commit request itself are
+// pooled, which is what keeps this small; a regression here (a new
+// per-append allocation) fails scripts/check.sh.
+const putAllocBudget = 6
+
+// TestStorePutAllocs is the allocation gate on the hot append path. It
+// overwrites a single warm key so map growth and MemFS file growth are
+// out of the picture, then measures a steady-state Put.
+func TestStorePutAllocs(t *testing.T) {
+	db, err := Open(Options{Dir: "/db", FS: faultfs.NewMemFS()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close() //nolint:errcheck
+
+	val := []byte("steady-state-value")
+	// Warm up: populate the key, the pools and the WAL file's capacity.
+	for i := 0; i < 64; i++ {
+		if err := db.Put("hot/key", val); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := db.Put("hot/key", val); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > putAllocBudget {
+		t.Errorf("Put allocates %.1f times per op, budget %d: a scratch buffer stopped being pooled", allocs, putAllocBudget)
+	}
+}
+
+// BenchmarkPutAllocs reports the append path's time and allocation
+// profile (go test -bench PutAllocs -benchmem ./internal/store).
+func BenchmarkPutAllocs(b *testing.B) {
+	db, err := Open(Options{Dir: "/db", FS: faultfs.NewMemFS()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close() //nolint:errcheck
+
+	val := []byte("steady-state-value")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := db.Put("hot/key", val); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

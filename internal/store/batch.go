@@ -53,55 +53,35 @@ func (db *DB) Apply(fn func(*Batch) error) error {
 	if len(b.ops) == 0 {
 		return nil
 	}
-
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	if err := db.appendBatchWAL(&b); err != nil {
-		return err
-	}
-	for _, op := range b.ops {
-		if op.del {
-			delete(db.data, op.key)
-		} else {
-			db.data[op.key] = op.value
-		}
-	}
-	return db.maybeCompactLocked()
+	req := newReq(opBatch, "", nil, b.ops)
+	req.payload = encodeBatch(req.payload[:0], b.ops)
+	return db.finish(req)
 }
 
-// appendBatchWAL writes one record whose payload is
+// encodeBatch appends one record payload of the form
 //
 //	opBatch | count uvarint | ops…
 //
 // with each sub-op encoded as
 //
 //	op byte | keyLen uvarint | key | [valLen uvarint | value]
-func (db *DB) appendBatchWAL(b *Batch) error {
-	payload := make([]byte, 0, 16)
-	payload = append(payload, opBatch)
-	payload = binary.AppendUvarint(payload, uint64(len(b.ops)))
-	for _, op := range b.ops {
+func encodeBatch(dst []byte, ops []batchOp) []byte {
+	dst = append(dst, opBatch)
+	dst = binary.AppendUvarint(dst, uint64(len(ops)))
+	for _, op := range ops {
 		code := byte(opPut)
 		if op.del {
 			code = opDelete
 		}
-		payload = append(payload, code)
-		payload = binary.AppendUvarint(payload, uint64(len(op.key)))
-		payload = append(payload, op.key...)
+		dst = append(dst, code)
+		dst = binary.AppendUvarint(dst, uint64(len(op.key)))
+		dst = append(dst, op.key...)
 		if !op.del {
-			payload = binary.AppendUvarint(payload, uint64(len(op.value)))
-			payload = append(payload, op.value...)
+			dst = binary.AppendUvarint(dst, uint64(len(op.value)))
+			dst = append(dst, op.value...)
 		}
 	}
-
-	if err := db.commitWAL(payload); err != nil {
-		return err
-	}
-	walBatchOps.Add(uint64(len(b.ops)))
-	return nil
+	return dst
 }
 
 // applyBatchPayload replays a batch WAL record during recovery.

@@ -1,0 +1,321 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"github.com/imcf/imcf/internal/faultfs"
+	"github.com/imcf/imcf/internal/metrics"
+)
+
+// DefaultShards is the shard count used when ShardedOptions.Shards is
+// zero and the directory carries no manifest yet.
+const DefaultShards = 8
+
+// shardManifest is the file in the root directory recording the shard
+// count; a store must always reopen with the count it was created with,
+// or keys would rehash into the wrong shards and silently vanish.
+const shardManifest = "SHARDS"
+
+// ShardedOptions configures OpenSharded.
+type ShardedOptions struct {
+	// Dir is the root directory; each shard lives in Dir/shard-NNN.
+	Dir string
+	// Shards is the number of shards. Zero means: adopt the directory's
+	// manifest, or DefaultShards for a fresh directory. A non-zero
+	// value that contradicts an existing manifest is an error.
+	Shards int
+	// SyncWrites, CompactEvery and NoGroupCommit apply to every shard;
+	// see Options.
+	SyncWrites    bool
+	CompactEvery  int
+	NoGroupCommit bool
+	// FS overrides the file layer under every shard; nil uses the real
+	// filesystem.
+	FS faultfs.FS
+}
+
+// ShardedDB hashes keys (FNV-1a) across N independent WAL+snapshot
+// shards. Each shard is a full DB: its own directory, its own group-
+// commit pipeline, its own compaction generation — so compacting one
+// shard never stalls appends on its siblings, and the fsync pipelines
+// of distinct shards proceed in parallel.
+//
+// Atomicity is per shard: Apply splits a batch by key hash and commits
+// the sub-batches in ascending shard order, each as one CRC-protected
+// WAL record. A crash between two shards' commits recovers the union
+// of the sub-batches that reached their logs — each shard individually
+// consistent, with no torn sub-batch and, under SyncWrites, no
+// acknowledged record lost. Callers needing cross-key atomicity must
+// keep those keys in a single composite value, as the controller does
+// for the Meta-Rule Table.
+type ShardedDB struct {
+	shards []*DB
+	gauges []*metrics.Gauge
+}
+
+// OpenSharded opens (or creates) a sharded store rooted at opts.Dir.
+func OpenSharded(opts ShardedOptions) (*ShardedDB, error) {
+	if opts.Dir == "" {
+		return nil, errors.New("store: Dir must be set")
+	}
+	if opts.Shards < 0 {
+		return nil, fmt.Errorf("store: invalid shard count %d", opts.Shards)
+	}
+	fsys := opts.FS
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(opts.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: create dir: %w", err)
+	}
+	n, err := resolveShardCount(fsys, opts.Dir, opts.Shards)
+	if err != nil {
+		return nil, err
+	}
+
+	s := &ShardedDB{
+		shards: make([]*DB, n),
+		gauges: make([]*metrics.Gauge, n),
+	}
+	for i := range s.shards {
+		db, err := Open(Options{
+			Dir:           shardDir(opts.Dir, i),
+			SyncWrites:    opts.SyncWrites,
+			CompactEvery:  opts.CompactEvery,
+			NoGroupCommit: opts.NoGroupCommit,
+			FS:            fsys,
+		})
+		if err != nil {
+			for j := 0; j < i; j++ {
+				s.shards[j].Close() //nolint:errcheck // already failing
+			}
+			return nil, fmt.Errorf("store: open shard %d: %w", i, err)
+		}
+		s.shards[i] = db
+		s.gauges[i] = shardRecords.With(strconv.Itoa(i))
+		s.gauges[i].Set(float64(db.Len()))
+	}
+	return s, nil
+}
+
+// shardDir names shard i's directory under root.
+func shardDir(root string, i int) string {
+	return root + string(os.PathSeparator) + fmt.Sprintf("shard-%03d", i)
+}
+
+// resolveShardCount reconciles the requested shard count with the
+// directory's manifest, writing the manifest (durably) on first open.
+func resolveShardCount(fsys faultfs.FS, dir string, want int) (int, error) {
+	path := dir + string(os.PathSeparator) + shardManifest
+	b, err := fsys.ReadFile(path)
+	switch {
+	case err == nil:
+		have, perr := strconv.Atoi(strings.TrimSpace(string(b)))
+		if perr != nil || have <= 0 {
+			return 0, fmt.Errorf("store: corrupt shard manifest %q", string(b))
+		}
+		if want != 0 && want != have {
+			return 0, fmt.Errorf("store: shard count mismatch: directory has %d shards, options want %d", have, want)
+		}
+		return have, nil
+	case errors.Is(err, os.ErrNotExist):
+		if want == 0 {
+			want = DefaultShards
+		}
+		f, err := fsys.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return 0, fmt.Errorf("store: create shard manifest: %w", err)
+		}
+		_, werr := f.Write([]byte(strconv.Itoa(want) + "\n"))
+		if werr == nil {
+			werr = f.Sync()
+		}
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return 0, fmt.Errorf("store: write shard manifest: %w", werr)
+		}
+		// The manifest entry must be durable before any shard
+		// acknowledges a write: losing it would reopen the store with a
+		// different count and rehash keys into the wrong shards.
+		if err := fsys.SyncDir(dir); err != nil {
+			return 0, fmt.Errorf("store: sync dir: %w", err)
+		}
+		return want, nil
+	default:
+		return 0, fmt.Errorf("store: read shard manifest: %w", err)
+	}
+}
+
+// shardIndex is the FNV-1a hash of key modulo n — allocation-free, so
+// routing adds nothing to the append path.
+func shardIndex(key string, n int) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return int(h % uint32(n))
+}
+
+// shard routes key to its DB.
+func (s *ShardedDB) shard(key string) int { return shardIndex(key, len(s.shards)) }
+
+// NumShards returns the shard count.
+func (s *ShardedDB) NumShards() int { return len(s.shards) }
+
+// Get returns the value stored at key.
+func (s *ShardedDB) Get(key string) ([]byte, bool) {
+	return s.shards[s.shard(key)].Get(key)
+}
+
+// Put durably stores value at key in its shard.
+func (s *ShardedDB) Put(key string, value []byte) error {
+	if key == "" {
+		return errors.New("store: empty key")
+	}
+	i := s.shard(key)
+	if err := s.shards[i].Put(key, value); err != nil {
+		return err
+	}
+	s.gauges[i].Set(float64(s.shards[i].Len()))
+	return nil
+}
+
+// Delete durably removes key from its shard.
+func (s *ShardedDB) Delete(key string) error {
+	if key == "" {
+		return nil
+	}
+	i := s.shard(key)
+	if err := s.shards[i].Delete(key); err != nil {
+		return err
+	}
+	s.gauges[i].Set(float64(s.shards[i].Len()))
+	return nil
+}
+
+// Keys returns all keys with the given prefix across every shard,
+// sorted.
+func (s *ShardedDB) Keys(prefix string) []string {
+	var out []string
+	for _, sh := range s.shards {
+		out = append(out, sh.Keys(prefix)...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Len returns the number of live keys across every shard.
+func (s *ShardedDB) Len() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.Len()
+	}
+	return n
+}
+
+// WALRecords reports the total records across every shard's WAL.
+func (s *ShardedDB) WALRecords() int {
+	n := 0
+	for _, sh := range s.shards {
+		n += sh.WALRecords()
+	}
+	return n
+}
+
+// Apply runs fn to fill a batch and commits it. The batch is split by
+// key hash and committed shard-by-shard in ascending shard order; each
+// sub-batch is atomic within its shard. On the first shard error the
+// remaining sub-batches are not attempted; already-committed shards
+// keep their sub-batches (see the type comment for the crash-ordering
+// argument).
+func (s *ShardedDB) Apply(fn func(*Batch) error) error {
+	var b Batch
+	if err := fn(&b); err != nil {
+		return err
+	}
+	for _, op := range b.ops {
+		if op.key == "" {
+			return errors.New("store: empty key in batch")
+		}
+	}
+	if len(b.ops) == 0 {
+		return nil
+	}
+	per := make([][]batchOp, len(s.shards))
+	for _, op := range b.ops {
+		i := s.shard(op.key)
+		per[i] = append(per[i], op)
+	}
+	for i, ops := range per {
+		if len(ops) == 0 {
+			continue
+		}
+		sub := ops
+		if err := s.shards[i].Apply(func(sb *Batch) error {
+			sb.ops = append(sb.ops, sub...)
+			return nil
+		}); err != nil {
+			return fmt.Errorf("store: shard %d: %w", i, err)
+		}
+		s.gauges[i].Set(float64(s.shards[i].Len()))
+	}
+	return nil
+}
+
+// PutJSON marshals v and stores it at key.
+func (s *ShardedDB) PutJSON(key string, v any) error { return putJSON(s, key, v) }
+
+// GetJSON unmarshals the value at key into v, reporting whether the key
+// existed.
+func (s *ShardedDB) GetJSON(key string, v any) (bool, error) { return getJSON(s, key, v) }
+
+// Compact compacts every shard concurrently. Shards never share a
+// lock, so one shard's snapshot rewrite stalls neither reads nor
+// appends on its siblings.
+func (s *ShardedDB) Compact() error {
+	errs := make([]error, len(s.shards))
+	var wg sync.WaitGroup
+	for i, sh := range s.shards {
+		wg.Add(1)
+		go func(i int, sh *DB) {
+			defer wg.Done()
+			errs[i] = sh.Compact()
+		}(i, sh)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err == nil {
+			s.gauges[i].Set(float64(s.shards[i].Len()))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// Probe verifies every shard's write path; the first failure is
+// returned so degraded-mode classification sees the worst shard.
+func (s *ShardedDB) Probe() error {
+	for i, sh := range s.shards {
+		if err := sh.Probe(); err != nil {
+			return fmt.Errorf("store: shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Close closes every shard.
+func (s *ShardedDB) Close() error {
+	errs := make([]error, len(s.shards))
+	for i, sh := range s.shards {
+		errs[i] = sh.Close()
+	}
+	return errors.Join(errs...)
+}

@@ -1,0 +1,354 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/imcf/imcf/internal/faultfs"
+)
+
+// The sharded crash suite extends the kill-at-every-failpoint harness
+// to ShardedDB, where the interesting new window is BETWEEN two shards'
+// commits: Apply splits a batch by key hash and commits the sub-batches
+// shard by shard, so a crash in the middle must recover a consistent
+// union — every shard individually at a valid point of its own history,
+// with no torn sub-batch and (under SyncWrites) nothing acknowledged
+// lost.
+//
+// Because each shard is an independent log, "a prefix of the workload"
+// is a per-shard notion here: the harness models every shard's state
+// sequence separately (including the intermediate states a multi-shard
+// Apply moves through) and checks each recovered shard against its own
+// sequence. A cross-shard check against global prefixes would be wrong
+// for the nosync mode — shard A may lose its unsynced tail while shard
+// B keeps its own — and too weak for the mid-Apply window.
+
+const crashShards = 4
+
+// shardedCrashStep is one logical mutation plus its per-shard model
+// effects: apply drives the store, muts lists (shard, mutation) pairs
+// in the exact order the store commits them.
+type shardedCrashStep struct {
+	name  string
+	apply func(s *ShardedDB) error
+	muts  []shardMut
+}
+
+type shardMut struct {
+	shard int
+	model func(m map[string]string)
+}
+
+func sput(key, val string) shardedCrashStep {
+	return shardedCrashStep{
+		name:  fmt.Sprintf("put %s=%s", key, val),
+		apply: func(s *ShardedDB) error { return s.Put(key, []byte(val)) },
+		muts: []shardMut{{
+			shard: shardIndex(key, crashShards),
+			model: func(m map[string]string) { m[key] = val },
+		}},
+	}
+}
+
+func sdel(key string) shardedCrashStep {
+	return shardedCrashStep{
+		name:  "delete " + key,
+		apply: func(s *ShardedDB) error { return s.Delete(key) },
+		muts: []shardMut{{
+			shard: shardIndex(key, crashShards),
+			model: func(m map[string]string) { delete(m, key) },
+		}},
+	}
+}
+
+// sbatch builds a batch step from put pairs and delete keys, deriving
+// the per-shard sub-commits in the same ascending-shard order
+// ShardedDB.Apply uses, preserving op order within each shard.
+func sbatch(puts map[string]string, dels []string, order []string) shardedCrashStep {
+	type op struct {
+		key, val string
+		del      bool
+	}
+	perShard := make([][]op, crashShards)
+	for _, k := range order {
+		if v, ok := puts[k]; ok {
+			i := shardIndex(k, crashShards)
+			perShard[i] = append(perShard[i], op{key: k, val: v})
+		}
+	}
+	for _, k := range dels {
+		i := shardIndex(k, crashShards)
+		perShard[i] = append(perShard[i], op{key: k, del: true})
+	}
+	var muts []shardMut
+	for i, ops := range perShard {
+		if len(ops) == 0 {
+			continue
+		}
+		sub := ops
+		muts = append(muts, shardMut{shard: i, model: func(m map[string]string) {
+			for _, o := range sub {
+				if o.del {
+					delete(m, o.key)
+				} else {
+					m[o.key] = o.val
+				}
+			}
+		}})
+	}
+	return shardedCrashStep{
+		name: "batch",
+		apply: func(s *ShardedDB) error {
+			return s.Apply(func(b *Batch) error {
+				for _, k := range order {
+					if v, ok := puts[k]; ok {
+						b.Put(k, []byte(v))
+					}
+				}
+				for _, k := range dels {
+					b.Delete(k)
+				}
+				return nil
+			})
+		},
+		muts: muts,
+	}
+}
+
+// shardedCrashWorkload mixes single-key ops and multi-shard batches.
+// Explicit Compact is deliberately absent: ShardedDB compacts shards
+// concurrently, which would make the failpoint numbering
+// nondeterministic; auto-compaction (CompactEvery) fires inside the
+// serial append path instead and covers the same code.
+func shardedCrashWorkload() []shardedCrashStep {
+	steps := []shardedCrashStep{
+		sput("mrt/rule1", "hvac<=24"),
+		sput("mrt/rule2", "light-off"),
+		sput("profile/week", "0.42,0.40,0.55"),
+		sdel("mrt/rule2"),
+		sbatch(
+			map[string]string{"mrt/rule3": "shift-wash", "mrt/rule4": "ev-night", "mrt/rule5": "pool-pump"},
+			[]string{"mrt/rule1"},
+			[]string{"mrt/rule3", "mrt/rule4", "mrt/rule5"},
+		),
+		sput("mrt/rule1", "hvac<=26"),
+		sdel("profile/week"),
+		sput("summary/fce", "0.93"),
+		sbatch(
+			map[string]string{"profile/week": "fresh", "summary/fe": "12.5"},
+			[]string{"mrt/rule4"},
+			[]string{"profile/week", "summary/fe"},
+		),
+		sdel("missing/key"), // acked no-op: no WAL record
+		sput("post/batch", "tail"),
+	}
+	return steps
+}
+
+// countShardedOps runs the workload fault-free and reports the
+// failpoint count.
+func countShardedOps(t *testing.T, sync bool) int {
+	t.Helper()
+	faulty := faultfs.NewFaulty(faultfs.NewMemFS(), nil)
+	s, err := OpenSharded(ShardedOptions{
+		Dir: "/db", Shards: crashShards, SyncWrites: sync, CompactEvery: 3, FS: faulty,
+	})
+	if err != nil {
+		t.Fatalf("fault-free open: %v", err)
+	}
+	for _, st := range shardedCrashWorkload() {
+		if err := st.apply(s); err != nil {
+			t.Fatalf("fault-free %s: %v", st.name, err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatalf("fault-free close: %v", err)
+	}
+	return faulty.Ops()
+}
+
+// runShardedCrashAt replays the workload with a crash at failpoint n
+// and checks every shard against its own state sequence.
+func runShardedCrashAt(t *testing.T, n int, sync bool, tearSeed uint64) {
+	t.Helper()
+	mem := faultfs.NewMemFS()
+	faulty := faultfs.NewFaulty(mem, faultfs.CrashAt(n))
+
+	empty := encodeState(nil)
+	models := make([]map[string]string, crashShards)
+	states := make([][]string, crashShards)
+	acked := make([]int, crashShards)
+	for i := range models {
+		models[i] = make(map[string]string)
+		states[i] = []string{empty}
+	}
+
+	s, err := OpenSharded(ShardedOptions{
+		Dir: "/db", Shards: crashShards, SyncWrites: sync, CompactEvery: 3, FS: faulty,
+	})
+	if err == nil {
+		for _, st := range shardedCrashWorkload() {
+			aerr := st.apply(s)
+			for _, mut := range st.muts {
+				next := cloneState(models[mut.shard])
+				mut.model(next)
+				models[mut.shard] = next
+				states[mut.shard] = append(states[mut.shard], encodeState(next))
+			}
+			if aerr == nil {
+				// A full-step ack promises durability of every shard the
+				// step touched, up to its latest state.
+				for _, mut := range st.muts {
+					acked[mut.shard] = len(states[mut.shard]) - 1
+				}
+			}
+			if faulty.Dead() {
+				break
+			}
+		}
+		s.Close() //nolint:errcheck // the close may be the crash point
+	}
+	if !faulty.Dead() {
+		t.Fatalf("failpoint %d never fired (ops=%d)", n, faulty.Ops())
+	}
+
+	// Power loss and reboot.
+	if tearSeed == 0 {
+		mem.Crash()
+	} else {
+		mem.CrashTearing(tearSeed)
+	}
+
+	// Reopen with the explicit count: a crash before the manifest
+	// became durable leaves a fresh directory (no shard holds data yet,
+	// because the manifest syncs before any shard opens), and adoption
+	// would otherwise default to a different count.
+	s2, err := OpenSharded(ShardedOptions{Dir: "/db", Shards: crashShards, SyncWrites: sync, FS: mem})
+	if err != nil {
+		t.Fatalf("failpoint %d: reopen failed: %v", n, err)
+	}
+	defer s2.Close() //nolint:errcheck
+
+	for i, sh := range s2.shards {
+		got := dumpState(sh)
+		lo := 0
+		if sync {
+			lo = acked[i]
+		}
+		found := false
+		for j := lo; j < len(states[i]); j++ {
+			if got == states[i][j] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Fatalf("failpoint %d (sync=%v tear=%#x): shard %d recovered %q not in valid states[%d:%d] %q",
+				n, sync, tearSeed, i, got, lo, len(states[i]), states[i][lo:])
+		}
+	}
+
+	// The recovered store must accept new writes on every shard.
+	for i := 0; i < 2*crashShards; i++ {
+		if err := s2.Put(fmt.Sprintf("recovery/key%d", i), []byte("ok")); err != nil {
+			t.Fatalf("failpoint %d: post-recovery put: %v", n, err)
+		}
+	}
+}
+
+// TestShardedCrashRecoveryEveryFailpoint is the sharded tentpole gate:
+// kill at every failpoint × SyncWrites on/off × clean vs torn tails,
+// checking per-shard consistency and the cross-shard union invariant.
+func TestShardedCrashRecoveryEveryFailpoint(t *testing.T) {
+	for _, sync := range []bool{true, false} {
+		for _, tear := range []uint64{0, 0xC0FFEE} {
+			name := fmt.Sprintf("sync=%v/tear=%#x", sync, tear)
+			t.Run(name, func(t *testing.T) {
+				total := countShardedOps(t, sync)
+				if total < 40 {
+					t.Fatalf("suspiciously few failpoints: %d", total)
+				}
+				for n := 0; n < total; n++ {
+					runShardedCrashAt(t, n, sync, tear)
+				}
+			})
+		}
+	}
+}
+
+// TestShardedCrashBetweenShardCommits pins the headline window
+// directly: a two-shard batch with a crash enumerated across every file
+// operation of the second sub-commit must leave the first shard's
+// sub-batch durable and the second shard either empty or complete —
+// never torn.
+func TestShardedCrashBetweenShardCommits(t *testing.T) {
+	// Find two keys on distinct shards, lowest-index shard first so
+	// keyA commits before keyB.
+	keyA, keyB := "", ""
+	for i := 0; keyA == "" || keyB == ""; i++ {
+		k := fmt.Sprintf("probe/key%d", i)
+		switch shardIndex(k, crashShards) {
+		case 0:
+			if keyA == "" {
+				keyA = k
+			}
+		case crashShards - 1:
+			if keyB == "" {
+				keyB = k
+			}
+		}
+	}
+
+	apply := func(s *ShardedDB) error {
+		return s.Apply(func(b *Batch) error {
+			b.Put(keyA, []byte("first"))
+			b.Put(keyB, []byte("second"))
+			return nil
+		})
+	}
+
+	// Fault-free run to locate the batch's failpoint range.
+	faulty := faultfs.NewFaulty(faultfs.NewMemFS(), nil)
+	s, err := OpenSharded(ShardedOptions{Dir: "/db", Shards: crashShards, SyncWrites: true, FS: faulty})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := faulty.Ops()
+	if err := apply(s); err != nil {
+		t.Fatal(err)
+	}
+	after := faulty.Ops()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for n := before; n < after; n++ {
+		mem := faultfs.NewMemFS()
+		faulty := faultfs.NewFaulty(mem, faultfs.CrashAt(n))
+		s, err := OpenSharded(ShardedOptions{Dir: "/db", Shards: crashShards, SyncWrites: true, FS: faulty})
+		if err != nil {
+			t.Fatalf("failpoint %d: open: %v", n, err)
+		}
+		acked := apply(s) == nil
+		mem.Crash()
+
+		s2, err := OpenSharded(ShardedOptions{Dir: "/db", SyncWrites: true, FS: mem})
+		if err != nil {
+			t.Fatalf("failpoint %d: reopen: %v", n, err)
+		}
+		a, aok := s2.Get(keyA)
+		b, bok := s2.Get(keyB)
+		if acked && (!aok || !bok) {
+			t.Fatalf("failpoint %d: acknowledged batch lost (a=%v b=%v)", n, aok, bok)
+		}
+		if bok && !aok {
+			t.Fatalf("failpoint %d: second shard committed before the first: ordering broken", n)
+		}
+		if aok && string(a) != "first" || bok && string(b) != "second" {
+			t.Fatalf("failpoint %d: torn sub-batch: a=%q b=%q", n, a, b)
+		}
+		if err := s2.Close(); err != nil {
+			t.Fatalf("failpoint %d: close: %v", n, err)
+		}
+	}
+}

@@ -1,0 +1,281 @@
+package store
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"github.com/imcf/imcf/internal/faultfs"
+)
+
+func openSharded(t *testing.T, dir string, opts ...func(*ShardedOptions)) *ShardedDB {
+	t.Helper()
+	o := ShardedOptions{Dir: dir, Shards: 4}
+	for _, f := range opts {
+		f(&o)
+	}
+	s, err := OpenSharded(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestShardedOpenValidation(t *testing.T) {
+	if _, err := OpenSharded(ShardedOptions{}); err == nil {
+		t.Error("OpenSharded with empty Dir accepted")
+	}
+	if _, err := OpenSharded(ShardedOptions{Dir: t.TempDir(), Shards: -1}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+}
+
+func TestShardedSpreadsKeys(t *testing.T) {
+	s := openSharded(t, t.TempDir())
+	defer s.Close() //nolint:errcheck
+
+	for i := 0; i < 64; i++ {
+		if err := s.Put(fmt.Sprintf("key/%02d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Len() != 64 {
+		t.Fatalf("Len = %d, want 64", s.Len())
+	}
+	populated := 0
+	for _, sh := range s.shards {
+		if sh.Len() > 0 {
+			populated++
+		}
+	}
+	// FNV-1a over 64 distinct keys leaving any of 4 shards empty would
+	// mean the routing is broken, not that the hash got unlucky.
+	if populated < 2 {
+		t.Errorf("64 keys landed in %d of %d shards", populated, len(s.shards))
+	}
+}
+
+func TestShardedReopenRecovers(t *testing.T) {
+	dir := t.TempDir()
+	s := openSharded(t, dir)
+	for i := 0; i < 32; i++ {
+		if err := s.Put(fmt.Sprintf("k%02d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete("k10"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen with Shards: 0 — the manifest supplies the count.
+	s2 := openSharded(t, dir, func(o *ShardedOptions) { o.Shards = 0 })
+	defer s2.Close() //nolint:errcheck
+	if got := s2.NumShards(); got != 4 {
+		t.Fatalf("NumShards after manifest reopen = %d, want 4", got)
+	}
+	if s2.Len() != 31 {
+		t.Fatalf("Len after reopen = %d, want 31", s2.Len())
+	}
+	for i := 0; i < 32; i++ {
+		k := fmt.Sprintf("k%02d", i)
+		v, ok := s2.Get(k)
+		if i == 10 {
+			if ok {
+				t.Errorf("deleted key %s resurrected", k)
+			}
+			continue
+		}
+		if !ok || v[0] != byte(i) {
+			t.Errorf("key %s = %v, %v", k, v, ok)
+		}
+	}
+}
+
+func TestShardedManifestMismatch(t *testing.T) {
+	dir := t.TempDir()
+	s := openSharded(t, dir)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSharded(ShardedOptions{Dir: dir, Shards: 8}); err == nil {
+		t.Error("shard count mismatch accepted: keys would rehash into the wrong shards")
+	}
+	// The exact recorded count still opens.
+	s2 := openSharded(t, dir)
+	defer s2.Close() //nolint:errcheck
+}
+
+func TestShardedCorruptManifest(t *testing.T) {
+	mem := faultfs.NewMemFS()
+	s, err := OpenSharded(ShardedOptions{Dir: "/db", Shards: 2, FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := mem.OpenFile("/db/"+shardManifest, os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("not-a-number\n")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSharded(ShardedOptions{Dir: "/db", FS: mem}); err == nil {
+		t.Error("corrupt manifest accepted")
+	}
+}
+
+func TestShardedDefaultShards(t *testing.T) {
+	s := openSharded(t, t.TempDir(), func(o *ShardedOptions) { o.Shards = 0 })
+	defer s.Close() //nolint:errcheck
+	if got := s.NumShards(); got != DefaultShards {
+		t.Errorf("NumShards = %d, want %d", got, DefaultShards)
+	}
+}
+
+func TestShardedCrossShardBatch(t *testing.T) {
+	s := openSharded(t, t.TempDir())
+	defer s.Close() //nolint:errcheck
+
+	if err := s.Put("stale", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	// Enough keys that the batch necessarily spans several shards.
+	err := s.Apply(func(b *Batch) error {
+		for i := 0; i < 16; i++ {
+			b.Put(fmt.Sprintf("batch/%02d", i), []byte("v"))
+		}
+		b.Delete("stale")
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 16 {
+		t.Errorf("Len = %d, want 16", s.Len())
+	}
+	if _, ok := s.Get("stale"); ok {
+		t.Error("cross-shard batched delete not applied")
+	}
+}
+
+func TestShardedWALRecords(t *testing.T) {
+	s := openSharded(t, t.TempDir())
+	defer s.Close() //nolint:errcheck
+	for i := 0; i < 10; i++ {
+		if err := s.Put(fmt.Sprintf("k%d", i), []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := s.WALRecords(); got != 10 {
+		t.Errorf("WALRecords = %d, want 10", got)
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.WALRecords(); got != 0 {
+		t.Errorf("WALRecords after Compact = %d, want 0", got)
+	}
+}
+
+// TestShardedConcurrentStress is the race-detector stress gate: eight
+// writers hammer mixed Put/Delete/Apply traffic across the shards (each
+// writer owns its key range so the expected end state is exact), then
+// the machine loses power without a clean Close. Every write was acked
+// under SyncWrites, so the reopened store must equal the union of the
+// writers' in-memory models exactly.
+func TestShardedConcurrentStress(t *testing.T) {
+	const writers = 8
+	const rounds = 40
+
+	mem := faultfs.NewMemFS()
+	s, err := OpenSharded(ShardedOptions{Dir: "/db", Shards: 4, SyncWrites: true, CompactEvery: 64, FS: mem})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	models := make([]map[string]string, writers)
+	var wg sync.WaitGroup
+	errs := make(chan error, writers)
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			model := make(map[string]string)
+			models[w] = model
+			for r := 0; r < rounds; r++ {
+				key := fmt.Sprintf("w%d/k%d", w, r%10)
+				val := fmt.Sprintf("v%d.%d", w, r)
+				switch r % 4 {
+				case 0, 1:
+					if err := s.Put(key, []byte(val)); err != nil {
+						errs <- fmt.Errorf("writer %d put: %w", w, err)
+						return
+					}
+					model[key] = val
+				case 2:
+					if err := s.Delete(key); err != nil {
+						errs <- fmt.Errorf("writer %d delete: %w", w, err)
+						return
+					}
+					delete(model, key)
+				case 3:
+					k2 := fmt.Sprintf("w%d/b%d", w, r%7)
+					if err := s.Apply(func(b *Batch) error {
+						b.Put(key, []byte(val))
+						b.Put(k2, []byte(val))
+						return nil
+					}); err != nil {
+						errs <- fmt.Errorf("writer %d apply: %w", w, err)
+						return
+					}
+					model[key] = val
+					model[k2] = val
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	// Power loss without Close: every write above was acked under
+	// SyncWrites, so all of them must replay.
+	mem.Crash()
+	s2, err := OpenSharded(ShardedOptions{Dir: "/db", SyncWrites: true, FS: mem})
+	if err != nil {
+		t.Fatalf("reopen after crash: %v", err)
+	}
+	defer s2.Close() //nolint:errcheck
+
+	want := make(map[string]string)
+	for _, m := range models {
+		for k, v := range m {
+			want[k] = v
+		}
+	}
+	if s2.Len() != len(want) {
+		t.Errorf("recovered %d keys, want %d", s2.Len(), len(want))
+	}
+	for k, v := range want {
+		got, ok := s2.Get(k)
+		if !ok || string(got) != v {
+			t.Errorf("key %s = %q, %v; want %q", k, got, ok, v)
+		}
+	}
+	for _, k := range s2.Keys("") {
+		if _, ok := want[k]; !ok {
+			t.Errorf("unexpected recovered key %s", k)
+		}
+	}
+}

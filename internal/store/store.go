@@ -18,31 +18,19 @@ package store
 import (
 	"bytes"
 	"encoding/binary"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
+	"time"
 
 	"github.com/imcf/imcf/internal/faultfs"
-	"github.com/imcf/imcf/internal/metrics"
-)
-
-// WAL and compaction counters.
-var (
-	walAppends = metrics.NewCounter("imcf_store_wal_appends_total",
-		"Records appended to the write-ahead log (single ops and batches).")
-	walBatchOps = metrics.NewCounter("imcf_store_batch_ops_total",
-		"Individual operations committed through atomic batches.")
-	walBytes = metrics.NewFloatCounter("imcf_store_wal_bytes_total",
-		"Bytes appended to the write-ahead log.")
-	storeCompactions = metrics.NewCounter("imcf_store_compactions_total",
-		"Snapshot compactions performed.")
 )
 
 const (
@@ -88,6 +76,11 @@ type Options struct {
 	// CompactEvery triggers automatic compaction after this many WAL
 	// records (0 disables automatic compaction).
 	CompactEvery int
+	// NoGroupCommit disables the group-commit pipeline: every mutation
+	// holds the store lock across its own append and fsync, the
+	// pre-batching behaviour. Kept as the measured baseline for
+	// imcf-bench -store; production callers should leave it off.
+	NoGroupCommit bool
 	// FS overrides the file layer (tests inject faultfs fakes to
 	// exercise crash recovery); nil uses the real filesystem.
 	FS faultfs.FS
@@ -111,13 +104,26 @@ type DB struct {
 	// gen is the compaction generation. The snapshot and the WAL header
 	// both carry it; replay discards a WAL whose generation differs from
 	// the snapshot's. This closes the stale-log window: a crash after
-	// the new snapshot's rename is durable but before the WAL reset is
-	// can resurrect pre-compaction records (tearing keeps an arbitrary
+	// the new snapshot's rename is durable but before the WAL reset can
+	// resurrect pre-compaction records (tearing keeps an arbitrary
 	// prefix), and replaying that prefix — e.g. a stale delete of a key
 	// the folded-in history later re-created — onto the newer snapshot
 	// would fabricate a state that never existed.
 	gen    uint64
 	closed bool
+
+	// Group-commit pipeline state. Writers encode their record off the
+	// store lock, enqueue it under qmu, and the first writer to find no
+	// flush in progress becomes the leader: it drains the queue, frames
+	// the whole batch into groupBuf, appends and fsyncs it with a
+	// single Write+Sync under db.mu, applies the map mutations, and
+	// acks every waiter — O(1) fsyncs per batch instead of O(writers).
+	qmu      sync.Mutex
+	pending  []*commitReq
+	spare    []*commitReq // recycled backing array for pending
+	flushing bool
+	groupBuf []byte        // batch framing scratch, reused across flushes
+	oneReq   [1]*commitReq // batch-of-one scratch for the serial path
 }
 
 // Open opens (or creates) the store in opts.Dir.
@@ -210,35 +216,30 @@ func (db *DB) Put(key string, value []byte) error {
 	if key == "" {
 		return errors.New("store: empty key")
 	}
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	if err := db.appendWAL(opPut, key, value); err != nil {
-		return err
-	}
 	cp := make([]byte, len(value))
 	copy(cp, value)
-	db.data[key] = cp
-	return db.maybeCompactLocked()
+	req := newReq(opPut, key, cp, nil)
+	req.payload = encodeOp(req.payload[:0], opPut, key, value)
+	return db.finish(req)
 }
 
-// Delete durably removes key. Deleting a missing key is a no-op.
+// Delete durably removes key. Deleting a missing key is a no-op (it
+// linearizes at the presence check: a Delete racing a concurrent Put of
+// the same key may order before it and leave the Put's value in place).
 func (db *DB) Delete(key string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
+	db.mu.RLock()
+	_, ok := db.data[key]
+	closed := db.closed
+	db.mu.RUnlock()
+	if closed {
 		return ErrClosed
 	}
-	if _, ok := db.data[key]; !ok {
+	if !ok {
 		return nil
 	}
-	if err := db.appendWAL(opDelete, key, nil); err != nil {
-		return err
-	}
-	delete(db.data, key)
-	return db.maybeCompactLocked()
+	req := newReq(opDelete, key, nil, nil)
+	req.payload = encodeOp(req.payload[:0], opDelete, key, nil)
+	return db.finish(req)
 }
 
 // Keys returns all keys with the given prefix, sorted.
@@ -263,26 +264,11 @@ func (db *DB) Len() int {
 }
 
 // PutJSON marshals v and stores it at key.
-func (db *DB) PutJSON(key string, v any) error {
-	b, err := json.Marshal(v)
-	if err != nil {
-		return fmt.Errorf("store: marshal %s: %w", key, err)
-	}
-	return db.Put(key, b)
-}
+func (db *DB) PutJSON(key string, v any) error { return putJSON(db, key, v) }
 
 // GetJSON unmarshals the value at key into v, reporting whether the key
 // existed.
-func (db *DB) GetJSON(key string, v any) (bool, error) {
-	b, ok := db.Get(key)
-	if !ok {
-		return false, nil
-	}
-	if err := json.Unmarshal(b, v); err != nil {
-		return true, fmt.Errorf("store: unmarshal %s: %w", key, err)
-	}
-	return true, nil
-}
+func (db *DB) GetJSON(key string, v any) (bool, error) { return getJSON(db, key, v) }
 
 // Compact rewrites the snapshot with the live data and truncates the WAL.
 func (db *DB) Compact() error {
@@ -307,12 +293,9 @@ func (db *DB) WALRecords() int {
 // daemon's degraded-mode logic uses it to classify persistent disk
 // faults and to detect when a full or failing disk has recovered.
 func (db *DB) Probe() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	if db.closed {
-		return ErrClosed
-	}
-	return db.appendWAL(opProbe, "", nil)
+	req := newReq(opProbe, "", nil, nil)
+	req.payload = encodeOp(req.payload[:0], opProbe, "", nil)
+	return db.finish(req)
 }
 
 // Close compacts and closes the store.
@@ -340,53 +323,210 @@ func (db *DB) maybeCompactLocked() error {
 	return nil
 }
 
-// appendWAL writes one record:
-//
-//	len   uint32 — payload length
-//	crc   uint32 — CRC-32 (IEEE) of payload
-//	payload: op byte | keyLen uvarint | key | value
-func (db *DB) appendWAL(op byte, key string, value []byte) error {
-	payload := make([]byte, 0, 1+binary.MaxVarintLen64+len(key)+len(value))
-	payload = append(payload, op)
-	payload = binary.AppendUvarint(payload, uint64(len(key)))
-	payload = append(payload, key...)
-	payload = append(payload, value...)
-	return db.commitWAL(payload)
+// commitReq is one mutation queued for a group-commit flush. The
+// payload is the encoded WAL record body (op byte | keyLen uvarint |
+// key | value, see encodeOp); the op-specific fields carry the map
+// mutation the leader applies once the record is durable. Requests and
+// their payload scratch are pooled: steady-state Put/Delete/Probe
+// allocate only the map value copy.
+type commitReq struct {
+	op      byte
+	key     string
+	value   []byte    // opPut: the copy installed into the map
+	batch   []batchOp // opBatch: the batch's operations
+	payload []byte    // pooled record-encode scratch, reused across ops
+	err     error
+	done    chan struct{}
 }
 
-// commitWAL frames payload (length + CRC-32 header), appends it to the
-// log and syncs when SyncWrites is set. The caller holds db.mu. If the
-// log has no usable handle — a compaction reset or a tail rollback
-// failed earlier — it first retries the repair, so the store (and with
-// it the daemon's degraded mode, whose Probe lands here) heals without
-// a restart as soon as the disk recovers. A failed append is rolled
-// back to the last acknowledged record before the error is returned.
-func (db *DB) commitWAL(payload []byte) error {
+// reqPool recycles commitReqs with their encode scratch and ack channel.
+var reqPool = sync.Pool{New: func() any { return &commitReq{done: make(chan struct{}, 1)} }}
+
+// newReq checks a request out of the pool.
+func newReq(op byte, key string, value []byte, batch []batchOp) *commitReq {
+	r := reqPool.Get().(*commitReq)
+	r.op, r.key, r.value, r.batch, r.err = op, key, value, batch, nil
+	return r
+}
+
+// releaseReq returns a request to the pool. The map-owned value and the
+// batch ops are dropped (never recycled); the payload scratch is kept.
+func releaseReq(r *commitReq) {
+	r.key, r.value, r.batch, r.err = "", nil, nil, nil
+	reqPool.Put(r)
+}
+
+// encodeOp appends one record payload: op byte | keyLen uvarint | key |
+// value.
+func encodeOp(dst []byte, op byte, key string, value []byte) []byte {
+	dst = append(dst, op)
+	dst = binary.AppendUvarint(dst, uint64(len(key)))
+	dst = append(dst, key...)
+	dst = append(dst, value...)
+	return dst
+}
+
+// finish commits req — through the group-commit queue, or serially
+// under NoGroupCommit — and recycles it.
+func (db *DB) finish(req *commitReq) error {
+	if db.opts.NoGroupCommit {
+		db.mu.Lock()
+		db.oneReq[0] = req
+		db.flushLocked(db.oneReq[:])
+		db.oneReq[0] = nil
+		db.mu.Unlock()
+	} else {
+		db.commit(req)
+	}
+	err := req.err
+	releaseReq(req)
+	return err
+}
+
+// commit runs the group-commit protocol for req. Every writer enqueues
+// under qmu; if a flush is already in progress the writer parks on its
+// ack channel and the current leader will commit it. Otherwise the
+// writer becomes the leader and drains the queue — its own request
+// first, then any batches that accumulated while it was flushing — so
+// the queue is always emptied and followers never wait on an absent
+// leader.
+func (db *DB) commit(req *commitReq) {
+	db.qmu.Lock()
+	db.pending = append(db.pending, req)
+	if db.flushing {
+		db.qmu.Unlock()
+		<-req.done
+		return
+	}
+	db.flushing = true
+	// Give writers racing with this one a beat to enqueue before the
+	// first swap, so they ride this flush instead of waiting out a
+	// whole fsync for the next one.
+	db.qmu.Unlock()
+	runtime.Gosched()
+	db.qmu.Lock()
+	for {
+		batch := db.pending
+		db.pending = db.spare[:0]
+		db.qmu.Unlock()
+
+		db.mu.Lock()
+		db.flushLocked(batch)
+		db.mu.Unlock()
+		for _, r := range batch {
+			if r != req {
+				r.done <- struct{}{}
+			}
+		}
+
+		db.qmu.Lock()
+		db.spare = batch[:0]
+		if len(db.pending) == 0 {
+			// Linger one scheduling beat before surrendering
+			// leadership: the followers just acked are likely already
+			// computing their next write, and collecting those into
+			// this leader's next flush instead of letting one of them
+			// start a batch-of-one roughly doubles the batch size under
+			// contention. One yield bounds the added latency to a
+			// scheduler pass — noise next to the fsync it saves.
+			db.qmu.Unlock()
+			runtime.Gosched()
+			db.qmu.Lock()
+			if len(db.pending) == 0 {
+				db.flushing = false
+				db.qmu.Unlock()
+				return
+			}
+		}
+	}
+}
+
+// flushLocked commits one batch: every record framed (length + CRC-32
+// header) into the group buffer, one Write, one Sync when SyncWrites is
+// set, then the map mutations — so a batch is acknowledged only once
+// every record in it is durable, and all waiters share the fsync. The
+// caller holds db.mu. If the log has no usable handle — a compaction
+// reset or a tail rollback failed earlier — it first retries the
+// repair, so the store (and with it the daemon's degraded mode, whose
+// Probe lands here) heals without a restart as soon as the disk
+// recovers. A failed flush is rolled back to the last acknowledged
+// record and every request in the batch reports the error.
+func (db *DB) flushLocked(batch []*commitReq) {
+	fail := func(err error) {
+		for _, r := range batch {
+			r.err = err
+		}
+	}
+	if db.closed {
+		fail(ErrClosed)
+		return
+	}
 	if db.wal == nil {
 		if err := db.repairWALLocked(); err != nil {
-			return fmt.Errorf("store: wal unavailable: %w", err)
+			fail(fmt.Errorf("store: wal unavailable: %w", err))
+			return
 		}
 	}
-	rec := make([]byte, 8, 8+len(payload))
-	binary.LittleEndian.PutUint32(rec[0:], uint32(len(payload)))
-	binary.LittleEndian.PutUint32(rec[4:], crc32.ChecksumIEEE(payload))
-	rec = append(rec, payload...)
+	buf := db.groupBuf[:0]
+	for _, r := range batch {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(r.payload)))
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(r.payload))
+		buf = append(buf, r.payload...)
+	}
+	db.groupBuf = buf[:0]
 
-	if _, err := db.wal.Write(rec); err != nil {
+	if _, err := db.wal.Write(buf); err != nil {
 		db.rollbackWALTailLocked()
-		return fmt.Errorf("store: wal append: %w", err)
+		fail(fmt.Errorf("store: wal append: %w", err))
+		return
 	}
 	if db.opts.SyncWrites {
-		if err := db.wal.Sync(); err != nil {
+		start := time.Now()
+		err := db.wal.Sync()
+		fsyncSeconds.Observe(time.Since(start).Seconds())
+		walFsyncs.Inc()
+		if err != nil {
 			db.rollbackWALTailLocked()
-			return fmt.Errorf("store: wal sync: %w", err)
+			fail(fmt.Errorf("store: wal sync: %w", err))
+			return
 		}
 	}
-	db.walSize += int64(len(rec))
-	db.walRecs++
-	walAppends.Inc()
-	walBytes.Add(float64(len(rec)))
-	return nil
+	groupBatchSize.Observe(float64(len(batch)))
+	db.walSize += int64(len(buf))
+	walBytes.Add(float64(len(buf)))
+	for _, r := range batch {
+		db.walRecs++
+		walAppends.Inc()
+		db.applyReqLocked(r)
+	}
+	if err := db.maybeCompactLocked(); err != nil {
+		// Every record is already durable; only the follow-up
+		// compaction failed. Surface it to the batch like the serial
+		// path surfaced it to its caller.
+		fail(err)
+	}
+}
+
+// applyReqLocked applies one durably committed request to the in-memory
+// map. The caller holds db.mu.
+func (db *DB) applyReqLocked(r *commitReq) {
+	switch r.op {
+	case opPut:
+		db.data[r.key] = r.value
+	case opDelete:
+		delete(db.data, r.key)
+	case opProbe:
+		// Write-path probe: no data effect.
+	case opBatch:
+		for _, op := range r.batch {
+			if op.del {
+				delete(db.data, op.key)
+			} else {
+				db.data[op.key] = op.value
+			}
+		}
+		walBatchOps.Add(uint64(len(r.batch)))
+	}
 }
 
 // rollbackWALTailLocked discards the bytes of a failed append so the
@@ -395,7 +535,7 @@ func (db *DB) commitWAL(payload []byte) error {
 // after the disk recovered would be acknowledged beyond them, and the
 // next replay — which truncates at the first bad record — would
 // silently discard those acknowledged writes. If the truncate itself
-// fails, the handle is closed and the log marked unusable; commitWAL
+// fails, the handle is closed and the log marked unusable; flushLocked
 // repairs it (retrying the truncate) before accepting any new append.
 func (db *DB) rollbackWALTailLocked() {
 	if err := db.fs.Truncate(db.walPath(), db.walSize); err != nil {
@@ -412,7 +552,7 @@ func (db *DB) rollbackWALTailLocked() {
 // offset — dropping a torn tail after a failed rollback, or the whole
 // folded-in log after a failed compaction reset (walSize 0) — reopens
 // it for append, and restamps the header when the log restarts empty.
-// Reached from commitWAL, this is how Probe verifies and repairs the
+// Reached from flushLocked, this is how Probe verifies and repairs the
 // log tail before reporting the write path healthy again.
 func (db *DB) repairWALLocked() error {
 	if err := db.fs.Truncate(db.walPath(), db.walSize); err != nil {

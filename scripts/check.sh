@@ -33,13 +33,21 @@ go run ./cmd/imcf-lint ./...
 echo ">> go test -run AllocsTrace ./internal/metrics ./internal/journal"
 go test -run AllocsTrace -count=1 ./internal/metrics ./internal/journal
 
-# Crash suite: kill-at-every-failpoint recovery for the store and the
-# decision journal, plus the daemon degraded-mode e2e (DESIGN.md §11).
-# Runs without -race first so a durability regression fails fast with
-# the failpoint identified, before the slower race cycle repeats it.
+# Store append-path allocation gate: one Put must stay within its small
+# pooled-scratch budget (see internal/store/alloc_test.go). Also
+# outside -race for the same reason.
+echo ">> go test -run StorePutAllocs ./internal/store"
+go test -run StorePutAllocs -count=1 ./internal/store
+
+# Crash suite: kill-at-every-failpoint recovery for the store (single
+# log and sharded — CrashRecoveryEveryFailpoint matches both) and the
+# decision journal, the cross-shard commit-ordering window, plus the
+# daemon degraded-mode e2e (DESIGN.md §11, §12). Runs without -race
+# first so a durability regression fails fast with the failpoint
+# identified, before the slower race cycle repeats it.
 echo ">> crash suite (kill-at-every-failpoint)"
 go test -count=1 \
-    -run 'CrashRecoveryEveryFailpoint|CompactionRenameDurability|FailedCompactionLeavesCleanErrors|JournalCrashRecoveryEveryFailpoint|DaemonDegradedMode' \
+    -run 'CrashRecoveryEveryFailpoint|ShardedCrashBetweenShardCommits|CompactionRenameDurability|FailedCompactionLeavesCleanErrors|JournalCrashRecoveryEveryFailpoint|DaemonDegradedMode' \
     ./internal/store ./internal/persistence ./internal/daemon
 
 echo ">> go test -race ./..."
@@ -63,7 +71,9 @@ fi
 # internal/journal is the decision-provenance record whose gaps would
 # make "why was rule R dropped" unanswerable; internal/faultfs is the
 # fault-injection seam the crash suite's guarantees rest on — an
-# untested injector proves nothing about the code it instruments.
+# untested injector proves nothing about the code it instruments;
+# internal/store carries the durability guarantees every other
+# subsystem builds on.
 check_floor() {
     pkg="$1" floor="$2"
     cov=$(echo "$cover_out" | awk -v p="/$pkg\$" '
@@ -85,5 +95,6 @@ check_floor internal/metrics 90
 check_floor internal/analysis 90
 check_floor internal/journal 90
 check_floor internal/faultfs 90
+check_floor internal/store 90
 
 echo "check: OK"
