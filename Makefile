@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint bench fig6bench store-bench metrics-smoke explain-smoke crash-suite
+.PHONY: all build vet test race check lint bench fig6bench store-bench fleet-bench fleet-suite metrics-smoke explain-smoke crash-suite
 
 all: check
 
@@ -41,13 +41,32 @@ STORE_OPS ?= 0
 store-bench:
 	$(GO) run ./cmd/imcf-bench -store -store-ops $(STORE_OPS) -storejson BENCH_store.json
 
+# fleet-bench regenerates the fleet-scheduler artifact: per-tenant plan
+# latency percentiles at 1k and 10k simulated homes, workers 1 and 8
+# (see DESIGN.md §13). Override the matrix for a smoke run:
+# make fleet-bench FLEET_HOMES=50,100 FLEET_WORKERS=1,4.
+FLEET_HOMES ?=
+FLEET_WORKERS ?=
+fleet-bench:
+	$(GO) run ./cmd/imcf-bench -fleet -fleet-homes '$(FLEET_HOMES)' \
+		-fleet-workers '$(FLEET_WORKERS)' -fleetjson BENCH_fleet.json
+
+# fleet-suite runs the multi-home proof obligations in isolation,
+# verbosely: the tenant-equivalence harness (bit-identical solo vs
+# fleet-tenant hosting) and the multi-tenant kill-at-every-failpoint
+# crash suite. Both are part of check.
+fleet-suite:
+	$(GO) test -count=1 -v \
+		-run 'FleetTenantEquivalence|FleetCrashSharedWAL|FleetCrashPerTenantSharded' \
+		./internal/daemon
+
 # crash-suite runs the kill-at-every-failpoint recovery harness (see
 # DESIGN.md §11): store and journal crash/recovery at every I/O
 # failpoint, compaction-rename durability, and the daemon degraded-mode
 # e2e. Part of check; this target reruns it in isolation, verbosely.
 crash-suite:
 	$(GO) test -count=1 -v \
-		-run 'CrashRecoveryEveryFailpoint|ShardedCrashBetweenShardCommits|CompactionRenameDurability|FailedCompactionLeavesCleanErrors|ProbeRecordsAreInvisible|JournalCrashRecoveryEveryFailpoint|JournalSyncCadence|DaemonDegradedMode' \
+		-run 'CrashRecoveryEveryFailpoint|ShardedCrashBetweenShardCommits|CompactionRenameDurability|FailedCompactionLeavesCleanErrors|ProbeRecordsAreInvisible|JournalCrashRecoveryEveryFailpoint|JournalSyncCadence|DaemonDegradedMode|FleetCrashSharedWAL|FleetCrashPerTenantSharded' \
 		./internal/store ./internal/persistence ./internal/daemon
 
 # metrics-smoke boots imcfd, runs a planning cycle and checks that

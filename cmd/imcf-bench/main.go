@@ -6,9 +6,13 @@
 //	imcf-bench [-run all|table1|table2|table3|fig6|fig7|fig8|fig9|table4|table5|ablations|fig6bench]
 //	           [-reps N] [-datasets Flat,House,Dorms] [-seed N] [-parallel N]
 //	           [-cpuprofile out.pprof] [-memprofile out.pprof] [-benchjson BENCH_fig6.json]
+//	           [-store [-storejson BENCH_store.json]]
+//	           [-fleet [-fleet-homes 1000,10000] [-fleet-workers 1,8] [-fleetjson BENCH_fleet.json]]
 //
 // Each experiment prints the same rows/series the paper reports, with
-// mean ± standard deviation over the configured repetitions.
+// mean ± standard deviation over the configured repetitions. -store
+// benches the storage engines; -fleet benches the multi-home fleet
+// scheduler (per-tenant plan-latency percentiles at 1k/10k homes).
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 	"strings"
 	"time"
 
@@ -39,6 +44,11 @@ func main() {
 		storeBench = flag.Bool("store", false, "run the storage-engine write benchmark (baseline vs group commit vs sharded)")
 		storejson  = flag.String("storejson", "", "with -store, also write the BENCH_store.json artifact to this file")
 		storeOps   = flag.Int("store-ops", 0, "with -store, Puts per writer in sync cells (0 = default matrix)")
+		fleetBench = flag.Bool("fleet", false, "run the fleet-scheduler benchmark (per-tenant plan latency percentiles)")
+		fleetHomes = flag.String("fleet-homes", "", "with -fleet, comma-separated fleet sizes (default 1000,10000)")
+		fleetWork  = flag.String("fleet-workers", "", "with -fleet, comma-separated worker-pool sizes (default 1,8)")
+		fleetCyc   = flag.Int("fleet-cycles", 0, "with -fleet, planning cycles per cell (default 2)")
+		fleetjson  = flag.String("fleetjson", "", "with -fleet, also write the BENCH_fleet.json artifact to this file")
 	)
 	flag.Parse()
 
@@ -128,6 +138,44 @@ func main() {
 		return
 	}
 
+	if *fleetBench {
+		opts := bench.FleetBenchOptions{Cycles: *fleetCyc, Seed: *seed}
+		var err error
+		if opts.Homes, err = parseIntList(*fleetHomes); err != nil {
+			fmt.Fprintf(os.Stderr, "imcf-bench: -fleet-homes: %v\n", err)
+			os.Exit(2)
+		}
+		if opts.Workers, err = parseIntList(*fleetWork); err != nil {
+			fmt.Fprintf(os.Stderr, "imcf-bench: -fleet-workers: %v\n", err)
+			os.Exit(2)
+		}
+		res, err := bench.RunFleetBench(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imcf-bench: fleet: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "imcf-bench: fleet: %v\n", err)
+			os.Exit(1)
+		}
+		if *fleetjson != "" {
+			f, err := os.Create(*fleetjson)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "imcf-bench: %v\n", err)
+				os.Exit(1)
+			}
+			err = res.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "imcf-bench: fleet: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
 	if *specPath != "" {
 		f, err := os.Open(*specPath)
 		if err != nil {
@@ -194,6 +242,27 @@ func main() {
 		fmt.Fprintf(os.Stderr, "imcf-bench: unknown experiment %q\n", *run)
 		os.Exit(2)
 	}
+}
+
+// parseIntList parses a comma-separated list of positive integers; an
+// empty string means "use the benchmark's default".
+func parseIntList(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		n, err := strconv.Atoi(part)
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad count %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
 }
 
 // emitJSON runs the structured experiments and prints one JSON document.

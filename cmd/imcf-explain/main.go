@@ -7,12 +7,18 @@
 //
 //	imcf-explain -rule ID [-slot RFC3339] [-verdict executed|dropped]
 //	             [-daemon http://host:8089 | -journal path/decisions.jnl]
-//	             [-limit N] [-json]
+//	             [-tenant HOME] [-limit N] [-json]
 //
 // Exactly one of -daemon or -journal selects the source. The answer
 // cites the verdict, the E_p budget remaining when the planner decided,
 // the rule's energy cost, the convenience-error delta its drop cost,
 // and the k-opt iteration that last flipped the bit.
+//
+// Against a multi-home daemon, -tenant selects one home's decisions
+// (the server merges all tenants by default). Against persisted dumps,
+// -journal may name a persistence root directory instead of a file:
+// the command then reads <dir>/decisions.jnl, or with -tenant the
+// home's own <dir>/tenants/<HOME>/decisions.jnl.
 //
 // Naming note: cmd/imcf-trace is the synthetic sensor-trace workload
 // generator and is unrelated to the causal tracing this command reads;
@@ -28,6 +34,7 @@ import (
 	"net/http"
 	"net/url"
 	"os"
+	"path/filepath"
 	"time"
 
 	"github.com/imcf/imcf/internal/journal"
@@ -48,7 +55,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		slotStr    = fs.String("slot", "", "slot time, RFC 3339 (empty: all slots)")
 		verdictStr = fs.String("verdict", "", "filter: executed or dropped")
 		daemonURL  = fs.String("daemon", "", "metrics base URL of a live imcfd (e.g. http://127.0.0.1:8089)")
-		jnlPath    = fs.String("journal", "", "path to a persisted decisions.jnl")
+		jnlPath    = fs.String("journal", "", "path to a persisted decisions.jnl, or a persistence root directory")
+		tenant     = fs.String("tenant", "", "home ID on a multi-tenant daemon or persistence root (empty: all homes / the single-home log)")
 		limit      = fs.Int("limit", 0, "at most N most recent events (0: all)")
 		asJSON     = fs.Bool("json", false, "emit matching events as JSON instead of prose")
 	)
@@ -88,9 +96,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		err error
 	)
 	if *daemonURL != "" {
+		// Server-side: a multi-home daemon filters its merged stream by
+		// the serving-time tenant decoration.
+		f.Tenant = *tenant
 		evs, err = fromDaemon(*daemonURL, f)
 	} else {
-		evs, err = fromFile(*jnlPath, f)
+		// Persisted logs are per-home and carry no tenant field (each
+		// holds exactly what a single-home daemon would write), so here
+		// the tenant selects which home's log to open.
+		path, perr := resolveJournalPath(*jnlPath, *tenant)
+		if perr != nil {
+			fmt.Fprintf(stderr, "imcf-explain: %v\n", perr)
+			return 2
+		}
+		evs, err = fromFile(path, f)
 	}
 	if err != nil {
 		fmt.Fprintf(stderr, "imcf-explain: %v\n", err)
@@ -113,11 +132,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// resolveJournalPath maps -journal/-tenant onto a concrete log file:
+// a file path is used as-is, a persistence root directory resolves to
+// its single-home decisions.jnl or, with a tenant, to the home's
+// tenants/<id>/decisions.jnl.
+func resolveJournalPath(path, tenant string) (string, error) {
+	info, err := os.Stat(path)
+	switch {
+	case err == nil && info.IsDir():
+		if tenant != "" {
+			return filepath.Join(path, "tenants", tenant, persistence.JournalFile), nil
+		}
+		return filepath.Join(path, persistence.JournalFile), nil
+	case tenant != "":
+		return "", fmt.Errorf("-tenant with -journal requires a persistence root directory, not a file (%s)", path)
+	default:
+		return path, nil
+	}
+}
+
 // fromDaemon queries a live daemon's /debug/decisions with the filter
 // as query parameters, so filtering happens server-side.
 func fromDaemon(base string, f journal.Filter) ([]journal.Event, error) {
 	q := url.Values{}
 	q.Set("rule", f.Rule)
+	if f.Tenant != "" {
+		q.Set("tenant", f.Tenant)
+	}
 	if f.Verdict != 0 {
 		q.Set("verdict", f.Verdict.String())
 	}
@@ -170,6 +211,9 @@ func fromFile(path string, f journal.Filter) ([]journal.Event, error) {
 func explain(w io.Writer, ev journal.Event) {
 	fmt.Fprintf(w, "rule %s was %s at slot %s (planning window %d)\n",
 		ev.Rule, ev.Verdict, ev.Slot.Format(time.RFC3339), ev.Window)
+	if ev.Tenant != "" {
+		fmt.Fprintf(w, "  home:           %s\n", ev.Tenant)
+	}
 	if ev.Owner != "" {
 		fmt.Fprintf(w, "  owner:          %s\n", ev.Owner)
 	}

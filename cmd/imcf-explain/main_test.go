@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -117,6 +118,106 @@ func TestExplainFromDaemon(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "E_p remaining:  2.500 kWh") {
 		t.Errorf("daemon-mode output wrong:\n%s", out.String())
+	}
+}
+
+// writeTenantDump lays out a multi-home persistence root: a default
+// decisions.jnl plus per-tenant logs under tenants/<id>/.
+func writeTenantDump(t *testing.T) string {
+	t.Helper()
+	root := t.TempDir()
+	slot := time.Date(2021, time.January, 9, 3, 0, 0, 0, time.UTC)
+	write := func(dir, rule string) {
+		t.Helper()
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		jl, err := persistence.OpenJournalFile(filepath.Join(dir, persistence.JournalFile))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := journal.Event{Seq: 1, Slot: slot, Rule: rule,
+			Verdict: journal.VerdictExecuted, EpRemainingKWh: 3.0, EnergyKWh: 0.5}
+		if err := jl.AppendEvent(ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := jl.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(root, "default/rule")
+	write(filepath.Join(root, "tenants", "h1"), "h1/rule")
+	write(filepath.Join(root, "tenants", "h2"), "h2/rule")
+	return root
+}
+
+func TestExplainTenantFromPersistenceRoot(t *testing.T) {
+	root := writeTenantDump(t)
+
+	var out, errw bytes.Buffer
+	if code := run([]string{"-rule", "h2/rule", "-journal", root, "-tenant", "h2"}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "rule h2/rule was executed") {
+		t.Errorf("tenant log not selected:\n%s", out.String())
+	}
+
+	// Without -tenant a root directory reads the single-home log.
+	out.Reset()
+	if code := run([]string{"-rule", "default/rule", "-journal", root}, &out, &errw); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	if !strings.Contains(out.String(), "rule default/rule was executed") {
+		t.Errorf("root log not selected:\n%s", out.String())
+	}
+
+	// The wrong tenant's log cannot match another home's rule.
+	if code := run([]string{"-rule", "h2/rule", "-journal", root, "-tenant", "h1"}, &out, &errw); code != 1 {
+		t.Errorf("cross-tenant match: exit %d, want 1", code)
+	}
+	// -tenant needs a directory, not a file.
+	if code := run([]string{"-rule", "x", "-journal", filepath.Join(root, persistence.JournalFile), "-tenant", "h1"}, &out, &errw); code != 2 {
+		t.Errorf("-tenant with a file: exit %d, want 2", code)
+	}
+}
+
+func TestExplainTenantFromDaemon(t *testing.T) {
+	slot := time.Date(2021, time.January, 9, 3, 0, 0, 0, time.UTC)
+	// A multi-home daemon decorates merged events with their tenant and
+	// filters on the tenant query parameter — mimic that contract.
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/decisions", func(w http.ResponseWriter, r *http.Request) {
+		evs := []journal.Event{
+			{Seq: 1, Slot: slot, Tenant: "h1", Rule: "shared/rule", Verdict: journal.VerdictExecuted, EpRemainingKWh: 1},
+			{Seq: 1, Slot: slot, Tenant: "h2", Rule: "shared/rule", Verdict: journal.VerdictDropped, EpRemainingKWh: 2, FlipIter: journal.FlipRepair},
+		}
+		f, err := journal.ParseFilter(r.URL.Query())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		out := []journal.Event{}
+		for _, ev := range evs {
+			if f.Match(ev) {
+				out = append(out, ev)
+			}
+		}
+		json.NewEncoder(w).Encode(out) //nolint:errcheck // test server
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	var out, errw bytes.Buffer
+	code := run([]string{"-rule", "shared/rule", "-daemon", srv.URL, "-tenant", "h2"}, &out, &errw)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errw.String())
+	}
+	text := out.String()
+	if !strings.Contains(text, "home:           h2") || strings.Contains(text, "home:           h1") {
+		t.Errorf("tenant filter not applied server-side:\n%s", text)
+	}
+	if !strings.Contains(text, "feasibility repair") {
+		t.Errorf("wrong event selected:\n%s", text)
 	}
 }
 

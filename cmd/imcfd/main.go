@@ -7,6 +7,14 @@
 //
 //	imcfd [-addr :8088] [-metrics-addr :8089] [-residence prototype|flat|house]
 //	      [-store DIR] [-interval 1h] [-weekly-budget 165] [-emulate] [-seed 42]
+//	      [-tenants h1,h2,...] [-fleet-workers 8]
+//
+// With -tenants, one daemon hosts a fleet: each comma-separated home ID
+// becomes a tenant with its own controller, store namespace, and
+// decision journal, served under /t/<id>/rest/... (legacy un-prefixed
+// routes alias the first tenant). Per-home trace seeds derive from
+// -seed plus the tenant's position. -fleet-workers bounds how many
+// homes plan concurrently per cron cycle.
 //
 // With -emulate, every HVAC and light in the residence gets an
 // in-process device emulator and commands flow over real loopback HTTP
@@ -20,6 +28,7 @@ package main
 import (
 	"flag"
 	"log"
+	"strings"
 	"time"
 
 	"github.com/imcf/imcf/internal/daemon"
@@ -43,14 +52,29 @@ func main() {
 		mode         = flag.String("mode", "EP", "planning mode: EP, IFTTT or manual")
 		journalCap   = flag.Int("journal-cap", daemon.DefaultJournalCap, "decision journal ring capacity (negative disables journaling)")
 		journalSync  = flag.Int("journal-sync", 1, "fsync the decision journal every N events (negative: only on shutdown)")
+		tenants      = flag.String("tenants", "", "comma-separated home IDs for multi-tenant hosting (empty: one single-home tenant)")
+		fleetWorkers = flag.Int("fleet-workers", 1, "tenants planning concurrently per fleet cycle")
 	)
 	flag.Parse()
+
+	var specs []daemon.TenantSpec
+	if *tenants != "" {
+		for i, id := range strings.Split(*tenants, ",") {
+			id = strings.TrimSpace(id)
+			if err := daemon.ParseTenantID(id); err != nil {
+				log.Fatalf("imcfd: -tenants: %v", err)
+			}
+			specs = append(specs, daemon.TenantSpec{ID: id, Seed: *seed + uint64(i)})
+		}
+	}
 
 	d, err := daemon.New(daemon.Options{
 		Addr:             *addr,
 		MetricsAddr:      *metricsAddr,
 		Residence:        *residence,
 		Seed:             *seed,
+		Tenants:          specs,
+		FleetWorkers:     *fleetWorkers,
 		StoreDir:         *storeDir,
 		StoreBackend:     *storeBackend,
 		StoreShards:      *storeShards,

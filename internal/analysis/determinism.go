@@ -7,14 +7,19 @@ import (
 )
 
 // determinismPackages are the subtrees whose results must replay
-// bit-identically: the planner, the simulation engine and the shift
-// scheduler. The paper's F_CE/F_E numbers are reproduced by these
-// packages, and the pipelined engine additionally promises that
-// Workers>1 matches the sequential run exactly.
+// bit-identically: the planner, the simulation engine, the shift
+// scheduler and the fleet scheduler. The paper's F_CE/F_E numbers are
+// reproduced by the first three, the pipelined engine additionally
+// promises that Workers>1 matches the sequential run exactly, and the
+// fleet scheduler promises the tenant-equivalence harness's
+// bit-identity at any worker count — so it must collect-then-sort over
+// tenants, never range a map or consult the wall clock for anything
+// that feeds planning.
 var determinismPackages = []string{
 	"internal/core",
 	"internal/sim",
 	"internal/shift",
+	"internal/fleet",
 }
 
 // determinismRule forbids the three ways nondeterminism has crept into
@@ -27,7 +32,7 @@ type determinismRule struct{}
 
 func (determinismRule) Name() string { return RuleDeterminism }
 func (determinismRule) Doc() string {
-	return "internal/core, internal/sim and internal/shift must stay replay-deterministic"
+	return "internal/core, internal/sim, internal/shift and internal/fleet must stay replay-deterministic"
 }
 
 func (determinismRule) Check(m *Module, rep *Reporter) {

@@ -1,0 +1,235 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"github.com/imcf/imcf/internal/controller"
+	"github.com/imcf/imcf/internal/fleet"
+	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/simclock"
+)
+
+// The fleet bench measures the sharded fleet scheduler at scale: N
+// simulated homes (each a full Local Controller planning against its
+// own seeded residence) stepped by the bounded worker pool, reporting
+// per-tenant plan latency percentiles and whole-fleet cycle
+// throughput. It answers the multi-home sizing question directly —
+// "what does one daemon hosting 1k or 10k homes cost per planning
+// cycle, and how does the worker count move the tail?"
+
+// fleetBenchEpoch anchors the simulated clock; a fixed instant keeps
+// runs comparable across machines and dates.
+var fleetBenchEpoch = time.Date(2021, time.January, 4, 0, 0, 0, 0, time.UTC)
+
+// FleetBenchOptions configures RunFleetBench. The zero value runs the
+// acceptance matrix: 1k and 10k homes at 1 and 8 workers.
+type FleetBenchOptions struct {
+	// Homes lists the fleet sizes; nil means 1000 and 10000.
+	Homes []int
+	// Workers lists the pool sizes; nil means 1 and 8.
+	Workers []int
+	// Cycles is how many full-fleet planning cycles each cell runs
+	// (every cycle contributes one latency sample per home); zero
+	// means 2.
+	Cycles int
+	// Seed derives each home's residence and planner seeds.
+	Seed uint64
+}
+
+// FleetBenchCell is one (homes, workers) measurement.
+type FleetBenchCell struct {
+	Homes   int `json:"homes"`
+	Workers int `json:"workers"`
+	Cycles  int `json:"cycles"`
+	// Samples is the number of per-tenant plan latencies aggregated
+	// (Homes × Cycles).
+	Samples int `json:"samples"`
+	// P50Ns/P95Ns/P99Ns are per-tenant plan latency percentiles.
+	P50Ns int64 `json:"p50_ns"`
+	P95Ns int64 `json:"p95_ns"`
+	P99Ns int64 `json:"p99_ns"`
+	// WallNs is the whole matrix cell's measured wall time;
+	// HomesPerSec is planned homes per second across it.
+	WallNs      int64   `json:"wall_ns"`
+	HomesPerSec float64 `json:"homes_per_sec"`
+}
+
+// FleetBench is the machine-readable BENCH_fleet.json artifact.
+type FleetBench struct {
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Cycles     int              `json:"cycles"`
+	Cells      []FleetBenchCell `json:"cells"`
+}
+
+// RunFleetBench measures the homes × workers matrix.
+func RunFleetBench(opts FleetBenchOptions) (*FleetBench, error) {
+	homes := opts.Homes
+	if homes == nil {
+		homes = []int{1000, 10000}
+	}
+	workers := opts.Workers
+	if workers == nil {
+		workers = []int{1, 8}
+	}
+	cycles := opts.Cycles
+	if cycles == 0 {
+		cycles = 2
+	}
+	out := &FleetBench{GOMAXPROCS: runtime.GOMAXPROCS(0), Cycles: cycles}
+	for _, h := range homes {
+		if h <= 0 {
+			return nil, fmt.Errorf("fleetbench: invalid fleet size %d", h)
+		}
+		for _, w := range workers {
+			// A fresh fleet per cell pins every home to the same
+			// simulated hours, so worker counts compare like for like;
+			// construction happens outside the measured window.
+			members, err := buildFleetMembers(h, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			cell, err := runFleetCell(members, h, w, cycles)
+			if err != nil {
+				return nil, err
+			}
+			out.Cells = append(out.Cells, cell)
+		}
+	}
+	return out, nil
+}
+
+// benchHome is one simulated home: a controller on its own clock so
+// cells can advance time independently.
+type benchHome struct {
+	ctrl *controller.Controller
+	clk  *simclock.SimClock
+}
+
+// buildFleetMembers constructs n homes, each a full controller over a
+// prototype residence with home-derived seeds.
+func buildFleetMembers(n int, seed uint64) ([]fleet.Member, error) {
+	members := make([]fleet.Member, n)
+	for i := 0; i < n; i++ {
+		res, err := home.Prototype(seed + uint64(i))
+		if err != nil {
+			return nil, err
+		}
+		clk := simclock.NewSimClock(fleetBenchEpoch)
+		cfg := controller.Config{
+			Residence:    res,
+			WeeklyBudget: home.PrototypeWeeklyBudget,
+			Clock:        clk,
+		}
+		cfg.Planner.Seed = seed + uint64(i)
+		ctrl, err := controller.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		h := &benchHome{ctrl: ctrl, clk: clk}
+		members[i] = fleet.Member{
+			ID: fmt.Sprintf("home-%06d", i),
+			Step: func(ctx context.Context) error {
+				_, err := h.ctrl.StepCtx(ctx)
+				h.clk.Advance(time.Hour)
+				return err
+			},
+		}
+	}
+	return members, nil
+}
+
+// runFleetCell steps the whole fleet for the configured cycles at one
+// worker count, aggregating per-tenant latency samples.
+func runFleetCell(members []fleet.Member, h, w, cycles int) (FleetBenchCell, error) {
+	var (
+		mu      sync.Mutex
+		samples []int64
+	)
+	sched, err := fleet.New(members, fleet.Options{
+		Workers:   w,
+		NoMetrics: true, // 10k homes would mint 10k gauge children
+		Observe: func(_ string, seconds float64) {
+			ns := int64(seconds * 1e9)
+			mu.Lock()
+			samples = append(samples, ns)
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		return FleetBenchCell{}, err
+	}
+
+	ctx := context.Background()
+	start := time.Now()
+	for c := 0; c < cycles; c++ {
+		if err := sched.Cycle(ctx); err != nil {
+			return FleetBenchCell{}, fmt.Errorf("fleetbench homes=%d workers=%d: %w", h, w, err)
+		}
+	}
+	wall := time.Since(start)
+
+	sort.Slice(samples, func(i, j int) bool { return samples[i] < samples[j] })
+	cell := FleetBenchCell{
+		Homes:   h,
+		Workers: w,
+		Cycles:  cycles,
+		Samples: len(samples),
+		P50Ns:   percentileNs(samples, 0.50),
+		P95Ns:   percentileNs(samples, 0.95),
+		P99Ns:   percentileNs(samples, 0.99),
+		WallNs:  wall.Nanoseconds(),
+	}
+	if wall > 0 {
+		cell.HomesPerSec = float64(h*cycles) / wall.Seconds()
+	}
+	return cell, nil
+}
+
+// percentileNs is the nearest-rank percentile of a sorted sample set.
+func percentileNs(sorted []int64, q float64) int64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+// WriteJSON writes the BENCH_fleet.json artifact.
+func (res *FleetBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// WriteTable renders a human-readable summary of the matrix.
+func (res *FleetBench) WriteTable(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "fleet scheduler plan latency (GOMAXPROCS=%d, %d cycles per cell)\n",
+		res.GOMAXPROCS, res.Cycles); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "%8s %8s %10s %12s %12s %12s %12s\n",
+		"homes", "workers", "samples", "p50", "p95", "p99", "homes/sec")
+	for _, c := range res.Cells {
+		fmt.Fprintf(w, "%8d %8d %10d %12v %12v %12v %12.0f\n",
+			c.Homes, c.Workers, c.Samples,
+			time.Duration(c.P50Ns).Round(time.Microsecond),
+			time.Duration(c.P95Ns).Round(time.Microsecond),
+			time.Duration(c.P99Ns).Round(time.Microsecond),
+			c.HomesPerSec)
+	}
+	return nil
+}

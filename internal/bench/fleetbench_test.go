@@ -1,0 +1,84 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestRunFleetBenchSmoke runs a miniature matrix and checks the
+// invariants the artifact's consumers rely on: one sample per home per
+// cycle, ordered percentiles, and positive throughput.
+func TestRunFleetBenchSmoke(t *testing.T) {
+	res, err := RunFleetBench(FleetBenchOptions{
+		Homes:   []int{6},
+		Workers: []int{1, 3},
+		Cycles:  2,
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("cells = %d, want 2", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Samples != c.Homes*c.Cycles {
+			t.Errorf("workers=%d: samples = %d, want homes×cycles = %d", c.Workers, c.Samples, c.Homes*c.Cycles)
+		}
+		if c.P50Ns <= 0 || c.P50Ns > c.P95Ns || c.P95Ns > c.P99Ns {
+			t.Errorf("workers=%d: percentiles not ordered: p50=%d p95=%d p99=%d",
+				c.Workers, c.P50Ns, c.P95Ns, c.P99Ns)
+		}
+		if c.HomesPerSec <= 0 {
+			t.Errorf("workers=%d: homes/sec = %f", c.Workers, c.HomesPerSec)
+		}
+	}
+
+	var jsonOut bytes.Buffer
+	if err := res.WriteJSON(&jsonOut); err != nil {
+		t.Fatal(err)
+	}
+	var decoded FleetBench
+	if err := json.Unmarshal(jsonOut.Bytes(), &decoded); err != nil {
+		t.Fatalf("artifact is not JSON: %v", err)
+	}
+	if len(decoded.Cells) != len(res.Cells) {
+		t.Errorf("artifact round-trip lost cells: %d != %d", len(decoded.Cells), len(res.Cells))
+	}
+
+	var table bytes.Buffer
+	if err := res.WriteTable(&table); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(table.String(), "homes") || !strings.Contains(table.String(), "p99") {
+		t.Errorf("table missing headers:\n%s", table.String())
+	}
+}
+
+// TestRunFleetBenchRejectsBadSizes covers the guard rails.
+func TestRunFleetBenchRejectsBadSizes(t *testing.T) {
+	if _, err := RunFleetBench(FleetBenchOptions{Homes: []int{0}}); err == nil {
+		t.Error("zero-home fleet accepted")
+	}
+	if _, err := RunFleetBench(FleetBenchOptions{Homes: []int{-3}}); err == nil {
+		t.Error("negative fleet accepted")
+	}
+}
+
+// TestPercentileNs pins the nearest-rank convention.
+func TestPercentileNs(t *testing.T) {
+	if got := percentileNs(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %d", got)
+	}
+	s := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	for _, tc := range []struct {
+		q    float64
+		want int64
+	}{{0.50, 50}, {0.95, 100}, {0.99, 100}, {0.10, 10}} {
+		if got := percentileNs(s, tc.q); got != tc.want {
+			t.Errorf("p%.0f = %d, want %d", tc.q*100, got, tc.want)
+		}
+	}
+}

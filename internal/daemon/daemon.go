@@ -1,7 +1,10 @@
 // Package daemon assembles and serves a complete IMCF Local Controller
-// process: residence construction, optional durable store and
-// measurement persistence, optional HTTP device emulators, the cron-
-// scheduled Energy Planner, the openHAB-style REST API, and the
+// process hosting one or many homes: per-tenant residence construction,
+// optional durable store and measurement persistence (namespaced per
+// tenant), optional HTTP device emulators, the fleet scheduler fanning
+// cron-driven Energy Planner cycles over a bounded worker pool, the
+// openHAB-style REST API (tenant-scoped under /t/{home}/, with legacy
+// single-home routes aliased to the default tenant), and the
 // observability endpoints (/metrics, /healthz, /debug/spans).
 //
 // It is the testable core of cmd/imcfd: tests boot a Daemon on
@@ -17,22 +20,17 @@ import (
 	"log"
 	"net"
 	"net/http"
-	"os"
+	"path/filepath"
 	"sync"
 	"time"
 
 	"github.com/imcf/imcf/internal/controller"
-	"github.com/imcf/imcf/internal/devicesim"
 	"github.com/imcf/imcf/internal/faultfs"
-	"github.com/imcf/imcf/internal/firewall"
-	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/fleet"
 	"github.com/imcf/imcf/internal/journal"
 	"github.com/imcf/imcf/internal/metrics"
-	"github.com/imcf/imcf/internal/persistence"
-	"github.com/imcf/imcf/internal/rules"
 	"github.com/imcf/imcf/internal/simclock"
 	"github.com/imcf/imcf/internal/store"
-	"github.com/imcf/imcf/internal/units"
 )
 
 // DefaultJournalCap bounds the in-memory decision journal when Options
@@ -55,39 +53,56 @@ type Options struct {
 	Residence string
 	// Seed parameterizes the residence's ambient traces.
 	Seed uint64
+	// Tenants declares the homes a multi-tenant daemon hosts; empty
+	// means one single-home tenant built from the legacy fields above
+	// (ID DefaultTenantID, no store prefix, legacy directory layout).
+	// The first spec is the default tenant serving the legacy
+	// un-prefixed routes; every tenant is also served under
+	// /t/<ID>/....
+	Tenants []TenantSpec
+	// FleetWorkers bounds how many tenants plan concurrently per fleet
+	// cycle; <= 0 means 1 (sequential, the bit-identical reference
+	// order).
+	FleetWorkers int
 	// StoreDir enables the KV store; empty disables it (except for the
 	// mem backend, which needs no directory).
 	StoreDir string
 	// StoreBackend selects the storage engine: "wal" (default, the
 	// single-log group-commit store), "sharded" (N independent WAL
-	// shards hashed by key) or "mem" (ephemeral, no disk).
+	// shards hashed by key) or "mem" (ephemeral, no disk). With
+	// tenants, wal and mem share one physical store key-prefix-routed
+	// per tenant; sharded gives each tenant its own shard directory
+	// under StoreDir/tenants/<id>.
 	StoreBackend string
 	// StoreShards sets the shard count for the sharded backend; 0
 	// adopts the directory's manifest (or store.DefaultShards when
 	// fresh). Ignored by the other backends.
 	StoreShards int
-	// PersistDir enables measurement persistence; empty disables.
+	// PersistDir enables measurement persistence; empty disables. With
+	// tenants, each home persists under PersistDir/tenants/<id>.
 	PersistDir string
 	// MRTPath overrides the residence's Meta-Rule Table with a file in
-	// the textual format.
+	// the textual format (applied to every tenant).
 	MRTPath string
 	// Mode is EP (default when empty), IFTTT or manual.
 	Mode string
 	// Interval schedules the planner; <= 0 disables the cron so tests
-	// can drive cycles explicitly over /rest/plan/run.
+	// can drive cycles explicitly over /rest/plan/run or Fleet().Cycle.
 	Interval time.Duration
 	// WeeklyBudgetKWh is the weekly energy allowance.
 	WeeklyBudgetKWh float64
-	// Emulate starts loopback HTTP device emulators and routes all
-	// actuation through them (and the firewall).
+	// Emulate starts loopback HTTP device emulators per tenant and
+	// routes all actuation through them (and the firewall).
 	Emulate bool
 	// Clock overrides the wall clock (tests use simclock.NewSimClock).
+	// The clock is a shared substrate: every tenant plans against the
+	// same time source.
 	Clock simclock.Clock
 	// Binding overrides device actuation (ignored with Emulate; tests
 	// inject failing bindings to exercise health reporting).
 	Binding controller.Binding
-	// JournalCap bounds the decision-provenance journal ring; 0 means
-	// DefaultJournalCap, negative disables journaling entirely.
+	// JournalCap bounds each tenant's decision-provenance journal ring;
+	// 0 means DefaultJournalCap, negative disables journaling entirely.
 	JournalCap int
 	// JournalSyncEvery sets the decision journal's fsync cadence: every
 	// N events, 0 for every event, negative for only on shutdown
@@ -101,12 +116,20 @@ type Options struct {
 	Logf func(format string, args ...any)
 }
 
-// Daemon is a fully wired Local Controller process.
+// Daemon is a fully wired Local Controller process hosting one or more
+// tenants.
 type Daemon struct {
-	ctrl    *controller.Controller
-	health  *metrics.Health
-	journal *journal.Journal
-	store   store.Adapter // nil when no store is configured
+	tenants []*Tenant          // sorted by ID — deterministic iteration
+	byID    map[string]*Tenant // routing lookup
+	def     *Tenant            // serves the legacy un-prefixed routes
+	defID   string
+	multi   bool
+
+	ctrl    *controller.Controller // default tenant's, for legacy access
+	health  *metrics.Health        // default tenant's, wired to /healthz
+	journal *journal.Journal       // default tenant's
+	store   store.Adapter          // shared parent, or default tenant's
+	sched   *fleet.Scheduler
 	logf    func(string, ...any)
 
 	apiLn     net.Listener
@@ -130,155 +153,140 @@ func New(opts Options) (_ *Daemon, err error) {
 	if logf == nil {
 		logf = log.Printf
 	}
-	d := &Daemon{logf: logf, health: metrics.NewHealth(metrics.HealthyGauge)}
+	d := &Daemon{logf: logf, byID: make(map[string]*Tenant)}
 	defer func() {
 		if err != nil {
 			d.Close() //nolint:errcheck // already failing
 		}
 	}()
 
-	var res *home.Residence
-	switch opts.Residence {
-	case "prototype":
-		res, err = home.Prototype(opts.Seed)
-	case "flat":
-		res, err = home.Flat(opts.Seed)
-	case "house":
-		res, err = home.House(opts.Seed)
+	backend := opts.StoreBackend
+	if backend == "" {
+		backend = "wal"
+	}
+	switch backend {
+	case "wal", "sharded", "mem":
 	default:
-		return nil, fmt.Errorf("daemon: unknown residence %q", opts.Residence)
+		return nil, fmt.Errorf("daemon: unknown store backend %q", opts.StoreBackend)
 	}
-	if err != nil {
-		return nil, err
+
+	d.multi = len(opts.Tenants) > 0
+	specs := opts.Tenants
+	if !d.multi {
+		specs = []TenantSpec{{
+			ID:              DefaultTenantID,
+			Residence:       opts.Residence,
+			Seed:            opts.Seed,
+			Mode:            opts.Mode,
+			WeeklyBudgetKWh: opts.WeeklyBudgetKWh,
+		}}
 	}
-	if opts.MRTPath != "" {
-		src, err := os.ReadFile(opts.MRTPath)
-		if err != nil {
+	for _, spec := range specs {
+		if err := ParseTenantID(spec.ID); err != nil {
 			return nil, err
 		}
-		mrt, err := rules.ParseMRT(string(src))
-		if err != nil {
+		if _, dup := d.byID[spec.ID]; dup {
+			return nil, fmt.Errorf("daemon: duplicate tenant ID %q", spec.ID)
+		}
+		d.byID[spec.ID] = nil // reserved; filled after construction
+	}
+	d.defID = specs[0].ID
+
+	// The physical store. wal and mem open once and are shared by every
+	// tenant through a key-prefix namespace; sharded opens one ShardedDB
+	// per tenant so shard routing and compaction stay per-home.
+	var parent store.Adapter
+	if !(d.multi && backend == "sharded") {
+		if parent, err = openStoreBackend(opts); err != nil {
 			return nil, err
 		}
-		res.MRT = mrt
-		if err := res.Validate(); err != nil {
-			return nil, fmt.Errorf("daemon: MRT from %s: %w", opts.MRTPath, err)
+		if parent != nil {
+			d.closers = append(d.closers, parent.Close)
+			d.store = parent
 		}
-		logf("loaded %d meta-rules from %s", len(mrt.Rules), opts.MRTPath)
 	}
 
-	if opts.JournalCap >= 0 {
-		jcap := opts.JournalCap
-		if jcap == 0 {
-			jcap = DefaultJournalCap
-		}
-		d.journal = journal.New(jcap)
-	}
-
-	cfg := controller.Config{
-		Residence:    res,
-		WeeklyBudget: units.Energy(opts.WeeklyBudgetKWh),
-		Clock:        opts.Clock,
-		Health:       d.health,
-		Binding:      opts.Binding,
-		Journal:      d.journal,
-	}
-	switch opts.Mode {
-	case "EP", "ep", "":
-		cfg.Mode = controller.ModeEP
-	case "IFTTT", "ifttt":
-		cfg.Mode = controller.ModeIFTTT
-	case "manual":
-		cfg.Mode = controller.ModeManual
-	default:
-		return nil, fmt.Errorf("daemon: unknown mode %q", opts.Mode)
-	}
-
-	db, err := openStoreBackend(opts)
-	if err != nil {
-		return nil, err
-	}
-	if db != nil {
-		d.closers = append(d.closers, db.Close)
-		cfg.Store = db
-		d.store = db
-	}
-	if opts.PersistDir != "" {
-		svc, err := persistence.Open(opts.PersistDir)
-		if err != nil {
-			return nil, err
-		}
-		d.closers = append(d.closers, svc.Close)
-		cfg.Persistence = svc
-		logf("recording measurements to %s", opts.PersistDir)
-
-		if d.journal != nil {
-			jl, err := persistence.OpenJournalOpts(opts.PersistDir,
-				persistence.JournalOptions{SyncEvery: opts.JournalSyncEvery, FS: opts.FS})
+	for _, spec := range specs {
+		var view store.Adapter
+		switch {
+		case parent != nil && d.multi:
+			view = store.Namespace(parent, tenantStorePrefix(spec.ID))
+		case parent != nil:
+			view = parent // single-home: unprefixed, the historical layout
+		case d.multi && backend == "sharded" && opts.StoreDir != "":
+			db, err := store.OpenSharded(store.ShardedOptions{
+				Dir:        filepath.Join(opts.StoreDir, "tenants", spec.ID),
+				Shards:     opts.StoreShards,
+				SyncWrites: true,
+				FS:         opts.FS,
+			})
 			if err != nil {
 				return nil, err
 			}
-			d.closers = append(d.closers, jl.Close)
-			// Replay first so a restarted daemon can still explain
-			// decisions made before the restart, then sink so new
-			// verdicts append to the same log.
-			n, err := jl.Replay(d.journal.Preload)
-			if err != nil {
-				return nil, fmt.Errorf("daemon: replay decision journal: %w", err)
-			}
-			if n > 0 {
-				logf("replayed %d journaled decisions from %s", n, jl.Path())
-			}
-			d.journal.SetSink(jl)
+			d.closers = append(d.closers, db.Close)
+			view = db
+		}
+		t, err := d.newTenant(opts, spec, d.multi, view)
+		if err != nil {
+			return nil, err
+		}
+		d.tenants = append(d.tenants, t)
+		d.byID[t.id] = t
+	}
+	// Sort by ID for deterministic fan-out and reporting; the default
+	// tenant keeps its role by ID, not position.
+	for i := 1; i < len(d.tenants); i++ {
+		for j := i; j > 0 && d.tenants[j-1].id > d.tenants[j].id; j-- {
+			d.tenants[j-1], d.tenants[j] = d.tenants[j], d.tenants[j-1]
 		}
 	}
-
-	if opts.Emulate {
-		fw := firewall.New(opts.Clock)
-		endpoints := make(map[string]string)
-		for _, z := range res.Zones {
-			dk, err := devicesim.StartDaikin()
-			if err != nil {
-				return nil, err
-			}
-			d.closers = append(d.closers, dk.Close)
-			endpoints[z.HVAC.ID] = dk.URL()
-			logf("emulated %s at %s (LAN addr %s)", z.HVAC.ID, dk.URL(), z.HVAC.Addr)
-
-			hue, err := devicesim.StartHue()
-			if err != nil {
-				return nil, err
-			}
-			d.closers = append(d.closers, hue.Close)
-			endpoints[z.Light.ID] = hue.URL()
-			logf("emulated %s at %s (LAN addr %s)", z.Light.ID, hue.URL(), z.Light.Addr)
-		}
-		cfg.Firewall = fw
-		cfg.Binding = &controller.HTTPBinding{Endpoints: endpoints, Firewall: fw}
+	d.def = d.byID[d.defID]
+	d.ctrl = d.def.ctrl
+	d.health = d.def.health
+	d.journal = d.def.journal
+	if d.store == nil {
+		d.store = d.def.store
 	}
 
-	d.ctrl, err = controller.New(cfg)
+	members := make([]fleet.Member, len(d.tenants))
+	for i, t := range d.tenants {
+		t := t
+		members[i] = fleet.Member{ID: t.id, Step: func(ctx context.Context) error {
+			_, err := t.ctrl.StepCtx(ctx)
+			return err
+		}}
+	}
+	d.sched, err = fleet.New(members, fleet.Options{
+		Workers: opts.FleetWorkers,
+		OnError: func(id string, err error) {
+			// A planner cycle that died on a full or failing disk must
+			// degrade its tenant, not crash the daemon mid-plan.
+			d.byID[id].noteError(err)
+		},
+	})
 	if err != nil {
 		return nil, err
 	}
 
 	if opts.Interval > 0 {
 		d.cron = controller.NewCron(opts.Clock)
-		d.stopSched = d.ctrl.Schedule(d.cron, opts.Interval, func(err error) {
-			logf("EP cycle: %v", err)
-			// A planner cycle that died on a full or failing disk must
-			// degrade the daemon, not crash it mid-plan.
-			d.noteError(err)
+		d.stopSched = d.cron.Every(opts.Interval, func(time.Time) {
+			if err := d.sched.Cycle(context.Background()); err != nil {
+				logf("EP cycle: %v", err)
+			}
 		})
-		logf("EP scheduled every %v for %q (weekly budget %.0f kWh)",
-			opts.Interval, opts.Residence, opts.WeeklyBudgetKWh)
+		logf("EP scheduled every %v for %d tenant(s), %d fleet worker(s)",
+			opts.Interval, len(d.tenants), d.sched.Workers())
 	}
 
 	d.apiLn, err = net.Listen("tcp", opts.Addr)
 	if err != nil {
 		return nil, err
 	}
-	d.apiSrv = newHTTPServer(d.degradeMiddleware(controller.API(d.ctrl)))
+	apiMux := http.NewServeMux()
+	apiMux.HandleFunc("/t/{home}/", d.tenantAPI)
+	apiMux.Handle("/", d.def.api) // legacy single-home routes → default tenant
+	d.apiSrv = newHTTPServer(apiMux)
 	if opts.MetricsAddr != "" {
 		d.metricsLn, err = net.Listen("tcp", opts.MetricsAddr)
 		if err != nil {
@@ -290,12 +298,26 @@ func New(opts Options) (_ *Daemon, err error) {
 		mux.Handle("GET /debug/spans", metrics.DefaultTracer().Handler())
 		mux.Handle("GET /debug/exemplars", metrics.ExemplarHandler())
 		if d.journal != nil {
-			mux.Handle("GET /debug/decisions", d.journal.Handler())
+			mux.HandleFunc("GET /debug/decisions", d.decisionsHandler)
 			mux.HandleFunc("GET /debug/trace/{id}", d.traceHandler)
 		}
 		d.metricSrv = newHTTPServer(mux)
 	}
 	return d, nil
+}
+
+// tenantAPI routes /t/{home}/... to the named tenant's REST API. The
+// home segment is matched against the registered (pre-validated)
+// tenant set — an unknown or hostile ID can only 404 here; it never
+// reaches a store namespace, journal, or controller.
+func (d *Daemon) tenantAPI(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("home")
+	t, ok := d.byID[id]
+	if !ok || t == nil {
+		http.NotFound(w, r)
+		return
+	}
+	t.strip.ServeHTTP(w, r)
 }
 
 // openStoreBackend builds the Adapter selected by StoreBackend. It
@@ -338,18 +360,56 @@ func newHTTPServer(h http.Handler) *http.Server {
 	}
 }
 
+// mergedDecisions collects events across every tenant's journal in
+// tenant-ID order, stamping the serving-time Tenant decoration onto the
+// copies. The per-tenant rings themselves stay undecorated — identical
+// to what a single-home daemon would hold, which is what the
+// equivalence harness compares. Filter.Limit applies to the merged
+// stream; Filter.Tenant selects one home.
+func (d *Daemon) mergedDecisions(f journal.Filter) []journal.Event {
+	limit := f.Limit
+	tenantFilter := f.Tenant
+	f.Limit = 0
+	f.Tenant = ""
+	out := []journal.Event{}
+	for _, t := range d.tenants {
+		if t.journal == nil || (tenantFilter != "" && t.id != tenantFilter) {
+			continue
+		}
+		evs := t.journal.Recent(f)
+		for i := range evs {
+			evs[i].Tenant = t.id
+		}
+		out = append(out, evs...)
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// decisionsHandler serves GET /debug/decisions across every tenant,
+// with the journal's query-parameter filters plus tenant=<home>.
+func (d *Daemon) decisionsHandler(w http.ResponseWriter, r *http.Request) {
+	f, err := journal.ParseFilter(r.URL.Query())
+	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		w.WriteHeader(http.StatusBadRequest)
+		json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck // response committed
+		return
+	}
+	json.NewEncoder(w).Encode(d.mergedDecisions(f)) //nolint:errcheck // response committed
+}
+
 // traceHandler serves GET /debug/trace/{id}: everything the daemon
 // knows about one trace — its spans (from the in-memory tracer ring)
-// and the planner decisions it caused (from the journal).
+// and the planner decisions it caused, across all tenants.
 func (d *Daemon) traceHandler(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	spans := metrics.DefaultTracer().ByTrace(id)
-	decisions := d.journal.Recent(journal.Filter{Trace: id})
+	decisions := d.mergedDecisions(journal.Filter{Trace: id})
 	if spans == nil {
 		spans = []metrics.SpanRecord{}
-	}
-	if decisions == nil {
-		decisions = []journal.Event{}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(map[string]any{ //nolint:errcheck // response committed
@@ -359,15 +419,33 @@ func (d *Daemon) traceHandler(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// Controller exposes the wired Local Controller.
+// Controller exposes the default tenant's Local Controller.
 func (d *Daemon) Controller() *controller.Controller { return d.ctrl }
 
-// Journal exposes the decision-provenance journal, or nil when
-// journaling is disabled (Options.JournalCap < 0).
+// Journal exposes the default tenant's decision-provenance journal, or
+// nil when journaling is disabled (Options.JournalCap < 0).
 func (d *Daemon) Journal() *journal.Journal { return d.journal }
 
-// Health exposes the daemon's health state (wired to /healthz).
+// Health exposes the default tenant's health state (wired to /healthz).
 func (d *Daemon) Health() *metrics.Health { return d.health }
+
+// Tenant returns the named tenant, or nil if unknown.
+func (d *Daemon) Tenant(id string) *Tenant {
+	return d.byID[id]
+}
+
+// Tenants returns the hosted tenant IDs, sorted.
+func (d *Daemon) Tenants() []string {
+	ids := make([]string, len(d.tenants))
+	for i, t := range d.tenants {
+		ids[i] = t.id
+	}
+	return ids
+}
+
+// Fleet exposes the fleet scheduler; tests and embedders drive
+// explicit planning cycles through it.
+func (d *Daemon) Fleet() *fleet.Scheduler { return d.sched }
 
 // APIAddr returns the REST listener's bound address.
 func (d *Daemon) APIAddr() string { return d.apiLn.Addr().String() }
@@ -412,7 +490,7 @@ func (d *Daemon) Start() {
 }
 
 // Close shuts the daemon down: scheduler, HTTP servers, then the
-// shutdown hooks (emulators, persistence, store) in reverse order. It
+// shutdown hooks (emulators, persistence, stores) in reverse order. It
 // is idempotent.
 func (d *Daemon) Close() error {
 	d.mu.Lock()

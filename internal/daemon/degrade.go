@@ -1,11 +1,19 @@
-// Degraded mode: when the durable store reports a persistent media
-// fault (ENOSPC, EIO), the daemon keeps serving reads but refuses
-// mutations with 503 instead of crashing mid-plan or silently
+// Degraded mode: when a tenant's durable store reports a persistent
+// media fault (ENOSPC, EIO), that tenant keeps serving reads but
+// refuses mutations with 503 instead of crashing mid-plan or silently
 // accepting writes it cannot persist. Classification is probe-based:
 // store.Probe appends (and under SyncWrites fsyncs) a no-op WAL
 // record, exercising the real write path. A probe also runs before
-// each mutation while degraded, so the daemon heals itself the moment
+// each mutation while degraded, so a tenant heals itself the moment
 // the disk recovers.
+//
+// Degraded mode is tenant-scoped. Tenants on a shared physical backend
+// (the wal and mem backends route every tenant through one log) will
+// degrade together when the disk fails, because each tenant's probe
+// exercises the same write path; sharded-backend tenants have their
+// own shard directories, so one tenant's full disk or failing volume
+// never 503s its neighbors. The default tenant also drives the legacy
+// daemon-level gauges, keeping single-home dashboards unchanged.
 package daemon
 
 import (
@@ -18,70 +26,90 @@ import (
 
 var (
 	degradedGauge = metrics.NewGauge("imcf_daemon_degraded",
-		"1 while the daemon is in read-only degraded mode (disk full or failing), else 0.")
+		"1 while the default tenant is in read-only degraded mode (disk full or failing), else 0.")
 	degradedEntries = metrics.NewCounter("imcf_daemon_degraded_entries_total",
-		"Times the daemon entered read-only degraded mode.")
+		"Times the default tenant entered read-only degraded mode.")
 	degradedRejects = metrics.NewCounter("imcf_daemon_degraded_rejected_total",
-		"Mutating requests rejected with 503 while degraded.")
+		"Mutating requests rejected with 503 while the default tenant was degraded.")
+
+	tenantDegradedGauge = metrics.NewGaugeVec("imcf_tenant_degraded",
+		"1 while the tenant is in read-only degraded mode, else 0.", "tenant")
+	tenantDegradedEntries = metrics.NewCounterVec("imcf_tenant_degraded_entries_total",
+		"Times the tenant entered read-only degraded mode.", "tenant")
+	tenantDegradedRejects = metrics.NewCounterVec("imcf_tenant_degraded_rejected_total",
+		"Mutating requests rejected with 503 while the tenant was degraded.", "tenant")
+	tenantHealthy = metrics.NewGaugeVec("imcf_tenant_healthy",
+		"1 while the tenant's last planning cycle succeeded, else 0.", "tenant")
 )
 
 // degradedRetryAfter is the Retry-After hint on degraded 503s; clients
 // with capped backoff (internal/client) honor it.
 const degradedRetryAfter = "5"
 
-// Degraded reports whether the daemon is in read-only degraded mode.
-func (d *Daemon) Degraded() bool {
-	degraded, _ := d.health.Degraded()
+// Degraded reports whether the tenant is in read-only degraded mode.
+func (t *Tenant) Degraded() bool {
+	degraded, _ := t.health.Degraded()
 	return degraded
 }
 
-// enterDegraded flips the daemon into read-only degraded mode.
-func (d *Daemon) enterDegraded(err error) {
-	if degraded, _ := d.health.Degraded(); degraded {
+// Degraded reports whether the default tenant is in read-only degraded
+// mode — the single-home daemon's historical surface.
+func (d *Daemon) Degraded() bool { return d.def.Degraded() }
+
+// enterDegraded flips the tenant into read-only degraded mode.
+func (t *Tenant) enterDegraded(err error) {
+	if degraded, _ := t.health.Degraded(); degraded {
 		return
 	}
-	d.health.SetDegraded(err.Error())
-	degradedGauge.Set(1)
-	degradedEntries.Inc()
-	d.logf("daemon: entering read-only degraded mode: %v", err)
+	t.health.SetDegraded(err.Error())
+	tenantDegradedGauge.With(t.id).Set(1)
+	tenantDegradedEntries.With(t.id).Inc()
+	if t.isDefault {
+		degradedGauge.Set(1)
+		degradedEntries.Inc()
+	}
+	t.logf("daemon: tenant %s entering read-only degraded mode: %v", t.id, err)
 }
 
 // exitDegraded restores full service after a successful probe.
-func (d *Daemon) exitDegraded() {
-	if degraded, _ := d.health.Degraded(); !degraded {
+func (t *Tenant) exitDegraded() {
+	if degraded, _ := t.health.Degraded(); !degraded {
 		return
 	}
-	d.health.ClearDegraded()
-	degradedGauge.Set(0)
-	d.logf("daemon: disk recovered, leaving degraded mode")
+	t.health.ClearDegraded()
+	tenantDegradedGauge.With(t.id).Set(0)
+	if t.isDefault {
+		degradedGauge.Set(0)
+	}
+	t.logf("daemon: tenant %s disk recovered, leaving degraded mode", t.id)
 }
 
-// noteError classifies an error from the serving or planning path:
-// persistent media faults trip degraded mode, anything else is left to
-// the regular health reporting. The classification is confirmed by a
-// probe so a wrapped one-off error cannot degrade a healthy disk.
-func (d *Daemon) noteError(err error) {
-	if err == nil || d.store == nil || d.Degraded() {
+// noteError classifies an error from the tenant's serving or planning
+// path: persistent media faults trip degraded mode, anything else is
+// left to the regular health reporting. The classification is confirmed
+// by a probe so a wrapped one-off error cannot degrade a healthy disk.
+func (t *Tenant) noteError(err error) {
+	if err == nil || t.store == nil || t.Degraded() {
 		return
 	}
 	if !faultfs.IsDiskFault(err) {
 		return
 	}
-	if perr := d.store.Probe(); perr != nil {
-		d.enterDegraded(perr)
+	if perr := t.store.Probe(); perr != nil {
+		t.enterDegraded(perr)
 	}
 }
 
 // probeRecovery re-checks the write path while degraded; it reports
-// whether the daemon is (now) fully serviceable.
-func (d *Daemon) probeRecovery() bool {
-	if d.store == nil {
+// whether the tenant is (now) fully serviceable.
+func (t *Tenant) probeRecovery() bool {
+	if t.store == nil {
 		return true
 	}
-	if err := d.store.Probe(); err != nil {
+	if err := t.store.Probe(); err != nil {
 		return false
 	}
-	d.exitDegraded()
+	t.exitDegraded()
 	return true
 }
 
@@ -122,21 +150,24 @@ func (sr *statusRecorder) Flush() {
 	}
 }
 
-// degradeMiddleware enforces read-only degraded mode around the REST
-// API: while degraded, mutations are refused with 503 + Retry-After
-// (after a recovery probe, so service resumes as soon as the disk
-// does); reads always pass. After any server error on a mutation, the
-// write path is probed and a confirmed disk fault flips the daemon
-// into degraded mode.
-func (d *Daemon) degradeMiddleware(next http.Handler) http.Handler {
-	if d.store == nil {
+// degradeMiddleware enforces read-only degraded mode around one
+// tenant's REST API: while degraded, mutations are refused with 503 +
+// Retry-After (after a recovery probe, so service resumes as soon as
+// the disk does); reads always pass. After any server error on a
+// mutation, the write path is probed and a confirmed disk fault flips
+// the tenant into degraded mode.
+func (t *Tenant) degradeMiddleware(next http.Handler) http.Handler {
+	if t.store == nil {
 		return next // no durable layer, nothing to degrade
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		mutation := r.Method != http.MethodGet && r.Method != http.MethodHead
-		if mutation && d.Degraded() && !d.probeRecovery() {
-			degradedRejects.Inc()
-			_, reason := d.health.Degraded()
+		if mutation && t.Degraded() && !t.probeRecovery() {
+			tenantDegradedRejects.With(t.id).Inc()
+			if t.isDefault {
+				degradedRejects.Inc()
+			}
+			_, reason := t.health.Degraded()
 			w.Header().Set("Content-Type", "application/json")
 			w.Header().Set("Retry-After", degradedRetryAfter)
 			w.WriteHeader(http.StatusServiceUnavailable)
@@ -145,12 +176,12 @@ func (d *Daemon) degradeMiddleware(next http.Handler) http.Handler {
 		}
 		sr := &statusRecorder{ResponseWriter: w}
 		next.ServeHTTP(sr, r)
-		if mutation && sr.status >= http.StatusInternalServerError && !d.Degraded() {
+		if mutation && sr.status >= http.StatusInternalServerError && !t.Degraded() {
 			// The handler failed server-side; probe the write path. A
 			// failing probe means no mutation can be persisted, whatever
 			// the root cause — degrade rather than keep returning 500s.
-			if err := d.store.Probe(); err != nil {
-				d.enterDegraded(err)
+			if err := t.store.Probe(); err != nil {
+				t.enterDegraded(err)
 			}
 		}
 	})

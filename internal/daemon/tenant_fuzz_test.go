@@ -1,0 +1,84 @@
+package daemon
+
+import (
+	"net/url"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"github.com/imcf/imcf/internal/store"
+)
+
+// FuzzParseTenantID is the hostile-tenant-ID property test: any ID the
+// validator accepts must be safe everywhere the daemon uses it — as a
+// store-key prefix, as a persistence/journal directory element, and as
+// a URL path segment. Any ID carrying a separator, dot-segment, or
+// control byte must be rejected. The seed corpus under
+// testdata/fuzz/FuzzParseTenantID commits the interesting attack
+// shapes; `go test -fuzz=FuzzParseTenantID ./internal/daemon` explores
+// from there.
+func FuzzParseTenantID(f *testing.F) {
+	for _, seed := range []string{
+		"home", "h1", "flat-12.b_3", strings.Repeat("a", 64),
+		"", ".", "..", "...", ".hidden", "-", "_x",
+		"a/b", "../etc/passwd", "a/../b", `a\b`, "a b",
+		"a\x00b", "a\nb", "a%2Fb", "café", "家", "t/h1",
+		strings.Repeat("a", 65),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, id string) {
+		err := ParseTenantID(id)
+
+		// Inverse property: IDs with escape potential must never pass.
+		hostile := id == "" || len(id) > maxTenantIDLen ||
+			strings.ContainsAny(id, "/\\ \t\n\r\x00%?#") ||
+			strings.HasPrefix(id, ".") || strings.HasPrefix(id, "-") ||
+			strings.HasPrefix(id, "_")
+		for i := 0; i < len(id); i++ {
+			if id[i] < 0x20 || id[i] >= 0x7f {
+				hostile = true
+			}
+		}
+		if hostile && err == nil {
+			t.Fatalf("ParseTenantID(%q) accepted a hostile ID", id)
+		}
+		if err != nil {
+			return
+		}
+
+		// Accepted: the store prefix cannot alias another tenant's. IDs
+		// carry no '/', so "t/<id>/" has exactly two separators and the
+		// namespace boundary is unambiguous.
+		prefix := tenantStorePrefix(id)
+		if strings.Count(prefix, "/") != 2 {
+			t.Fatalf("prefix %q has a separator smuggled in by %q", prefix, id)
+		}
+
+		// A write through the namespace lands under the prefix — and
+		// only there.
+		m := store.OpenMem()
+		ns := store.Namespace(m, prefix)
+		if err := ns.Put("imcf/mrt", []byte("x")); err != nil {
+			t.Fatal(err)
+		}
+		keys := m.Keys("")
+		if len(keys) != 1 || keys[0] != prefix+"imcf/mrt" {
+			t.Fatalf("tenant %q wrote %v, want [%q]", id, keys, prefix+"imcf/mrt")
+		}
+
+		// As a directory element the ID stays inside the tenants/ tree:
+		// joining and cleaning cannot climb out or rename the element.
+		join := filepath.Join("persist", "tenants", id)
+		if filepath.Dir(join) != filepath.Join("persist", "tenants") || filepath.Base(join) != id {
+			t.Fatalf("ID %q escapes its directory: join = %q", id, join)
+		}
+
+		// As a URL path segment the ID is all unreserved characters: it
+		// round-trips escaping unchanged, so the mux routes exactly the
+		// registered literal.
+		if url.PathEscape(id) != id {
+			t.Fatalf("ID %q is not escape-stable (%q)", id, url.PathEscape(id))
+		}
+	})
+}

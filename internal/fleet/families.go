@@ -1,0 +1,30 @@
+package fleet
+
+import "github.com/imcf/imcf/internal/metrics"
+
+// Canonical metric families of the fleet scheduler. Declared here so
+// the metrics-hygiene lint rule can verify every family is observed
+// somewhere in the package.
+var (
+	// fleetCycles counts completed fleet cycles (one cycle = every
+	// tenant stepped once).
+	fleetCycles = metrics.NewCounter("imcf_fleet_cycles_total",
+		"Completed fleet planning cycles (every tenant stepped once).")
+
+	// fleetTenants reports the fleet size.
+	fleetTenants = metrics.NewGauge("imcf_fleet_tenants",
+		"Tenants hosted by the fleet scheduler.")
+
+	// fleetCycleSeconds is the wall time of a whole fleet cycle.
+	fleetCycleSeconds = metrics.NewHistogram("imcf_fleet_cycle_seconds",
+		"Wall time of one fleet cycle across all tenants in seconds.", nil)
+
+	// tenantPlanSeconds reports each tenant's last planning-cycle
+	// latency.
+	tenantPlanSeconds = metrics.NewGaugeVec("imcf_fleet_tenant_plan_seconds",
+		"Last planning-cycle latency per tenant in seconds.", "tenant")
+
+	// tenantErrors counts failed planning cycles per tenant.
+	tenantErrors = metrics.NewCounterVec("imcf_fleet_tenant_errors_total",
+		"Failed planning cycles per tenant.", "tenant")
+)

@@ -1,0 +1,187 @@
+// Package fleet is the sharded scheduler of a multi-home daemon: it
+// fans per-tenant planning cycles over a bounded worker pool, the same
+// semaphore fan-out shape the simulation suite uses (Suite.Parallel),
+// while keeping every observable outcome deterministic. Tenants are
+// held in a slice sorted by ID — never ranged from a map — so dispatch
+// order, error reporting order, and the OnError callback order are all
+// identical run to run regardless of worker count. The planning work
+// itself is per-tenant-isolated (each Member.Step closes over its own
+// controller, store namespace, and journal), which is what makes a
+// tenant's results bit-identical to the single-home path at any worker
+// count: concurrency changes only which wall-clock instant a tenant
+// steps at, never its inputs.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Member is one tenant's hook into the scheduler: a stable home ID and
+// the function running one planning cycle for that home. Step closes
+// over everything tenant-scoped (controller, store namespace, journal)
+// and must be safe to call concurrently with other tenants' Steps —
+// never with itself; the scheduler serializes per tenant by running at
+// most one cycle at a time.
+type Member struct {
+	ID   string
+	Step func(ctx context.Context) error
+}
+
+// Options configure a Scheduler.
+type Options struct {
+	// Workers bounds how many tenants plan concurrently within one
+	// cycle. Zero or negative means 1: strictly sequential, in tenant-ID
+	// order — the reference schedule the equivalence harness compares
+	// parallel runs against.
+	Workers int
+
+	// OnError, when set, is invoked once per failed tenant after the
+	// cycle's fan-out has drained, in tenant-ID order (deterministic, and
+	// never concurrent with itself).
+	OnError func(id string, err error)
+
+	// Observe, when set, receives each tenant's cycle latency in
+	// seconds. Bench harnesses aggregate percentiles from it. Called
+	// from worker goroutines; must be safe for concurrent use.
+	Observe func(id string, seconds float64)
+
+	// NoMetrics disables the per-tenant metric families. Large
+	// simulated fleets (10k+ homes in imcf-bench -fleet) would otherwise
+	// mint one gauge and counter child per home on the default registry.
+	NoMetrics bool
+}
+
+// Scheduler fans planning cycles across a tenant fleet. A Scheduler is
+// immutable after New; Cycle may be called from one goroutine at a
+// time (the daemon's cron).
+type Scheduler struct {
+	members []Member // sorted by ID: deterministic dispatch + report order
+	workers int
+	onError func(id string, err error)
+	observe func(id string, seconds float64)
+	metrics bool
+
+	mu   sync.Mutex // serializes Cycle
+	errs []error    // per-member scratch, index-aligned with members
+}
+
+// New builds a Scheduler over the given tenants. The member slice is
+// copied and sorted by ID; IDs must be non-empty and unique, Steps
+// non-nil.
+func New(members []Member, opts Options) (*Scheduler, error) {
+	ms := make([]Member, len(members))
+	copy(ms, members)
+	sort.Slice(ms, func(i, j int) bool { return ms[i].ID < ms[j].ID })
+	for i, m := range ms {
+		if m.ID == "" {
+			return nil, errors.New("fleet: member with empty tenant ID")
+		}
+		if m.Step == nil {
+			return nil, fmt.Errorf("fleet: tenant %s has no Step", m.ID)
+		}
+		if i > 0 && ms[i-1].ID == m.ID {
+			return nil, fmt.Errorf("fleet: duplicate tenant ID %s", m.ID)
+		}
+	}
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = 1
+	}
+	s := &Scheduler{
+		members: ms,
+		workers: workers,
+		onError: opts.OnError,
+		observe: opts.Observe,
+		metrics: !opts.NoMetrics,
+		errs:    make([]error, len(ms)),
+	}
+	if s.metrics {
+		fleetTenants.Set(float64(len(ms)))
+	}
+	return s, nil
+}
+
+// Len returns the fleet size.
+func (s *Scheduler) Len() int { return len(s.members) }
+
+// Workers returns the bounded pool size.
+func (s *Scheduler) Workers() int { return s.workers }
+
+// Tenants returns the tenant IDs in dispatch order (sorted).
+func (s *Scheduler) Tenants() []string {
+	ids := make([]string, len(s.members))
+	for i, m := range s.members {
+		ids[i] = m.ID
+	}
+	return ids
+}
+
+// Cycle steps every tenant once, at most Workers concurrently, and
+// waits for all of them. Tenants that fail are reported through OnError
+// and the joined return error, both in tenant-ID order; one tenant's
+// failure never stops the others. A canceled context stops dispatching
+// new tenants (already-running Steps see the cancellation through
+// their own ctx) and the skipped tenants report the context error.
+func (s *Scheduler) Cycle(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	//imcf:allow determinism cycle wall time feeds metrics only, never planning results
+	start := time.Now()
+	sem := make(chan struct{}, s.workers)
+	var wg sync.WaitGroup
+	for i := range s.members {
+		if err := ctx.Err(); err != nil {
+			s.errs[i] = fmt.Errorf("fleet: cycle canceled: %w", err)
+			continue
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			m := &s.members[i]
+			//imcf:allow determinism per-tenant latency feeds metrics/bench observers only
+			tStart := time.Now()
+			err := m.Step(ctx)
+			//imcf:allow determinism per-tenant latency feeds metrics/bench observers only
+			sec := time.Since(tStart).Seconds()
+			if s.metrics {
+				tenantPlanSeconds.With(m.ID).Set(sec)
+			}
+			if s.observe != nil {
+				s.observe(m.ID, sec)
+			}
+			s.errs[i] = err
+		}(i)
+	}
+	wg.Wait()
+
+	if s.metrics {
+		fleetCycles.Inc()
+		//imcf:allow determinism cycle wall time feeds metrics only, never planning results
+		fleetCycleSeconds.Observe(time.Since(start).Seconds())
+	}
+
+	var failed []error
+	for i, err := range s.errs {
+		s.errs[i] = nil
+		if err == nil {
+			continue
+		}
+		id := s.members[i].ID
+		if s.metrics {
+			tenantErrors.With(id).Inc()
+		}
+		if s.onError != nil {
+			s.onError(id, err)
+		}
+		failed = append(failed, fmt.Errorf("tenant %s: %w", id, err))
+	}
+	return errors.Join(failed...)
+}

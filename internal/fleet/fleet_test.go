@@ -1,0 +1,266 @@
+package fleet
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func member(id string, step func(ctx context.Context) error) Member {
+	if step == nil {
+		step = func(context.Context) error { return nil }
+	}
+	return Member{ID: id, Step: step}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New([]Member{member("", nil)}, Options{}); err == nil {
+		t.Error("empty tenant ID accepted")
+	}
+	if _, err := New([]Member{{ID: "h1"}}, Options{}); err == nil {
+		t.Error("nil Step accepted")
+	}
+	if _, err := New([]Member{member("h1", nil), member("h1", nil)}, Options{}); err == nil {
+		t.Error("duplicate tenant ID accepted")
+	}
+	s, err := New(nil, Options{})
+	if err != nil {
+		t.Fatalf("empty fleet rejected: %v", err)
+	}
+	if err := s.Cycle(context.Background()); err != nil {
+		t.Errorf("empty Cycle: %v", err)
+	}
+}
+
+func TestAccessorsAndSortedOrder(t *testing.T) {
+	s, err := New([]Member{member("h3", nil), member("h1", nil), member("h2", nil)},
+		Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d", s.Len())
+	}
+	if s.Workers() != 4 {
+		t.Errorf("Workers = %d", s.Workers())
+	}
+	if got, want := s.Tenants(), []string{"h1", "h2", "h3"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Tenants = %v, want %v", got, want)
+	}
+}
+
+// TestSequentialDispatchOrder pins the workers=1 reference schedule:
+// strictly one at a time, in tenant-ID order.
+func TestSequentialDispatchOrder(t *testing.T) {
+	var mu sync.Mutex
+	var order []string
+	mk := func(id string) Member {
+		return member(id, func(context.Context) error {
+			mu.Lock()
+			order = append(order, id)
+			mu.Unlock()
+			return nil
+		})
+	}
+	s, err := New([]Member{mk("b"), mk("c"), mk("a")}, Options{Workers: 1, NoMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		if err := s.Cycle(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"a", "b", "c", "a", "b", "c", "a", "b", "c"}
+	if !reflect.DeepEqual(order, want) {
+		t.Errorf("dispatch order = %v, want %v", order, want)
+	}
+}
+
+// TestWorkerBound checks the pool really bounds concurrency and really
+// uses it: with workers=4 and steps that block until enough peers
+// arrive, the cycle only completes if 4 run at once, and in-flight
+// never exceeds 4.
+func TestWorkerBound(t *testing.T) {
+	const workers = 4
+	var inFlight, peak atomic.Int64
+	arrived := make(chan struct{}, 16)
+	release := make(chan struct{})
+	var members []Member
+	for _, id := range []string{"a", "b", "c", "d", "e", "f"} {
+		members = append(members, member(id, func(context.Context) error {
+			n := inFlight.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			arrived <- struct{}{}
+			<-release
+			inFlight.Add(-1)
+			return nil
+		}))
+	}
+	s, err := New(members, Options{Workers: workers, NoMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- s.Cycle(context.Background()) }()
+
+	// Exactly `workers` steps can start before any is released.
+	for i := 0; i < workers; i++ {
+		<-arrived
+	}
+	select {
+	case <-arrived:
+		t.Fatal("more than Workers steps in flight")
+	default:
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	if got := peak.Load(); got != workers {
+		t.Errorf("peak concurrency = %d, want %d", got, workers)
+	}
+}
+
+// TestErrorIsolationAndOrder: one failing tenant never stops the rest,
+// and both OnError and the joined error report in tenant-ID order.
+func TestErrorIsolationAndOrder(t *testing.T) {
+	boomB := errors.New("b exploded")
+	boomD := errors.New("d exploded")
+	var stepped atomic.Int64
+	ok := func(context.Context) error { stepped.Add(1); return nil }
+	var reported []string
+	s, err := New([]Member{
+		member("d", func(context.Context) error { return boomD }),
+		member("a", ok),
+		member("b", func(context.Context) error { return boomB }),
+		member("c", ok),
+	}, Options{
+		Workers: 8,
+		OnError: func(id string, err error) { reported = append(reported, id) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycleErr := s.Cycle(context.Background())
+	if cycleErr == nil {
+		t.Fatal("Cycle swallowed tenant errors")
+	}
+	if !errors.Is(cycleErr, boomB) || !errors.Is(cycleErr, boomD) {
+		t.Errorf("joined error lost a cause: %v", cycleErr)
+	}
+	if stepped.Load() != 2 {
+		t.Errorf("healthy tenants stepped = %d, want 2", stepped.Load())
+	}
+	if want := []string{"b", "d"}; !reflect.DeepEqual(reported, want) {
+		t.Errorf("OnError order = %v, want %v", reported, want)
+	}
+	if !strings.Contains(cycleErr.Error(), "tenant b") {
+		t.Errorf("error does not name the tenant: %v", cycleErr)
+	}
+
+	// The error scratch resets: a failing-then-clean schedule reports
+	// nil on its clean cycle.
+	var fail atomic.Bool
+	fail.Store(true)
+	s3, err := New([]Member{member("x", func(context.Context) error {
+		if fail.Load() {
+			return errors.New("first cycle only")
+		}
+		return nil
+	})}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s3.Cycle(context.Background()); err == nil {
+		t.Fatal("first cycle should fail")
+	}
+	fail.Store(false)
+	if err := s3.Cycle(context.Background()); err != nil {
+		t.Errorf("stale error leaked into clean cycle: %v", err)
+	}
+}
+
+func TestObserveHook(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[string]int{}
+	s, err := New([]Member{member("h1", nil), member("h2", nil)}, Options{
+		Workers: 2,
+		Observe: func(id string, seconds float64) {
+			mu.Lock()
+			seen[id]++
+			mu.Unlock()
+			if seconds < 0 {
+				t.Errorf("negative latency %f for %s", seconds, id)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Cycle(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if seen["h1"] != 1 || seen["h2"] != 1 {
+		t.Errorf("Observe calls = %v", seen)
+	}
+}
+
+// TestCycleCanceledContext: a canceled context skips dispatch and
+// reports every tenant's context error, without calling Steps.
+func TestCycleCanceledContext(t *testing.T) {
+	var stepped atomic.Int64
+	s, err := New([]Member{
+		member("h1", func(context.Context) error { stepped.Add(1); return nil }),
+		member("h2", func(context.Context) error { stepped.Add(1); return nil }),
+	}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cErr := s.Cycle(ctx)
+	if cErr == nil {
+		t.Fatal("canceled Cycle returned nil")
+	}
+	if !errors.Is(cErr, context.Canceled) {
+		t.Errorf("error = %v, want context.Canceled", cErr)
+	}
+	if stepped.Load() != 0 {
+		t.Errorf("steps ran under canceled context: %d", stepped.Load())
+	}
+}
+
+// TestCycleMetricsRecorded scrapes the package families after a cycle
+// with metrics enabled.
+func TestCycleMetricsRecorded(t *testing.T) {
+	before := fleetCycles.Value()
+	s, err := New([]Member{
+		member("mh1", nil),
+		member("mh2", func(context.Context) error { return errors.New("boom") }),
+	}, Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fleetTenants.Value() != 2 {
+		t.Errorf("fleetTenants = %v, want 2", fleetTenants.Value())
+	}
+	if err := s.Cycle(context.Background()); err == nil {
+		t.Fatal("expected tenant error")
+	}
+	if got := fleetCycles.Value(); got != before+1 {
+		t.Errorf("fleetCycles = %d, want %d", got, before+1)
+	}
+	if got := tenantErrors.With("mh2").Value(); got != 1 {
+		t.Errorf("tenantErrors{mh2} = %d, want 1", got)
+	}
+}

@@ -98,8 +98,15 @@ func (v *Verdict) UnmarshalJSON(data []byte) error {
 // and FCEDelta the convenience error the verdict adds to F_CE (zero
 // for executed rules). FlipIter is the k-opt iteration that last
 // flipped the rule's bit, or a Flip* sentinel.
+//
+// Tenant is serving-time decoration only: a multi-home daemon stamps it
+// onto copies when merging per-tenant journals for /debug/decisions.
+// Producers never set it — each tenant's ring and persisted log hold
+// the same bytes a single-home daemon would write, which is what lets
+// the tenant-equivalence harness compare streams bit for bit.
 type Event struct {
 	Seq            uint64    `json:"seq"`
+	Tenant         string    `json:"tenant,omitempty"`
 	Slot           time.Time `json:"slot"`
 	Window         int       `json:"window"`
 	Rule           string    `json:"rule"`
@@ -231,6 +238,9 @@ type Filter struct {
 	Owner   string
 	Verdict Verdict
 	Trace   string
+	// Tenant matches the serving-time tenant decoration (multi-home
+	// daemons); events without one only match an empty Tenant filter.
+	Tenant string
 	// Slot, when non-zero, matches events whose Slot equals it.
 	Slot  time.Time
 	Limit int
@@ -250,6 +260,9 @@ func (f Filter) Match(ev Event) bool {
 	if f.Trace != "" && ev.Trace != f.Trace {
 		return false
 	}
+	if f.Tenant != "" && ev.Tenant != f.Tenant {
+		return false
+	}
 	if !f.Slot.IsZero() && !ev.Slot.Equal(f.Slot) {
 		return false
 	}
@@ -257,13 +270,14 @@ func (f Filter) Match(ev Event) bool {
 }
 
 // ParseFilter builds a filter from /debug/decisions query parameters:
-// rule, owner, verdict (executed|dropped), trace, slot (RFC 3339) and
-// limit.
+// rule, owner, verdict (executed|dropped), trace, tenant, slot
+// (RFC 3339) and limit.
 func ParseFilter(q url.Values) (Filter, error) {
 	f := Filter{
-		Rule:  q.Get("rule"),
-		Owner: q.Get("owner"),
-		Trace: q.Get("trace"),
+		Rule:   q.Get("rule"),
+		Owner:  q.Get("owner"),
+		Trace:  q.Get("trace"),
+		Tenant: q.Get("tenant"),
 	}
 	if s := q.Get("verdict"); s != "" {
 		v, err := ParseVerdict(s)

@@ -17,10 +17,13 @@ import (
 //     semantic reference the conformance suite measures the durable
 //     backends against.
 //
-// Future backends (remote/replicated, per-tenant) drop in behind the
-// same interface. The faultfs.FS seam sits underneath the durable
-// implementations, so crash-consistency testing composes with any
-// Adapter built on it.
+// Multi-home tenancy composes on top of this seam rather than inside
+// any backend: Namespace(parent, "t/<home>/") wraps an Adapter in a
+// Namespaced view that key-prefix-routes one tenant's keys through a
+// shared DB or MemDB, while ShardedDB tenants instead get their own
+// shard directory (one ShardedDB per home under dir/tenants/<id>).
+// The faultfs.FS seam sits underneath the durable implementations, so
+// crash-consistency testing composes with any Adapter built on it.
 type Adapter interface {
 	// Get returns a copy of the value stored at key.
 	Get(key string) ([]byte, bool)

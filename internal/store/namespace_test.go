@@ -1,0 +1,274 @@
+package store
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// TestNamespaceEmptyPrefixIsParent pins that an empty prefix is the
+// identity: no wrapper, no indirection.
+func TestNamespaceEmptyPrefixIsParent(t *testing.T) {
+	m := OpenMem()
+	defer m.Close() //nolint:errcheck
+	if got := Namespace(m, ""); got != Adapter(m) {
+		t.Fatalf("Namespace(parent, \"\") = %T, want the parent itself", got)
+	}
+}
+
+func TestNamespaceAccessors(t *testing.T) {
+	m := OpenMem()
+	defer m.Close() //nolint:errcheck
+	n := Namespace(m, "t/a/").(*Namespaced)
+	if n.Parent() != Adapter(m) {
+		t.Error("Parent() is not the wrapped backend")
+	}
+	if n.Prefix() != "t/a/" {
+		t.Errorf("Prefix() = %q", n.Prefix())
+	}
+}
+
+// TestNamespaceIsolation runs two tenants over every shared-capable
+// backend and checks neither can see or disturb the other's keys —
+// including the prefix-of-a-prefix case ("t/a/" vs "t/ab/").
+func TestNamespaceIsolation(t *testing.T) {
+	for _, be := range backends(t) {
+		t.Run(be.name, func(t *testing.T) {
+			parent := be.open(t)
+			defer parent.Close() //nolint:errcheck
+
+			a := Namespace(parent, "t/a/")
+			ab := Namespace(parent, "t/ab/")
+
+			if err := a.Put("imcf/mrt", []byte("tenant-a")); err != nil {
+				t.Fatal(err)
+			}
+			if err := ab.Put("imcf/mrt", []byte("tenant-ab")); err != nil {
+				t.Fatal(err)
+			}
+
+			if v, _ := a.Get("imcf/mrt"); string(v) != "tenant-a" {
+				t.Errorf("tenant a sees %q", v)
+			}
+			if v, _ := ab.Get("imcf/mrt"); string(v) != "tenant-ab" {
+				t.Errorf("tenant ab sees %q", v)
+			}
+			if got := a.Keys(""); !reflect.DeepEqual(got, []string{"imcf/mrt"}) {
+				t.Errorf("tenant a Keys = %v", got)
+			}
+			if a.Len() != 1 || ab.Len() != 1 {
+				t.Errorf("Len = %d, %d; want 1, 1", a.Len(), ab.Len())
+			}
+
+			// The parent sees both, fully routed.
+			if got := parent.Keys("t/"); !reflect.DeepEqual(got, []string{"t/a/imcf/mrt", "t/ab/imcf/mrt"}) {
+				t.Errorf("parent Keys = %v", got)
+			}
+
+			// Deleting in one namespace leaves the other intact.
+			if err := a.Delete("imcf/mrt"); err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := a.Get("imcf/mrt"); ok {
+				t.Error("tenant a key survives delete")
+			}
+			if _, ok := ab.Get("imcf/mrt"); !ok {
+				t.Error("tenant ab key lost to tenant a's delete")
+			}
+		})
+	}
+}
+
+// TestNamespaceKeysStripPrefix pins that a tenant lists the key names
+// it wrote, sorted, never the physical routing prefix.
+func TestNamespaceKeysStripPrefix(t *testing.T) {
+	m := OpenMem()
+	defer m.Close() //nolint:errcheck
+	n := Namespace(m, "t/h1/")
+	for _, k := range []string{"mrt/2", "mrt/1", "ecp/flat"} {
+		if err := n.Put(k, []byte("v")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, want := n.Keys("mrt/"), []string{"mrt/1", "mrt/2"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Keys(mrt/) = %v, want %v", got, want)
+	}
+	if got, want := n.Keys(""), []string{"ecp/flat", "mrt/1", "mrt/2"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Keys(\"\") = %v, want %v", got, want)
+	}
+}
+
+func TestNamespaceEmptyKeyRejected(t *testing.T) {
+	m := OpenMem()
+	defer m.Close() //nolint:errcheck
+	n := Namespace(m, "t/h1/")
+	if err := n.Put("", []byte("x")); err == nil {
+		t.Error("empty key accepted: would write the bare prefix")
+	}
+	if m.Len() != 0 {
+		t.Errorf("parent has %d keys after rejected Put", m.Len())
+	}
+}
+
+// TestNamespaceApply checks batches route through the prefix, stay
+// atomic, and reject invalid ops without touching the parent.
+func TestNamespaceApply(t *testing.T) {
+	for _, be := range backends(t) {
+		t.Run(be.name, func(t *testing.T) {
+			parent := be.open(t)
+			defer parent.Close() //nolint:errcheck
+			n := Namespace(parent, "t/h1/")
+
+			if err := n.Put("stale", []byte("old")); err != nil {
+				t.Fatal(err)
+			}
+			err := n.Apply(func(b *Batch) error {
+				b.Put("fresh/1", []byte("v1"))
+				b.Put("fresh/2", []byte("v2"))
+				b.Delete("stale")
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, ok := n.Get("stale"); ok {
+				t.Error("batched delete not applied")
+			}
+			for _, k := range []string{"fresh/1", "fresh/2"} {
+				if _, ok := n.Get(k); !ok {
+					t.Errorf("batched put %s not applied", k)
+				}
+				if _, ok := parent.Get("t/h1/" + k); !ok {
+					t.Errorf("parent missing routed key t/h1/%s", k)
+				}
+			}
+
+			// fn error: nothing written.
+			boom := errors.New("boom")
+			err = n.Apply(func(b *Batch) error {
+				b.Put("never", []byte("x"))
+				return boom
+			})
+			if !errors.Is(err, boom) {
+				t.Errorf("Apply fn error = %v, want boom", err)
+			}
+			if _, ok := n.Get("never"); ok {
+				t.Error("write survived fn error")
+			}
+
+			// Empty key in a batch: rejected, nothing written.
+			err = n.Apply(func(b *Batch) error {
+				b.Put("valid", []byte("x"))
+				b.Put("", []byte("y"))
+				return nil
+			})
+			if err == nil {
+				t.Error("empty key in batch accepted")
+			}
+			if _, ok := n.Get("valid"); ok {
+				t.Error("sibling of invalid op written")
+			}
+
+			// Empty batch: acked no-op.
+			if err := n.Apply(func(b *Batch) error { return nil }); err != nil {
+				t.Errorf("empty batch: %v", err)
+			}
+		})
+	}
+}
+
+func TestNamespaceJSON(t *testing.T) {
+	type mrt struct {
+		Rules []string `json:"rules"`
+	}
+	m := OpenMem()
+	defer m.Close() //nolint:errcheck
+	n := Namespace(m, "t/h1/")
+
+	in := mrt{Rules: []string{"hvac<=24"}}
+	if err := n.PutJSON("imcf/mrt", in); err != nil {
+		t.Fatal(err)
+	}
+	var out mrt
+	if ok, err := n.GetJSON("imcf/mrt", &out); !ok || err != nil {
+		t.Fatalf("GetJSON = %v, %v", ok, err)
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Errorf("round-trip = %+v, want %+v", out, in)
+	}
+	if _, ok := m.Get("t/h1/imcf/mrt"); !ok {
+		t.Error("JSON value not routed through the prefix")
+	}
+}
+
+// TestNamespaceCloseIsNoOp pins the ownership contract: closing a view
+// must not close the shared parent.
+func TestNamespaceCloseIsNoOp(t *testing.T) {
+	m := OpenMem()
+	defer m.Close() //nolint:errcheck
+	n := Namespace(m, "t/h1/")
+	if err := n.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The parent — and other views of it — keep working.
+	if err := m.Put("k2", []byte("v")); err != nil {
+		t.Errorf("parent closed by view Close: %v", err)
+	}
+	if err := Namespace(m, "t/h2/").Put("k", []byte("v")); err != nil {
+		t.Errorf("sibling view broken by Close: %v", err)
+	}
+}
+
+// TestNamespaceProbeAndCompact delegate to the shared parent.
+func TestNamespaceProbeAndCompact(t *testing.T) {
+	db, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close() //nolint:errcheck
+	n := Namespace(db, "t/h1/")
+	if err := n.Probe(); err != nil {
+		t.Errorf("Probe: %v", err)
+	}
+	if err := n.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Compact(); err != nil {
+		t.Errorf("Compact: %v", err)
+	}
+	if _, ok := n.Get("k"); !ok {
+		t.Error("key lost across compaction")
+	}
+}
+
+// TestNamespaceDurability reopens a WAL backend and checks namespaced
+// writes recover under their tenant prefixes.
+func TestNamespaceDurability(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tn := range []string{"h1", "h2"} {
+		if err := Namespace(db, "t/"+tn+"/").Put("imcf/mrt", []byte(tn)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close() //nolint:errcheck
+	for _, tn := range []string{"h1", "h2"} {
+		if v, ok := Namespace(db2, "t/"+tn+"/").Get("imcf/mrt"); !ok || string(v) != tn {
+			t.Errorf("tenant %s recovered %q, %v", tn, v, ok)
+		}
+	}
+}

@@ -41,14 +41,25 @@ go test -run StorePutAllocs -count=1 ./internal/store
 
 # Crash suite: kill-at-every-failpoint recovery for the store (single
 # log and sharded — CrashRecoveryEveryFailpoint matches both) and the
-# decision journal, the cross-shard commit-ordering window, plus the
-# daemon degraded-mode e2e (DESIGN.md §11, §12). Runs without -race
-# first so a durability regression fails fast with the failpoint
-# identified, before the slower race cycle repeats it.
+# decision journal, the cross-shard commit-ordering window, the
+# multi-tenant fleet crash suite (shared-WAL namespaces and per-tenant
+# sharded layouts — a crash mid-fleet-cycle must leave every tenant at
+# a point in its own history), plus the daemon degraded-mode e2e
+# (DESIGN.md §11, §12, §13). Runs without -race first so a durability
+# regression fails fast with the failpoint identified, before the
+# slower race cycle repeats it.
 echo ">> crash suite (kill-at-every-failpoint)"
 go test -count=1 \
-    -run 'CrashRecoveryEveryFailpoint|ShardedCrashBetweenShardCommits|CompactionRenameDurability|FailedCompactionLeavesCleanErrors|JournalCrashRecoveryEveryFailpoint|DaemonDegradedMode' \
+    -run 'CrashRecoveryEveryFailpoint|ShardedCrashBetweenShardCommits|CompactionRenameDurability|FailedCompactionLeavesCleanErrors|JournalCrashRecoveryEveryFailpoint|DaemonDegradedMode|FleetCrashSharedWAL|FleetCrashPerTenantSharded' \
     ./internal/store ./internal/persistence ./internal/daemon
+
+# Tenant-equivalence harness: the multi-home tentpole gate (DESIGN.md
+# §13) — one home hosted solo and hosted as a fleet tenant among noisy
+# neighbors must produce bit-identical journal hashes, event streams,
+# persisted decision logs and recovered store state, at 1 and 8 fleet
+# workers.
+echo ">> tenant-equivalence harness"
+go test -count=1 -run 'FleetTenantEquivalence' ./internal/daemon
 
 echo ">> go test -race ./..."
 go test -race ./...
@@ -73,7 +84,8 @@ fi
 # fault-injection seam the crash suite's guarantees rest on — an
 # untested injector proves nothing about the code it instruments;
 # internal/store carries the durability guarantees every other
-# subsystem builds on.
+# subsystem builds on; internal/fleet is the multi-home scheduler whose
+# determinism the tenant-equivalence proof rests on.
 check_floor() {
     pkg="$1" floor="$2"
     cov=$(echo "$cover_out" | awk -v p="/$pkg\$" '
@@ -96,5 +108,6 @@ check_floor internal/analysis 90
 check_floor internal/journal 90
 check_floor internal/faultfs 90
 check_floor internal/store 90
+check_floor internal/fleet 90
 
 echo "check: OK"
