@@ -21,11 +21,12 @@ race:
 check:
 	./scripts/check.sh
 
-# lint runs the project-native static analyzer (see DESIGN.md §9).
-# Findings not in lint.baseline fail the build; stale baseline entries
-# fail it too.
+# lint runs the project-native static analyzer (see DESIGN.md §9 and
+# §14). Findings not in lint.baseline fail the build; stale baseline
+# entries and stale //imcf:allow waivers fail it too. -timing prints a
+# per-rule cost breakdown.
 lint:
-	$(GO) run ./cmd/imcf-lint ./...
+	$(GO) run ./cmd/imcf-lint -timing ./...
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' ./...

@@ -1,6 +1,7 @@
 // Command imcf-lint runs the project-native static-analysis suite over
 // the module: the noalloc, determinism, metrics-hygiene, err-drop and
-// atomic-mix rules (see internal/analysis).
+// atomic-mix rules plus the CFG-based lockdiscipline, tenantisolation,
+// osbypass and goleak rules (see internal/analysis).
 //
 // Usage:
 //
@@ -8,11 +9,13 @@
 //
 // The positional package pattern is accepted for familiarity; the
 // linter always analyzes the whole module rooted at -C (the rules are
-// module-wide by design).
+// module-wide by design). Rules fan out over -parallel workers;
+// -timing prints a per-rule cost breakdown.
 //
 // Exit status: 0 when clean, 1 when findings remain after baseline
-// filtering, 2 on usage, load or baseline errors (including stale
-// baseline entries for files that no longer exist).
+// filtering, 2 on usage, load or baseline errors — including stale
+// baseline entries for files that no longer exist, and //imcf:allow
+// waivers that suppress no findings.
 package main
 
 import (
@@ -22,6 +25,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 
 	"github.com/imcf/imcf/internal/analysis"
 )
@@ -39,6 +43,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		baselinePath  = fs.String("baseline", "lint.baseline", "baseline file, relative to the module root (absent file = empty baseline)")
 		writeBaseline = fs.Bool("write-baseline", false, "write the current findings to the baseline file and exit 0")
 		listRules     = fs.Bool("list", false, "list the rules and exit")
+		parallel      = fs.Int("parallel", runtime.GOMAXPROCS(0), "worker-pool size for rule×package units")
+		timing        = fs.Bool("timing", false, "print per-rule execution time")
 	)
 	enabled := make(map[string]*bool, len(analysis.AllRules()))
 	for _, r := range analysis.AllRules() {
@@ -68,12 +74,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	var rules []analysis.Rule
+	var ruleNames []string
 	for _, r := range analysis.AllRules() {
 		if *enabled[r.Name()] {
 			rules = append(rules, r)
+			ruleNames = append(ruleNames, r.Name())
 		}
 	}
-	findings := analysis.Run(mod, rules)
+	rep := analysis.NewReporter(mod)
+	perRule := analysis.RunWith(rep, mod, rules, *parallel)
+	findings := rep.Findings()
+	if *timing {
+		for _, name := range ruleNames {
+			fmt.Fprintf(stderr, "imcf-lint: %-16s %8.1fms\n", name, float64(perRule[name].Microseconds())/1000)
+		}
+	}
 
 	blPath := *baselinePath
 	if !filepath.IsAbs(blPath) {
@@ -97,6 +112,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "imcf-lint: stale baseline entry: %s no longer exists\n", f)
 		}
 		fmt.Fprintf(stderr, "imcf-lint: regenerate the baseline with -write-baseline\n")
+		return 2
+	}
+	// A waiver that suppresses nothing has outlived the code it
+	// excuses: like a stale baseline entry, it must be deleted, not
+	// left to silence a future finding nobody audited.
+	if stale := rep.StaleWaivers(ruleNames); len(stale) > 0 {
+		for _, w := range stale {
+			fmt.Fprintf(stderr, "imcf-lint: stale waiver: %s suppresses no findings; delete it\n", w)
+		}
 		return 2
 	}
 	remaining := baseline.Filter(findings)

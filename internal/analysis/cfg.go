@@ -1,0 +1,357 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// This file implements the per-function control-flow graph the
+// flow-sensitive rules (lockdiscipline, tenantisolation) are built on.
+// The graph is deliberately lightweight: basic blocks over the
+// statement list, with the control constructs — if/for/range/switch/
+// type-switch/select/return/break/continue/goto/labeled — lowered to
+// edges. Composite statements are never placed in a block themselves;
+// instead their evaluated parts (an if's init statement and condition,
+// a for's post statement, a case clause's expressions, a select
+// clause's communication) are placed as leaf nodes in the block where
+// they execute, so a transfer function can fold over Block.Nodes
+// without ever re-entering a subtree that belongs to another block.
+// Function literals are likewise opaque leaves: each FuncLit body is
+// analyzed as its own CFG by the rules.
+
+// Block is one basic block: a straight-line run of leaf nodes
+// (statements and header expressions) with edges to its successors.
+type Block struct {
+	Index int
+	// Nodes are the leaf statements and control-header expressions
+	// executed in order when the block runs.
+	Nodes []ast.Node
+	// Succs are the indices of the possible successor blocks.
+	Succs []int
+}
+
+// CFG is the control-flow graph of one function body. Blocks[Entry] is
+// where execution starts; Blocks[Exit] is a synthetic, empty block
+// every return (and the implicit end-of-body fall-off) flows to.
+type CFG struct {
+	Blocks []*Block
+	Exit   int
+	// FallsThrough is the block whose implicit end-of-body edge feeds
+	// Exit, or -1 when the body ends in a terminating statement. When
+	// the block is reachable, control can fall off the closing brace
+	// with that block's out-state.
+	FallsThrough int
+}
+
+const cfgEntry = 0
+
+// Reachable returns the set of blocks reachable from the entry.
+func (c *CFG) Reachable() []bool {
+	seen := make([]bool, len(c.Blocks))
+	stack := []int{cfgEntry}
+	seen[cfgEntry] = true
+	for len(stack) > 0 {
+		i := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range c.Blocks[i].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+// branchTarget is one enclosing construct break/continue can jump to.
+type branchTarget struct {
+	label      string
+	breakTo    int
+	continueTo int // -1 for switch/select (not a loop)
+}
+
+type pendingGoto struct {
+	from  int
+	label string
+}
+
+type cfgBuilder struct {
+	cfg *CFG
+	cur int
+	// targets is the stack of enclosing breakable constructs.
+	targets []branchTarget
+	// fallTo is the stack of fallthrough targets inside switch clauses.
+	fallTo []int
+	labels map[string]int
+	gotos  []pendingGoto
+	// curLabel is the label attached to the construct about to be
+	// built, consumed by the next loop/switch/select.
+	curLabel string
+}
+
+// BuildCFG lowers a function body to basic blocks.
+func BuildCFG(body *ast.BlockStmt) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{FallsThrough: -1},
+		labels: make(map[string]int),
+	}
+	b.newBlock() // entry
+	exit := b.newBlock()
+	b.cfg.Exit = exit
+	b.cur = cfgEntry
+	b.stmtList(body.List)
+	// Implicit return at the closing brace.
+	b.cfg.FallsThrough = b.cur
+	b.edge(b.cur, exit)
+	for _, g := range b.gotos {
+		if to, ok := b.labels[g.label]; ok {
+			b.edge(g.from, to)
+		}
+	}
+	return b.cfg
+}
+
+func (b *cfgBuilder) newBlock() int {
+	i := len(b.cfg.Blocks)
+	b.cfg.Blocks = append(b.cfg.Blocks, &Block{Index: i})
+	return i
+}
+
+func (b *cfgBuilder) edge(from, to int) {
+	blk := b.cfg.Blocks[from]
+	for _, s := range blk.Succs {
+		if s == to {
+			return
+		}
+	}
+	blk.Succs = append(blk.Succs, to)
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	blk := b.cfg.Blocks[b.cur]
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+// takeLabel consumes the pending label for the construct being built.
+func (b *cfgBuilder) takeLabel() string {
+	l := b.curLabel
+	b.curLabel = ""
+	return l
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		b.switchStmt(s.Init, s.Tag, nil, s.Body)
+	case *ast.TypeSwitchStmt:
+		b.switchStmt(s.Init, nil, s.Assign, s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.ReturnStmt:
+		b.add(s)
+		b.edge(b.cur, b.cfg.Exit)
+		b.cur = b.newBlock() // anything after is dead
+	case *ast.BranchStmt:
+		b.branchStmt(s)
+	case *ast.LabeledStmt:
+		blk := b.newBlock()
+		b.edge(b.cur, blk)
+		b.cur = blk
+		b.labels[s.Label.Name] = blk
+		b.curLabel = s.Label.Name
+		b.stmt(s.Stmt)
+		b.curLabel = ""
+	default:
+		// Leaf statement: assignments, declarations, expression
+		// statements, defer, go, send, inc/dec, empty.
+		b.add(s)
+	}
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	b.add(s.Init)
+	b.add(s.Cond)
+	cond := b.cur
+	then := b.newBlock()
+	b.edge(cond, then)
+	b.cur = then
+	b.stmtList(s.Body.List)
+	thenEnd := b.cur
+	after := b.newBlock()
+	b.edge(thenEnd, after)
+	if s.Else != nil {
+		els := b.newBlock()
+		b.edge(cond, els)
+		b.cur = els
+		b.stmt(s.Else)
+		b.edge(b.cur, after)
+	} else {
+		b.edge(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.takeLabel()
+	b.add(s.Init)
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	after := b.newBlock()
+	contTo := head
+	post := -1
+	if s.Post != nil {
+		post = b.newBlock()
+		contTo = post
+	}
+	b.cur = head
+	if s.Cond != nil {
+		b.add(s.Cond)
+		b.edge(head, after) // condition false
+	}
+	body := b.newBlock()
+	b.edge(head, body)
+	b.targets = append(b.targets, branchTarget{label, after, contTo})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.targets = b.targets[:len(b.targets)-1]
+	if post >= 0 {
+		b.edge(b.cur, post)
+		b.cur = post
+		b.add(s.Post)
+	}
+	b.edge(b.cur, head)
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.takeLabel()
+	head := b.newBlock()
+	b.edge(b.cur, head)
+	b.cur = head
+	b.add(s.X)
+	after := b.newBlock()
+	b.edge(head, after) // exhausted
+	body := b.newBlock()
+	b.edge(head, body)
+	b.targets = append(b.targets, branchTarget{label, after, head})
+	b.cur = body
+	b.stmtList(s.Body.List)
+	b.targets = b.targets[:len(b.targets)-1]
+	b.edge(b.cur, head)
+	b.cur = after
+}
+
+// switchStmt lowers expression and type switches: tag is the switch
+// expression (nil for type switches), assign the type switch's guard.
+func (b *cfgBuilder) switchStmt(init ast.Stmt, tag ast.Expr, assign ast.Stmt, body *ast.BlockStmt) {
+	label := b.takeLabel()
+	b.add(init)
+	if tag != nil {
+		b.add(tag)
+	}
+	b.add(assign)
+	head := b.cur
+	after := b.newBlock()
+	// Create every clause block first so fallthrough can target the
+	// lexically next clause.
+	var clauses []*ast.CaseClause
+	blocks := make([]int, 0, len(body.List))
+	hasDefault := false
+	for _, cs := range body.List {
+		cc := cs.(*ast.CaseClause)
+		clauses = append(clauses, cc)
+		blk := b.newBlock()
+		b.edge(head, blk)
+		blocks = append(blocks, blk)
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after) // no case matched
+	}
+	b.targets = append(b.targets, branchTarget{label, after, -1})
+	for i, cc := range clauses {
+		b.cur = blocks[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		fall := -1
+		if i+1 < len(blocks) {
+			fall = blocks[i+1]
+		}
+		b.fallTo = append(b.fallTo, fall)
+		b.stmtList(cc.Body)
+		b.fallTo = b.fallTo[:len(b.fallTo)-1]
+		b.edge(b.cur, after)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.takeLabel()
+	head := b.cur
+	after := b.newBlock()
+	b.targets = append(b.targets, branchTarget{label, after, -1})
+	for _, cs := range s.Body.List {
+		cc := cs.(*ast.CommClause)
+		blk := b.newBlock()
+		b.edge(head, blk)
+		b.cur = blk
+		b.add(cc.Comm)
+		b.stmtList(cc.Body)
+		b.edge(b.cur, after)
+	}
+	b.targets = b.targets[:len(b.targets)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) branchStmt(s *ast.BranchStmt) {
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.BREAK:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if label == "" || t.label == label {
+				b.edge(b.cur, t.breakTo)
+				break
+			}
+		}
+	case token.CONTINUE:
+		for i := len(b.targets) - 1; i >= 0; i-- {
+			t := b.targets[i]
+			if t.continueTo >= 0 && (label == "" || t.label == label) {
+				b.edge(b.cur, t.continueTo)
+				break
+			}
+		}
+	case token.GOTO:
+		b.gotos = append(b.gotos, pendingGoto{b.cur, label})
+	case token.FALLTHROUGH:
+		if n := len(b.fallTo); n > 0 && b.fallTo[n-1] >= 0 {
+			b.edge(b.cur, b.fallTo[n-1])
+		}
+	}
+	b.cur = b.newBlock() // anything after the jump is dead
+}

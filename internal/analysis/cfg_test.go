@@ -1,0 +1,299 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// parseBody parses `func f() { <src> }` and returns the body with its
+// fileset.
+func parseBody(t *testing.T, src string) (*token.FileSet, *ast.BlockStmt) {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "cfg.go", "package p\nfunc f() {\n"+src+"\n}", 0)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return fset, file.Decls[len(file.Decls)-1].(*ast.FuncDecl).Body
+}
+
+// renderCFG prints the graph compactly, one reachable block per line:
+//
+//	b0[<node kinds>] -> b2 b3
+//
+// Node kinds are the ast type names with the "ast." prefix and "Stmt"/
+// "Expr" suffixes stripped, so expectations read naturally.
+func renderCFG(c *CFG) string {
+	reach := c.Reachable()
+	var sb strings.Builder
+	for i, blk := range c.Blocks {
+		if !reach[i] {
+			continue
+		}
+		kinds := make([]string, len(blk.Nodes))
+		for j, n := range blk.Nodes {
+			name := fmt.Sprintf("%T", n)
+			name = strings.TrimPrefix(name, "*ast.")
+			name = strings.TrimSuffix(name, "Stmt")
+			kinds[j] = name
+		}
+		succs := append([]int(nil), blk.Succs...)
+		sort.Ints(succs)
+		var ss []string
+		for _, s := range succs {
+			if reach[s] {
+				ss = append(ss, fmt.Sprintf("b%d", s))
+			}
+		}
+		fmt.Fprintf(&sb, "b%d[%s] -> %s\n", i, strings.Join(kinds, " "), strings.Join(ss, " "))
+	}
+	return sb.String()
+}
+
+// TestBuildCFGShapes pins the block/edge structure per control
+// construct. Block b1 is always the synthetic exit.
+func TestBuildCFGShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "straightline",
+			src:  "x := 1\nx++",
+			want: "b0[Assign IncDec] -> b1\nb1[] -> \n",
+		},
+		{
+			name: "if",
+			src:  "x := 1\nif x > 0 {\n x--\n}\nx++",
+			// cond block -> then(b2) and after(b3); then -> after.
+			want: "b0[Assign BinaryExpr] -> b2 b3\nb1[] -> \nb2[IncDec] -> b3\nb3[IncDec] -> b1\n",
+		},
+		{
+			name: "if-else",
+			src:  "x := 1\nif x > 0 {\n x--\n} else {\n x++\n}",
+			want: "b0[Assign BinaryExpr] -> b2 b4\nb1[] -> \nb2[IncDec] -> b3\nb3[] -> b1\nb4[IncDec] -> b3\n",
+		},
+		{
+			name: "if-init",
+			src:  "if x := 1; x > 0 {\n x--\n}",
+			want: "b0[Assign BinaryExpr] -> b2 b3\nb1[] -> \nb2[IncDec] -> b3\nb3[] -> b1\n",
+		},
+		{
+			name: "for-cond-post",
+			src:  "for i := 0; i < 3; i++ {\n _ = i\n}",
+			// init(b0) -> head(b2); head -> after(b3) | body(b5);
+			// body -> post(b4) -> head.
+			want: "b0[Assign] -> b2\nb1[] -> \nb2[BinaryExpr] -> b3 b5\nb3[] -> b1\nb4[IncDec] -> b2\nb5[Assign] -> b4\n",
+		},
+		{
+			name: "for-infinite",
+			src:  "for {\n _ = 1\n}",
+			// No cond: after-block b3 is unreachable, exit too.
+			want: "b0[] -> b2\nb2[] -> b4\nb4[Assign] -> b2\n",
+		},
+		{
+			name: "for-break",
+			src:  "for {\n break\n}\n_ = 1",
+			// No condition, so the break edge is the loop's only exit:
+			// head(b2) -> body(b4) -> after(b3).
+			want: "b0[] -> b2\nb1[] -> \nb2[] -> b4\nb3[Assign] -> b1\nb4[] -> b3\n",
+		},
+		{
+			name: "range",
+			src:  "s := []int{1}\nfor _, v := range s {\n _ = v\n}",
+			// head(b2) evaluates s; -> after(b3) | body(b4); body -> head.
+			want: "b0[Assign] -> b2\nb1[] -> \nb2[Ident] -> b3 b4\nb3[] -> b1\nb4[Assign] -> b2\n",
+		},
+		{
+			name: "switch-fallthrough-default",
+			src:  "x := 1\nswitch x {\ncase 1:\n x--\n fallthrough\ncase 2:\n x++\ndefault:\n x = 0\n}",
+			// head -> each clause; clause 1 ends in fallthrough so it
+			// transfers to clause 2 unconditionally (no edge to after);
+			// default present so head has no edge to after either.
+			want: "b0[Assign Ident] -> b3 b4 b5\nb1[] -> \nb2[] -> b1\nb3[BasicLit IncDec] -> b4\nb4[BasicLit IncDec] -> b2\nb5[Assign] -> b2\n",
+		},
+		{
+			name: "typeswitch",
+			src:  "var v any = 1\nswitch v.(type) {\ncase int:\n _ = 1\n}",
+			// The bare guard is an ExprStmt; no default, so head also
+			// edges to after(b2).
+			want: "b0[Decl Expr] -> b2 b3\nb1[] -> \nb2[] -> b1\nb3[Ident Assign] -> b2\n",
+		},
+		{
+			name: "select",
+			src:  "ch := make(chan int)\nselect {\ncase v := <-ch:\n _ = v\ndefault:\n}",
+			want: "b0[Assign] -> b3 b4\nb1[] -> \nb2[] -> b1\nb3[Assign Assign] -> b2\nb4[] -> b2\n",
+		},
+		{
+			name: "early-return",
+			src:  "x := 1\nif x > 0 {\n return\n}\nx++",
+			// The return edges to exit; the block after it is dead.
+			want: "b0[Assign BinaryExpr] -> b2 b4\nb1[] -> \nb2[Return] -> b1\nb4[IncDec] -> b1\n",
+		},
+		{
+			name: "labeled-continue",
+			src:  "outer:\nfor i := 0; i < 2; i++ {\n for {\n  continue outer\n }\n}",
+			want: "b0[] -> b2\nb1[] -> \nb2[Assign] -> b3\nb3[BinaryExpr] -> b4 b6\nb4[] -> b1\nb5[IncDec] -> b3\nb6[] -> b7\nb7[] -> b9\nb9[] -> b5\n",
+		},
+		{
+			name: "goto",
+			src:  "x := 1\nagain:\nx++\nif x < 3 {\n goto again\n}",
+			// The goto resolves to the labeled block b2; b4 is the dead
+			// block allocated after the jump, so "after" lands at b5.
+			want: "b0[Assign] -> b2\nb1[] -> \nb2[IncDec BinaryExpr] -> b3 b5\nb3[] -> b2\nb5[] -> b1\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, body := parseBody(t, tc.src)
+			got := renderCFG(BuildCFG(body))
+			if got != tc.want {
+				t.Errorf("CFG diverges:\n--- got ---\n%s--- want ---\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestBuildCFGFallsThrough pins the implicit-return bookkeeping: the
+// falls-through block must be reachable and feed the exit exactly when
+// control can run off the closing brace.
+func TestBuildCFGFallsThrough(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string
+		reachable bool
+	}{
+		{"plain", "x := 1\n_ = x", true},
+		{"terminated", "return", false},
+		{"infinite-loop", "for {\n}", false},
+		{"branchy", "x := 1\nif x > 0 {\n return\n}", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, body := parseBody(t, tc.src)
+			c := BuildCFG(body)
+			if c.FallsThrough < 0 {
+				t.Fatal("FallsThrough must always record the end-of-body block")
+			}
+			reach := c.Reachable()
+			if got := reach[c.FallsThrough]; got != tc.reachable {
+				t.Errorf("falls-through reachable = %v, want %v", got, tc.reachable)
+			}
+			found := false
+			for _, s := range c.Blocks[c.FallsThrough].Succs {
+				if s == c.Exit {
+					found = true
+				}
+			}
+			if !found {
+				t.Error("falls-through block must edge to the exit")
+			}
+		})
+	}
+}
+
+// referenceLeaves walks a body the way the builder is specified to:
+// every statement that is not a composite control construct (and not
+// inside a function literal) is a leaf the CFG must place. Branch and
+// labeled statements lower to edges/blocks, not nodes.
+func referenceLeaves(body *ast.BlockStmt) []ast.Stmt {
+	var out []ast.Stmt
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		s, ok := n.(ast.Stmt)
+		if !ok {
+			return true
+		}
+		switch s.(type) {
+		case *ast.BlockStmt, *ast.IfStmt, *ast.ForStmt, *ast.RangeStmt,
+			*ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt,
+			*ast.CaseClause, *ast.CommClause, *ast.LabeledStmt, *ast.BranchStmt:
+			return true
+		}
+		out = append(out, s)
+		return true
+	})
+	return out
+}
+
+// cfgProperties asserts the structural invariants every CFG must hold:
+// each leaf statement is placed in exactly one block, successors are
+// in range, the exit block is empty and terminal, and every reachable
+// block either reaches the exit or sits on a cycle (an infinite loop).
+func cfgProperties(t *testing.T, label string, body *ast.BlockStmt) {
+	t.Helper()
+	c := BuildCFG(body)
+	placed := make(map[ast.Node]int)
+	for _, blk := range c.Blocks {
+		for _, n := range blk.Nodes {
+			placed[n]++
+			if placed[n] > 1 {
+				t.Errorf("%s: node %T placed in more than one block", label, n)
+			}
+		}
+		for _, s := range blk.Succs {
+			if s < 0 || s >= len(c.Blocks) {
+				t.Fatalf("%s: successor %d out of range", label, s)
+			}
+		}
+	}
+	for _, leaf := range referenceLeaves(body) {
+		if placed[leaf] != 1 {
+			t.Errorf("%s: leaf %T placed %d times, want exactly once", label, leaf, placed[leaf])
+		}
+	}
+	exit := c.Blocks[c.Exit]
+	if len(exit.Nodes) != 0 || len(exit.Succs) != 0 {
+		t.Errorf("%s: exit block must be empty and terminal", label)
+	}
+	// Reverse-reachability from exit; blocks that cannot reach the exit
+	// must be on (or lead to) a cycle — they always have a successor.
+	reachesExit := make([]bool, len(c.Blocks))
+	reachesExit[c.Exit] = true
+	for changed := true; changed; {
+		changed = false
+		for i, blk := range c.Blocks {
+			if reachesExit[i] {
+				continue
+			}
+			for _, s := range blk.Succs {
+				if reachesExit[s] {
+					reachesExit[i] = true
+					changed = true
+					break
+				}
+			}
+		}
+	}
+	for i, ok := range c.Reachable() {
+		if !ok || reachesExit[i] {
+			continue
+		}
+		if len(c.Blocks[i].Succs) == 0 {
+			t.Errorf("%s: reachable block b%d neither reaches exit nor continues a cycle", label, i)
+		}
+	}
+}
+
+// TestCFGProperties runs the structural invariants over every function
+// and literal in the fixture module — the same corpus the rules
+// analyze, including the infinite-loop goroutine fixtures.
+func TestCFGProperties(t *testing.T) {
+	m := loadFixtures(t)
+	for _, pkg := range m.Pkgs {
+		for _, f := range pkg.Files {
+			for _, u := range funcUnits(f) {
+				pos := m.Fset.Position(u.body.Pos())
+				cfgProperties(t, fmt.Sprintf("%s:%d %s", pos.Filename, pos.Line, u.name), u.body)
+			}
+		}
+	}
+}

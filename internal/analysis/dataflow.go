@@ -1,0 +1,46 @@
+package analysis
+
+// forwardFlow runs a forward dataflow analysis over a CFG to fixpoint
+// and returns the entry state of every block (unreached blocks keep
+// the zero S). The client supplies the lattice:
+//
+//	clone    deep-copies a state (states are mutated in place)
+//	merge    joins src into dst, reporting whether dst changed
+//	transfer folds one block's nodes over a state and returns the
+//	         block's out-state (it may mutate and return its argument)
+//
+// The worklist is FIFO over block indices, so iteration order — and
+// therefore termination behavior — is deterministic. Termination
+// requires merge to be monotone over a finite lattice, which all the
+// rule lattices (finite sets of lock keys / variable objects) are.
+func forwardFlow[S any](c *CFG, entry S, clone func(S) S, merge func(dst, src S) bool, transfer func(*Block, S) S) []S {
+	n := len(c.Blocks)
+	in := make([]S, n)
+	seen := make([]bool, n)
+	queued := make([]bool, n)
+	in[cfgEntry] = entry
+	seen[cfgEntry] = true
+	work := []int{cfgEntry}
+	queued[cfgEntry] = true
+	for len(work) > 0 {
+		i := work[0]
+		work = work[1:]
+		queued[i] = false
+		out := transfer(c.Blocks[i], clone(in[i]))
+		for _, s := range c.Blocks[i].Succs {
+			changed := false
+			if !seen[s] {
+				seen[s] = true
+				in[s] = clone(out)
+				changed = true
+			} else if merge(in[s], out) {
+				changed = true
+			}
+			if changed && !queued[s] {
+				work = append(work, s)
+				queued[s] = true
+			}
+		}
+	}
+	return in
+}

@@ -29,14 +29,14 @@ func (errDropRule) Doc() string {
 	return "serving-path packages must not discard error returns"
 }
 
-func (errDropRule) Check(m *Module, rep *Reporter) {
-	for _, pkg := range m.Pkgs {
-		if !inAnyScope(pkg, errDropPackages) {
-			continue
-		}
-		for _, f := range pkg.Files {
-			checkErrDropFile(pkg.Info, rep, f)
-		}
+func (r errDropRule) Check(m *Module, rep *Reporter) { checkEachPackage(r, m, rep) }
+
+func (errDropRule) CheckPackage(m *Module, pkg *Package, rep *Reporter) {
+	if !inAnyScope(pkg, errDropPackages) {
+		return
+	}
+	for _, f := range pkg.Files {
+		checkErrDropFile(pkg.Info, rep, f)
 	}
 }
 

@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// funcUnit is one unit of intraprocedural analysis: a declared
+// function's body or a function literal's body. Literals are separate
+// units because they execute on their own goroutine/schedule — flow
+// state never crosses the literal boundary.
+type funcUnit struct {
+	name string
+	decl *ast.FuncDecl // nil for literals
+	body *ast.BlockStmt
+}
+
+// callerHolds reports whether the unit participates in the repo's
+// "*Locked" naming convention: the caller already holds the guarding
+// mutex, so the body runs with a lock held that it must not release.
+func (u funcUnit) callerHolds() bool {
+	return u.decl != nil && strings.HasSuffix(u.decl.Name.Name, "Locked")
+}
+
+// funcUnits enumerates a file's analysis units: every declared function
+// with a body, then every function literal (wherever it is nested).
+func funcUnits(f *ast.File) []funcUnit {
+	var units []funcUnit
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			units = append(units, funcUnit{funcName(fd), fd, fd.Body})
+		}
+	}
+	ast.Inspect(f, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok {
+			units = append(units, funcUnit{"function literal", nil, fl.Body})
+		}
+		return true
+	})
+	return units
+}
+
+// walkLeaf visits the subtree of one CFG leaf node in source order,
+// skipping function literals (they are separate units). fn returns
+// whether to descend into the visited node's children.
+func walkLeaf(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(x ast.Node) bool {
+		if x == nil {
+			return false
+		}
+		if _, isLit := x.(*ast.FuncLit); isLit {
+			return false
+		}
+		return fn(x)
+	})
+}
+
+// methodRecvType resolves a method-call selector's receiver type to
+// its named type's package path and type name (pointers dereferenced).
+// ok=false for non-method selections and unnamed receivers.
+func methodRecvType(info *types.Info, sel *ast.SelectorExpr) (pkgPath, name string, ok bool) {
+	s, isSel := info.Selections[sel]
+	if !isSel || s.Kind() != types.MethodVal {
+		return "", "", false
+	}
+	t := s.Recv()
+	if p, isPtr := t.Underlying().(*types.Pointer); isPtr {
+		t = p.Elem()
+	}
+	named, isNamed := t.(*types.Named)
+	if !isNamed {
+		return "", "", false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name(), true
+	}
+	return obj.Pkg().Path(), obj.Name(), true
+}
+
+// pkgPathInScope reports whether a package path denotes the project
+// subtree, by exact or "/"-suffix match (mirrors Package.InScope for
+// arbitrary import paths, so fixture modules match too).
+func pkgPathInScope(path, subtree string) bool {
+	return path == subtree || strings.HasSuffix(path, "/"+subtree)
+}

@@ -1,0 +1,315 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockPackages are the subtrees whose mutex usage the rule audits: the
+// storage engine and its persistence/journal satellites, the serving
+// daemon/controller, the fleet scheduler, the cloud relay and the
+// firewall. These are the packages where a mutex held across blocking
+// I/O stalls every concurrent writer — the precise failure mode the
+// group-commit engine exists to avoid.
+var lockPackages = []string{
+	"internal/store",
+	"internal/persistence",
+	"internal/daemon",
+	"internal/controller",
+	"internal/fleet",
+	"internal/cloud",
+	"internal/journal",
+	"internal/firewall",
+}
+
+// lockDisciplineRule is the flow-sensitive mutex audit. Per function it
+// runs a may-analysis of held lock keys over the CFG and reports three
+// shapes:
+//
+//   - a blocking operation (fsync, file/socket I/O, HTTP, channel
+//     send/receive, WaitGroup/Cond wait, time.Sleep) reachable with a
+//     mutex held on some path;
+//   - a return (or the closing brace) reachable with a
+//     function-acquired lock held and no deferred unlock;
+//   - a second Lock of a key that may already be held (self-deadlock).
+//
+// Functions named "*Locked" follow the repo convention that the caller
+// holds the guarding mutex: they are seeded with a synthetic held lock
+// (so blocking I/O inside them is still flagged) but are exempt from
+// the unlock-before-return check. The group-commit leader is the one
+// audited place allowed to hold db.mu across its batch fsync; it
+// carries //imcf:allow waivers explaining why.
+type lockDisciplineRule struct{}
+
+func (lockDisciplineRule) Name() string { return RuleLockDiscipline }
+func (lockDisciplineRule) Doc() string {
+	return "no mutex held across blocking I/O, no early return with a lock held, no double-lock (serving + storage packages)"
+}
+
+func (r lockDisciplineRule) Check(m *Module, rep *Reporter) { checkEachPackage(r, m, rep) }
+
+func (lockDisciplineRule) CheckPackage(m *Module, pkg *Package, rep *Reporter) {
+	if !inAnyScope(pkg, lockPackages) {
+		return
+	}
+	for _, f := range pkg.Files {
+		for _, u := range funcUnits(f) {
+			checkLockFunc(pkg.Info, rep, u)
+		}
+	}
+}
+
+// callerHeldKey is the synthetic lock seeded into "*Locked" functions.
+const callerHeldKey = "w:<caller>"
+
+// lockState is the per-block dataflow fact: the set of lock keys that
+// may be held, and the set with a deferred unlock registered. Keys are
+// mode-qualified receiver expressions ("w:db.mu", "r:db.mu") so read
+// and write holds of an RWMutex are tracked independently.
+type lockState struct {
+	held     map[string]bool
+	deferred map[string]bool
+}
+
+func newLockState() *lockState {
+	return &lockState{held: make(map[string]bool), deferred: make(map[string]bool)}
+}
+
+func cloneLockState(s *lockState) *lockState {
+	c := newLockState()
+	for k := range s.held {
+		c.held[k] = true
+	}
+	for k := range s.deferred {
+		c.deferred[k] = true
+	}
+	return c
+}
+
+// mergeLockState unions src into dst (may-analysis join).
+func mergeLockState(dst, src *lockState) bool {
+	changed := false
+	for k := range src.held {
+		if !dst.held[k] {
+			dst.held[k] = true
+			changed = true
+		}
+	}
+	for k := range src.deferred {
+		if !dst.deferred[k] {
+			dst.deferred[k] = true
+			changed = true
+		}
+	}
+	return changed
+}
+
+// lockDisplay renders a lock key for messages.
+func lockDisplay(key string) string {
+	if key == callerHeldKey {
+		return "the caller-held lock (*Locked convention)"
+	}
+	mode, expr, _ := strings.Cut(key, ":")
+	if mode == "r" {
+		return expr + " (read-locked)"
+	}
+	return expr
+}
+
+func sortedHeld(s *lockState) []string {
+	keys := make([]string, 0, len(s.held))
+	for k := range s.held {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func checkLockFunc(info *types.Info, rep *Reporter, u funcUnit) {
+	cfg := BuildCFG(u.body)
+	entry := newLockState()
+	if u.callerHolds() {
+		entry.held[callerHeldKey] = true
+	}
+	transfer := func(b *Block, s *lockState) *lockState {
+		return transferLock(info, b, s, nil)
+	}
+	ins := forwardFlow(cfg, entry, cloneLockState, mergeLockState, transfer)
+	reach := cfg.Reachable()
+	for i, blk := range cfg.Blocks {
+		if !reach[i] || ins[i] == nil {
+			continue
+		}
+		transferLock(info, blk, cloneLockState(ins[i]), rep)
+	}
+	// Implicit return at the closing brace: a function-acquired lock
+	// still held there leaks on the fall-off path.
+	if ft := cfg.FallsThrough; ft >= 0 && reach[ft] && ins[ft] != nil {
+		out := transferLock(info, cfg.Blocks[ft], cloneLockState(ins[ft]), nil)
+		reportLeakedLocks(rep, u.body.Rbrace, out)
+	}
+}
+
+// transferLock folds one block over the lock state; with rep non-nil it
+// additionally reports violations (the post-fixpoint reporting pass).
+func transferLock(info *types.Info, b *Block, s *lockState, rep *Reporter) *lockState {
+	for _, n := range b.Nodes {
+		if d, isDefer := n.(*ast.DeferStmt); isDefer {
+			registerDeferredUnlocks(info, d, s)
+			continue
+		}
+		walkLeaf(n, func(x ast.Node) bool {
+			if rep != nil && len(s.held) > 0 {
+				if what, blocking := blockingOp(info, x); blocking {
+					for _, k := range sortedHeld(s) {
+						rep.Report(x.Pos(), RuleLockDiscipline,
+							"%s held across %s", lockDisplay(k), what)
+					}
+				}
+			}
+			if call, isCall := x.(*ast.CallExpr); isCall {
+				applyLockOp(info, call, s, rep)
+			}
+			if ret, isRet := x.(*ast.ReturnStmt); isRet && rep != nil {
+				reportLeakedLocks(rep, ret.Pos(), s)
+			}
+			return true
+		})
+	}
+	return s
+}
+
+// registerDeferredUnlocks records deferred Unlock/RUnlock calls — both
+// the direct `defer mu.Unlock()` form and unlocks inside a deferred
+// function literal.
+func registerDeferredUnlocks(info *types.Info, d *ast.DeferStmt, s *lockState) {
+	record := func(call *ast.CallExpr) {
+		if key, locks, _ := lockOpKey(info, call); key != "" && !locks {
+			s.deferred[key] = true
+		}
+	}
+	record(d.Call)
+	if lit, isLit := d.Call.Fun.(*ast.FuncLit); isLit {
+		ast.Inspect(lit.Body, func(x ast.Node) bool {
+			if call, isCall := x.(*ast.CallExpr); isCall {
+				record(call)
+			}
+			return true
+		})
+	}
+}
+
+// applyLockOp mutates the state for one call; with rep non-nil it also
+// reports double-locks.
+func applyLockOp(info *types.Info, call *ast.CallExpr, s *lockState, rep *Reporter) {
+	key, locks, try := lockOpKey(info, call)
+	if key == "" {
+		return
+	}
+	if locks {
+		if rep != nil && s.held[key] && !try {
+			rep.Report(call.Pos(), RuleLockDiscipline,
+				"%s locked again while possibly already held (self-deadlock)", lockDisplay(key))
+		}
+		s.held[key] = true
+		return
+	}
+	delete(s.held, key)
+}
+
+// lockOpKey classifies a call as a mutex operation: it returns the
+// mode-qualified lock key ("" for non-lock calls), whether the call
+// acquires (vs releases), and whether it is a Try variant.
+func lockOpKey(info *types.Info, call *ast.CallExpr) (key string, locks, try bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", false, false
+	}
+	var mode string
+	switch sel.Sel.Name {
+	case "Lock", "TryLock", "Unlock":
+		mode = "w"
+	case "RLock", "TryRLock", "RUnlock":
+		mode = "r"
+	default:
+		return "", false, false
+	}
+	pkgPath, typeName, ok := methodRecvType(info, sel)
+	if !ok || pkgPath != "sync" || (typeName != "Mutex" && typeName != "RWMutex") {
+		return "", false, false
+	}
+	name := sel.Sel.Name
+	return mode + ":" + types.ExprString(sel.X),
+		name != "Unlock" && name != "RUnlock",
+		strings.HasPrefix(name, "Try")
+}
+
+// reportLeakedLocks flags locks held at a return site with no deferred
+// unlock registered on the path. The synthetic caller-held lock is the
+// caller's to release.
+func reportLeakedLocks(rep *Reporter, pos token.Pos, s *lockState) {
+	for _, k := range sortedHeld(s) {
+		if k == callerHeldKey || s.deferred[k] {
+			continue
+		}
+		rep.Report(pos, RuleLockDiscipline,
+			"return reachable with %s still held and no deferred unlock", lockDisplay(k))
+	}
+}
+
+// blockingMethodRecvPkgs are the packages whose Read/Write-shaped
+// methods denote real file or socket I/O.
+func blockingRecvPkg(pkgPath string) bool {
+	return pkgPath == "os" || pkgPath == "net" || pkgPath == "net/http" ||
+		pkgPathInScope(pkgPath, "internal/faultfs")
+}
+
+// blockingOp classifies a node as an operation that can block or touch
+// durable media: fsyncs, file/socket I/O, HTTP round-trips, channel
+// operations, WaitGroup/Cond waits and sleeps.
+func blockingOp(info *types.Info, n ast.Node) (string, bool) {
+	switch x := n.(type) {
+	case *ast.SendStmt:
+		return "a channel send", true
+	case *ast.UnaryExpr:
+		if x.Op == token.ARROW {
+			return "a channel receive", true
+		}
+	case *ast.CallExpr:
+		if pkgPath, fn, ok := pkgFuncCall(info, x); ok {
+			if pkgPath == "time" && fn == "Sleep" {
+				return "time.Sleep", true
+			}
+			if pkgPath == "net/http" {
+				return "the HTTP call http." + fn, true
+			}
+			return "", false
+		}
+		sel, isSel := x.Fun.(*ast.SelectorExpr)
+		if !isSel {
+			return "", false
+		}
+		name := sel.Sel.Name
+		switch name {
+		case "Sync", "SyncDir":
+			return types.ExprString(sel) + " (fsync)", true
+		}
+		pkgPath, typeName, ok := methodRecvType(info, sel)
+		if !ok {
+			return "", false
+		}
+		if name == "Wait" && pkgPath == "sync" && (typeName == "WaitGroup" || typeName == "Cond") {
+			return "sync." + typeName + ".Wait", true
+		}
+		switch name {
+		case "Read", "ReadAt", "ReadFrom", "Write", "WriteAt", "WriteTo", "WriteString", "Do":
+			if blockingRecvPkg(pkgPath) {
+				return types.ExprString(sel) + " (blocking I/O)", true
+			}
+		}
+	}
+	return "", false
+}

@@ -31,16 +31,16 @@ func (noallocRule) Doc() string {
 	return "functions annotated //imcf:noalloc must stay free of per-call heap allocations"
 }
 
-func (noallocRule) Check(m *Module, rep *Reporter) {
-	for _, pkg := range m.Pkgs {
-		for _, f := range pkg.Files {
-			for _, decl := range f.Decls {
-				fd, ok := decl.(*ast.FuncDecl)
-				if !ok || !noallocAnnotated(fd) || fd.Body == nil {
-					continue
-				}
-				checkNoallocBody(pkg.Info, rep, funcName(fd), fd.Body)
+func (r noallocRule) Check(m *Module, rep *Reporter) { checkEachPackage(r, m, rep) }
+
+func (noallocRule) CheckPackage(m *Module, pkg *Package, rep *Reporter) {
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || !noallocAnnotated(fd) || fd.Body == nil {
+				continue
 			}
+			checkNoallocBody(pkg.Info, rep, funcName(fd), fd.Body)
 		}
 	}
 }

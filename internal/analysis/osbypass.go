@@ -1,0 +1,57 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// osBypassPackages are the subtrees whose durable writes must flow
+// through the injected faultfs.FS so the kill-at-every-failpoint crash
+// suites (DESIGN.md §11) actually exercise them. A direct os call here
+// is a write the fault injector can never kill — the crash suite's
+// guarantees silently stop covering it.
+var osBypassPackages = []string{
+	"internal/store",
+	"internal/persistence",
+	"internal/journal",
+	"internal/daemon",
+}
+
+// osWriteFuncs are the os package's mutating filesystem entry points.
+// Read-only access (os.ReadFile, os.ReadDir, os.Stat) is allowed: the
+// crash suites reason about durability of writes, and faultfs.FS
+// deliberately keeps a small surface.
+var osWriteFuncs = map[string]bool{
+	"Create": true, "OpenFile": true, "WriteFile": true,
+	"Rename": true, "Remove": true, "RemoveAll": true,
+	"MkdirAll": true, "Mkdir": true, "Truncate": true,
+}
+
+// osBypassRule flags direct os mutations in the durability-critical
+// packages; they must route through the faultfs.FS seam instead.
+type osBypassRule struct{}
+
+func (osBypassRule) Name() string { return RuleOSBypass }
+func (osBypassRule) Doc() string {
+	return "durable writes in store/persistence/journal/daemon must use the injected faultfs.FS, not os directly"
+}
+
+func (r osBypassRule) Check(m *Module, rep *Reporter) { checkEachPackage(r, m, rep) }
+
+func (osBypassRule) CheckPackage(m *Module, pkg *Package, rep *Reporter) {
+	if !inAnyScope(pkg, osBypassPackages) {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkgPath, fn, ok := pkgFuncCall(pkg.Info, call); ok && pkgPath == "os" && osWriteFuncs[fn] {
+				rep.Report(call.Pos(), RuleOSBypass,
+					"os.%s bypasses the faultfs seam; use the injected faultfs.FS so crash suites cover this write", fn)
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"fmt"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func ruleNames(rules []Rule) []string {
+	names := make([]string, len(rules))
+	for i, r := range rules {
+		names[i] = r.Name()
+	}
+	return names
+}
+
+// TestStaleWaivers runs the full suite over the fixture module and
+// checks that exactly the deliberately dead directive surfaces: every
+// other fixture waiver suppresses a finding, and //nolint comments are
+// outside the staleness contract.
+func TestStaleWaivers(t *testing.T) {
+	m := loadFixtures(t)
+	rep := NewReporter(m)
+	rules := AllRules()
+	RunWith(rep, m, rules, 4)
+	stale := rep.StaleWaivers(ruleNames(rules))
+	if len(stale) != 1 {
+		t.Fatalf("StaleWaivers = %v, want exactly the seeded dead directive", stale)
+	}
+	w := stale[0]
+	if w.File != "internal/store/osbypass.go" || w.Rule != RuleNoalloc {
+		t.Errorf("stale waiver = %+v, want the noalloc directive in internal/store/osbypass.go", w)
+	}
+	if got, want := w.String(), "internal/store/osbypass.go:31: //imcf:allow noalloc"; got != want {
+		t.Errorf("Waiver.String() = %q, want %q", got, want)
+	}
+	// A waiver for a rule that did not run cannot be judged stale.
+	if got := rep.StaleWaivers([]string{RuleErrDrop}); len(got) != 0 {
+		t.Errorf("StaleWaivers restricted to err-drop = %v, want none", got)
+	}
+}
+
+// TestRunWithParallelDeterministic pins the parallel driver's
+// determinism: any worker count must yield the identical finding list,
+// and the sequential Run wrapper must agree.
+func TestRunWithParallelDeterministic(t *testing.T) {
+	m := loadFixtures(t)
+	rules := AllRules()
+	sequential := Run(m, rules)
+	for _, workers := range []int{2, 8, 64} {
+		rep := NewReporter(m)
+		timing := RunWith(rep, m, rules, workers)
+		if got := rep.Findings(); !reflect.DeepEqual(got, sequential) {
+			t.Errorf("workers=%d: findings diverge from sequential run\ngot  %v\nwant %v",
+				workers, got, sequential)
+		}
+		for _, r := range rules {
+			if _, ok := timing[r.Name()]; !ok {
+				t.Errorf("workers=%d: no timing recorded for rule %s", workers, r.Name())
+			}
+		}
+	}
+}
+
+// BenchmarkLintTree measures the full suite over the repository's own
+// tree at several worker counts; the module load (dominated by the
+// source importer) is excluded from the timed region.
+func BenchmarkLintTree(b *testing.B) {
+	m, err := LoadModule(filepath.Join("..", ".."))
+	if err != nil {
+		b.Fatalf("loading repository module: %v", err)
+	}
+	rules := AllRules()
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				rep := NewReporter(m)
+				RunWith(rep, m, rules, workers)
+			}
+		})
+	}
+}

@@ -1,0 +1,93 @@
+// Package controller hosts the lockdiscipline fixtures; its import
+// path suffix puts it on the rule's serving-path scope. Every
+// error-returning call is consumed so the err-drop goldens stay
+// untouched.
+package controller
+
+import "sync"
+
+// fsyncer stands in for a durable file handle: the rule classifies any
+// Sync method as an fsync by name.
+type fsyncer struct{}
+
+// Sync pretends to flush to durable media.
+func (fsyncer) Sync() error { return nil }
+
+type engine struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	file fsyncer
+	out  chan int
+	n    int
+}
+
+// HeldFsync is the positive fixture for blocking I/O under a mutex:
+// the deferred unlock keeps the return legal, but the fsync still runs
+// with e.mu held.
+func (e *engine) HeldFsync() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.file.Sync()
+}
+
+// HeldSend holds a read lock across a channel send.
+func (e *engine) HeldSend(v int) {
+	e.rw.RLock()
+	e.out <- v
+	e.rw.RUnlock()
+}
+
+// DoubleLock may re-acquire a mutex it already holds.
+func (e *engine) DoubleLock(again bool) {
+	e.mu.Lock()
+	if again {
+		e.mu.Lock()
+	}
+	e.mu.Unlock()
+}
+
+// LeakyReturn returns early with the lock held and no deferred unlock.
+func (e *engine) LeakyReturn(stop bool) {
+	e.mu.Lock()
+	if stop {
+		return
+	}
+	e.mu.Unlock()
+}
+
+// flushLocked follows the *Locked convention: the caller holds the
+// guard, so returning without unlocking is fine — but blocking under
+// the caller's lock is still flagged.
+func (e *engine) flushLocked() error {
+	return e.file.Sync()
+}
+
+// CleanCounter is the negative fixture: lock, deferred unlock, no
+// blocking work inside the critical section.
+func (e *engine) CleanCounter() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.n++
+	return e.n
+}
+
+// BranchyUnlock is a negative flow fixture: both branches release the
+// lock before the function returns.
+func (e *engine) BranchyUnlock(flush bool) error {
+	e.mu.Lock()
+	if flush {
+		e.mu.Unlock()
+		return e.file.Sync()
+	}
+	e.mu.Unlock()
+	return nil
+}
+
+// WaivedFsync documents its intentional held-lock fsync, exercising
+// the waiver path (and keeping this directive non-stale).
+func (e *engine) WaivedFsync() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	//imcf:allow lockdiscipline fixture: batch-leader fsync under the lock is the audited design
+	return e.file.Sync()
+}

@@ -1,0 +1,57 @@
+// Goroutine-leak fixtures: joinless launches are positives; WaitGroup,
+// quit-channel and completion-send shapes are negatives.
+package daemon
+
+import "sync"
+
+func work() int { return 0 }
+
+func serve() {}
+
+// LeakLoop launches a joinless infinite loop — positive.
+func LeakLoop() {
+	go func() {
+		for {
+			_ = work()
+		}
+	}()
+}
+
+// LeakNamed launches a named function, hiding the body from the
+// intraprocedural check — positive.
+func LeakNamed() {
+	go serve()
+}
+
+// JoinedWG is joined through a WaitGroup — negative.
+func JoinedWG() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = work()
+	}()
+	wg.Wait()
+}
+
+// JoinedQuit parks on a quit channel the owner controls — negative.
+func JoinedQuit(quit chan struct{}) {
+	go func() {
+		for {
+			select {
+			case <-quit:
+				return
+			default:
+				_ = work()
+			}
+		}
+	}()
+}
+
+// JoinedSend signals completion into a channel the owner consumes —
+// negative.
+func JoinedSend(done chan<- error) {
+	go func() {
+		done <- nil
+	}()
+}

@@ -1,0 +1,33 @@
+// osbypass fixtures: direct os mutations in the store package are
+// positives; read-only access is the negative.
+package store
+
+import "os"
+
+// WriteDirect bypasses the faultfs seam three ways.
+func WriteDirect(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(dir + "/wal")
+	if err != nil {
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(dir+"/wal", dir+"/wal.bak")
+}
+
+// ReadsAllowed: read-only os access stays legal — the crash suites
+// reason about durability of writes.
+func ReadsAllowed(dir string) ([]os.DirEntry, error) {
+	return os.ReadDir(dir)
+}
+
+// staleWaiver carries a directive that suppresses nothing — the
+// stale-waiver detector's positive fixture.
+func staleWaiver() int {
+	//imcf:allow noalloc fixture: deliberately stale — nothing below allocates
+	return 1
+}

@@ -20,7 +20,6 @@ import (
 	"log"
 	"net"
 	"net/http"
-	"path/filepath"
 	"sync"
 	"time"
 
@@ -215,7 +214,7 @@ func New(opts Options) (_ *Daemon, err error) {
 			view = parent // single-home: unprefixed, the historical layout
 		case d.multi && backend == "sharded" && opts.StoreDir != "":
 			db, err := store.OpenSharded(store.ShardedOptions{
-				Dir:        filepath.Join(opts.StoreDir, "tenants", spec.ID),
+				Dir:        tenantDir(opts.StoreDir, spec.ID),
 				Shards:     opts.StoreShards,
 				SyncWrites: true,
 				FS:         opts.FS,
@@ -482,6 +481,10 @@ func (d *Daemon) Serve() error {
 // Start runs Serve on a goroutine and returns immediately; serve errors
 // go to the daemon's logger. Tests use Start + Close.
 func (d *Daemon) Start() {
+	// The goroutine's lifetime is bounded by the daemon, not a local
+	// join: Serve parks in the listener loops and returns when Close
+	// shuts them down, so Close is the join point.
+	//imcf:allow goleak Serve returns when Close closes the listeners; Close is the join
 	go func() {
 		if err := d.Serve(); err != nil {
 			d.logf("daemon: serve: %v", err)

@@ -10,6 +10,7 @@ package device
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -165,7 +166,8 @@ func (r *Registry) Get(id string) (Descriptor, *State, bool) {
 	return d, r.states[id], true
 }
 
-// List returns all descriptors, in unspecified order.
+// List returns all descriptors, sorted by ID so callers iterate
+// deterministically regardless of registration order.
 func (r *Registry) List() []Descriptor {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -173,10 +175,12 @@ func (r *Registry) List() []Descriptor {
 	for _, d := range r.devices {
 		out = append(out, d)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 
-// ByZoneClass returns the devices in the given zone with the given class.
+// ByZoneClass returns the devices in the given zone with the given
+// class, sorted by ID.
 func (r *Registry) ByZoneClass(zone int, class Class) []Descriptor {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
@@ -186,6 +190,7 @@ func (r *Registry) ByZoneClass(zone int, class Class) []Descriptor {
 			out = append(out, d)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out
 }
 

@@ -140,6 +140,7 @@ func (s *Scheduler) Cycle(ctx context.Context) error {
 			s.errs[i] = fmt.Errorf("fleet: cycle canceled: %w", err)
 			continue
 		}
+		//imcf:allow lockdiscipline s.mu serializes whole cycles by design; sem/wg are owned by this cycle, so no cross-lock wait is possible
 		sem <- struct{}{}
 		wg.Add(1)
 		go func(i int) {
@@ -160,6 +161,7 @@ func (s *Scheduler) Cycle(ctx context.Context) error {
 			s.errs[i] = err
 		}(i)
 	}
+	//imcf:allow lockdiscipline cycle barrier: workers never touch s.mu, so waiting for them while holding it cannot deadlock
 	wg.Wait()
 
 	if s.metrics {

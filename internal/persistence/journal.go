@@ -138,6 +138,7 @@ func (l *JournalLog) AppendEvent(ev journal.Event) error {
 	journalRecords.Inc()
 	l.sinceSync++
 	if every := l.opts.syncEvery(); every > 0 && l.sinceSync >= every {
+		//imcf:allow lockdiscipline sync cadence under l.mu keeps the fsync ordered after exactly the flushed records; appenders queueing behind it is the durability contract
 		if err := l.f.Sync(); err != nil {
 			return fmt.Errorf("persistence: sync journal: %w", err)
 		}
@@ -195,6 +196,7 @@ func (l *JournalLog) Close() error {
 	flushErr := l.bw.Flush()
 	var syncErr error
 	if flushErr == nil {
+		//imcf:allow lockdiscipline final fsync under l.mu: Close must drain every buffered record before the handle is released
 		syncErr = l.f.Sync()
 		if syncErr == nil && l.sinceSync > 0 {
 			l.sinceSync = 0

@@ -26,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/imcf/imcf/internal/faultfs"
 	"github.com/imcf/imcf/internal/metrics"
 	"github.com/imcf/imcf/internal/trace"
 )
@@ -46,6 +47,7 @@ const segmentExt = ".imt"
 // use.
 type Service struct {
 	dir string
+	fs  faultfs.FS
 
 	mu      sync.Mutex
 	writers map[string]*trace.Writer
@@ -53,16 +55,30 @@ type Service struct {
 	closed  bool
 }
 
-// Open prepares a persistence directory, creating it if needed.
+// Open prepares a persistence directory, creating it if needed, on the
+// real filesystem.
 func Open(dir string) (*Service, error) {
+	return OpenFS(dir, nil)
+}
+
+// OpenFS is Open with directory-level operations (create, compaction
+// rename/remove) routed through the given faultfs.FS, so crash suites
+// can inject faults into them. A nil fsys uses the real filesystem.
+// Segment content I/O goes through internal/trace, which owns its own
+// file handling.
+func OpenFS(dir string, fsys faultfs.FS) (*Service, error) {
 	if dir == "" {
 		return nil, errors.New("persistence: dir must be set")
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
+	if fsys == nil {
+		fsys = faultfs.OS{}
+	}
+	if err := fsys.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("persistence: create dir: %w", err)
 	}
 	return &Service{
 		dir:     dir,
+		fs:      fsys,
 		writers: make(map[string]*trace.Writer),
 		kinds:   make(map[string]trace.Kind),
 	}, nil
@@ -300,23 +316,23 @@ func (s *Service) Compact(item string) error {
 	}
 	for _, rec := range all {
 		if err := w.Append(rec); err != nil {
-			w.Close()      //nolint:errcheck
-			os.Remove(tmp) //nolint:errcheck
+			w.Close()        //nolint:errcheck
+			s.fs.Remove(tmp) //nolint:errcheck
 			return err
 		}
 	}
 	if err := w.Close(); err != nil {
-		os.Remove(tmp) //nolint:errcheck
+		s.fs.Remove(tmp) //nolint:errcheck
 		return err
 	}
-	if err := os.Rename(tmp, final); err != nil {
+	if err := s.fs.Rename(tmp, final); err != nil {
 		return fmt.Errorf("persistence: install merged segment: %w", err)
 	}
 	for _, seg := range segments {
 		if seg == final {
 			continue
 		}
-		if err := os.Remove(seg); err != nil {
+		if err := s.fs.Remove(seg); err != nil {
 			return fmt.Errorf("persistence: remove old segment: %w", err)
 		}
 	}

@@ -475,6 +475,7 @@ func (db *DB) flushLocked(batch []*commitReq) {
 	}
 	db.groupBuf = buf[:0]
 
+	//imcf:allow lockdiscipline group-commit leader: one Write under db.mu covers the whole batch; that serialization IS the design
 	if _, err := db.wal.Write(buf); err != nil {
 		db.rollbackWALTailLocked()
 		fail(fmt.Errorf("store: wal append: %w", err))
@@ -482,6 +483,7 @@ func (db *DB) flushLocked(batch []*commitReq) {
 	}
 	if db.opts.SyncWrites {
 		start := time.Now()
+		//imcf:allow lockdiscipline group-commit leader: one Sync amortized across the batch; followers wait on their request channel, not db.mu
 		err := db.wal.Sync()
 		fsyncSeconds.Observe(time.Since(start).Seconds())
 		walFsyncs.Inc()
@@ -736,6 +738,7 @@ func (db *DB) compactLocked() error {
 	// reset first and power failed, the directory could hold the old
 	// snapshot next to an empty log — every record since the previous
 	// snapshot silently gone.
+	//imcf:allow lockdiscipline snapshot install must serialize against writers; db.mu held across SyncDir is the crash-safety invariant
 	if err := db.fs.SyncDir(db.opts.Dir); err != nil {
 		return fmt.Errorf("store: sync dir after snapshot install: %w", err)
 	}
@@ -796,9 +799,11 @@ func (db *DB) writeSnapshotLocked(f faultfs.File) error {
 	}
 	var tail [4]byte
 	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	//imcf:allow lockdiscipline snapshot write runs under db.mu so no record lands between scan and fsync; compaction pauses writers by design
 	if _, err := f.Write(tail[:]); err != nil {
 		return err
 	}
+	//imcf:allow lockdiscipline snapshot fsync completes the same writer-paused critical section
 	return f.Sync()
 }
 

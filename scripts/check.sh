@@ -21,9 +21,11 @@ echo ">> go vet ./..."
 go vet ./...
 
 # imcf-lint runs before the race suite: static findings are cheaper to
-# surface than a full -race cycle. The driver exits 2 when
-# lint.baseline lists findings that no longer exist (stale entries), so
-# a shrinking baseline must be re-recorded, never left to rot.
+# surface than a full -race cycle. The suite includes the CFG-based
+# rules (lockdiscipline, tenantisolation, osbypass, goleak; DESIGN.md
+# §14). The driver exits 2 when lint.baseline lists findings that no
+# longer exist (stale entries) or when an //imcf:allow waiver
+# suppresses nothing, so neither baselines nor waivers rot.
 echo ">> imcf-lint ./..."
 go run ./cmd/imcf-lint ./...
 
