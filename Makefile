@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint bench fig6bench store-bench fleet-bench fleet-suite metrics-smoke explain-smoke crash-suite
+.PHONY: all build vet test race check lint bench fig6bench store-bench fleet-bench fleet-suite metrics-smoke explain-smoke crash-suite obs-bench obs-smoke
 
 all: check
 
@@ -69,6 +69,19 @@ crash-suite:
 	$(GO) test -count=1 -v \
 		-run 'CrashRecoveryEveryFailpoint|ShardedCrashBetweenShardCommits|CompactionRenameDurability|FailedCompactionLeavesCleanErrors|ProbeRecordsAreInvisible|JournalCrashRecoveryEveryFailpoint|JournalSyncCadence|DaemonDegradedMode|FleetCrashSharedWAL|FleetCrashPerTenantSharded' \
 		./internal/store ./internal/persistence ./internal/daemon
+
+# obs-bench regenerates the observability-overhead artifact: the REST
+# serving path with logging enabled vs disabled (acceptance bar <2%)
+# plus the SLO feed's direct per-plan cost (see DESIGN.md §15).
+obs-bench:
+	$(GO) run ./cmd/imcf-bench -obs -obsjson BENCH_obs.json
+
+# obs-smoke proves the flight recorder end to end: the degraded-flip
+# e2e (a disk-full tenant produces a correlated bundle), then a live
+# imcfd bundle via POST /debug/flight and SIGQUIT, read back with
+# imcf-debug.
+obs-smoke:
+	./scripts/obs_smoke.sh
 
 # metrics-smoke boots imcfd, runs a planning cycle and checks that
 # /metrics serves the core families and /healthz reports ok.

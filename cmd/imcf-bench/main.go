@@ -8,11 +8,13 @@
 //	           [-cpuprofile out.pprof] [-memprofile out.pprof] [-benchjson BENCH_fig6.json]
 //	           [-store [-storejson BENCH_store.json]]
 //	           [-fleet [-fleet-homes 1000,10000] [-fleet-workers 1,8] [-fleetjson BENCH_fleet.json]]
+//	           [-obs [-obs-homes 200] [-obsjson BENCH_obs.json]]
 //
 // Each experiment prints the same rows/series the paper reports, with
 // mean ± standard deviation over the configured repetitions. -store
 // benches the storage engines; -fleet benches the multi-home fleet
-// scheduler (per-tenant plan-latency percentiles at 1k/10k homes).
+// scheduler (per-tenant plan-latency percentiles at 1k/10k homes);
+// -obs measures the observability layer's serving-path overhead.
 package main
 
 import (
@@ -49,6 +51,11 @@ func main() {
 		fleetWork  = flag.String("fleet-workers", "", "with -fleet, comma-separated worker-pool sizes (default 1,8)")
 		fleetCyc   = flag.Int("fleet-cycles", 0, "with -fleet, planning cycles per cell (default 2)")
 		fleetjson  = flag.String("fleetjson", "", "with -fleet, also write the BENCH_fleet.json artifact to this file")
+		obsBench   = flag.Bool("obs", false, "run the observability-overhead benchmark (serving path with logging enabled vs disabled)")
+		obsReqs    = flag.Int("obs-requests", 0, "with -obs, requests per measured batch (default 2000)")
+		obsRounds  = flag.Int("obs-rounds", 0, "with -obs, interleaved enabled/disabled rounds (default 25)")
+		obsHomes   = flag.Int("obs-homes", 0, "with -obs, tenant count for the SLO-feed measurement (default 200)")
+		obsjson    = flag.String("obsjson", "", "with -obs, also write the BENCH_obs.json artifact to this file")
 	)
 	flag.Parse()
 
@@ -170,6 +177,36 @@ func main() {
 			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "imcf-bench: fleet: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *obsBench {
+		res, err := bench.RunObsBench(bench.ObsBenchOptions{
+			Requests: *obsReqs, Rounds: *obsRounds, Homes: *obsHomes, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imcf-bench: obs: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "imcf-bench: obs: %v\n", err)
+			os.Exit(1)
+		}
+		if *obsjson != "" {
+			f, err := os.Create(*obsjson)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "imcf-bench: %v\n", err)
+				os.Exit(1)
+			}
+			err = res.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "imcf-bench: obs: %v\n", err)
 				os.Exit(1)
 			}
 		}

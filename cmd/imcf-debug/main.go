@@ -1,0 +1,150 @@
+// Command imcf-debug reads flight-recorder diagnostic bundles — the
+// correlated evidence trail the daemon dumps on degraded-mode entry,
+// SLO page transitions, SIGQUIT, or POST /debug/flight.
+//
+// Usage:
+//
+//	imcf-debug [-dir diagnostics]             list bundles (torn ones flagged)
+//	imcf-debug -bundle DIR                    summarize one bundle
+//	imcf-debug -bundle DIR -section logs      print one section raw
+//	imcf-debug -bundle DIR -json              the bundle manifest as JSON
+//
+// Sections: logs (logs.jsonl), spans (spans.json), journal
+// (journal.jsonl), metrics (metrics.prom), goroutines (goroutines.txt),
+// meta (meta.json). A bundle is well-formed iff its meta.json — written
+// last, atomically — parses; directories without one are torn leftovers
+// of a crash mid-dump and are reported as such, never read as truth.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"github.com/imcf/imcf/internal/obs"
+)
+
+func main() {
+	var (
+		dir     = flag.String("dir", "diagnostics", "diagnostics root to list bundles from")
+		bundle  = flag.String("bundle", "", "bundle directory to inspect")
+		section = flag.String("section", "", "bundle section to print raw: logs, spans, journal, metrics, goroutines or meta")
+		asJSON  = flag.Bool("json", false, "print the bundle manifest as JSON")
+	)
+	flag.Parse()
+
+	if *bundle == "" {
+		if err := list(*dir); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	meta, err := obs.ReadMeta(*bundle)
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case *section != "":
+		if err := printSection(*bundle, *section); err != nil {
+			fatal(err)
+		}
+	case *asJSON:
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(meta); err != nil {
+			fatal(err)
+		}
+	default:
+		summarize(*bundle, meta)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "imcf-debug: %v\n", err)
+	os.Exit(1)
+}
+
+// list enumerates the diagnostics root: one line per bundle, well-formed
+// or torn.
+func list(root string) error {
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		fmt.Printf("no bundles under %s\n", root)
+		return nil
+	}
+	for _, name := range names {
+		path := filepath.Join(root, name)
+		meta, err := obs.ReadMeta(path)
+		if err != nil {
+			fmt.Printf("%-50s TORN (crash mid-dump; safe to delete)\n", path)
+			continue
+		}
+		target := meta.Tenant
+		if meta.Trace != "" {
+			target += " trace=" + meta.Trace
+		}
+		fmt.Printf("%-50s %-10s %s %s\n", path, meta.Reason,
+			meta.Time.Format("2006-01-02T15:04:05Z"), target)
+	}
+	return nil
+}
+
+// summarize prints one bundle's manifest and section inventory.
+func summarize(dir string, meta obs.Meta) {
+	fmt.Printf("bundle:  %s\n", dir)
+	fmt.Printf("reason:  %s\n", meta.Reason)
+	fmt.Printf("time:    %s\n", meta.Time.Format("2006-01-02T15:04:05.000Z"))
+	if meta.Tenant != "" {
+		fmt.Printf("tenant:  %s\n", meta.Tenant)
+	}
+	if meta.Trace != "" {
+		fmt.Printf("trace:   %s\n", meta.Trace)
+	}
+	fmt.Println("sections:")
+	for _, f := range meta.Files {
+		count := ""
+		if n, ok := meta.Counts[f]; ok && n > 0 {
+			count = fmt.Sprintf(" (%d records)", n)
+		}
+		info, err := os.Stat(filepath.Join(dir, f))
+		size := int64(0)
+		if err == nil {
+			size = info.Size()
+		}
+		fmt.Printf("  %-16s %8d bytes%s\n", f, size, count)
+	}
+}
+
+// printSection streams one section file raw to stdout.
+func printSection(dir, section string) error {
+	name, ok := map[string]string{
+		"logs":       "logs.jsonl",
+		"spans":      "spans.json",
+		"journal":    "journal.jsonl",
+		"metrics":    "metrics.prom",
+		"goroutines": "goroutines.txt",
+		"meta":       obs.MetaName,
+	}[section]
+	if !ok {
+		return fmt.Errorf("unknown section %q (logs, spans, journal, metrics, goroutines, meta)", section)
+	}
+	b, err := os.ReadFile(filepath.Join(dir, name))
+	if err != nil {
+		return err
+	}
+	_, err = os.Stdout.Write(b)
+	return err
+}

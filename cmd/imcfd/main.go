@@ -28,11 +28,13 @@ package main
 import (
 	"flag"
 	"log"
+	"os"
 	"strings"
 	"time"
 
 	"github.com/imcf/imcf/internal/daemon"
 	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/obs"
 )
 
 func main() {
@@ -54,8 +56,20 @@ func main() {
 		journalSync  = flag.Int("journal-sync", 1, "fsync the decision journal every N events (negative: only on shutdown)")
 		tenants      = flag.String("tenants", "", "comma-separated home IDs for multi-tenant hosting (empty: one single-home tenant)")
 		fleetWorkers = flag.Int("fleet-workers", 1, "tenants planning concurrently per fleet cycle")
+		debugAddr    = flag.String("debug-addr", "", "debug listen address for pprof, /debug/logs and POST /debug/flight (empty disables)")
+		diagnostics  = flag.String("diagnostics", "diagnostics", "flight-recorder bundle directory (empty disables; SIGQUIT dumps a bundle)")
+		logLevel     = flag.String("log-level", "info", "structured log level: debug, info, warn or error")
 	)
 	flag.Parse()
+
+	lvl, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		log.Fatalf("imcfd: -log-level: %v", err)
+	}
+	obs.SetLevel(lvl)
+	// Mirror structured records to stderr as JSON lines; the in-memory
+	// ring (served at /debug/logs) retains them regardless.
+	obs.DefaultHandler().SetOutput(os.Stderr)
 
 	var specs []daemon.TenantSpec
 	if *tenants != "" {
@@ -86,6 +100,8 @@ func main() {
 		Emulate:          *emulate,
 		JournalCap:       *journalCap,
 		JournalSyncEvery: *journalSync,
+		DebugAddr:        *debugAddr,
+		DiagnosticsDir:   *diagnostics,
 	})
 	if err != nil {
 		log.Fatalf("imcfd: %v", err)
@@ -96,6 +112,9 @@ func main() {
 	log.Printf("REST API on %s", d.APIAddr())
 	if ma := d.MetricsAddr(); ma != "" {
 		log.Printf("metrics on http://%s/metrics (health: /healthz)", ma)
+	}
+	if da := d.DebugAddr(); da != "" {
+		log.Printf("debug on http://%s/debug/pprof/ (logs: /debug/logs, flight: POST /debug/flight)", da)
 	}
 	if err := d.Serve(); err != nil {
 		log.Fatalf("imcfd: %v", err)

@@ -4,15 +4,30 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"github.com/imcf/imcf/internal/daemon"
 )
 
-// handleSignals closes the daemon on the first interrupt.
+// handleSignals closes the daemon on the first interrupt. SIGQUIT does
+// not exit: it dumps a flight-recorder bundle — the on-demand "what is
+// this process doing right now" snapshot (logs, spans, decisions,
+// metrics, goroutines) — and keeps serving.
 func handleSignals(d *daemon.Daemon) {
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
-	<-sig
-	log.Print("shutting down")
-	d.Close() //nolint:errcheck // exiting anyway
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGQUIT)
+	for s := range sig {
+		if s == syscall.SIGQUIT {
+			dir, err := d.TriggerFlight("sigquit", "", "")
+			if err != nil {
+				log.Printf("flight recorder: %v", err)
+				continue
+			}
+			log.Printf("flight bundle written to %s (read it with imcf-debug)", dir)
+			continue
+		}
+		log.Print("shutting down")
+		d.Close() //nolint:errcheck // exiting anyway
+		return
+	}
 }

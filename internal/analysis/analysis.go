@@ -44,6 +44,7 @@ const (
 	RuleTenantIsolation = "tenantisolation"
 	RuleOSBypass        = "osbypass"
 	RuleGoLeak          = "goleak"
+	RuleLogHygiene      = "loghygiene"
 )
 
 // Finding is one rule violation at a source position.
@@ -86,6 +87,7 @@ func AllRules() []Rule {
 		tenantIsolationRule{},
 		osBypassRule{},
 		goLeakRule{},
+		logHygieneRule{},
 	}
 }
 

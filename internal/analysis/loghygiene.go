@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// logHygienePackages are the serving-path subtrees whose output must
+// flow through internal/obs: unstructured prints bypass the log ring,
+// lose the tenant/trace correlation the flight recorder filters on,
+// and are invisible to /debug/logs. cmd/ binaries keep their plain
+// stderr narration and are deliberately out of scope.
+var logHygienePackages = []string{
+	"internal/daemon",
+	"internal/controller",
+	"internal/fleet",
+	"internal/cloud",
+	"internal/store",
+	"internal/persistence",
+	"internal/journal",
+}
+
+// logHygieneForbidden maps package → forbidden print-style functions.
+// fmt's writer- and string-returning forms (Fprintf, Sprintf) stay
+// legal: they build values, they don't emit output.
+var logHygieneForbidden = map[string]map[string]bool{
+	"fmt": {"Print": true, "Printf": true, "Println": true},
+	"log": {
+		"Print": true, "Printf": true, "Println": true,
+		"Fatal": true, "Fatalf": true, "Fatalln": true,
+		"Panic": true, "Panicf": true, "Panicln": true,
+	},
+}
+
+// logHygieneRule forbids fmt.Print*/log.Print*/println in the serving
+// packages — all of their output routes through internal/obs so every
+// record lands in the ring with its correlation identity.
+type logHygieneRule struct{}
+
+func (logHygieneRule) Name() string { return RuleLogHygiene }
+func (logHygieneRule) Doc() string {
+	return "serving packages log through internal/obs; fmt.Print*/log.Print*/println bypass the ring and lose tenant/trace correlation"
+}
+
+func (r logHygieneRule) Check(m *Module, rep *Reporter) { checkEachPackage(r, m, rep) }
+
+func (logHygieneRule) CheckPackage(m *Module, pkg *Package, rep *Reporter) {
+	if !inAnyScope(pkg, logHygienePackages) {
+		return
+	}
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if pkgPath, fn, ok := pkgFuncCall(pkg.Info, call); ok && logHygieneForbidden[pkgPath][fn] {
+				rep.Report(call.Pos(), RuleLogHygiene,
+					"%s.%s bypasses the obs layer; log through obs.L() so the record is correlated and queryable", pkgPath, fn)
+				return true
+			}
+			// The predeclared println/print builtins write straight to
+			// stderr with no structure at all.
+			if id, ok := call.Fun.(*ast.Ident); ok {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin && (id.Name == "println" || id.Name == "print") {
+					rep.Report(call.Pos(), RuleLogHygiene,
+						"builtin %s bypasses the obs layer; log through obs.L() so the record is correlated and queryable", id.Name)
+				}
+			}
+			return true
+		})
+	}
+}

@@ -1,0 +1,28 @@
+// loghygiene fixtures: unstructured prints in a serving package are
+// positives; value-building fmt forms are the negative.
+package store
+
+import (
+	"fmt"
+	"log"
+)
+
+// NoisyRecovery narrates through stdout/stderr instead of the obs
+// layer — every call here is a positive.
+func NoisyRecovery(path string, dropped int) {
+	fmt.Println("store: replaying wal", path)
+	fmt.Printf("store: dropped %d bytes\n", dropped)
+	log.Printf("store: torn tail in %s", path)
+	log.Println("store: recovery complete")
+	println("store: done")
+}
+
+// BuildsValues: Sprintf and Fprintf construct or route values rather
+// than emitting console output, so they stay legal.
+func BuildsValues(path string) (string, error) {
+	msg := fmt.Sprintf("wal at %s", path)
+	if path == "" {
+		return "", fmt.Errorf("empty path for %s", msg)
+	}
+	return msg, nil
+}

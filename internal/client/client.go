@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"math/rand/v2"
 	"net/http"
 	"net/url"
@@ -23,6 +24,7 @@ import (
 
 	"github.com/imcf/imcf/internal/controller"
 	"github.com/imcf/imcf/internal/metrics"
+	"github.com/imcf/imcf/internal/obs"
 	"github.com/imcf/imcf/internal/persistence"
 	"github.com/imcf/imcf/internal/rules"
 )
@@ -314,8 +316,13 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) (er
 			sdkErrors.Inc()
 			if attempt < c.retries && ctx.Err() == nil {
 				wait = c.backoff(attempt + 1)
+				obs.L().LogAttrs(ctx, slog.LevelDebug, "client retrying after transport error",
+					slog.String("method", method), slog.String("path", path),
+					slog.Int("attempt", attempt+1), obs.Error(err))
 				continue
 			}
+			obs.L().LogAttrs(ctx, slog.LevelWarn, "client request failed",
+				slog.String("method", method), slog.String("path", path), obs.Error(err))
 			return fmt.Errorf("client: %s %s: %w", method, path, err)
 		}
 		if resp.StatusCode >= 300 {
@@ -338,6 +345,9 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) (er
 				} else {
 					wait = c.backoff(attempt + 1)
 				}
+				obs.L().LogAttrs(ctx, slog.LevelDebug, "client retrying after server status",
+					slog.String("method", method), slog.String("path", path),
+					slog.Int("status", resp.StatusCode), slog.Int("attempt", attempt+1))
 				continue
 			}
 			return &APIError{Status: resp.StatusCode, Message: msg}

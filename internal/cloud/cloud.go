@@ -23,6 +23,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"sort"
@@ -30,6 +31,7 @@ import (
 	"sync"
 
 	"github.com/imcf/imcf/internal/metrics"
+	"github.com/imcf/imcf/internal/obs"
 )
 
 // Relay request counters, by route family and outcome.
@@ -192,6 +194,8 @@ func (r *Relay) proxy(w http.ResponseWriter, req *http.Request) {
 	sp.End(err)
 	if err != nil {
 		relayProxyErrors.Inc()
+		obs.L().LogAttrs(req.Context(), slog.LevelError, "relay proxy failed",
+			slog.String("site", site), obs.Error(err))
 		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
 		return
 	}
@@ -264,6 +268,9 @@ func (r *Relay) broadcast(w http.ResponseWriter, req *http.Request, path string,
 		if res.Error != "" {
 			relayProxyErrors.Inc()
 			allOK = false
+			obs.L().LogAttrs(req.Context(), slog.LevelWarn, "broadcast site failed",
+				slog.String("site", site),
+				slog.String("err", res.Error))
 		}
 		results = append(results, res)
 	}

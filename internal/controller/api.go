@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"strings"
 	"time"
 
 	"github.com/imcf/imcf/internal/metrics"
+	"github.com/imcf/imcf/internal/obs"
 	"github.com/imcf/imcf/internal/rules"
 )
 
@@ -66,22 +68,22 @@ func API(c *Controller) http.Handler {
 	mux.HandleFunc("POST /rest/items/{path...}", func(w http.ResponseWriter, r *http.Request) {
 		id, ok := strings.CutSuffix(r.PathValue("path"), "/command")
 		if !ok {
-			writeError(w, http.StatusNotFound, errors.New("unknown item action"))
+			writeError(w, r, http.StatusNotFound, errors.New("unknown item action"))
 			return
 		}
 		var body struct {
 			Value float64 `json:"value"`
 		}
 		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		err := c.Command(id, body.Value)
 		switch {
 		case errors.Is(err, ErrBlocked):
-			writeError(w, http.StatusForbidden, err)
+			writeError(w, r, http.StatusForbidden, err)
 		case err != nil:
-			writeError(w, http.StatusNotFound, err)
+			writeError(w, r, http.StatusNotFound, err)
 		default:
 			writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
 		}
@@ -94,7 +96,7 @@ func API(c *Controller) http.Handler {
 	mux.HandleFunc("GET /rest/mrt/conflicts", func(w http.ResponseWriter, r *http.Request) {
 		conflicts, err := c.AnalyzeConflicts()
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, r, http.StatusInternalServerError, err)
 			return
 		}
 		if conflicts == nil {
@@ -106,7 +108,7 @@ func API(c *Controller) http.Handler {
 	mux.HandleFunc("POST /rest/mrt", func(w http.ResponseWriter, r *http.Request) {
 		var t rules.MRT
 		if err := json.NewDecoder(r.Body).Decode(&t); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, r, http.StatusBadRequest, err)
 			return
 		}
 		if err := c.SetMRT(t); err != nil {
@@ -115,10 +117,10 @@ func API(c *Controller) http.Handler {
 			// would lose it.
 			var pe *PersistError
 			if errors.As(err, &pe) {
-				writeError(w, http.StatusInternalServerError, err)
+				writeError(w, r, http.StatusInternalServerError, err)
 				return
 			}
-			writeError(w, http.StatusUnprocessableEntity, err)
+			writeError(w, r, http.StatusUnprocessableEntity, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, map[string]bool{"ok": true})
@@ -127,7 +129,7 @@ func API(c *Controller) http.Handler {
 	mux.HandleFunc("POST /rest/plan/run", func(w http.ResponseWriter, r *http.Request) {
 		report, err := c.StepCtx(r.Context())
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, r, http.StatusInternalServerError, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, report)
@@ -136,7 +138,7 @@ func API(c *Controller) http.Handler {
 	mux.HandleFunc("GET /rest/plan", func(w http.ResponseWriter, r *http.Request) {
 		report, ok := c.LastStep()
 		if !ok {
-			writeError(w, http.StatusNotFound, errors.New("no plan has run yet"))
+			writeError(w, r, http.StatusNotFound, errors.New("no plan has run yet"))
 			return
 		}
 		writeJSON(w, http.StatusOK, report)
@@ -153,12 +155,12 @@ func API(c *Controller) http.Handler {
 	mux.HandleFunc("GET /rest/persistence/items", func(w http.ResponseWriter, r *http.Request) {
 		p := c.Persistence()
 		if p == nil {
-			writeError(w, http.StatusNotFound, errors.New("persistence is disabled"))
+			writeError(w, r, http.StatusNotFound, errors.New("persistence is disabled"))
 			return
 		}
 		items, err := p.Items()
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeError(w, r, http.StatusInternalServerError, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, items)
@@ -168,30 +170,30 @@ func API(c *Controller) http.Handler {
 	mux.HandleFunc("GET /rest/persistence/data/{item...}", func(w http.ResponseWriter, r *http.Request) {
 		p := c.Persistence()
 		if p == nil {
-			writeError(w, http.StatusNotFound, errors.New("persistence is disabled"))
+			writeError(w, r, http.StatusNotFound, errors.New("persistence is disabled"))
 			return
 		}
 		item := r.PathValue("item")
 		q := r.URL.Query()
 		from, err := time.Parse(time.RFC3339, q.Get("from"))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad from: %w", err))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad from: %w", err))
 			return
 		}
 		to, err := time.Parse(time.RFC3339, q.Get("to"))
 		if err != nil {
-			writeError(w, http.StatusBadRequest, fmt.Errorf("bad to: %w", err))
+			writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad to: %w", err))
 			return
 		}
 		if bucketStr := q.Get("bucket"); bucketStr != "" {
 			bucket, err := time.ParseDuration(bucketStr)
 			if err != nil {
-				writeError(w, http.StatusBadRequest, fmt.Errorf("bad bucket: %w", err))
+				writeError(w, r, http.StatusBadRequest, fmt.Errorf("bad bucket: %w", err))
 				return
 			}
 			buckets, err := p.Aggregate(item, from, to, bucket)
 			if err != nil {
-				writeError(w, http.StatusNotFound, err)
+				writeError(w, r, http.StatusNotFound, err)
 				return
 			}
 			writeJSON(w, http.StatusOK, buckets)
@@ -199,7 +201,7 @@ func API(c *Controller) http.Handler {
 		}
 		recs, err := p.Query(item, from, to)
 		if err != nil {
-			writeError(w, http.StatusNotFound, err)
+			writeError(w, r, http.StatusNotFound, err)
 			return
 		}
 		type point struct {
@@ -231,6 +233,24 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	json.NewEncoder(w).Encode(v) //nolint:errcheck // response already committed
 }
 
-func writeError(w http.ResponseWriter, status int, err error) {
+// writeError answers an error response and logs it through the obs
+// layer with the request's correlation identity: server faults at
+// Error (they page), client faults at Debug (they don't). The level
+// check runs before any attribute is built.
+func writeError(w http.ResponseWriter, r *http.Request, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+	lvl := slog.LevelDebug
+	if status >= http.StatusInternalServerError {
+		lvl = slog.LevelError
+	}
+	ctx := r.Context()
+	l := obs.L()
+	if !l.Enabled(ctx, lvl) {
+		return
+	}
+	l.LogAttrs(ctx, lvl, "api error",
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", status),
+		obs.Error(err))
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
 	"sync"
 	"time"
@@ -14,6 +15,7 @@ import (
 	"github.com/imcf/imcf/internal/home"
 	"github.com/imcf/imcf/internal/journal"
 	"github.com/imcf/imcf/internal/metrics"
+	"github.com/imcf/imcf/internal/obs"
 	"github.com/imcf/imcf/internal/persistence"
 	"github.com/imcf/imcf/internal/rules"
 	"github.com/imcf/imcf/internal/simclock"
@@ -337,6 +339,9 @@ func (c *Controller) StepCtx(ctx context.Context) (StepReport, error) {
 		if c.cfg.Health != nil {
 			c.cfg.Health.SetError(err)
 		}
+		obs.L().LogAttrs(ctx, slog.LevelError, "planning cycle failed",
+			slog.String("trace", traceID),
+			obs.Error(err))
 	} else {
 		stepsOK.Inc()
 		if c.cfg.Health != nil {

@@ -17,7 +17,6 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
 	"sync"
@@ -28,6 +27,7 @@ import (
 	"github.com/imcf/imcf/internal/fleet"
 	"github.com/imcf/imcf/internal/journal"
 	"github.com/imcf/imcf/internal/metrics"
+	"github.com/imcf/imcf/internal/obs"
 	"github.com/imcf/imcf/internal/simclock"
 	"github.com/imcf/imcf/internal/store"
 )
@@ -111,8 +111,21 @@ type Options struct {
 	// journal (tests inject faultfs fakes to exercise crash recovery
 	// and degraded mode); nil uses the real filesystem.
 	FS faultfs.FS
-	// Logf overrides log.Printf; nil uses the standard logger.
+	// Logf overrides the daemon's operator log; nil routes through the
+	// structured obs logger (ring + optional JSON-line mirror).
 	Logf func(format string, args ...any)
+	// DebugAddr serves the debug mux — net/http/pprof, /debug/logs and
+	// POST /debug/flight — on its own listener. Empty disables it: the
+	// profiling surface is opt-in (imcfd -debug-addr).
+	DebugAddr string
+	// DiagnosticsDir enables the flight recorder: correlated diagnostic
+	// bundles land under this directory on degraded-mode entry, SLO
+	// page transitions, SIGQUIT and manual triggers. Empty disables the
+	// recorder.
+	DiagnosticsDir string
+	// SLO overrides the SLO engine's thresholds; nil uses the obs
+	// defaults (1% error budget, warn at 2x burn, page at 10x).
+	SLO *obs.Config
 }
 
 // Daemon is a fully wired Local Controller process hosting one or more
@@ -130,11 +143,17 @@ type Daemon struct {
 	store   store.Adapter          // shared parent, or default tenant's
 	sched   *fleet.Scheduler
 	logf    func(string, ...any)
+	clock   simclock.Clock
+
+	slo      *obs.SLO
+	recorder *obs.Recorder // nil without a diagnostics directory
 
 	apiLn     net.Listener
 	metricsLn net.Listener
+	debugLn   net.Listener
 	apiSrv    *http.Server
 	metricSrv *http.Server
+	debugSrv  *http.Server
 
 	cron      *controller.Cron
 	stopSched func()
@@ -150,9 +169,14 @@ type Daemon struct {
 func New(opts Options) (_ *Daemon, err error) {
 	logf := opts.Logf
 	if logf == nil {
-		logf = log.Printf
+		logf = obsLogf
 	}
-	d := &Daemon{logf: logf, byID: make(map[string]*Tenant)}
+	clock := opts.Clock
+	if clock == nil {
+		clock = simclock.RealClock{}
+	}
+	d := &Daemon{logf: logf, clock: clock, byID: make(map[string]*Tenant)}
+	d.slo = obs.NewSLO(d.sloConfig(opts.SLO))
 	defer func() {
 		if err != nil {
 			d.Close() //nolint:errcheck // already failing
@@ -247,6 +271,15 @@ func New(opts Options) (_ *Daemon, err error) {
 		d.store = d.def.store
 	}
 
+	if opts.DiagnosticsDir != "" {
+		if d.recorder, err = d.newRecorder(opts); err != nil {
+			return nil, err
+		}
+		for _, t := range d.tenants {
+			t.flight = d.tenantFlight(t.id)
+		}
+	}
+
 	members := make([]fleet.Member, len(d.tenants))
 	for i, t := range d.tenants {
 		t := t
@@ -262,6 +295,12 @@ func New(opts Options) (_ *Daemon, err error) {
 			// degrade its tenant, not crash the daemon mid-plan.
 			d.byID[id].noteError(err)
 		},
+		// Every cycle outcome feeds the per-tenant SLO windows; alert
+		// states re-evaluate once per cycle, after the fan-out drains.
+		ObserveResult: func(id string, seconds float64, err error) {
+			d.slo.Observe(id, d.clock.Now(), seconds, err != nil)
+		},
+		AfterCycle: func() { d.slo.Evaluate(d.clock.Now()) },
 	})
 	if err != nil {
 		return nil, err
@@ -293,14 +332,22 @@ func New(opts Options) (_ *Daemon, err error) {
 		}
 		mux := http.NewServeMux()
 		mux.Handle("GET /metrics", metrics.Handler())
-		mux.Handle("GET /healthz", d.health.Handler())
+		mux.Handle("GET /healthz", d.health.HandlerDetail(d.healthDetail))
 		mux.Handle("GET /debug/spans", metrics.DefaultTracer().Handler())
 		mux.Handle("GET /debug/exemplars", metrics.ExemplarHandler())
+		mux.Handle("GET /debug/logs", obs.LogsHandler(obs.DefaultHandler().Ring()))
 		if d.journal != nil {
 			mux.HandleFunc("GET /debug/decisions", d.decisionsHandler)
 			mux.HandleFunc("GET /debug/trace/{id}", d.traceHandler)
 		}
 		d.metricSrv = newHTTPServer(mux)
+	}
+	if opts.DebugAddr != "" {
+		d.debugLn, err = net.Listen("tcp", opts.DebugAddr)
+		if err != nil {
+			return nil, err
+		}
+		d.debugSrv = newHTTPServer(d.debugMux())
 	}
 	return d, nil
 }
@@ -458,18 +505,43 @@ func (d *Daemon) MetricsAddr() string {
 	return d.metricsLn.Addr().String()
 }
 
-// Serve blocks serving both listeners until Close is called. It returns
-// the first serve error, or nil on clean shutdown.
+// DebugAddr returns the debug (pprof/flight) listener's bound address,
+// or "" when disabled.
+func (d *Daemon) DebugAddr() string {
+	if d.debugLn == nil {
+		return ""
+	}
+	return d.debugLn.Addr().String()
+}
+
+// SLO exposes the per-tenant SLO engine.
+func (d *Daemon) SLO() *obs.SLO { return d.slo }
+
+// Recorder exposes the flight recorder, or nil when
+// Options.DiagnosticsDir is empty.
+func (d *Daemon) Recorder() *obs.Recorder { return d.recorder }
+
+// Serve blocks serving every bound listener (API, metrics, debug) until
+// Close is called. It returns the first serve error, or nil on clean
+// shutdown.
 func (d *Daemon) Serve() error {
-	errc := make(chan error, 2)
-	go func() { errc <- d.apiSrv.Serve(d.apiLn) }()
-	n := 1
+	type bound struct {
+		srv *http.Server
+		ln  net.Listener
+	}
+	servers := []bound{{d.apiSrv, d.apiLn}}
 	if d.metricSrv != nil {
-		n = 2
-		go func() { errc <- d.metricSrv.Serve(d.metricsLn) }()
+		servers = append(servers, bound{d.metricSrv, d.metricsLn})
+	}
+	if d.debugSrv != nil {
+		servers = append(servers, bound{d.debugSrv, d.debugLn})
+	}
+	errc := make(chan error, len(servers))
+	for _, b := range servers {
+		go func() { errc <- b.srv.Serve(b.ln) }()
 	}
 	var first error
-	for i := 0; i < n; i++ {
+	for range servers {
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) && first == nil {
 			first = err
 			d.Close() //nolint:errcheck // tearing down after serve error
@@ -533,6 +605,11 @@ func (d *Daemon) Close() error {
 		shutdown(d.metricSrv)
 	} else if d.metricsLn != nil {
 		d.metricsLn.Close() //nolint:errcheck // listener without server
+	}
+	if d.debugSrv != nil {
+		shutdown(d.debugSrv)
+	} else if d.debugLn != nil {
+		d.debugLn.Close() //nolint:errcheck // listener without server
 	}
 	for i := len(d.closers) - 1; i >= 0; i-- {
 		if err := d.closers[i](); err != nil && firstErr == nil {

@@ -17,11 +17,14 @@
 package daemon
 
 import (
+	"context"
 	"fmt"
+	"log/slog"
 	"net/http"
 
 	"github.com/imcf/imcf/internal/faultfs"
 	"github.com/imcf/imcf/internal/metrics"
+	"github.com/imcf/imcf/internal/obs"
 )
 
 var (
@@ -56,8 +59,12 @@ func (t *Tenant) Degraded() bool {
 // mode — the single-home daemon's historical surface.
 func (d *Daemon) Degraded() bool { return d.def.Degraded() }
 
-// enterDegraded flips the tenant into read-only degraded mode.
-func (t *Tenant) enterDegraded(err error) {
+// enterDegraded flips the tenant into read-only degraded mode. trace,
+// when known (the middleware path has the triggering request's
+// traceparent; the fleet path does not), correlates the structured log
+// record and the flight bundle with the request that exposed the
+// fault.
+func (t *Tenant) enterDegraded(err error, trace string) {
 	if degraded, _ := t.health.Degraded(); degraded {
 		return
 	}
@@ -68,7 +75,14 @@ func (t *Tenant) enterDegraded(err error) {
 		degradedGauge.Set(1)
 		degradedEntries.Inc()
 	}
-	t.logf("daemon: tenant %s entering read-only degraded mode: %v", t.id, err)
+	obs.L().LogAttrs(context.Background(), slog.LevelError,
+		"tenant entering read-only degraded mode",
+		slog.String("tenant", t.id),
+		slog.String("trace", trace),
+		obs.Error(err))
+	if t.flight != nil {
+		t.flight("degraded", trace)
+	}
 }
 
 // exitDegraded restores full service after a successful probe.
@@ -96,7 +110,7 @@ func (t *Tenant) noteError(err error) {
 		return
 	}
 	if perr := t.store.Probe(); perr != nil {
-		t.enterDegraded(perr)
+		t.enterDegraded(perr, "")
 	}
 }
 
@@ -181,7 +195,7 @@ func (t *Tenant) degradeMiddleware(next http.Handler) http.Handler {
 			// failing probe means no mutation can be persisted, whatever
 			// the root cause — degrade rather than keep returning 500s.
 			if err := t.store.Probe(); err != nil {
-				t.enterDegraded(err)
+				t.enterDegraded(err, requestTrace(r))
 			}
 		}
 	})

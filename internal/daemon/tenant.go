@@ -32,6 +32,7 @@ import (
 	"github.com/imcf/imcf/internal/metrics"
 	"github.com/imcf/imcf/internal/persistence"
 	"github.com/imcf/imcf/internal/rules"
+	"github.com/imcf/imcf/internal/simclock"
 	"github.com/imcf/imcf/internal/store"
 	"github.com/imcf/imcf/internal/units"
 )
@@ -112,9 +113,11 @@ type Tenant struct {
 	health    *metrics.Health
 	journal   *journal.Journal // nil when journaling is disabled
 	store     store.Adapter    // tenant-scoped view; nil without a store
-	api       http.Handler     // degrade-wrapped REST API
+	api       http.Handler     // access-log- and degrade-wrapped REST API
 	strip     http.Handler     // api behind the /t/<id> prefix strip
 	logf      func(string, ...any)
+	clock     simclock.Clock
+	flight    func(reason, trace string) // degraded-entry flight-recorder hook; nil without a recorder
 }
 
 // ID returns the home identifier.
@@ -129,6 +132,12 @@ func (t *Tenant) Journal() *journal.Journal { return t.journal }
 
 // Health exposes the tenant's health state.
 func (t *Tenant) Health() *metrics.Health { return t.health }
+
+// Handler exposes the tenant's REST API behind its full middleware
+// chain (access log, degrade gate, trace correlation) — the serving
+// path as requests actually traverse it. imcf-bench drives it
+// in-process to price the observability layer.
+func (t *Tenant) Handler() http.Handler { return t.api }
 
 // Store exposes the tenant's store view (namespaced on shared
 // backends, the tenant's own ShardedDB on the sharded backend), or nil
@@ -174,6 +183,7 @@ func (d *Daemon) newTenant(opts Options, spec TenantSpec, multi bool, view store
 		isDefault: spec.ID == d.defID,
 		store:     view,
 		logf:      d.logf,
+		clock:     d.clock,
 	}
 	if t.isDefault {
 		t.health = metrics.NewHealth(metrics.HealthyGauge)
@@ -295,7 +305,7 @@ func (d *Daemon) newTenant(opts Options, spec TenantSpec, multi bool, view store
 	if t.ctrl, err = controller.New(cfg); err != nil {
 		return nil, err
 	}
-	t.api = t.degradeMiddleware(controller.API(t.ctrl))
+	t.api = t.obsMiddleware(t.degradeMiddleware(controller.API(t.ctrl)))
 	t.strip = http.StripPrefix("/t/"+t.id, t.api)
 	return t, nil
 }

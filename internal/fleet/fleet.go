@@ -21,6 +21,46 @@ import (
 	"time"
 )
 
+// MemberError is one tenant's cycle failure with the failing tenant ID
+// carried as a typed field, so SLO attribution and flight-recorder
+// filtering never parse error strings. It wraps the tenant's own error
+// for errors.Is/As chains and renders as "tenant <id>: <err>".
+type MemberError struct {
+	Tenant string
+	Err    error
+}
+
+// Error implements error, preserving the historical message shape.
+func (e *MemberError) Error() string { return fmt.Sprintf("tenant %s: %v", e.Tenant, e.Err) }
+
+// Unwrap exposes the tenant's underlying error.
+func (e *MemberError) Unwrap() error { return e.Err }
+
+// MemberErrors flattens the per-tenant failures out of a Cycle error
+// (an errors.Join of *MemberError values), in tenant-ID order. A nil or
+// foreign error yields nil.
+func MemberErrors(err error) []*MemberError {
+	if err == nil {
+		return nil
+	}
+	joined, ok := err.(interface{ Unwrap() []error })
+	if !ok {
+		var me *MemberError
+		if errors.As(err, &me) {
+			return []*MemberError{me}
+		}
+		return nil
+	}
+	var out []*MemberError
+	for _, e := range joined.Unwrap() {
+		var me *MemberError
+		if errors.As(e, &me) {
+			out = append(out, me)
+		}
+	}
+	return out
+}
+
 // Member is one tenant's hook into the scheduler: a stable home ID and
 // the function running one planning cycle for that home. Step closes
 // over everything tenant-scoped (controller, store namespace, journal)
@@ -50,6 +90,17 @@ type Options struct {
 	// from worker goroutines; must be safe for concurrent use.
 	Observe func(id string, seconds float64)
 
+	// ObserveResult, when set, receives each tenant's cycle latency in
+	// seconds together with its outcome — the feed the SLO engine
+	// attributes error budgets from. Called from worker goroutines; must
+	// be safe for concurrent use.
+	ObserveResult func(id string, seconds float64, err error)
+
+	// AfterCycle, when set, runs at the end of every Cycle, after the
+	// fan-out has drained and OnError has reported — the hook the daemon
+	// evaluates SLO alert states on. Never concurrent with itself.
+	AfterCycle func()
+
 	// NoMetrics disables the per-tenant metric families. Large
 	// simulated fleets (10k+ homes in imcf-bench -fleet) would otherwise
 	// mint one gauge and counter child per home on the default registry.
@@ -60,11 +111,13 @@ type Options struct {
 // immutable after New; Cycle may be called from one goroutine at a
 // time (the daemon's cron).
 type Scheduler struct {
-	members []Member // sorted by ID: deterministic dispatch + report order
-	workers int
-	onError func(id string, err error)
-	observe func(id string, seconds float64)
-	metrics bool
+	members    []Member // sorted by ID: deterministic dispatch + report order
+	workers    int
+	onError    func(id string, err error)
+	observe    func(id string, seconds float64)
+	observeRes func(id string, seconds float64, err error)
+	afterCycle func()
+	metrics    bool
 
 	mu   sync.Mutex // serializes Cycle
 	errs []error    // per-member scratch, index-aligned with members
@@ -93,12 +146,14 @@ func New(members []Member, opts Options) (*Scheduler, error) {
 		workers = 1
 	}
 	s := &Scheduler{
-		members: ms,
-		workers: workers,
-		onError: opts.OnError,
-		observe: opts.Observe,
-		metrics: !opts.NoMetrics,
-		errs:    make([]error, len(ms)),
+		members:    ms,
+		workers:    workers,
+		onError:    opts.OnError,
+		observe:    opts.Observe,
+		observeRes: opts.ObserveResult,
+		afterCycle: opts.AfterCycle,
+		metrics:    !opts.NoMetrics,
+		errs:       make([]error, len(ms)),
 	}
 	if s.metrics {
 		fleetTenants.Set(float64(len(ms)))
@@ -158,6 +213,9 @@ func (s *Scheduler) Cycle(ctx context.Context) error {
 			if s.observe != nil {
 				s.observe(m.ID, sec)
 			}
+			if s.observeRes != nil {
+				s.observeRes(m.ID, sec, err)
+			}
 			s.errs[i] = err
 		}(i)
 	}
@@ -183,7 +241,10 @@ func (s *Scheduler) Cycle(ctx context.Context) error {
 		if s.onError != nil {
 			s.onError(id, err)
 		}
-		failed = append(failed, fmt.Errorf("tenant %s: %w", id, err))
+		failed = append(failed, &MemberError{Tenant: id, Err: err})
+	}
+	if s.afterCycle != nil {
+		s.afterCycle()
 	}
 	return errors.Join(failed...)
 }

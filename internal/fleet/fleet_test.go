@@ -3,6 +3,7 @@ package fleet
 import (
 	"context"
 	"errors"
+	"fmt"
 	"reflect"
 	"strings"
 	"sync"
@@ -187,6 +188,50 @@ func TestErrorIsolationAndOrder(t *testing.T) {
 	fail.Store(false)
 	if err := s3.Cycle(context.Background()); err != nil {
 		t.Errorf("stale error leaked into clean cycle: %v", err)
+	}
+}
+
+// TestMemberErrorsExtraction pins the typed-error contract: a Cycle
+// error flattens into *MemberError values in tenant-ID order, each
+// carrying the tenant ID as a field and unwrapping to the tenant's own
+// cause, so callers never parse error strings.
+func TestMemberErrorsExtraction(t *testing.T) {
+	boomB := errors.New("b exploded")
+	boomD := errors.New("d exploded")
+	s, err := New([]Member{
+		member("d", func(context.Context) error { return boomD }),
+		member("b", func(context.Context) error { return boomB }),
+		member("a", nil),
+	}, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cycleErr := s.Cycle(context.Background())
+	mes := MemberErrors(cycleErr)
+	if len(mes) != 2 {
+		t.Fatalf("MemberErrors len = %d, want 2 (%v)", len(mes), cycleErr)
+	}
+	if mes[0].Tenant != "b" || mes[1].Tenant != "d" {
+		t.Errorf("tenant order = %q, %q, want b, d", mes[0].Tenant, mes[1].Tenant)
+	}
+	if !errors.Is(mes[0], boomB) || !errors.Is(mes[1], boomD) {
+		t.Errorf("unwrap lost the cause: %v, %v", mes[0], mes[1])
+	}
+	if got := mes[0].Error(); got != "tenant b: b exploded" {
+		t.Errorf("message shape = %q", got)
+	}
+
+	if MemberErrors(nil) != nil {
+		t.Error("MemberErrors(nil) != nil")
+	}
+	if MemberErrors(errors.New("foreign")) != nil {
+		t.Error("foreign error yielded members")
+	}
+
+	// A single wrapped *MemberError (no Join) still extracts.
+	single := fmt.Errorf("cycle: %w", &MemberError{Tenant: "z", Err: errors.New("zz")})
+	if got := MemberErrors(single); len(got) != 1 || got[0].Tenant != "z" {
+		t.Errorf("single wrapped extraction = %v", got)
 	}
 }
 

@@ -104,7 +104,14 @@ func (h *Health) Degraded() (bool, string) {
 // healthy, 503 {"status":"unhealthy","reason":...} when not, and 503
 // {"status":"degraded","reason":...} when the process is alive but in
 // read-only degraded mode — mount it at GET /healthz.
-func (h *Health) Handler() http.Handler {
+func (h *Health) Handler() http.Handler { return h.HandlerDetail(nil) }
+
+// HandlerDetail is Handler with extra detail merged into the JSON body:
+// detail, when non-nil, is invoked per request and its keys are added
+// alongside the status fields (which always win on collision). The
+// daemon uses it to publish per-tenant SLO state on /healthz without
+// changing the liveness semantics.
+func (h *Health) HandlerDetail(detail func() map[string]any) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		ok, reason := h.Healthy()
 		degraded, degradedReason := h.Degraded()
@@ -112,7 +119,14 @@ func (h *Health) Handler() http.Handler {
 		since := h.since
 		h.mu.Unlock()
 		w.Header().Set("Content-Type", "application/json")
-		body := map[string]string{"status": "ok", "since": since.Format(time.RFC3339Nano)}
+		body := map[string]any{}
+		if detail != nil {
+			for k, v := range detail() {
+				body[k] = v
+			}
+		}
+		body["status"] = "ok"
+		body["since"] = since.Format(time.RFC3339Nano)
 		status := http.StatusOK
 		switch {
 		case !ok:

@@ -1,0 +1,66 @@
+package obs
+
+import "github.com/imcf/imcf/internal/metrics"
+
+// Canonical metric families of the observability layer. Declared here
+// so the metrics-hygiene lint rule can verify every family is observed
+// somewhere in the package.
+var (
+	// logRecords counts records accepted by the log ring.
+	logRecords = metrics.NewCounter("imcf_obs_log_records_total",
+		"Structured log records recorded by the in-memory ring.")
+
+	// logDropped counts records evicted from the full ring.
+	logDropped = metrics.NewCounter("imcf_obs_log_evicted_total",
+		"Structured log records evicted from the bounded ring.")
+
+	// sloSamples counts latency/error samples fed into the SLO engine.
+	sloSamples = metrics.NewCounter("imcf_slo_samples_total",
+		"Per-tenant plan-latency and error samples observed by the SLO engine.")
+
+	// sloTenants reports how many tenants hold their own SLO series.
+	sloTenants = metrics.NewGauge("imcf_slo_tenants",
+		"Tenants tracked individually by the SLO engine (the rest aggregate into _other).")
+
+	// sloOverflow counts samples routed into the _other aggregate
+	// because the per-tenant series budget was exhausted.
+	sloOverflow = metrics.NewCounter("imcf_slo_overflow_samples_total",
+		"Samples aggregated into the _other bucket by the cardinality guard.")
+
+	// sloState mirrors each tracked tenant's alert state: 0 ok, 1 warn,
+	// 2 page.
+	sloState = metrics.NewGaugeVec("imcf_slo_state",
+		"Tenant alert state: 0 ok, 1 warn, 2 page.", "tenant")
+
+	// sloBurnRate reports each tracked tenant's error-budget burn rate
+	// per rolling window.
+	sloBurnRate = metrics.NewGaugeVec("imcf_slo_burn_rate",
+		"Error-budget burn rate per tenant and rolling window (1 = spending exactly the budget).",
+		"tenant", "window")
+
+	// sloErrorRate reports each tracked tenant's error rate over the
+	// short window.
+	sloErrorRate = metrics.NewGaugeVec("imcf_slo_error_rate",
+		"Planning-cycle error rate per tenant over the 1m window.", "tenant")
+
+	// sloLatencyP99 reports each tracked tenant's p99 plan latency over
+	// the short window.
+	sloLatencyP99 = metrics.NewGaugeVec("imcf_slo_plan_latency_p99_seconds",
+		"p99 plan latency per tenant over the 1m window in seconds.", "tenant")
+
+	// sloTransitions counts alert state transitions by direction.
+	sloTransitions = metrics.NewCounterVec("imcf_slo_transitions_total",
+		"Alert state-machine transitions.", "to")
+
+	// bundles counts flight-recorder bundles written successfully.
+	bundles = metrics.NewCounter("imcf_flight_bundles_total",
+		"Flight-recorder diagnostic bundles written.")
+
+	// bundleErrors counts bundle writes that failed or tore.
+	bundleErrors = metrics.NewCounter("imcf_flight_bundle_errors_total",
+		"Flight-recorder bundle writes that failed.")
+
+	// bundleSuppressed counts triggers dropped by the rate limiter.
+	bundleSuppressed = metrics.NewCounter("imcf_flight_bundles_suppressed_total",
+		"Flight-recorder triggers suppressed by the per-reason rate limit.")
+)

@@ -1,0 +1,353 @@
+// Package obs is the fleet flight recorder of the serving path: the
+// structured-logging layer every serving package routes its output
+// through, the per-tenant SLO/burn-rate engine fed by the fleet
+// scheduler's Observe stream, and the flight recorder that dumps a
+// correlated diagnostic bundle when a tenant degrades.
+//
+// The logging half is built on the standard library's log/slog: a
+// Handler that renders records into a bounded in-memory ring (served at
+// GET /debug/logs with ?tenant=&trace=&level=&limit= filters) and,
+// optionally, as JSON lines to a writer. Records are correlated by
+// construction: the handler pulls the causal trace ID minted by
+// metrics.TraceMiddleware out of the context (metrics.TraceIDFrom) and
+// the tenant ID out of the obs tenant context (WithTenant), so one
+// trace ID reassembles logs, spans and journal events end to end.
+//
+// Hot-path contract: a log call below the active level performs zero
+// heap allocations (slog's Enabled check returns before any attr
+// escapes), and SetEnabled(false) silences the whole layer behind one
+// atomic load — the same disabled-path discipline internal/metrics and
+// internal/journal follow, enforced by TestAllocsObsDisabled and the
+// equivalence harnesses (the obs layer is read-only w.r.t. the planner
+// search).
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/imcf/imcf/internal/metrics"
+)
+
+// DefaultRingCap bounds the default in-memory log ring: enough for the
+// last few thousand serving-path events without unbounded growth at
+// fleet cardinality.
+const DefaultRingCap = 4096
+
+// disabled gates every record of every logger in the process, mirroring
+// metrics.SetEnabled: equivalence tests flip it to prove logging does
+// not perturb results.
+var disabled atomic.Bool
+
+// SetEnabled globally enables or disables log recording. The default is
+// enabled.
+func SetEnabled(on bool) { disabled.Store(!on) }
+
+// Enabled reports whether log records are currently recorded.
+func Enabled() bool { return !disabled.Load() }
+
+// tenantCtxKey keys the tenant ID in a context.Context.
+type tenantCtxKey struct{}
+
+// WithTenant returns ctx carrying the tenant (home) ID; the Handler
+// stamps it onto every record logged under that context.
+func WithTenant(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, tenantCtxKey{}, id)
+}
+
+// TenantFrom extracts the tenant ID carried by ctx, or "".
+func TenantFrom(ctx context.Context) string {
+	id, _ := ctx.Value(tenantCtxKey{}).(string)
+	return id
+}
+
+// Record is one rendered log record as retained by the ring and served
+// on /debug/logs: the flat, queryable form of a slog.Record with its
+// correlation identity (tenant, trace) promoted to first-class fields.
+type Record struct {
+	Time   time.Time         `json:"time"`
+	Level  string            `json:"level"`
+	Msg    string            `json:"msg"`
+	Tenant string            `json:"tenant,omitempty"`
+	Trace  string            `json:"trace,omitempty"`
+	Attrs  map[string]string `json:"attrs,omitempty"`
+}
+
+// Ring is the bounded in-memory record buffer behind /debug/logs and
+// the flight recorder's log section. It is safe for concurrent use.
+type Ring struct {
+	mu   sync.Mutex
+	ring []Record
+	at   int
+	n    int
+}
+
+// NewRing returns a ring keeping the most recent capacity records
+// (capacity < 1 means DefaultRingCap).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = DefaultRingCap
+	}
+	return &Ring{ring: make([]Record, capacity)}
+}
+
+// append stores one record, evicting the oldest when full.
+func (r *Ring) append(rec Record) {
+	r.mu.Lock()
+	r.ring[r.at] = rec
+	r.at = (r.at + 1) % len(r.ring)
+	if r.n < len(r.ring) {
+		r.n++
+	} else {
+		logDropped.Inc()
+	}
+	r.mu.Unlock()
+}
+
+// Query selects retained records, oldest first. Empty tenant and trace
+// match everything; minLevel filters out records below it; limit > 0
+// bounds the result to the most recent matches.
+func (r *Ring) Query(tenant, trace string, minLevel slog.Level, limit int) []Record {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Record, 0, r.n)
+	start := 0
+	if r.n == len(r.ring) {
+		start = r.at
+	}
+	for i := 0; i < r.n; i++ {
+		rec := r.ring[(start+i)%len(r.ring)]
+		if tenant != "" && rec.Tenant != tenant {
+			continue
+		}
+		if trace != "" && rec.Trace != trace {
+			continue
+		}
+		if lvl, err := parseLevel(rec.Level); err == nil && lvl < minLevel {
+			continue
+		}
+		out = append(out, rec)
+	}
+	if limit > 0 && len(out) > limit {
+		out = out[len(out)-limit:]
+	}
+	return out
+}
+
+// Len returns the number of records currently retained.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// parseLevel maps the wire level names (and slog's canonical strings)
+// back to levels.
+func parseLevel(s string) (slog.Level, error) {
+	var l slog.Level
+	if err := l.UnmarshalText([]byte(s)); err != nil {
+		return 0, fmt.Errorf("obs: bad level %q", s)
+	}
+	return l, nil
+}
+
+// Handler is the slog.Handler rendering records into a Ring and,
+// optionally, as JSON lines to a writer (the daemon's stderr). Enabled
+// consults an atomic level plus the package-wide disable gate, so a
+// suppressed call costs one atomic load and allocates nothing.
+type Handler struct {
+	level *slog.LevelVar
+	ring  *Ring
+	attrs []slog.Attr // accumulated WithAttrs state, rendered onto every record
+
+	mu  *sync.Mutex // serializes out writes; shared across WithAttrs clones
+	out io.Writer   // nil silences line output
+}
+
+// NewHandler builds a handler recording into ring (nil allocates a
+// DefaultRingCap one) and mirroring JSON lines to out (nil disables
+// line output). The initial level is Info.
+func NewHandler(ring *Ring, out io.Writer) *Handler {
+	if ring == nil {
+		ring = NewRing(0)
+	}
+	lv := new(slog.LevelVar)
+	lv.Set(slog.LevelInfo)
+	return &Handler{level: lv, ring: ring, mu: new(sync.Mutex), out: out}
+}
+
+// SetLevel adjusts the minimum recorded level at runtime.
+func (h *Handler) SetLevel(l slog.Level) { h.level.Set(l) }
+
+// Level reports the handler's current minimum level.
+func (h *Handler) Level() slog.Level { return h.level.Level() }
+
+// Ring exposes the handler's record ring (the /debug/logs source).
+func (h *Handler) Ring() *Ring { return h.ring }
+
+// Enabled implements slog.Handler: the zero-alloc gate of the disabled
+// path.
+func (h *Handler) Enabled(_ context.Context, level slog.Level) bool {
+	return !disabled.Load() && level >= h.level.Level()
+}
+
+// Handle implements slog.Handler: correlation identity is pulled from
+// the context (WithTenant, metrics trace context) unless the record
+// carries explicit "tenant"/"trace" attrs, then the rendered record is
+// appended to the ring and, when configured, written as one JSON line.
+func (h *Handler) Handle(ctx context.Context, r slog.Record) error {
+	rec := Record{
+		Time:   r.Time,
+		Level:  r.Level.String(),
+		Msg:    r.Message,
+		Tenant: TenantFrom(ctx),
+		Trace:  metrics.TraceIDFrom(ctx),
+	}
+	addAttr := func(a slog.Attr) {
+		switch a.Key {
+		case "tenant":
+			rec.Tenant = a.Value.String()
+		case "trace":
+			rec.Trace = a.Value.String()
+		case "":
+		default:
+			if rec.Attrs == nil {
+				rec.Attrs = make(map[string]string)
+			}
+			rec.Attrs[a.Key] = a.Value.String()
+		}
+	}
+	for _, a := range h.attrs {
+		addAttr(a)
+	}
+	r.Attrs(func(a slog.Attr) bool { addAttr(a); return true })
+	h.ring.append(rec)
+	logRecords.Inc()
+	h.mu.Lock()
+	out := h.out
+	h.mu.Unlock()
+	if out != nil {
+		b, err := json.Marshal(rec)
+		if err != nil {
+			return err
+		}
+		b = append(b, '\n')
+		h.mu.Lock()
+		_, err = out.Write(b)
+		h.mu.Unlock()
+		return err
+	}
+	return nil
+}
+
+// SetOutput redirects the handler's JSON-line mirror (nil disables it).
+// Clones minted by WithAttrs before the call keep their original writer;
+// imcfd calls this once at startup, before any derived logger exists.
+func (h *Handler) SetOutput(out io.Writer) {
+	h.mu.Lock()
+	h.out = out
+	h.mu.Unlock()
+}
+
+// WithAttrs implements slog.Handler: the clone shares the ring, level
+// and output, with the attrs prepended to every record.
+func (h *Handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	if len(attrs) == 0 {
+		return h
+	}
+	clone := *h
+	clone.attrs = append(append([]slog.Attr{}, h.attrs...), attrs...)
+	return &clone
+}
+
+// WithGroup implements slog.Handler. Groups are flattened: the ring's
+// query surface is flat key=value, so the group name prefixes nothing.
+// (No serving package uses groups; this keeps the handler honest if one
+// ever does.)
+func (h *Handler) WithGroup(string) slog.Handler { return h }
+
+// defaultHandler backs the package-level logger: a DefaultRingCap ring
+// with no line output until the daemon wires one.
+var defaultHandler = NewHandler(nil, nil)
+
+// defaultLogger is the process-wide structured logger the serving
+// packages log through.
+var defaultLogger = slog.New(defaultHandler)
+
+// L returns the process-wide structured logger. Serving packages call
+// L().LogAttrs(ctx, level, msg, attrs...) so the context's tenant and
+// trace correlate every record.
+func L() *slog.Logger { return defaultLogger }
+
+// DefaultHandler returns the handler behind L — the daemon uses it to
+// set the level and mount the ring on /debug/logs.
+func DefaultHandler() *Handler { return defaultHandler }
+
+// SetLevel adjusts the default handler's minimum level (imcfd
+// -log-level).
+func SetLevel(l slog.Level) { defaultHandler.SetLevel(l) }
+
+// ParseLevel maps the flag-facing level names onto slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug", "DEBUG":
+		return slog.LevelDebug, nil
+	case "info", "INFO", "":
+		return slog.LevelInfo, nil
+	case "warn", "WARN":
+		return slog.LevelWarn, nil
+	case "error", "ERROR":
+		return slog.LevelError, nil
+	default:
+		return parseLevel(s)
+	}
+}
+
+// Error is the conventional attr for an error's message; a nil err
+// renders as the empty string (and is elided from the record by the
+// empty-value rule only when callers skip it themselves).
+func Error(err error) slog.Attr {
+	if err == nil {
+		return slog.String("err", "")
+	}
+	return slog.String("err", err.Error())
+}
+
+// LogsHandler serves the ring at GET /debug/logs with
+// ?tenant=&trace=&level=&limit= filters, newest-last JSON.
+func LogsHandler(ring *Ring) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		w.Header().Set("Content-Type", "application/json")
+		minLevel := slog.LevelDebug // no filter: everything retained
+		if s := q.Get("level"); s != "" {
+			l, err := ParseLevel(s)
+			if err != nil {
+				w.WriteHeader(http.StatusBadRequest)
+				json.NewEncoder(w).Encode(map[string]string{"error": err.Error()}) //nolint:errcheck // response committed
+				return
+			}
+			minLevel = l
+		}
+		limit := 0
+		if s := q.Get("limit"); s != "" {
+			n, err := strconv.Atoi(s)
+			if err != nil || n < 0 {
+				w.WriteHeader(http.StatusBadRequest)
+				json.NewEncoder(w).Encode(map[string]string{"error": "obs: bad limit " + strconv.Quote(s)}) //nolint:errcheck // response committed
+				return
+			}
+			limit = n
+		}
+		recs := ring.Query(q.Get("tenant"), q.Get("trace"), minLevel, limit)
+		json.NewEncoder(w).Encode(recs) //nolint:errcheck // response committed
+	})
+}

@@ -1,0 +1,219 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"github.com/imcf/imcf/internal/metrics"
+)
+
+// testLogger builds an isolated handler/ring pair so tests never race
+// on the package default.
+func testLogger(capacity int) (*slog.Logger, *Handler) {
+	h := NewHandler(NewRing(capacity), nil)
+	return slog.New(h), h
+}
+
+func TestRingQueryFilters(t *testing.T) {
+	l, h := testLogger(16)
+	h.SetLevel(slog.LevelDebug)
+	ctx := context.Background()
+	l.LogAttrs(WithTenant(ctx, "h1"), slog.LevelInfo, "alpha")
+	l.LogAttrs(WithTenant(ctx, "h2"), slog.LevelWarn, "beta", slog.String("trace", "t-42"))
+	l.LogAttrs(ctx, slog.LevelDebug, "gamma")
+
+	if got := h.Ring().Len(); got != 3 {
+		t.Fatalf("Len = %d, want 3", got)
+	}
+	if recs := h.Ring().Query("h1", "", slog.LevelDebug, 0); len(recs) != 1 || recs[0].Msg != "alpha" {
+		t.Fatalf("tenant filter: got %+v", recs)
+	}
+	if recs := h.Ring().Query("", "t-42", slog.LevelDebug, 0); len(recs) != 1 || recs[0].Msg != "beta" {
+		t.Fatalf("trace filter: got %+v", recs)
+	}
+	if recs := h.Ring().Query("", "", slog.LevelWarn, 0); len(recs) != 1 || recs[0].Msg != "beta" {
+		t.Fatalf("level filter: got %+v", recs)
+	}
+	if recs := h.Ring().Query("", "", slog.LevelDebug, 2); len(recs) != 2 {
+		t.Fatalf("limit: got %d records, want 2", len(recs))
+	}
+}
+
+func TestRingEvictsOldestFirst(t *testing.T) {
+	l, h := testLogger(4)
+	for _, msg := range []string{"a", "b", "c", "d", "e", "f"} {
+		l.Info(msg)
+	}
+	recs := h.Ring().Query("", "", slog.LevelDebug, 0)
+	if len(recs) != 4 {
+		t.Fatalf("got %d records, want 4", len(recs))
+	}
+	// Oldest-first order, with the two oldest evicted.
+	want := []string{"c", "d", "e", "f"}
+	for i, rec := range recs {
+		if rec.Msg != want[i] {
+			t.Fatalf("record %d = %q, want %q", i, rec.Msg, want[i])
+		}
+	}
+}
+
+func TestHandlerCorrelatesContext(t *testing.T) {
+	l, h := testLogger(8)
+	tc, ok := metrics.ParseTraceparent("00-0123456789abcdef0123456789abcdef-0123456789abcdef-01")
+	if !ok {
+		t.Fatal("ParseTraceparent rejected a valid header")
+	}
+	ctx := metrics.ContextWithTrace(WithTenant(context.Background(), "h7"), tc)
+	l.LogAttrs(ctx, slog.LevelInfo, "correlated", slog.Int("n", 3))
+
+	recs := h.Ring().Query("", "", slog.LevelDebug, 0)
+	if len(recs) != 1 {
+		t.Fatalf("got %d records, want 1", len(recs))
+	}
+	rec := recs[0]
+	if rec.Tenant != "h7" {
+		t.Errorf("Tenant = %q, want h7", rec.Tenant)
+	}
+	if rec.Trace != tc.TraceIDString() {
+		t.Errorf("Trace = %q, want %q", rec.Trace, tc.TraceIDString())
+	}
+	if rec.Attrs["n"] != "3" {
+		t.Errorf("Attrs[n] = %q, want 3", rec.Attrs["n"])
+	}
+}
+
+func TestHandlerExplicitAttrsOverrideContext(t *testing.T) {
+	l, h := testLogger(8)
+	ctx := WithTenant(context.Background(), "ctx-tenant")
+	l.LogAttrs(ctx, slog.LevelInfo, "m",
+		slog.String("tenant", "attr-tenant"), slog.String("trace", "attr-trace"))
+	rec := h.Ring().Query("", "", slog.LevelDebug, 0)[0]
+	if rec.Tenant != "attr-tenant" || rec.Trace != "attr-trace" {
+		t.Fatalf("tenant/trace = %q/%q, want attr-tenant/attr-trace", rec.Tenant, rec.Trace)
+	}
+}
+
+func TestHandlerLevelGate(t *testing.T) {
+	l, h := testLogger(8)
+	h.SetLevel(slog.LevelWarn)
+	if l.Enabled(context.Background(), slog.LevelInfo) {
+		t.Fatal("Info enabled despite Warn gate")
+	}
+	l.Info("dropped")
+	l.Warn("kept")
+	if got := h.Ring().Len(); got != 1 {
+		t.Fatalf("ring holds %d records, want 1", got)
+	}
+}
+
+func TestHandlerOutputJSONLines(t *testing.T) {
+	var buf bytes.Buffer
+	h := NewHandler(NewRing(8), &buf)
+	slog.New(h).LogAttrs(WithTenant(context.Background(), "h1"), slog.LevelInfo, "hello")
+	var rec Record
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &rec); err != nil {
+		t.Fatalf("output is not a JSON line: %v (%q)", err, buf.String())
+	}
+	if rec.Msg != "hello" || rec.Tenant != "h1" {
+		t.Fatalf("decoded %+v", rec)
+	}
+}
+
+func TestGlobalDisableSuppresses(t *testing.T) {
+	l, h := testLogger(8)
+	SetEnabled(false)
+	defer SetEnabled(true)
+	if l.Enabled(context.Background(), slog.LevelError) {
+		t.Fatal("Enabled(Error) true while obs is globally disabled")
+	}
+	l.Error("suppressed")
+	if got := h.Ring().Len(); got != 0 {
+		t.Fatalf("ring holds %d records while disabled, want 0", got)
+	}
+}
+
+// TestAllocsObsDisabledPath is the hot-path alloc gate: a log call
+// below the active level — the common case on the serving path — must
+// not allocate. check.sh enforces this via `go test -run AllocsObs`.
+func TestAllocsObsDisabledPath(t *testing.T) {
+	l, h := testLogger(8)
+	h.SetLevel(slog.LevelInfo)
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if l.Enabled(ctx, slog.LevelDebug) {
+			l.LogAttrs(ctx, slog.LevelDebug, "never", slog.Int("n", 1))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("below-level log call allocates %.1f times per op, want 0", allocs)
+	}
+
+	SetEnabled(false)
+	defer SetEnabled(true)
+	allocs = testing.AllocsPerRun(1000, func() {
+		if l.Enabled(ctx, slog.LevelError) {
+			l.LogAttrs(ctx, slog.LevelError, "never", slog.Int("n", 1))
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("globally-disabled log call allocates %.1f times per op, want 0", allocs)
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]slog.Level{
+		"debug": slog.LevelDebug, "info": slog.LevelInfo,
+		"WARN": slog.LevelWarn, "error": slog.LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted an unknown level")
+	}
+}
+
+func TestLogsHandler(t *testing.T) {
+	l, h := testLogger(16)
+	ctx := context.Background()
+	l.LogAttrs(WithTenant(ctx, "h1"), slog.LevelInfo, "one")
+	l.LogAttrs(WithTenant(ctx, "h2"), slog.LevelError, "two")
+
+	srv := httptest.NewServer(LogsHandler(h.Ring()))
+	defer srv.Close()
+
+	get := func(q string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + q)
+		if err != nil {
+			t.Fatalf("GET %s: %v", q, err)
+		}
+		defer resp.Body.Close() //nolint:errcheck // test teardown
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read body: %v", err)
+		}
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("?tenant=h1"); code != 200 || !strings.Contains(body, `"one"`) || strings.Contains(body, `"two"`) {
+		t.Fatalf("tenant query: code %d body %q", code, body)
+	}
+	if code, body := get("?level=error"); code != 200 || strings.Contains(body, `"one"`) {
+		t.Fatalf("level query: code %d body %q", code, body)
+	}
+	if code, _ := get("?level=loud"); code != 400 {
+		t.Fatalf("bad level: code %d, want 400", code)
+	}
+	if code, _ := get("?limit=x"); code != 400 {
+		t.Fatalf("bad limit: code %d, want 400", code)
+	}
+}

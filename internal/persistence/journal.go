@@ -3,9 +3,11 @@ package persistence
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -13,6 +15,7 @@ import (
 	"github.com/imcf/imcf/internal/faultfs"
 	"github.com/imcf/imcf/internal/journal"
 	"github.com/imcf/imcf/internal/metrics"
+	"github.com/imcf/imcf/internal/obs"
 )
 
 // Journal durability counters.
@@ -160,7 +163,7 @@ func (l *JournalLog) Replay(fn func(journal.Event)) (int, error) {
 	if err != nil {
 		return 0, fmt.Errorf("persistence: read journal: %w", err)
 	}
-	n := 0
+	n, skipped := 0, 0
 	for len(data) > 0 {
 		line := data
 		nl := bytes.IndexByte(data, '\n')
@@ -168,6 +171,7 @@ func (l *JournalLog) Replay(fn func(journal.Event)) (int, error) {
 			// No trailing newline: a torn final append. Skip it.
 			if len(bytes.TrimSpace(line)) != 0 {
 				journalSkippedLines.Inc()
+				skipped++
 			}
 			break
 		}
@@ -178,10 +182,18 @@ func (l *JournalLog) Replay(fn func(journal.Event)) (int, error) {
 		var ev journal.Event
 		if err := json.Unmarshal(line, &ev); err != nil {
 			journalSkippedLines.Inc()
+			skipped++
 			continue
 		}
 		fn(ev)
 		n++
+	}
+	if skipped > 0 {
+		obs.L().LogAttrs(context.Background(), slog.LevelWarn,
+			"journal replay skipped torn or corrupt lines",
+			slog.String("path", l.path),
+			slog.Int("replayed", n),
+			slog.Int("skipped", skipped))
 	}
 	return n, nil
 }

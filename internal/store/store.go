@@ -17,11 +17,13 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -31,6 +33,7 @@ import (
 	"time"
 
 	"github.com/imcf/imcf/internal/faultfs"
+	"github.com/imcf/imcf/internal/obs"
 )
 
 const (
@@ -666,6 +669,10 @@ func (db *DB) replayWAL() (int, error) {
 		if err := db.fs.Truncate(db.walPath(), offset); err != nil {
 			return count, fmt.Errorf("store: truncate torn wal: %w", err)
 		}
+		obs.L().LogAttrs(context.Background(), slog.LevelWarn, "store truncated torn wal tail",
+			slog.String("path", db.walPath()),
+			slog.Int64("kept_bytes", offset),
+			slog.Int64("dropped_bytes", size-offset))
 	}
 	return count, nil
 }

@@ -41,6 +41,12 @@ go test -run AllocsTrace -count=1 ./internal/metrics ./internal/journal
 echo ">> go test -run StorePutAllocs ./internal/store"
 go test -run StorePutAllocs -count=1 ./internal/store
 
+# Logging disabled-path allocation gate: a level-gated or globally
+# disabled log call on the serving path must not allocate at all
+# (see internal/obs/obs_test.go). Also outside -race.
+echo ">> go test -run AllocsObs ./internal/obs"
+go test -run AllocsObs -count=1 ./internal/obs
+
 # Crash suite: kill-at-every-failpoint recovery for the store (single
 # log and sharded — CrashRecoveryEveryFailpoint matches both) and the
 # decision journal, the cross-shard commit-ordering window, the
@@ -52,8 +58,8 @@ go test -run StorePutAllocs -count=1 ./internal/store
 # slower race cycle repeats it.
 echo ">> crash suite (kill-at-every-failpoint)"
 go test -count=1 \
-    -run 'CrashRecoveryEveryFailpoint|ShardedCrashBetweenShardCommits|CompactionRenameDurability|FailedCompactionLeavesCleanErrors|JournalCrashRecoveryEveryFailpoint|DaemonDegradedMode|FleetCrashSharedWAL|FleetCrashPerTenantSharded' \
-    ./internal/store ./internal/persistence ./internal/daemon
+    -run 'CrashRecoveryEveryFailpoint|ShardedCrashBetweenShardCommits|CompactionRenameDurability|FailedCompactionLeavesCleanErrors|JournalCrashRecoveryEveryFailpoint|DaemonDegradedMode|FleetCrashSharedWAL|FleetCrashPerTenantSharded|RecorderCrashEveryFailpoint|DaemonDegradedFlightBundleCorrelation' \
+    ./internal/store ./internal/persistence ./internal/daemon ./internal/obs
 
 # Tenant-equivalence harness: the multi-home tentpole gate (DESIGN.md
 # §13) — one home hosted solo and hosted as a fleet tenant among noisy
@@ -61,7 +67,7 @@ go test -count=1 \
 # persisted decision logs and recovered store state, at 1 and 8 fleet
 # workers.
 echo ">> tenant-equivalence harness"
-go test -count=1 -run 'FleetTenantEquivalence' ./internal/daemon
+go test -count=1 -run 'FleetTenantEquivalence|ObsEquivalence' ./internal/daemon
 
 echo ">> go test -race ./..."
 go test -race ./...
@@ -87,7 +93,9 @@ fi
 # untested injector proves nothing about the code it instruments;
 # internal/store carries the durability guarantees every other
 # subsystem builds on; internal/fleet is the multi-home scheduler whose
-# determinism the tenant-equivalence proof rests on.
+# determinism the tenant-equivalence proof rests on; internal/obs is
+# the flight-recorder stack — untested diagnostics lie exactly when
+# they are needed.
 check_floor() {
     pkg="$1" floor="$2"
     cov=$(echo "$cover_out" | awk -v p="/$pkg\$" '
@@ -111,5 +119,6 @@ check_floor internal/journal 90
 check_floor internal/faultfs 90
 check_floor internal/store 90
 check_floor internal/fleet 90
+check_floor internal/obs 90
 
 echo "check: OK"
