@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race check lint bench fig6bench store-bench fleet-bench fleet-suite metrics-smoke explain-smoke crash-suite obs-bench obs-smoke
+.PHONY: all build vet test race check lint bench fig6bench store-bench fleet-bench fleet-suite metrics-smoke explain-smoke crash-suite obs-bench obs-smoke stream-bench stream-suite
 
 all: check
 
@@ -75,6 +75,22 @@ crash-suite:
 # plus the SLO feed's direct per-plan cost (see DESIGN.md §15).
 obs-bench:
 	$(GO) run ./cmd/imcf-bench -obs -obsjson BENCH_obs.json
+
+# stream-bench regenerates the cloud↔edge sync-protocol artifact:
+# plain polling vs conditional GET vs the delta stream over a steady
+# and a changing window (see DESIGN.md §16).
+stream-bench:
+	$(GO) run ./cmd/imcf-bench -stream -streamjson BENCH_stream.json
+
+# stream-suite reruns the delta-sync proof obligations in isolation,
+# verbosely: the stream-equivalence harness (sync-maintained mirror
+# bit-identical to poll-built, workers 1 and 8, across chaos-proxy
+# disconnects and a daemon restart) plus the relay aggregator and
+# SSE-through-relay tests. Part of check.
+stream-suite:
+	$(GO) test -count=1 -v \
+		-run 'StreamEquivalence|Aggregator|ProxyStreamsSSE|StreamWithoutAggregator' \
+		./internal/daemon ./internal/cloud
 
 # obs-smoke proves the flight recorder end to end: the degraded-flip
 # e2e (a disk-full tenant produces a correlated bundle), then a live

@@ -9,12 +9,15 @@
 //	           [-store [-storejson BENCH_store.json]]
 //	           [-fleet [-fleet-homes 1000,10000] [-fleet-workers 1,8] [-fleetjson BENCH_fleet.json]]
 //	           [-obs [-obs-homes 200] [-obsjson BENCH_obs.json]]
+//	           [-stream [-stream-ticks 20] [-stream-steps 10] [-streamjson BENCH_stream.json]]
 //
 // Each experiment prints the same rows/series the paper reports, with
 // mean ± standard deviation over the configured repetitions. -store
 // benches the storage engines; -fleet benches the multi-home fleet
 // scheduler (per-tenant plan-latency percentiles at 1k/10k homes);
-// -obs measures the observability layer's serving-path overhead.
+// -obs measures the observability layer's serving-path overhead;
+// -stream prices the cloud↔edge sync protocols (poll vs conditional
+// GET vs delta stream).
 package main
 
 import (
@@ -56,6 +59,10 @@ func main() {
 		obsRounds  = flag.Int("obs-rounds", 0, "with -obs, interleaved enabled/disabled rounds (default 25)")
 		obsHomes   = flag.Int("obs-homes", 0, "with -obs, tenant count for the SLO-feed measurement (default 200)")
 		obsjson    = flag.String("obsjson", "", "with -obs, also write the BENCH_obs.json artifact to this file")
+		strBench   = flag.Bool("stream", false, "run the cloud↔edge sync-protocol benchmark (poll vs etag vs delta stream)")
+		strTicks   = flag.Int("stream-ticks", 0, "with -stream, steady-phase poll ticks (default 20)")
+		strSteps   = flag.Int("stream-steps", 0, "with -stream, changing-phase planning cycles (default 10)")
+		streamjson = flag.String("streamjson", "", "with -stream, also write the BENCH_stream.json artifact to this file")
 	)
 	flag.Parse()
 
@@ -177,6 +184,36 @@ func main() {
 			}
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "imcf-bench: fleet: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	if *strBench {
+		res, err := bench.RunStreamBench(bench.StreamBenchOptions{
+			SteadyTicks: *strTicks, ChangingSteps: *strSteps, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "imcf-bench: stream: %v\n", err)
+			os.Exit(1)
+		}
+		if err := res.WriteTable(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "imcf-bench: stream: %v\n", err)
+			os.Exit(1)
+		}
+		if *streamjson != "" {
+			f, err := os.Create(*streamjson)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "imcf-bench: %v\n", err)
+				os.Exit(1)
+			}
+			err = res.WriteJSON(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "imcf-bench: stream: %v\n", err)
 				os.Exit(1)
 			}
 		}

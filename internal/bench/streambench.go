@@ -1,0 +1,287 @@
+package bench
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"time"
+
+	"github.com/imcf/imcf/internal/client"
+	"github.com/imcf/imcf/internal/controller"
+	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/simclock"
+	"github.com/imcf/imcf/internal/stream"
+)
+
+// The stream bench prices the cloud↔edge synchronization protocols
+// (DESIGN.md §16) in the regime the paper's APP actually lives in:
+// a remote client keeping a local replica of a Local Controller's
+// decision state (MRT, last plan, firewall block set) current.
+//
+// Three cells, identical replica semantics:
+//
+//   - poll:   rebuild by polling the plain REST read surfaces — three
+//     full-body GETs per tick, the pre-stream protocol.
+//   - etag:   the same three GETs per tick but conditional
+//     (If-None-Match); unchanged state answers 304 with no body.
+//   - stream: the delta-sync protocol — one snapshot at connect, then
+//     long-poll delta batches; unchanged state costs one *held* poll
+//     per wait window rather than any per-tick request.
+//
+// The steady phase (no state changes) is where the protocols diverge:
+// the poller burns 3 requests every tick forever, the streamer parks
+// one long poll. The changing phase (a planning cycle per tick) prices
+// incremental catch-up: full rebuilds versus coalesced deltas. The
+// bench also asserts the replicas stay canonically identical cell to
+// cell — a fast protocol that drifts is not an optimization.
+
+// StreamBenchOptions configures RunStreamBench. The zero value runs
+// the default matrix.
+type StreamBenchOptions struct {
+	// SteadyTicks is how many poll ticks the steady phase runs; zero
+	// means 20.
+	SteadyTicks int
+	// ChangingSteps is how many planning cycles the changing phase
+	// runs; zero means 10.
+	ChangingSteps int
+	// Seed seeds the residence and planner.
+	Seed uint64
+}
+
+// StreamCell is one protocol's cost over one phase.
+type StreamCell struct {
+	Requests  int64 `json:"requests"`
+	BodyBytes int64 `json:"body_bytes"`
+}
+
+// StreamBench is the machine-readable BENCH_stream.json artifact.
+type StreamBench struct {
+	SteadyTicks   int `json:"steady_ticks"`
+	ChangingSteps int `json:"changing_steps"`
+
+	// Steady phase: unchanged state, SteadyTicks poll ticks.
+	SteadyPoll   StreamCell `json:"steady_poll"`
+	SteadyETag   StreamCell `json:"steady_etag"`
+	SteadyStream StreamCell `json:"steady_stream"`
+	// SteadyRequestRatio is poll requests over stream requests — the
+	// headline ≥5x the delta-sync protocol exists for.
+	SteadyRequestRatio float64 `json:"steady_request_ratio"`
+
+	// Changing phase: one planning cycle per step, replica caught up
+	// after every step.
+	ChangingPoll   StreamCell `json:"changing_poll"`
+	ChangingStream StreamCell `json:"changing_stream"`
+}
+
+// countingTransport counts requests and response-body bytes crossing
+// one client's transport.
+type countingTransport struct {
+	base     http.RoundTripper
+	requests atomic.Int64
+	bytes    atomic.Int64
+}
+
+func (t *countingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.requests.Add(1)
+	resp, err := t.base.RoundTrip(req)
+	if resp != nil && resp.Body != nil {
+		resp.Body = &countingBody{inner: resp.Body, n: &t.bytes}
+	}
+	return resp, err
+}
+
+func (t *countingTransport) cell() StreamCell {
+	return StreamCell{Requests: t.requests.Load(), BodyBytes: t.bytes.Load()}
+}
+
+func (t *countingTransport) reset() {
+	t.requests.Store(0)
+	t.bytes.Store(0)
+}
+
+type countingBody struct {
+	inner io.ReadCloser
+	n     *atomic.Int64
+}
+
+func (b *countingBody) Read(p []byte) (int, error) {
+	n, err := b.inner.Read(p)
+	b.n.Add(int64(n))
+	return n, err
+}
+
+func (b *countingBody) Close() error { return b.inner.Close() }
+
+// newCountedClient builds an SDK client whose transport is counted.
+func newCountedClient(base string) (*client.Client, *countingTransport, error) {
+	ct := &countingTransport{base: http.DefaultTransport}
+	c, err := client.New(base, &http.Client{Transport: ct})
+	return c, ct, err
+}
+
+// RunStreamBench measures the three synchronization protocols.
+func RunStreamBench(opts StreamBenchOptions) (*StreamBench, error) {
+	steady := opts.SteadyTicks
+	if steady == 0 {
+		steady = 20
+	}
+	steps := opts.ChangingSteps
+	if steps == 0 {
+		steps = 10
+	}
+
+	res, err := home.Prototype(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	clk := simclock.NewSimClock(fleetBenchEpoch)
+	cfg := controller.Config{
+		Residence:    res,
+		Clock:        clk,
+		WeeklyBudget: home.PrototypeWeeklyBudget,
+		Stream:       stream.NewHub("bench-boot", stream.DefaultRingCap),
+	}
+	cfg.Planner.Seed = opts.Seed
+	ctrl, err := controller.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	srv := httptest.NewServer(controller.API(ctrl))
+	defer srv.Close()
+
+	// One planning cycle up front so every component exists.
+	if _, err := ctrl.Step(); err != nil {
+		return nil, err
+	}
+	clk.Advance(time.Hour)
+
+	ctx := context.Background()
+	out := &StreamBench{SteadyTicks: steady, ChangingSteps: steps}
+
+	pollClient, pollCT, err := newCountedClient(srv.URL)
+	if err != nil {
+		return nil, err
+	}
+	etagClient, etagCT, err := newCountedClient(srv.URL)
+	if err != nil {
+		return nil, err
+	}
+	streamClient, streamCT, err := newCountedClient(srv.URL)
+	if err != nil {
+		return nil, err
+	}
+
+	// --- Steady phase: nothing changes for `steady` ticks. ---
+
+	pollMirror := stream.NewMirror()
+	for tick := 0; tick < steady; tick++ {
+		if err := pollClient.PollInto(ctx, pollMirror); err != nil {
+			return nil, err
+		}
+	}
+	out.SteadyPoll = pollCT.cell()
+
+	// The conditional poller revalidates instead of re-downloading:
+	// same request cadence, 304-sized bodies.
+	etags := map[string]string{"/rest/mrt": "", "/rest/plan": "", "/rest/firewall?rules=only": ""}
+	for tick := 0; tick < steady; tick++ {
+		for _, path := range []string{"/rest/mrt", "/rest/plan", "/rest/firewall?rules=only"} {
+			_, tag, _, err := etagClient.GetConditional(ctx, path, etags[path])
+			if err != nil {
+				return nil, err
+			}
+			etags[path] = tag
+		}
+	}
+	out.SteadyETag = etagCT.cell()
+
+	// The streamer snapshots once, then parks a long poll; the steady
+	// window elapses while the poll is held. The window is sized by the
+	// poller's cadence (100ms/tick, the SDK's natural refresh rate).
+	watchCtx, cancelWatch := context.WithCancel(ctx)
+	updates := make(chan struct{}, 1)
+	w := streamClient.Watch(watchCtx, client.WatchOptions{OnUpdate: func() {
+		select {
+		case updates <- struct{}{}:
+		default:
+		}
+	}})
+	select {
+	case <-updates: // the snapshot landed; the long poll is parking
+	case <-time.After(10 * time.Second):
+		cancelWatch()
+		return nil, fmt.Errorf("streambench: watcher never applied its snapshot")
+	}
+	time.Sleep(time.Duration(steady) * 100 * time.Millisecond)
+	out.SteadyStream = streamCT.cell()
+	if out.SteadyStream.Requests > 0 {
+		out.SteadyRequestRatio = float64(out.SteadyPoll.Requests) / float64(out.SteadyStream.Requests)
+	}
+
+	// Replica-equivalence sanity before moving on.
+	if !bytes.Equal(pollMirror.Canonical(), w.Mirror().Canonical()) {
+		cancelWatch()
+		return nil, fmt.Errorf("streambench: steady-phase replicas diverged")
+	}
+
+	// --- Changing phase: one planning cycle per step. ---
+
+	pollCT.reset()
+	streamCT.reset()
+	syncMirror := w.Mirror()
+	cancelWatch()
+	<-w.Done()
+
+	for step := 0; step < steps; step++ {
+		if _, err := ctrl.Step(); err != nil {
+			return nil, err
+		}
+		clk.Advance(time.Hour)
+		if err := pollClient.PollInto(ctx, pollMirror); err != nil {
+			return nil, err
+		}
+		if err := streamClient.Sync(ctx, syncMirror); err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(pollMirror.Canonical(), syncMirror.Canonical()) {
+			return nil, fmt.Errorf("streambench: replicas diverged at step %d", step)
+		}
+	}
+	out.ChangingPoll = pollCT.cell()
+	out.ChangingStream = streamCT.cell()
+	return out, nil
+}
+
+// WriteJSON writes the BENCH_stream.json artifact.
+func (res *StreamBench) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(res)
+}
+
+// WriteTable renders a human-readable summary.
+func (res *StreamBench) WriteTable(w io.Writer) error {
+	_, err := fmt.Fprintf(w,
+		"cloud↔edge sync protocols, steady phase (%d ticks, unchanged state)\n"+
+			"  poll    %5d requests  %8d body bytes\n"+
+			"  etag    %5d requests  %8d body bytes\n"+
+			"  stream  %5d requests  %8d body bytes\n"+
+			"  poll/stream request ratio: %.1fx\n"+
+			"changing phase (%d planning cycles, replica caught up per cycle)\n"+
+			"  poll    %5d requests  %8d body bytes\n"+
+			"  stream  %5d requests  %8d body bytes\n",
+		res.SteadyTicks,
+		res.SteadyPoll.Requests, res.SteadyPoll.BodyBytes,
+		res.SteadyETag.Requests, res.SteadyETag.BodyBytes,
+		res.SteadyStream.Requests, res.SteadyStream.BodyBytes,
+		res.SteadyRequestRatio,
+		res.ChangingSteps,
+		res.ChangingPoll.Requests, res.ChangingPoll.BodyBytes,
+		res.ChangingStream.Requests, res.ChangingStream.BodyBytes)
+	return err
+}

@@ -1,0 +1,26 @@
+package bench
+
+import "testing"
+
+func TestRunStreamBenchSmoke(t *testing.T) {
+	res, err := RunStreamBench(StreamBenchOptions{SteadyTicks: 5, ChangingSteps: 3, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SteadyPoll.Requests != int64(5*3) {
+		t.Errorf("steady poll requests = %d, want 15", res.SteadyPoll.Requests)
+	}
+	if res.SteadyStream.Requests >= res.SteadyPoll.Requests {
+		t.Errorf("stream (%d) not cheaper than poll (%d)", res.SteadyStream.Requests, res.SteadyPoll.Requests)
+	}
+	if res.SteadyRequestRatio < 5 {
+		t.Errorf("steady request ratio = %.1f, want >= 5", res.SteadyRequestRatio)
+	}
+	if res.SteadyETag.BodyBytes >= res.SteadyPoll.BodyBytes {
+		t.Errorf("etag bytes (%d) not below poll bytes (%d)", res.SteadyETag.BodyBytes, res.SteadyPoll.BodyBytes)
+	}
+	if res.ChangingStream.BodyBytes >= res.ChangingPoll.BodyBytes {
+		t.Errorf("changing stream bytes (%d) not below poll bytes (%d)", res.ChangingStream.BodyBytes, res.ChangingPoll.BodyBytes)
+	}
+	t.Logf("steady ratio %.1fx; changing poll %+v stream %+v", res.SteadyRequestRatio, res.ChangingPoll, res.ChangingStream)
+}

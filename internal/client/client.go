@@ -55,6 +55,7 @@ type Client struct {
 	base    string
 	http    *http.Client
 	retries int
+	now     func() time.Time // clock seam for Retry-After HTTP-dates
 
 	mu  sync.Mutex // guards rng
 	rng *rand.Rand // jitter source, seeded from base for reproducibility
@@ -78,6 +79,7 @@ func New(baseURL string, httpClient *http.Client) (*Client, error) {
 	return &Client{
 		base: strings.TrimSuffix(baseURL, "/"),
 		http: httpClient,
+		now:  time.Now,
 		rng:  rand.New(rand.NewPCG(h.Sum64(), 0x9e3779b97f4a7c15)),
 	}, nil
 }
@@ -234,8 +236,10 @@ func (c *Client) backoff(attempt int) time.Duration {
 
 // parseRetryAfter interprets a Retry-After header, either delta-seconds
 // or an HTTP-date, capped at retryAfterCap. ok is false when the header
-// is absent or unparseable.
-func parseRetryAfter(h string) (d time.Duration, ok bool) {
+// is absent or unparseable. The HTTP-date branch measures against now —
+// the client's injectable clock, not the wall — so tests exercise real
+// dates without sleeping through them.
+func parseRetryAfter(h string, now func() time.Time) (d time.Duration, ok bool) {
 	h = strings.TrimSpace(h)
 	if h == "" {
 		return 0, false
@@ -246,7 +250,7 @@ func parseRetryAfter(h string) (d time.Duration, ok bool) {
 		}
 		d = time.Duration(secs) * time.Second
 	} else if t, err := http.ParseTime(h); err == nil {
-		d = time.Until(t)
+		d = t.Sub(now())
 		if d < 0 {
 			d = 0
 		}
@@ -340,7 +344,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) (er
 			if retryable && attempt < c.retries {
 				// A degraded or throttling server knows when to come back
 				// better than our schedule does — honor its Retry-After.
-				if d, ok := parseRetryAfter(retryAfter); ok {
+				if d, ok := parseRetryAfter(retryAfter, c.now); ok {
 					wait = d
 				} else {
 					wait = c.backoff(attempt + 1)

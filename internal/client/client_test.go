@@ -320,18 +320,25 @@ func TestParseRetryAfter(t *testing.T) {
 		{"junk", 0, false},
 		{"120", retryAfterCap, true}, // capped
 	}
+	// The clock is injected: the HTTP-date cases below measure against a
+	// fixed instant, no wall-clock reads, no sleeping through real dates.
+	base := time.Date(2015, time.January, 10, 20, 0, 0, 0, time.UTC)
+	now := func() time.Time { return base }
 	for _, tc := range cases {
-		got, ok := parseRetryAfter(tc.in)
+		got, ok := parseRetryAfter(tc.in, now)
 		if got != tc.want || ok != tc.ok {
 			t.Errorf("parseRetryAfter(%q) = %v, %v; want %v, %v", tc.in, got, ok, tc.want, tc.ok)
 		}
 	}
 	// HTTP-date in the past clamps to zero; in the future it is honored
-	// (within scheduling slop) and capped.
-	if d, ok := parseRetryAfter(time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat)); !ok || d != 0 {
+	// exactly (the injected clock leaves no scheduling slop) and capped.
+	if d, ok := parseRetryAfter(base.Add(-time.Hour).Format(http.TimeFormat), now); !ok || d != 0 {
 		t.Errorf("past date = %v, %v; want 0, true", d, ok)
 	}
-	if d, ok := parseRetryAfter(time.Now().Add(time.Hour).UTC().Format(http.TimeFormat)); !ok || d != retryAfterCap {
+	if d, ok := parseRetryAfter(base.Add(10*time.Second).Format(http.TimeFormat), now); !ok || d != 10*time.Second {
+		t.Errorf("near-future date = %v, %v; want 10s, true", d, ok)
+	}
+	if d, ok := parseRetryAfter(base.Add(time.Hour).Format(http.TimeFormat), now); !ok || d != retryAfterCap {
 		t.Errorf("far-future date = %v, %v; want %v, true", d, ok, retryAfterCap)
 	}
 }

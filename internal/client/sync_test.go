@@ -1,0 +1,258 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/imcf/imcf/internal/controller"
+	"github.com/imcf/imcf/internal/stream"
+)
+
+// bootStream is boot with a decision-stream hub wired in.
+func bootStream(t *testing.T) (*controller.Controller, *Client, *stream.Hub) {
+	t.Helper()
+	hub := stream.NewHub("boot-a", 64)
+	ctl, cl, _ := boot(t, func(cfg *controller.Config) { cfg.Stream = hub })
+	return ctl, cl, hub
+}
+
+func TestSyncMirrorMatchesPoll(t *testing.T) {
+	ctl, cl, _ := bootStream(t)
+	if _, err := ctl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	m := stream.NewMirror()
+	if err := cl.Sync(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	polled, err := cl.PollMirror(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Canonical(), polled.Canonical()) {
+		t.Fatalf("sync mirror\n  %s\n!= poll mirror\n  %s", m.Canonical(), polled.Canonical())
+	}
+	// A second Sync is incremental (delta poll) and stays identical.
+	if _, err := ctl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Sync(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	polled2, err := cl.PollMirror(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Canonical(), polled2.Canonical()) {
+		t.Fatalf("incremental sync diverged from poll")
+	}
+}
+
+func TestSyncBeforeFirstPlanMatchesPoll(t *testing.T) {
+	_, cl, _ := bootStream(t)
+	m := stream.NewMirror()
+	if err := cl.Sync(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	polled, err := cl.PollMirror(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Canonical(), polled.Canonical()) {
+		t.Fatalf("pre-plan sync mirror %s != poll mirror %s", m.Canonical(), polled.Canonical())
+	}
+}
+
+func TestWatchFollowsSteps(t *testing.T) {
+	ctl, cl, _ := bootStream(t)
+	ctxw, cancel := context.WithCancel(ctx)
+	defer cancel()
+	updates := make(chan struct{}, 16)
+	w := cl.Watch(ctxw, WatchOptions{
+		Wait:     2 * time.Second,
+		OnUpdate: func() { updates <- struct{}{} },
+	})
+	waitUpdate(t, updates) // initial snapshot
+	if _, err := ctl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	waitUpdate(t, updates) // the step's delta batch
+	var report controller.StepReport
+	ok, err := w.Mirror().Decode("", stream.KindPlan, &report)
+	if err != nil || !ok {
+		t.Fatalf("mirror plan = %v, %v", ok, err)
+	}
+	want, _ := ctl.LastStep()
+	if !report.Time.Equal(want.Time) {
+		t.Fatalf("mirror plan time %v != %v", report.Time, want.Time)
+	}
+	cancel()
+	<-w.Done()
+	if w.Err() == nil {
+		t.Fatal("stopped watcher reports no error")
+	}
+}
+
+func TestWatchFallsBackToPolling(t *testing.T) {
+	// No hub: the stream endpoints 404 and the watcher must still build
+	// a correct mirror by polling.
+	ctl, cl, _ := boot(t, nil)
+	if _, err := ctl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	ctxw, cancel := context.WithCancel(ctx)
+	defer cancel()
+	updates := make(chan struct{}, 16)
+	w := cl.Watch(ctxw, WatchOptions{
+		PollInterval: 10 * time.Millisecond,
+		OnUpdate:     func() { updates <- struct{}{} },
+	})
+	waitUpdate(t, updates)
+	polled, err := cl.PollMirror(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(w.Mirror().Canonical(), polled.Canonical()) {
+		t.Fatalf("fallback mirror diverged from poll reference")
+	}
+	cancel()
+	<-w.Done()
+}
+
+func waitUpdate(t *testing.T, ch <-chan struct{}) {
+	t.Helper()
+	select {
+	case <-ch:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no mirror update arrived")
+	}
+}
+
+// chokepoint kills the TCP connection of every other delta request —
+// the "connection dies at every delta boundary" adversary. Snapshot
+// fetches are counted, everything else passes through untouched.
+type chokepoint struct {
+	inner     http.Handler
+	snapshots atomic.Int64
+	mu        sync.Mutex
+	kill      bool // next delta request dies before answering
+}
+
+func (cp *chokepoint) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if strings.HasSuffix(r.URL.Path, "/rest/stream/snapshot") {
+		cp.snapshots.Add(1)
+	}
+	if !strings.HasPrefix(r.URL.Path, "/rest/stream") || strings.HasSuffix(r.URL.Path, "/snapshot") {
+		cp.inner.ServeHTTP(w, r)
+		return
+	}
+	cp.mu.Lock()
+	kill := cp.kill
+	cp.kill = !cp.kill
+	cp.mu.Unlock()
+	if kill {
+		// Slam the connection so the client sees a transport error, not
+		// a clean HTTP response.
+		panic(http.ErrAbortHandler)
+	}
+	cp.inner.ServeHTTP(w, r)
+}
+
+func TestWatchResumesAcrossKilledConnections(t *testing.T) {
+	hub := stream.NewHub("boot-kill", 256)
+	ctl, _, _ := boot(t, func(cfg *controller.Config) { cfg.Stream = hub })
+	cp := &chokepoint{inner: controller.API(ctl)}
+	srv := httptest.NewServer(cp)
+	t.Cleanup(srv.Close)
+	cl, err := New(srv.URL, srv.Client())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctxw, cancel := context.WithCancel(ctx)
+	defer cancel()
+	updates := make(chan struct{}, 64)
+	w := cl.Watch(ctxw, WatchOptions{
+		Wait:     2 * time.Second,
+		OnUpdate: func() { updates <- struct{}{} },
+	})
+	waitUpdate(t, updates)
+
+	// Every step publishes deltas; between each, the chokepoint kills
+	// the next poll's connection, forcing a reconnect that must resume
+	// from Last-Event-Seq — never a re-snapshot, never a gap.
+	const steps = 5
+	for i := 0; i < steps; i++ {
+		if _, err := ctl.Step(); err != nil {
+			t.Fatal(err)
+		}
+		waitUpdate(t, updates)
+	}
+	// The mirror converged to the hub's exact state.
+	ref := stream.NewMirror()
+	ref.ApplySnapshot(hub.Snapshot())
+	deadline := time.Now().Add(5 * time.Second)
+	for !bytes.Equal(w.Mirror().Canonical(), ref.Canonical()) {
+		if time.Now().After(deadline) {
+			t.Fatalf("mirror never converged:\n  %s\nwant:\n  %s",
+				w.Mirror().Canonical(), ref.Canonical())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Resume stayed seamless: the mirror still tracks the original
+	// instance at the hub's sequence, and every reconnect resumed via
+	// Last-Event-Seq — the one snapshot served is the initial connect.
+	instance, seq := w.Mirror().Position()
+	if instance != "boot-kill" || seq != hub.Seq() {
+		t.Fatalf("mirror position = %q/%d, hub at %d", instance, seq, hub.Seq())
+	}
+	if n := cp.snapshots.Load(); n != 1 {
+		t.Fatalf("killed connections forced %d snapshots, want exactly 1 (seamless resume)", n)
+	}
+	cancel()
+	<-w.Done()
+}
+
+func TestGetConditional(t *testing.T) {
+	ctl, cl, _ := bootStream(t)
+	if _, err := ctl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	body, etag, notMod, err := cl.GetConditional(ctx, "/rest/mrt", "")
+	if err != nil || notMod || len(body) == 0 || etag == "" {
+		t.Fatalf("first conditional GET = %v %q %v %v", len(body), etag, notMod, err)
+	}
+	body2, etag2, notMod2, err := cl.GetConditional(ctx, "/rest/mrt", etag)
+	if err != nil || !notMod2 || body2 != nil || etag2 != etag {
+		t.Fatalf("revalidation = %v %q %v %v", len(body2), etag2, notMod2, err)
+	}
+}
+
+func TestMirrorAccessors(t *testing.T) {
+	ctl, cl, _ := bootStream(t)
+	if _, err := ctl.Step(); err != nil {
+		t.Fatal(err)
+	}
+	m := stream.NewMirror()
+	if err := cl.Sync(ctx, m); err != nil {
+		t.Fatal(err)
+	}
+	if raw, ok := MirrorMRT(m); !ok || len(raw) == 0 {
+		t.Fatal("mirror has no MRT")
+	}
+	rules, err := MirrorFirewallRules(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ctl.Firewall().Rules()
+	if len(rules) != len(want) {
+		t.Fatalf("mirror rules %v != firewall rules %v", rules, want)
+	}
+}

@@ -1,0 +1,312 @@
+package cloud
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"github.com/imcf/imcf/internal/metrics"
+	"github.com/imcf/imcf/internal/obs"
+	"github.com/imcf/imcf/internal/stream"
+)
+
+// Aggregator health counters.
+var (
+	aggEvents = metrics.NewCounter("imcf_cloud_stream_events_total",
+		"Site decision-stream events republished into the merged hub.")
+	aggReconnects = metrics.NewCounter("imcf_cloud_stream_reconnects_total",
+		"Site stream sessions re-established after an error or restart.")
+)
+
+// siteKinds are the components a Local Controller publishes; the
+// fan-in diffs snapshots against this set.
+var siteKinds = []stream.Kind{stream.KindMRT, stream.KindPlan, stream.KindFirewall}
+
+// Aggregator is the relay's stream fan-in: one worker per registered
+// site follows that site's decision stream (snapshot, then long-poll
+// deltas) and republishes every event into a merged hub under the
+// "site/kind" key, which the relay serves at /cmc/stream — the same
+// protocol one level up. Workers reconnect with capped exponential
+// backoff, re-snapshot when a site's controller restarts (its instance
+// token changes), and a site's components are tombstoned when it
+// unregisters.
+type Aggregator struct {
+	relay  *Relay
+	hub    *stream.Hub
+	client *http.Client
+	// wait is the per-poll hold time requested from sites.
+	wait time.Duration
+	// backoff schedules reconnect attempt n (1-based); injectable so
+	// tests reconnect fast.
+	backoff func(attempt int) time.Duration
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+
+	mu      sync.Mutex
+	workers map[string]context.CancelFunc
+}
+
+// AggregatorOptions tunes an Aggregator.
+type AggregatorOptions struct {
+	// Instance tokens the merged hub's lifetime (a relay restart must
+	// mint a new one).
+	Instance string
+	// RingCap bounds the merged hub's delta ring (<= 0 means the
+	// stream default).
+	RingCap int
+	// Client fetches from sites; nil means the relay's client.
+	Client *http.Client
+	// Wait is the long-poll hold requested from sites (default 25s).
+	Wait time.Duration
+	// Backoff overrides the reconnect schedule (default exponential
+	// 50ms..2s).
+	Backoff func(attempt int) time.Duration
+}
+
+// NewAggregator attaches a stream fan-in to the relay and starts a
+// worker for every already-registered site. Close releases it.
+func NewAggregator(r *Relay, opts AggregatorOptions) *Aggregator {
+	if opts.Client == nil {
+		opts.Client = r.client
+	}
+	if opts.Wait <= 0 {
+		opts.Wait = stream.DefaultWait
+	}
+	if opts.Backoff == nil {
+		opts.Backoff = defaultAggBackoff
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	a := &Aggregator{
+		relay:   r,
+		hub:     stream.NewHub(opts.Instance, opts.RingCap),
+		client:  opts.Client,
+		wait:    opts.Wait,
+		backoff: opts.Backoff,
+		ctx:     ctx,
+		cancel:  cancel,
+		workers: make(map[string]context.CancelFunc),
+	}
+	r.mu.Lock()
+	r.agg = a
+	sites := make(map[string]*url.URL, len(r.sites))
+	for s, u := range r.sites {
+		sites[s] = u
+	}
+	r.mu.Unlock()
+	for s, u := range sites {
+		a.siteAdded(s, u)
+	}
+	return a
+}
+
+// defaultAggBackoff grows 50ms..2s, deterministic (per-site workers
+// already de-correlate by site activity).
+func defaultAggBackoff(attempt int) time.Duration {
+	d := 50 * time.Millisecond
+	for i := 1; i < attempt && d < 2*time.Second; i++ {
+		d *= 2
+	}
+	return min(d, 2*time.Second)
+}
+
+// Hub is the merged cross-site stream.
+func (a *Aggregator) Hub() *stream.Hub { return a.hub }
+
+// Close stops every worker and closes the merged hub.
+func (a *Aggregator) Close() {
+	a.relay.mu.Lock()
+	if a.relay.agg == a {
+		a.relay.agg = nil
+	}
+	a.relay.mu.Unlock()
+	a.cancel()
+	a.wg.Wait()
+	a.hub.Close()
+}
+
+// streamHub returns the merged hub, nil when no aggregator is
+// attached.
+func (r *Relay) streamHub() *stream.Hub {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if r.agg == nil {
+		return nil
+	}
+	return r.agg.hub
+}
+
+// siteAdded starts (or restarts) the site's follower.
+func (a *Aggregator) siteAdded(site string, base *url.URL) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if cancel, ok := a.workers[site]; ok {
+		cancel() // re-registered, possibly at a new URL
+	}
+	ctx, cancel := context.WithCancel(a.ctx)
+	a.workers[site] = cancel
+	a.wg.Add(1)
+	go a.follow(ctx, site, base)
+}
+
+// siteRemoved stops the follower and tombstones the site's components.
+func (a *Aggregator) siteRemoved(site string) {
+	a.mu.Lock()
+	cancel, ok := a.workers[site]
+	if ok {
+		delete(a.workers, site)
+	}
+	a.mu.Unlock()
+	if ok {
+		cancel()
+	}
+	a.hub.RemoveSite(site)
+}
+
+// follow is one site's worker: follow the site's stream, reconnect on
+// error with backoff, until the worker is cancelled.
+func (a *Aggregator) follow(ctx context.Context, site string, base *url.URL) {
+	defer a.wg.Done()
+	var instance string
+	var seq uint64
+	attempt := 0
+	for ctx.Err() == nil {
+		err := a.followOnce(ctx, site, base, &instance, &seq)
+		if ctx.Err() != nil {
+			return
+		}
+		aggReconnects.Inc()
+		attempt++
+		if err != nil {
+			obs.L().LogAttrs(ctx, slog.LevelDebug, "site stream session ended",
+				slog.String("site", site), slog.Int("attempt", attempt), obs.Error(err))
+		} else {
+			attempt = 1 // resync request, not a failure: reconnect quickly
+		}
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(a.backoff(attempt)):
+		}
+	}
+}
+
+// followOnce runs one session: snapshot when the position is unknown,
+// then long-poll deltas, republishing everything under the site's key.
+// It returns nil when the site asks for a resync (the caller retries
+// from a fresh snapshot) and an error for transport failures.
+func (a *Aggregator) followOnce(ctx context.Context, site string, base *url.URL, instance *string, seq *uint64) error {
+	if *instance == "" {
+		snap, err := a.fetchSnapshot(ctx, base)
+		if err != nil {
+			return err
+		}
+		a.applySiteSnapshot(site, snap)
+		*instance, *seq = snap.Instance, snap.Seq
+	}
+	for ctx.Err() == nil {
+		b, resync, err := a.fetchDeltas(ctx, base, *instance, *seq)
+		if err != nil {
+			return err
+		}
+		if resync {
+			// Site restarted or its ring lapped us: next session
+			// re-snapshots.
+			*instance, *seq = "", 0
+			return nil
+		}
+		for _, ev := range b.Events {
+			a.republish(site, ev)
+		}
+		*seq = b.Through
+	}
+	return ctx.Err()
+}
+
+// applySiteSnapshot reconciles the merged hub with one site's full
+// state: present components are republished (Publish compacts, so
+// unchanged values still coalesce cleanly downstream), absent ones are
+// tombstoned.
+func (a *Aggregator) applySiteSnapshot(site string, snap stream.Snapshot) {
+	for _, kind := range siteKinds {
+		data, ok := snap.State[string(kind)]
+		if !ok {
+			a.hub.Remove(site, kind)
+			continue
+		}
+		if _, err := a.hub.Publish(site, kind, data); err != nil {
+			obs.L().LogAttrs(a.ctx, slog.LevelWarn, "merged republish failed",
+				slog.String("site", site), slog.String("kind", string(kind)), obs.Error(err))
+		} else {
+			aggEvents.Inc()
+		}
+	}
+}
+
+// republish forwards one site event into the merged hub.
+func (a *Aggregator) republish(site string, ev stream.Event) {
+	if ev.Data == nil {
+		a.hub.Remove(site, ev.Kind)
+		aggEvents.Inc()
+		return
+	}
+	if _, err := a.hub.Publish(site, ev.Kind, ev.Data); err != nil {
+		obs.L().LogAttrs(a.ctx, slog.LevelWarn, "merged republish failed",
+			slog.String("site", site), slog.String("kind", string(ev.Kind)), obs.Error(err))
+		return
+	}
+	aggEvents.Inc()
+}
+
+// fetchSnapshot GETs a site's /rest/stream/snapshot.
+func (a *Aggregator) fetchSnapshot(ctx context.Context, base *url.URL) (stream.Snapshot, error) {
+	var snap stream.Snapshot
+	err := a.getJSON(ctx, strings.TrimSuffix(base.String(), "/")+"/rest/stream/snapshot", &snap)
+	return snap, err
+}
+
+// fetchDeltas long-polls a site's /rest/stream. resync is true on 409.
+func (a *Aggregator) fetchDeltas(ctx context.Context, base *url.URL, instance string, seq uint64) (b stream.Batch, resync bool, err error) {
+	target := strings.TrimSuffix(base.String(), "/") + "/rest/stream?instance=" +
+		url.QueryEscape(instance) + "&seq=" + strconv.FormatUint(seq, 10) +
+		"&wait=" + strconv.FormatFloat(a.wait.Seconds(), 'f', -1, 64)
+	err = a.getJSON(ctx, target, &b)
+	var se *statusError
+	if errors.As(err, &se) && se.status == http.StatusConflict {
+		return stream.Batch{}, true, nil
+	}
+	return b, false, err
+}
+
+// statusError is a non-2xx site response.
+type statusError struct{ status int }
+
+func (e *statusError) Error() string { return fmt.Sprintf("site returned %d", e.status) }
+
+// getJSON fetches one JSON document.
+func (a *Aggregator) getJSON(ctx context.Context, target string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, target, nil)
+	if err != nil {
+		return err
+	}
+	resp, err := a.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096)) //nolint:errcheck // draining for connection reuse
+		return &statusError{status: resp.StatusCode}
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}

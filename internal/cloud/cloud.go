@@ -13,6 +13,12 @@
 //	ANY  /cc/sites/{site}/rest/...     — reverse-proxy to that site's LC
 //	POST /cmc/broadcast/mrt            — push a Meta-Rule Table to every site
 //	POST /cmc/broadcast/plan           — trigger an EP cycle on every site
+//	GET  /cmc/stream/snapshot          — merged cross-site decision stream state
+//	GET  /cmc/stream                   — merged decision-stream deltas (long-poll/SSE)
+//
+// The /cmc/stream pair appears when an Aggregator is attached: per-site
+// workers follow each Local Controller's /rest/stream and republish
+// into one merged hub keyed "site/kind" (DESIGN.md §16).
 //
 // A non-empty bearer token gates every route, standing in for the
 // user-account auth a production CC would carry.
@@ -51,6 +57,9 @@ type Relay struct {
 
 	mu    sync.RWMutex
 	sites map[string]*url.URL
+	// agg, when attached, fans site decision streams into one merged
+	// hub served at /cmc/stream (see Aggregator).
+	agg *Aggregator
 }
 
 // NewRelay returns a relay; token may be empty to disable auth (tests,
@@ -72,16 +81,24 @@ func (r *Relay) Register(site, baseURL string) error {
 		return fmt.Errorf("cloud: invalid base URL %q", baseURL)
 	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.sites[site] = u
+	agg := r.agg
+	r.mu.Unlock()
+	if agg != nil {
+		agg.siteAdded(site, u)
+	}
 	return nil
 }
 
 // Unregister removes a site. Removing a missing site is a no-op.
 func (r *Relay) Unregister(site string) {
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	delete(r.sites, site)
+	agg := r.agg
+	r.mu.Unlock()
+	if agg != nil {
+		agg.siteRemoved(site)
+	}
 }
 
 // Sites returns the registered site names, sorted.
@@ -135,6 +152,24 @@ func (r *Relay) Handler() http.Handler {
 	mux.HandleFunc("POST /cmc/broadcast/plan", r.withAuth(func(w http.ResponseWriter, req *http.Request) {
 		r.broadcast(w, req, "/rest/plan/run", false)
 	}))
+	// The merged cross-site decision stream, present when an Aggregator
+	// is attached (resolved per request: attachment may follow Handler).
+	mux.HandleFunc("GET /cmc/stream/snapshot", r.withAuth(func(w http.ResponseWriter, req *http.Request) {
+		hub := r.streamHub()
+		if hub == nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "stream aggregation is disabled"})
+			return
+		}
+		hub.SnapshotHandler()(w, req)
+	}))
+	mux.HandleFunc("GET /cmc/stream", r.withAuth(func(w http.ResponseWriter, req *http.Request) {
+		hub := r.streamHub()
+		if hub == nil {
+			writeJSON(w, http.StatusNotFound, map[string]string{"error": "stream aggregation is disabled"})
+			return
+		}
+		hub.DeltaHandler()(w, req)
+	}))
 	// TraceMiddleware propagates an incoming traceparent (or mints one)
 	// so a cycle triggered through the relay shares the APP's trace end
 	// to end: client.request → http.cloud → cloud.proxy → http.api.
@@ -183,9 +218,13 @@ func (r *Relay) proxy(w http.ResponseWriter, req *http.Request) {
 		writeJSON(w, http.StatusBadGateway, map[string]string{"error": err.Error()})
 		return
 	}
-	if ct := req.Header.Get("Content-Type"); ct != "" {
-		out.Header.Set("Content-Type", ct)
-	}
+	// Forward the APP's end-to-end request headers (Accept matters: it
+	// selects the LC's SSE delta transport) but not its hop-by-hop set,
+	// and not Authorization — the bearer token authenticates to the
+	// relay, not to the site.
+	out.Header = req.Header.Clone()
+	stripHopByHop(out.Header)
+	out.Header.Del("Authorization")
 	if tc, ok := metrics.TraceFrom(req.Context()); ok {
 		metrics.InjectTrace(out, tc)
 	}
@@ -200,14 +239,76 @@ func (r *Relay) proxy(w http.ResponseWriter, req *http.Request) {
 		return
 	}
 	defer resp.Body.Close()
+	// The LC response's hop-by-hop headers describe its connection to
+	// the relay, not the relay's connection to the APP — forwarding
+	// them verbatim corrupts the client connection (a stray
+	// "Transfer-Encoding: chunked" or "Connection: close" is the
+	// classic failure). Strip them per RFC 9110 §7.6.1 before copying.
+	stripHopByHop(resp.Header)
 	for k, vs := range resp.Header {
 		for _, v := range vs {
 			w.Header().Add(k, v)
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body) //nolint:errcheck // best-effort stream to client
+	copyStreaming(w, resp)
 }
+
+// hopByHopHeaders are connection-scoped per RFC 9110 §7.6.1 and must
+// never cross an intermediary.
+var hopByHopHeaders = []string{
+	"Connection", "Keep-Alive", "Proxy-Authenticate", "Proxy-Authorization",
+	"Proxy-Connection", "TE", "Trailer", "Transfer-Encoding", "Upgrade",
+}
+
+// stripHopByHop removes the hop-by-hop headers from h, including any
+// additional ones the Connection header names.
+func stripHopByHop(h http.Header) {
+	for _, conn := range h.Values("Connection") {
+		for _, name := range strings.Split(conn, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				h.Del(name)
+			}
+		}
+	}
+	for _, name := range hopByHopHeaders {
+		h.Del(name)
+	}
+}
+
+// copyStreaming relays the upstream body. Event-stream responses (the
+// LC's SSE delta feed) are flushed per chunk so batches cross the
+// relay as they are produced, not when the buffer fills.
+func copyStreaming(w http.ResponseWriter, resp *http.Response) {
+	fl, canFlush := w.(http.Flusher)
+	if !canFlush || !strings.HasPrefix(resp.Header.Get("Content-Type"), "text/event-stream") {
+		io.Copy(w, resp.Body) //nolint:errcheck // best-effort stream to client
+		return
+	}
+	// Push the header frame out before blocking on the first upstream
+	// read: the APP's request does not complete until it sees headers,
+	// and an idle stream may not produce a byte for a long time.
+	fl.Flush()
+	buf := make([]byte, 16*1024)
+	for {
+		n, err := resp.Body.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			fl.Flush()
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// statusClientClosedRequest is nginx's non-standard 499: the client
+// closed the connection before the server finished. Nothing standard
+// fits a caller-cancelled fan-out, and the write is best-effort anyway
+// (the client is usually gone).
+const statusClientClosedRequest = 499
 
 // BroadcastResult reports one site's outcome of a CMC broadcast.
 type BroadcastResult struct {
@@ -216,15 +317,28 @@ type BroadcastResult struct {
 	Error  string `json:"error,omitempty"`
 }
 
+// broadcastBodyLimit caps a CMC broadcast payload (an MRT is a few KB;
+// a megabyte is already generous).
+const broadcastBodyLimit = 1 << 20
+
 // broadcast POSTs the request body (forwardBody) or an empty body to
 // path on every registered site and reports per-site outcomes.
 func (r *Relay) broadcast(w http.ResponseWriter, req *http.Request, path string, forwardBody bool) {
 	var body []byte
 	if forwardBody {
+		// Read one byte past the limit: an oversized body must be
+		// rejected outright, not silently truncated — a cut-short MRT
+		// can still be valid JSON and would fan out a partial table to
+		// every site.
 		var err error
-		body, err = io.ReadAll(io.LimitReader(req.Body, 1<<20))
+		body, err = io.ReadAll(io.LimitReader(req.Body, broadcastBodyLimit+1))
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, map[string]string{"error": err.Error()})
+			return
+		}
+		if len(body) > broadcastBodyLimit {
+			writeJSON(w, http.StatusRequestEntityTooLarge, map[string]string{
+				"error": fmt.Sprintf("body exceeds %d bytes", broadcastBodyLimit)})
 			return
 		}
 		if !json.Valid(body) {
@@ -236,6 +350,16 @@ func (r *Relay) broadcast(w http.ResponseWriter, req *http.Request, path string,
 	results := make([]BroadcastResult, 0, len(r.Sites()))
 	allOK := true
 	for _, site := range r.Sites() {
+		// A hung site burns its full dial/response timeout; once the
+		// APP has hung up there is no one left to report to, so stop
+		// between sites instead of marching down the rest of the fleet.
+		if err := req.Context().Err(); err != nil {
+			obs.L().LogAttrs(req.Context(), slog.LevelWarn, "broadcast abandoned mid-fleet",
+				slog.String("next_site", site), obs.Error(err))
+			writeJSON(w, statusClientClosedRequest, append(results, BroadcastResult{
+				Site: site, Error: "broadcast cancelled: " + err.Error()}))
+			return
+		}
 		base, ok := r.site(site)
 		if !ok {
 			continue // unregistered between listing and dispatch

@@ -1,0 +1,275 @@
+package cloud
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"github.com/imcf/imcf/internal/controller"
+	"github.com/imcf/imcf/internal/home"
+	"github.com/imcf/imcf/internal/simclock"
+	"github.com/imcf/imcf/internal/stream"
+)
+
+// newStreamSite boots a prototype controller with a decision-stream hub
+// behind its REST API.
+func newStreamSite(t *testing.T, seed uint64, instance string) (*controller.Controller, *httptest.Server) {
+	t.Helper()
+	res, err := home.Prototype(seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := controller.Config{
+		Residence:    res,
+		Clock:        simclock.NewSimClock(time.Date(2015, time.January, 10, 20, 0, 0, 0, time.UTC)),
+		WeeklyBudget: home.PrototypeWeeklyBudget,
+		Stream:       stream.NewHub(instance, 64),
+	}
+	cfg.Planner.Seed = seed
+	c, err := controller.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(controller.API(c))
+	t.Cleanup(srv.Close)
+	return c, srv
+}
+
+// fastAgg attaches an aggregator tuned for tests: short polls, near-
+// instant reconnects.
+func fastAgg(t *testing.T, r *Relay) *Aggregator {
+	t.Helper()
+	a := NewAggregator(r, AggregatorOptions{
+		Instance: "agg-test",
+		Wait:     200 * time.Millisecond,
+		Backoff:  func(int) time.Duration { return 5 * time.Millisecond },
+	})
+	t.Cleanup(a.Close)
+	return a
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, cond func() bool, msg string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatal(msg)
+}
+
+func TestAggregatorMergesSiteStreams(t *testing.T) {
+	ca, lcA := newStreamSite(t, 42, "boot-a")
+	_, lcB := newStreamSite(t, 43, "boot-b")
+
+	relay := NewRelay("", nil)
+	if err := relay.Register("a", lcA.URL); err != nil {
+		t.Fatal(err)
+	}
+	if err := relay.Register("b", lcB.URL); err != nil {
+		t.Fatal(err)
+	}
+	agg := fastAgg(t, relay)
+
+	// Both sites' seeded components fan in under site-prefixed keys.
+	waitFor(t, func() bool {
+		st := agg.Hub().Snapshot().State
+		for _, key := range []string{"a/mrt", "a/firewall", "b/mrt", "b/firewall"} {
+			if _, ok := st[key]; !ok {
+				return false
+			}
+		}
+		return true
+	}, "seeded components never fanned in")
+
+	// A step on one site flows through as a delta, byte-identical to
+	// the site's own published value.
+	if _, err := ca.Step(); err != nil {
+		t.Fatal(err)
+	}
+	want := ca.Stream().Snapshot().State["plan"]
+	waitFor(t, func() bool {
+		got, ok := agg.Hub().Snapshot().State["a/plan"]
+		return ok && bytes.Equal(got, want)
+	}, "site a's plan never reached the merged hub")
+	if _, ok := agg.Hub().Snapshot().State["b/plan"]; ok {
+		t.Error("site b gained a plan it never produced")
+	}
+
+	// The relay serves the merged stream with the same protocol one
+	// level up.
+	srv := httptest.NewServer(relay.Handler())
+	t.Cleanup(srv.Close)
+	resp, err := http.Get(srv.URL + "/cmc/stream/snapshot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap stream.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if snap.Instance != "agg-test" {
+		t.Errorf("merged instance = %q", snap.Instance)
+	}
+	if !bytes.Equal(snap.State["a/plan"], want) {
+		t.Error("served merged snapshot diverges from site a's plan")
+	}
+
+	// Resumable position: empty batch. Foreign instance: resync.
+	resp2, err := http.Get(srv.URL + "/cmc/stream?instance=agg-test&seq=" +
+		strconv.FormatUint(snap.Seq, 10) + "&wait=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b stream.Batch
+	if err := json.NewDecoder(resp2.Body).Decode(&b); err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if len(b.Events) != 0 || b.Through != snap.Seq {
+		t.Errorf("steady poll = %+v", b)
+	}
+	resp3, err := http.Get(srv.URL + "/cmc/stream?instance=other&seq=1&wait=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusConflict {
+		t.Errorf("foreign instance = %d, want 409", resp3.StatusCode)
+	}
+}
+
+func TestAggregatorResyncsOnSiteRestart(t *testing.T) {
+	// A front server whose backend we can swap stands in for a site
+	// whose controller restarts (new hub instance) at the same URL.
+	var backend atomic.Value // http.Handler
+	front := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		backend.Load().(http.Handler).ServeHTTP(w, r)
+	}))
+	t.Cleanup(front.Close)
+
+	c1, _ := newStreamSite(t, 42, "boot-1")
+	if _, err := c1.Step(); err != nil {
+		t.Fatal(err)
+	}
+	backend.Store(controller.API(c1))
+
+	relay := NewRelay("", nil)
+	if err := relay.Register("s", front.URL); err != nil {
+		t.Fatal(err)
+	}
+	agg := fastAgg(t, relay)
+	waitFor(t, func() bool {
+		_, ok := agg.Hub().Snapshot().State["s/plan"]
+		return ok
+	}, "pre-restart plan never fanned in")
+
+	// Restart: a fresh controller, fresh hub instance, no plan yet. The
+	// follower's next poll answers 409, forcing a re-snapshot that must
+	// also tombstone the component the new incarnation does not have.
+	c2, _ := newStreamSite(t, 42, "boot-2")
+	backend.Store(controller.API(c2))
+	waitFor(t, func() bool {
+		st := agg.Hub().Snapshot().State
+		_, hasPlan := st["s/plan"]
+		return !hasPlan && bytes.Equal(st["s/mrt"], c2.Stream().Snapshot().State["mrt"])
+	}, "merged hub never reconciled to the restarted site")
+}
+
+func TestAggregatorUnregisterTombstones(t *testing.T) {
+	_, lc := newStreamSite(t, 42, "boot-a")
+	relay := NewRelay("", nil)
+	if err := relay.Register("a", lc.URL); err != nil {
+		t.Fatal(err)
+	}
+	agg := fastAgg(t, relay)
+	waitFor(t, func() bool {
+		_, ok := agg.Hub().Snapshot().State["a/mrt"]
+		return ok
+	}, "site never fanned in")
+
+	relay.Unregister("a")
+	waitFor(t, func() bool {
+		return len(agg.Hub().Snapshot().State) == 0
+	}, "unregistered site's components were not tombstoned")
+}
+
+func TestStreamWithoutAggregatorIs404(t *testing.T) {
+	relay := newRelay(t, "", nil)
+	for _, path := range []string{"/cmc/stream/snapshot", "/cmc/stream"} {
+		resp, err := http.Get(relay.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s without aggregator = %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestProxyStreamsSSEThroughRelay proves the relay's body copy flushes
+// event-stream responses chunk by chunk: an SSE batch published after
+// the connection is up must arrive while the upstream holds the
+// connection open — a buffered io.Copy would sit on it until EOF.
+func TestProxyStreamsSSEThroughRelay(t *testing.T) {
+	c, lc := newStreamSite(t, 42, "boot-sse")
+	relay := newRelay(t, "", map[string]string{"home": lc.URL})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		relay.URL+"/cc/sites/home/rest/stream?instance=boot-sse&seq="+
+			strconv.FormatUint(c.Stream().Seq(), 10), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/event-stream") {
+		t.Fatalf("Content-Type through relay = %q", ct)
+	}
+
+	lines := make(chan string, 16)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+
+	if _, err := c.Step(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("stream closed before a batch arrived")
+			}
+			if line == "event: batch" {
+				return // the delta crossed the relay while the stream is live
+			}
+		case <-deadline:
+			t.Fatal("no SSE batch crossed the relay within 5s")
+		}
+	}
+}

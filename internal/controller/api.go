@@ -12,6 +12,7 @@ import (
 	"github.com/imcf/imcf/internal/metrics"
 	"github.com/imcf/imcf/internal/obs"
 	"github.com/imcf/imcf/internal/rules"
+	"github.com/imcf/imcf/internal/stream"
 )
 
 // API wraps a controller with the REST interface the openHAB panel and
@@ -29,7 +30,12 @@ import (
 //	GET  /rest/persistence/items      — recorded measurement items
 //	GET  /rest/persistence/data/{item} — readings or ?bucket= aggregates
 //	GET  /rest/mrt/conflicts          — MRT clash/shadow/budget analysis
+//	GET  /rest/stream/snapshot        — decision-stream snapshot (DESIGN.md §16)
+//	GET  /rest/stream                 — decision-stream deltas (long-poll or SSE)
 //	GET  /                            — the embedded panel UI (Fig. 5 stand-in)
+//
+// GET /rest/mrt, /rest/plan and /rest/firewall?rules=only carry stream-
+// versioned ETags and honor If-None-Match with 304.
 //
 // Every route runs behind metrics.TraceMiddleware: an incoming
 // traceparent header is propagated (and echoed on the response) or a
@@ -90,6 +96,9 @@ func API(c *Controller) http.Handler {
 	})
 
 	mux.HandleFunc("GET /rest/mrt", func(w http.ResponseWriter, r *http.Request) {
+		if componentETag(w, r, c.Stream(), stream.KindMRT) {
+			return
+		}
 		writeJSON(w, http.StatusOK, c.MRT())
 	})
 
@@ -139,6 +148,9 @@ func API(c *Controller) http.Handler {
 		report, ok := c.LastStep()
 		if !ok {
 			writeError(w, r, http.StatusNotFound, errors.New("no plan has run yet"))
+			return
+		}
+		if componentETag(w, r, c.Stream(), stream.KindPlan) {
 			return
 		}
 		writeJSON(w, http.StatusOK, report)
@@ -216,6 +228,12 @@ func API(c *Controller) http.Handler {
 	})
 
 	mux.HandleFunc("GET /rest/firewall", func(w http.ResponseWriter, r *http.Request) {
+		// The ETag versions the block set only; the allowed/dropped
+		// counters advance with every flow check and are not part of
+		// the streamed state.
+		if r.URL.Query().Get("rules") == "only" && componentETag(w, r, c.Stream(), stream.KindFirewall) {
+			return
+		}
 		allowed, dropped := c.Firewall().Counters()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"rules":   c.Firewall().Rules(),
@@ -223,6 +241,9 @@ func API(c *Controller) http.Handler {
 			"dropped": dropped,
 		})
 	})
+
+	mux.HandleFunc("GET /rest/stream/snapshot", streamSnapshotHandler(c))
+	mux.HandleFunc("GET /rest/stream", streamHandler(c))
 
 	return metrics.TraceMiddleware("http.api", mux)
 }

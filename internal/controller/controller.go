@@ -2,6 +2,7 @@ package controller
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
@@ -20,6 +21,7 @@ import (
 	"github.com/imcf/imcf/internal/rules"
 	"github.com/imcf/imcf/internal/simclock"
 	"github.com/imcf/imcf/internal/store"
+	"github.com/imcf/imcf/internal/stream"
 	"github.com/imcf/imcf/internal/trace"
 	"github.com/imcf/imcf/internal/units"
 )
@@ -122,6 +124,11 @@ type Config struct {
 	// verdict each cycle (see internal/journal); the daemon serves it at
 	// /debug/decisions and persists it across restarts.
 	Journal *journal.Journal
+	// Stream, when set, carries the controller's decision stream: the
+	// MRT on install, and each cycle's planner verdict and firewall
+	// block set, as seq-stamped deltas subscribers resume from
+	// (internal/stream, DESIGN.md §16).
+	Stream *stream.Hub
 }
 
 // StepReport summarizes one planning cycle.
@@ -259,8 +266,36 @@ func New(cfg Config) (*Controller, error) {
 			return nil, err
 		}
 	}
+	// Seed the decision stream so a subscriber's first snapshot already
+	// carries the active MRT and the (empty) firewall block set.
+	if cfg.Stream != nil {
+		c.publishStream(stream.KindMRT, c.mrt)
+		c.publishStream(stream.KindFirewall, c.fw.Rules())
+	}
 	return c, nil
 }
+
+// publishStream pushes one component's new value onto the decision
+// stream, when streaming is enabled. Failures are logged rather than
+// returned: the stream observes decisions already made, and any
+// subscriber that misses a delta resynchronizes from a snapshot.
+func (c *Controller) publishStream(kind stream.Kind, v any) {
+	if c.cfg.Stream == nil {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err == nil {
+		_, err = c.cfg.Stream.Publish("", kind, data)
+	}
+	if err != nil {
+		obs.L().LogAttrs(context.Background(), slog.LevelWarn, "stream publish failed",
+			slog.String("kind", string(kind)), obs.Error(err))
+	}
+}
+
+// Stream exposes the controller's decision stream hub, or nil when
+// streaming is disabled.
+func (c *Controller) Stream() *stream.Hub { return c.cfg.Stream }
 
 // Registry exposes the controller's device registry (the Things view).
 func (c *Controller) Registry() *device.Registry { return c.registry }
@@ -293,6 +328,7 @@ func (c *Controller) SetMRT(t rules.MRT) error {
 	c.mu.Lock()
 	c.mrt = t
 	c.mu.Unlock()
+	c.publishStream(stream.KindMRT, t)
 	if c.cfg.Store != nil {
 		if err := c.cfg.Store.PutJSON(mrtStoreKey, t); err != nil {
 			return &PersistError{Err: err}
@@ -555,6 +591,21 @@ func (c *Controller) finishStep(report StepReport, activeRules []rules.MetaRule,
 	traceID string, stepNo int, plannerJournaled bool) (StepReport, error) {
 
 	var firstErr error
+	// Coalesced firewall programming: one batched unblock up front (so
+	// every actuation — on and off commands alike — passes the
+	// firewall), per-rule binding I/O in rule order, then one batched
+	// block installing the cycle's drops. Two lock acquisitions per
+	// cycle instead of two per rule. When one device backs both an
+	// executed and a dropped rule the block wins deterministically; the
+	// old per-rule interleaving made the outcome depend on rule order.
+	var blocks []firewall.BlockRule
+	if actuate {
+		unblock := make([]string, len(activeRules))
+		for i := range activeRules {
+			unblock[i] = devs[i].Addr
+		}
+		c.fw.ApplyBatch(unblock, nil)
+	}
 	for i, r := range activeRules {
 		dev := devs[i]
 		if sol[i] {
@@ -563,7 +614,6 @@ func (c *Controller) finishStep(report StepReport, activeRules []rules.MetaRule,
 				if setpoints != nil {
 					value = setpoints[i]
 				}
-				c.fw.Unblock(dev.Addr)
 				if err := c.binding.Apply(dev, value); err != nil && firstErr == nil {
 					firstErr = err
 				}
@@ -571,11 +621,14 @@ func (c *Controller) finishStep(report StepReport, activeRules []rules.MetaRule,
 			report.Executed = append(report.Executed, r.ID)
 		} else {
 			if actuate {
-				c.fw.Unblock(dev.Addr) // allow the off command through
 				if err := c.binding.TurnOff(dev); err != nil && firstErr == nil {
 					firstErr = err
 				}
-				c.fw.BlockTraced(dev.Addr, "meta-rule "+r.ID+" dropped by "+c.cfg.Mode.String(), traceID)
+				blocks = append(blocks, firewall.BlockRule{
+					Addr:   dev.Addr,
+					Reason: "meta-rule " + r.ID + " dropped by " + c.cfg.Mode.String(),
+					Trace:  traceID,
+				})
 			}
 			report.Dropped = append(report.Dropped, r.ID)
 			report.PerRule[r.ID] = drops[i]
@@ -602,6 +655,9 @@ func (c *Controller) finishStep(report StepReport, activeRules []rules.MetaRule,
 				FlipIter:       journal.FlipNever,
 			})
 		}
+	}
+	if len(blocks) > 0 {
+		c.fw.ApplyBatch(nil, blocks)
 	}
 	sort.Strings(report.Executed)
 	sort.Strings(report.Dropped)
@@ -638,6 +694,13 @@ func (c *Controller) finishStep(report StepReport, activeRules []rules.MetaRule,
 	metrics.RulesDropped.Add(uint64(len(report.Dropped)))
 	metrics.EnergyConsumedKWh.Add(eval.Energy)
 	metrics.ConvenienceErrorSum.Add(eval.Error)
+
+	// Stream the cycle's outcome: the verdict, then the block set it
+	// left installed.
+	if c.cfg.Stream != nil {
+		c.publishStream(stream.KindPlan, report)
+		c.publishStream(stream.KindFirewall, c.fw.Rules())
+	}
 
 	return report, firstErr
 }

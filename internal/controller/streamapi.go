@@ -1,0 +1,74 @@
+package controller
+
+import (
+	"errors"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"github.com/imcf/imcf/internal/stream"
+)
+
+// componentETag stamps the response with the component's stream
+// version and answers 304 when the request's If-None-Match already
+// names it. With streaming disabled, or a component never published,
+// it does nothing and reports false so the caller serves the full
+// body.
+func componentETag(w http.ResponseWriter, r *http.Request, h *stream.Hub, kind stream.Kind) bool {
+	if h == nil {
+		return false
+	}
+	seq := h.ComponentSeq("", kind)
+	if seq == 0 {
+		return false
+	}
+	tag := `"` + h.Instance() + "." + strconv.FormatUint(seq, 10) + `"`
+	w.Header().Set("ETag", tag)
+	if match := r.Header.Get("If-None-Match"); match != "" && etagMatches(match, tag) {
+		stream.StreamNotModified.Inc()
+		w.WriteHeader(http.StatusNotModified)
+		return true
+	}
+	return false
+}
+
+// etagMatches reports whether an If-None-Match header names tag. Weak
+// validators compare equal to their strong form — these ETags version
+// byte-identical canonical state, so weakness adds nothing.
+func etagMatches(header, tag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(part)
+		part = strings.TrimPrefix(part, "W/")
+		if part == "*" || part == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// streamSnapshotHandler serves GET /rest/stream/snapshot — the full
+// component state plus the resume coordinates (instance, seq) the
+// delta endpoint continues from. 404 when streaming is disabled.
+func streamSnapshotHandler(c *Controller) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h := c.Stream()
+		if h == nil {
+			writeError(w, r, http.StatusNotFound, errors.New("streaming is disabled"))
+			return
+		}
+		h.SnapshotHandler()(w, r)
+	}
+}
+
+// streamHandler serves GET /rest/stream — the delta feed (long-poll or
+// SSE; see stream.DeltaHandler). 404 when streaming is disabled.
+func streamHandler(c *Controller) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		h := c.Stream()
+		if h == nil {
+			writeError(w, r, http.StatusNotFound, errors.New("streaming is disabled"))
+			return
+		}
+		h.DeltaHandler()(w, r)
+	}
+}

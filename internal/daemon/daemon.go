@@ -126,6 +126,10 @@ type Options struct {
 	// SLO overrides the SLO engine's thresholds; nil uses the obs
 	// defaults (1% error budget, warn at 2x burn, page at 10x).
 	SLO *obs.Config
+	// StreamRingCap bounds each tenant's decision-stream delta ring
+	// (served at /t/<id>/rest/stream); 0 means stream.DefaultRingCap,
+	// negative disables streaming entirely.
+	StreamRingCap int
 }
 
 // Daemon is a fully wired Local Controller process hosting one or more

@@ -18,6 +18,8 @@
 package daemon
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"errors"
 	"fmt"
 	"net/http"
@@ -34,6 +36,7 @@ import (
 	"github.com/imcf/imcf/internal/rules"
 	"github.com/imcf/imcf/internal/simclock"
 	"github.com/imcf/imcf/internal/store"
+	"github.com/imcf/imcf/internal/stream"
 	"github.com/imcf/imcf/internal/units"
 )
 
@@ -89,6 +92,17 @@ func ParseTenantID(id string) error {
 		}
 	}
 	return nil
+}
+
+// mintStreamInstance returns a fresh 8-byte hex token naming one
+// stream-hub lifetime. Exhausting the system's entropy source is
+// unrecoverable (the same stance metrics takes for trace IDs).
+func mintStreamInstance() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("daemon: crypto/rand: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
 }
 
 // tenantStorePrefix is the key prefix routing a tenant's store traffic
@@ -242,6 +256,15 @@ func (d *Daemon) newTenant(opts Options, spec TenantSpec, multi bool, view store
 	}
 	if cfg.Mode, err = parseMode(mode); err != nil {
 		return nil, err
+	}
+
+	if opts.StreamRingCap >= 0 {
+		// The instance token marks one hub lifetime: it must differ
+		// across daemon restarts (sequence numbers are not comparable),
+		// so it is minted from crypto/rand, never from the sim clock.
+		hub := stream.NewHub(t.id+"-"+mintStreamInstance(), opts.StreamRingCap)
+		cfg.Stream = hub
+		d.closers = append(d.closers, func() error { hub.Close(); return nil })
 	}
 
 	if opts.PersistDir != "" {

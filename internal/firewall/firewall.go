@@ -115,6 +115,31 @@ func (f *Firewall) Unblock(addr string) {
 	delete(f.blocked, addr)
 }
 
+// BlockRule is one entry of a batched block application.
+type BlockRule struct {
+	Addr   string
+	Reason string
+	Trace  string
+}
+
+// ApplyBatch applies a planning cycle's firewall programming in one
+// shot: every addr in unblock is re-allowed, then every rule in block
+// is installed, under a single lock acquisition — the coalesced
+// replacement for one Block/Unblock call (and one lock round-trip) per
+// meta-rule. When the same address appears in both lists the block
+// wins: the caller is replacing the address's verdict for this cycle,
+// and the block set is the cycle's final word.
+func (f *Firewall) ApplyBatch(unblock []string, block []BlockRule) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, a := range unblock {
+		delete(f.blocked, a)
+	}
+	for _, r := range block {
+		f.blocked[r.Addr] = blockEntry{reason: r.Reason, trace: r.Trace}
+	}
+}
+
 // Blocked reports whether addr is currently blocked.
 func (f *Firewall) Blocked(addr string) bool {
 	f.mu.Lock()

@@ -1,0 +1,317 @@
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func newServedHub(t *testing.T) (*Hub, *httptest.Server) {
+	t.Helper()
+	h := NewHub("boot-http", 32)
+	t.Cleanup(h.Close)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /rest/stream/snapshot", h.SnapshotHandler())
+	mux.HandleFunc("GET /rest/stream", h.DeltaHandler())
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return h, srv
+}
+
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode < 300 {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestSnapshotHandler(t *testing.T) {
+	h, srv := newServedHub(t)
+	mustPublish(t, h, "", KindMRT, json.RawMessage(`{"rules":[]}`))
+	var snap Snapshot
+	if code := getJSON(t, srv.URL+"/rest/stream/snapshot", &snap); code != http.StatusOK {
+		t.Fatalf("snapshot = %d", code)
+	}
+	if snap.Instance != "boot-http" || snap.Seq != 1 {
+		t.Errorf("snapshot coordinates = %q/%d", snap.Instance, snap.Seq)
+	}
+	if string(snap.State["mrt"]) != `{"rules":[]}` {
+		t.Errorf("snapshot state = %s", snap.State["mrt"])
+	}
+}
+
+func TestDeltaHandlerImmediatePoll(t *testing.T) {
+	h, srv := newServedHub(t)
+	mustPublish(t, h, "", KindMRT, json.RawMessage(`1`))
+	mustPublish(t, h, "", KindPlan, json.RawMessage(`2`))
+
+	// Resume from 1: one delta, headers carry the new position.
+	resp, err := http.Get(srv.URL + "/rest/stream?instance=boot-http&seq=1&wait=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("poll = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Last-Event-Seq"); got != "2" {
+		t.Errorf("Last-Event-Seq = %q", got)
+	}
+	if got := resp.Header.Get("Stream-Instance"); got != "boot-http" {
+		t.Errorf("Stream-Instance = %q", got)
+	}
+	var b Batch
+	if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Events) != 1 || b.Events[0].Kind != KindPlan {
+		t.Errorf("batch = %+v", b)
+	}
+}
+
+func TestDeltaHandlerHeaderResume(t *testing.T) {
+	h, srv := newServedHub(t)
+	mustPublish(t, h, "", KindMRT, json.RawMessage(`1`))
+	mustPublish(t, h, "", KindMRT, json.RawMessage(`2`))
+
+	// Resume coordinates via headers (Last-Event-ID is the SSE
+	// convention; Stream-Instance names the producer lifetime).
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/rest/stream?wait=0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Stream-Instance", "boot-http")
+	req.Header.Set("Last-Event-ID", "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b Batch
+	if err := json.NewDecoder(resp.Body).Decode(&b); err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Events) != 1 || string(b.Events[0].Data) != "2" {
+		t.Errorf("header-resumed batch = %+v", b)
+	}
+}
+
+func TestDeltaHandlerDefaultsToCurrentPosition(t *testing.T) {
+	h, srv := newServedHub(t)
+	mustPublish(t, h, "", KindMRT, json.RawMessage(`1`))
+	// No coordinates at all: "from now on" — an empty batch at the
+	// hub's position.
+	var b Batch
+	if code := getJSON(t, srv.URL+"/rest/stream?wait=0", &b); code != http.StatusOK {
+		t.Fatalf("bare poll = %d", code)
+	}
+	if b.Through != 1 || len(b.Events) != 0 {
+		t.Errorf("bare poll batch = %+v", b)
+	}
+}
+
+func TestDeltaHandlerLongPollWakes(t *testing.T) {
+	h, srv := newServedHub(t)
+	mustPublish(t, h, "", KindMRT, json.RawMessage(`1`))
+
+	done := make(chan Batch, 1)
+	go func() {
+		var b Batch
+		getJSON(t, srv.URL+"/rest/stream?instance=boot-http&seq=1&wait=30", &b)
+		done <- b
+	}()
+	time.Sleep(50 * time.Millisecond) // let the poll park
+	mustPublish(t, h, "", KindPlan, json.RawMessage(`2`))
+	select {
+	case b := <-done:
+		if len(b.Events) != 1 || b.Events[0].Kind != KindPlan {
+			t.Errorf("woken batch = %+v", b)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("long poll never woke on publish")
+	}
+}
+
+func TestDeltaHandlerBadRequests(t *testing.T) {
+	h, srv := newServedHub(t)
+	mustPublish(t, h, "", KindMRT, json.RawMessage(`1`))
+	for _, q := range []string{"seq=banana", "seq=1&wait=banana", "seq=1&wait=-3"} {
+		if code := getJSON(t, srv.URL+"/rest/stream?instance=boot-http&"+q, nil); code != http.StatusBadRequest {
+			t.Errorf("?%s = %d, want 400", q, code)
+		}
+	}
+}
+
+func TestDeltaHandlerResync(t *testing.T) {
+	h, srv := newServedHub(t)
+	mustPublish(t, h, "", KindMRT, json.RawMessage(`1`))
+	resp, err := http.Get(srv.URL + "/rest/stream?instance=other-boot&seq=1&wait=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("foreign instance = %d, want 409", resp.StatusCode)
+	}
+	var body map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body["resync"] != "snapshot" {
+		t.Errorf("resync cue missing: %v", body)
+	}
+}
+
+func TestParseWaitClampsToMax(t *testing.T) {
+	r := httptest.NewRequest(http.MethodGet, "/rest/stream?wait=9999", nil)
+	d, err := parseWait(r)
+	if err != nil || d != MaxWait {
+		t.Errorf("wait=9999 → (%v, %v), want (%v, nil)", d, err, MaxWait)
+	}
+	r = httptest.NewRequest(http.MethodGet, "/rest/stream", nil)
+	if d, err := parseWait(r); err != nil || d != DefaultWait {
+		t.Errorf("absent wait → (%v, %v), want (%v, nil)", d, err, DefaultWait)
+	}
+}
+
+func TestSSEBatchAndLiveFollow(t *testing.T) {
+	h, srv := newServedHub(t)
+	mustPublish(t, h, "", KindMRT, json.RawMessage(`1`))
+
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/rest/stream?instance=boot-http&seq=0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	lines := make(chan string, 32)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	expectSSEBatch(t, lines, 1) // the backlog batch
+
+	mustPublish(t, h, "", KindPlan, json.RawMessage(`2`))
+	expectSSEBatch(t, lines, 2) // the live delta, flushed mid-connection
+}
+
+// expectSSEBatch reads lines until a batch event with the wanted id.
+func expectSSEBatch(t *testing.T, lines <-chan string, id int) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	sawID := false
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("SSE stream closed early")
+			}
+			if line == "id: "+itoa(id) {
+				sawID = true
+			}
+			if line == "event: batch" && sawID {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("no SSE batch with id %d", id)
+		}
+	}
+}
+
+func itoa(n int) string {
+	b, err := json.Marshal(n)
+	if err != nil {
+		panic(err)
+	}
+	return string(b)
+}
+
+func TestSSETerminalResyncOnGap(t *testing.T) {
+	h, srv := newServedHub(t)
+	mustPublish(t, h, "", KindMRT, json.RawMessage(`1`))
+
+	// Connect resumable, then make the position unresumable while the
+	// stream idles by overflowing the ring (32 + the original event).
+	req, err := http.NewRequest(http.MethodGet, srv.URL+"/rest/stream?instance=boot-http&seq=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/event-stream")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+
+	lines := make(chan string, 256)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+
+	// One slow reader vs. a fast producer: eventually Since fails and
+	// the server emits the terminal resync event. Alternate sites so the
+	// ring holds distinct components and batches stay small relative to
+	// the churn.
+	go func() {
+		for i := 0; i < 400; i++ {
+			mustPublish(t, h, "s"+itoa(i%40), KindMRT, `{}`)
+		}
+	}()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("SSE stream closed without a resync event")
+			}
+			if line == "event: resync" {
+				return
+			}
+		case <-deadline:
+			t.Skip("producer never outran this reader; gap path covered by unit Since tests")
+		}
+	}
+}
+
+// noFlushWriter hides the ResponseRecorder's Flusher so the SSE
+// handler's capability check fails.
+type noFlushWriter struct{ http.ResponseWriter }
+
+func TestSSERequiresFlusher(t *testing.T) {
+	h := NewHub("boot", 4)
+	defer h.Close()
+	mustPublish(t, h, "", KindMRT, json.RawMessage(`1`))
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodGet, "/rest/stream?instance=boot&seq=1", nil)
+	req.Header.Set("Accept", "text/event-stream")
+	h.DeltaHandler()(noFlushWriter{rec}, req)
+	if rec.Code != http.StatusNotImplemented {
+		t.Errorf("SSE without a Flusher = %d, want 501", rec.Code)
+	}
+}

@@ -65,9 +65,12 @@ go test -count=1 \
 # §13) — one home hosted solo and hosted as a fleet tenant among noisy
 # neighbors must produce bit-identical journal hashes, event streams,
 # persisted decision logs and recovered store state, at 1 and 8 fleet
-# workers.
+# workers. StreamEquivalence is the delta-sync gate (DESIGN.md §16): a
+# mirror maintained over the stream protocol — through a chaos proxy
+# dropping every other delta poll, and across a daemon restart — must
+# stay bit-identical to one rebuilt by polling, for every fleet tenant.
 echo ">> tenant-equivalence harness"
-go test -count=1 -run 'FleetTenantEquivalence|ObsEquivalence' ./internal/daemon
+go test -count=1 -run 'FleetTenantEquivalence|ObsEquivalence|StreamEquivalence' ./internal/daemon
 
 echo ">> go test -race ./..."
 go test -race ./...
@@ -95,7 +98,8 @@ fi
 # subsystem builds on; internal/fleet is the multi-home scheduler whose
 # determinism the tenant-equivalence proof rests on; internal/obs is
 # the flight-recorder stack — untested diagnostics lie exactly when
-# they are needed.
+# they are needed; internal/stream is the delta-sync protocol core —
+# an uncovered resume/coalesce edge is a silent replica-divergence bug.
 check_floor() {
     pkg="$1" floor="$2"
     cov=$(echo "$cover_out" | awk -v p="/$pkg\$" '
@@ -120,5 +124,6 @@ check_floor internal/faultfs 90
 check_floor internal/store 90
 check_floor internal/fleet 90
 check_floor internal/obs 90
+check_floor internal/stream 90
 
 echo "check: OK"
